@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the simulator substrate: how fast the
+//! discrete-event engine executes warp instructions on the host. These
+//! measure *simulator* performance (host ns per simulated instruction), the
+//! quantity that bounds how large an experiment the harness can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{full_mask, Device, GpuConfig, StepOutcome, WarpCtx, WarpProgram};
+
+/// A warp issuing `n` coalesced global reads.
+struct Reader {
+    remaining: u32,
+    stride: u64,
+}
+impl WarpProgram for Reader {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        if self.remaining == 0 {
+            return StepOutcome::Done;
+        }
+        self.remaining -= 1;
+        let base = (self.remaining as u64 * 32) % 4096;
+        let stride = self.stride;
+        w.global_read(full_mask(), |l| (base + l as u64 * stride) % 8192);
+        StepOutcome::Running
+    }
+}
+
+fn bench_warp_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/global_read_steps");
+    for (name, stride) in [("coalesced", 1u64), ("scattered", 257u64)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut dev = Device::new(GpuConfig { num_sms: 1, ..GpuConfig::default() });
+                dev.alloc_global(8192);
+                dev.spawn(0, Box::new(Reader { remaining: 1_000, stride }));
+                dev.run_to_completion();
+                dev.elapsed_cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Contended atomics: 8 warps hammering one counter.
+fn bench_atomics(c: &mut Criterion) {
+    struct Adder {
+        remaining: u32,
+    }
+    impl WarpProgram for Adder {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.remaining == 0 {
+                return StepOutcome::Done;
+            }
+            self.remaining -= 1;
+            w.global_atomic_add(0, 0, 1);
+            StepOutcome::Running
+        }
+    }
+    c.bench_function("simulator/contended_atomic_adds", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(GpuConfig { num_sms: 8, ..GpuConfig::default() });
+            dev.alloc_global(1);
+            for sm in 0..8 {
+                dev.spawn(sm, Box::new(Adder { remaining: 250 }));
+            }
+            dev.run_to_completion();
+            dev.global()[0]
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_warp_reads, bench_atomics
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion end-to-end benchmarks: one reduced-scale run of each STM on
+//! each workload. Tracks host-side harness performance and guards against
+//! regressions that would make the paper-scale sweeps impractical.
+
+use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, mc_csmv, mc_jvstm_gpu, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmv::CsmvVariant;
+
+fn tiny() -> Scale {
+    let mut s = Scale::quick();
+    s.sms = 3;
+    s.accounts = 128;
+    s.bank_txs = 2;
+    s.capacity = 1 << 10;
+    s.mc_txs = 2;
+    s
+}
+
+fn bench_bank(c: &mut Criterion) {
+    let scale = tiny();
+    let mut g = c.benchmark_group("bank_50rot");
+    g.bench_function("csmv", |b| {
+        b.iter(|| bank_csmv(&scale, 50, CsmvVariant::Full, scale.versions).commits)
+    });
+    g.bench_function("jvstm_gpu", |b| b.iter(|| bank_jvstm_gpu(&scale, 50).commits));
+    g.bench_function("prstm", |b| b.iter(|| bank_prstm(&scale, 50).commits));
+    g.finish();
+}
+
+fn bench_memcached(c: &mut Criterion) {
+    let scale = tiny();
+    let mut g = c.benchmark_group("memcached_8way");
+    g.bench_function("csmv", |b| b.iter(|| mc_csmv(&scale, 8, CsmvVariant::Full).commits));
+    g.bench_function("jvstm_gpu", |b| b.iter(|| mc_jvstm_gpu(&scale, 8).commits));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bank, bench_memcached
+}
+criterion_main!(benches);

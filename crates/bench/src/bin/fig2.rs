@@ -1,0 +1,50 @@
+//! Figure 2 — Bank benchmark: throughput (2a) and abort rate (2b) as a
+//! function of the percentage of read-only transactions, for CSMV, PR-STM,
+//! JVSTM-GPU (simulated GPU) and JVSTM (host CPU).
+
+use bench::{bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, fmt_tput, print_table, Row, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
+
+    let mut rows: Vec<Vec<Row>> = Vec::new();
+    for &rot in rots {
+        eprintln!("[fig2] %ROT = {rot}");
+        rows.push(vec![
+            bank_csmv(&scale, rot, csmv::CsmvVariant::Full, scale.versions),
+            bank_prstm(&scale, rot),
+            bank_jvstm_gpu(&scale, rot),
+            bank_jvstm_cpu(&scale, rot),
+        ]);
+    }
+
+    let headers = ["%ROT", "CSMV", "PR-STM", "JVSTM-GPU", "JVSTM (CPU)"];
+    let tput: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut v = vec![r[0].x.to_string()];
+            v.extend(r.iter().map(|row| fmt_tput(row.throughput)));
+            v
+        })
+        .collect();
+    print_table("Fig. 2a — Bank throughput (TXs/s) vs %ROT", &headers, &tput);
+
+    let abort: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut v = vec![r[0].x.to_string()];
+            v.extend(r.iter().map(|row| format!("{:.2}", row.abort_pct)));
+            v
+        })
+        .collect();
+    print_table("Fig. 2b — Bank abort rate (%) vs %ROT", &headers, &abort);
+
+    // Shape summary against the paper's headline claims.
+    let speedup = |r: &Vec<Row>, i: usize| r[0].throughput / r[i].throughput.max(1e-12);
+    let last = rows.last().unwrap();
+    let first = rows.first().unwrap();
+    println!("\nCSMV/PR-STM     at 99% ROT: {:8.1}x   (paper: ~1000x)", speedup(last, 1));
+    println!("CSMV/JVSTM-GPU  at  1% ROT: {:8.1}x   (paper: ~20x)", speedup(first, 2));
+    println!("CSMV/JVSTM(CPU) at  1% ROT: {:8.1}x   (paper: ~20x)", speedup(first, 3));
+}

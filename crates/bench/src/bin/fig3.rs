@@ -1,0 +1,60 @@
+//! Figure 3 — MemcachedGPU: throughput and abort rate as a function of the
+//! cache associativity (number of ways), for CSMV, PR-STM and JVSTM-GPU.
+//! (JVSTM-CPU is omitted, as in the paper.)
+
+use bench::{fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
+
+    let mut rows: Vec<Vec<Row>> = Vec::new();
+    for &w in ways {
+        eprintln!("[fig3] ways = {w}");
+        rows.push(vec![
+            mc_csmv(&scale, w, csmv::CsmvVariant::Full),
+            mc_prstm(&scale, w),
+            mc_jvstm_gpu(&scale, w),
+        ]);
+    }
+
+    let headers = ["ways", "CSMV", "PR-STM", "JVSTM-GPU"];
+    let tput: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut v = vec![r[0].x.to_string()];
+            v.extend(r.iter().map(|row| fmt_tput(row.throughput)));
+            v
+        })
+        .collect();
+    print_table("Fig. 3 — MemcachedGPU throughput (TXs/s) vs associativity", &headers, &tput);
+
+    let abort: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut v = vec![r[0].x.to_string()];
+            v.extend(r.iter().map(|row| format!("{:.3}", row.abort_pct)));
+            v
+        })
+        .collect();
+    print_table("Fig. 3 — MemcachedGPU abort rate (%)", &headers, &abort);
+
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    println!(
+        "\nPR-STM/CSMV     at   4 ways: {:6.2}x   (paper: ~1.6x — PR-STM wins short ROTs)",
+        first[1].throughput / first[0].throughput.max(1e-12)
+    );
+    println!(
+        "CSMV/PR-STM     at 256 ways: {:6.2}x   (paper: ~15x)",
+        last[0].throughput / last[1].throughput.max(1e-12)
+    );
+    println!(
+        "CSMV/JVSTM-GPU  at   4 ways: {:6.2}x   (paper: ~50x)",
+        first[0].throughput / first[2].throughput.max(1e-12)
+    );
+    println!(
+        "CSMV/JVSTM-GPU  at 256 ways: {:6.2}x   (paper: ~2x)",
+        last[0].throughput / last[2].throughput.max(1e-12)
+    );
+}

@@ -1,0 +1,88 @@
+//! Multi-server CSMV scalability (the paper's §V future-work direction):
+//! update-heavy Bank with partition-confined transfers, sweeping the number
+//! of commit-server SMs. The single server saturates under update pressure;
+//! extra servers add validation/insert throughput and aggregate ATR
+//! capacity (fewer spurious window aborts).
+//!
+//! Not part of the paper's evaluation — an extension experiment.
+
+use bench::{fmt_tput, print_table, Scale};
+use csmv::{CsmvConfig, CsmvVariant, MultiCsmvConfig};
+use gpu_sim::GpuConfig;
+use workloads::{BankConfig, BankSource};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rot_pct = 1u8; // update-heavy: the server-bound regime
+    let servers: &[usize] = &[1, 2, 4];
+
+    let mut rows = Vec::new();
+
+    // Reference: the paper's single-server CSMV (unpartitioned workload).
+    {
+        let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+        let mut cfg = CsmvConfig {
+            gpu: GpuConfig { num_sms: scale.sms, ..GpuConfig::default() },
+            versions_per_box: scale.versions,
+            max_rs: 8,
+            max_ws: 2,
+            record_history: false,
+            variant: CsmvVariant::Full,
+            ..Default::default()
+        };
+        cfg.fit_atr_capacity();
+        eprintln!("[multiserver] baseline single-server");
+        let res = csmv::run(
+            &cfg,
+            |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        rows.push(vec![
+            "CSMV (paper)".to_string(),
+            "1".to_string(),
+            fmt_tput(res.throughput(1.58)),
+            format!("{:.2}", res.abort_rate_pct()),
+        ]);
+    }
+
+    for &n in servers {
+        eprintln!("[multiserver] {n} server(s)");
+        let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) }
+            .partitioned(n as u64);
+        let cfg = MultiCsmvConfig {
+            gpu: GpuConfig { num_sms: scale.sms, ..GpuConfig::default() },
+            num_servers: n,
+            versions_per_box: scale.versions,
+            warps_per_sm: 2,
+            server_workers: 7,
+            max_rs: 8,
+            max_ws: 2,
+            atr_capacity: 1024,
+            record_history: false,
+        };
+        let res = csmv::run_multi(
+            &cfg,
+            |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        rows.push(vec![
+            "CSMV-multi".to_string(),
+            n.to_string(),
+            fmt_tput(res.throughput(1.58)),
+            format!("{:.2}", res.abort_rate_pct()),
+        ]);
+    }
+
+    print_table(
+        &format!("Multi-server CSMV — Bank at {rot_pct}% ROT (partition-confined transfers)"),
+        &["system", "servers", "TXs/s", "abort %"],
+        &rows,
+    );
+    println!(
+        "\nNote: multi-server rows trade client SMs for server SMs (same total {}),\n\
+         and their workload restricts transfers to one partition (see csmv::multi docs).",
+        scale.sms
+    );
+}

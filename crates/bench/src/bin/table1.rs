@@ -1,0 +1,35 @@
+//! Table I — breakdown of the main commit phases for JVSTM-GPU and CSMV
+//! (Bank benchmark, milliseconds), as a function of the percentage of
+//! read-only transactions.
+
+use bench::{bank_csmv, bank_jvstm_gpu, breakdown_cells, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
+
+    let mut jv_rows = Vec::new();
+    let mut cs_rows = Vec::new();
+    for &rot in rots {
+        eprintln!("[table1] %ROT = {rot}");
+        let jv = bank_jvstm_gpu(&scale, rot);
+        let cs = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, scale.versions);
+        let mut row = vec![rot.to_string()];
+        row.extend(breakdown_cells(&jv, false));
+        jv_rows.push(row);
+        let mut row = vec![rot.to_string()];
+        row.extend(breakdown_cells(&cs, true));
+        cs_rows.push(row);
+    }
+
+    print_table(
+        "Table I (left) — JVSTM-GPU commit-phase breakdown (ms, Bank)",
+        &["%ROT", "Total", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &jv_rows,
+    );
+    print_table(
+        "Table I (right) — CSMV commit-phase breakdown (ms, Bank)",
+        &["%ROT", "Total", "Wait server", "Pre-Val.", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &cs_rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! Table II — average total and wasted (aborted-attempt) time per committed
+//! transaction (Bank benchmark, milliseconds).
+
+use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, fmt_ms, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
+
+    let mut rows = Vec::new();
+    for &rot in rots {
+        eprintln!("[table2] %ROT = {rot}");
+        let cs = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, scale.versions);
+        let pr = bank_prstm(&scale, rot);
+        let jv = bank_jvstm_gpu(&scale, rot);
+        rows.push(vec![
+            rot.to_string(),
+            fmt_ms(cs.total_ms_per_tx),
+            fmt_ms(cs.wasted_ms_per_tx),
+            fmt_ms(pr.total_ms_per_tx),
+            fmt_ms(pr.wasted_ms_per_tx),
+            fmt_ms(jv.total_ms_per_tx),
+            fmt_ms(jv.wasted_ms_per_tx),
+        ]);
+    }
+    print_table(
+        "Table II — total/wasted time per transaction (ms, Bank)",
+        &["%ROT", "CSMV Total", "CSMV Wasted", "PR-STM Total", "PR-STM Wasted", "JVSTM-GPU Total", "JVSTM-GPU Wasted"],
+        &rows,
+    );
+}

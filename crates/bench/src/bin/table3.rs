@@ -1,0 +1,62 @@
+//! Table III — breakdown of the main commit phases for JVSTM-GPU and CSMV
+//! (MemcachedGPU, microseconds), as a function of the cache associativity.
+
+use bench::{mc_csmv, mc_jvstm_gpu, print_table, Row, Scale};
+use stm_core::Phase;
+
+const CLOCK_GHZ: f64 = 1.58;
+
+fn us(c: u64) -> String {
+    let v = c as f64 / (CLOCK_GHZ * 1e3);
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn cells(row: &Row, csmv_style: bool) -> Vec<String> {
+    let bd = |p: Phase| us(row.client_bd.phase(p) + row.server_bd.phase(p));
+    let divergence = us(row.client_bd.commit_divergence() + row.server_bd.commit_divergence());
+    let total = us(row.client_bd.commit_total() + row.server_bd.commit_total());
+    let mut cells = vec![total];
+    if csmv_style {
+        cells.push(bd(Phase::WaitServer));
+        cells.push(bd(Phase::PreValidation));
+    }
+    cells.push(bd(Phase::Validation));
+    cells.push(bd(Phase::RecordInsert));
+    cells.push(bd(Phase::WriteBack));
+    cells.push(divergence);
+    cells
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
+
+    let mut jv_rows = Vec::new();
+    let mut cs_rows = Vec::new();
+    for &w in ways {
+        eprintln!("[table3] ways = {w}");
+        let jv = mc_jvstm_gpu(&scale, w);
+        let cs = mc_csmv(&scale, w, csmv::CsmvVariant::Full);
+        let mut row = vec![w.to_string()];
+        row.extend(cells(&jv, false));
+        jv_rows.push(row);
+        let mut row = vec![w.to_string()];
+        row.extend(cells(&cs, true));
+        cs_rows.push(row);
+    }
+
+    print_table(
+        "Table III (left) — JVSTM-GPU commit-phase breakdown (µs, Memcached)",
+        &["ways", "Total", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &jv_rows,
+    );
+    print_table(
+        "Table III (right) — CSMV commit-phase breakdown (µs, Memcached)",
+        &["ways", "Total", "Wait server", "Pre-Val.", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &cs_rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! Table IV — average total and wasted time per committed transaction
+//! (MemcachedGPU, milliseconds), as a function of the cache associativity.
+
+use bench::{fmt_ms, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
+
+    let mut rows = Vec::new();
+    for &w in ways {
+        eprintln!("[table4] ways = {w}");
+        let jv = mc_jvstm_gpu(&scale, w);
+        let cs = mc_csmv(&scale, w, csmv::CsmvVariant::Full);
+        let pr = mc_prstm(&scale, w);
+        rows.push(vec![
+            w.to_string(),
+            fmt_ms(jv.total_ms_per_tx),
+            fmt_ms(jv.wasted_ms_per_tx),
+            fmt_ms(cs.total_ms_per_tx),
+            fmt_ms(cs.wasted_ms_per_tx),
+            fmt_ms(pr.total_ms_per_tx),
+            fmt_ms(pr.wasted_ms_per_tx),
+        ]);
+    }
+    print_table(
+        "Table IV — total/wasted time per transaction (ms, Memcached)",
+        &["ways", "JVSTM-GPU Total", "JVSTM-GPU Wasted", "CSMV Total", "CSMV Wasted", "PR-STM Total", "PR-STM Wasted"],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Table V — memory occupied by transactional data items, throughput and
+//! abort rate when CSMV retains a varying number of versions per VBox
+//! (Bank, 90 % ROT), against single-versioned PR-STM.
+//!
+//! (The paper's column headers read "2v 3v 4v 7v 8v 10v 10v" while the byte
+//! sizes step uniformly by one version; we sweep {2,3,4,5,8,10} — see
+//! DESIGN.md.)
+
+use bench::{bank_csmv, bank_prstm, fmt_tput, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rot = 90u8;
+    let versions: &[u64] = &[2, 3, 4, 5, 8, 10];
+
+    eprintln!("[table5] PR-STM");
+    let pr = bank_prstm(&scale, rot);
+    let pr_bytes = scale.accounts * 4;
+
+    let mut size_row = vec!["Tx. Data Size [KB]".to_string(), format!("{:.2}", pr_bytes as f64 / 1024.0)];
+    let mut tput_row = vec!["Throughput [TXs/s]".to_string(), fmt_tput(pr.throughput)];
+    let mut abort_row = vec!["Abort rate [%]".to_string(), format!("{:.2}", pr.abort_pct)];
+
+    for &v in versions {
+        eprintln!("[table5] CSMV {v}v");
+        let row = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, v);
+        // Paper formula: 4 + (sizeof(X)+4)·#versions bytes per item.
+        let bytes = scale.accounts * (4 + 8 * v);
+        size_row.push(format!("{:.0}", bytes as f64 / 1024.0));
+        tput_row.push(fmt_tput(row.throughput));
+        abort_row.push(format!("{:.2}", row.abort_pct));
+    }
+
+    let mut headers: Vec<String> = vec!["".into(), "PR-STM".into()];
+    headers.extend(versions.iter().map(|v| format!("CSMV {v}v")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Table V — memory vs versions per VBox (Bank, 90% ROT)",
+        &headers_ref,
+        &[size_row, tput_row, abort_row],
+    );
+}

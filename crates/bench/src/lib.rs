@@ -1,0 +1,430 @@
+//! # bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§IV):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig2`   | Fig. 2a/2b — Bank throughput & abort rate vs %ROT |
+//! | `table1` | Table I — commit-phase breakdown, JVSTM-GPU vs CSMV (Bank) |
+//! | `table2` | Table II — total/wasted time per transaction (Bank) |
+//! | `fig3`   | Fig. 3 — MemcachedGPU throughput & abort vs associativity |
+//! | `table3` | Table III — commit-phase breakdown (Memcached) |
+//! | `table4` | Table IV — total/wasted time per transaction (Memcached) |
+//! | `fig4`   | Fig. 4 — ablation variants (Bank) |
+//! | `table5` | Table V — memory & abort rate vs versions per VBox |
+//!
+//! All binaries honour `BENCH_QUICK=1` (reduced geometry for smoke runs);
+//! the default is the paper-faithful scale: 28 SMs, 64-thread blocks, 6 000
+//! bank accounts, a 1 M-slot cache, 99.8 % GETs.
+
+use gpu_sim::GpuConfig;
+use stm_core::{Phase, RunResult, TimeBreakdown};
+use workloads::{BankConfig, BankSource, MemcachedConfig, MemcachedSource, Zipfian};
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// SMs on the device (CSMV dedicates the last one to the server).
+    pub sms: usize,
+    /// Bank accounts.
+    pub accounts: u64,
+    /// Transactions per thread (Bank).
+    pub bank_txs: usize,
+    /// Cache slots (Memcached).
+    pub capacity: u64,
+    /// Transactions per thread (Memcached).
+    pub mc_txs: usize,
+    /// Versions per VBox for the MV STMs.
+    pub versions: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            sms: 28,
+            accounts: 6_000,
+            bank_txs: 6,
+            capacity: 1 << 20,
+            mc_txs: 12,
+            versions: 8,
+            seed: 0xC5_3A17,
+        }
+    }
+
+    /// A reduced configuration for smoke tests.
+    pub fn quick() -> Self {
+        Self {
+            sms: 6,
+            accounts: 512,
+            bank_txs: 3,
+            capacity: 1 << 12,
+            mc_txs: 6,
+            versions: 8,
+            seed: 0xC5_3A17,
+        }
+    }
+
+    /// Scale selected by the `BENCH_QUICK` environment variable.
+    pub fn from_env() -> Self {
+        if std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Self::quick()
+        } else {
+            Self::paper()
+        }
+    }
+
+    fn gpu(&self) -> GpuConfig {
+        GpuConfig { num_sms: self.sms, ..GpuConfig::default() }
+    }
+}
+
+/// One measured configuration: everything the tables/figures print.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label.
+    pub system: String,
+    /// Swept parameter value (%ROT or ways or versions).
+    pub x: u64,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Abort rate in percent.
+    pub abort_pct: f64,
+    /// Average total time per committed transaction, milliseconds.
+    pub total_ms_per_tx: f64,
+    /// Average wasted (aborted-attempt) time per committed tx, milliseconds.
+    pub wasted_ms_per_tx: f64,
+    /// Client-side per-phase breakdown (cycles).
+    pub client_bd: TimeBreakdown,
+    /// Server-side per-phase breakdown (cycles; CSMV only).
+    pub server_bd: TimeBreakdown,
+    /// Simulated duration in milliseconds.
+    pub elapsed_ms: f64,
+    /// Raw commit/abort counters.
+    pub commits: u64,
+    /// Raw abort count.
+    pub aborts: u64,
+}
+
+const CLOCK_GHZ: f64 = 1.58;
+
+fn cycles_to_ms(c: u64) -> f64 {
+    c as f64 / (CLOCK_GHZ * 1e6)
+}
+
+fn cycles_to_ms_f(c: f64) -> f64 {
+    c / (CLOCK_GHZ * 1e6)
+}
+
+fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
+    Row {
+        system: system.to_string(),
+        x,
+        throughput: res.throughput(CLOCK_GHZ),
+        abort_pct: res.abort_rate_pct(),
+        total_ms_per_tx: cycles_to_ms_f(res.stats.total_cycles_per_tx()),
+        wasted_ms_per_tx: cycles_to_ms_f(res.stats.wasted_cycles_per_tx()),
+        client_bd: res.client_breakdown,
+        server_bd: res.server_breakdown,
+        elapsed_ms: cycles_to_ms(res.elapsed_cycles),
+        commits: res.stats.commits(),
+        aborts: res.stats.aborts(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bank benchmark runners
+// ---------------------------------------------------------------------------
+
+/// CSMV on Bank at a given %ROT (any variant, any version count).
+pub fn bank_csmv(scale: &Scale, rot_pct: u8, variant: csmv::CsmvVariant, versions: u64) -> Row {
+    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let mut cfg = csmv::CsmvConfig {
+        gpu: scale.gpu(),
+        versions_per_box: versions,
+        max_rs: 8,
+        // Bank transfers write 2 items; small entries buy a deep ATR ring.
+        max_ws: 2,
+        record_history: false,
+        variant,
+        ..Default::default()
+    };
+    cfg.fit_atr_capacity();
+    let res = csmv::run(
+        &cfg,
+        |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    row_from(variant.name(), rot_pct as u64, &res)
+}
+
+/// JVSTM-GPU on Bank.
+pub fn bank_jvstm_gpu(scale: &Scale, rot_pct: u8) -> Row {
+    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let cfg = jvstm_gpu::JvstmGpuConfig {
+        gpu: scale.gpu(),
+        versions_per_box: scale.versions,
+        max_rs: 8,
+        max_ws: 8,
+        atr_capacity: cfg_atr(scale),
+        record_history: false,
+        ..Default::default()
+    };
+    let res = jvstm_gpu::run(
+        &cfg,
+        |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    row_from("JVSTM-GPU", rot_pct as u64, &res)
+}
+
+fn cfg_atr(scale: &Scale) -> usize {
+    // Append-only ATR sized to the worst case: every transaction commits.
+    scale.sms * 2 * gpu_sim::WARP_LANES * scale.bank_txs.max(scale.mc_txs) + 64
+}
+
+/// PR-STM on Bank. The read-set capacity must cover a full balance scan.
+pub fn bank_prstm(scale: &Scale, rot_pct: u8) -> Row {
+    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let cfg = prstm::PrstmConfig {
+        gpu: scale.gpu(),
+        max_rs: scale.accounts as usize + 8,
+        max_ws: 8,
+        record_history: false,
+        ..Default::default()
+    };
+    let res = prstm::run(
+        &cfg,
+        |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    row_from("PR-STM", rot_pct as u64, &res)
+}
+
+/// JVSTM on the host CPU (wall-clock measured).
+pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
+    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let cfg = jvstm_cpu::JvstmCpuConfig { threads: 28, record_history: false };
+    // Give each CPU thread the same per-thread quota as a GPU thread times
+    // the thread-count ratio, so total work is comparable.
+    let gpu_threads = scale.sms * 2 * gpu_sim::WARP_LANES;
+    let txs = (scale.bank_txs * gpu_threads / cfg.threads).max(1);
+    let res = jvstm_cpu::run(
+        &cfg,
+        |t| BankSource::new(&bank, scale.seed, t, txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    Row {
+        system: "JVSTM (CPU)".into(),
+        x: rot_pct as u64,
+        throughput: res.throughput(),
+        abort_pct: res.stats.abort_rate_pct(),
+        total_ms_per_tx: res.stats.total_cycles_per_tx() / 1e6, // ns → ms
+        wasted_ms_per_tx: res.stats.wasted_cycles_per_tx() / 1e6,
+        client_bd: TimeBreakdown::default(),
+        server_bd: TimeBreakdown::default(),
+        elapsed_ms: res.elapsed.as_secs_f64() * 1e3,
+        commits: res.stats.commits(),
+        aborts: res.stats.aborts(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memcached benchmark runners
+// ---------------------------------------------------------------------------
+
+fn mc_cfg(scale: &Scale, ways: u64) -> MemcachedConfig {
+    MemcachedConfig { capacity: scale.capacity, ..MemcachedConfig::paper(ways) }
+}
+
+/// Per-thread read-set bound for Memcached: a PUT may scan all key tags and
+/// all LRU stamps.
+fn mc_max_rs(ways: u64) -> usize {
+    (2 * ways + 4) as usize
+}
+
+/// CSMV on Memcached at a given associativity.
+pub fn mc_csmv(scale: &Scale, ways: u64, variant: csmv::CsmvVariant) -> Row {
+    let mc = mc_cfg(scale, ways);
+    let zipf = Zipfian::new(mc.capacity as usize, mc.zipf_s);
+    let mut cfg = csmv::CsmvConfig {
+        gpu: scale.gpu(),
+        versions_per_box: 4,
+        max_rs: mc_max_rs(ways),
+        max_ws: 4,
+        record_history: false,
+        variant,
+        ..Default::default()
+    };
+    cfg.fit_atr_capacity();
+    let res = csmv::run(
+        &cfg,
+        |t| MemcachedSource::new(&mc, zipf.clone(), scale.seed, t, scale.mc_txs),
+        mc.num_items(),
+        |item| init_mc_item(&mc, item),
+    );
+    row_from(variant.name(), ways, &res)
+}
+
+/// JVSTM-GPU on Memcached.
+pub fn mc_jvstm_gpu(scale: &Scale, ways: u64) -> Row {
+    let mc = mc_cfg(scale, ways);
+    let zipf = Zipfian::new(mc.capacity as usize, mc.zipf_s);
+    let cfg = jvstm_gpu::JvstmGpuConfig {
+        gpu: scale.gpu(),
+        versions_per_box: 4,
+        max_rs: mc_max_rs(ways),
+        max_ws: 4,
+        atr_capacity: cfg_atr(scale),
+        record_history: false,
+        ..Default::default()
+    };
+    let res = jvstm_gpu::run(
+        &cfg,
+        |t| MemcachedSource::new(&mc, zipf.clone(), scale.seed, t, scale.mc_txs),
+        mc.num_items(),
+        |item| init_mc_item(&mc, item),
+    );
+    row_from("JVSTM-GPU", ways, &res)
+}
+
+/// PR-STM on Memcached.
+pub fn mc_prstm(scale: &Scale, ways: u64) -> Row {
+    let mc = mc_cfg(scale, ways);
+    let zipf = Zipfian::new(mc.capacity as usize, mc.zipf_s);
+    let cfg = prstm::PrstmConfig {
+        gpu: scale.gpu(),
+        max_rs: mc_max_rs(ways) + 2,
+        max_ws: 4,
+        record_history: false,
+        ..Default::default()
+    };
+    let res = prstm::run(
+        &cfg,
+        |t| MemcachedSource::new(&mc, zipf.clone(), scale.seed, t, scale.mc_txs),
+        mc.num_items(),
+        |item| init_mc_item(&mc, item),
+    );
+    row_from("PR-STM", ways, &res)
+}
+
+/// Initial value of a Memcached transactional item (pre-populated cache).
+fn init_mc_item(mc: &MemcachedConfig, item: u64) -> u64 {
+    use workloads::memcached::{FIELDS_PER_SLOT, F_KEY, F_VALUE};
+    let slot = item / FIELDS_PER_SLOT;
+    let field = item % FIELDS_PER_SLOT;
+    let set = slot / mc.ways;
+    let way = slot % mc.ways;
+    let key = set + mc.num_sets() * way;
+    match field {
+        f if f == F_KEY => MemcachedConfig::tag(key),
+        f if f == F_VALUE => MemcachedConfig::initial_value(key) & 0xFFFF_FFFF,
+        _ => 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table formatting
+// ---------------------------------------------------------------------------
+
+/// Render rows as an aligned text table with the given headers and a
+/// per-row cell extractor.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Engineering-notation throughput.
+pub fn fmt_tput(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+/// Milliseconds with sensible precision.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.1}")
+    } else if v >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Extract the paper's Table I/III columns from a row.
+pub fn breakdown_cells(row: &Row, csmv_style: bool) -> Vec<String> {
+    let bd = |p: Phase| {
+        cycles_to_ms(row.client_bd.phase(p) + row.server_bd.phase(p))
+    };
+    let divergence =
+        cycles_to_ms(row.client_bd.commit_divergence() + row.server_bd.commit_divergence());
+    let total = cycles_to_ms(row.client_bd.commit_total() + row.server_bd.commit_total());
+    let mut cells = vec![fmt_ms(total)];
+    if csmv_style {
+        cells.push(fmt_ms(bd(Phase::WaitServer)));
+        cells.push(fmt_ms(bd(Phase::PreValidation)));
+    }
+    cells.push(fmt_ms(bd(Phase::Validation)));
+    cells.push(fmt_ms(bd(Phase::RecordInsert)));
+    cells.push(fmt_ms(bd(Phase::WriteBack)));
+    cells.push(fmt_ms(divergence));
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_bank_smoke() {
+        let scale = Scale::quick();
+        let r = bank_csmv(&scale, 50, csmv::CsmvVariant::Full, 8);
+        assert!(r.throughput > 0.0);
+        assert!(r.commits > 0);
+        let r = bank_jvstm_gpu(&scale, 50);
+        assert!(r.throughput > 0.0);
+        let r = bank_prstm(&scale, 50);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn quick_scale_memcached_smoke() {
+        let scale = Scale::quick();
+        for f in [mc_csmv_full, mc_jvstm_gpu_wrap, mc_prstm_wrap] {
+            let r = f(&scale, 4);
+            assert!(r.throughput > 0.0, "{}", r.system);
+            assert!(r.commits > 0);
+        }
+    }
+
+    fn mc_csmv_full(s: &Scale, w: u64) -> Row {
+        mc_csmv(s, w, csmv::CsmvVariant::Full)
+    }
+    fn mc_jvstm_gpu_wrap(s: &Scale, w: u64) -> Row {
+        mc_jvstm_gpu(s, w)
+    }
+    fn mc_prstm_wrap(s: &Scale, w: u64) -> Row {
+        mc_prstm(s, w)
+    }
+}

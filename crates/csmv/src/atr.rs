@@ -1,0 +1,134 @@
+//! The Active Transaction Record in the server SM's **shared (on-chip)
+//! memory** — the centerpiece of CSMV's client–server design: commit
+//! metadata lives where atomics and reads are an order of magnitude cheaper
+//! than in global memory.
+//!
+//! The ATR is a ring of `capacity` entries tagged with their commit
+//! timestamp:
+//!
+//! ```text
+//! word 0                      : next_cts — next commit timestamp to assign
+//!                               (starts at 1); reserved via a single
+//!                               CAS/fetch-add per *batch* (batched insert)
+//! word 1 + s·(2 + max_ws)     : entry in ring slot s =
+//!                               [cts][ws_len][ws item ids × max_ws]
+//! ```
+//!
+//! The entry for commit timestamp `c` lives in slot `(c − 1) % capacity`.
+//! Writers fill items and `ws_len` first and publish by writing the `cts`
+//! word last; validators needing entry `c` poll until the slot's `cts` word
+//! equals `c` (ring recycling guarantees a stale slot holds a *smaller*
+//! cts). A transaction whose snapshot is more than `capacity` commits behind
+//! `next_cts` cannot validate — it aborts conservatively (the "spurious
+//! aborts" of the paper's future-work discussion).
+
+use gpu_sim::Device;
+
+/// Address map of the shared-memory ATR (addresses are SM-local).
+#[derive(Debug, Clone)]
+pub struct SharedAtr {
+    base: u64,
+    capacity: u64,
+    max_ws: usize,
+}
+
+impl SharedAtr {
+    /// Allocate the ATR in `sm`'s shared memory.
+    pub fn alloc(dev: &mut Device, sm: usize, capacity: u64, max_ws: usize) -> Self {
+        let words = 1 + capacity as usize * (2 + max_ws);
+        let base = dev.alloc_shared(sm, words);
+        Self { base, capacity, max_ws }
+    }
+
+    /// Ring capacity in entries.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Write-set capacity per entry.
+    pub fn max_ws(&self) -> usize {
+        self.max_ws
+    }
+
+    /// Address of the `next_cts` word.
+    pub fn next_cts_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Ring slot of commit timestamp `cts` (1-based).
+    pub fn slot_of(&self, cts: u64) -> u64 {
+        debug_assert!(cts >= 1);
+        (cts - 1) % self.capacity
+    }
+
+    /// Address of slot `s`'s cts tag word.
+    pub fn slot_cts_addr(&self, s: u64) -> u64 {
+        debug_assert!(s < self.capacity);
+        self.base + 1 + s * (2 + self.max_ws as u64)
+    }
+
+    /// Address of slot `s`'s `ws_len` word.
+    pub fn slot_len_addr(&self, s: u64) -> u64 {
+        self.slot_cts_addr(s) + 1
+    }
+
+    /// Address of slot `s`'s `k`-th write-set item word.
+    pub fn slot_item_addr(&self, s: u64, k: u64) -> u64 {
+        debug_assert!((k as usize) < self.max_ws);
+        self.slot_len_addr(s) + 1 + k
+    }
+
+    /// Whether a transaction with this snapshot can still be validated, given
+    /// the current `next_cts`: every entry in `(snapshot, next_cts)` must
+    /// still be resident in the ring.
+    pub fn snapshot_in_window(&self, snapshot: u64, next_cts: u64) -> bool {
+        next_cts - 1 - snapshot <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn atr() -> SharedAtr {
+        let mut dev = Device::new(GpuConfig::default());
+        SharedAtr::alloc(&mut dev, 0, 8, 3)
+    }
+
+    #[test]
+    fn slots_wrap_around() {
+        let a = atr();
+        assert_eq!(a.slot_of(1), 0);
+        assert_eq!(a.slot_of(8), 7);
+        assert_eq!(a.slot_of(9), 0);
+        assert_eq!(a.slot_of(17), 0);
+    }
+
+    #[test]
+    fn layout_is_disjoint() {
+        let a = atr();
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(a.next_cts_addr()));
+        for s in 0..8 {
+            assert!(seen.insert(a.slot_cts_addr(s)));
+            assert!(seen.insert(a.slot_len_addr(s)));
+            for k in 0..3 {
+                assert!(seen.insert(a.slot_item_addr(s, k)));
+            }
+        }
+    }
+
+    #[test]
+    fn window_check_matches_capacity() {
+        let a = atr();
+        // next_cts = 10: entries 1..9 ever existed; ring holds the last 8
+        // (cts 2..9). A snapshot of 1 needs entries 2..9 — exactly resident.
+        assert!(a.snapshot_in_window(1, 10));
+        // Snapshot 0 needs entry 1, already recycled.
+        assert!(!a.snapshot_in_window(0, 10));
+        // Fresh snapshots are always fine.
+        assert!(a.snapshot_in_window(9, 10));
+        assert!(a.snapshot_in_window(0, 1));
+    }
+}

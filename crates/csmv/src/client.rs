@@ -1,0 +1,444 @@
+//! The CSMV client warp: executes transaction bodies (building the commit
+//! request in place), pre-validates intra-warp conflicts with shuffle
+//! exchanges, ships the batch to the commit server, and — on a commit
+//! response — performs the write-back itself, publishing the whole batch
+//! with a single GTS bump once its turn arrives (§III-B).
+
+use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
+use gpu_sim::{full_mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use stm_core::mv_exec::{MvExec, MvExecConfig};
+use stm_core::{Phase, TxSource, VBoxHeap};
+
+use crate::protocol::{
+    CommitProtocol, RequestSetArea, OUTCOME_ABORT, OUTCOME_COMMIT_BASE, OUTCOME_NONE,
+};
+use crate::variant::CsmvVariant;
+
+/// Warp-level phase of the client kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase_ {
+    /// Fetch transactions and read the GTS.
+    Begin,
+    /// Execute bodies (the request payload fills in as a side effect).
+    Bodies,
+    /// Commit ROTs / abort version-overflow lanes (no memory traffic).
+    Settle,
+    /// Intra-warp pre-validation: `lane` is the next broadcaster.
+    PreVal { lane: usize },
+    /// Write the per-lane A headers.
+    SendHdrA,
+    /// Write the per-lane B headers.
+    SendHdrB,
+    /// Flip the mailbox flag to REQUEST.
+    SendFlag,
+    /// Poll for the server's response.
+    WaitResp,
+    /// Read the 32 outcome words.
+    ReadOutcomes,
+    /// Return the mailbox to EMPTY.
+    ClearFlag,
+    /// Client-side write-back: version `widx`, sub-step 0/1/2.
+    WriteBack { widx: usize, sub: u8 },
+    /// Wait until GTS reaches `base − 1`.
+    GtsWait { base: u64, n: u64 },
+    /// Publish the batch: GTS ← base + n − 1.
+    GtsBump { base: u64, n: u64 },
+    /// Book-keep commits, then loop.
+    FinishRound,
+    /// Tell the server this warp is finished.
+    SignalDone,
+    /// Retired.
+    Finished,
+}
+
+/// One CSMV client warp.
+pub struct CsmvClient<S: TxSource> {
+    /// The shared execution engine (public for result harvesting).
+    pub exec: MvExec<S>,
+    heap: VBoxHeap,
+    proto: CommitProtocol,
+    area: RequestSetArea,
+    /// This warp's mailbox slot.
+    slot: usize,
+    gts_addr: u64,
+    done_addr: u64,
+    variant: CsmvVariant,
+    phase: Phase_,
+    /// Commit timestamps handed back by the server (0 = none).
+    lane_cts: [u64; WARP_LANES],
+    /// Per-lane write-back head registers.
+    lane_head: [u64; WARP_LANES],
+}
+
+impl<S: TxSource> CsmvClient<S> {
+    /// Build a client warp bound to mailbox `slot`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        sources: Vec<S>,
+        thread_base: usize,
+        exec_cfg: MvExecConfig,
+        heap: VBoxHeap,
+        proto: CommitProtocol,
+        slot: usize,
+        gts_addr: u64,
+        done_addr: u64,
+        variant: CsmvVariant,
+    ) -> Self {
+        let area = proto.set_area(slot);
+        Self {
+            exec: MvExec::new(sources, thread_base, exec_cfg),
+            heap,
+            proto,
+            area,
+            slot,
+            gts_addr,
+            done_addr,
+            variant,
+            phase: Phase_::Begin,
+            lane_cts: [0; WARP_LANES],
+            lane_head: [0; WARP_LANES],
+        }
+    }
+
+    /// Lanes whose update transaction survived so far and awaits submission.
+    fn committing_mask(&self) -> u32 {
+        self.exec.committing_update_mask()
+    }
+
+    /// Lanes holding a server-granted commit timestamp.
+    fn committed_mask(&self) -> u32 {
+        let mut m = 0;
+        for (i, &cts) in self.lane_cts.iter().enumerate() {
+            if cts != 0 {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// First broadcaster at or after `from` for pre-validation.
+    fn next_broadcaster(&self, from: usize) -> Option<usize> {
+        (from..WARP_LANES).find(|&l| self.committing_mask() & (1 << l) != 0)
+    }
+
+    fn after_settle(&mut self) -> Phase_ {
+        if self.committing_mask() == 0 {
+            return Phase_::Begin;
+        }
+        if self.variant.pre_validation() {
+            if let Some(lane) = self.next_broadcaster(0) {
+                return Phase_::PreVal { lane };
+            }
+        }
+        Phase_::SendHdrA
+    }
+
+    /// One pre-validation step: lane `lane` broadcasts its write-set via
+    /// shuffles; every later committing lane checks it against its own
+    /// read/write-set and aborts on intersection (the survivor set is
+    /// conflict-free, so the server can batch it).
+    fn step_preval(&mut self, w: &mut WarpCtx, lane: usize) -> Phase_ {
+        w.set_phase(Phase::PreValidation.id());
+        let committing = self.committing_mask();
+        let ws_items: Vec<u64> =
+            self.exec.lanes[lane].ws.iter().map(|&(item, _)| item).collect();
+        // One shuffle per broadcast word, plus the compare ALU work.
+        let mut regs = [0u64; WARP_LANES];
+        let mut losers: u32 = 0;
+        for &item in &ws_items {
+            regs[lane] = item;
+            let got = w.shfl(committing, &regs, |_| lane);
+            for j in (lane + 1)..WARP_LANES {
+                if committing & (1 << j) == 0 || losers & (1 << j) != 0 {
+                    continue;
+                }
+                let e = got[j];
+                let lj = &self.exec.lanes[j];
+                if lj.rs.contains(&e) || lj.ws.iter().any(|&(it, _)| it == e) {
+                    losers |= 1 << j;
+                }
+            }
+        }
+        let compares = (ws_items.len() as u64) * ((committing.count_ones()) as u64);
+        w.alu(committing, compares.max(1));
+        let now = w.now();
+        for j in 0..WARP_LANES {
+            if losers & (1 << j) != 0 {
+                self.exec.abort_lane(j, now);
+            }
+        }
+        match self.next_broadcaster(lane + 1) {
+            Some(next) => Phase_::PreVal { lane: next },
+            None => {
+                if self.committing_mask() == 0 {
+                    Phase_::Begin
+                } else {
+                    Phase_::SendHdrA
+                }
+            }
+        }
+    }
+
+    fn leader_lane(&self) -> usize {
+        0
+    }
+
+    /// Current warp phase, for diagnostics.
+    pub fn debug_phase(&self) -> String {
+        format!("{:?} committing={:032b}", self.phase, self.committing_mask())
+    }
+}
+
+impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        match self.phase {
+            Phase_::Begin => {
+                self.lane_cts = [0; WARP_LANES];
+                if self.exec.begin_round(w, self.gts_addr) {
+                    self.phase = Phase_::Bodies;
+                } else {
+                    self.phase = Phase_::SignalDone;
+                }
+                StepOutcome::Running
+            }
+            Phase_::Bodies => {
+                if self.exec.step_bodies(w, &self.heap, &self.area) {
+                    self.phase = Phase_::Settle;
+                }
+                StepOutcome::Running
+            }
+            Phase_::Settle => {
+                w.set_phase(Phase::Execution.id());
+                let now = w.now();
+                let mut settled = 0u64;
+                for lane in 0..WARP_LANES {
+                    let l = &self.exec.lanes[lane];
+                    if l.logic.is_none() {
+                        continue;
+                    }
+                    if l.overflowed() {
+                        self.exec.abort_lane(lane, now);
+                        settled += 1;
+                    } else if l.body_done() && l.is_rot() {
+                        let snapshot = l.snapshot;
+                        self.exec.commit_lane(lane, now, None, snapshot);
+                        settled += 1;
+                    }
+                }
+                w.alu(full_mask(), settled.max(1));
+                self.phase = self.after_settle();
+                StepOutcome::Running
+            }
+            Phase_::PreVal { lane } => {
+                self.phase = self.step_preval(w, lane);
+                StepOutcome::Running
+            }
+            Phase_::SendHdrA => {
+                w.set_phase(Phase::WaitServer.id());
+                let committing = self.committing_mask();
+                let lanes = &self.exec.lanes;
+                let proto = &self.proto;
+                let slot = self.slot;
+                w.global_write(
+                    full_mask(),
+                    |l| proto.hdr_a_addr(slot, l),
+                    |l| {
+                        CommitProtocol::pack_hdr_a(
+                            committing & (1 << l) != 0,
+                            lanes[l].snapshot,
+                        )
+                    },
+                );
+                self.phase = Phase_::SendHdrB;
+                StepOutcome::Running
+            }
+            Phase_::SendHdrB => {
+                w.set_phase(Phase::WaitServer.id());
+                let lanes = &self.exec.lanes;
+                let proto = &self.proto;
+                let slot = self.slot;
+                w.global_write(
+                    full_mask(),
+                    |l| proto.hdr_b_addr(slot, l),
+                    |l| CommitProtocol::pack_hdr_b(lanes[l].rs.len(), lanes[l].ws.len()),
+                );
+                self.phase = Phase_::SendFlag;
+                StepOutcome::Running
+            }
+            Phase_::SendFlag => {
+                w.set_phase(Phase::WaitServer.id());
+                let leader = self.leader_lane();
+                w.global_write1(
+                    leader,
+                    self.proto.mailboxes().status_addr(self.slot),
+                    STATUS_REQUEST,
+                );
+                self.phase = Phase_::WaitResp;
+                StepOutcome::Running
+            }
+            Phase_::WaitResp => {
+                w.set_phase(Phase::WaitServer.id());
+                let leader = self.leader_lane();
+                let st =
+                    w.global_read1(leader, self.proto.mailboxes().status_addr(self.slot));
+                if st == STATUS_RESPONSE {
+                    self.phase = Phase_::ReadOutcomes;
+                } else {
+                    w.poll_wait();
+                }
+                StepOutcome::Running
+            }
+            Phase_::ReadOutcomes => {
+                w.set_phase(Phase::WaitServer.id());
+                let proto = &self.proto;
+                let slot = self.slot;
+                let outcomes = w.global_read(full_mask(), |l| proto.outcome_addr(slot, l));
+                let now = w.now();
+                for lane in 0..WARP_LANES {
+                    match outcomes[lane] {
+                        OUTCOME_NONE => {}
+                        OUTCOME_ABORT => self.exec.abort_lane(lane, now),
+                        word => {
+                            debug_assert!(word >= OUTCOME_COMMIT_BASE);
+                            self.lane_cts[lane] = word - OUTCOME_COMMIT_BASE;
+                        }
+                    }
+                }
+                self.phase = Phase_::ClearFlag;
+                StepOutcome::Running
+            }
+            Phase_::ClearFlag => {
+                w.set_phase(Phase::WaitServer.id());
+                let leader = self.leader_lane();
+                w.global_write1(
+                    leader,
+                    self.proto.mailboxes().status_addr(self.slot),
+                    STATUS_EMPTY,
+                );
+                let committed = self.committed_mask();
+                self.phase = if committed == 0 {
+                    // Whole batch aborted (or OnlyCs with no survivors).
+                    Phase_::FinishRound
+                } else if self.variant.client_write_back() {
+                    Phase_::WriteBack { widx: 0, sub: 0 }
+                } else {
+                    // OnlyCs: the server already wrote back and bumped GTS.
+                    Phase_::FinishRound
+                };
+                StepOutcome::Running
+            }
+            Phase_::WriteBack { widx, sub } => {
+                w.set_phase(Phase::WriteBack.id());
+                let committed = self.committed_mask();
+                // Lanes that still have a version to apply at this index.
+                let mut mask = 0u32;
+                for l in 0..WARP_LANES {
+                    if committed & (1 << l) != 0 && widx < self.exec.lanes[l].ws.len() {
+                        mask |= 1 << l;
+                    }
+                }
+                if mask == 0 {
+                    // Write-back complete: compute the batch window.
+                    let ctss: Vec<u64> = (0..WARP_LANES)
+                        .filter(|&l| committed & (1 << l) != 0)
+                        .map(|l| self.lane_cts[l])
+                        .collect();
+                    let base = *ctss.iter().min().unwrap();
+                    let n = ctss.len() as u64;
+                    debug_assert_eq!(
+                        *ctss.iter().max().unwrap(),
+                        base + n - 1,
+                        "server must assign consecutive cts within a batch"
+                    );
+                    w.alu(full_mask(), 2);
+                    self.phase = Phase_::GtsWait { base, n };
+                    return StepOutcome::Running;
+                }
+                let heap = self.heap.clone();
+                let lanes = &self.exec.lanes;
+                match sub {
+                    0 => {
+                        let heads =
+                            w.global_read(mask, |l| heap.head_addr(lanes[l].ws[widx].0));
+                        for l in 0..WARP_LANES {
+                            if mask & (1 << l) != 0 {
+                                self.lane_head[l] = heads[l];
+                            }
+                        }
+                        self.phase = Phase_::WriteBack { widx, sub: 1 };
+                    }
+                    1 => {
+                        let lane_head = self.lane_head;
+                        let lane_cts = self.lane_cts;
+                        w.global_write(
+                            mask,
+                            |l| {
+                                let (item, _) = lanes[l].ws[widx];
+                                heap.version_addr(item, heap.next_slot(lane_head[l]))
+                            },
+                            |l| {
+                                let (_, value) = lanes[l].ws[widx];
+                                stm_core::vbox::pack_version(lane_cts[l], value)
+                            },
+                        );
+                        self.phase = Phase_::WriteBack { widx, sub: 2 };
+                    }
+                    _ => {
+                        let lane_head = self.lane_head;
+                        w.global_write(
+                            mask,
+                            |l| heap.head_addr(lanes[l].ws[widx].0),
+                            |l| heap.next_slot(lane_head[l]),
+                        );
+                        self.phase = Phase_::WriteBack { widx: widx + 1, sub: 0 };
+                    }
+                }
+                StepOutcome::Running
+            }
+            Phase_::GtsWait { base, n } => {
+                w.set_phase(Phase::WriteBack.id());
+                let leader = self.leader_lane();
+                let gts = w.global_read1(leader, self.gts_addr);
+                if gts == base - 1 {
+                    self.phase = Phase_::GtsBump { base, n };
+                } else {
+                    debug_assert!(gts < base, "GTS overtook this batch");
+                    w.poll_wait();
+                }
+                StepOutcome::Running
+            }
+            Phase_::GtsBump { base, n } => {
+                w.set_phase(Phase::WriteBack.id());
+                let leader = self.leader_lane();
+                // One increment by n publishes the whole batch at once.
+                w.global_write1(leader, self.gts_addr, base + n - 1);
+                self.phase = Phase_::FinishRound;
+                StepOutcome::Running
+            }
+            Phase_::FinishRound => {
+                w.set_phase(Phase::Execution.id());
+                let now = w.now();
+                let committed = self.committed_mask();
+                for lane in 0..WARP_LANES {
+                    if committed & (1 << lane) != 0 {
+                        let snapshot = self.exec.lanes[lane].snapshot;
+                        let cts = self.lane_cts[lane];
+                        self.exec.commit_lane(lane, now, Some(cts), snapshot);
+                        self.lane_cts[lane] = 0;
+                    }
+                }
+                w.alu(full_mask(), 1);
+                self.phase = Phase_::Begin;
+                StepOutcome::Running
+            }
+            Phase_::SignalDone => {
+                w.set_phase(Phase::Idle.id());
+                let leader = self.leader_lane();
+                w.global_atomic_add(leader, self.done_addr, 1);
+                self.phase = Phase_::Finished;
+                StepOutcome::Running
+            }
+            Phase_::Finished => StepOutcome::Done,
+        }
+    }
+}

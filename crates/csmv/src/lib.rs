@@ -1,0 +1,442 @@
+//! # csmv — Client-Server Multi-Versioned STM for GPUs
+//!
+//! The reference implementation of the paper's contribution, on the
+//! simulated GPU of [`gpu_sim`]. CSMV decouples transaction *execution*
+//! (client warps, spread across the device) from the *commit decision*
+//! (a server kernel pinned to one SM), which buys two things:
+//!
+//! 1. the commit metadata — the Active Transaction Record and its
+//!    reservation counter — lives in the server SM's **shared memory**,
+//!    turning the global-memory CAS convoys of conventional designs into
+//!    cheap on-chip traffic ([`atr::SharedAtr`]);
+//! 2. the server can process a client warp's transactions as one **batch**,
+//!    enabling the cooperative algorithms of §III-B: collaborative
+//!    validation, batched ATR insertion, and single-bump GTS publication.
+//!
+//! The client side ([`client::CsmvClient`]) adds the complementary
+//! mechanisms: intra-warp **pre-validation** over shuffle exchanges,
+//! **client-side write-back**, and GTS **turn-taking** (a batch publishes
+//! only when every earlier commit has). Read-only transactions never talk
+//! to the server at all — they read a consistent snapshot out of the
+//! multi-versioned boxes ([`stm_core::vbox`]) and skip commit entirely.
+//!
+//! The ablation variants of §IV-C are selected via [`CsmvVariant`].
+//!
+//! ```
+//! use csmv::{run, CsmvConfig};
+//! use workloads::{BankConfig, BankSource};
+//!
+//! let mut cfg = CsmvConfig::default();
+//! cfg.gpu.num_sms = 4; // 3 client SMs + 1 server SM
+//! let bank = BankConfig::small(64, 50);
+//! let result = run(
+//!     &cfg,
+//!     |thread| BankSource::new(&bank, 1, thread, 2),
+//!     bank.accounts,
+//!     |_| bank.initial_balance,
+//! );
+//! assert!(result.stats.commits() > 0);
+//! stm_core::check_history(&result.records, &bank.initial_state(), true).unwrap();
+//! ```
+
+pub mod atr;
+pub mod client;
+pub mod multi;
+pub mod protocol;
+pub mod server;
+pub mod variant;
+
+use gpu_sim::{Device, GpuConfig};
+use stm_core::mv_exec::MvExecConfig;
+use stm_core::{RunResult, TxSource, VBoxHeap};
+
+pub use atr::SharedAtr;
+pub use client::CsmvClient;
+pub use multi::{run_multi, MultiCsmvConfig};
+pub use protocol::CommitProtocol;
+pub use server::{ReceiverWarp, ServerControl, WorkerWarp};
+pub use variant::CsmvVariant;
+
+/// Configuration of a CSMV launch.
+#[derive(Debug, Clone)]
+pub struct CsmvConfig {
+    /// Device geometry and cost model. The last SM is the server.
+    pub gpu: GpuConfig,
+    /// Versions retained per VBox (Table V sweeps this).
+    pub versions_per_box: u64,
+    /// Client warps per client SM (64-thread blocks ⇒ 2).
+    pub warps_per_sm: usize,
+    /// Worker warps on the server SM (plus one receiver warp).
+    pub server_workers: usize,
+    /// Read-set capacity per thread (sizes the request payload).
+    pub max_rs: usize,
+    /// Write-set capacity per thread.
+    pub max_ws: usize,
+    /// ATR ring capacity in entries — bounded by shared memory; snapshots
+    /// older than the ring window abort spuriously.
+    pub atr_capacity: u64,
+    /// Record per-transaction histories for the correctness oracle.
+    pub record_history: bool,
+    /// Which mechanisms are enabled (ablations of §IV-C).
+    pub variant: CsmvVariant,
+}
+
+impl Default for CsmvConfig {
+    fn default() -> Self {
+        Self {
+            gpu: GpuConfig::default(),
+            versions_per_box: 4,
+            warps_per_sm: 2,
+            server_workers: 7,
+            max_rs: 64,
+            max_ws: 8,
+            atr_capacity: 384,
+            record_history: true,
+            variant: CsmvVariant::Full,
+        }
+    }
+}
+
+impl CsmvConfig {
+    /// Number of client warps (everything but the server SM runs clients).
+    pub fn num_client_warps(&self) -> usize {
+        (self.gpu.num_sms - 1) * self.warps_per_sm
+    }
+
+    /// Grow the ATR ring to fill whatever shared memory remains on the
+    /// server SM after the dispatch queue — larger rings mean fewer
+    /// spurious (window-overflow) aborts, so a real deployment always sizes
+    /// the ring this way. Call after setting `max_ws` and the geometry.
+    pub fn fit_atr_capacity(&mut self) {
+        let ctl_words = 3 + self.num_client_warps().max(1);
+        let free = self.gpu.shared_words_per_sm.saturating_sub(ctl_words + 1);
+        self.atr_capacity = (free / (2 + self.max_ws)).max(4) as u64;
+    }
+
+    /// Total client threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_client_warps() * gpu_sim::WARP_LANES
+    }
+}
+
+/// Run a workload to completion on CSMV.
+///
+/// * `make_source(thread_id)` builds each client thread's transaction
+///   stream;
+/// * `num_items` / `initial(item)` describe the transactional heap.
+pub fn run<S, F>(
+    cfg: &CsmvConfig,
+    mut make_source: F,
+    num_items: u64,
+    initial: impl FnMut(u64) -> u64,
+) -> RunResult
+where
+    S: TxSource + 'static,
+    F: FnMut(usize) -> S,
+{
+    assert!(cfg.gpu.num_sms >= 2, "CSMV needs at least one client SM and one server SM");
+    let server_sm = cfg.gpu.num_sms - 1;
+    let num_clients = cfg.num_client_warps();
+
+    let mut dev = Device::new(cfg.gpu.clone());
+    let gts_addr = dev.alloc_global(1);
+    let done_addr = dev.alloc_global(1);
+    let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
+    let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+    let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
+    let ctl = ServerControl::alloc(&mut dev, server_sm, num_clients);
+    // next_cts starts at 1 (commit timestamps are 1-based; GTS starts at 0).
+    dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
+
+    // -- clients -----------------------------------------------------------
+    let mut client_ids = Vec::new();
+    let mut thread_id = 0usize;
+    let mut slot = 0usize;
+    for sm in 0..server_sm {
+        for _ in 0..cfg.warps_per_sm {
+            let sources: Vec<S> =
+                (0..gpu_sim::WARP_LANES).map(|i| make_source(thread_id + i)).collect();
+            let exec_cfg = MvExecConfig {
+                record_history: cfg.record_history,
+                ..MvExecConfig::default()
+            };
+            let client = CsmvClient::new(
+                sources,
+                thread_id,
+                exec_cfg,
+                heap.clone(),
+                proto.clone(),
+                slot,
+                gts_addr,
+                done_addr,
+                cfg.variant,
+            );
+            client_ids.push(dev.spawn(sm, Box::new(client)));
+            thread_id += gpu_sim::WARP_LANES;
+            slot += 1;
+        }
+    }
+
+    // -- server ------------------------------------------------------------
+    let receiver = ReceiverWarp::new(proto.clone(), ctl.clone(), num_clients, done_addr);
+    let receiver_id = dev.spawn(server_sm, Box::new(receiver));
+    let mut worker_ids = Vec::new();
+    for _ in 0..cfg.server_workers {
+        let worker = WorkerWarp::new(
+            proto.clone(),
+            ctl.clone(),
+            atr.clone(),
+            heap.clone(),
+            gts_addr,
+            cfg.variant,
+        );
+        worker_ids.push(dev.spawn(server_sm, Box::new(worker)));
+    }
+
+    dev.run_to_completion();
+
+    let mut result = RunResult { elapsed_cycles: dev.elapsed_cycles(), ..Default::default() };
+    result.server_breakdown.add_warp(dev.warp_stats(receiver_id));
+    for id in worker_ids {
+        result.server_breakdown.add_warp(dev.warp_stats(id));
+    }
+    for id in client_ids {
+        result.client_breakdown.add_warp(dev.warp_stats(id));
+        let mut client =
+            dev.take_program(id).downcast::<CsmvClient<S>>().expect("client program type");
+        result.stats.merge(&client.exec.stats());
+        result.records.append(&mut client.exec.take_records());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use stm_core::{check_history, Phase, TxLogic, TxOp};
+    use workloads::{BankConfig, BankSource};
+
+    fn small_cfg(variant: CsmvVariant) -> CsmvConfig {
+        let mut gpu = GpuConfig::default();
+        gpu.num_sms = 5; // 4 client SMs + server
+        CsmvConfig { gpu, variant, server_workers: 3, ..Default::default() }
+    }
+
+    fn bank_run(
+        variant: CsmvVariant,
+        rot_pct: u8,
+        seed: u64,
+    ) -> (CsmvConfig, BankConfig, RunResult) {
+        let cfg = small_cfg(variant);
+        let bank = BankConfig::small(64, rot_pct);
+        let res = run(
+            &cfg,
+            |t| BankSource::new(&bank, seed, t, 3),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        (cfg, bank, res)
+    }
+
+    fn assert_correct(cfg: &CsmvConfig, bank: &BankConfig, res: &RunResult, txs_per_thread: usize) {
+        assert_eq!(
+            res.stats.commits(),
+            (cfg.num_threads() * txs_per_thread) as u64,
+            "every transaction must eventually commit"
+        );
+        let initial: HashMap<u64, u64> = bank.initial_state();
+        check_history(&res.records, &initial, true).expect("opaque history");
+        let mut heap = initial;
+        let mut updates: Vec<_> = res.records.iter().filter(|r| r.cts.is_some()).collect();
+        updates.sort_by_key(|r| r.cts.unwrap());
+        // Commit timestamps must be dense 1..=n (no gaps — the GTS
+        // turn-taking protocol relies on it).
+        for (i, r) in updates.iter().enumerate() {
+            assert_eq!(r.cts.unwrap(), i as u64 + 1, "cts must be dense");
+        }
+        for r in updates {
+            for &(item, value) in &r.writes {
+                heap.insert(item, value);
+            }
+        }
+        assert_eq!(heap.values().sum::<u64>(), bank.total_balance());
+    }
+
+    #[test]
+    fn full_variant_bank_is_correct() {
+        let (cfg, bank, res) = bank_run(CsmvVariant::Full, 30, 42);
+        assert_correct(&cfg, &bank, &res, 3);
+        // The server actually did validation work.
+        assert!(res.server_breakdown.phase(Phase::Validation) > 0);
+        // Clients never validate on their own in CSMV.
+        assert_eq!(res.client_breakdown.phase(Phase::Validation), 0);
+        // Pre-validation ran on the clients.
+        assert!(res.client_breakdown.phase(Phase::PreValidation) > 0);
+    }
+
+    #[test]
+    fn nocv_variant_bank_is_correct() {
+        let (cfg, bank, res) = bank_run(CsmvVariant::NoCv, 30, 43);
+        assert_correct(&cfg, &bank, &res, 3);
+    }
+
+    #[test]
+    fn onlycs_variant_bank_is_correct() {
+        let (cfg, bank, res) = bank_run(CsmvVariant::OnlyCs, 30, 44);
+        assert_correct(&cfg, &bank, &res, 3);
+        // OnlyCs: the server performs the write-back.
+        assert!(res.server_breakdown.phase(Phase::WriteBack) > 0);
+        assert_eq!(res.client_breakdown.phase(Phase::PreValidation), 0);
+    }
+
+    #[test]
+    fn rot_only_workload_never_contacts_server_for_commit() {
+        let (cfg, bank, res) = bank_run(CsmvVariant::Full, 100, 45);
+        assert_correct(&cfg, &bank, &res, 3);
+        assert_eq!(res.stats.aborts(), 0);
+        // No update transactions ⇒ the server never validated anything.
+        assert_eq!(res.server_breakdown.phase(Phase::Validation), 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = bank_run(CsmvVariant::Full, 20, 7).2;
+        let b = bank_run(CsmvVariant::Full, 20, 7).2;
+        assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    /// All threads increment one counter: maximal contention, pre-validation
+    /// and server validation both fire constantly.
+    #[derive(Clone)]
+    struct Incr {
+        step: u8,
+        seen: u64,
+    }
+    impl TxLogic for Incr {
+        fn is_read_only(&self) -> bool {
+            false
+        }
+        fn reset(&mut self) {
+            self.step = 0;
+        }
+        fn next(&mut self, last: Option<u64>) -> TxOp {
+            match self.step {
+                0 => {
+                    self.step = 1;
+                    TxOp::Read { item: 0 }
+                }
+                1 => {
+                    self.seen = last.unwrap();
+                    self.step = 2;
+                    TxOp::Write { item: 0, value: self.seen + 1 }
+                }
+                _ => TxOp::Finish,
+            }
+        }
+    }
+    struct Once(Option<Incr>);
+    impl stm_core::TxSource for Once {
+        type Tx = Incr;
+        fn next_tx(&mut self) -> Option<Incr> {
+            self.0.take()
+        }
+    }
+
+    #[test]
+    fn contended_counter_is_exact_on_all_variants() {
+        for variant in [CsmvVariant::Full, CsmvVariant::NoCv, CsmvVariant::OnlyCs] {
+            let mut cfg = small_cfg(variant);
+            cfg.versions_per_box = 8;
+            let res = run(&cfg, |_| Once(Some(Incr { step: 0, seen: 0 })), 4, |_| 0);
+            let n = cfg.num_threads() as u64;
+            assert_eq!(res.stats.update_commits, n, "variant {variant:?}");
+            check_history(&res.records, &HashMap::new(), true)
+                .unwrap_or_else(|e| panic!("variant {variant:?}: {e}"));
+            let max_write = res
+                .records
+                .iter()
+                .filter_map(|r| r.cts.map(|c| (c, r.writes[0].1)))
+                .max()
+                .map(|(_, v)| v)
+                .unwrap();
+            assert_eq!(max_write, n, "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn atr_window_overflow_causes_spurious_aborts_but_stays_correct() {
+        // A tiny ATR ring forces snapshots out of the validation window.
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.atr_capacity = 4;
+        cfg.versions_per_box = 16;
+        let bank = BankConfig::small(16, 0);
+        let res = run(
+            &cfg,
+            |t| BankSource::new(&bank, 9, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
+        check_history(&res.records, &bank.initial_state(), true).expect("opaque history");
+    }
+}
+
+#[cfg(test)]
+mod debug_hang {
+    use super::*;
+    use workloads::{BankConfig, BankSource};
+
+    #[test]
+    fn diagnose() {
+        let mut gpu = GpuConfig::default();
+        gpu.num_sms = 5;
+        let cfg = CsmvConfig { gpu, variant: CsmvVariant::Full, server_workers: 3, ..Default::default() };
+        let bank = BankConfig::small(64, 30);
+        // Inline copy of run() with a bounded loop and state dump.
+        let server_sm = cfg.gpu.num_sms - 1;
+        let num_clients = cfg.num_client_warps();
+        let mut dev = Device::new(cfg.gpu.clone());
+        let gts_addr = dev.alloc_global(1);
+        let done_addr = dev.alloc_global(1);
+        let heap = VBoxHeap::init(dev.global_mut(), bank.accounts, cfg.versions_per_box, |_| bank.initial_balance);
+        let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+        let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
+        let ctl = ServerControl::alloc(&mut dev, server_sm, num_clients);
+        dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
+        let mut ids = Vec::new();
+        let mut thread_id = 0;
+        let mut slot = 0;
+        for sm in 0..server_sm {
+            for _ in 0..cfg.warps_per_sm {
+                let sources: Vec<BankSource> = (0..32).map(|i| BankSource::new(&bank, 42, thread_id + i, 3)).collect();
+                let c = CsmvClient::new(sources, thread_id, Default::default(), heap.clone(), proto.clone(), slot, gts_addr, done_addr, cfg.variant);
+                ids.push(("client", dev.spawn(sm, Box::new(c))));
+                thread_id += 32; slot += 1;
+            }
+        }
+        ids.push(("receiver", dev.spawn(server_sm, Box::new(ReceiverWarp::new(proto.clone(), ctl.clone(), num_clients, done_addr)))));
+        for _ in 0..cfg.server_workers {
+            ids.push(("worker", dev.spawn(server_sm, Box::new(WorkerWarp::new(proto.clone(), ctl.clone(), atr.clone(), heap.clone(), gts_addr, cfg.variant)))));
+        }
+        for i in 0..30_000_000u64 {
+            if dev.live_warps() == 0 { println!("DONE at {i}"); return; }
+            dev.step_once();
+        }
+        println!("HUNG. GTS={} done={} next_cts={}", dev.global()[gts_addr as usize], dev.global()[done_addr as usize], dev.shared_read_host(server_sm, atr.next_cts_addr()));
+        for (kind, id) in &ids {
+            if dev.warp_done(*id) { continue; }
+            let dbg = dev.program(*id);
+            let state = if let Some(c) = dbg.downcast_ref::<CsmvClient<BankSource>>() {
+                format!("{:?}", c.debug_phase())
+            } else if let Some(w) = dbg.downcast_ref::<WorkerWarp>() {
+                format!("{:?}", w.debug_state())
+            } else if let Some(r) = dbg.downcast_ref::<ReceiverWarp>() {
+                format!("{:?}", r.debug_state())
+            } else { "?".into() };
+            println!("warp {id} {kind}: {state}");
+        }
+        panic!("hung");
+    }
+}

@@ -1,0 +1,1407 @@
+//! Multi-server CSMV — a prototype of the paper's first future-work
+//! direction (§V): *"a commit scheme that relies on multiple servers, each
+//! active on a different SM"*, attacking the single server's scalability
+//! ceiling and its under-use of the device's aggregate scratchpad.
+//!
+//! Design (documented restrictions included):
+//!
+//! * Transactional items are **hash-partitioned** across `num_servers`
+//!   commit servers (`partition = item % num_servers`); each server SM owns
+//!   a [`PartitionedAtr`] in its *own* shared memory, so the aggregate ATR
+//!   capacity scales with the server count — directly addressing the
+//!   spurious-abort problem of the bounded single ring.
+//! * **Update transactions must be partition-confined**: every item they
+//!   read or write lives in one partition (asserted at submission). This is
+//!   the simplification that makes per-partition validation sound —
+//!   conflicting transactions always meet at the same server. Cross-
+//!   partition update transactions would need a distributed commit, which
+//!   the paper leaves open and so do we. **Read-only transactions are
+//!   unrestricted**: as in all MV-STMs they validate nothing.
+//! * Commit timestamps come from a **global counter in device memory**,
+//!   reserved with one `fetch-add` per *batch* — the single point of
+//!   coordination, amortized exactly like the batched ATR insert. A
+//!   server-local reservation lock keeps each partition's local insertion
+//!   order aligned with global cts order, so validators can walk the local
+//!   ring backwards and stop at the first entry at-or-before their
+//!   snapshot.
+//! * Because one warp's batch may now split across servers, its commit
+//!   timestamps are no longer consecutive; clients publish **progressively**
+//!   (each committed transaction bumps the GTS when its turn arrives,
+//!   runs of consecutive timestamps bump in one write).
+
+use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
+use gpu_sim::{full_mask, Device, GpuConfig, Mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use stm_core::mv_exec::{unpack_ws_entry, MvExec, MvExecConfig};
+use stm_core::{Phase, RunResult, TxSource, VBoxHeap};
+
+use crate::protocol::{
+    CommitProtocol, RequestSetArea, OUTCOME_ABORT, OUTCOME_COMMIT_BASE, OUTCOME_NONE,
+};
+use crate::server::{ReceiverWarp, ServerControl};
+
+/// Configuration of a multi-server CSMV launch.
+#[derive(Debug, Clone)]
+pub struct MultiCsmvConfig {
+    /// Device geometry; the last `num_servers` SMs run commit servers.
+    pub gpu: GpuConfig,
+    /// Number of commit-server SMs.
+    pub num_servers: usize,
+    /// Versions per VBox.
+    pub versions_per_box: u64,
+    /// Client warps per client SM.
+    pub warps_per_sm: usize,
+    /// Worker warps per server SM (plus one receiver each).
+    pub server_workers: usize,
+    /// Read-set capacity per thread.
+    pub max_rs: usize,
+    /// Write-set capacity per thread.
+    pub max_ws: usize,
+    /// ATR ring capacity per server, in entries.
+    pub atr_capacity: u64,
+    /// Record per-transaction histories.
+    pub record_history: bool,
+}
+
+impl Default for MultiCsmvConfig {
+    fn default() -> Self {
+        Self {
+            gpu: GpuConfig::default(),
+            num_servers: 2,
+            versions_per_box: 4,
+            warps_per_sm: 2,
+            server_workers: 3,
+            max_rs: 64,
+            max_ws: 8,
+            atr_capacity: 384,
+            record_history: true,
+        }
+    }
+}
+
+impl MultiCsmvConfig {
+    /// Client warps (every SM not running a server).
+    pub fn num_client_warps(&self) -> usize {
+        (self.gpu.num_sms - self.num_servers) * self.warps_per_sm
+    }
+
+    /// Total client threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_client_warps() * WARP_LANES
+    }
+
+    /// The partition an item belongs to.
+    pub fn partition_of(&self, item: u64) -> usize {
+        (item % self.num_servers as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned ATR: local ring, global commit timestamps
+// ---------------------------------------------------------------------------
+
+/// One server's ATR: ring slots tagged with a *local* sequence number,
+/// each carrying the entry's *global* commit timestamp.
+///
+/// ```text
+/// word 0                    : reservation lock (0 free / 1 held)
+/// word 1                    : next_local — local sequence of the next entry
+/// word 2 + s·(3 + max_ws)   : slot s = [seq][cts][ws_len][items × max_ws]
+/// ```
+///
+/// Local sequence order equals global cts order (reservations happen under
+/// the lock), so a validator walks backwards from `next_local − 1` and can
+/// stop at the first entry whose cts ≤ its snapshot.
+#[derive(Debug, Clone)]
+pub struct PartitionedAtr {
+    base: u64,
+    capacity: u64,
+    max_ws: usize,
+}
+
+impl PartitionedAtr {
+    /// Allocate in `sm`'s shared memory.
+    pub fn alloc(dev: &mut Device, sm: usize, capacity: u64, max_ws: usize) -> Self {
+        let words = 2 + capacity as usize * (3 + max_ws);
+        let base = dev.alloc_shared(sm, words);
+        Self { base, capacity, max_ws }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Address of the reservation lock.
+    pub fn lock_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Address of the `next_local` word.
+    pub fn next_local_addr(&self) -> u64 {
+        self.base + 1
+    }
+
+    /// Ring slot of local sequence `seq` (0-based).
+    pub fn slot_of(&self, seq: u64) -> u64 {
+        seq % self.capacity
+    }
+
+    /// Address of slot `s`'s local-sequence tag (published last; the tag for
+    /// sequence `seq` is `seq + 1`, so 0 means "never written").
+    pub fn slot_seq_addr(&self, s: u64) -> u64 {
+        self.base + 2 + s * (3 + self.max_ws as u64)
+    }
+
+    /// Address of slot `s`'s global-cts word.
+    pub fn slot_cts_addr(&self, s: u64) -> u64 {
+        self.slot_seq_addr(s) + 1
+    }
+
+    /// Address of slot `s`'s `ws_len` word.
+    pub fn slot_len_addr(&self, s: u64) -> u64 {
+        self.slot_seq_addr(s) + 2
+    }
+
+    /// Address of slot `s`'s `k`-th item word.
+    pub fn slot_item_addr(&self, s: u64, k: u64) -> u64 {
+        debug_assert!((k as usize) < self.max_ws);
+        self.slot_seq_addr(s) + 3 + k
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-server worker
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct MTx {
+    lane: usize,
+    snapshot: u64,
+    rs_len: usize,
+    ws_len: usize,
+    rs_items: Vec<u64>,
+    ws_pairs: Vec<(u64, u64)>,
+    valid: bool,
+    cts: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MState {
+    Pop,
+    PopCas { head: u64 },
+    ReadEntry { head: u64 },
+    ReadHdrA,
+    ReadHdrB,
+    Fetch,
+    /// Read `next_local` → the backward-walk start.
+    ReadTail,
+    /// Validate tx `txi` walking down from local sequence `hi` (exclusive);
+    /// `tail` is the batch's validation target, `walked` counts visited
+    /// entries (ring-capacity guard).
+    WalkBack { txi: usize, hi: u64, walked: u64, tail: u64 },
+    /// Take the reservation lock.
+    Lock { tail: u64 },
+    /// Lock held: re-read `next_local` (revalidate the delta if it moved).
+    Recheck { tail: u64 },
+    /// Reserve global timestamps for the survivors (one fetch-add).
+    ReserveGlobal { tail: u64 },
+    /// Write the entries' item words.
+    InsertItems { tail: u64, widx: usize },
+    /// Write cts + len words.
+    InsertMeta { tail: u64 },
+    /// Bump `next_local`, publish seq tags, release the lock.
+    Publish { tail: u64, sub: u8 },
+    WriteOutcomes,
+    SetResponse,
+    Finished,
+}
+
+/// A commit-server worker for one partition.
+pub struct MultiWorker {
+    /// This server's own mailbox block (status + headers + outcomes).
+    proto: CommitProtocol,
+    /// The device-wide payload region holding every warp's read/write-sets
+    /// (shared across servers — the sets are written once by the clients).
+    payload: CommitProtocol,
+    ctl: ServerControl,
+    atr: PartitionedAtr,
+    /// Global-memory address of the shared cts counter (next cts to assign).
+    global_cts_addr: u64,
+    slot: usize,
+    txs: Vec<MTx>,
+    st: MState,
+}
+
+impl MultiWorker {
+    /// Build a worker for a server whose control block and mailboxes are
+    /// `ctl`/`proto`; `payload` addresses the shared read/write-set region.
+    pub fn new(
+        proto: CommitProtocol,
+        payload: CommitProtocol,
+        ctl: ServerControl,
+        atr: PartitionedAtr,
+        global_cts_addr: u64,
+    ) -> Self {
+        Self {
+            proto,
+            payload,
+            ctl,
+            atr,
+            global_cts_addr,
+            slot: 0,
+            txs: Vec::new(),
+            st: MState::Pop,
+        }
+    }
+
+    fn n_valid(&self) -> u64 {
+        self.txs.iter().filter(|t| t.valid).count() as u64
+    }
+
+    fn next_valid(&self, from: usize) -> Option<usize> {
+        (from..self.txs.len()).find(|&i| self.txs[i].valid)
+    }
+
+    /// Start (or continue) the backward validation walk for the batch from
+    /// local tail `tail`.
+    fn start_walk(&mut self, tail: u64) -> MState {
+        match self.next_valid(0) {
+            Some(txi) => MState::WalkBack { txi, hi: tail, walked: 0, tail },
+            None => MState::Lock { tail },
+        }
+    }
+
+    /// Next walk state after finishing (or failing) tx `txi`.
+    fn after_walk(&mut self, txi: usize, tail: u64) -> MState {
+        match self.next_valid(txi + 1) {
+            Some(next) => MState::WalkBack { txi: next, hi: tail, walked: 0, tail },
+            None => MState::Lock { tail },
+        }
+    }
+}
+
+impl WarpProgram for MultiWorker {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        match std::mem::replace(&mut self.st, MState::Pop) {
+            MState::Pop => {
+                w.set_phase(Phase::ServerIdle.id());
+                let ctl = &self.ctl;
+                let words = w.shared_read(0b111, |l| match l {
+                    0 => ctl.q_head_addr(),
+                    1 => ctl.q_tail_addr(),
+                    _ => ctl.shutdown_addr(),
+                });
+                let (head, tail, shutdown) = (words[0], words[1], words[2]);
+                if head == tail {
+                    if shutdown != 0 {
+                        self.st = MState::Finished;
+                        return StepOutcome::Done;
+                    }
+                    w.poll_wait();
+                    self.st = MState::Pop;
+                } else {
+                    self.st = MState::PopCas { head };
+                }
+                StepOutcome::Running
+            }
+            MState::PopCas { head } => {
+                w.set_phase(Phase::ServerIdle.id());
+                let old = w.shared_cas1(0, self.ctl.q_head_addr(), head, head + 1);
+                self.st = if old == head { MState::ReadEntry { head } } else { MState::Pop };
+                StepOutcome::Running
+            }
+            MState::ReadEntry { head } => {
+                w.set_phase(Phase::ServerIdle.id());
+                self.slot = w.shared_read1(0, self.ctl.q_entry_addr(head)) as usize;
+                self.st = MState::ReadHdrA;
+                StepOutcome::Running
+            }
+            MState::ReadHdrA => {
+                w.set_phase(Phase::Validation.id());
+                let proto = &self.proto;
+                let slot = self.slot;
+                let hdrs = w.global_read(full_mask(), |l| proto.hdr_a_addr(slot, l));
+                self.txs.clear();
+                for (lane, &h) in hdrs.iter().enumerate() {
+                    let (committing, snapshot) = CommitProtocol::unpack_hdr_a(h);
+                    if committing {
+                        self.txs.push(MTx {
+                            lane,
+                            snapshot,
+                            rs_len: 0,
+                            ws_len: 0,
+                            rs_items: Vec::new(),
+                            ws_pairs: Vec::new(),
+                            valid: true,
+                            cts: 0,
+                        });
+                    }
+                }
+                self.st = MState::ReadHdrB;
+                StepOutcome::Running
+            }
+            MState::ReadHdrB => {
+                w.set_phase(Phase::Validation.id());
+                let proto = &self.proto;
+                let slot = self.slot;
+                let hdrs = w.global_read(full_mask(), |l| proto.hdr_b_addr(slot, l));
+                for tx in self.txs.iter_mut() {
+                    let (rs_len, ws_len) = CommitProtocol::unpack_hdr_b(hdrs[tx.lane]);
+                    tx.rs_len = rs_len;
+                    tx.ws_len = ws_len;
+                }
+                self.st = MState::Fetch;
+                StepOutcome::Running
+            }
+            MState::Fetch => {
+                w.set_phase(Phase::Validation.id());
+                // Collaborative fetch: broadcast reads, one payload word at a
+                // time (same pattern as the single-server Full variant).
+                let proto = self.payload.clone();
+                let slot = self.slot;
+                let mut sched: Vec<(usize, bool, usize)> = Vec::new();
+                for (ti, tx) in self.txs.iter().enumerate() {
+                    for e in 0..tx.rs_len {
+                        sched.push((ti, false, e));
+                    }
+                    for e in 0..tx.ws_len {
+                        sched.push((ti, true, e));
+                    }
+                }
+                if !sched.is_empty() {
+                    let txs = &self.txs;
+                    let words = w.global_read_bulk(full_mask(), sched.len(), |_, i| {
+                        let (ti, is_ws, e) = sched[i];
+                        let lane = txs[ti].lane;
+                        if is_ws {
+                            proto.ws_addr(slot, lane, e)
+                        } else {
+                            proto.rs_addr(slot, lane, e)
+                        }
+                    });
+                    for (i, &(ti, is_ws, _)) in sched.iter().enumerate() {
+                        let word = words[i][0];
+                        if is_ws {
+                            self.txs[ti].ws_pairs.push(unpack_ws_entry(word));
+                        } else {
+                            self.txs[ti].rs_items.push(word);
+                        }
+                    }
+                }
+                self.st = MState::ReadTail;
+                StepOutcome::Running
+            }
+            MState::ReadTail => {
+                w.set_phase(Phase::Validation.id());
+                let tail = w.shared_read1(0, self.atr.next_local_addr());
+                self.st = self.start_walk(tail);
+                StepOutcome::Running
+            }
+            MState::WalkBack { txi, hi, walked, tail } => {
+                w.set_phase(Phase::Validation.id());
+                // Chunk of up to 32 entries below `hi`, walking down.
+                let budget = self.atr.capacity().saturating_sub(walked);
+                let n = hi.min(WARP_LANES as u64).min(budget);
+                if hi == 0 || n == 0 {
+                    // Reached the start of the partition's history, or
+                    // exhausted the ring without finding an entry at or
+                    // before the snapshot (window abort).
+                    if n == 0 && hi > 0 {
+                        self.txs[txi].valid = false;
+                    }
+                    self.st = self.after_walk(txi, tail);
+                    return StepOutcome::Running;
+                }
+                let lo = hi - n;
+                let mut mask: Mask = 0;
+                for j in 0..n as usize {
+                    mask |= 1 << j;
+                }
+                let atr = self.atr.clone();
+                let seqs =
+                    w.shared_read(mask, |j| atr.slot_seq_addr(atr.slot_of(lo + j as u64)));
+                // seq tag for sequence q is q+1; anything else means the slot
+                // was recycled (newer) or is still being written (older/0).
+                let mut recycled = false;
+                let mut in_flight = false;
+                for j in 0..n as usize {
+                    let want = lo + j as u64 + 1;
+                    if seqs[j] > want {
+                        recycled = true;
+                    } else if seqs[j] < want {
+                        in_flight = true;
+                    }
+                }
+                if in_flight {
+                    w.poll_wait();
+                    self.st = MState::WalkBack { txi, hi, walked, tail };
+                    return StepOutcome::Running;
+                }
+                if recycled {
+                    // Needed history fell out of the ring.
+                    self.txs[txi].valid = false;
+                    self.st = self.after_walk(txi, tail);
+                    return StepOutcome::Running;
+                }
+                let ctss = w.shared_read(mask, |j| atr.slot_cts_addr(atr.slot_of(lo + j as u64)));
+                let lens = w.shared_read(mask, |j| atr.slot_len_addr(atr.slot_of(lo + j as u64)));
+                let snapshot = self.txs[txi].snapshot;
+                // Which entries in this chunk are newer than the snapshot?
+                let relevant: Vec<usize> =
+                    (0..n as usize).filter(|&j| ctss[j] > snapshot).collect();
+                let mut conflict = false;
+                if !relevant.is_empty() {
+                    let max_len = relevant.iter().map(|&j| lens[j]).max().unwrap();
+                    let mut items: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
+                    for k in 0..max_len {
+                        let mut kmask: Mask = 0;
+                        for &j in &relevant {
+                            if k < lens[j] {
+                                kmask |= 1 << j;
+                            }
+                        }
+                        let row = w.shared_read(kmask, |j| {
+                            atr.slot_item_addr(atr.slot_of(lo + j as u64), k)
+                        });
+                        for &j in &relevant {
+                            if k < lens[j] {
+                                items[j].push(row[j]);
+                            }
+                        }
+                    }
+                    let tx = &self.txs[txi];
+                    let total: u64 = relevant.iter().map(|&j| lens[j]).sum();
+                    w.alu(
+                        full_mask(),
+                        (((tx.rs_len + tx.ws_len) as u64 * total.max(1)) / 32).max(1),
+                    );
+                    'outer: for &j in &relevant {
+                        for e in tx
+                            .rs_items
+                            .iter()
+                            .chain(tx.ws_pairs.iter().map(|(i, _)| i))
+                        {
+                            if items[j].contains(e) {
+                                conflict = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                let done_walking =
+                    conflict || relevant.len() < n as usize; // hit cts ≤ snapshot
+                if conflict {
+                    self.txs[txi].valid = false;
+                }
+                self.st = if done_walking {
+                    self.after_walk(txi, tail)
+                } else {
+                    MState::WalkBack { txi, hi: lo, walked: walked + n, tail }
+                };
+                StepOutcome::Running
+            }
+            MState::Lock { tail } => {
+                w.set_phase(Phase::RecordInsert.id());
+                if self.n_valid() == 0 {
+                    self.st = MState::WriteOutcomes;
+                    return StepOutcome::Running;
+                }
+                let old = w.shared_cas1(0, self.atr.lock_addr(), 0, 1);
+                self.st = if old == 0 {
+                    MState::Recheck { tail }
+                } else {
+                    MState::Lock { tail }
+                };
+                StepOutcome::Running
+            }
+            MState::Recheck { tail } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let cur = w.shared_read1(0, self.atr.next_local_addr());
+                if cur != tail {
+                    // New entries since validation: drop the lock and
+                    // revalidate the delta ([tail, cur) walking back is just
+                    // the full walk again — entries below tail are already
+                    // proven clean, and the walk stops at cts ≤ snapshot).
+                    w.shared_write1(0, self.atr.lock_addr(), 0);
+                    self.st = self.start_walk(cur);
+                } else {
+                    self.st = MState::ReserveGlobal { tail };
+                }
+                StepOutcome::Running
+            }
+            MState::ReserveGlobal { tail } => {
+                w.set_phase(Phase::RecordInsert.id());
+                // The single global synchronization: one fetch-add per batch
+                // on the device-memory cts counter.
+                let n = self.n_valid();
+                let base = w.global_atomic_add(0, self.global_cts_addr, n);
+                let mut cts = base;
+                for tx in self.txs.iter_mut() {
+                    if tx.valid {
+                        tx.cts = cts;
+                        cts += 1;
+                    }
+                }
+                self.st = MState::InsertItems { tail, widx: 0 };
+                StepOutcome::Running
+            }
+            MState::InsertItems { tail, widx } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let valid: Vec<(usize, &MTx)> =
+                    self.txs.iter().enumerate().filter(|(_, t)| t.valid).collect();
+                let max_ws = valid.iter().map(|(_, t)| t.ws_len).max().unwrap_or(0);
+                if widx >= max_ws {
+                    self.st = MState::InsertMeta { tail };
+                    return StepOutcome::Running;
+                }
+                let mut mask: Mask = 0;
+                for (k, (_, tx)) in valid.iter().enumerate() {
+                    if widx < tx.ws_len {
+                        mask |= 1 << k;
+                    }
+                }
+                let atr = self.atr.clone();
+                let writes: Vec<(u64, u64)> = valid
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (_, t))| {
+                        (
+                            atr.slot_item_addr(atr.slot_of(tail + k as u64), widx as u64),
+                            t.ws_pairs.get(widx).map(|&(i, _)| i).unwrap_or(0),
+                        )
+                    })
+                    .collect();
+                w.shared_write(mask, |k| writes[k].0, |k| writes[k].1);
+                self.st = MState::InsertItems { tail, widx: widx + 1 };
+                StepOutcome::Running
+            }
+            MState::InsertMeta { tail } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let valid: Vec<(u64, u64)> = self
+                    .txs
+                    .iter()
+                    .filter(|t| t.valid)
+                    .map(|t| (t.cts, t.ws_len as u64))
+                    .collect();
+                let mut mask: Mask = 0;
+                for k in 0..valid.len() {
+                    mask |= 1 << k;
+                }
+                let atr = self.atr.clone();
+                w.shared_write(
+                    mask,
+                    |k| atr.slot_cts_addr(atr.slot_of(tail + k as u64)),
+                    |k| valid[k].0,
+                );
+                w.shared_write(
+                    mask,
+                    |k| atr.slot_len_addr(atr.slot_of(tail + k as u64)),
+                    |k| valid[k].1,
+                );
+                self.st = MState::Publish { tail, sub: 0 };
+                StepOutcome::Running
+            }
+            MState::Publish { tail, sub } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let n = self.n_valid();
+                match sub {
+                    0 => {
+                        // Publish the seq tags (entries become visible).
+                        let mut mask: Mask = 0;
+                        for k in 0..n as usize {
+                            mask |= 1 << k;
+                        }
+                        let atr = self.atr.clone();
+                        w.shared_write(
+                            mask,
+                            |k| atr.slot_seq_addr(atr.slot_of(tail + k as u64)),
+                            |k| tail + k as u64 + 1,
+                        );
+                        self.st = MState::Publish { tail, sub: 1 };
+                    }
+                    1 => {
+                        w.shared_write1(0, self.atr.next_local_addr(), tail + n);
+                        self.st = MState::Publish { tail, sub: 2 };
+                    }
+                    _ => {
+                        w.shared_write1(0, self.atr.lock_addr(), 0);
+                        self.st = MState::WriteOutcomes;
+                    }
+                }
+                StepOutcome::Running
+            }
+            MState::WriteOutcomes => {
+                w.set_phase(Phase::RecordInsert.id());
+                let mut outcomes = [OUTCOME_NONE; WARP_LANES];
+                for tx in &self.txs {
+                    outcomes[tx.lane] =
+                        if tx.valid { OUTCOME_COMMIT_BASE + tx.cts } else { OUTCOME_ABORT };
+                }
+                let proto = &self.proto;
+                let slot = self.slot;
+                w.global_write(full_mask(), |l| proto.outcome_addr(slot, l), |l| outcomes[l]);
+                self.st = MState::SetResponse;
+                StepOutcome::Running
+            }
+            MState::SetResponse => {
+                w.set_phase(Phase::RecordInsert.id());
+                w.global_write1(0, self.proto.mailboxes().status_addr(self.slot), STATUS_RESPONSE);
+                self.st = MState::Pop;
+                StepOutcome::Running
+            }
+            MState::Finished => StepOutcome::Done,
+        }
+    }
+}
+
+
+
+// ---------------------------------------------------------------------------
+// Multi-server client
+// ---------------------------------------------------------------------------
+
+/// Client warp phase (multi-server variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum McPhase {
+    Begin,
+    Bodies,
+    Settle,
+    PreVal { lane: usize },
+    /// Submit to the `k`-th *involved* server: sub-step 0 = hdr A,
+    /// 1 = hdr B, 2 = flag.
+    Send { k: usize, sub: u8 },
+    /// Poll the `k`-th involved server for its response.
+    Wait { k: usize },
+    /// Read the `k`-th involved server's outcomes, then clear its flag.
+    Outcomes { k: usize, cleared: bool },
+    WriteBack { widx: usize, sub: u8 },
+    /// Progressive GTS publication (timestamps may be non-consecutive).
+    GtsPublish,
+    FinishRound,
+    SignalDone,
+    Finished,
+}
+
+/// One multi-server CSMV client warp.
+pub struct MultiClient<S: TxSource> {
+    /// The shared execution engine.
+    pub exec: MvExec<S>,
+    heap: VBoxHeap,
+    /// Per-server mailbox blocks (status + headers + outcomes).
+    hdr_protos: Vec<CommitProtocol>,
+    /// The shared payload region: read/write-sets are built here once during
+    /// execution and read by whichever server the batch routes to.
+    area: RequestSetArea,
+    slot: usize,
+    num_servers: usize,
+    gts_addr: u64,
+    done_addr: u64,
+    phase: McPhase,
+    /// Servers involved in the current batch.
+    involved: Vec<usize>,
+    lane_cts: [u64; WARP_LANES],
+    lane_published: [bool; WARP_LANES],
+    lane_head: [u64; WARP_LANES],
+}
+
+impl<S: TxSource> MultiClient<S> {
+    /// Build a client warp bound to mailbox `slot` on every server.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        sources: Vec<S>,
+        thread_base: usize,
+        exec_cfg: MvExecConfig,
+        heap: VBoxHeap,
+        hdr_protos: Vec<CommitProtocol>,
+        payload: &CommitProtocol,
+        slot: usize,
+        gts_addr: u64,
+        done_addr: u64,
+    ) -> Self {
+        let num_servers = hdr_protos.len();
+        Self {
+            exec: MvExec::new(sources, thread_base, exec_cfg),
+            heap,
+            hdr_protos,
+            area: payload.set_area(slot),
+            slot,
+            num_servers,
+            gts_addr,
+            done_addr,
+            phase: McPhase::Begin,
+            involved: Vec::new(),
+            lane_cts: [0; WARP_LANES],
+            lane_published: [false; WARP_LANES],
+            lane_head: [0; WARP_LANES],
+        }
+    }
+
+    /// Partition of a lane's update transaction — asserts the footprint is
+    /// partition-confined (the documented restriction of this prototype).
+    fn lane_partition(&self, lane: usize) -> usize {
+        let l = &self.exec.lanes[lane];
+        let part = (l.ws.first().expect("update tx has writes").0
+            % self.num_servers as u64) as usize;
+        for &(item, _) in &l.ws {
+            assert_eq!(
+                (item % self.num_servers as u64) as usize,
+                part,
+                "multi-server CSMV requires partition-confined update transactions"
+            );
+        }
+        for &item in &l.rs {
+            assert_eq!(
+                (item % self.num_servers as u64) as usize,
+                part,
+                "multi-server CSMV requires partition-confined update transactions"
+            );
+        }
+        part
+    }
+
+    fn committing_mask(&self) -> u32 {
+        self.exec.committing_update_mask()
+    }
+
+    /// Committing lanes belonging to server `srv`.
+    fn server_mask(&self, srv: usize) -> u32 {
+        let mut m = 0;
+        for lane in 0..WARP_LANES {
+            if self.committing_mask() & (1 << lane) != 0 && self.lane_partition(lane) == srv {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    fn committed_mask(&self) -> u32 {
+        let mut m = 0;
+        for (i, &cts) in self.lane_cts.iter().enumerate() {
+            if cts != 0 {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    fn next_broadcaster(&self, from: usize) -> Option<usize> {
+        (from..WARP_LANES).find(|&l| self.committing_mask() & (1 << l) != 0)
+    }
+
+    fn after_settle(&mut self) -> McAfterSettle {
+        if self.committing_mask() == 0 {
+            return McAfterSettle::Begin;
+        }
+        if let Some(lane) = self.next_broadcaster(0) {
+            return McAfterSettle::PreVal(lane);
+        }
+        McAfterSettle::Send
+    }
+
+    fn arm_send(&mut self) -> McPhase {
+        self.involved = (0..self.num_servers)
+            .filter(|&srv| self.server_mask(srv) != 0)
+            .collect();
+        if self.involved.is_empty() {
+            McPhase::Begin
+        } else {
+            McPhase::Send { k: 0, sub: 0 }
+        }
+    }
+}
+
+enum McAfterSettle {
+    Begin,
+    PreVal(usize),
+    Send,
+}
+
+impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        match self.phase {
+            McPhase::Begin => {
+                self.lane_cts = [0; WARP_LANES];
+                self.lane_published = [false; WARP_LANES];
+                if self.exec.begin_round(w, self.gts_addr) {
+                    self.phase = McPhase::Bodies;
+                } else {
+                    self.phase = McPhase::SignalDone;
+                }
+                StepOutcome::Running
+            }
+            McPhase::Bodies => {
+                let heap = self.heap.clone();
+                let area = self.area.clone();
+                if self.exec.step_bodies(w, &heap, &area) {
+                    self.phase = McPhase::Settle;
+                }
+                StepOutcome::Running
+            }
+            McPhase::Settle => {
+                w.set_phase(Phase::Execution.id());
+                let now = w.now();
+                let mut settled = 0u64;
+                for lane in 0..WARP_LANES {
+                    let l = &self.exec.lanes[lane];
+                    if l.logic.is_none() {
+                        continue;
+                    }
+                    if l.overflowed() {
+                        self.exec.abort_lane(lane, now);
+                        settled += 1;
+                    } else if l.body_done() && l.is_rot() {
+                        let snapshot = l.snapshot;
+                        self.exec.commit_lane(lane, now, None, snapshot);
+                        settled += 1;
+                    }
+                }
+                w.alu(full_mask(), settled.max(1));
+                self.phase = match self.after_settle() {
+                    McAfterSettle::Begin => McPhase::Begin,
+                    McAfterSettle::PreVal(lane) => McPhase::PreVal { lane },
+                    McAfterSettle::Send => self.arm_send(),
+                };
+                StepOutcome::Running
+            }
+            McPhase::PreVal { lane } => {
+                w.set_phase(Phase::PreValidation.id());
+                // Same shuffle-based exchange as the single-server client.
+                let committing = self.committing_mask();
+                let ws_items: Vec<u64> =
+                    self.exec.lanes[lane].ws.iter().map(|&(item, _)| item).collect();
+                let mut regs = [0u64; WARP_LANES];
+                let mut losers: u32 = 0;
+                for &item in &ws_items {
+                    regs[lane] = item;
+                    let got = w.shfl(committing, &regs, |_| lane);
+                    for j in (lane + 1)..WARP_LANES {
+                        if committing & (1 << j) == 0 || losers & (1 << j) != 0 {
+                            continue;
+                        }
+                        let e = got[j];
+                        let lj = &self.exec.lanes[j];
+                        if lj.rs.contains(&e) || lj.ws.iter().any(|&(it, _)| it == e) {
+                            losers |= 1 << j;
+                        }
+                    }
+                }
+                w.alu(committing, (ws_items.len() as u64).max(1));
+                let now = w.now();
+                for j in 0..WARP_LANES {
+                    if losers & (1 << j) != 0 {
+                        self.exec.abort_lane(j, now);
+                    }
+                }
+                self.phase = match self.next_broadcaster(lane + 1) {
+                    Some(next) => McPhase::PreVal { lane: next },
+                    None => {
+                        if self.committing_mask() == 0 {
+                            McPhase::Begin
+                        } else {
+                            self.arm_send()
+                        }
+                    }
+                };
+                StepOutcome::Running
+            }
+            McPhase::Send { k, sub } => {
+                w.set_phase(Phase::WaitServer.id());
+                let srv = self.involved[k];
+                let mask = self.server_mask(srv);
+                let proto = self.hdr_protos[srv].clone();
+                let slot = self.slot;
+                match sub {
+                    0 => {
+                        let lanes = &self.exec.lanes;
+                        w.global_write(
+                            full_mask(),
+                            |l| proto.hdr_a_addr(slot, l),
+                            |l| {
+                                CommitProtocol::pack_hdr_a(
+                                    mask & (1 << l) != 0,
+                                    lanes[l].snapshot,
+                                )
+                            },
+                        );
+                        self.phase = McPhase::Send { k, sub: 1 };
+                    }
+                    1 => {
+                        let lanes = &self.exec.lanes;
+                        w.global_write(
+                            full_mask(),
+                            |l| proto.hdr_b_addr(slot, l),
+                            |l| CommitProtocol::pack_hdr_b(lanes[l].rs.len(), lanes[l].ws.len()),
+                        );
+                        self.phase = McPhase::Send { k, sub: 2 };
+                    }
+                    _ => {
+                        w.global_write1(0, proto.mailboxes().status_addr(slot), STATUS_REQUEST);
+                        self.phase = if k + 1 < self.involved.len() {
+                            McPhase::Send { k: k + 1, sub: 0 }
+                        } else {
+                            McPhase::Wait { k: 0 }
+                        };
+                    }
+                }
+                StepOutcome::Running
+            }
+            McPhase::Wait { k } => {
+                w.set_phase(Phase::WaitServer.id());
+                let srv = self.involved[k];
+                let st =
+                    w.global_read1(0, self.hdr_protos[srv].mailboxes().status_addr(self.slot));
+                if st == STATUS_RESPONSE {
+                    self.phase = McPhase::Outcomes { k, cleared: false };
+                } else {
+                    w.poll_wait();
+                }
+                StepOutcome::Running
+            }
+            McPhase::Outcomes { k, cleared } => {
+                w.set_phase(Phase::WaitServer.id());
+                let srv = self.involved[k];
+                if !cleared {
+                    let proto = &self.hdr_protos[srv];
+                    let slot = self.slot;
+                    let outcomes = w.global_read(full_mask(), |l| proto.outcome_addr(slot, l));
+                    let now = w.now();
+                    for lane in 0..WARP_LANES {
+                        match outcomes[lane] {
+                            OUTCOME_NONE => {}
+                            OUTCOME_ABORT => self.exec.abort_lane(lane, now),
+                            word => self.lane_cts[lane] = word - OUTCOME_COMMIT_BASE,
+                        }
+                    }
+                    self.phase = McPhase::Outcomes { k, cleared: true };
+                } else {
+                    w.global_write1(
+                        0,
+                        self.hdr_protos[srv].mailboxes().status_addr(self.slot),
+                        STATUS_EMPTY,
+                    );
+                    self.phase = if k + 1 < self.involved.len() {
+                        McPhase::Wait { k: k + 1 }
+                    } else if self.committed_mask() == 0 {
+                        McPhase::FinishRound
+                    } else {
+                        McPhase::WriteBack { widx: 0, sub: 0 }
+                    };
+                }
+                StepOutcome::Running
+            }
+            McPhase::WriteBack { widx, sub } => {
+                w.set_phase(Phase::WriteBack.id());
+                let committed = self.committed_mask();
+                let mut mask = 0u32;
+                for l in 0..WARP_LANES {
+                    if committed & (1 << l) != 0 && widx < self.exec.lanes[l].ws.len() {
+                        mask |= 1 << l;
+                    }
+                }
+                if mask == 0 {
+                    self.phase = McPhase::GtsPublish;
+                    w.alu(full_mask(), 1);
+                    return StepOutcome::Running;
+                }
+                let heap = self.heap.clone();
+                let lanes = &self.exec.lanes;
+                match sub {
+                    0 => {
+                        let heads =
+                            w.global_read(mask, |l| heap.head_addr(lanes[l].ws[widx].0));
+                        for l in 0..WARP_LANES {
+                            if mask & (1 << l) != 0 {
+                                self.lane_head[l] = heads[l];
+                            }
+                        }
+                        self.phase = McPhase::WriteBack { widx, sub: 1 };
+                    }
+                    1 => {
+                        let lane_head = self.lane_head;
+                        let lane_cts = self.lane_cts;
+                        w.global_write(
+                            mask,
+                            |l| {
+                                let (item, _) = lanes[l].ws[widx];
+                                heap.version_addr(item, heap.next_slot(lane_head[l]))
+                            },
+                            |l| {
+                                let (_, value) = lanes[l].ws[widx];
+                                stm_core::vbox::pack_version(lane_cts[l], value)
+                            },
+                        );
+                        self.phase = McPhase::WriteBack { widx, sub: 2 };
+                    }
+                    _ => {
+                        let lane_head = self.lane_head;
+                        w.global_write(
+                            mask,
+                            |l| heap.head_addr(lanes[l].ws[widx].0),
+                            |l| heap.next_slot(lane_head[l]),
+                        );
+                        self.phase = McPhase::WriteBack { widx: widx + 1, sub: 0 };
+                    }
+                }
+                StepOutcome::Running
+            }
+            McPhase::GtsPublish => {
+                w.set_phase(Phase::WaitGts.id());
+                // Progressive publication: timestamps may be non-consecutive
+                // across servers, so publish each run of consecutive cts as
+                // its turn comes.
+                let gts = w.global_read1(0, self.gts_addr);
+                let mut new_gts = gts;
+                loop {
+                    let next = (0..WARP_LANES).find(|&l| {
+                        !self.lane_published[l] && self.lane_cts[l] == new_gts + 1
+                    });
+                    match next {
+                        Some(l) => {
+                            self.lane_published[l] = true;
+                            new_gts += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if new_gts > gts {
+                    w.global_write1(0, self.gts_addr, new_gts);
+                }
+                let pending = (0..WARP_LANES)
+                    .any(|l| self.lane_cts[l] != 0 && !self.lane_published[l]);
+                if pending {
+                    w.poll_wait();
+                } else {
+                    self.phase = McPhase::FinishRound;
+                }
+                StepOutcome::Running
+            }
+            McPhase::FinishRound => {
+                w.set_phase(Phase::Execution.id());
+                let now = w.now();
+                let committed = self.committed_mask();
+                for lane in 0..WARP_LANES {
+                    if committed & (1 << lane) != 0 {
+                        let snapshot = self.exec.lanes[lane].snapshot;
+                        let cts = self.lane_cts[lane];
+                        self.exec.commit_lane(lane, now, Some(cts), snapshot);
+                        self.lane_cts[lane] = 0;
+                    }
+                }
+                w.alu(full_mask(), 1);
+                self.phase = McPhase::Begin;
+                StepOutcome::Running
+            }
+            McPhase::SignalDone => {
+                w.set_phase(Phase::Idle.id());
+                w.global_atomic_add(0, self.done_addr, 1);
+                self.phase = McPhase::Finished;
+                StepOutcome::Running
+            }
+            McPhase::Finished => StepOutcome::Done,
+        }
+    }
+}
+
+
+
+// ---------------------------------------------------------------------------
+// Launcher
+// ---------------------------------------------------------------------------
+
+/// Run a workload on multi-server CSMV. Same contract as [`crate::run`];
+/// update transactions must be partition-confined (see the module docs).
+pub fn run_multi<S, F>(
+    cfg: &MultiCsmvConfig,
+    mut make_source: F,
+    num_items: u64,
+    initial: impl FnMut(u64) -> u64,
+) -> RunResult
+where
+    S: TxSource + 'static,
+    F: FnMut(usize) -> S,
+{
+    assert!(cfg.num_servers >= 1);
+    assert!(
+        cfg.gpu.num_sms > cfg.num_servers,
+        "need at least one client SM besides the {} server SMs",
+        cfg.num_servers
+    );
+    let num_clients = cfg.num_client_warps();
+    let first_server_sm = cfg.gpu.num_sms - cfg.num_servers;
+
+    let mut dev = Device::new(cfg.gpu.clone());
+    let gts_addr = dev.alloc_global(1);
+    let done_addr = dev.alloc_global(1);
+    let global_cts_addr = dev.alloc_global(1);
+    dev.global_mut().write(global_cts_addr, 1); // cts are 1-based
+    let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
+
+    // Shared payload region (rs/ws) + per-server header/outcome mailboxes.
+    let payload = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+    let hdr_protos: Vec<CommitProtocol> = (0..cfg.num_servers)
+        .map(|_| CommitProtocol::alloc(dev.global_mut(), num_clients, 1, 1))
+        .collect();
+
+    // -- servers ------------------------------------------------------------
+    let mut server_ids = Vec::new();
+    for srv in 0..cfg.num_servers {
+        let sm = first_server_sm + srv;
+        let atr = PartitionedAtr::alloc(&mut dev, sm, cfg.atr_capacity, cfg.max_ws);
+        let ctl = ServerControl::alloc(&mut dev, sm, num_clients);
+        let receiver =
+            ReceiverWarp::new(hdr_protos[srv].clone(), ctl.clone(), num_clients, done_addr);
+        server_ids.push(dev.spawn(sm, Box::new(receiver)));
+        for _ in 0..cfg.server_workers {
+            let worker = MultiWorker::new(
+                hdr_protos[srv].clone(),
+                payload.clone(),
+                ctl.clone(),
+                atr.clone(),
+                global_cts_addr,
+            );
+            server_ids.push(dev.spawn(sm, Box::new(worker)));
+        }
+    }
+
+    // -- clients ------------------------------------------------------------
+    let mut client_ids = Vec::new();
+    let mut thread_id = 0usize;
+    let mut slot = 0usize;
+    for sm in 0..first_server_sm {
+        for _ in 0..cfg.warps_per_sm {
+            let sources: Vec<S> =
+                (0..WARP_LANES).map(|i| make_source(thread_id + i)).collect();
+            let exec_cfg = MvExecConfig {
+                record_history: cfg.record_history,
+                ..MvExecConfig::default()
+            };
+            let client = MultiClient::new(
+                sources,
+                thread_id,
+                exec_cfg,
+                heap.clone(),
+                hdr_protos.clone(),
+                &payload,
+                slot,
+                gts_addr,
+                done_addr,
+            );
+            client_ids.push(dev.spawn(sm, Box::new(client)));
+            thread_id += WARP_LANES;
+            slot += 1;
+        }
+    }
+
+    dev.run_to_completion();
+
+    let mut result = RunResult { elapsed_cycles: dev.elapsed_cycles(), ..Default::default() };
+    for id in server_ids {
+        result.server_breakdown.add_warp(dev.warp_stats(id));
+    }
+    for id in client_ids {
+        result.client_breakdown.add_warp(dev.warp_stats(id));
+        let mut client =
+            dev.take_program(id).downcast::<MultiClient<S>>().expect("client program type");
+        result.stats.merge(&client.exec.stats());
+        result.records.append(&mut client.exec.take_records());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use stm_core::{check_history, TxLogic, TxOp};
+
+    /// A partition-confined transfer: both accounts in the same partition.
+    #[derive(Clone)]
+    struct PTransfer {
+        from: u64,
+        to: u64,
+        step: u8,
+        a: u64,
+        b: u64,
+    }
+    impl TxLogic for PTransfer {
+        fn is_read_only(&self) -> bool {
+            false
+        }
+        fn reset(&mut self) {
+            self.step = 0;
+        }
+        fn next(&mut self, last: Option<u64>) -> TxOp {
+            match self.step {
+                0 => {
+                    self.step = 1;
+                    TxOp::Read { item: self.from }
+                }
+                1 => {
+                    self.a = last.unwrap();
+                    self.step = 2;
+                    TxOp::Read { item: self.to }
+                }
+                2 => {
+                    self.b = last.unwrap();
+                    self.step = 3;
+                    let amt = 5.min(self.a);
+                    TxOp::Write { item: self.from, value: self.a - amt }
+                }
+                3 => {
+                    self.step = 4;
+                    let amt = 5.min(self.a);
+                    TxOp::Write { item: self.to, value: self.b + amt }
+                }
+                _ => TxOp::Finish,
+            }
+        }
+    }
+
+    /// A full scan (unrestricted ROT).
+    #[derive(Clone)]
+    struct Scan {
+        items: u64,
+        next: u64,
+    }
+    impl TxLogic for Scan {
+        fn is_read_only(&self) -> bool {
+            true
+        }
+        fn reset(&mut self) {
+            self.next = 0;
+        }
+        fn next(&mut self, _last: Option<u64>) -> TxOp {
+            if self.next < self.items {
+                let item = self.next;
+                self.next += 1;
+                TxOp::Read { item }
+            } else {
+                TxOp::Finish
+            }
+        }
+    }
+
+    enum Mixed {
+        T(PTransfer),
+        S(Scan),
+    }
+    impl TxLogic for Mixed {
+        fn is_read_only(&self) -> bool {
+            matches!(self, Mixed::S(_))
+        }
+        fn reset(&mut self) {
+            match self {
+                Mixed::T(t) => t.reset(),
+                Mixed::S(s) => s.reset(),
+            }
+        }
+        fn next(&mut self, last: Option<u64>) -> TxOp {
+            match self {
+                Mixed::T(t) => t.next(last),
+                Mixed::S(s) => s.next(last),
+            }
+        }
+    }
+
+    struct Src {
+        txs: Vec<Mixed>,
+    }
+    impl TxSource for Src {
+        type Tx = Mixed;
+        fn next_tx(&mut self) -> Option<Mixed> {
+            self.txs.pop()
+        }
+    }
+
+    const ITEMS: u64 = 64;
+
+    fn make_src(cfg: &MultiCsmvConfig, thread: usize, txs: usize) -> Src {
+        let servers = cfg.num_servers as u64;
+        let mut v = Vec::new();
+        for i in 0..txs {
+            if (thread + i) % 3 == 0 {
+                v.push(Mixed::S(Scan { items: ITEMS, next: 0 }));
+            } else {
+                // Same partition: from ≡ to (mod num_servers).
+                let from = ((thread as u64) * 7 + i as u64 * servers) % ITEMS;
+                let to = (from + servers * 3) % ITEMS;
+                let (from, to) = if from == to { (from, (to + servers) % ITEMS) } else { (from, to) };
+                v.push(Mixed::T(PTransfer { from, to, step: 0, a: 0, b: 0 }));
+            }
+        }
+        Src { txs: v }
+    }
+
+    fn run_small(num_servers: usize, seed_shift: usize) -> (MultiCsmvConfig, RunResult) {
+        let mut gpu = GpuConfig::default();
+        gpu.num_sms = 4 + num_servers;
+        let cfg = MultiCsmvConfig {
+            gpu,
+            num_servers,
+            versions_per_box: 8,
+            server_workers: 2,
+            ..Default::default()
+        };
+        let txs = 3;
+        let res = run_multi(
+            &cfg,
+            |t| make_src(&cfg, t + seed_shift, txs),
+            ITEMS,
+            |_| 100,
+        );
+        (cfg, res)
+    }
+
+    #[test]
+    fn multi_server_history_is_opaque() {
+        for servers in [1, 2, 4] {
+            let (cfg, res) = run_small(servers, 0);
+            assert_eq!(
+                res.stats.commits(),
+                (cfg.num_threads() * 3) as u64,
+                "{servers} servers"
+            );
+            let initial: HashMap<u64, u64> = (0..ITEMS).map(|i| (i, 100)).collect();
+            check_history(&res.records, &initial, true)
+                .unwrap_or_else(|e| panic!("{servers} servers: {e}"));
+            // Money conserved.
+            let mut heap = initial;
+            let mut updates: Vec<_> = res.records.iter().filter(|r| r.cts.is_some()).collect();
+            updates.sort_by_key(|r| r.cts.unwrap());
+            for (i, r) in updates.iter().enumerate() {
+                assert_eq!(r.cts.unwrap(), i as u64 + 1, "global cts must be dense");
+            }
+            for r in updates {
+                for &(item, value) in &r.writes {
+                    heap.insert(item, value);
+                }
+            }
+            assert_eq!(heap.values().sum::<u64>(), ITEMS * 100);
+        }
+    }
+
+    #[test]
+    fn multi_server_is_deterministic() {
+        let a = run_small(2, 1).1;
+        let b = run_small(2, 1).1;
+        assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition-confined")]
+    fn cross_partition_updates_are_rejected() {
+        let mut gpu = GpuConfig::default();
+        gpu.num_sms = 3;
+        let cfg = MultiCsmvConfig { gpu, num_servers: 2, ..Default::default() };
+        // from and to in different partitions (64 is even, offset 1).
+        let _ = run_multi(
+            &cfg,
+            |_| Src {
+                txs: vec![Mixed::T(PTransfer { from: 0, to: 1, step: 0, a: 0, b: 0 })],
+            },
+            ITEMS,
+            |_| 100,
+        );
+    }
+}

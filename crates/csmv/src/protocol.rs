@@ -1,0 +1,222 @@
+//! The commit-request wire protocol between client warps and the server.
+//!
+//! Each client warp owns one mailbox slot (see `gpu_sim::channel`). The
+//! request payload is laid out so that
+//!
+//! * the per-lane **headers** are lane-contiguous (the server's two header
+//!   reads are fully coalesced), and
+//! * each lane's **read-set and write-set are contiguous** (lane-major), so
+//!   the server's collaborative validation can broadcast-read one entry at a
+//!   time with a single 128-byte segment per access.
+//!
+//! Because the read/write-sets are built *in place* during transaction
+//! execution (the payload region doubles as the `SetArea` of the execution
+//! engine), commit submission only has to write the headers and flip the
+//! status flag — the client-side cost the paper's design counts on.
+//!
+//! ```text
+//! request:  [hdr_a × 32][hdr_b × 32][lane 0 rs × max_rs][lane 1 rs]…
+//!                                    [lane 0 ws × max_ws][lane 1 ws]…
+//!   hdr_a = committing << 32 | snapshot
+//!   hdr_b = rs_len    << 32 | ws_len
+//! response: [outcome × 32]
+//!   outcome = 0 (not committing) | 1 (abort) | 2 + cts (commit)
+//! ```
+
+use gpu_sim::channel::Mailboxes;
+use gpu_sim::mem::GlobalMemory;
+use gpu_sim::WARP_LANES;
+use stm_core::SetArea;
+
+/// Response word: lane was not part of the batch.
+pub const OUTCOME_NONE: u64 = 0;
+/// Response word: transaction failed validation.
+pub const OUTCOME_ABORT: u64 = 1;
+/// Response word bias for commits: `word = OUTCOME_COMMIT_BASE + cts`.
+pub const OUTCOME_COMMIT_BASE: u64 = 2;
+
+/// Payload geometry for one launch.
+#[derive(Debug, Clone)]
+pub struct CommitProtocol {
+    mailboxes: Mailboxes,
+    max_rs: usize,
+    max_ws: usize,
+}
+
+impl CommitProtocol {
+    /// Allocate the mailboxes for `num_client_warps` clients.
+    pub fn alloc(
+        global: &mut GlobalMemory,
+        num_client_warps: usize,
+        max_rs: usize,
+        max_ws: usize,
+    ) -> Self {
+        let req_words = 2 * WARP_LANES + WARP_LANES * (max_rs + max_ws);
+        let resp_words = WARP_LANES;
+        let mailboxes = Mailboxes::alloc(global, num_client_warps, req_words, resp_words);
+        Self { mailboxes, max_rs, max_ws }
+    }
+
+    /// The underlying mailboxes (status/flag addressing).
+    pub fn mailboxes(&self) -> &Mailboxes {
+        &self.mailboxes
+    }
+
+    /// Read-set capacity per lane.
+    pub fn max_rs(&self) -> usize {
+        self.max_rs
+    }
+
+    /// Write-set capacity per lane.
+    pub fn max_ws(&self) -> usize {
+        self.max_ws
+    }
+
+    /// Address of lane `lane`'s header-A word in `slot`'s request.
+    pub fn hdr_a_addr(&self, slot: usize, lane: usize) -> u64 {
+        self.mailboxes.req_addr(slot, lane)
+    }
+
+    /// Address of lane `lane`'s header-B word in `slot`'s request.
+    pub fn hdr_b_addr(&self, slot: usize, lane: usize) -> u64 {
+        self.mailboxes.req_addr(slot, WARP_LANES + lane)
+    }
+
+    /// Address of read-set entry `idx` of `lane` in `slot`'s request.
+    pub fn rs_addr(&self, slot: usize, lane: usize, idx: usize) -> u64 {
+        debug_assert!(idx < self.max_rs);
+        self.mailboxes
+            .req_addr(slot, 2 * WARP_LANES + lane * self.max_rs + idx)
+    }
+
+    /// Address of write-set entry `idx` of `lane` in `slot`'s request.
+    pub fn ws_addr(&self, slot: usize, lane: usize, idx: usize) -> u64 {
+        debug_assert!(idx < self.max_ws);
+        self.mailboxes.req_addr(
+            slot,
+            2 * WARP_LANES + WARP_LANES * self.max_rs + lane * self.max_ws + idx,
+        )
+    }
+
+    /// Address of lane `lane`'s outcome word in `slot`'s response.
+    pub fn outcome_addr(&self, slot: usize, lane: usize) -> u64 {
+        self.mailboxes.resp_addr(slot, lane)
+    }
+
+    /// Pack header A.
+    pub fn pack_hdr_a(committing: bool, snapshot: u64) -> u64 {
+        debug_assert!(snapshot <= u32::MAX as u64);
+        ((committing as u64) << 32) | snapshot
+    }
+
+    /// Unpack header A into `(committing, snapshot)`.
+    pub fn unpack_hdr_a(word: u64) -> (bool, u64) {
+        (word >> 32 != 0, word & 0xFFFF_FFFF)
+    }
+
+    /// Pack header B.
+    pub fn pack_hdr_b(rs_len: usize, ws_len: usize) -> u64 {
+        ((rs_len as u64) << 32) | ws_len as u64
+    }
+
+    /// Unpack header B into `(rs_len, ws_len)`.
+    pub fn unpack_hdr_b(word: u64) -> (usize, usize) {
+        ((word >> 32) as usize, (word & 0xFFFF_FFFF) as usize)
+    }
+
+    /// A [`SetArea`] view of one client warp's request payload, letting the
+    /// execution engine build the commit request in place.
+    pub fn set_area(&self, slot: usize) -> RequestSetArea {
+        RequestSetArea { proto: self.clone(), slot }
+    }
+}
+
+/// [`SetArea`] implementation backed by a mailbox request payload.
+#[derive(Debug, Clone)]
+pub struct RequestSetArea {
+    proto: CommitProtocol,
+    slot: usize,
+}
+
+impl SetArea for RequestSetArea {
+    fn rs_addr(&self, lane: usize, idx: usize) -> u64 {
+        self.proto.rs_addr(self.slot, lane, idx)
+    }
+    fn ws_addr(&self, lane: usize, idx: usize) -> u64 {
+        self.proto.ws_addr(self.slot, lane, idx)
+    }
+    fn max_rs(&self) -> usize {
+        self.proto.max_rs
+    }
+    fn max_ws(&self) -> usize {
+        self.proto.max_ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_are_lane_contiguous() {
+        let mut g = GlobalMemory::new();
+        let p = CommitProtocol::alloc(&mut g, 4, 8, 4);
+        for lane in 1..WARP_LANES {
+            assert_eq!(p.hdr_a_addr(2, lane), p.hdr_a_addr(2, lane - 1) + 1);
+            assert_eq!(p.hdr_b_addr(2, lane), p.hdr_b_addr(2, lane - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn lane_sets_are_contiguous() {
+        let mut g = GlobalMemory::new();
+        let p = CommitProtocol::alloc(&mut g, 4, 8, 4);
+        for idx in 1..8 {
+            assert_eq!(p.rs_addr(0, 3, idx), p.rs_addr(0, 3, idx - 1) + 1);
+        }
+        for idx in 1..4 {
+            assert_eq!(p.ws_addr(0, 3, idx), p.ws_addr(0, 3, idx - 1) + 1);
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut g = GlobalMemory::new();
+        let p = CommitProtocol::alloc(&mut g, 2, 4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..2 {
+            for lane in 0..WARP_LANES {
+                assert!(seen.insert(p.hdr_a_addr(slot, lane)));
+                assert!(seen.insert(p.hdr_b_addr(slot, lane)));
+                assert!(seen.insert(p.outcome_addr(slot, lane)));
+                for idx in 0..4 {
+                    assert!(seen.insert(p.rs_addr(slot, lane, idx)));
+                }
+                for idx in 0..2 {
+                    assert!(seen.insert(p.ws_addr(slot, lane, idx)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_packing_roundtrips() {
+        let a = CommitProtocol::pack_hdr_a(true, 12345);
+        assert_eq!(CommitProtocol::unpack_hdr_a(a), (true, 12345));
+        let a = CommitProtocol::pack_hdr_a(false, 0);
+        assert_eq!(CommitProtocol::unpack_hdr_a(a), (false, 0));
+        let b = CommitProtocol::pack_hdr_b(17, 3);
+        assert_eq!(CommitProtocol::unpack_hdr_b(b), (17, 3));
+    }
+
+    #[test]
+    fn set_area_matches_protocol_addresses() {
+        let mut g = GlobalMemory::new();
+        let p = CommitProtocol::alloc(&mut g, 3, 8, 4);
+        let area = p.set_area(1);
+        assert_eq!(area.rs_addr(5, 2), p.rs_addr(1, 5, 2));
+        assert_eq!(area.ws_addr(5, 2), p.ws_addr(1, 5, 2));
+        assert_eq!(area.max_rs(), 8);
+        assert_eq!(area.max_ws(), 4);
+    }
+}

@@ -1,0 +1,1051 @@
+//! The commit server: a dedicated SM running one **receiver warp** (polls
+//! client mailboxes, dispatches batches) and several **worker warps**
+//! (validate batches against the shared-memory ATR, reserve commit
+//! timestamps with a single atomic per batch, insert the entries, reply).
+//!
+//! Everything latency-critical — the ATR, the dispatch queue, `next_cts` —
+//! lives in the server SM's shared memory; only the request/response
+//! payloads and (for the OnlyCs ablation) the write-back touch global
+//! memory. This is the half of CSMV's design that turns the commit
+//! bottleneck of JVSTM-GPU's global-memory ATR into on-chip traffic.
+
+use gpu_sim::channel::{STATUS_CLAIMED, STATUS_REQUEST, STATUS_RESPONSE};
+use gpu_sim::{full_mask, single_lane, Mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use stm_core::mv_exec::unpack_ws_entry;
+use stm_core::{Phase, VBoxHeap};
+
+use crate::atr::SharedAtr;
+use crate::protocol::{CommitProtocol, OUTCOME_ABORT, OUTCOME_COMMIT_BASE, OUTCOME_NONE};
+use crate::variant::CsmvVariant;
+
+/// Shared-memory control block of the server SM: the dispatch queue plus the
+/// shutdown flag.
+#[derive(Debug, Clone)]
+pub struct ServerControl {
+    q_head: u64,
+    q_tail: u64,
+    q_base: u64,
+    q_cap: u64,
+    shutdown: u64,
+}
+
+impl ServerControl {
+    /// Allocate the control block in `sm`'s shared memory. The queue is
+    /// sized to the client count (each client has at most one outstanding
+    /// request, so it can never overflow).
+    pub fn alloc(dev: &mut gpu_sim::Device, sm: usize, num_clients: usize) -> Self {
+        let q_head = dev.alloc_shared(sm, 1);
+        let q_tail = dev.alloc_shared(sm, 1);
+        let shutdown = dev.alloc_shared(sm, 1);
+        let q_cap = num_clients.max(1) as u64;
+        let q_base = dev.alloc_shared(sm, q_cap as usize);
+        Self { q_head, q_tail, q_base, q_cap, shutdown }
+    }
+
+    /// Address of the queue-head word.
+    pub(crate) fn q_head_addr(&self) -> u64 {
+        self.q_head
+    }
+
+    /// Address of the queue-tail word.
+    pub(crate) fn q_tail_addr(&self) -> u64 {
+        self.q_tail
+    }
+
+    /// Address of the shutdown flag.
+    pub(crate) fn shutdown_addr(&self) -> u64 {
+        self.shutdown
+    }
+
+    /// Address of queue entry `idx`.
+    pub(crate) fn q_entry_addr(&self, idx: u64) -> u64 {
+        self.q_base + idx % self.q_cap
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receiver warp
+// ---------------------------------------------------------------------------
+
+/// The receiver warp: one coalesced status read covers 32 mailboxes; found
+/// requests are claimed and pushed onto the shared-memory dispatch queue.
+pub struct ReceiverWarp {
+    proto: CommitProtocol,
+    ctl: ServerControl,
+    num_clients: usize,
+    done_addr: u64,
+    /// Next chunk of 32 mailboxes to poll.
+    chunk: usize,
+    /// Requests found since the last full sweep.
+    found_in_sweep: bool,
+    /// Local tail copy (the receiver is the only producer).
+    tail: u64,
+    st: RState,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RState {
+    Poll,
+    Claim(Vec<usize>),
+    Push(Vec<usize>),
+    PushTail(u64),
+    CheckDone,
+    Shutdown,
+    Finished,
+}
+
+impl ReceiverWarp {
+    /// Build the receiver.
+    pub fn new(
+        proto: CommitProtocol,
+        ctl: ServerControl,
+        num_clients: usize,
+        done_addr: u64,
+    ) -> Self {
+        Self {
+            proto,
+            ctl,
+            num_clients,
+            done_addr,
+            chunk: 0,
+            found_in_sweep: false,
+            tail: 0,
+            st: RState::Poll,
+        }
+    }
+
+    fn num_chunks(&self) -> usize {
+        self.num_clients.div_ceil(WARP_LANES)
+    }
+
+    /// Current state, for diagnostics.
+    pub fn debug_state(&self) -> String {
+        format!("{:?} chunk={} tail={}", self.st, self.chunk, self.tail)
+    }
+}
+
+impl WarpProgram for ReceiverWarp {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        w.set_phase(Phase::Receive.id());
+        match std::mem::replace(&mut self.st, RState::Poll) {
+            RState::Poll => {
+                let lo = self.chunk * WARP_LANES;
+                let n = (self.num_clients - lo).min(WARP_LANES);
+                let mut mask: Mask = 0;
+                for l in 0..n {
+                    mask |= 1 << l;
+                }
+                let proto = &self.proto;
+                let statuses =
+                    w.global_read(mask, |l| proto.mailboxes().status_addr(lo + l));
+                let found: Vec<usize> = (0..n)
+                    .filter(|&l| statuses[l] == STATUS_REQUEST)
+                    .map(|l| lo + l)
+                    .collect();
+                self.chunk += 1;
+                let wrapped = self.chunk >= self.num_chunks();
+                if wrapped {
+                    self.chunk = 0;
+                }
+                if !found.is_empty() {
+                    self.found_in_sweep = true;
+                    self.st = RState::Claim(found);
+                } else if wrapped {
+                    let had_any = std::mem::take(&mut self.found_in_sweep);
+                    if !had_any {
+                        self.st = RState::CheckDone;
+                    } else {
+                        self.st = RState::Poll;
+                    }
+                } else {
+                    self.st = RState::Poll;
+                }
+                StepOutcome::Running
+            }
+            RState::Claim(slots) => {
+                let mut mask: Mask = 0;
+                for l in 0..slots.len() {
+                    mask |= 1 << l;
+                }
+                let proto = &self.proto;
+                w.global_write(
+                    mask,
+                    |l| proto.mailboxes().status_addr(slots[l]),
+                    |_| STATUS_CLAIMED,
+                );
+                self.st = RState::Push(slots);
+                StepOutcome::Running
+            }
+            RState::Push(slots) => {
+                let mut mask: Mask = 0;
+                for l in 0..slots.len() {
+                    mask |= 1 << l;
+                }
+                let ctl = &self.ctl;
+                let tail = self.tail;
+                w.shared_write(
+                    mask,
+                    |l| ctl.q_entry_addr(tail + l as u64),
+                    |l| slots[l] as u64,
+                );
+                self.st = RState::PushTail(slots.len() as u64);
+                StepOutcome::Running
+            }
+            RState::PushTail(k) => {
+                self.tail += k;
+                w.shared_write1(0, self.ctl.q_tail_addr(), self.tail);
+                self.st = RState::Poll;
+                StepOutcome::Running
+            }
+            RState::CheckDone => {
+                let done = w.global_read1(0, self.done_addr);
+                if done as usize >= self.num_clients {
+                    self.st = RState::Shutdown;
+                } else {
+                    w.poll_wait();
+                    self.st = RState::Poll;
+                }
+                StepOutcome::Running
+            }
+            RState::Shutdown => {
+                w.shared_write1(0, self.ctl.shutdown_addr(), 1);
+                self.st = RState::Finished;
+                StepOutcome::Running
+            }
+            RState::Finished => StepOutcome::Done,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker warp
+// ---------------------------------------------------------------------------
+
+/// One transaction of a batch under commit.
+#[derive(Debug, Clone)]
+struct TxD {
+    /// Client-warp lane the transaction came from.
+    lane: usize,
+    snapshot: u64,
+    rs_len: usize,
+    ws_len: usize,
+    /// Cached read-set items (fetched from the request payload).
+    rs_items: Vec<u64>,
+    /// Cached write-set `(item, value)` pairs.
+    ws_pairs: Vec<(u64, u64)>,
+    /// Still passing validation.
+    valid: bool,
+    /// Commit timestamps `(snapshot, validated_to]` have been checked.
+    validated_to: u64,
+    /// Assigned commit timestamp (0 until reserved).
+    cts: u64,
+}
+
+impl TxD {
+    fn items_to_check(&self) -> impl Iterator<Item = u64> + '_ {
+        self.rs_items
+            .iter()
+            .copied()
+            .chain(self.ws_pairs.iter().map(|&(i, _)| i))
+    }
+}
+
+/// Outcome of reading one ATR chunk.
+enum ChunkRead {
+    /// All entries published: per-entry `(ws_len, items)`.
+    Ready(Vec<(u64, Vec<u64>)>),
+    /// Some entry is still being written; poll.
+    InFlight,
+    /// Some needed entry was recycled; the validating snapshot is too old.
+    Recycled,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WState {
+    /// Read queue head/tail and the shutdown flag.
+    Pop,
+    /// Try to claim queue entry `head`.
+    PopCas { head: u64 },
+    /// Read the claimed queue entry.
+    ReadEntry { head: u64 },
+    /// Read the batch's A headers.
+    ReadHdrA,
+    /// Read the batch's B headers.
+    ReadHdrB,
+    /// Fetch the transactions' read/write-sets from the request payload.
+    Fetch,
+    /// Read `next_cts` to fix the validation target.
+    ReadTarget,
+    /// Collaborative validation: tx `txi`, ATR chunk starting at cts `lo`.
+    CvChunk { txi: usize, lo: u64, target: u64 },
+    /// Independent (NoCv) validation: every lane walks its own
+    /// transaction's window at its own cursor.
+    NcWalk { target: u64 },
+    /// Reserve `n_valid` commit timestamps with one CAS.
+    Reserve { target: u64 },
+    /// Write the reserved entries' item words (word index `widx`).
+    InsertItems { base: u64, widx: usize },
+    /// Write the entries' `ws_len` words.
+    InsertLens { base: u64 },
+    /// Publish the entries by writing their cts tags.
+    InsertCts { base: u64 },
+    /// OnlyCs: serial per-transaction processing, tx `txi`.
+    ScValidate { txi: usize, lo: u64, target: u64 },
+    ScReserve { txi: usize, target: u64 },
+    ScInsert { txi: usize, sub: u8 },
+    ScWriteBack { txi: usize, widx: usize, sub: u8, head: u64 },
+    ScGts { txi: usize },
+    /// Write the 32 outcome words back to the client.
+    WriteOutcomes,
+    /// Flip the mailbox status to RESPONSE.
+    SetResponse,
+    /// Retired.
+    Finished,
+}
+
+/// One worker warp of the commit server.
+pub struct WorkerWarp {
+    proto: CommitProtocol,
+    ctl: ServerControl,
+    atr: SharedAtr,
+    heap: VBoxHeap,
+    gts_addr: u64,
+    variant: CsmvVariant,
+    slot: usize,
+    txs: Vec<TxD>,
+    st: WState,
+}
+
+impl WorkerWarp {
+    /// Build a worker.
+    pub fn new(
+        proto: CommitProtocol,
+        ctl: ServerControl,
+        atr: SharedAtr,
+        heap: VBoxHeap,
+        gts_addr: u64,
+        variant: CsmvVariant,
+    ) -> Self {
+        Self {
+            proto,
+            ctl,
+            atr,
+            heap,
+            gts_addr,
+            variant,
+            slot: 0,
+            txs: Vec::new(),
+            st: WState::Pop,
+        }
+    }
+
+    /// Read one ATR chunk (≤ 32 entries at cts `lo..lo+32`, bounded by
+    /// `target`): lane `j` reads entry `lo + j`. Returns `None` if some
+    /// entry is still being written (caller polls), else the per-entry
+    /// `(ws_len, items)` list.
+    fn read_chunk(
+        &self,
+        w: &mut WarpCtx,
+        lo: u64,
+        target: u64,
+    ) -> ChunkRead {
+        let n = ((target - lo) as usize).min(WARP_LANES);
+        let mut mask: Mask = 0;
+        for j in 0..n {
+            mask |= 1 << j;
+        }
+        let atr = &self.atr;
+        let tags = w.shared_read(mask, |j| atr.slot_cts_addr(atr.slot_of(lo + j as u64)));
+        for j in 0..n {
+            let expected = lo + j as u64;
+            if tags[j] > expected {
+                // The ring recycled an entry we still needed: the snapshot
+                // fell out of the validation window mid-flight.
+                return ChunkRead::Recycled;
+            }
+            if tags[j] < expected {
+                return ChunkRead::InFlight; // writer not done — poll
+            }
+        }
+        let lens = w.shared_read(mask, |j| atr.slot_len_addr(atr.slot_of(lo + j as u64)));
+        let max_len = (0..n).map(|j| lens[j]).max().unwrap_or(0);
+        let mut items: Vec<Vec<u64>> = (0..n).map(|j| Vec::with_capacity(lens[j] as usize)).collect();
+        for k in 0..max_len {
+            let mut kmask: Mask = 0;
+            for j in 0..n {
+                if (k) < lens[j] {
+                    kmask |= 1 << j;
+                }
+            }
+            let row = w.shared_read(kmask, |j| atr.slot_item_addr(atr.slot_of(lo + j as u64), k));
+            for j in 0..n {
+                if k < lens[j] {
+                    items[j].push(row[j]);
+                }
+            }
+        }
+        ChunkRead::Ready((0..n).map(|j| (lens[j], std::mem::take(&mut items[j]))).collect())
+    }
+
+    /// Conflict test of one transaction against a decoded chunk; charges the
+    /// comparison ALU work spread over the warp.
+    fn tx_conflicts_with_chunk(
+        w: &mut WarpCtx,
+        tx: &TxD,
+        chunk: &[(u64, Vec<u64>)],
+        lanes_sharing_work: u64,
+    ) -> bool {
+        let total_items: u64 = chunk.iter().map(|(l, _)| *l).sum();
+        let compares = (tx.rs_len + tx.ws_len) as u64 * total_items.max(1);
+        w.alu(full_mask(), (compares / lanes_sharing_work).max(1));
+        for e in tx.items_to_check() {
+            for (_, items) in chunk {
+                if items.contains(&e) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Next still-valid transaction index at or after `from`.
+    fn next_valid(&self, from: usize) -> Option<usize> {
+        (from..self.txs.len()).find(|&i| self.txs[i].valid)
+    }
+
+    /// Count of transactions that passed validation.
+    fn n_valid(&self) -> u64 {
+        self.txs.iter().filter(|t| t.valid).count() as u64
+    }
+
+    /// After target moved (CAS lost): arm revalidation of the delta window.
+    fn start_validation(&mut self, target: u64) -> WState {
+        // Window check: a snapshot too far behind the ring can't validate.
+        for tx in self.txs.iter_mut() {
+            if tx.valid && !self.atr.snapshot_in_window(tx.snapshot, target) {
+                tx.valid = false; // spurious (capacity) abort
+            }
+        }
+        match self.variant {
+            CsmvVariant::Full => match self.next_valid(0) {
+                Some(txi) => {
+                    let lo = self.txs[txi].validated_to + 1;
+                    if lo >= target {
+                        self.advance_cv(txi, target)
+                    } else {
+                        WState::CvChunk { txi, lo, target }
+                    }
+                }
+                None => WState::Reserve { target },
+            },
+            CsmvVariant::NoCv => {
+                if self.txs.iter().any(|t| t.valid && t.validated_to + 1 < target) {
+                    WState::NcWalk { target }
+                } else {
+                    WState::Reserve { target }
+                }
+            }
+            CsmvVariant::OnlyCs => unreachable!("OnlyCs uses the serial path"),
+        }
+    }
+
+    /// Move collaborative validation to the next tx (or to Reserve).
+    fn advance_cv(&mut self, txi: usize, target: u64) -> WState {
+        self.txs[txi].validated_to = target - 1;
+        match self.next_valid(txi + 1) {
+            Some(next) => {
+                let lo = self.txs[next].validated_to + 1;
+                if lo >= target {
+                    self.advance_cv(next, target)
+                } else {
+                    WState::CvChunk { txi: next, lo, target }
+                }
+            }
+            None => WState::Reserve { target },
+        }
+    }
+}
+
+impl WarpProgram for WorkerWarp {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        match std::mem::replace(&mut self.st, WState::Pop) {
+            WState::Pop => {
+                w.set_phase(Phase::ServerIdle.id());
+                let ctl = &self.ctl;
+                let words = w.shared_read(0b111, |l| match l {
+                    0 => ctl.q_head_addr(),
+                    1 => ctl.q_tail_addr(),
+                    _ => ctl.shutdown_addr(),
+                });
+                let (head, tail, shutdown) = (words[0], words[1], words[2]);
+                if head == tail {
+                    if shutdown != 0 {
+                        self.st = WState::Finished;
+                        return StepOutcome::Done;
+                    }
+                    w.poll_wait();
+                    self.st = WState::Pop;
+                } else {
+                    self.st = WState::PopCas { head };
+                }
+                StepOutcome::Running
+            }
+            WState::PopCas { head } => {
+                w.set_phase(Phase::ServerIdle.id());
+                let old = w.shared_cas1(0, self.ctl.q_head_addr(), head, head + 1);
+                self.st = if old == head {
+                    WState::ReadEntry { head }
+                } else {
+                    WState::Pop
+                };
+                StepOutcome::Running
+            }
+            WState::ReadEntry { head } => {
+                w.set_phase(Phase::ServerIdle.id());
+                self.slot = w.shared_read1(0, self.ctl.q_entry_addr(head)) as usize;
+                self.st = WState::ReadHdrA;
+                StepOutcome::Running
+            }
+            WState::ReadHdrA => {
+                w.set_phase(Phase::Validation.id());
+                let proto = &self.proto;
+                let slot = self.slot;
+                let hdrs = w.global_read(full_mask(), |l| proto.hdr_a_addr(slot, l));
+                self.txs.clear();
+                for (lane, &h) in hdrs.iter().enumerate() {
+                    let (committing, snapshot) = CommitProtocol::unpack_hdr_a(h);
+                    if committing {
+                        self.txs.push(TxD {
+                            lane,
+                            snapshot,
+                            rs_len: 0,
+                            ws_len: 0,
+                            rs_items: Vec::new(),
+                            ws_pairs: Vec::new(),
+                            valid: true,
+                            validated_to: snapshot,
+                            cts: 0,
+                        });
+                    }
+                }
+                self.st = WState::ReadHdrB;
+                StepOutcome::Running
+            }
+            WState::ReadHdrB => {
+                w.set_phase(Phase::Validation.id());
+                let proto = &self.proto;
+                let slot = self.slot;
+                let hdrs = w.global_read(full_mask(), |l| proto.hdr_b_addr(slot, l));
+                for tx in self.txs.iter_mut() {
+                    let (rs_len, ws_len) = CommitProtocol::unpack_hdr_b(hdrs[tx.lane]);
+                    tx.rs_len = rs_len;
+                    tx.ws_len = ws_len;
+                }
+                self.st = WState::Fetch;
+                StepOutcome::Running
+            }
+            WState::Fetch => {
+                w.set_phase(Phase::Validation.id());
+                let proto = self.proto.clone();
+                let slot = self.slot;
+                match self.variant {
+                    CsmvVariant::Full => {
+                        // Broadcast reads: every lane targets the same payload
+                        // word (one 128-byte segment per access) — the
+                        // coalescing pattern of collaborative validation.
+                        let mut sched: Vec<(usize, bool, usize)> = Vec::new();
+                        for (ti, tx) in self.txs.iter().enumerate() {
+                            for e in 0..tx.rs_len {
+                                sched.push((ti, false, e));
+                            }
+                            for e in 0..tx.ws_len {
+                                sched.push((ti, true, e));
+                            }
+                        }
+                        if !sched.is_empty() {
+                            let txs = &self.txs;
+                            let words =
+                                w.global_read_bulk(full_mask(), sched.len(), |_, i| {
+                                    let (ti, is_ws, e) = sched[i];
+                                    let lane = txs[ti].lane;
+                                    if is_ws {
+                                        proto.ws_addr(slot, lane, e)
+                                    } else {
+                                        proto.rs_addr(slot, lane, e)
+                                    }
+                                });
+                            for (i, &(ti, is_ws, _)) in sched.iter().enumerate() {
+                                let word = words[i][0];
+                                if is_ws {
+                                    self.txs[ti].ws_pairs.push(unpack_ws_entry(word));
+                                } else {
+                                    self.txs[ti].rs_items.push(word);
+                                }
+                            }
+                        }
+                    }
+                    CsmvVariant::NoCv | CsmvVariant::OnlyCs => {
+                        // Independent fetches: lane j reads its own tx's
+                        // entries — scattered, one segment per lane.
+                        let rounds = self
+                            .txs
+                            .iter()
+                            .map(|t| t.rs_len + t.ws_len)
+                            .max()
+                            .unwrap_or(0);
+                        if rounds > 0 {
+                            let txs = &self.txs;
+                            let words = w.global_read_bulk(full_mask(), rounds, |l, i| {
+                                // Lane l handles tx l when it exists.
+                                if l < txs.len() && i < txs[l].rs_len + txs[l].ws_len {
+                                    let tx = &txs[l];
+                                    if i < tx.rs_len {
+                                        proto.rs_addr(slot, tx.lane, i)
+                                    } else {
+                                        proto.ws_addr(slot, tx.lane, i - tx.rs_len)
+                                    }
+                                } else {
+                                    // Inactive lanes re-read word 0 of the
+                                    // payload (harmless, keeps masks simple).
+                                    proto.hdr_a_addr(slot, 0)
+                                }
+                            });
+                            for (l, tx) in self.txs.iter_mut().enumerate() {
+                                for i in 0..tx.rs_len + tx.ws_len {
+                                    let word = words[i][l];
+                                    if i < tx.rs_len {
+                                        tx.rs_items.push(word);
+                                    } else {
+                                        tx.ws_pairs.push(unpack_ws_entry(word));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.st = WState::ReadTarget;
+                StepOutcome::Running
+            }
+            WState::ReadTarget => {
+                w.set_phase(Phase::Validation.id());
+                let target = w.shared_read1(0, self.atr.next_cts_addr());
+                self.st = if self.variant == CsmvVariant::OnlyCs {
+                    match self.next_valid(0) {
+                        Some(txi) => {
+                            let lo = self.txs[txi].validated_to + 1;
+                            WState::ScValidate { txi, lo, target }
+                        }
+                        None => WState::WriteOutcomes,
+                    }
+                } else {
+                    self.start_validation(target)
+                };
+                StepOutcome::Running
+            }
+            WState::CvChunk { txi, lo, target } => {
+                w.set_phase(Phase::Validation.id());
+                match self.read_chunk(w, lo, target) {
+                    ChunkRead::InFlight => {
+                        w.poll_wait();
+                        self.st = WState::CvChunk { txi, lo, target };
+                    }
+                    ChunkRead::Recycled => {
+                        // Spurious (capacity) abort, as §V's discussion of the
+                        // bounded shared-memory ATR anticipates.
+                        self.txs[txi].valid = false;
+                        self.st = match self.next_valid(txi + 1) {
+                            Some(next) => {
+                                let nlo = self.txs[next].validated_to + 1;
+                                if nlo >= target {
+                                    self.advance_cv(next, target)
+                                } else {
+                                    WState::CvChunk { txi: next, lo: nlo, target }
+                                }
+                            }
+                            None => WState::Reserve { target },
+                        };
+                    }
+                    ChunkRead::Ready(chunk) => {
+                        let conflict =
+                            Self::tx_conflicts_with_chunk(w, &self.txs[txi], &chunk, 32);
+                        if conflict {
+                            self.txs[txi].valid = false;
+                            self.st = match self.next_valid(txi + 1) {
+                                Some(next) => {
+                                    let nlo = self.txs[next].validated_to + 1;
+                                    if nlo >= target {
+                                        self.advance_cv(next, target)
+                                    } else {
+                                        WState::CvChunk { txi: next, lo: nlo, target }
+                                    }
+                                }
+                                None => WState::Reserve { target },
+                            };
+                        } else {
+                            let nlo = lo + chunk.len() as u64;
+                            self.st = if nlo >= target {
+                                self.advance_cv(txi, target)
+                            } else {
+                                WState::CvChunk { txi, lo: nlo, target }
+                            };
+                        }
+                    }
+                }
+                StepOutcome::Running
+            }
+            WState::NcWalk { target } => {
+                w.set_phase(Phase::Validation.id());
+                // Lane j walks its own tx's window at its own pace: the next
+                // entry is cts = validated_to + 1. Different slots per lane ⇒
+                // bank conflicts and divergence, the price of
+                // non-collaboration.
+                let mut mask: Mask = 0;
+                let mut ctss = [0u64; WARP_LANES];
+                for (j, tx) in self.txs.iter().enumerate() {
+                    let cts = tx.validated_to + 1;
+                    if tx.valid && cts < target {
+                        mask |= 1 << j;
+                        ctss[j] = cts;
+                    }
+                }
+                if mask == 0 {
+                    self.st = WState::Reserve { target };
+                    return StepOutcome::Running;
+                }
+                let mut mask = mask;
+                let atr = self.atr.clone();
+                let tags = w.shared_read(mask, |j| atr.slot_cts_addr(atr.slot_of(ctss[j])));
+                let mut in_flight = false;
+                for j in 0..WARP_LANES {
+                    if mask & (1 << j) == 0 {
+                        continue;
+                    }
+                    if tags[j] > ctss[j] {
+                        // Entry recycled: spurious abort for this lane's tx.
+                        self.txs[j].valid = false;
+                        mask &= !(1 << j);
+                    } else if tags[j] < ctss[j] {
+                        in_flight = true;
+                    }
+                }
+                if in_flight {
+                    w.poll_wait();
+                    self.st = WState::NcWalk { target };
+                    return StepOutcome::Running;
+                }
+                if mask == 0 {
+                    self.st = WState::NcWalk { target };
+                    return StepOutcome::Running;
+                }
+                let lens = w.shared_read(mask, |j| atr.slot_len_addr(atr.slot_of(ctss[j])));
+                let max_len = (0..WARP_LANES)
+                    .filter(|&j| mask & (1 << j) != 0)
+                    .map(|j| lens[j])
+                    .max()
+                    .unwrap_or(0);
+                let mut conflict = [false; WARP_LANES];
+                let mut compares = 0u64;
+                for kk in 0..max_len {
+                    let mut kmask: Mask = 0;
+                    for j in 0..WARP_LANES {
+                        if mask & (1 << j) != 0 && kk < lens[j] {
+                            kmask |= 1 << j;
+                        }
+                    }
+                    let row =
+                        w.shared_read(kmask, |j| atr.slot_item_addr(atr.slot_of(ctss[j]), kk));
+                    for (j, tx) in self.txs.iter().enumerate() {
+                        if kmask & (1 << j) != 0 {
+                            compares = compares.max((tx.rs_len + tx.ws_len) as u64);
+                            if tx.items_to_check().any(|e| e == row[j]) {
+                                conflict[j] = true;
+                            }
+                        }
+                    }
+                }
+                // Independent (per-lane, serial) compares: no /32 sharing.
+                w.alu(mask, compares.max(1) * max_len.max(1));
+                for (j, tx) in self.txs.iter_mut().enumerate() {
+                    if mask & (1 << j) != 0 {
+                        if conflict[j] {
+                            tx.valid = false;
+                        } else {
+                            tx.validated_to = ctss[j];
+                        }
+                    }
+                }
+                self.st = WState::NcWalk { target };
+                StepOutcome::Running
+            }
+            WState::Reserve { target } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let n = self.n_valid();
+                if n == 0 {
+                    self.st = WState::WriteOutcomes;
+                    return StepOutcome::Running;
+                }
+                // Batched insert: a single CAS reserves the whole batch.
+                let old = w.shared_cas1(0, self.atr.next_cts_addr(), target, target + n);
+                if old == target {
+                    let mut cts = target;
+                    for tx in self.txs.iter_mut() {
+                        if tx.valid {
+                            tx.cts = cts;
+                            cts += 1;
+                        }
+                    }
+                    self.st = WState::InsertItems { base: target, widx: 0 };
+                } else {
+                    // Entries [target, old) appeared: revalidate the delta.
+                    self.st = self.start_validation(old);
+                }
+                StepOutcome::Running
+            }
+            WState::InsertItems { base, widx } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let valid: Vec<&TxD> = self.txs.iter().filter(|t| t.valid).collect();
+                let max_ws = valid.iter().map(|t| t.ws_len).max().unwrap_or(0);
+                if widx >= max_ws {
+                    self.st = WState::InsertLens { base };
+                    return StepOutcome::Running;
+                }
+                let mut mask: Mask = 0;
+                for (k, tx) in valid.iter().enumerate() {
+                    if widx < tx.ws_len {
+                        mask |= 1 << k;
+                    }
+                }
+                let atr = self.atr.clone();
+                let items: Vec<(u64, u64)> = valid
+                    .iter()
+                    .map(|t| {
+                        (t.cts, t.ws_pairs.get(widx).map(|&(i, _)| i).unwrap_or(0))
+                    })
+                    .collect();
+                w.shared_write(
+                    mask,
+                    |k| atr.slot_item_addr(atr.slot_of(items[k].0), widx as u64),
+                    |k| items[k].1,
+                );
+                self.st = WState::InsertItems { base, widx: widx + 1 };
+                StepOutcome::Running
+            }
+            WState::InsertLens { base } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let valid: Vec<(u64, u64)> = self
+                    .txs
+                    .iter()
+                    .filter(|t| t.valid)
+                    .map(|t| (t.cts, t.ws_len as u64))
+                    .collect();
+                let mut mask: Mask = 0;
+                for k in 0..valid.len() {
+                    mask |= 1 << k;
+                }
+                let atr = self.atr.clone();
+                w.shared_write(
+                    mask,
+                    |k| atr.slot_len_addr(atr.slot_of(valid[k].0)),
+                    |k| valid[k].1,
+                );
+                self.st = WState::InsertCts { base };
+                StepOutcome::Running
+            }
+            WState::InsertCts { base } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let valid: Vec<u64> =
+                    self.txs.iter().filter(|t| t.valid).map(|t| t.cts).collect();
+                let mut mask: Mask = 0;
+                for k in 0..valid.len() {
+                    mask |= 1 << k;
+                }
+                let atr = self.atr.clone();
+                // Publishing write: validators polling these tags may now
+                // read the entries.
+                w.shared_write(
+                    mask,
+                    |k| atr.slot_cts_addr(atr.slot_of(valid[k])),
+                    |k| valid[k],
+                );
+                let _ = base;
+                self.st = WState::WriteOutcomes;
+                StepOutcome::Running
+            }
+            // --------------------------------------------------------------
+            // OnlyCs: strictly serial per-transaction commit, server-side
+            // write-back and GTS publication.
+            // --------------------------------------------------------------
+            WState::ScValidate { txi, lo, target } => {
+                w.set_phase(Phase::Validation.id());
+                if !self.atr.snapshot_in_window(self.txs[txi].snapshot, target) {
+                    self.txs[txi].valid = false;
+                    self.st = self.sc_next(txi, target);
+                    return StepOutcome::Running;
+                }
+                if lo >= target {
+                    self.st = WState::ScReserve { txi, target };
+                    return StepOutcome::Running;
+                }
+                // Single-lane serial walk: one entry per step.
+                let atr = self.atr.clone();
+                let s = atr.slot_of(lo);
+                let tag = w.shared_read1(0, atr.slot_cts_addr(s));
+                if tag > lo {
+                    // Entry recycled mid-validation: spurious abort.
+                    self.txs[txi].valid = false;
+                    self.st = self.sc_next(txi, target);
+                    return StepOutcome::Running;
+                }
+                if tag < lo {
+                    w.poll_wait();
+                    self.st = WState::ScValidate { txi, lo, target };
+                    return StepOutcome::Running;
+                }
+                let len = w.shared_read1(0, atr.slot_len_addr(s));
+                let mut conflict = false;
+                for k in 0..len {
+                    let item = w.shared_read1(0, atr.slot_item_addr(s, k));
+                    if self.txs[txi].items_to_check().any(|e| e == item) {
+                        conflict = true;
+                    }
+                }
+                w.alu(
+                    single_lane(0),
+                    ((self.txs[txi].rs_len + self.txs[txi].ws_len) as u64 * len.max(1)).max(1),
+                );
+                if conflict {
+                    self.txs[txi].valid = false;
+                    self.st = self.sc_next(txi, target);
+                } else {
+                    self.txs[txi].validated_to = lo;
+                    self.st = WState::ScValidate { txi, lo: lo + 1, target };
+                }
+                StepOutcome::Running
+            }
+            WState::ScReserve { txi, target } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let old = w.shared_cas1(0, self.atr.next_cts_addr(), target, target + 1);
+                if old == target {
+                    self.txs[txi].cts = target;
+                    self.st = WState::ScInsert { txi, sub: 0 };
+                } else {
+                    self.st =
+                        WState::ScValidate { txi, lo: self.txs[txi].validated_to + 1, target: old };
+                }
+                StepOutcome::Running
+            }
+            WState::ScInsert { txi, sub } => {
+                w.set_phase(Phase::RecordInsert.id());
+                let tx = &self.txs[txi];
+                let s = self.atr.slot_of(tx.cts);
+                match sub {
+                    0 => {
+                        for (k, &(item, _)) in tx.ws_pairs.iter().enumerate() {
+                            w.shared_write1(0, self.atr.slot_item_addr(s, k as u64), item);
+                        }
+                        if tx.ws_pairs.is_empty() {
+                            w.alu(single_lane(0), 1);
+                        }
+                        self.st = WState::ScInsert { txi, sub: 1 };
+                    }
+                    1 => {
+                        w.shared_write1(0, self.atr.slot_len_addr(s), tx.ws_len as u64);
+                        self.st = WState::ScInsert { txi, sub: 2 };
+                    }
+                    _ => {
+                        w.shared_write1(0, self.atr.slot_cts_addr(s), tx.cts);
+                        self.st = WState::ScWriteBack { txi, widx: 0, sub: 0, head: 0 };
+                    }
+                }
+                StepOutcome::Running
+            }
+            WState::ScWriteBack { txi, widx, sub, head } => {
+                w.set_phase(Phase::WriteBack.id());
+                let tx = &self.txs[txi];
+                if widx >= tx.ws_pairs.len() {
+                    self.st = WState::ScGts { txi };
+                    return StepOutcome::Running;
+                }
+                let (item, value) = tx.ws_pairs[widx];
+                match sub {
+                    0 => {
+                        let h = w.global_read1(0, self.heap.head_addr(item));
+                        self.st = WState::ScWriteBack { txi, widx, sub: 1, head: h };
+                    }
+                    1 => {
+                        let slot = self.heap.next_slot(head);
+                        w.global_write1(
+                            0,
+                            self.heap.version_addr(item, slot),
+                            stm_core::vbox::pack_version(tx.cts, value),
+                        );
+                        self.st = WState::ScWriteBack { txi, widx, sub: 2, head };
+                    }
+                    _ => {
+                        let slot = self.heap.next_slot(head);
+                        w.global_write1(0, self.heap.head_addr(item), slot);
+                        self.st = WState::ScWriteBack { txi, widx: widx + 1, sub: 0, head: 0 };
+                    }
+                }
+                StepOutcome::Running
+            }
+            WState::ScGts { txi } => {
+                w.set_phase(Phase::WriteBack.id());
+                let cts = self.txs[txi].cts;
+                let gts = w.global_read1(0, self.gts_addr);
+                if gts == cts - 1 {
+                    w.global_write1(0, self.gts_addr, cts);
+                    let target = cts + 1;
+                    self.st = self.sc_next(txi, target);
+                } else {
+                    w.poll_wait();
+                    self.st = WState::ScGts { txi };
+                }
+                StepOutcome::Running
+            }
+            WState::WriteOutcomes => {
+                w.set_phase(Phase::RecordInsert.id());
+                let mut outcomes = [OUTCOME_NONE; WARP_LANES];
+                for tx in &self.txs {
+                    outcomes[tx.lane] =
+                        if tx.valid { OUTCOME_COMMIT_BASE + tx.cts } else { OUTCOME_ABORT };
+                }
+                let proto = &self.proto;
+                let slot = self.slot;
+                w.global_write(full_mask(), |l| proto.outcome_addr(slot, l), |l| outcomes[l]);
+                self.st = WState::SetResponse;
+                StepOutcome::Running
+            }
+            WState::SetResponse => {
+                w.set_phase(Phase::RecordInsert.id());
+                w.global_write1(0, self.proto.mailboxes().status_addr(self.slot), STATUS_RESPONSE);
+                self.st = WState::Pop;
+                StepOutcome::Running
+            }
+            WState::Finished => StepOutcome::Done,
+        }
+    }
+}
+
+impl WorkerWarp {
+    /// Current state, for diagnostics.
+    pub fn debug_state(&self) -> String {
+        format!("{:?} slot={} txs={}", self.st, self.slot, self.txs.len())
+    }
+
+    /// OnlyCs: advance to the next transaction of the batch (serial).
+    fn sc_next(&mut self, txi: usize, target: u64) -> WState {
+        match self.next_valid_unprocessed(txi + 1) {
+            Some(next) => {
+                let lo = self.txs[next].validated_to + 1;
+                WState::ScValidate { txi: next, lo, target }
+            }
+            None => WState::WriteOutcomes,
+        }
+    }
+
+    /// OnlyCs helper: next valid tx with no cts yet.
+    fn next_valid_unprocessed(&self, from: usize) -> Option<usize> {
+        (from..self.txs.len()).find(|&i| self.txs[i].valid && self.txs[i].cts == 0)
+    }
+}

@@ -1,0 +1,80 @@
+//! The ablation variants of §IV-C.
+
+/// Which of CSMV's mechanisms are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsmvVariant {
+    /// The full system: client-server + pre-validation + client-side
+    /// write-back + batched ATR insert + collaborative validation.
+    Full,
+    /// Collaborative validation disabled: server worker lanes validate
+    /// distinct transactions independently (divergent, uncoalesced).
+    NoCv,
+    /// Only the client-server skeleton: no pre-validation, no client-side
+    /// write-back (the server writes back and bumps the GTS, serially per
+    /// transaction), no batched insert (one reservation per transaction),
+    /// no collaborative validation.
+    OnlyCs,
+}
+
+impl CsmvVariant {
+    /// Intra-warp pre-validation on the client.
+    pub fn pre_validation(self) -> bool {
+        !matches!(self, CsmvVariant::OnlyCs)
+    }
+
+    /// Warp-cooperative validation of one transaction at a time.
+    pub fn collaborative_validation(self) -> bool {
+        matches!(self, CsmvVariant::Full)
+    }
+
+    /// Write-back executed by the client after a commit response.
+    pub fn client_write_back(self) -> bool {
+        !matches!(self, CsmvVariant::OnlyCs)
+    }
+
+    /// One ATR reservation per warp batch instead of per transaction.
+    pub fn batched_insert(self) -> bool {
+        !matches!(self, CsmvVariant::OnlyCs)
+    }
+
+    /// Display name used by the benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CsmvVariant::Full => "CSMV",
+            CsmvVariant::NoCv => "CSMV-NoCV",
+            CsmvVariant::OnlyCs => "CSMV-onlyCS",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_enables_everything() {
+        let v = CsmvVariant::Full;
+        assert!(v.pre_validation());
+        assert!(v.collaborative_validation());
+        assert!(v.client_write_back());
+        assert!(v.batched_insert());
+    }
+
+    #[test]
+    fn nocv_only_disables_collaboration() {
+        let v = CsmvVariant::NoCv;
+        assert!(v.pre_validation());
+        assert!(!v.collaborative_validation());
+        assert!(v.client_write_back());
+        assert!(v.batched_insert());
+    }
+
+    #[test]
+    fn onlycs_disables_all_complements() {
+        let v = CsmvVariant::OnlyCs;
+        assert!(!v.pre_validation());
+        assert!(!v.collaborative_validation());
+        assert!(!v.client_write_back());
+        assert!(!v.batched_insert());
+    }
+}

@@ -1,0 +1,218 @@
+//! Client→server mailbox message passing over simulated global memory,
+//! modelled after the communication library of Wang et al. (ASPLOS'19) that
+//! the paper builds on.
+//!
+//! Each client warp owns one mailbox slot. All status words are contiguous so
+//! the server's receiver warp can poll 32 mailboxes with a single coalesced
+//! read. The protocol is a 4-state flag machine:
+//!
+//! ```text
+//!   EMPTY --client writes payload, then status--> REQUEST
+//!   REQUEST --receiver dispatches--> CLAIMED
+//!   CLAIMED --worker writes reply, then status--> RESPONSE
+//!   RESPONSE --client consumes reply, then status--> EMPTY
+//! ```
+//!
+//! Payload/response contents are kernel-defined; this module provides the
+//! layout and address math only, so kernels perform the actual (costed)
+//! accesses through [`crate::WarpCtx`].
+
+use crate::mem::GlobalMemory;
+
+/// Mailbox is free.
+pub const STATUS_EMPTY: u64 = 0;
+/// A request payload is ready for the server.
+pub const STATUS_REQUEST: u64 = 1;
+/// The receiver warp has dispatched the request to a worker.
+pub const STATUS_CLAIMED: u64 = 2;
+/// The worker's response payload is ready for the client.
+pub const STATUS_RESPONSE: u64 = 3;
+
+/// A ring of single-producer mailboxes in global memory, one per client warp.
+#[derive(Debug, Clone)]
+pub struct Mailboxes {
+    num_slots: usize,
+    req_words: usize,
+    resp_words: usize,
+    status_base: u64,
+    req_base: u64,
+    resp_base: u64,
+}
+
+impl Mailboxes {
+    /// Lay the mailboxes out in global memory.
+    pub fn alloc(
+        global: &mut GlobalMemory,
+        num_slots: usize,
+        req_words: usize,
+        resp_words: usize,
+    ) -> Self {
+        let status_base = global.alloc(num_slots);
+        let req_base = global.alloc(num_slots * req_words);
+        let resp_base = global.alloc(num_slots * resp_words);
+        Self { num_slots, req_words, resp_words, status_base, req_base, resp_base }
+    }
+
+    /// Number of mailbox slots.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Request payload capacity per slot, in words.
+    pub fn req_words(&self) -> usize {
+        self.req_words
+    }
+
+    /// Response payload capacity per slot, in words.
+    pub fn resp_words(&self) -> usize {
+        self.resp_words
+    }
+
+    /// Address of a slot's status word. Status words are contiguous across
+    /// slots, so polling 32 consecutive slots is a fully coalesced access.
+    pub fn status_addr(&self, slot: usize) -> u64 {
+        debug_assert!(slot < self.num_slots);
+        self.status_base + slot as u64
+    }
+
+    /// Address of word `i` of a slot's request payload.
+    pub fn req_addr(&self, slot: usize, i: usize) -> u64 {
+        debug_assert!(slot < self.num_slots && i < self.req_words);
+        self.req_base + (slot * self.req_words + i) as u64
+    }
+
+    /// Address of word `i` of a slot's response payload.
+    pub fn resp_addr(&self, slot: usize, i: usize) -> u64 {
+        debug_assert!(slot < self.num_slots && i < self.resp_words);
+        self.resp_base + (slot * self.resp_words + i) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::GpuConfig;
+    use crate::sched::{Device, StepOutcome, WarpProgram};
+    use crate::warp::{full_mask, WarpCtx};
+
+    #[test]
+    fn layout_is_disjoint_and_statuses_contiguous() {
+        let mut g = GlobalMemory::new();
+        let mb = Mailboxes::alloc(&mut g, 8, 4, 2);
+        // Status words contiguous.
+        for s in 0..8 {
+            assert_eq!(mb.status_addr(s), mb.status_addr(0) + s as u64);
+        }
+        // No overlap between regions.
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..8 {
+            assert!(seen.insert(mb.status_addr(s)));
+            for i in 0..4 {
+                assert!(seen.insert(mb.req_addr(s, i)));
+            }
+            for i in 0..2 {
+                assert!(seen.insert(mb.resp_addr(s, i)));
+            }
+        }
+        assert!(seen.iter().all(|&a| (a as usize) < g.len()));
+    }
+
+    /// Client: posts value x, waits for reply, records reply = x+1.
+    struct Client {
+        mb: Mailboxes,
+        slot: usize,
+        x: u64,
+        state: u8,
+        pub reply: Option<u64>,
+    }
+    impl WarpProgram for Client {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            match self.state {
+                0 => {
+                    w.global_write1(0, self.mb.req_addr(self.slot, 0), self.x);
+                    self.state = 1;
+                    StepOutcome::Running
+                }
+                1 => {
+                    w.global_write1(0, self.mb.status_addr(self.slot), STATUS_REQUEST);
+                    self.state = 2;
+                    StepOutcome::Running
+                }
+                2 => {
+                    if w.global_read1(0, self.mb.status_addr(self.slot)) == STATUS_RESPONSE {
+                        self.state = 3;
+                    } else {
+                        w.poll_wait();
+                    }
+                    StepOutcome::Running
+                }
+                3 => {
+                    self.reply = Some(w.global_read1(0, self.mb.resp_addr(self.slot, 0)));
+                    w.global_write1(0, self.mb.status_addr(self.slot), STATUS_EMPTY);
+                    self.state = 4;
+                    StepOutcome::Running
+                }
+                _ => StepOutcome::Done,
+            }
+        }
+    }
+
+    /// Server: services `expect` requests (increment), then exits.
+    struct Server {
+        mb: Mailboxes,
+        served: usize,
+        expect: usize,
+    }
+    impl WarpProgram for Server {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.served == self.expect {
+                return StepOutcome::Done;
+            }
+            let n = self.mb.num_slots();
+            let statuses = w.global_read(full_mask(), |l| {
+                self.mb.status_addr(l.min(n - 1))
+            });
+            let mut any = false;
+            for slot in 0..n {
+                if statuses[slot] == STATUS_REQUEST {
+                    any = true;
+                    w.global_write1(0, self.mb.status_addr(slot), STATUS_CLAIMED);
+                    let x = w.global_read1(0, self.mb.req_addr(slot, 0));
+                    w.global_write1(0, self.mb.resp_addr(slot, 0), x + 1);
+                    w.global_write1(0, self.mb.status_addr(slot), STATUS_RESPONSE);
+                    self.served += 1;
+                }
+            }
+            if !any {
+                w.poll_wait();
+            }
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip_through_scheduler() {
+        let mut dev = Device::new(GpuConfig::default());
+        let mb = Mailboxes::alloc(dev.global_mut(), 4, 1, 1);
+        let mut client_ids = Vec::new();
+        for slot in 0..4 {
+            let id = dev.spawn(
+                slot,
+                Box::new(Client {
+                    mb: mb.clone(),
+                    slot,
+                    x: 100 + slot as u64,
+                    state: 0,
+                    reply: None,
+                }),
+            );
+            client_ids.push(id);
+        }
+        dev.spawn(27, Box::new(Server { mb, served: 0, expect: 4 }));
+        dev.run_to_completion();
+        for (slot, id) in client_ids.into_iter().enumerate() {
+            let p = dev.take_program(id).downcast::<Client>().unwrap();
+            assert_eq!(p.reply, Some(101 + slot as u64));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cycle-cost model and device geometry.
+//!
+//! The constants below are not measurements of any particular silicon; they
+//! encode the *relative* costs that drive the phenomena the paper studies:
+//! global memory is an order of magnitude slower than shared memory, poorly
+//! coalesced warp accesses pay per 128-byte segment, atomics serialize under
+//! contention, and warp intrinsics are nearly free. The benchmark harness
+//! reports simulated nanoseconds obtained by dividing cycles by `clock_ghz`.
+
+/// Per-operation cycle costs. All fields are in cycles unless noted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    /// Latency of a warp-wide global (off-chip) memory access that touches a
+    /// single 128-byte segment.
+    pub lat_global: u64,
+    /// Additional cycles per extra 128-byte segment touched by a warp-wide
+    /// global access (the coalescing penalty).
+    pub seg_throughput: u64,
+    /// Latency of a warp-wide shared (on-chip scratchpad) access with no bank
+    /// conflicts.
+    pub lat_shared: u64,
+    /// Additional cycles per extra serialized bank-conflict group on a shared
+    /// access.
+    pub bank_conflict: u64,
+    /// Base latency of a global atomic (CAS / fetch-add).
+    pub lat_atomic_global: u64,
+    /// Cycles an address stays "owned" after a global atomic starts; a second
+    /// atomic on the same address must wait this long (contention window).
+    pub ser_atomic_global: u64,
+    /// Base latency of a shared-memory atomic.
+    pub lat_atomic_shared: u64,
+    /// Contention window for shared-memory atomics.
+    pub ser_atomic_shared: u64,
+    /// Cost of a warp shuffle / ballot / vote intrinsic.
+    pub lat_shuffle: u64,
+    /// Cost of one simple arithmetic instruction.
+    pub alu: u64,
+    /// Cycles a warp waits between successive polls of a flag it found unset
+    /// (models the backoff loop of the message-passing library).
+    pub poll_interval: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            lat_global: 400,
+            seg_throughput: 40,
+            lat_shared: 24,
+            bank_conflict: 24,
+            lat_atomic_global: 500,
+            // A contended atomic occupies its cache line for roughly its
+            // full latency; GPU atomic storms to one address serialize at
+            // close to the round-trip rate.
+            ser_atomic_global: 480,
+            lat_atomic_shared: 48,
+            ser_atomic_shared: 24,
+            lat_shuffle: 4,
+            alu: 1,
+            poll_interval: 200,
+        }
+    }
+}
+
+/// Device geometry, modelled on the paper's GTX 1080 Ti testbed
+/// (28 SMs, 28 blocks × 64 threads, ~1.58 GHz boost clock).
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Shared-memory words available per SM (48 KiB on Pascal ⇒ 6144 × u64;
+    /// we keep it in words because the simulator is word-addressed).
+    pub shared_words_per_sm: usize,
+    /// Clock frequency used to convert cycles to wall time.
+    pub clock_ghz: f64,
+    /// The cycle-cost model.
+    pub cost: CostModel,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            num_sms: 28,
+            shared_words_per_sm: 6144,
+            clock_ghz: 1.58,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Convert a cycle count to seconds at this device's clock.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Convert a cycle count to milliseconds at this device's clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        self.cycles_to_secs(cycles) * 1e3
+    }
+
+    /// Convert a cycle count to microseconds at this device's clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        self.cycles_to_secs(cycles) * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_matches_paper_testbed() {
+        let cfg = GpuConfig::default();
+        assert_eq!(cfg.num_sms, 28);
+        assert!((cfg.clock_ghz - 1.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_conversions_are_consistent() {
+        let cfg = GpuConfig::default();
+        let cycles = 1_580_000_000; // one second worth
+        assert!((cfg.cycles_to_secs(cycles) - 1.0).abs() < 1e-9);
+        assert!((cfg.cycles_to_ms(cycles) - 1e3).abs() < 1e-6);
+        assert!((cfg.cycles_to_us(cycles) - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shared_memory_is_much_faster_than_global() {
+        let c = CostModel::default();
+        assert!(c.lat_global >= 10 * c.lat_shared);
+        assert!(c.lat_atomic_global > c.lat_atomic_shared);
+    }
+}

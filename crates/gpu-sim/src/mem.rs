@@ -1,0 +1,292 @@
+//! Simulated memory: word-addressed off-chip global memory and per-SM
+//! on-chip shared (scratchpad) memory, plus the access-cost geometry
+//! (coalescing segments, shared-memory banks).
+
+/// The simulator is word-addressed; a word is 64 bits, wide enough to hold a
+/// value, a timestamp, or a packed (lock, version) pair.
+pub type Word = u64;
+
+/// Bytes per word.
+pub const WORD_BYTES: u64 = 8;
+/// A global-memory transaction fetches one 128-byte segment (CUDA rule).
+pub const SEGMENT_BYTES: u64 = 128;
+/// Words per coalescing segment.
+pub const WORDS_PER_SEGMENT: u64 = SEGMENT_BYTES / WORD_BYTES;
+/// Number of shared-memory banks (CUDA has 32 four-byte banks; we model 32
+/// word-wide banks).
+pub const NUM_BANKS: u64 = 32;
+
+/// Off-chip device memory shared by every SM. Grows on demand so callers can
+/// lay out arbitrarily large data structures without a fixed-size budget.
+#[derive(Debug, Default)]
+pub struct GlobalMemory {
+    words: Vec<Word>,
+}
+
+impl GlobalMemory {
+    /// Create an empty global memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve `n` fresh words and return the base address of the block.
+    /// Blocks are contiguous and zero-initialized.
+    pub fn alloc(&mut self, n: usize) -> u64 {
+        let base = self.words.len() as u64;
+        self.words.resize(self.words.len() + n, 0);
+        base
+    }
+
+    /// Number of allocated words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read one word.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Word {
+        self.words[addr as usize]
+    }
+
+    /// Write one word.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: Word) {
+        self.words[addr as usize] = value;
+    }
+
+    /// Raw view of the backing store (tests, post-run inspection).
+    pub fn as_slice(&self) -> &[Word] {
+        &self.words
+    }
+}
+
+/// On-chip scratchpad local to one SM. Fixed capacity — exceeding it is a
+/// programming error, exactly as in CUDA.
+#[derive(Debug)]
+pub struct SharedMemory {
+    words: Vec<Word>,
+    next_free: usize,
+}
+
+impl SharedMemory {
+    /// Create a scratchpad with a fixed word capacity.
+    pub fn new(capacity_words: usize) -> Self {
+        Self { words: vec![0; capacity_words], next_free: 0 }
+    }
+
+    /// Reserve `n` words; panics if the scratchpad is exhausted, mirroring a
+    /// CUDA launch failure from oversized `__shared__` declarations.
+    pub fn alloc(&mut self, n: usize) -> u64 {
+        assert!(
+            self.next_free + n <= self.words.len(),
+            "shared memory exhausted: requested {n} words, {} of {} in use",
+            self.next_free,
+            self.words.len()
+        );
+        let base = self.next_free as u64;
+        self.next_free += n;
+        base
+    }
+
+    /// Words still available for allocation.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.next_free
+    }
+
+    /// Total capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Read one word.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Word {
+        self.words[addr as usize]
+    }
+
+    /// Write one word.
+    #[inline]
+    pub fn write(&mut self, addr: u64, value: Word) {
+        self.words[addr as usize] = value;
+    }
+}
+
+/// Number of distinct 128-byte segments touched by a set of word addresses —
+/// the quantity that prices a warp-wide global access. An empty access
+/// touches zero segments.
+pub fn coalesced_segments(addrs: &[u64]) -> u64 {
+    // Warp accesses involve at most 32 addresses: a tiny sort beats hashing.
+    let mut segs = [u64::MAX; 32];
+    let mut n = 0usize;
+    for &a in addrs {
+        let seg = a / WORDS_PER_SEGMENT;
+        if !segs[..n].contains(&seg) {
+            segs[n] = seg;
+            n += 1;
+        }
+    }
+    n as u64
+}
+
+/// Number of serialized access groups caused by shared-memory bank conflicts.
+/// Accesses to the *same* address broadcast for free; accesses to different
+/// addresses in the same bank serialize. Returns 0 for an empty access and
+/// otherwise the maximum number of distinct addresses mapped to one bank.
+pub fn bank_conflict_groups(addrs: &[u64]) -> u64 {
+    let mut per_bank_addrs: [[u64; 32]; 32] = [[u64::MAX; 32]; 32];
+    let mut per_bank_counts = [0usize; 32];
+    for &a in addrs {
+        let bank = (a % NUM_BANKS) as usize;
+        let seen = &mut per_bank_addrs[bank];
+        let cnt = &mut per_bank_counts[bank];
+        if !seen[..*cnt].contains(&a) {
+            seen[*cnt] = a;
+            *cnt += 1;
+        }
+    }
+    per_bank_counts.iter().copied().max().unwrap_or(0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_alloc_is_contiguous_and_zeroed() {
+        let mut g = GlobalMemory::new();
+        let a = g.alloc(10);
+        let b = g.alloc(5);
+        assert_eq!(a, 0);
+        assert_eq!(b, 10);
+        assert_eq!(g.len(), 15);
+        assert!((0..15).all(|i| g.read(i) == 0));
+    }
+
+    #[test]
+    fn global_read_write_roundtrip() {
+        let mut g = GlobalMemory::new();
+        g.alloc(4);
+        g.write(2, 0xdead_beef);
+        assert_eq!(g.read(2), 0xdead_beef);
+        assert_eq!(g.read(3), 0);
+    }
+
+    #[test]
+    fn shared_alloc_respects_capacity() {
+        let mut s = SharedMemory::new(8);
+        s.alloc(6);
+        assert_eq!(s.remaining(), 2);
+        s.alloc(2);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory exhausted")]
+    fn shared_overflow_panics() {
+        let mut s = SharedMemory::new(4);
+        s.alloc(5);
+    }
+
+    #[test]
+    fn fully_coalesced_access_is_one_segment() {
+        // 32 consecutive words within 16-word segments span exactly 2 segments.
+        let addrs: Vec<u64> = (0..32).collect();
+        assert_eq!(coalesced_segments(&addrs), 2);
+        // 16 consecutive, aligned words are one segment.
+        let addrs: Vec<u64> = (16..32).collect();
+        assert_eq!(coalesced_segments(&addrs), 1);
+    }
+
+    #[test]
+    fn scattered_access_touches_one_segment_per_lane() {
+        let addrs: Vec<u64> = (0..32).map(|i| i * 1000).collect();
+        assert_eq!(coalesced_segments(&addrs), 32);
+    }
+
+    #[test]
+    fn same_address_coalesces_to_one_segment() {
+        let addrs = [7u64; 32];
+        assert_eq!(coalesced_segments(&addrs), 1);
+        assert_eq!(coalesced_segments(&[]), 0);
+    }
+
+    #[test]
+    fn bank_conflicts_broadcast_and_serialize() {
+        // Same address: broadcast, one group.
+        assert_eq!(bank_conflict_groups(&[5; 32]), 1);
+        // Stride 1: all banks distinct, one group.
+        let addrs: Vec<u64> = (0..32).collect();
+        assert_eq!(bank_conflict_groups(&addrs), 1);
+        // Stride 32: every access hits bank 0 with a distinct address.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflict_groups(&addrs), 32);
+        // Stride 2: pairs share banks.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 2).collect();
+        assert_eq!(bank_conflict_groups(&addrs), 2);
+        assert_eq!(bank_conflict_groups(&[]), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation of the coalescing rule via a set.
+    fn segments_ref(addrs: &[u64]) -> u64 {
+        addrs
+            .iter()
+            .map(|a| a / WORDS_PER_SEGMENT)
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64
+    }
+
+    /// Reference implementation of the bank-conflict rule.
+    fn groups_ref(addrs: &[u64]) -> u64 {
+        let mut per_bank: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            std::collections::HashMap::new();
+        for &a in addrs {
+            per_bank.entry(a % NUM_BANKS).or_default().insert(a);
+        }
+        per_bank.values().map(|s| s.len() as u64).max().unwrap_or(0)
+    }
+
+    proptest! {
+        #[test]
+        fn coalescing_matches_reference(addrs in proptest::collection::vec(0u64..100_000, 0..32)) {
+            prop_assert_eq!(coalesced_segments(&addrs), segments_ref(&addrs));
+        }
+
+        #[test]
+        fn bank_conflicts_match_reference(addrs in proptest::collection::vec(0u64..100_000, 0..32)) {
+            prop_assert_eq!(bank_conflict_groups(&addrs), groups_ref(&addrs));
+        }
+
+        #[test]
+        fn segments_bounded_by_lanes_and_monotone(addrs in proptest::collection::vec(0u64..100_000, 1..32)) {
+            let s = coalesced_segments(&addrs);
+            prop_assert!(s >= 1 && s <= addrs.len() as u64);
+            // Adding an address never decreases the segment count.
+            let mut bigger = addrs.clone();
+            bigger.push(999_999);
+            prop_assert!(coalesced_segments(&bigger) >= s);
+        }
+
+        #[test]
+        fn alloc_roundtrip(values in proptest::collection::vec(proptest::num::u64::ANY, 1..64)) {
+            let mut g = GlobalMemory::new();
+            let base = g.alloc(values.len());
+            for (i, &v) in values.iter().enumerate() {
+                g.write(base + i as u64, v);
+            }
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(g.read(base + i as u64), v);
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The discrete-event scheduler: warps advance one instruction at a time in
+//! global simulated-time order, so cross-warp races are resolved exactly as
+//! they would be by the hardware's memory system (at instruction
+//! granularity), and the final clock of the slowest warp is the kernel's
+//! simulated duration.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::cost::GpuConfig;
+use crate::mem::{GlobalMemory, SharedMemory, Word};
+use crate::stats::WarpStats;
+use crate::warp::WarpCtx;
+use crate::WARP_LANES;
+
+/// Device-wide warp identifier, returned by [`Device::spawn`].
+pub type WarpId = usize;
+
+/// What a program's step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More instructions to execute; reschedule at the new clock.
+    Running,
+    /// The kernel has exited; the warp retires.
+    Done,
+}
+
+/// A hand-written SIMT kernel for one warp.
+///
+/// `step` must perform a bounded amount of work — ideally one warp-wide
+/// instruction — through the [`WarpCtx`]; the scheduler interleaves warps
+/// between steps in simulated-time order. Programs are `Any` so the harness
+/// can downcast them after the run to collect results.
+pub trait WarpProgram: Any {
+    /// Execute the next instruction(s).
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome;
+}
+
+struct WarpSlot {
+    sm_id: usize,
+    clock: u64,
+    stats: WarpStats,
+    program: Option<Box<dyn WarpProgram>>,
+    done: bool,
+    /// Phase currently attributed (persists across steps).
+    phase: u8,
+    /// Lanes this kernel logically runs (persists across steps).
+    participating: u32,
+}
+
+/// The simulated GPU: owns memories, warps and the event loop.
+pub struct Device {
+    cfg: GpuConfig,
+    global: GlobalMemory,
+    shared: Vec<SharedMemory>,
+    atomic_global: HashMap<u64, u64>,
+    atomic_shared: Vec<HashMap<u64, u64>>,
+    warps: Vec<WarpSlot>,
+    queue: BinaryHeap<Reverse<(u64, WarpId)>>,
+    live: usize,
+    instructions_executed: u64,
+}
+
+impl Device {
+    /// Build a device with the given geometry and cost model.
+    pub fn new(cfg: GpuConfig) -> Self {
+        let shared = (0..cfg.num_sms)
+            .map(|_| SharedMemory::new(cfg.shared_words_per_sm))
+            .collect();
+        let atomic_shared = (0..cfg.num_sms).map(|_| HashMap::new()).collect();
+        Self {
+            cfg,
+            global: GlobalMemory::new(),
+            shared,
+            atomic_shared,
+            atomic_global: HashMap::new(),
+            warps: Vec::new(),
+            queue: BinaryHeap::new(),
+            live: 0,
+            instructions_executed: 0,
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Allocate `n` words of global memory; returns the base address.
+    pub fn alloc_global(&mut self, n: usize) -> u64 {
+        self.global.alloc(n)
+    }
+
+    /// Allocate `n` words of SM-local shared memory; returns the base address
+    /// (valid only for warps on that SM).
+    pub fn alloc_shared(&mut self, sm: usize, n: usize) -> u64 {
+        self.shared[sm].alloc(n)
+    }
+
+    /// Read-only view of global memory (for setup/inspection by the host).
+    pub fn global(&self) -> &[Word] {
+        self.global.as_slice()
+    }
+
+    /// Host-side mutable access to global memory (kernel-launch setup).
+    pub fn global_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.global
+    }
+
+    /// Host-side (uncosted) write to an SM's shared memory — launch setup.
+    pub fn shared_write_host(&mut self, sm: usize, addr: u64, value: Word) {
+        self.shared[sm].write(addr, value);
+    }
+
+    /// Host-side (uncosted) read of an SM's shared memory — inspection.
+    pub fn shared_read_host(&self, sm: usize, addr: u64) -> Word {
+        self.shared[sm].read(addr)
+    }
+
+    /// Place a program on SM `sm` as a new warp; it starts at clock 0.
+    pub fn spawn(&mut self, sm: usize, program: Box<dyn WarpProgram>) -> WarpId {
+        assert!(sm < self.cfg.num_sms, "SM index out of range");
+        let id = self.warps.len();
+        self.warps.push(WarpSlot {
+            sm_id: sm,
+            clock: 0,
+            stats: WarpStats::default(),
+            program: Some(program),
+            done: false,
+            phase: 0,
+            participating: WARP_LANES as u32,
+        });
+        self.queue.push(Reverse((0, id)));
+        self.live += 1;
+        id
+    }
+
+    /// Number of warps that have not yet retired.
+    pub fn live_warps(&self) -> usize {
+        self.live
+    }
+
+    /// Run until every warp retires. Panics if `max_instructions` device-wide
+    /// instructions elapse first — a guard against protocol deadlocks that
+    /// would otherwise poll forever.
+    pub fn run_with_limit(&mut self, max_instructions: u64) {
+        while self.live > 0 {
+            assert!(
+                self.instructions_executed < max_instructions,
+                "simulation exceeded {max_instructions} instructions; \
+                 a warp is likely polling on a condition that never arrives"
+            );
+            self.step_once();
+        }
+    }
+
+    /// Run until every warp retires (with a very large safety limit).
+    pub fn run_to_completion(&mut self) {
+        self.run_with_limit(u64::MAX);
+    }
+
+    /// Advance exactly one warp by one step. No-op when all warps retired.
+    pub fn step_once(&mut self) {
+        let Some(Reverse((clock, id))) = self.queue.pop() else {
+            return;
+        };
+        let slot = &mut self.warps[id];
+        debug_assert_eq!(slot.clock, clock);
+        let mut program = slot.program.take().expect("scheduled warp has no program");
+        let sm = slot.sm_id;
+        let mut ctx = WarpCtx {
+            warp_id: id,
+            sm_id: sm,
+            clock,
+            phase: slot.stats_phase(),
+            participating: slot.stats_participating(),
+            stats: &mut slot.stats,
+            global: &mut self.global,
+            shared: &mut self.shared[sm],
+            cost: &self.cfg.cost,
+            atomic_global: &mut self.atomic_global,
+            atomic_shared: &mut self.atomic_shared[sm],
+        };
+        let outcome = program.step(&mut ctx);
+        let new_clock = ctx.clock;
+        let new_phase = ctx.phase;
+        let new_part = ctx.participating;
+        let slot = &mut self.warps[id];
+        slot.clock = new_clock;
+        slot.set_phase_participating(new_phase, new_part);
+        slot.program = Some(program);
+        self.instructions_executed += 1;
+        match outcome {
+            StepOutcome::Running => self.queue.push(Reverse((new_clock, id))),
+            StepOutcome::Done => {
+                slot.done = true;
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Largest warp clock — the simulated duration of the whole launch.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.warps.iter().map(|w| w.clock).max().unwrap_or(0)
+    }
+
+    /// Cycle counters of one warp.
+    pub fn warp_stats(&self, id: WarpId) -> &WarpStats {
+        &self.warps[id].stats
+    }
+
+    /// Whether a warp has retired.
+    pub fn warp_done(&self, id: WarpId) -> bool {
+        self.warps[id].done
+    }
+
+    /// Remove and return a warp's program (post-run result collection); the
+    /// caller downcasts it to the concrete kernel type.
+    pub fn take_program(&mut self, id: WarpId) -> Box<dyn Any> {
+        let b: Box<dyn WarpProgram> = self.warps[id]
+            .program
+            .take()
+            .expect("program already taken");
+        b
+    }
+
+    /// Borrow a warp's program for inspection; downcast with `Any`.
+    pub fn program(&self, id: WarpId) -> &dyn Any {
+        self.warps[id].program.as_deref().expect("program taken") as &dyn Any
+    }
+
+    /// Total instructions executed across all warps.
+    pub fn instructions_executed(&self) -> u64 {
+        self.instructions_executed
+    }
+}
+
+impl WarpSlot {
+    fn stats_phase(&self) -> u8 {
+        self.phase
+    }
+    fn stats_participating(&self) -> u32 {
+        self.participating
+    }
+    fn set_phase_participating(&mut self, phase: u8, participating: u32) {
+        self.phase = phase;
+        self.participating = participating;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::full_mask;
+
+    /// Increments a global counter `n` times, one step per increment.
+    struct Counter {
+        remaining: u32,
+        addr: u64,
+    }
+    impl WarpProgram for Counter {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.remaining == 0 {
+                return StepOutcome::Done;
+            }
+            self.remaining -= 1;
+            w.global_atomic_add(0, self.addr, 1);
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn warps_interleave_in_time_order() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(Counter { remaining: 10, addr: 0 }));
+        dev.spawn(1, Box::new(Counter { remaining: 10, addr: 0 }));
+        dev.run_to_completion();
+        assert_eq!(dev.global()[0], 20);
+        assert_eq!(dev.live_warps(), 0);
+        assert!(dev.warp_done(0) && dev.warp_done(1));
+    }
+
+    #[test]
+    fn elapsed_is_max_over_warps() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(2);
+        dev.spawn(0, Box::new(Counter { remaining: 1, addr: 0 }));
+        dev.spawn(1, Box::new(Counter { remaining: 50, addr: 1 }));
+        dev.run_to_completion();
+        let c0 = dev.warp_stats(0).total_cycles;
+        let c1 = dev.warp_stats(1).total_cycles;
+        assert!(c1 > c0);
+        assert_eq!(dev.elapsed_cycles(), c1.max(c0));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_interleaving() {
+        let run = || {
+            let mut dev = Device::new(GpuConfig::default());
+            dev.alloc_global(1);
+            for sm in 0..4 {
+                dev.spawn(sm, Box::new(Counter { remaining: 25, addr: 0 }));
+            }
+            dev.run_to_completion();
+            (dev.elapsed_cycles(), dev.global()[0], dev.instructions_executed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A program that waits for a flag another warp sets.
+    struct Setter {
+        fired: bool,
+    }
+    impl WarpProgram for Setter {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.fired {
+                return StepOutcome::Done;
+            }
+            // Burn some time first so the waiter really has to poll.
+            w.alu(full_mask(), 5000);
+            w.global_write1(0, 0, 1);
+            self.fired = true;
+            StepOutcome::Running
+        }
+    }
+    struct Waiter {
+        seen: bool,
+    }
+    impl WarpProgram for Waiter {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.seen {
+                return StepOutcome::Done;
+            }
+            if w.global_read1(0, 0) == 1 {
+                self.seen = true;
+            } else {
+                w.poll_wait();
+            }
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn polling_synchronization_works() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(Setter { fired: false }));
+        dev.spawn(1, Box::new(Waiter { seen: false }));
+        dev.run_to_completion();
+        assert_eq!(dev.global()[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "polling on a condition that never arrives")]
+    fn run_with_limit_catches_livelock() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(Waiter { seen: false })); // nobody sets the flag
+        dev.run_with_limit(10_000);
+    }
+
+    #[test]
+    fn take_program_downcasts() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(1);
+        let id = dev.spawn(0, Box::new(Counter { remaining: 3, addr: 0 }));
+        dev.run_to_completion();
+        let prog = dev.take_program(id);
+        let counter = prog.downcast::<Counter>().expect("wrong type");
+        assert_eq!(counter.remaining, 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-warp cycle accounting: cycles attributed to algorithm phases (the
+//! paper's Tables I and III are built from these) plus the automatically
+//! tracked divergence time.
+
+/// Phases are small integers; the STM layers define their own named mapping
+/// (see `stm_core::Phase`). Phase 0 is the default / unattributed phase.
+pub type PhaseId = u8;
+
+/// Maximum number of distinguishable phases per warp.
+pub const MAX_PHASES: usize = 16;
+
+/// Cycle counters for one warp.
+#[derive(Debug, Clone)]
+pub struct WarpStats {
+    /// Cycles charged while each phase was current.
+    pub cycles_by_phase: [u64; MAX_PHASES],
+    /// Lane-idle time: for an instruction costing `c` cycles executed with
+    /// `a` of the warp's `p` participating lanes active, `c·(p−a)/p` cycles
+    /// are accumulated here. This is the "Divergence" column of the paper's
+    /// breakdown tables.
+    pub divergence_cycles: u64,
+    /// Divergence attributed to the phase that was current when it accrued
+    /// (the breakdown tables report commit-phase divergence only).
+    pub divergence_by_phase: [u64; MAX_PHASES],
+    /// Total cycles this warp has consumed (equals its final clock).
+    pub total_cycles: u64,
+    /// Number of instructions executed (all kinds).
+    pub instructions: u64,
+    /// Cycles spent stalled behind contended atomics.
+    pub atomic_stall_cycles: u64,
+}
+
+impl Default for WarpStats {
+    fn default() -> Self {
+        Self {
+            cycles_by_phase: [0; MAX_PHASES],
+            divergence_cycles: 0,
+            divergence_by_phase: [0; MAX_PHASES],
+            total_cycles: 0,
+            instructions: 0,
+            atomic_stall_cycles: 0,
+        }
+    }
+}
+
+impl WarpStats {
+    /// Merge another warp's counters into this one (used to aggregate a
+    /// device-wide breakdown).
+    pub fn merge(&mut self, other: &WarpStats) {
+        for (a, b) in self.cycles_by_phase.iter_mut().zip(other.cycles_by_phase.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.divergence_by_phase.iter_mut().zip(other.divergence_by_phase.iter()) {
+            *a += b;
+        }
+        self.divergence_cycles += other.divergence_cycles;
+        self.total_cycles += other.total_cycles;
+        self.instructions += other.instructions;
+        self.atomic_stall_cycles += other.atomic_stall_cycles;
+    }
+
+    /// Cycles charged to one phase.
+    pub fn phase(&self, p: PhaseId) -> u64 {
+        self.cycles_by_phase[p as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = WarpStats::default();
+        a.cycles_by_phase[1] = 10;
+        a.divergence_cycles = 3;
+        a.total_cycles = 100;
+        let mut b = WarpStats::default();
+        b.cycles_by_phase[1] = 5;
+        b.cycles_by_phase[2] = 7;
+        b.divergence_cycles = 2;
+        b.total_cycles = 50;
+        b.instructions = 4;
+        a.merge(&b);
+        assert_eq!(a.phase(1), 15);
+        assert_eq!(a.phase(2), 7);
+        assert_eq!(a.divergence_cycles, 5);
+        assert_eq!(a.total_cycles, 150);
+        assert_eq!(a.instructions, 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! The Active Transaction Record in global (off-chip) memory.
+//!
+//! Layout:
+//!
+//! ```text
+//! word 0                 : commit lock (0 free / 1 held)
+//! word 1                 : next — index of the first unused entry; entry i
+//!                          belongs to the transaction with cts = i + 1
+//! word 2 + i·(1+max_ws)  : entry i = [ws_len][ws item ids × max_ws]
+//! ```
+//!
+//! Entries below `next` are immutable (published); `next` only advances
+//! while the commit lock is held.
+
+use gpu_sim::mem::GlobalMemory;
+
+/// Address map of the global-memory ATR.
+#[derive(Debug, Clone)]
+pub struct GlobalAtr {
+    base: u64,
+    capacity: usize,
+    max_ws: usize,
+}
+
+impl GlobalAtr {
+    /// Allocate an ATR with room for `capacity` entries of up to `max_ws`
+    /// write-set items each.
+    pub fn alloc(global: &mut GlobalMemory, capacity: usize, max_ws: usize) -> Self {
+        let words = 2 + capacity * (1 + max_ws);
+        let base = global.alloc(words);
+        Self { base, capacity, max_ws }
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Write-set capacity per entry.
+    pub fn max_ws(&self) -> usize {
+        self.max_ws
+    }
+
+    /// Address of the commit lock word.
+    pub fn lock_addr(&self) -> u64 {
+        self.base
+    }
+
+    /// Address of the `next` index word.
+    pub fn next_addr(&self) -> u64 {
+        self.base + 1
+    }
+
+    /// Address of entry `i`'s `ws_len` word.
+    pub fn entry_len_addr(&self, i: u64) -> u64 {
+        debug_assert!((i as usize) < self.capacity, "ATR overflow: entry {i}");
+        self.base + 2 + i * (1 + self.max_ws as u64)
+    }
+
+    /// Address of entry `i`'s `k`-th write-set item word.
+    pub fn entry_item_addr(&self, i: u64, k: u64) -> u64 {
+        debug_assert!((k as usize) < self.max_ws);
+        self.entry_len_addr(i) + 1 + k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_disjoint() {
+        let mut g = GlobalMemory::new();
+        let atr = GlobalAtr::alloc(&mut g, 4, 3);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(atr.lock_addr()));
+        assert!(seen.insert(atr.next_addr()));
+        for i in 0..4u64 {
+            assert!(seen.insert(atr.entry_len_addr(i)));
+            for k in 0..3u64 {
+                assert!(seen.insert(atr.entry_item_addr(i, k)));
+            }
+        }
+        assert!(seen.iter().all(|&a| (a as usize) < g.len()));
+    }
+
+    #[test]
+    fn entries_are_contiguous() {
+        let mut g = GlobalMemory::new();
+        let atr = GlobalAtr::alloc(&mut g, 4, 3);
+        assert_eq!(atr.entry_len_addr(1), atr.entry_item_addr(0, 2) + 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! The result of one STM run: everything the benchmark harness and the test
+//! oracles need.
+
+use crate::history::TxRecord;
+use crate::stats::{CommitStats, TimeBreakdown};
+
+/// Outcome of running a workload to completion on one STM.
+#[derive(Debug, Default)]
+pub struct RunResult {
+    /// Aggregated commit/abort counters.
+    pub stats: CommitStats,
+    /// Per-phase cycle breakdown over all client warps.
+    pub client_breakdown: TimeBreakdown,
+    /// Per-phase cycle breakdown over server warps (client–server STMs only).
+    pub server_breakdown: TimeBreakdown,
+    /// Simulated duration of the launch, in cycles.
+    pub elapsed_cycles: u64,
+    /// Committed-transaction records (empty when history recording is off).
+    pub records: Vec<TxRecord>,
+}
+
+impl RunResult {
+    /// Throughput in transactions per second at a given device clock.
+    pub fn throughput(&self, clock_ghz: f64) -> f64 {
+        if self.elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let secs = self.elapsed_cycles as f64 / (clock_ghz * 1e9);
+        self.stats.commits() as f64 / secs
+    }
+
+    /// Abort rate in percent.
+    pub fn abort_rate_pct(&self) -> f64 {
+        self.stats.abort_rate_pct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_with_clock_and_cycles() {
+        let mut r = RunResult::default();
+        r.stats.update_commits = 1_000;
+        r.elapsed_cycles = 1_580_000_000; // 1 s at 1.58 GHz
+        assert!((r.throughput(1.58) - 1_000.0).abs() < 1e-6);
+        assert!((r.throughput(3.16) - 2_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_cycles_gives_zero_throughput() {
+        assert_eq!(RunResult::default().throughput(1.58), 0.0);
+    }
+}

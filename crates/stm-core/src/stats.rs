@@ -1,0 +1,215 @@
+//! Commit/abort statistics and per-phase time breakdowns — the raw material
+//! for Figures 2–4 and Tables I–IV.
+
+use gpu_sim::WarpStats;
+use serde::{Deserialize, Serialize};
+
+use crate::phase::Phase;
+
+/// Per-thread (or aggregated) transaction outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitStats {
+    /// Committed update transactions.
+    pub update_commits: u64,
+    /// Committed read-only transactions.
+    pub rot_commits: u64,
+    /// Aborted attempts of update transactions.
+    pub update_aborts: u64,
+    /// Aborted attempts of read-only transactions (only possible in
+    /// single-versioned STMs or on version-overflow in MV STMs).
+    pub rot_aborts: u64,
+    /// Cycles spent in attempts that ended in an abort ("wasted time").
+    pub wasted_cycles: u64,
+    /// Cycles spent in attempts that committed ("useful time").
+    pub useful_cycles: u64,
+}
+
+impl CommitStats {
+    /// Total committed transactions.
+    pub fn commits(&self) -> u64 {
+        self.update_commits + self.rot_commits
+    }
+
+    /// Total aborted attempts.
+    pub fn aborts(&self) -> u64 {
+        self.update_aborts + self.rot_aborts
+    }
+
+    /// Abort rate in percent: aborted attempts over all attempts.
+    pub fn abort_rate_pct(&self) -> f64 {
+        let attempts = self.commits() + self.aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &CommitStats) {
+        self.update_commits += other.update_commits;
+        self.rot_commits += other.rot_commits;
+        self.update_aborts += other.update_aborts;
+        self.rot_aborts += other.rot_aborts;
+        self.wasted_cycles += other.wasted_cycles;
+        self.useful_cycles += other.useful_cycles;
+    }
+
+    /// Average total execution time per committed transaction, in cycles
+    /// (useful + wasted, averaged over commits) — the "Total" column of
+    /// Tables II/IV.
+    pub fn total_cycles_per_tx(&self) -> f64 {
+        if self.commits() == 0 {
+            0.0
+        } else {
+            (self.useful_cycles + self.wasted_cycles) as f64 / self.commits() as f64
+        }
+    }
+
+    /// Average wasted time per committed transaction, in cycles — the
+    /// "Wasted" column of Tables II/IV.
+    pub fn wasted_cycles_per_tx(&self) -> f64 {
+        if self.commits() == 0 {
+            0.0
+        } else {
+            self.wasted_cycles as f64 / self.commits() as f64
+        }
+    }
+}
+
+/// Cycles attributed to each named phase, summed over a set of warps.
+/// This is the row format of the paper's Tables I and III.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Cycles per phase, indexed by `Phase::id()`.
+    pub cycles: [u64; Phase::ALL.len()],
+    /// Divergence cycles (idle-lane time) across all phases.
+    pub divergence_cycles: u64,
+    /// Divergence attributed per phase.
+    pub divergence: [u64; Phase::ALL.len()],
+}
+
+impl TimeBreakdown {
+    /// Accumulate one warp's counters.
+    pub fn add_warp(&mut self, stats: &WarpStats) {
+        for p in Phase::ALL {
+            self.cycles[p.id() as usize] += stats.phase(p.id());
+            self.divergence[p.id() as usize] += stats.divergence_by_phase[p.id() as usize];
+        }
+        self.divergence_cycles += stats.divergence_cycles;
+    }
+
+    /// Cycles attributed to `phase`.
+    pub fn phase(&self, phase: Phase) -> u64 {
+        self.cycles[phase.id() as usize]
+    }
+
+    /// The paper's commit phases (Tables I/III).
+    pub const COMMIT_PHASES: [Phase; 6] = [
+        Phase::PreValidation,
+        Phase::WaitServer,
+        Phase::Validation,
+        Phase::RecordInsert,
+        Phase::WriteBack,
+        Phase::WaitGts,
+    ];
+
+    /// Divergence accrued inside the commit phases — the "Divergence" column
+    /// of the paper's Tables I/III (execution-phase divergence, e.g. lanes
+    /// finishing transaction bodies at different times, is excluded as in
+    /// the paper).
+    pub fn commit_divergence(&self) -> u64 {
+        Self::COMMIT_PHASES
+            .iter()
+            .map(|p| self.divergence[p.id() as usize])
+            .sum()
+    }
+
+    /// Sum of the *commit-related* phases (what the paper's Tables I/III call
+    /// "Total"): pre-validation, wait-server, validation, record insert,
+    /// write-back, wait-GTS, plus commit-phase divergence. (Phase cycles and
+    /// divergence are disjoint accountings of the same instructions: phase
+    /// cycles are what the active lanes spent, divergence is the idle-lane
+    /// share on top.)
+    pub fn commit_total(&self) -> u64 {
+        Self::COMMIT_PHASES.iter().map(|p| self.phase(*p)).sum::<u64>()
+            + self.commit_divergence()
+    }
+
+    /// Merge another breakdown.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        for (a, b) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.divergence.iter_mut().zip(other.divergence.iter()) {
+            *a += b;
+        }
+        self.divergence_cycles += other.divergence_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_counts_all_attempts() {
+        let s = CommitStats {
+            update_commits: 60,
+            rot_commits: 20,
+            update_aborts: 15,
+            rot_aborts: 5,
+            wasted_cycles: 100,
+            useful_cycles: 900,
+        };
+        assert_eq!(s.commits(), 80);
+        assert_eq!(s.aborts(), 20);
+        assert!((s.abort_rate_pct() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_rate_of_empty_stats_is_zero() {
+        assert_eq!(CommitStats::default().abort_rate_pct(), 0.0);
+        assert_eq!(CommitStats::default().total_cycles_per_tx(), 0.0);
+    }
+
+    #[test]
+    fn per_tx_times_average_over_commits() {
+        let s = CommitStats {
+            update_commits: 10,
+            rot_commits: 0,
+            update_aborts: 5,
+            rot_aborts: 0,
+            wasted_cycles: 50,
+            useful_cycles: 950,
+        };
+        assert!((s.total_cycles_per_tx() - 100.0).abs() < 1e-12);
+        assert!((s.wasted_cycles_per_tx() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = CommitStats { update_commits: 1, ..Default::default() };
+        let b = CommitStats { update_commits: 2, rot_aborts: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.update_commits, 3);
+        assert_eq!(a.rot_aborts, 3);
+    }
+
+    #[test]
+    fn breakdown_accumulates_warp_phases() {
+        let mut ws = WarpStats::default();
+        ws.cycles_by_phase[Phase::Validation.id() as usize] = 40;
+        ws.cycles_by_phase[Phase::WriteBack.id() as usize] = 2;
+        ws.divergence_cycles = 8;
+        ws.divergence_by_phase[Phase::Validation.id() as usize] = 8;
+        let mut bd = TimeBreakdown::default();
+        bd.add_warp(&ws);
+        bd.add_warp(&ws);
+        assert_eq!(bd.phase(Phase::Validation), 80);
+        assert_eq!(bd.phase(Phase::WriteBack), 4);
+        assert_eq!(bd.divergence_cycles, 16);
+        assert_eq!(bd.commit_divergence(), 16);
+        assert_eq!(bd.commit_total(), 80 + 4 + 16);
+    }
+}

@@ -1,0 +1,292 @@
+//! The versioned-box (VBox) heap layout shared by the multi-version GPU STMs.
+//!
+//! Each transactional item is a VBox: a bounded circular buffer of versions
+//! plus a head pointer, laid out contiguously in simulated global memory:
+//!
+//! ```text
+//! word 0            : head — ring index of the newest version
+//! word 1 + k        : version slot k, packed as (commitTS << 32) | value
+//! ```
+//!
+//! Packing a version into a single word makes version reads/writes atomic at
+//! the simulator's word granularity, mirroring the paper's 8-byte
+//! `(value, commitTS)` pairs (Table V prices each version at
+//! `sizeof(X) + 4 = 8` bytes and the VBox metadata at 4 bytes).
+//!
+//! The reader protocol (walk backwards from the head, accept the first
+//! version with `ts ≤ snapshot`, abort after `versions_per_box` misses) is
+//! safe against concurrent write-backs because a recycled slot always holds
+//! a *newer* timestamp than the snapshot of any reader that could still need
+//! the old one — such readers simply exhaust the ring and abort with
+//! [`VBoxHeap::SNAPSHOT_TOO_OLD`], the "spurious abort" behaviour the paper
+//! studies in Table V.
+
+use gpu_sim::mem::GlobalMemory;
+
+/// Address map of an array of VBoxes in global memory.
+#[derive(Debug, Clone)]
+pub struct VBoxHeap {
+    base: u64,
+    num_items: u64,
+    versions_per_box: u64,
+}
+
+impl VBoxHeap {
+    /// Sentinel returned by probe logic when no version old enough survives.
+    pub const SNAPSHOT_TOO_OLD: u64 = u64::MAX;
+
+    /// Words occupied by one VBox.
+    pub fn words_per_box(versions_per_box: u64) -> u64 {
+        1 + versions_per_box
+    }
+
+    /// Allocate and initialize a heap of `num_items` boxes, each holding
+    /// `versions_per_box` versions. Every box starts with one version
+    /// `(ts = 0, value = initial(item))` in slot 0; the remaining slots hold
+    /// the sentinel timestamp so probes skip them.
+    pub fn init(
+        global: &mut GlobalMemory,
+        num_items: u64,
+        versions_per_box: u64,
+        mut initial: impl FnMut(u64) -> u64,
+    ) -> Self {
+        assert!(versions_per_box >= 1, "need at least one version per box");
+        let words = num_items * Self::words_per_box(versions_per_box);
+        let base = global.alloc(words as usize);
+        let heap = Self { base, num_items, versions_per_box };
+        for item in 0..num_items {
+            global.write(heap.head_addr(item), 0);
+            global.write(heap.version_addr(item, 0), pack_version(0, initial(item)));
+            for k in 1..versions_per_box {
+                // Unused slots carry ts = EMPTY_TS so they never match a probe.
+                global.write(heap.version_addr(item, k), pack_version(EMPTY_TS, 0));
+            }
+        }
+        heap
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u64 {
+        self.num_items
+    }
+
+    /// Versions retained per box.
+    pub fn versions_per_box(&self) -> u64 {
+        self.versions_per_box
+    }
+
+    /// Address of an item's head word.
+    pub fn head_addr(&self, item: u64) -> u64 {
+        debug_assert!(item < self.num_items);
+        self.base + item * Self::words_per_box(self.versions_per_box)
+    }
+
+    /// Address of ring slot `k` of an item.
+    pub fn version_addr(&self, item: u64, k: u64) -> u64 {
+        debug_assert!(item < self.num_items && k < self.versions_per_box);
+        self.head_addr(item) + 1 + k
+    }
+
+    /// Ring slot that a write-back with the box currently at `head` targets.
+    pub fn next_slot(&self, head: u64) -> u64 {
+        (head + 1) % self.versions_per_box
+    }
+
+    /// Host-side (uncosted) read of the newest version — setup/inspection.
+    pub fn newest(&self, global: &GlobalMemory, item: u64) -> (u64, u64) {
+        let head = global.read(self.head_addr(item));
+        unpack_version(global.read(self.version_addr(item, head)))
+    }
+
+    /// Host-side versioned read: the value visible at `snapshot`, or `None`
+    /// if the ring no longer holds an old-enough version.
+    pub fn read_at(&self, global: &GlobalMemory, item: u64, snapshot: u64) -> Option<u64> {
+        let head = global.read(self.head_addr(item));
+        for back in 0..self.versions_per_box {
+            let k = (head + self.versions_per_box - back) % self.versions_per_box;
+            let (ts, value) = unpack_version(global.read(self.version_addr(item, k)));
+            if ts != EMPTY_TS && ts <= snapshot {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// The paper's Table V memory formula, in bytes: per item,
+    /// `4 + (sizeof(value) + 4) · #versions` with 4-byte values.
+    pub fn data_size_bytes(&self) -> u64 {
+        self.num_items * (4 + 8 * self.versions_per_box)
+    }
+}
+
+/// Timestamp marking an empty version slot (never matches `ts ≤ snapshot`
+/// because snapshots are < 2³² − 1).
+pub const EMPTY_TS: u64 = u32::MAX as u64;
+
+/// Pack `(commit ts, value)` into one word. Both must fit in 32 bits —
+/// enforced because a torn version word would corrupt the STM.
+#[inline]
+pub fn pack_version(ts: u64, value: u64) -> u64 {
+    debug_assert!(ts <= u32::MAX as u64, "commit timestamp overflows 32 bits");
+    debug_assert!(value <= u32::MAX as u64, "transactional values are 32-bit");
+    (ts << 32) | value
+}
+
+/// Unpack a version word into `(commit ts, value)`.
+#[inline]
+pub fn unpack_version(word: u64) -> (u64, u64) {
+    (word >> 32, word & 0xFFFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap3() -> (GlobalMemory, VBoxHeap) {
+        let mut g = GlobalMemory::new();
+        let h = VBoxHeap::init(&mut g, 4, 3, |item| 100 + item);
+        (g, h)
+    }
+
+    /// Host-side version append used by the tests below.
+    fn append(g: &mut GlobalMemory, h: &VBoxHeap, item: u64, ts: u64, value: u64) {
+        let head = g.read(h.head_addr(item));
+        let slot = h.next_slot(head);
+        g.write(h.version_addr(item, slot), pack_version(ts, value));
+        g.write(h.head_addr(item), slot);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (ts, v) in [(0, 0), (1, 42), (u32::MAX as u64, u32::MAX as u64)] {
+            assert_eq!(unpack_version(pack_version(ts, v)), (ts, v));
+        }
+    }
+
+    #[test]
+    fn init_populates_every_box() {
+        let (g, h) = heap3();
+        for item in 0..4 {
+            assert_eq!(h.newest(&g, item), (0, 100 + item));
+            assert_eq!(h.read_at(&g, item, 0), Some(100 + item));
+            assert_eq!(h.read_at(&g, item, 999), Some(100 + item));
+        }
+    }
+
+    #[test]
+    fn addresses_do_not_overlap() {
+        let (_, h) = heap3();
+        let mut seen = std::collections::HashSet::new();
+        for item in 0..4 {
+            assert!(seen.insert(h.head_addr(item)));
+            for k in 0..3 {
+                assert!(seen.insert(h.version_addr(item, k)));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_selects_correct_version() {
+        let (mut g, h) = heap3();
+        append(&mut g, &h, 0, 5, 500);
+        append(&mut g, &h, 0, 9, 900);
+        assert_eq!(h.read_at(&g, 0, 0), Some(100));
+        assert_eq!(h.read_at(&g, 0, 4), Some(100));
+        assert_eq!(h.read_at(&g, 0, 5), Some(500));
+        assert_eq!(h.read_at(&g, 0, 8), Some(500));
+        assert_eq!(h.read_at(&g, 0, 9), Some(900));
+        assert_eq!(h.read_at(&g, 0, 100), Some(900));
+    }
+
+    #[test]
+    fn ring_overflow_evicts_oldest_and_old_snapshots_fail() {
+        let (mut g, h) = heap3();
+        append(&mut g, &h, 0, 5, 500);
+        append(&mut g, &h, 0, 9, 900);
+        // Ring full (ts 0, 5, 9); next append evicts ts=0.
+        append(&mut g, &h, 0, 12, 1200);
+        assert_eq!(h.read_at(&g, 0, 4), None, "snapshot 4 needs the evicted ts=0 version");
+        assert_eq!(h.read_at(&g, 0, 5), Some(500));
+        assert_eq!(h.read_at(&g, 0, 12), Some(1200));
+    }
+
+    #[test]
+    fn single_version_box_behaves_like_plain_word() {
+        let mut g = GlobalMemory::new();
+        let h = VBoxHeap::init(&mut g, 1, 1, |_| 7);
+        assert_eq!(h.read_at(&g, 0, 0), Some(7));
+        append(&mut g, &h, 0, 3, 8);
+        assert_eq!(h.read_at(&g, 0, 3), Some(8));
+        assert_eq!(h.read_at(&g, 0, 2), None);
+    }
+
+    #[test]
+    fn table_v_memory_formula() {
+        // Paper, Table V: 6 000 items at 2 versions ⇒ 6000·(4+8·2) = 117 KiB.
+        let mut g = GlobalMemory::new();
+        let h = VBoxHeap::init(&mut g, 6_000, 2, |_| 0);
+        assert_eq!(h.data_size_bytes(), 6_000 * 20);
+        assert!((h.data_size_bytes() as f64 / 1024.0 - 117.19).abs() < 0.01);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference model: unbounded version list per item.
+    #[derive(Default)]
+    struct RefBox {
+        versions: Vec<(u64, u64)>, // (ts, value), ascending ts
+    }
+
+    impl RefBox {
+        fn read_at(&self, snapshot: u64, ring: u64) -> Option<u64> {
+            // Only the newest `ring` versions survive.
+            let start = self.versions.len().saturating_sub(ring as usize);
+            self.versions[start..]
+                .iter()
+                .rev()
+                .find(|&&(ts, _)| ts <= snapshot)
+                .map(|&(_, v)| v)
+        }
+    }
+
+    proptest! {
+        /// Appends with increasing timestamps + snapshot reads agree with an
+        /// unbounded reference truncated to the ring size.
+        #[test]
+        fn ring_matches_reference_model(
+            nv in 1u64..6,
+            appends in proptest::collection::vec((1u64..50, 0u64..1000), 0..20),
+            probes in proptest::collection::vec(0u64..2_000, 1..16),
+        ) {
+            let mut g = GlobalMemory::new();
+            let h = VBoxHeap::init(&mut g, 1, nv, |_| 7);
+            let mut reference = RefBox::default();
+            reference.versions.push((0, 7));
+            let mut ts = 0;
+            for (dt, value) in appends {
+                ts += dt; // strictly increasing commit timestamps
+                let head = g.read(h.head_addr(0));
+                let slot = h.next_slot(head);
+                g.write(h.version_addr(0, slot), pack_version(ts, value));
+                g.write(h.head_addr(0), slot);
+                reference.versions.push((ts, value));
+            }
+            for snapshot in probes {
+                prop_assert_eq!(
+                    h.read_at(&g, 0, snapshot),
+                    reference.read_at(snapshot, nv),
+                    "nv={} snapshot={}", nv, snapshot
+                );
+            }
+        }
+
+        #[test]
+        fn pack_roundtrip(ts in 0u64..u32::MAX as u64, v in 0u64..=u32::MAX as u64) {
+            prop_assert_eq!(unpack_version(pack_version(ts, v)), (ts, v));
+        }
+    }
+}

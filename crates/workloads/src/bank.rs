@@ -1,0 +1,370 @@
+//! The Bank benchmark (Herlihy et al., PODC'03; §IV-A of the paper).
+//!
+//! A fixed set of accounts with an initial balance. Two transaction types:
+//!
+//! * **Transfer** (update): read two random accounts, move a random amount
+//!   from one to the other — 2 reads + 2 writes, no blind writes.
+//! * **Balance** (read-only): read *every* account and sum the balances —
+//!   the long-running ROT that single-versioned STMs choke on.
+//!
+//! The total balance is invariant, which the integration tests assert after
+//! every run on every STM.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stm_core::{TxLogic, TxOp, TxSource};
+
+/// Bank workload parameters.
+#[derive(Debug, Clone)]
+pub struct BankConfig {
+    /// Number of accounts (the paper uses 6 000).
+    pub accounts: u64,
+    /// Initial balance per account.
+    pub initial_balance: u64,
+    /// Percentage of read-only (Balance) transactions, 0–100.
+    pub rot_pct: u8,
+    /// Transfers move `1..=max_transfer` units.
+    pub max_transfer: u64,
+    /// When set, transfers stay within one partition
+    /// (`account % partitions`), the footprint restriction of multi-server
+    /// CSMV. Balance scans are unaffected.
+    pub partitions: Option<u64>,
+}
+
+impl BankConfig {
+    /// The configuration used throughout the paper's §IV-B: 6 000 accounts.
+    pub fn paper(rot_pct: u8) -> Self {
+        Self {
+            accounts: 6_000,
+            initial_balance: 1_000,
+            rot_pct,
+            max_transfer: 100,
+            partitions: None,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small(accounts: u64, rot_pct: u8) -> Self {
+        Self {
+            accounts,
+            initial_balance: 1_000,
+            rot_pct,
+            max_transfer: 100,
+            partitions: None,
+        }
+    }
+
+    /// Restrict transfers to partitions of `p` (for multi-server CSMV).
+    pub fn partitioned(mut self, p: u64) -> Self {
+        assert!(p >= 1 && p <= self.accounts);
+        self.partitions = Some(p);
+        self
+    }
+
+    /// The invariant total balance.
+    pub fn total_balance(&self) -> u64 {
+        self.accounts * self.initial_balance
+    }
+
+    /// Initial `(item, value)` state for the history checker.
+    pub fn initial_state(&self) -> std::collections::HashMap<u64, u64> {
+        (0..self.accounts).map(|i| (i, self.initial_balance)).collect()
+    }
+}
+
+/// One Bank transaction.
+#[derive(Debug, Clone)]
+pub enum BankTx {
+    /// Transfer `amount` from account `from` to account `to`.
+    Transfer {
+        /// Source account.
+        from: u64,
+        /// Destination account.
+        to: u64,
+        /// Units to move.
+        amount: u64,
+        /// Progress: 0 read-from, 1 read-to, 2 write-from, 3 write-to, 4 done.
+        step: u8,
+        /// Balance read from `from`.
+        from_balance: u64,
+        /// Balance read from `to`.
+        to_balance: u64,
+    },
+    /// Sum the balance of accounts `0..accounts`.
+    Balance {
+        /// Total number of accounts to scan.
+        accounts: u64,
+        /// Next account to read.
+        next: u64,
+        /// Running sum (observable by tests via [`BankTx::balance_sum`]).
+        sum: u64,
+    },
+}
+
+impl BankTx {
+    /// For a finished Balance transaction, the sum it computed.
+    pub fn balance_sum(&self) -> Option<u64> {
+        match self {
+            BankTx::Balance { accounts, next, sum } if next == accounts => Some(*sum),
+            _ => None,
+        }
+    }
+}
+
+impl TxLogic for BankTx {
+    fn is_read_only(&self) -> bool {
+        matches!(self, BankTx::Balance { .. })
+    }
+
+    fn reset(&mut self) {
+        match self {
+            BankTx::Transfer { step, from_balance, to_balance, .. } => {
+                *step = 0;
+                *from_balance = 0;
+                *to_balance = 0;
+            }
+            BankTx::Balance { next, sum, .. } => {
+                *next = 0;
+                *sum = 0;
+            }
+        }
+    }
+
+    fn next(&mut self, last_read: Option<u64>) -> TxOp {
+        match self {
+            BankTx::Transfer { from, to, amount, step, from_balance, to_balance } => {
+                match *step {
+                    0 => {
+                        *step = 1;
+                        TxOp::Read { item: *from }
+                    }
+                    1 => {
+                        *from_balance = last_read.expect("read result");
+                        *step = 2;
+                        TxOp::Read { item: *to }
+                    }
+                    2 => {
+                        *to_balance = last_read.expect("read result");
+                        *step = 3;
+                        // Transfers never overdraw: move at most the balance.
+                        let amt = (*amount).min(*from_balance);
+                        TxOp::Write { item: *from, value: *from_balance - amt }
+                    }
+                    3 => {
+                        *step = 4;
+                        let amt = (*amount).min(*from_balance);
+                        TxOp::Write { item: *to, value: *to_balance + amt }
+                    }
+                    _ => TxOp::Finish,
+                }
+            }
+            BankTx::Balance { accounts, next, sum } => {
+                if let Some(v) = last_read {
+                    *sum += v;
+                }
+                if *next < *accounts {
+                    let item = *next;
+                    *next += 1;
+                    TxOp::Read { item }
+                } else {
+                    TxOp::Finish
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread transaction stream for the Bank workload.
+pub struct BankSource {
+    cfg: BankConfig,
+    rng: StdRng,
+    remaining: usize,
+}
+
+impl BankSource {
+    /// A stream of `txs` transactions for `thread`; streams with the same
+    /// `(seed, thread)` are identical.
+    pub fn new(cfg: &BankConfig, seed: u64, thread: usize, txs: usize) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            remaining: txs,
+        }
+    }
+}
+
+impl TxSource for BankSource {
+    type Tx = BankTx;
+
+    fn next_tx(&mut self) -> Option<BankTx> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let is_rot = self.rng.random_range(0..100u8) < self.cfg.rot_pct;
+        Some(if is_rot {
+            BankTx::Balance { accounts: self.cfg.accounts, next: 0, sum: 0 }
+        } else {
+            let (from, to) = match self.cfg.partitions {
+                None => {
+                    let from = self.rng.random_range(0..self.cfg.accounts);
+                    let mut to = self.rng.random_range(0..self.cfg.accounts);
+                    if to == from {
+                        to = (to + 1) % self.cfg.accounts;
+                    }
+                    (from, to)
+                }
+                Some(p) => {
+                    // Both accounts in the same residue class mod p.
+                    let from = self.rng.random_range(0..self.cfg.accounts);
+                    let class = from % p;
+                    let members = (self.cfg.accounts - class).div_ceil(p);
+                    assert!(
+                        members >= 2,
+                        "partitioned Bank needs ≥ 2 accounts per partition"
+                    );
+                    let mut idx = self.rng.random_range(0..members);
+                    if class + idx * p == from {
+                        idx = (idx + 1) % members;
+                    }
+                    (from, class + idx * p)
+                }
+            };
+            let amount = self.rng.random_range(1..=self.cfg.max_transfer);
+            BankTx::Transfer { from, to, amount, step: 0, from_balance: 0, to_balance: 0 }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use stm_core::logic::run_sequential;
+
+    #[test]
+    fn transfer_preserves_total_balance() {
+        let cfg = BankConfig::small(10, 0);
+        let mut heap: HashMap<u64, u64> = cfg.initial_state();
+        let mut src = BankSource::new(&cfg, 1, 0, 50);
+        while let Some(mut tx) = src.next_tx() {
+            run_sequential(&mut tx, &mut heap);
+        }
+        let total: u64 = heap.values().sum();
+        assert_eq!(total, cfg.total_balance());
+    }
+
+    #[test]
+    fn transfer_never_overdraws() {
+        let cfg = BankConfig::small(4, 0);
+        let mut heap: HashMap<u64, u64> = cfg.initial_state();
+        let mut src = BankSource::new(&cfg, 2, 0, 500);
+        while let Some(mut tx) = src.next_tx() {
+            run_sequential(&mut tx, &mut heap);
+            assert!(heap.values().all(|&v| v <= cfg.total_balance()));
+        }
+    }
+
+    #[test]
+    fn balance_sums_all_accounts() {
+        let cfg = BankConfig::small(8, 100);
+        let mut heap: HashMap<u64, u64> = cfg.initial_state();
+        let mut tx = BankTx::Balance { accounts: 8, next: 0, sum: 0 };
+        let (reads, writes) = run_sequential(&mut tx, &mut heap);
+        assert_eq!(reads.len(), 8);
+        assert!(writes.is_empty());
+        assert_eq!(tx.balance_sum(), Some(cfg.total_balance()));
+        assert!(tx.is_read_only());
+    }
+
+    #[test]
+    fn reset_makes_replay_deterministic() {
+        let cfg = BankConfig::small(16, 0);
+        let mut heap: HashMap<u64, u64> = cfg.initial_state();
+        let mut src = BankSource::new(&cfg, 3, 1, 1);
+        let mut tx = src.next_tx().unwrap();
+        let first = run_sequential(&mut tx, &mut heap.clone());
+        tx.reset();
+        let second = run_sequential(&mut tx, &mut heap);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn rot_percentage_is_respected() {
+        let cfg = BankConfig::small(16, 25);
+        let mut src = BankSource::new(&cfg, 4, 0, 10_000);
+        let mut rots = 0;
+        let mut total = 0;
+        while let Some(tx) = src.next_tx() {
+            total += 1;
+            if tx.is_read_only() {
+                rots += 1;
+            }
+        }
+        let pct = 100.0 * rots as f64 / total as f64;
+        assert!((pct - 25.0).abs() < 2.0, "got {pct}% ROTs");
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic_and_thread_distinct() {
+        let cfg = BankConfig::small(16, 50);
+        let collect = |seed, thread| {
+            let mut src = BankSource::new(&cfg, seed, thread, 20);
+            let mut v = Vec::new();
+            while let Some(tx) = src.next_tx() {
+                v.push(format!("{tx:?}"));
+            }
+            v
+        };
+        assert_eq!(collect(1, 0), collect(1, 0));
+        assert_ne!(collect(1, 0), collect(1, 1));
+        assert_ne!(collect(1, 0), collect(2, 0));
+    }
+
+    #[test]
+    fn transfer_reads_before_writes() {
+        let mut tx = BankTx::Transfer {
+            from: 0,
+            to: 1,
+            amount: 5,
+            step: 0,
+            from_balance: 0,
+            to_balance: 0,
+        };
+        assert_eq!(tx.next(None), TxOp::Read { item: 0 });
+        assert_eq!(tx.next(Some(100)), TxOp::Read { item: 1 });
+        assert_eq!(tx.next(Some(200)), TxOp::Write { item: 0, value: 95 });
+        assert_eq!(tx.next(None), TxOp::Write { item: 1, value: 205 });
+        assert_eq!(tx.next(None), TxOp::Finish);
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use std::collections::HashMap;
+    use stm_core::logic::run_sequential;
+
+    #[test]
+    fn partitioned_transfers_stay_in_class() {
+        let cfg = BankConfig::small(60, 0).partitioned(4);
+        let mut src = BankSource::new(&cfg, 8, 0, 200);
+        while let Some(tx) = src.next_tx() {
+            if let BankTx::Transfer { from, to, .. } = tx {
+                assert_eq!(from % 4, to % 4);
+                assert_ne!(from, to);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_transfers_preserve_total() {
+        let cfg = BankConfig::small(32, 0).partitioned(3);
+        let mut heap: HashMap<u64, u64> = cfg.initial_state();
+        let mut src = BankSource::new(&cfg, 9, 1, 100);
+        while let Some(mut tx) = src.next_tx() {
+            run_sequential(&mut tx, &mut heap);
+        }
+        assert_eq!(heap.values().sum::<u64>(), cfg.total_balance());
+    }
+}

@@ -1,0 +1,30 @@
+//! # workloads — STM-agnostic benchmark workloads
+//!
+//! The two benchmarks of the paper's evaluation (§IV-A), expressed as
+//! [`stm_core::TxLogic`] state machines so that every STM implementation
+//! (CSMV, JVSTM-GPU, PR-STM, JVSTM-CPU) runs the *same* transaction bodies:
+//!
+//! * [`bank`] — the classic Bank benchmark: update transactions transfer a
+//!   random amount between two accounts; read-only transactions sum the
+//!   balance of every account (long-running ROTs, the workload MV schemes
+//!   are built for).
+//! * [`memcached`] — the mutable shared state of MemcachedGPU: an n-way
+//!   set-associative cache with LRU replacement, driven by a Zipfian key
+//!   stream at 99.8 % GETs.
+//! * [`list`] — a transactional sorted linked-list set: the irregular,
+//!   pointer-chasing structure class the paper's introduction motivates
+//!   (not part of the paper's evaluation; used by extra tests/examples).
+//! * [`zipf`] — the Zipfian sampler used by the Memcached key stream.
+//!
+//! All generators are deterministic given a seed, which the reproducibility
+//! tests rely on.
+
+pub mod bank;
+pub mod list;
+pub mod memcached;
+pub mod zipf;
+
+pub use bank::{BankConfig, BankSource, BankTx};
+pub use list::{ListConfig, ListOpKind, ListSource, ListTx};
+pub use memcached::{MemcachedConfig, MemcachedSource, MemcachedTx};
+pub use zipf::Zipfian;

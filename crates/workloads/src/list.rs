@@ -1,0 +1,447 @@
+//! A transactional sorted linked-list set — the classic irregular,
+//! pointer-chasing concurrent data structure from the paper's motivation
+//! (its introduction cites GPU B-trees, skip lists and other dynamic
+//! structures as the irregular workloads TM should simplify).
+//!
+//! Layout over transactional items (two items per node):
+//!
+//! ```text
+//! item 2·n     : node n's `next` field (a node index; NIL = 0 is never a
+//!                successor — node 0 is the head sentinel)
+//! item 2·n + 1 : node n's key
+//! ```
+//!
+//! Node 0 is the head sentinel (key −∞), node 1 the tail sentinel (key
+//! `KEY_MAX`). Every thread owns a private pool of free nodes, so inserts
+//! allocate without synchronization (the standard technique in GPU data
+//! structures); the only shared mutations are the `next`-pointer splices.
+//!
+//! * `contains(k)` — read-only traversal;
+//! * `insert(k)`  — traverse, then write the new node's fields (private)
+//!   and splice `pred.next` (read earlier in the traversal: no blind write
+//!   on shared state);
+//! * `remove(k)`  — traverse, unlink via `pred.next = cur.next`.
+//!
+//! Duplicate inserts / missing removes finish as read-only no-ops.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stm_core::{TxLogic, TxOp, TxSource};
+
+/// Key of the tail sentinel: larger than any user key.
+pub const KEY_MAX: u64 = u32::MAX as u64;
+
+/// Parameters of the list workload.
+#[derive(Debug, Clone)]
+pub struct ListConfig {
+    /// Keys are drawn from `1..=key_range`.
+    pub key_range: u64,
+    /// Nodes pre-inserted at initialization (evenly spaced keys).
+    pub initial_nodes: u64,
+    /// Percentage of `contains` (read-only) operations, 0–100.
+    pub contains_pct: u8,
+    /// Private free nodes per thread (bounds inserts per thread).
+    pub pool_per_thread: u64,
+    /// Number of threads sharing the structure.
+    pub threads: usize,
+}
+
+impl ListConfig {
+    /// A moderate default: range 1000, 64 initial nodes.
+    pub fn new(threads: usize, contains_pct: u8) -> Self {
+        Self {
+            key_range: 1_000,
+            initial_nodes: 64,
+            contains_pct,
+            pool_per_thread: 8,
+            threads,
+        }
+    }
+
+    /// Total nodes: sentinels + initial + every thread's pool.
+    pub fn num_nodes(&self) -> u64 {
+        2 + self.initial_nodes + self.pool_per_thread * self.threads as u64
+    }
+
+    /// Total transactional items (2 per node).
+    pub fn num_items(&self) -> u64 {
+        2 * self.num_nodes()
+    }
+
+    /// Item id of node `n`'s next field.
+    pub fn next_item(n: u64) -> u64 {
+        2 * n
+    }
+
+    /// Item id of node `n`'s key field.
+    pub fn key_item(n: u64) -> u64 {
+        2 * n + 1
+    }
+
+    /// First pool node of `thread`.
+    pub fn pool_base(&self, thread: usize) -> u64 {
+        2 + self.initial_nodes + self.pool_per_thread * thread as u64
+    }
+
+    /// The key pre-inserted at position `j` (1-based), evenly spaced.
+    pub fn initial_key(&self, j: u64) -> u64 {
+        j * self.key_range / (self.initial_nodes + 1)
+    }
+
+    /// Initial `(item, value)` state: head → chain of initial nodes → tail.
+    pub fn initial_state(&self) -> std::collections::HashMap<u64, u64> {
+        let mut m = std::collections::HashMap::new();
+        // Tail sentinel (node 1).
+        m.insert(Self::next_item(1), 1); // self-loop, never followed
+        m.insert(Self::key_item(1), KEY_MAX);
+        // Initial chain: node 0 (head) → 2 → 3 → … → tail.
+        let first = if self.initial_nodes > 0 { 2 } else { 1 };
+        m.insert(Self::next_item(0), first);
+        m.insert(Self::key_item(0), 0);
+        for j in 1..=self.initial_nodes {
+            let n = 1 + j; // nodes 2..=initial+1
+            let succ = if j == self.initial_nodes { 1 } else { n + 1 };
+            m.insert(Self::next_item(n), succ);
+            m.insert(Self::key_item(n), self.initial_key(j).max(1));
+        }
+        m
+    }
+}
+
+/// What a list transaction does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListOpKind {
+    /// Membership test (read-only).
+    Contains,
+    /// Insert `key`, splicing in a private pool node.
+    Insert,
+    /// Unlink the node holding `key`.
+    Remove,
+}
+
+/// Traversal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LStep {
+    /// About to issue the read of `pred`'s next pointer.
+    ReadNext { pred: u64 },
+    /// The next-pointer read is in flight.
+    AwaitNext { pred: u64 },
+    /// Read `cur`'s key.
+    ReadKey { pred: u64, cur: u64 },
+    /// Writing: insert sub-steps 0..3 / remove sub-step 0.
+    Mutate { pred: u64, cur: u64, sub: u8 },
+    Done,
+}
+
+/// One list transaction.
+#[derive(Debug, Clone)]
+pub struct ListTx {
+    kind: ListOpKind,
+    key: u64,
+    /// Pool node used by an insert.
+    new_node: u64,
+    step: LStep,
+    /// For finished `contains`: the answer.
+    found: Option<bool>,
+    /// Remove needs the victim's successor.
+    succ: u64,
+}
+
+impl ListTx {
+    /// Build an operation. `new_node` is only used by inserts.
+    pub fn new(kind: ListOpKind, key: u64, new_node: u64) -> Self {
+        assert!(key >= 1 && key < KEY_MAX);
+        Self { kind, key, new_node, step: LStep::ReadNext { pred: 0 }, found: None, succ: 0 }
+    }
+
+    /// For a finished `contains`, whether the key was present.
+    pub fn found(&self) -> Option<bool> {
+        self.found
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> ListOpKind {
+        self.kind
+    }
+
+    /// The key operated on.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl TxLogic for ListTx {
+    fn is_read_only(&self) -> bool {
+        self.kind == ListOpKind::Contains
+    }
+
+    fn reset(&mut self) {
+        self.step = LStep::ReadNext { pred: 0 };
+        self.found = None;
+        self.succ = 0;
+    }
+
+    fn next(&mut self, last_read: Option<u64>) -> TxOp {
+        loop {
+            match self.step {
+                LStep::ReadNext { pred } => {
+                    self.step = LStep::AwaitNext { pred };
+                    return TxOp::Read { item: ListConfig::next_item(pred) };
+                }
+                LStep::ReadKey { pred, cur } => {
+                    let key = last_read.expect("key read result");
+                    if key < self.key {
+                        // Keep walking.
+                        self.step = LStep::AwaitNext { pred: cur };
+                        return TxOp::Read { item: ListConfig::next_item(cur) };
+                    }
+                    let present = key == self.key;
+                    match self.kind {
+                        ListOpKind::Contains => {
+                            self.found = Some(present);
+                            self.step = LStep::Done;
+                            return TxOp::Finish;
+                        }
+                        ListOpKind::Insert => {
+                            if present {
+                                self.step = LStep::Done;
+                                return TxOp::Finish; // already in the set
+                            }
+                            self.step = LStep::Mutate { pred, cur, sub: 0 };
+                        }
+                        ListOpKind::Remove => {
+                            if !present {
+                                self.step = LStep::Done;
+                                return TxOp::Finish; // nothing to unlink
+                            }
+                            // Need cur.next to splice around it.
+                            self.step = LStep::Mutate { pred, cur, sub: 0 };
+                        }
+                    }
+                }
+                LStep::Mutate { pred, cur, sub } => match self.kind {
+                    ListOpKind::Insert => match sub {
+                        0 => {
+                            self.step = LStep::Mutate { pred, cur, sub: 1 };
+                            return TxOp::Write {
+                                item: ListConfig::key_item(self.new_node),
+                                value: self.key,
+                            };
+                        }
+                        1 => {
+                            self.step = LStep::Mutate { pred, cur, sub: 2 };
+                            return TxOp::Write {
+                                item: ListConfig::next_item(self.new_node),
+                                value: cur,
+                            };
+                        }
+                        _ => {
+                            self.step = LStep::Done;
+                            return TxOp::Write {
+                                item: ListConfig::next_item(pred),
+                                value: self.new_node,
+                            };
+                        }
+                    },
+                    ListOpKind::Remove => match sub {
+                        0 => {
+                            self.step = LStep::Mutate { pred, cur, sub: 1 };
+                            return TxOp::Read { item: ListConfig::next_item(cur) };
+                        }
+                        _ => {
+                            self.succ = last_read.expect("victim next");
+                            self.step = LStep::Done;
+                            return TxOp::Write {
+                                item: ListConfig::next_item(pred),
+                                value: self.succ,
+                            };
+                        }
+                    },
+                    ListOpKind::Contains => unreachable!(),
+                },
+                LStep::AwaitNext { pred } => {
+                    let cur = last_read.expect("next read result");
+                    self.step = LStep::ReadKey { pred, cur };
+                    return TxOp::Read { item: ListConfig::key_item(cur) };
+                }
+                LStep::Done => return TxOp::Finish,
+            }
+        }
+    }
+}
+
+/// Per-thread operation stream.
+pub struct ListSource {
+    cfg: ListConfig,
+    rng: StdRng,
+    thread: usize,
+    remaining: usize,
+    next_pool: u64,
+}
+
+impl ListSource {
+    /// `txs` operations for `thread`.
+    pub fn new(cfg: &ListConfig, seed: u64, thread: usize, txs: usize) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            rng: StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0xA24B_AED4_963E_E407)),
+            thread,
+            remaining: txs,
+            next_pool: 0,
+        }
+    }
+}
+
+impl TxSource for ListSource {
+    type Tx = ListTx;
+
+    fn next_tx(&mut self) -> Option<ListTx> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let key = self.rng.random_range(1..=self.cfg.key_range);
+        let roll = self.rng.random_range(0..100u8);
+        let kind = if roll < self.cfg.contains_pct {
+            ListOpKind::Contains
+        } else if self.next_pool < self.cfg.pool_per_thread && roll % 2 == 0 {
+            ListOpKind::Insert
+        } else {
+            ListOpKind::Remove
+        };
+        let new_node = if kind == ListOpKind::Insert {
+            let n = self.cfg.pool_base(self.thread) + self.next_pool;
+            self.next_pool += 1;
+            n
+        } else {
+            0
+        };
+        Some(ListTx::new(kind, key, new_node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use stm_core::logic::run_sequential;
+
+    /// Walk the committed chain and return the keys in order.
+    pub(super) fn chain_keys(heap: &HashMap<u64, u64>) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut n = heap[&ListConfig::next_item(0)];
+        let mut hops = 0;
+        while n != 1 {
+            keys.push(heap[&ListConfig::key_item(n)]);
+            n = heap[&ListConfig::next_item(n)];
+            hops += 1;
+            assert!(hops < 100_000, "cycle in list chain");
+        }
+        keys
+    }
+
+    fn cfg() -> ListConfig {
+        ListConfig { key_range: 100, initial_nodes: 8, contains_pct: 0, pool_per_thread: 4, threads: 1 }
+    }
+
+    #[test]
+    fn initial_chain_is_sorted_and_terminates() {
+        let c = cfg();
+        let heap = c.initial_state();
+        let keys = chain_keys(&heap);
+        assert_eq!(keys.len() as u64, c.initial_nodes);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "initial keys must be strictly increasing");
+    }
+
+    #[test]
+    fn contains_finds_initial_keys() {
+        let c = cfg();
+        let mut heap = c.initial_state();
+        let present = c.initial_key(3).max(1);
+        let mut tx = ListTx::new(ListOpKind::Contains, present, 0);
+        run_sequential(&mut tx, &mut heap);
+        assert_eq!(tx.found(), Some(true));
+        let mut tx = ListTx::new(ListOpKind::Contains, present + 1, 0);
+        run_sequential(&mut tx, &mut heap);
+        assert_eq!(tx.found(), Some(false));
+        assert!(tx.is_read_only());
+    }
+
+    #[test]
+    fn insert_then_contains_then_remove() {
+        let c = cfg();
+        let mut heap = c.initial_state();
+        let node = c.pool_base(0);
+        let mut ins = ListTx::new(ListOpKind::Insert, 37, node);
+        let (_, writes) = run_sequential(&mut ins, &mut heap);
+        assert_eq!(writes.len(), 3, "insert = 2 private writes + 1 splice");
+        let mut q = ListTx::new(ListOpKind::Contains, 37, 0);
+        run_sequential(&mut q, &mut heap);
+        assert_eq!(q.found(), Some(true));
+        let keys = chain_keys(&heap);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        let mut rm = ListTx::new(ListOpKind::Remove, 37, 0);
+        let (_, writes) = run_sequential(&mut rm, &mut heap);
+        assert_eq!(writes.len(), 1, "remove = 1 splice");
+        let mut q = ListTx::new(ListOpKind::Contains, 37, 0);
+        run_sequential(&mut q, &mut heap);
+        assert_eq!(q.found(), Some(false));
+    }
+
+    #[test]
+    fn duplicate_insert_and_absent_remove_are_noops() {
+        let c = cfg();
+        let mut heap = c.initial_state();
+        let present = c.initial_key(2).max(1);
+        let mut ins = ListTx::new(ListOpKind::Insert, present, c.pool_base(0));
+        let (_, writes) = run_sequential(&mut ins, &mut heap);
+        assert!(writes.is_empty());
+        let mut rm = ListTx::new(ListOpKind::Remove, present + 1, 0);
+        let (_, writes) = run_sequential(&mut rm, &mut heap);
+        assert!(writes.is_empty());
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let c = cfg();
+        let heap = c.initial_state();
+        let mut tx = ListTx::new(ListOpKind::Insert, 55, c.pool_base(0));
+        let a = run_sequential(&mut tx, &mut heap.clone());
+        tx.reset();
+        let b = run_sequential(&mut tx, &mut heap.clone());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_ops_match_btreeset_reference() {
+        let c = ListConfig { key_range: 60, initial_nodes: 8, contains_pct: 20, pool_per_thread: 16, threads: 1 };
+        let mut heap = c.initial_state();
+        let mut reference: std::collections::BTreeSet<u64> =
+            (1..=c.initial_nodes).map(|j| c.initial_key(j).max(1)).collect();
+        let mut src = ListSource::new(&c, 77, 0, 40);
+        while let Some(mut tx) = src.next_tx() {
+            let kind = tx.kind();
+            let key = tx.key();
+            run_sequential(&mut tx, &mut heap);
+            match kind {
+                ListOpKind::Contains => {
+                    assert_eq!(tx.found(), Some(reference.contains(&key)));
+                }
+                ListOpKind::Insert => {
+                    reference.insert(key);
+                }
+                ListOpKind::Remove => {
+                    reference.remove(&key);
+                }
+            }
+        }
+        let keys = chain_keys(&heap);
+        let expect: Vec<u64> = reference.into_iter().collect();
+        assert_eq!(keys, expect);
+    }
+}

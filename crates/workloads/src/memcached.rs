@@ -1,0 +1,499 @@
+//! The MemcachedGPU benchmark (Hetherington et al., SoCC'15; STM-based
+//! variant per Castro et al., PACT'19; §IV-A of the paper).
+//!
+//! The mutable shared state is an n-way set-associative cache with LRU
+//! replacement. Each slot exposes four transactional items (key tag, value,
+//! LRU stamp, metadata). Two operations:
+//!
+//! * **GET** (read-only): hash the key to a set, scan the ways' key tags
+//!   until a match, read the value. Reads a variable number of items, upper
+//!   bounded by the associativity — exactly the knob Fig. 3 sweeps.
+//! * **PUT** (update): same scan; on a hit it issues 4 writes (value, LRU
+//!   stamp, metadata, key tag); on a miss it reads every way's LRU stamp,
+//!   evicts the least recently used slot and writes the 4 fields there.
+//!
+//! Keys are drawn Zipfian (the paper follows Atikoglu et al.: 99.8 % GETs).
+//! The cache is pre-populated with one key per slot; a key's home way is
+//! decorrelated from its popularity by a multiplicative scramble so the mean
+//! scan length grows with the way count.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stm_core::{TxLogic, TxOp, TxSource};
+
+use crate::zipf::Zipfian;
+
+/// Transactional fields per cache slot.
+pub const FIELDS_PER_SLOT: u64 = 4;
+/// Field index of the key tag.
+pub const F_KEY: u64 = 0;
+/// Field index of the value.
+pub const F_VALUE: u64 = 1;
+/// Field index of the LRU stamp.
+pub const F_LRU: u64 = 2;
+/// Field index of the metadata word.
+pub const F_META: u64 = 3;
+
+/// Memcached workload parameters.
+#[derive(Debug, Clone)]
+pub struct MemcachedConfig {
+    /// Total slots; must be a power of two (the paper uses 1 M).
+    pub capacity: u64,
+    /// Associativity; must be a power of two dividing `capacity`.
+    pub ways: u64,
+    /// GET fraction in per-mille (the paper uses 998 = 99.8 %).
+    pub get_per_mille: u16,
+    /// Zipfian exponent for key popularity.
+    pub zipf_s: f64,
+}
+
+impl MemcachedConfig {
+    /// The paper's §IV-B configuration at a given associativity.
+    pub fn paper(ways: u64) -> Self {
+        Self { capacity: 1 << 20, ways, get_per_mille: 998, zipf_s: 0.99 }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small(capacity: u64, ways: u64) -> Self {
+        Self { capacity, ways, get_per_mille: 998, zipf_s: 0.99 }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.capacity.is_power_of_two() && self.ways.is_power_of_two());
+        assert!(self.ways <= self.capacity);
+        self.capacity / self.ways
+    }
+
+    /// Number of transactional items (slots × fields).
+    pub fn num_items(&self) -> u64 {
+        self.capacity * FIELDS_PER_SLOT
+    }
+
+    /// Slot index of `(set, way)`.
+    pub fn slot(&self, set: u64, way: u64) -> u64 {
+        set * self.ways + way
+    }
+
+    /// Transactional item id of a slot field.
+    pub fn item(&self, slot: u64, field: u64) -> u64 {
+        slot * FIELDS_PER_SLOT + field
+    }
+
+    /// The set a key hashes to.
+    pub fn set_of(&self, key: u64) -> u64 {
+        key & (self.num_sets() - 1)
+    }
+
+    /// The way a pre-populated key resides in (`key = set + num_sets·way`).
+    pub fn home_way(&self, key: u64) -> u64 {
+        key / self.num_sets()
+    }
+
+    /// Key-tag encoding stored in the KEY field; 0 means "empty slot".
+    pub fn tag(key: u64) -> u64 {
+        key + 1
+    }
+
+    /// Map a Zipfian popularity rank to a key, decorrelating popularity from
+    /// home way (odd-multiplier scramble is a permutation of `0..capacity`).
+    pub fn key_of_rank(&self, rank: u64) -> u64 {
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) & (self.capacity - 1)
+    }
+
+    /// Initial `(item, value)` state: slot `(s, w)` holds key
+    /// `s + num_sets·w` with a deterministic value.
+    pub fn initial_state(&self) -> HashMap<u64, u64> {
+        let mut m = HashMap::with_capacity(self.num_items() as usize);
+        for set in 0..self.num_sets() {
+            for way in 0..self.ways {
+                let key = set + self.num_sets() * way;
+                let slot = self.slot(set, way);
+                m.insert(self.item(slot, F_KEY), Self::tag(key));
+                m.insert(self.item(slot, F_VALUE), Self::initial_value(key));
+                m.insert(self.item(slot, F_LRU), 0);
+                m.insert(self.item(slot, F_META), 0);
+            }
+        }
+        m
+    }
+
+    /// The value a key is pre-populated with.
+    pub fn initial_value(key: u64) -> u64 {
+        key ^ 0xABCD_EF01
+    }
+}
+
+/// Progress of the scan/evict state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// About to read the key tag of `way` (next ways pending).
+    Scan { way: u64 },
+    /// Key matched at `way`; GET: about to read the value.
+    ReadValue { way: u64 },
+    /// PUT hit at `way`: emitting the 4 metadata writes, `i` of 4 done.
+    WriteFields { way: u64, i: u8 },
+    /// PUT miss: reading LRU stamps, tracking the minimum.
+    ScanLru { way: u64, best_way: u64, best_lru: u64 },
+    /// Finished.
+    Done,
+}
+
+/// One Memcached transaction (GET or PUT).
+#[derive(Debug, Clone)]
+pub struct MemcachedTx {
+    cfg_ways: u64,
+    key: u64,
+    set: u64,
+    /// `None` for GET; `Some((value, lru_stamp))` for PUT.
+    put: Option<(u64, u64)>,
+    step: Step,
+    /// For finished GETs: the value read (test observability).
+    got: Option<u64>,
+}
+
+impl MemcachedTx {
+    /// Build a GET.
+    pub fn get(cfg: &MemcachedConfig, key: u64) -> Self {
+        Self {
+            cfg_ways: cfg.ways,
+            key,
+            set: cfg.set_of(key),
+            put: None,
+            step: Step::Scan { way: 0 },
+            got: None,
+        }
+    }
+
+    /// Build a PUT of `value` with LRU stamp `lru_stamp`.
+    pub fn put(cfg: &MemcachedConfig, key: u64, value: u64, lru_stamp: u64) -> Self {
+        Self {
+            cfg_ways: cfg.ways,
+            key,
+            set: cfg.set_of(key),
+            put: Some((value, lru_stamp)),
+            step: Step::Scan { way: 0 },
+            got: None,
+        }
+    }
+
+    /// The key this transaction targets.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// For a finished GET that hit: the value read.
+    pub fn got(&self) -> Option<u64> {
+        self.got
+    }
+
+    fn slot(&self, way: u64) -> u64 {
+        self.set * self.cfg_ways + way
+    }
+
+    fn item(&self, way: u64, field: u64) -> u64 {
+        self.slot(way) * FIELDS_PER_SLOT + field
+    }
+
+    /// The 4 metadata writes of a PUT landing in `way`, in order.
+    fn put_write(&self, way: u64, i: u8) -> TxOp {
+        let (value, lru) = self.put.expect("PUT fields");
+        match i {
+            0 => TxOp::Write { item: self.item(way, F_VALUE), value },
+            1 => TxOp::Write { item: self.item(way, F_LRU), value: lru },
+            2 => TxOp::Write { item: self.item(way, F_META), value: lru ^ self.key },
+            _ => TxOp::Write { item: self.item(way, F_KEY), value: MemcachedConfig::tag(self.key) },
+        }
+    }
+}
+
+impl TxLogic for MemcachedTx {
+    fn is_read_only(&self) -> bool {
+        self.put.is_none()
+    }
+
+    fn reset(&mut self) {
+        self.step = Step::Scan { way: 0 };
+        self.got = None;
+    }
+
+    fn next(&mut self, last_read: Option<u64>) -> TxOp {
+        loop {
+            match self.step {
+                Step::Scan { way } => {
+                    if way > 0 || last_read.is_some() {
+                        // `last_read` holds the tag of way-1 (only reachable
+                        // with Some after the first emit).
+                        if way > 0 {
+                            let tag = last_read.expect("scan read result");
+                            if tag == MemcachedConfig::tag(self.key) {
+                                let hit_way = way - 1;
+                                self.step = match self.put {
+                                    None => Step::ReadValue { way: hit_way },
+                                    Some(_) => Step::WriteFields { way: hit_way, i: 0 },
+                                };
+                                continue;
+                            }
+                        }
+                    }
+                    if way == self.cfg_ways {
+                        // Miss. GETs finish; PUTs evict.
+                        match self.put {
+                            None => {
+                                self.step = Step::Done;
+                                return TxOp::Finish;
+                            }
+                            Some(_) => {
+                                self.step = Step::ScanLru { way: 0, best_way: 0, best_lru: u64::MAX };
+                                continue;
+                            }
+                        }
+                    }
+                    self.step = Step::Scan { way: way + 1 };
+                    return TxOp::Read { item: self.item(way, F_KEY) };
+                }
+                Step::ReadValue { way } => {
+                    // (Reached via `continue` from the scan arm, which already
+                    // consumed `last_read` as the matching key tag.)
+                    self.step = Step::Done;
+                    return TxOp::Read { item: self.item(way, F_VALUE) };
+                }
+                Step::WriteFields { way, i } => {
+                    if i == 4 {
+                        self.step = Step::Done;
+                        return TxOp::Finish;
+                    }
+                    self.step = Step::WriteFields { way, i: i + 1 };
+                    return self.put_write(way, i);
+                }
+                Step::ScanLru { way, best_way, best_lru } => {
+                    if way > 0 {
+                        let stamp = last_read.expect("lru read result");
+                        if stamp < best_lru {
+                            self.step =
+                                Step::ScanLru { way, best_way: way - 1, best_lru: stamp };
+                            continue;
+                        }
+                    }
+                    if way == self.cfg_ways {
+                        // Evict the LRU victim: 4 writes.
+                        self.step = Step::WriteFields { way: best_way, i: 0 };
+                        continue;
+                    }
+                    self.step = Step::ScanLru { way: way + 1, best_way, best_lru };
+                    return TxOp::Read { item: self.item(way, F_LRU) };
+                }
+                Step::Done => {
+                    if let Some(v) = last_read {
+                        self.got = Some(v);
+                    }
+                    return TxOp::Finish;
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread transaction stream for the Memcached workload.
+pub struct MemcachedSource {
+    cfg: MemcachedConfig,
+    zipf: Zipfian,
+    rng: StdRng,
+    remaining: usize,
+    lru_clock: u64,
+}
+
+impl MemcachedSource {
+    /// A stream of `txs` transactions for `thread`. Pass a shared
+    /// [`Zipfian`] (built once per experiment — it holds the CDF).
+    pub fn new(
+        cfg: &MemcachedConfig,
+        zipf: Zipfian,
+        seed: u64,
+        thread: usize,
+        txs: usize,
+    ) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            zipf,
+            rng: StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)),
+            remaining: txs,
+            // Stamps are counter·2048 + thread-id: unique across ≤2048
+            // threads and safely within 32 bits (values must pack).
+            lru_clock: (thread as u64) & 0x7FF,
+        }
+    }
+}
+
+impl TxSource for MemcachedSource {
+    type Tx = MemcachedTx;
+
+    fn next_tx(&mut self) -> Option<MemcachedTx> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rank = self.zipf.sample(&mut self.rng) as u64;
+        let key = self.cfg.key_of_rank(rank);
+        let is_get = self.rng.random_range(0..1000u16) < self.cfg.get_per_mille;
+        Some(if is_get {
+            MemcachedTx::get(&self.cfg, key)
+        } else {
+            self.lru_clock += 2048;
+            let value = self.rng.random::<u32>() as u64;
+            MemcachedTx::put(&self.cfg, key, value, self.lru_clock)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::logic::run_sequential;
+
+    #[test]
+    fn geometry_is_consistent() {
+        let cfg = MemcachedConfig::small(64, 8);
+        assert_eq!(cfg.num_sets(), 8);
+        assert_eq!(cfg.num_items(), 256);
+        for key in 0..64 {
+            let set = cfg.set_of(key);
+            let way = cfg.home_way(key);
+            assert!(set < 8 && way < 8);
+            assert_eq!(set + cfg.num_sets() * way, key);
+        }
+    }
+
+    #[test]
+    fn key_scramble_is_a_permutation() {
+        let cfg = MemcachedConfig::small(256, 4);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..256 {
+            assert!(seen.insert(cfg.key_of_rank(r)));
+        }
+    }
+
+    #[test]
+    fn get_hits_prepopulated_key() {
+        let cfg = MemcachedConfig::small(64, 8);
+        let mut heap = cfg.initial_state();
+        for key in [0u64, 13, 63] {
+            let mut tx = MemcachedTx::get(&cfg, key);
+            let (reads, writes) = run_sequential(&mut tx, &mut heap);
+            assert!(writes.is_empty());
+            // Scan reads home_way+1 key tags, then the value.
+            assert_eq!(reads.len() as u64, cfg.home_way(key) + 2);
+            assert_eq!(reads.last().unwrap().1, MemcachedConfig::initial_value(key));
+            assert!(tx.is_read_only());
+        }
+    }
+
+    #[test]
+    fn scan_length_bounded_by_ways() {
+        let cfg = MemcachedConfig::small(64, 8);
+        let mut heap = cfg.initial_state();
+        for key in 0..64u64 {
+            let mut tx = MemcachedTx::get(&cfg, key);
+            let (reads, _) = run_sequential(&mut tx, &mut heap);
+            assert!(reads.len() as u64 <= cfg.ways + 1);
+        }
+    }
+
+    #[test]
+    fn put_hit_issues_exactly_four_writes() {
+        let cfg = MemcachedConfig::small(64, 8);
+        let mut heap = cfg.initial_state();
+        let mut tx = MemcachedTx::put(&cfg, 5, 1234, 77);
+        let (_, writes) = run_sequential(&mut tx, &mut heap);
+        assert_eq!(writes.len(), 4);
+        let slot = cfg.slot(cfg.set_of(5), cfg.home_way(5));
+        assert_eq!(heap[&cfg.item(slot, F_VALUE)], 1234);
+        assert_eq!(heap[&cfg.item(slot, F_LRU)], 77);
+        assert_eq!(heap[&cfg.item(slot, F_KEY)], MemcachedConfig::tag(5));
+    }
+
+    #[test]
+    fn put_miss_evicts_lru_victim() {
+        let cfg = MemcachedConfig::small(64, 8);
+        let mut heap = cfg.initial_state();
+        // Age way 3 of set 2 to be clearly the LRU... all stamps start 0, so
+        // bump every other way of set 2.
+        for way in 0..8u64 {
+            if way != 3 {
+                heap.insert(cfg.item(cfg.slot(2, way), F_LRU), 100 + way);
+            }
+        }
+        // Key 66 maps to set 66 % 8 = 2 but is not in the cache (>= capacity).
+        let key = 64 + 2;
+        assert_eq!(cfg.set_of(key), 2);
+        let mut tx = MemcachedTx::put(&cfg, key, 9999, 500);
+        let (reads, writes) = run_sequential(&mut tx, &mut heap);
+        // Scan all 8 key tags + 8 LRU stamps.
+        assert_eq!(reads.len(), 16);
+        assert_eq!(writes.len(), 4);
+        let victim = cfg.slot(2, 3);
+        assert_eq!(heap[&cfg.item(victim, F_KEY)], MemcachedConfig::tag(key));
+        assert_eq!(heap[&cfg.item(victim, F_VALUE)], 9999);
+        // Subsequent GET finds it.
+        let mut get = MemcachedTx::get(&cfg, key);
+        run_sequential(&mut get, &mut heap);
+        assert_eq!(get.got(), Some(9999));
+    }
+
+    #[test]
+    fn get_after_put_reads_new_value() {
+        let cfg = MemcachedConfig::small(64, 4);
+        let mut heap = cfg.initial_state();
+        let mut put = MemcachedTx::put(&cfg, 7, 4242, 10);
+        run_sequential(&mut put, &mut heap);
+        let mut get = MemcachedTx::get(&cfg, 7);
+        run_sequential(&mut get, &mut heap);
+        assert_eq!(get.got(), Some(4242));
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let cfg = MemcachedConfig::small(64, 8);
+        let mut heap = cfg.initial_state();
+        let mut tx = MemcachedTx::put(&cfg, 9, 1, 2);
+        let first = run_sequential(&mut tx, &mut heap.clone());
+        tx.reset();
+        let second = run_sequential(&mut tx, &mut heap);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn source_respects_get_ratio() {
+        let cfg = MemcachedConfig::small(1024, 4);
+        let zipf = Zipfian::new(cfg.capacity as usize, cfg.zipf_s);
+        let mut src = MemcachedSource::new(&cfg, zipf, 7, 0, 20_000);
+        let mut gets = 0;
+        let mut total = 0;
+        while let Some(tx) = src.next_tx() {
+            total += 1;
+            if tx.is_read_only() {
+                gets += 1;
+            }
+        }
+        let pct = 1000.0 * gets as f64 / total as f64;
+        assert!((pct - 998.0).abs() < 5.0, "got {pct} per-mille GETs");
+    }
+
+    #[test]
+    fn source_is_deterministic() {
+        let cfg = MemcachedConfig::small(256, 4);
+        let collect = |seed| {
+            let zipf = Zipfian::new(cfg.capacity as usize, cfg.zipf_s);
+            let mut src = MemcachedSource::new(&cfg, zipf, seed, 3, 50);
+            let mut keys = Vec::new();
+            while let Some(tx) = src.next_tx() {
+                keys.push((tx.key(), tx.is_read_only()));
+            }
+            keys
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+}

@@ -1,0 +1,117 @@
+//! Zipfian sampling over a finite key universe.
+//!
+//! MemcachedGPU's evaluation (and the Atikoglu et al. workload study it
+//! cites) accesses keys with a Zipfian popularity distribution. We
+//! precompute the CDF once (shared via `Arc` across per-thread generators)
+//! and sample by binary search, which is exact and fast for the universe
+//! sizes used here.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+/// A Zipfian distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+#[derive(Clone)]
+pub struct Zipfian {
+    cdf: Arc<[f64]>,
+}
+
+impl Zipfian {
+    /// Build the distribution. `n` must be ≥ 1; `s = 0` degenerates to the
+    /// uniform distribution, `s ≈ 0.99` is the YCSB default.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipfian needs a non-empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf: cdf.into() }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the universe has a single element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let max = counts.iter().copied().max().unwrap();
+        assert_eq!(counts[0], max);
+        // Head heavier than tail.
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[990..].iter().sum();
+        assert!(head > 20 * tail.max(1));
+    }
+
+    #[test]
+    fn exponent_zero_is_roughly_uniform() {
+        let z = Zipfian::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn singleton_universe_always_zero() {
+        let z = Zipfian::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let z = Zipfian::new(50, 0.8);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -1,0 +1,57 @@
+//! CSMV ablation (a miniature of the paper's Fig. 4): how much does each
+//! mechanism contribute? Runs the same Bank workload on the full system and
+//! on the two degraded variants of §IV-C, plus the JVSTM-GPU reference.
+//!
+//! ```text
+//! cargo run --example ablation --release [-- <rot_pct>]
+//! ```
+
+use csmv::{CsmvConfig, CsmvVariant};
+use gpu_sim::GpuConfig;
+use workloads::{BankConfig, BankSource};
+
+fn main() {
+    let rot_pct: u8 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let bank = BankConfig::small(1_024, rot_pct);
+    let gpu = GpuConfig { num_sms: 8, ..GpuConfig::default() };
+    let seed = 3;
+    let txs = 4;
+
+    println!("Bank ablation at {rot_pct}% ROTs\n");
+    println!("{:<14} {:>14} {:>10}", "variant", "TXs/s", "abort %");
+
+    for variant in [CsmvVariant::Full, CsmvVariant::NoCv, CsmvVariant::OnlyCs] {
+        let cfg = CsmvConfig {
+            gpu: gpu.clone(),
+            variant,
+            record_history: false,
+            ..Default::default()
+        };
+        let r = csmv::run(
+            &cfg,
+            |t| BankSource::new(&bank, seed, t, txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        println!(
+            "{:<14} {:>14.3e} {:>10.2}",
+            variant.name(),
+            r.throughput(1.58),
+            r.abort_rate_pct()
+        );
+    }
+
+    let cfg = jvstm_gpu::JvstmGpuConfig {
+        gpu,
+        atr_capacity: 1 << 14,
+        record_history: false,
+        ..Default::default()
+    };
+    let r = jvstm_gpu::run(
+        &cfg,
+        |t| BankSource::new(&bank, seed, t, txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    println!("{:<14} {:>14.3e} {:>10.2}", "JVSTM-GPU", r.throughput(1.58), r.abort_rate_pct());
+}

@@ -1,0 +1,99 @@
+//! The Bank benchmark across all four STMs — a miniature of the paper's
+//! Fig. 2 experiment.
+//!
+//! ```text
+//! cargo run --example bank --release [-- <rot_pct>]
+//! ```
+//!
+//! Runs the same seeded workload (random transfers + full balance scans) on
+//! CSMV, JVSTM-GPU and PR-STM (on the simulated GPU) and on JVSTM over host
+//! threads, then prints throughput, abort rate and the balance invariant.
+
+use gpu_sim::GpuConfig;
+use workloads::{BankConfig, BankSource};
+
+fn main() {
+    let rot_pct: u8 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50);
+    let accounts = 1_024;
+    let txs_per_thread = 4;
+    let seed = 7;
+    let bank = BankConfig::small(accounts, rot_pct);
+    let gpu = GpuConfig { num_sms: 8, ..GpuConfig::default() };
+
+    println!("Bank: {accounts} accounts, {rot_pct}% read-only transactions\n");
+    println!("{:<12} {:>14} {:>10} {:>12}", "system", "TXs/s", "abort %", "commits");
+
+    // CSMV
+    let cfg = csmv::CsmvConfig { gpu: gpu.clone(), record_history: false, ..Default::default() };
+    let r = csmv::run(
+        &cfg,
+        |t| BankSource::new(&bank, seed, t, txs_per_thread),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    println!(
+        "{:<12} {:>14.3e} {:>10.2} {:>12}",
+        "CSMV",
+        r.throughput(1.58),
+        r.abort_rate_pct(),
+        r.stats.commits()
+    );
+
+    // JVSTM-GPU
+    let cfg = jvstm_gpu::JvstmGpuConfig {
+        gpu: gpu.clone(),
+        atr_capacity: 1 << 14,
+        record_history: false,
+        ..Default::default()
+    };
+    let r = jvstm_gpu::run(
+        &cfg,
+        |t| BankSource::new(&bank, seed, t, txs_per_thread),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    println!(
+        "{:<12} {:>14.3e} {:>10.2} {:>12}",
+        "JVSTM-GPU",
+        r.throughput(1.58),
+        r.abort_rate_pct(),
+        r.stats.commits()
+    );
+
+    // PR-STM (its ROTs scan every account, so size the read-set for that)
+    let cfg = prstm::PrstmConfig {
+        gpu,
+        max_rs: accounts as usize + 8,
+        record_history: false,
+        ..Default::default()
+    };
+    let r = prstm::run(
+        &cfg,
+        |t| BankSource::new(&bank, seed, t, txs_per_thread),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    println!(
+        "{:<12} {:>14.3e} {:>10.2} {:>12}",
+        "PR-STM",
+        r.throughput(1.58),
+        r.abort_rate_pct(),
+        r.stats.commits()
+    );
+
+    // JVSTM on host threads (wall-clock!)
+    let cfg = jvstm_cpu::JvstmCpuConfig { threads: 8, record_history: false };
+    let r = jvstm_cpu::run(
+        &cfg,
+        |t| BankSource::new(&bank, seed, t, 16),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    println!(
+        "{:<12} {:>14.3e} {:>10.2} {:>12}   (wall-clock)",
+        "JVSTM (CPU)",
+        r.throughput(),
+        r.stats.abort_rate_pct(),
+        r.stats.commits()
+    );
+}

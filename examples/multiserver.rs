@@ -1,0 +1,76 @@
+//! Multi-server CSMV (the paper's §V future-work direction): partition the
+//! transactional heap across several commit-server SMs and compare against
+//! the single-server design on an update-heavy Bank.
+//!
+//! ```text
+//! cargo run --example multiserver --release
+//! ```
+
+use csmv::{CsmvConfig, MultiCsmvConfig};
+use gpu_sim::GpuConfig;
+use stm_core::check_history;
+use workloads::{BankConfig, BankSource};
+
+fn main() {
+    let accounts = 512;
+    let rot_pct = 5; // update-heavy: the regime where the server saturates
+    let txs = 3;
+    let sms = 10;
+
+    println!("Bank, {accounts} accounts, {rot_pct}% ROTs, {sms} SMs total\n");
+    println!("{:<22} {:>14} {:>10}", "configuration", "TXs/s", "abort %");
+
+    // Single server (the paper's design).
+    {
+        let bank = BankConfig::small(accounts, rot_pct);
+        let mut cfg = CsmvConfig {
+            gpu: GpuConfig { num_sms: sms, ..GpuConfig::default() },
+            max_ws: 2,
+            ..Default::default()
+        };
+        cfg.fit_atr_capacity();
+        let res = csmv::run(
+            &cfg,
+            |t| BankSource::new(&bank, 21, t, txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        check_history(&res.records, &bank.initial_state(), true).expect("opaque");
+        println!(
+            "{:<22} {:>14.3e} {:>10.2}",
+            "1 server (paper)",
+            res.throughput(1.58),
+            res.abort_rate_pct()
+        );
+    }
+
+    // Multi-server prototype: transfers partition-confined.
+    for servers in [2usize, 4] {
+        let bank = BankConfig::small(accounts, rot_pct).partitioned(servers as u64);
+        let cfg = MultiCsmvConfig {
+            gpu: GpuConfig { num_sms: sms, ..GpuConfig::default() },
+            num_servers: servers,
+            max_ws: 2,
+            atr_capacity: 512,
+            ..Default::default()
+        };
+        let res = csmv::run_multi(
+            &cfg,
+            |t| BankSource::new(&bank, 21, t, txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        check_history(&res.records, &bank.initial_state(), true).expect("opaque");
+        println!(
+            "{:<22} {:>14.3e} {:>10.2}",
+            format!("{servers} servers (csmv::multi)"),
+            res.throughput(1.58),
+            res.abort_rate_pct()
+        );
+    }
+
+    println!(
+        "\nMulti-server rows trade client SMs for servers and require\n\
+         partition-confined update transactions (see csmv::multi docs)."
+    );
+}

@@ -1,0 +1,29 @@
+//! # csmv-repro — umbrella crate
+//!
+//! A comprehensive Rust reproduction of *CSMV: A Highly Scalable
+//! Multi-Versioned Software Transactional Memory for GPUs* (Nunes, Castro,
+//! Romano; IPDPS 2022), re-exporting every subsystem so examples and
+//! integration tests reach the whole stack through one dependency.
+//!
+//! ## Map
+//!
+//! | module | crate | what it is |
+//! |---|---|---|
+//! | [`gpu_sim`] | `crates/gpu-sim` | deterministic discrete-event SIMT GPU simulator (the hardware substitute) |
+//! | [`stm_core`] | `crates/stm-core` | transaction bodies, versioned-box heap, warp execution engine, statistics, history/opacity oracle |
+//! | [`csmv`] | `crates/csmv` | the paper's client–server multi-versioned STM + ablations + multi-server extension |
+//! | [`jvstm_gpu`] | `crates/jvstm-gpu` | baseline: JVSTM ported 1:1 to the GPU |
+//! | [`prstm`] | `crates/prstm` | baseline: PR-STM, single-versioned with priority-rule contention management |
+//! | [`jvstm_cpu`] | `crates/jvstm-cpu` | baseline: JVSTM on real host threads |
+//! | [`workloads`] | `crates/workloads` | Bank, MemcachedGPU and linked-list-set generators |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use csmv;
+pub use gpu_sim;
+pub use jvstm_cpu;
+pub use jvstm_gpu;
+pub use prstm;
+pub use stm_core;
+pub use workloads;

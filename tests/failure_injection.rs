@@ -1,0 +1,165 @@
+//! Failure injection: drive every STM through adverse configurations —
+//! starved version rings, tiny ATR windows, capacity limits — and check
+//! that the documented failure mode (spurious aborts + retry, or a clean
+//! panic for configuration errors) is what actually happens, with
+//! correctness intact throughout.
+
+use gpu_sim::GpuConfig;
+use stm_core::check_history;
+use workloads::{BankConfig, BankSource};
+
+fn gpu(sms: usize) -> GpuConfig {
+    GpuConfig { num_sms: sms, ..GpuConfig::default() }
+}
+
+/// A single version per box under write pressure: readers constantly lose
+/// their snapshot (snapshot-too-old) yet every transaction eventually
+/// commits and the history stays opaque.
+#[test]
+fn csmv_survives_single_version_boxes() {
+    let bank = BankConfig::small(24, 30);
+    let cfg = csmv::CsmvConfig {
+        gpu: gpu(4),
+        versions_per_box: 1,
+        ..Default::default()
+    };
+    let res = csmv::run(
+        &cfg,
+        |t| BankSource::new(&bank, 3, t, 2),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
+    assert!(res.stats.aborts() > 0, "single-version rings must cause overflow aborts");
+    check_history(&res.records, &bank.initial_state(), true).expect("opaque");
+}
+
+#[test]
+fn jvstm_gpu_survives_single_version_boxes() {
+    let bank = BankConfig::small(24, 30);
+    let cfg = jvstm_gpu::JvstmGpuConfig {
+        gpu: gpu(3),
+        versions_per_box: 1,
+        atr_capacity: 4096,
+        ..Default::default()
+    };
+    let res = jvstm_gpu::run(
+        &cfg,
+        |t| BankSource::new(&bank, 3, t, 2),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
+    check_history(&res.records, &bank.initial_state(), true).expect("opaque");
+}
+
+/// An ATR ring of 2 entries: nearly every snapshot falls out of the
+/// validation window mid-flight. Everything still commits (retries get
+/// fresher snapshots) and the history stays opaque.
+#[test]
+fn csmv_survives_minimal_atr_window() {
+    let bank = BankConfig::small(32, 10);
+    let cfg = csmv::CsmvConfig {
+        gpu: gpu(3),
+        atr_capacity: 2,
+        versions_per_box: 16,
+        ..Default::default()
+    };
+    let res = csmv::run(
+        &cfg,
+        |t| BankSource::new(&bank, 5, t, 2),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
+    assert!(
+        res.stats.update_aborts > 0,
+        "a 2-entry window must produce spurious aborts"
+    );
+    check_history(&res.records, &bank.initial_state(), true).expect("opaque");
+}
+
+/// Every ablation variant survives the hostile combination of a tiny window
+/// and few versions.
+#[test]
+fn variants_survive_combined_starvation() {
+    for variant in [csmv::CsmvVariant::Full, csmv::CsmvVariant::NoCv, csmv::CsmvVariant::OnlyCs] {
+        let bank = BankConfig::small(16, 20);
+        let cfg = csmv::CsmvConfig {
+            gpu: gpu(3),
+            atr_capacity: 4,
+            versions_per_box: 2,
+            variant,
+            ..Default::default()
+        };
+        let res = csmv::run(
+            &cfg,
+            |t| BankSource::new(&bank, 6, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        assert_eq!(
+            res.stats.commits(),
+            (cfg.num_threads() * 2) as u64,
+            "{variant:?} must retry through starvation"
+        );
+        check_history(&res.records, &bank.initial_state(), true)
+            .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+    }
+}
+
+/// Configuration errors fail fast and loud: an oversized ATR cannot
+/// silently corrupt — the shared-memory allocator panics at launch.
+#[test]
+#[should_panic(expected = "shared memory exhausted")]
+fn oversized_atr_panics_at_launch() {
+    let bank = BankConfig::small(16, 0);
+    let cfg = csmv::CsmvConfig {
+        gpu: gpu(2),
+        atr_capacity: 100_000,
+        ..Default::default()
+    };
+    let _ = csmv::run(
+        &cfg,
+        |t| BankSource::new(&bank, 1, t, 1),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+}
+
+/// Read-set overflow (a workload exceeding the configured capacity) is a
+/// programming error that must be detected, not silently truncated.
+#[test]
+#[should_panic(expected = "read-set overflow")]
+fn prstm_read_set_overflow_is_detected() {
+    // 100% ROT over 64 accounts with a 16-entry read-set: the balance scan
+    // overflows.
+    let bank = BankConfig::small(64, 100);
+    let cfg = prstm::PrstmConfig { gpu: gpu(2), max_rs: 16, ..Default::default() };
+    let _ = prstm::run(
+        &cfg,
+        |t| BankSource::new(&bank, 1, t, 1),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+}
+
+/// The simulator's livelock guard fires rather than hanging forever when a
+/// protocol cannot make progress.
+#[test]
+fn run_with_limit_is_a_real_safety_net() {
+    use gpu_sim::{Device, StepOutcome, WarpCtx, WarpProgram};
+    struct Spin;
+    impl WarpProgram for Spin {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            w.poll_wait();
+            StepOutcome::Running
+        }
+    }
+    let mut dev = Device::new(gpu(1));
+    dev.spawn(0, Box::new(Spin));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dev.run_with_limit(1_000);
+    }));
+    assert!(res.is_err(), "the instruction budget must abort a livelocked run");
+}

@@ -1,0 +1,29 @@
+//! Regression test for a subtle simulation/stamping bug: PR-STM commit
+//! stamps must be taken at the *step-start* clock (the instant lock words
+//! are observed), not after the validation-cost charge advances the warp's
+//! clock past other warps' in-flight commits. With post-charge stamping,
+//! this exact seed produced a read-only transaction whose read point claimed
+//! it had seen a commit that in fact landed inside its charge window.
+
+use gpu_sim::GpuConfig;
+use stm_core::check_history;
+use workloads::{BankConfig, BankSource};
+
+#[test]
+fn prstm_stamps_match_observation_instant() {
+    let bank = BankConfig::small(96, 40);
+    let cfg = prstm::PrstmConfig {
+        gpu: GpuConfig { num_sms: 4, ..GpuConfig::default() },
+        max_rs: 128,
+        ..Default::default()
+    };
+    let res = prstm::run(
+        &cfg,
+        |t| BankSource::new(&bank, 1, t, 3),
+        bank.accounts,
+        |_| bank.initial_balance,
+    );
+    check_history(&res.records, &bank.initial_state(), false)
+        .expect("PR-STM history must be serializable at the recorded stamps");
+    assert_eq!(res.stats.commits(), (cfg.num_threads() * 3) as u64);
+}
