@@ -29,9 +29,18 @@ fn bench_warp_reads(c: &mut Criterion) {
     for (name, stride) in [("coalesced", 1u64), ("scattered", 257u64)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
             b.iter(|| {
-                let mut dev = Device::new(GpuConfig { num_sms: 1, ..GpuConfig::default() });
+                let mut dev = Device::new(GpuConfig {
+                    num_sms: 1,
+                    ..GpuConfig::default()
+                });
                 dev.alloc_global(8192);
-                dev.spawn(0, Box::new(Reader { remaining: 1_000, stride }));
+                dev.spawn(
+                    0,
+                    Box::new(Reader {
+                        remaining: 1_000,
+                        stride,
+                    }),
+                );
                 dev.run_to_completion();
                 dev.elapsed_cycles()
             })
@@ -57,7 +66,10 @@ fn bench_atomics(c: &mut Criterion) {
     }
     c.bench_function("simulator/contended_atomic_adds", |b| {
         b.iter(|| {
-            let mut dev = Device::new(GpuConfig { num_sms: 8, ..GpuConfig::default() });
+            let mut dev = Device::new(GpuConfig {
+                num_sms: 8,
+                ..GpuConfig::default()
+            });
             dev.alloc_global(1);
             for sm in 0..8 {
                 dev.spawn(sm, Box::new(Adder { remaining: 250 }));

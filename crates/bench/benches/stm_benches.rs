@@ -22,7 +22,9 @@ fn bench_bank(c: &mut Criterion) {
     g.bench_function("csmv", |b| {
         b.iter(|| bank_csmv(&scale, 50, CsmvVariant::Full, scale.versions).commits)
     });
-    g.bench_function("jvstm_gpu", |b| b.iter(|| bank_jvstm_gpu(&scale, 50).commits));
+    g.bench_function("jvstm_gpu", |b| {
+        b.iter(|| bank_jvstm_gpu(&scale, 50).commits)
+    });
     g.bench_function("prstm", |b| b.iter(|| bank_prstm(&scale, 50).commits));
     g.finish();
 }
@@ -30,7 +32,9 @@ fn bench_bank(c: &mut Criterion) {
 fn bench_memcached(c: &mut Criterion) {
     let scale = tiny();
     let mut g = c.benchmark_group("memcached_8way");
-    g.bench_function("csmv", |b| b.iter(|| mc_csmv(&scale, 8, CsmvVariant::Full).commits));
+    g.bench_function("csmv", |b| {
+        b.iter(|| mc_csmv(&scale, 8, CsmvVariant::Full).commits)
+    });
     g.bench_function("jvstm_gpu", |b| b.iter(|| mc_jvstm_gpu(&scale, 8).commits));
     g.finish();
 }

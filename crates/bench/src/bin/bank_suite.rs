@@ -35,7 +35,15 @@ fn main() {
         let jv = bank_jvstm_gpu(&scale, rot);
         eprintln!("[bank] %ROT = {rot}: JVSTM (CPU)");
         let cpu = bank_jvstm_cpu(&scale, rot);
-        pts.push(Point { rot, csmv: csmv_r, nocv, onlycs, prstm: prstm_r, jv, cpu });
+        pts.push(Point {
+            rot,
+            csmv: csmv_r,
+            nocv,
+            onlycs,
+            prstm: prstm_r,
+            jv,
+            cpu,
+        });
     }
 
     // ---- Fig. 2a -----------------------------------------------------------
@@ -106,7 +114,14 @@ fn main() {
         .collect();
     print_table(
         "Table I (left) — JVSTM-GPU commit-phase breakdown (ms, Bank)",
-        &["%ROT", "Total", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "%ROT",
+            "Total",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &jv_rows,
     );
     let cs_rows: Vec<Vec<String>> = pts
@@ -119,7 +134,16 @@ fn main() {
         .collect();
     print_table(
         "Table I (right) — CSMV commit-phase breakdown (ms, Bank)",
-        &["%ROT", "Total", "Wait server", "Pre-Val.", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "%ROT",
+            "Total",
+            "Wait server",
+            "Pre-Val.",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &cs_rows,
     );
 
@@ -140,7 +164,15 @@ fn main() {
         .collect();
     print_table(
         "Table II — total/wasted time per transaction (ms, Bank)",
-        &["%ROT", "CSMV Total", "CSMV Wasted", "PR-STM Total", "PR-STM Wasted", "JVSTM-GPU Total", "JVSTM-GPU Wasted"],
+        &[
+            "%ROT",
+            "CSMV Total",
+            "CSMV Wasted",
+            "PR-STM Total",
+            "PR-STM Wasted",
+            "JVSTM-GPU Total",
+            "JVSTM-GPU Wasted",
+        ],
         &rows,
     );
 

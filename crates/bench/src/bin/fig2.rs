@@ -2,7 +2,10 @@
 //! function of the percentage of read-only transactions, for CSMV, PR-STM,
 //! JVSTM-GPU (simulated GPU) and JVSTM (host CPU).
 
-use bench::{bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, fmt_tput, print_table, Row, Scale};
+use bench::{
+    bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, fmt_tput, print_analysis_summary,
+    print_table, Row, Scale,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -39,12 +42,23 @@ fn main() {
         })
         .collect();
     print_table("Fig. 2b — Bank abort rate (%) vs %ROT", &headers, &abort);
+    let flat: Vec<Row> = rows.iter().flatten().cloned().collect();
+    print_analysis_summary(&flat);
 
     // Shape summary against the paper's headline claims.
     let speedup = |r: &Vec<Row>, i: usize| r[0].throughput / r[i].throughput.max(1e-12);
     let last = rows.last().unwrap();
     let first = rows.first().unwrap();
-    println!("\nCSMV/PR-STM     at 99% ROT: {:8.1}x   (paper: ~1000x)", speedup(last, 1));
-    println!("CSMV/JVSTM-GPU  at  1% ROT: {:8.1}x   (paper: ~20x)", speedup(first, 2));
-    println!("CSMV/JVSTM(CPU) at  1% ROT: {:8.1}x   (paper: ~20x)", speedup(first, 3));
+    println!(
+        "\nCSMV/PR-STM     at 99% ROT: {:8.1}x   (paper: ~1000x)",
+        speedup(last, 1)
+    );
+    println!(
+        "CSMV/JVSTM-GPU  at  1% ROT: {:8.1}x   (paper: ~20x)",
+        speedup(first, 2)
+    );
+    println!(
+        "CSMV/JVSTM(CPU) at  1% ROT: {:8.1}x   (paper: ~20x)",
+        speedup(first, 3)
+    );
 }

@@ -27,7 +27,11 @@ fn main() {
             v
         })
         .collect();
-    print_table("Fig. 3 — MemcachedGPU throughput (TXs/s) vs associativity", &headers, &tput);
+    print_table(
+        "Fig. 3 — MemcachedGPU throughput (TXs/s) vs associativity",
+        &headers,
+        &tput,
+    );
 
     let abort: Vec<Vec<String>> = rows
         .iter()

@@ -50,7 +50,12 @@ fn main() {
         let p = mc_prstm(&scale, w);
         eprintln!("[mc] ways = {w}: JVSTM-GPU");
         let j = mc_jvstm_gpu(&scale, w);
-        pts.push(Point { w, csmv: c, prstm: p, jv: j });
+        pts.push(Point {
+            w,
+            csmv: c,
+            prstm: p,
+            jv: j,
+        });
     }
 
     let headers = ["ways", "CSMV", "PR-STM", "JVSTM-GPU"];
@@ -65,7 +70,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Fig. 3 — MemcachedGPU throughput (TXs/s) vs associativity", &headers, &rows);
+    print_table(
+        "Fig. 3 — MemcachedGPU throughput (TXs/s) vs associativity",
+        &headers,
+        &rows,
+    );
 
     let rows: Vec<Vec<String>> = pts
         .iter()
@@ -90,7 +99,14 @@ fn main() {
         .collect();
     print_table(
         "Table III (left) — JVSTM-GPU commit-phase breakdown (µs, Memcached)",
-        &["ways", "Total", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "ways",
+            "Total",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &jv_rows,
     );
     let cs_rows: Vec<Vec<String>> = pts
@@ -103,7 +119,16 @@ fn main() {
         .collect();
     print_table(
         "Table III (right) — CSMV commit-phase breakdown (µs, Memcached)",
-        &["ways", "Total", "Wait server", "Pre-Val.", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "ways",
+            "Total",
+            "Wait server",
+            "Pre-Val.",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &cs_rows,
     );
 
@@ -123,7 +148,15 @@ fn main() {
         .collect();
     print_table(
         "Table IV — total/wasted time per transaction (ms, Memcached)",
-        &["ways", "JVSTM-GPU Total", "JVSTM-GPU Wasted", "CSMV Total", "CSMV Wasted", "PR-STM Total", "PR-STM Wasted"],
+        &[
+            "ways",
+            "JVSTM-GPU Total",
+            "JVSTM-GPU Wasted",
+            "CSMV Total",
+            "CSMV Wasted",
+            "PR-STM Total",
+            "PR-STM Wasted",
+        ],
         &rows,
     );
 

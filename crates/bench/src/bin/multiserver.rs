@@ -17,17 +17,25 @@ fn main() {
     let servers: &[usize] = &[1, 2, 4];
 
     let mut rows = Vec::new();
+    let mut audit = gpu_sim::AnalysisStats::default();
 
     // Reference: the paper's single-server CSMV (unpartitioned workload).
     {
-        let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+        let bank = BankConfig {
+            accounts: scale.accounts,
+            ..BankConfig::paper(rot_pct)
+        };
         let mut cfg = CsmvConfig {
-            gpu: GpuConfig { num_sms: scale.sms, ..GpuConfig::default() },
+            gpu: GpuConfig {
+                num_sms: scale.sms,
+                ..GpuConfig::default()
+            },
             versions_per_box: scale.versions,
             max_rs: 8,
             max_ws: 2,
             record_history: false,
             variant: CsmvVariant::Full,
+            analysis: scale.analysis_cfg(),
             ..Default::default()
         };
         cfg.fit_atr_capacity();
@@ -38,6 +46,9 @@ fn main() {
             bank.accounts,
             |_| bank.initial_balance,
         );
+        if let Some(a) = &res.analysis {
+            audit.merge(&a.stats());
+        }
         rows.push(vec![
             "CSMV (paper)".to_string(),
             "1".to_string(),
@@ -48,10 +59,16 @@ fn main() {
 
     for &n in servers {
         eprintln!("[multiserver] {n} server(s)");
-        let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) }
-            .partitioned(n as u64);
+        let bank = BankConfig {
+            accounts: scale.accounts,
+            ..BankConfig::paper(rot_pct)
+        }
+        .partitioned(n as u64);
         let cfg = MultiCsmvConfig {
-            gpu: GpuConfig { num_sms: scale.sms, ..GpuConfig::default() },
+            gpu: GpuConfig {
+                num_sms: scale.sms,
+                ..GpuConfig::default()
+            },
             num_servers: n,
             versions_per_box: scale.versions,
             warps_per_sm: 2,
@@ -60,6 +77,7 @@ fn main() {
             max_ws: 2,
             atr_capacity: 1024,
             record_history: false,
+            analysis: scale.analysis_cfg(),
         };
         let res = csmv::run_multi(
             &cfg,
@@ -67,6 +85,9 @@ fn main() {
             bank.accounts,
             |_| bank.initial_balance,
         );
+        if let Some(a) = &res.analysis {
+            audit.merge(&a.stats());
+        }
         rows.push(vec![
             "CSMV-multi".to_string(),
             n.to_string(),
@@ -80,6 +101,12 @@ fn main() {
         &["system", "servers", "TXs/s", "abort %"],
         &rows,
     );
+    if audit.events > 0 {
+        println!(
+            "analysis: {} memory events, {} races, {} invariant violations",
+            audit.events, audit.races, audit.violations
+        );
+    }
     println!(
         "\nNote: multi-server rows trade client SMs for server SMs (same total {}),\n\
          and their workload restricts transfers to one partition (see csmv::multi docs).",

@@ -24,12 +24,28 @@ fn main() {
 
     print_table(
         "Table I (left) — JVSTM-GPU commit-phase breakdown (ms, Bank)",
-        &["%ROT", "Total", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "%ROT",
+            "Total",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &jv_rows,
     );
     print_table(
         "Table I (right) — CSMV commit-phase breakdown (ms, Bank)",
-        &["%ROT", "Total", "Wait server", "Pre-Val.", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "%ROT",
+            "Total",
+            "Wait server",
+            "Pre-Val.",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &cs_rows,
     );
 }

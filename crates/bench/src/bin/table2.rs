@@ -25,7 +25,15 @@ fn main() {
     }
     print_table(
         "Table II — total/wasted time per transaction (ms, Bank)",
-        &["%ROT", "CSMV Total", "CSMV Wasted", "PR-STM Total", "PR-STM Wasted", "JVSTM-GPU Total", "JVSTM-GPU Wasted"],
+        &[
+            "%ROT",
+            "CSMV Total",
+            "CSMV Wasted",
+            "PR-STM Total",
+            "PR-STM Wasted",
+            "JVSTM-GPU Total",
+            "JVSTM-GPU Wasted",
+        ],
         &rows,
     );
 }

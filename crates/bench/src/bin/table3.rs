@@ -51,12 +51,28 @@ fn main() {
 
     print_table(
         "Table III (left) — JVSTM-GPU commit-phase breakdown (µs, Memcached)",
-        &["ways", "Total", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "ways",
+            "Total",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &jv_rows,
     );
     print_table(
         "Table III (right) — CSMV commit-phase breakdown (µs, Memcached)",
-        &["ways", "Total", "Wait server", "Pre-Val.", "Valid.", "Rec. Insert", "Write-back", "Divergence"],
+        &[
+            "ways",
+            "Total",
+            "Wait server",
+            "Pre-Val.",
+            "Valid.",
+            "Rec. Insert",
+            "Write-back",
+            "Divergence",
+        ],
         &cs_rows,
     );
 }

@@ -25,7 +25,15 @@ fn main() {
     }
     print_table(
         "Table IV — total/wasted time per transaction (ms, Memcached)",
-        &["ways", "JVSTM-GPU Total", "JVSTM-GPU Wasted", "CSMV Total", "CSMV Wasted", "PR-STM Total", "PR-STM Wasted"],
+        &[
+            "ways",
+            "JVSTM-GPU Total",
+            "JVSTM-GPU Wasted",
+            "CSMV Total",
+            "CSMV Wasted",
+            "PR-STM Total",
+            "PR-STM Wasted",
+        ],
         &rows,
     );
 }

@@ -17,7 +17,10 @@ fn main() {
     let pr = bank_prstm(&scale, rot);
     let pr_bytes = scale.accounts * 4;
 
-    let mut size_row = vec!["Tx. Data Size [KB]".to_string(), format!("{:.2}", pr_bytes as f64 / 1024.0)];
+    let mut size_row = vec![
+        "Tx. Data Size [KB]".to_string(),
+        format!("{:.2}", pr_bytes as f64 / 1024.0),
+    ];
     let mut tput_row = vec!["Throughput [TXs/s]".to_string(), fmt_tput(pr.throughput)];
     let mut abort_row = vec!["Abort rate [%]".to_string(), format!("{:.2}", pr.abort_pct)];
 

@@ -17,7 +17,9 @@
 //! the default is the paper-faithful scale: 28 SMs, 64-thread blocks, 6 000
 //! bank accounts, a 1 M-slot cache, 99.8 % GETs.
 
-use gpu_sim::GpuConfig;
+#![forbid(unsafe_code)]
+
+use gpu_sim::{AnalysisConfig, AnalysisStats, GpuConfig};
 use stm_core::{Phase, RunResult, TimeBreakdown};
 use workloads::{BankConfig, BankSource, MemcachedConfig, MemcachedSource, Zipfian};
 
@@ -38,6 +40,11 @@ pub struct Scale {
     pub versions: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Run every configuration under the analysis layer (race detector +
+    /// protocol-invariant checkers) and report its counters. Slows the
+    /// simulation down; results are unchanged (analysis never perturbs
+    /// timing).
+    pub analysis: bool,
 }
 
 impl Scale {
@@ -51,6 +58,7 @@ impl Scale {
             mc_txs: 12,
             versions: 8,
             seed: 0xC5_3A17,
+            analysis: false,
         }
     }
 
@@ -64,20 +72,41 @@ impl Scale {
             mc_txs: 6,
             versions: 8,
             seed: 0xC5_3A17,
+            analysis: false,
         }
     }
 
-    /// Scale selected by the `BENCH_QUICK` environment variable.
+    /// Scale selected by the `BENCH_QUICK` environment variable; setting
+    /// `BENCH_ANALYSIS=1` additionally runs everything under the analysis
+    /// layer and prints what it found.
     pub fn from_env() -> Self {
-        if std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false) {
+        let mut scale = if std::env::var("BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Self::quick()
         } else {
             Self::paper()
+        };
+        scale.analysis = std::env::var("BENCH_ANALYSIS")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        scale
+    }
+
+    /// The analysis configuration the `analysis` knob selects.
+    pub fn analysis_cfg(&self) -> AnalysisConfig {
+        AnalysisConfig {
+            races: self.analysis,
+            invariants: self.analysis,
         }
     }
 
     fn gpu(&self) -> GpuConfig {
-        GpuConfig { num_sms: self.sms, ..GpuConfig::default() }
+        GpuConfig {
+            num_sms: self.sms,
+            ..GpuConfig::default()
+        }
     }
 }
 
@@ -106,6 +135,8 @@ pub struct Row {
     pub commits: u64,
     /// Raw abort count.
     pub aborts: u64,
+    /// Analysis-layer counters, when [`Scale::analysis`] was on.
+    pub analysis: Option<AnalysisStats>,
 }
 
 const CLOCK_GHZ: f64 = 1.58;
@@ -131,6 +162,7 @@ fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
         elapsed_ms: cycles_to_ms(res.elapsed_cycles),
         commits: res.stats.commits(),
         aborts: res.stats.aborts(),
+        analysis: res.analysis.as_ref().map(|a| a.stats()),
     }
 }
 
@@ -140,7 +172,10 @@ fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
 
 /// CSMV on Bank at a given %ROT (any variant, any version count).
 pub fn bank_csmv(scale: &Scale, rot_pct: u8, variant: csmv::CsmvVariant, versions: u64) -> Row {
-    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let bank = BankConfig {
+        accounts: scale.accounts,
+        ..BankConfig::paper(rot_pct)
+    };
     let mut cfg = csmv::CsmvConfig {
         gpu: scale.gpu(),
         versions_per_box: versions,
@@ -149,6 +184,7 @@ pub fn bank_csmv(scale: &Scale, rot_pct: u8, variant: csmv::CsmvVariant, version
         max_ws: 2,
         record_history: false,
         variant,
+        analysis: scale.analysis_cfg(),
         ..Default::default()
     };
     cfg.fit_atr_capacity();
@@ -163,7 +199,10 @@ pub fn bank_csmv(scale: &Scale, rot_pct: u8, variant: csmv::CsmvVariant, version
 
 /// JVSTM-GPU on Bank.
 pub fn bank_jvstm_gpu(scale: &Scale, rot_pct: u8) -> Row {
-    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let bank = BankConfig {
+        accounts: scale.accounts,
+        ..BankConfig::paper(rot_pct)
+    };
     let cfg = jvstm_gpu::JvstmGpuConfig {
         gpu: scale.gpu(),
         versions_per_box: scale.versions,
@@ -171,6 +210,7 @@ pub fn bank_jvstm_gpu(scale: &Scale, rot_pct: u8) -> Row {
         max_ws: 8,
         atr_capacity: cfg_atr(scale),
         record_history: false,
+        analysis: scale.analysis_cfg(),
         ..Default::default()
     };
     let res = jvstm_gpu::run(
@@ -189,12 +229,16 @@ fn cfg_atr(scale: &Scale) -> usize {
 
 /// PR-STM on Bank. The read-set capacity must cover a full balance scan.
 pub fn bank_prstm(scale: &Scale, rot_pct: u8) -> Row {
-    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
+    let bank = BankConfig {
+        accounts: scale.accounts,
+        ..BankConfig::paper(rot_pct)
+    };
     let cfg = prstm::PrstmConfig {
         gpu: scale.gpu(),
         max_rs: scale.accounts as usize + 8,
         max_ws: 8,
         record_history: false,
+        analysis: scale.analysis_cfg(),
         ..Default::default()
     };
     let res = prstm::run(
@@ -208,8 +252,14 @@ pub fn bank_prstm(scale: &Scale, rot_pct: u8) -> Row {
 
 /// JVSTM on the host CPU (wall-clock measured).
 pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
-    let bank = BankConfig { accounts: scale.accounts, ..BankConfig::paper(rot_pct) };
-    let cfg = jvstm_cpu::JvstmCpuConfig { threads: 28, record_history: false };
+    let bank = BankConfig {
+        accounts: scale.accounts,
+        ..BankConfig::paper(rot_pct)
+    };
+    let cfg = jvstm_cpu::JvstmCpuConfig {
+        threads: 28,
+        record_history: false,
+    };
     // Give each CPU thread the same per-thread quota as a GPU thread times
     // the thread-count ratio, so total work is comparable.
     let gpu_threads = scale.sms * 2 * gpu_sim::WARP_LANES;
@@ -232,6 +282,7 @@ pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
         elapsed_ms: res.elapsed.as_secs_f64() * 1e3,
         commits: res.stats.commits(),
         aborts: res.stats.aborts(),
+        analysis: None, // the CPU baseline runs outside the simulator
     }
 }
 
@@ -240,7 +291,10 @@ pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
 // ---------------------------------------------------------------------------
 
 fn mc_cfg(scale: &Scale, ways: u64) -> MemcachedConfig {
-    MemcachedConfig { capacity: scale.capacity, ..MemcachedConfig::paper(ways) }
+    MemcachedConfig {
+        capacity: scale.capacity,
+        ..MemcachedConfig::paper(ways)
+    }
 }
 
 /// Per-thread read-set bound for Memcached: a PUT may scan all key tags and
@@ -260,6 +314,7 @@ pub fn mc_csmv(scale: &Scale, ways: u64, variant: csmv::CsmvVariant) -> Row {
         max_ws: 4,
         record_history: false,
         variant,
+        analysis: scale.analysis_cfg(),
         ..Default::default()
     };
     cfg.fit_atr_capacity();
@@ -283,6 +338,7 @@ pub fn mc_jvstm_gpu(scale: &Scale, ways: u64) -> Row {
         max_ws: 4,
         atr_capacity: cfg_atr(scale),
         record_history: false,
+        analysis: scale.analysis_cfg(),
         ..Default::default()
     };
     let res = jvstm_gpu::run(
@@ -303,6 +359,7 @@ pub fn mc_prstm(scale: &Scale, ways: u64) -> Row {
         max_rs: mc_max_rs(ways) + 2,
         max_ws: 4,
         record_history: false,
+        analysis: scale.analysis_cfg(),
         ..Default::default()
     };
     let res = prstm::run(
@@ -374,9 +431,7 @@ pub fn fmt_ms(v: f64) -> String {
 
 /// Extract the paper's Table I/III columns from a row.
 pub fn breakdown_cells(row: &Row, csmv_style: bool) -> Vec<String> {
-    let bd = |p: Phase| {
-        cycles_to_ms(row.client_bd.phase(p) + row.server_bd.phase(p))
-    };
+    let bd = |p: Phase| cycles_to_ms(row.client_bd.phase(p) + row.server_bd.phase(p));
     let divergence =
         cycles_to_ms(row.client_bd.commit_divergence() + row.server_bd.commit_divergence());
     let total = cycles_to_ms(row.client_bd.commit_total() + row.server_bd.commit_total());
@@ -392,9 +447,47 @@ pub fn breakdown_cells(row: &Row, csmv_style: bool) -> Vec<String> {
     cells
 }
 
+/// Print the analysis-layer summary line for a set of rows (no-op when the
+/// rows were measured without analysis).
+pub fn print_analysis_summary(rows: &[Row]) {
+    let mut events = 0u64;
+    let mut races = 0u64;
+    let mut violations = 0u64;
+    let mut any = false;
+    for r in rows {
+        if let Some(a) = r.analysis {
+            any = true;
+            events += a.events;
+            races += a.races;
+            violations += a.violations;
+        }
+    }
+    if any {
+        println!(
+            "analysis: {events} memory events, {races} races, {violations} invariant violations"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn analysed_quick_bank_runs_are_clean() {
+        let mut scale = Scale::quick();
+        scale.analysis = true;
+        for row in [
+            bank_csmv(&scale, 50, csmv::CsmvVariant::Full, 8),
+            bank_jvstm_gpu(&scale, 50),
+            bank_prstm(&scale, 50),
+        ] {
+            let a = row.analysis.expect("analysis was on");
+            assert!(a.events > 0, "{}", row.system);
+            assert_eq!(a.races, 0, "{}", row.system);
+            assert_eq!(a.violations, 0, "{}", row.system);
+        }
+    }
 
     #[test]
     fn quick_scale_bank_smoke() {

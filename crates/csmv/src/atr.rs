@@ -37,7 +37,11 @@ impl SharedAtr {
     pub fn alloc(dev: &mut Device, sm: usize, capacity: u64, max_ws: usize) -> Self {
         let words = 1 + capacity as usize * (2 + max_ws);
         let base = dev.alloc_shared(sm, words);
-        Self { base, capacity, max_ws }
+        Self {
+            base,
+            capacity,
+            max_ws,
+        }
     }
 
     /// Ring capacity in entries.

@@ -1,0 +1,612 @@
+//! CSMV-specific protocol-invariant checker for the simulator's analysis
+//! layer.
+//!
+//! [`CsmvInvariantChecker`] watches the raw memory-event stream of a
+//! **single-server** CSMV run and re-derives the commit protocol's
+//! obligations from §III-B of the paper:
+//!
+//! 1. **Reservation order** — commit timestamps are handed out by CAS on
+//!    the shared `next_cts` counter; every successful CAS must extend the
+//!    counter gap-free (the batch `[expected, new)` follows directly after
+//!    the previous one).
+//! 2. **ATR publication** — a cts tag written into an ATR slot must land
+//!    in the slot the ring mapping assigns it (`slot_of(cts)`), must have
+//!    been reserved first, must be strictly increasing per slot (ring
+//!    recycling only moves forward), and is published at most once.
+//! 3. **GTS turn-taking** — the GTS is bumped once per reserved batch, in
+//!    reservation order, to that batch's last cts. A client that skips the
+//!    turn-taking wait publishes out of order and trips this check.
+//! 4. **No write-back before validation** — a version word installed in a
+//!    VBox must carry a cts that the server already published to the ATR;
+//!    writing back with an unreserved/unpublished timestamp means the
+//!    write skipped validation.
+//! 5. **End-of-run density** — the published cts set is exactly
+//!    `1..=count` (the turn-taking protocol relies on it).
+//!
+//! The multi-server variant publishes the GTS progressively (a run of
+//! consecutive ctss at a time) and reserves from a *global* counter, which
+//! breaks assumptions 1 and 3 — `run_multi` therefore only enables the
+//! race detector, not this checker.
+
+use std::collections::{HashMap, HashSet};
+
+use gpu_sim::{AccessKind, InvariantChecker, MemEvent, Space, Violation};
+use stm_core::vbox::unpack_version;
+use stm_core::VBoxHeap;
+
+use crate::SharedAtr;
+
+/// One reserved commit-timestamp batch: the half-open range `[base, last]`
+/// handed out by a successful CAS on `next_cts`.
+#[derive(Debug, Clone, Copy)]
+struct Batch {
+    base: u64,
+    last: u64,
+}
+
+/// Protocol-invariant checker for single-server CSMV (all variants).
+pub struct CsmvInvariantChecker {
+    atr: SharedAtr,
+    heap: VBoxHeap,
+    gts_addr: u64,
+    server_sm: usize,
+    // Derived ATR geometry (`SharedAtr` keeps its base private; slot 0's
+    // cts-tag address plus the per-slot stride recover the full map).
+    cts0: u64,
+    stride: u64,
+    // Derived VBox geometry.
+    h0: u64,
+    words_per_box: u64,
+    // Reservation state: `next` mirrors the shared counter (host-initialised
+    // to 1), `batches` the reserved-but-not-yet-GTS-published queue.
+    next: u64,
+    batches: Vec<Batch>,
+    // Publication state.
+    published: HashSet<u64>,
+    last_tag: HashMap<u64, u64>,
+    // GTS state: current value and index of the next batch due to publish.
+    gts: u64,
+    gts_batch: usize,
+}
+
+impl CsmvInvariantChecker {
+    /// Build a checker for one CSMV launch. `server_sm` scopes the shared
+    /// ATR addresses; `gts_addr` is the global GTS word (assumed to start
+    /// at 0, as `run` initialises it).
+    pub fn new(atr: SharedAtr, heap: VBoxHeap, gts_addr: u64, server_sm: usize) -> Self {
+        let cts0 = atr.slot_cts_addr(0);
+        let stride = 2 + atr.max_ws() as u64;
+        let h0 = heap.head_addr(0);
+        let words_per_box = 1 + heap.versions_per_box();
+        Self {
+            atr,
+            heap,
+            gts_addr,
+            server_sm,
+            cts0,
+            stride,
+            h0,
+            words_per_box,
+            next: 1,
+            batches: Vec::new(),
+            published: HashSet::new(),
+            last_tag: HashMap::new(),
+            gts: 0,
+            gts_batch: 0,
+        }
+    }
+
+    fn violation(ev: &MemEvent, message: String) -> Violation {
+        Violation {
+            checker: "csmv",
+            warp: ev.warp,
+            clock: ev.clock,
+            addr: ev.addr,
+            message,
+        }
+    }
+
+    /// Successful CAS on the shared `next_cts` counter: a batch reservation.
+    fn on_reserve(&mut self, ev: &MemEvent, expected: u64, new: u64, out: &mut Vec<Violation>) {
+        if expected != self.next {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "cts reservation CAS succeeded from {expected} but the counter \
+                     should be {} — reservations must be gap-free",
+                    self.next
+                ),
+            ));
+        }
+        if new <= expected {
+            out.push(Self::violation(
+                ev,
+                format!("cts reservation moved the counter backwards ({expected} -> {new})"),
+            ));
+            return;
+        }
+        self.batches.push(Batch {
+            base: expected,
+            last: new - 1,
+        });
+        self.next = new;
+    }
+
+    /// A cts tag written into an ATR slot (publication of one entry).
+    fn on_tag_write(&mut self, ev: &MemEvent, slot: u64, cts: u64, out: &mut Vec<Violation>) {
+        if cts == 0 {
+            out.push(Self::violation(
+                ev,
+                "published cts 0 (timestamps are 1-based)".into(),
+            ));
+            return;
+        }
+        if cts >= self.next {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "published cts {cts} before it was reserved (next_cts is {})",
+                    self.next
+                ),
+            ));
+        }
+        if self.atr.slot_of(cts) != slot {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "cts {cts} published into ATR slot {slot}, but the ring maps it to slot {}",
+                    self.atr.slot_of(cts)
+                ),
+            ));
+        }
+        if let Some(&prev) = self.last_tag.get(&slot) {
+            if cts <= prev {
+                out.push(Self::violation(
+                    ev,
+                    format!(
+                        "ATR slot {slot} tag went from {prev} to {cts} — per-slot tags must \
+                         strictly increase (ring recycling only moves forward)"
+                    ),
+                ));
+            }
+        }
+        self.last_tag.insert(slot, cts);
+        if !self.published.insert(cts) {
+            out.push(Self::violation(ev, format!("cts {cts} published twice")));
+        }
+    }
+
+    /// A write to the global GTS word (batch publication).
+    fn on_gts_write(&mut self, ev: &MemEvent, value: u64, out: &mut Vec<Violation>) {
+        if value <= self.gts {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "GTS moved from {} to {value} — it must strictly increase",
+                    self.gts
+                ),
+            ));
+        }
+        match self.batches.get(self.gts_batch) {
+            None => out.push(Self::violation(
+                ev,
+                format!("GTS bumped to {value} with no reserved batch outstanding"),
+            )),
+            Some(b) => {
+                if value != b.last {
+                    out.push(Self::violation(
+                        ev,
+                        format!(
+                            "GTS bumped to {value}, but the next batch in reservation order \
+                             is [{}, {}] and must publish {} — a batch published out of turn",
+                            b.base, b.last, b.last
+                        ),
+                    ));
+                } else if self.gts != b.base - 1 {
+                    out.push(Self::violation(
+                        ev,
+                        format!(
+                            "batch [{}, {}] published while GTS was {} (expected {}) — \
+                             the turn-taking wait was skipped",
+                            b.base,
+                            b.last,
+                            self.gts,
+                            b.base - 1
+                        ),
+                    ));
+                }
+            }
+        }
+        self.gts = value;
+        self.gts_batch += 1;
+    }
+
+    /// A write into the VBox heap region (write-back).
+    fn on_heap_write(&mut self, ev: &MemEvent, out: &mut Vec<Violation>) {
+        let off = ev.addr - self.h0;
+        let item = off / self.words_per_box;
+        if off.is_multiple_of(self.words_per_box) {
+            if ev.value >= self.heap.versions_per_box() {
+                out.push(Self::violation(
+                    ev,
+                    format!(
+                        "VBox {item} head set to {} but only {} version slots exist",
+                        ev.value,
+                        self.heap.versions_per_box()
+                    ),
+                ));
+            }
+        } else {
+            let (ts, _) = unpack_version(ev.value);
+            if !self.published.contains(&ts) {
+                out.push(Self::violation(
+                    ev,
+                    format!(
+                        "VBox {item} version installed with cts {ts}, which the server \
+                         never published — write-back before validation"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl InvariantChecker for CsmvInvariantChecker {
+    fn name(&self) -> &'static str {
+        "csmv"
+    }
+
+    fn on_event(&mut self, ev: &MemEvent, out: &mut Vec<Violation>) {
+        match ev.space {
+            Space::Shared => {
+                if ev.sm != self.server_sm {
+                    return;
+                }
+                if ev.addr == self.atr.next_cts_addr() {
+                    if let AccessKind::Cas {
+                        expected,
+                        new,
+                        success: true,
+                    } = ev.kind
+                    {
+                        self.on_reserve(ev, expected, new, out);
+                    }
+                    return;
+                }
+                // A plain store to a cts-tag word publishes an ATR entry.
+                if ev.kind == AccessKind::Write && ev.addr >= self.cts0 {
+                    let off = ev.addr - self.cts0;
+                    let slot = off / self.stride;
+                    if off.is_multiple_of(self.stride) && slot < self.atr.capacity() {
+                        self.on_tag_write(ev, slot, ev.value, out);
+                    }
+                }
+            }
+            Space::Global => {
+                if ev.addr == self.gts_addr {
+                    if ev.kind == AccessKind::Write {
+                        self.on_gts_write(ev, ev.value, out);
+                    }
+                    return;
+                }
+                let heap_end = self.h0 + self.heap.num_items() * self.words_per_box;
+                if ev.kind == AccessKind::Write && ev.addr >= self.h0 && ev.addr < heap_end {
+                    self.on_heap_write(ev, out);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Violation>) {
+        let reserved = self.next - 1;
+        for cts in 1..=reserved {
+            if !self.published.contains(&cts) {
+                out.push(Violation {
+                    checker: "csmv",
+                    warp: usize::MAX,
+                    clock: u64::MAX,
+                    addr: u64::MAX,
+                    message: format!(
+                        "cts {cts} was reserved but never published to the ATR — \
+                         the published set must be dense 1..={reserved}"
+                    ),
+                });
+            }
+        }
+        if self.published.len() as u64 != reserved {
+            out.push(Violation {
+                checker: "csmv",
+                warp: usize::MAX,
+                clock: u64::MAX,
+                addr: u64::MAX,
+                message: format!(
+                    "{} distinct ctss published but only {reserved} were reserved",
+                    self.published.len()
+                ),
+            });
+        }
+        if self.gts_batch != self.batches.len() {
+            out.push(Violation {
+                checker: "csmv",
+                warp: usize::MAX,
+                clock: u64::MAX,
+                addr: u64::MAX,
+                message: format!(
+                    "{} batches reserved but the GTS was only bumped {} times",
+                    self.batches.len(),
+                    self.gts_batch
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        run, CommitProtocol, CsmvClient, CsmvConfig, CsmvVariant, ReceiverWarp, ServerControl,
+        WorkerWarp,
+    };
+    use gpu_sim::{AnalysisConfig, Device, GpuConfig};
+    use workloads::{BankConfig, BankSource};
+
+    fn analysed_cfg(variant: CsmvVariant) -> CsmvConfig {
+        let gpu = GpuConfig {
+            num_sms: 5,
+            ..Default::default()
+        };
+        CsmvConfig {
+            gpu,
+            variant,
+            server_workers: 3,
+            analysis: AnalysisConfig {
+                races: true,
+                invariants: true,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Every stock variant must come out of a contended run with zero races
+    /// and zero protocol violations — the analysis layer's "no false
+    /// positives" baseline.
+    #[test]
+    fn stock_variants_run_clean_under_full_analysis() {
+        for (variant, seed) in [
+            (CsmvVariant::Full, 42),
+            (CsmvVariant::NoCv, 43),
+            (CsmvVariant::OnlyCs, 44),
+        ] {
+            let cfg = analysed_cfg(variant);
+            let bank = BankConfig::small(64, 30);
+            let res = run(
+                &cfg,
+                |t| BankSource::new(&bank, seed, t, 3),
+                bank.accounts,
+                |_| bank.initial_balance,
+            );
+            let report = res.analysis.expect("analysis was enabled");
+            assert!(report.events > 0, "analysis must have observed the run");
+            assert!(
+                report.is_clean(),
+                "variant {variant:?}: races {:?}, violations {:?}",
+                report.races,
+                report.violations
+            );
+        }
+    }
+
+    /// ATR ring recycling (tiny window, forced wrap-around) exercises the
+    /// seqlock-style tag re-check paths; they must stay clean too.
+    #[test]
+    fn atr_window_overflow_runs_clean_under_full_analysis() {
+        let mut cfg = analysed_cfg(CsmvVariant::Full);
+        cfg.atr_capacity = 4;
+        cfg.versions_per_box = 16;
+        let bank = BankConfig::small(16, 0);
+        let res = run(
+            &cfg,
+            |t| BankSource::new(&bank, 9, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        let report = res.analysis.expect("analysis was enabled");
+        assert!(
+            report.is_clean(),
+            "races {:?}, violations {:?}",
+            report.races,
+            report.violations
+        );
+    }
+
+    /// Seeded protocol bug: one warp skips the GTS turn-taking wait and
+    /// publishes its batch out of order. The checker must flag the first
+    /// out-of-turn bump. The run is stepped manually so we can stop at the
+    /// first violation — past that point the protocol is genuinely broken
+    /// (healthy warps assert that the GTS never overtakes their batch).
+    #[test]
+    fn seeded_skip_gts_wait_is_detected() {
+        let cfg = analysed_cfg(CsmvVariant::Full);
+        let bank = BankConfig::small(64, 0); // all-update workload
+        let server_sm = cfg.gpu.num_sms - 1;
+        let num_clients = cfg.num_client_warps();
+
+        let mut dev = Device::new(cfg.gpu.clone());
+        let gts_addr = dev.alloc_global(1);
+        let done_addr = dev.alloc_global(1);
+        let heap = stm_core::VBoxHeap::init(
+            dev.global_mut(),
+            bank.accounts,
+            cfg.versions_per_box,
+            |_| bank.initial_balance,
+        );
+        let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+        let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
+        let ctl = ServerControl::alloc(&mut dev, server_sm, num_clients);
+        dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
+        dev.enable_analysis(cfg.analysis);
+        dev.add_invariant_checker(Box::new(CsmvInvariantChecker::new(
+            atr.clone(),
+            heap.clone(),
+            gts_addr,
+            server_sm,
+        )));
+
+        let mut thread_id = 0;
+        let mut slot = 0;
+        for sm in 0..server_sm {
+            for _ in 0..cfg.warps_per_sm {
+                let sources: Vec<BankSource> = (0..32)
+                    .map(|i| BankSource::new(&bank, 7, thread_id + i, 4))
+                    .collect();
+                let mut client = CsmvClient::new(
+                    sources,
+                    thread_id,
+                    Default::default(),
+                    heap.clone(),
+                    proto.clone(),
+                    slot,
+                    gts_addr,
+                    done_addr,
+                    cfg.variant,
+                );
+                if slot == num_clients - 1 {
+                    client.inject_skip_gts_wait();
+                }
+                dev.spawn(sm, Box::new(client));
+                thread_id += 32;
+                slot += 1;
+            }
+        }
+        dev.spawn(
+            server_sm,
+            Box::new(ReceiverWarp::new(
+                proto.clone(),
+                ctl.clone(),
+                num_clients,
+                done_addr,
+            )),
+        );
+        for _ in 0..cfg.server_workers {
+            dev.spawn(
+                server_sm,
+                Box::new(WorkerWarp::new(
+                    proto.clone(),
+                    ctl.clone(),
+                    atr.clone(),
+                    heap.clone(),
+                    gts_addr,
+                    cfg.variant,
+                )),
+            );
+        }
+
+        for _ in 0..50_000_000u64 {
+            if dev.analysis().is_some_and(|a| a.violation_count() > 0) {
+                let v = &dev.analysis().unwrap().violations()[0];
+                assert_eq!(v.checker, "csmv");
+                assert!(
+                    v.message.contains("out of turn") || v.message.contains("turn-taking"),
+                    "unexpected violation: {v}"
+                );
+                return;
+            }
+            if dev.live_warps() == 0 {
+                panic!("run completed without the seeded bug being detected");
+            }
+            dev.step_once();
+        }
+        panic!("run neither finished nor produced a violation");
+    }
+
+    /// A single client warp that skips the wait is always "next in line", so
+    /// the skip is unobservable and must NOT be flagged — the checker keys on
+    /// protocol order, not on which code path produced the bump.
+    #[test]
+    fn single_client_skip_is_benign() {
+        let gpu = GpuConfig {
+            num_sms: 2,
+            ..Default::default()
+        }; // 1 client SM + server
+        let cfg = CsmvConfig {
+            gpu,
+            server_workers: 2,
+            warps_per_sm: 1,
+            analysis: AnalysisConfig {
+                races: true,
+                invariants: true,
+            },
+            ..Default::default()
+        };
+        let bank = BankConfig::small(16, 0);
+        let server_sm = cfg.gpu.num_sms - 1;
+        let num_clients = cfg.num_client_warps();
+
+        let mut dev = Device::new(cfg.gpu.clone());
+        let gts_addr = dev.alloc_global(1);
+        let done_addr = dev.alloc_global(1);
+        let heap = stm_core::VBoxHeap::init(
+            dev.global_mut(),
+            bank.accounts,
+            cfg.versions_per_box,
+            |_| bank.initial_balance,
+        );
+        let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+        let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
+        let ctl = ServerControl::alloc(&mut dev, server_sm, num_clients);
+        dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
+        dev.enable_analysis(cfg.analysis);
+        dev.add_invariant_checker(Box::new(CsmvInvariantChecker::new(
+            atr.clone(),
+            heap.clone(),
+            gts_addr,
+            server_sm,
+        )));
+
+        let sources: Vec<BankSource> = (0..32).map(|i| BankSource::new(&bank, 3, i, 3)).collect();
+        let mut client = CsmvClient::new(
+            sources,
+            0,
+            Default::default(),
+            heap.clone(),
+            proto.clone(),
+            0,
+            gts_addr,
+            done_addr,
+            cfg.variant,
+        );
+        client.inject_skip_gts_wait();
+        dev.spawn(0, Box::new(client));
+        dev.spawn(
+            server_sm,
+            Box::new(ReceiverWarp::new(
+                proto.clone(),
+                ctl.clone(),
+                num_clients,
+                done_addr,
+            )),
+        );
+        for _ in 0..cfg.server_workers {
+            dev.spawn(
+                server_sm,
+                Box::new(WorkerWarp::new(
+                    proto.clone(),
+                    ctl.clone(),
+                    atr.clone(),
+                    heap.clone(),
+                    gts_addr,
+                    cfg.variant,
+                )),
+            );
+        }
+        dev.run_to_completion();
+        let report = dev.finish_analysis().expect("analysis enabled");
+        assert_eq!(
+            report.violations.len(),
+            0,
+            "violations: {:?}",
+            report.violations
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //! with a single GTS bump once its turn arrives (§III-B).
 
 use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
-use gpu_sim::{full_mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use gpu_sim::{full_mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
 use stm_core::mv_exec::{MvExec, MvExecConfig};
 use stm_core::{Phase, TxSource, VBoxHeap};
 
@@ -64,6 +64,8 @@ pub struct CsmvClient<S: TxSource> {
     done_addr: u64,
     variant: CsmvVariant,
     phase: Phase_,
+    /// Seeded bug (see [`CsmvClient::inject_skip_gts_wait`]).
+    skip_gts_wait: bool,
     /// Commit timestamps handed back by the server (0 = none).
     lane_cts: [u64; WARP_LANES],
     /// Per-lane write-back head registers.
@@ -97,7 +99,15 @@ impl<S: TxSource> CsmvClient<S> {
             phase: Phase_::Begin,
             lane_cts: [0; WARP_LANES],
             lane_head: [0; WARP_LANES],
+            skip_gts_wait: false,
         }
+    }
+
+    /// Seed a protocol bug for analysis-layer tests: this warp publishes its
+    /// batches without waiting for its GTS turn, breaking the turn-taking
+    /// order of §III-B. The invariant checker must flag the first such bump.
+    pub fn inject_skip_gts_wait(&mut self) {
+        self.skip_gts_wait = true;
     }
 
     /// Lanes whose update transaction survived so far and awaits submission.
@@ -140,19 +150,21 @@ impl<S: TxSource> CsmvClient<S> {
     fn step_preval(&mut self, w: &mut WarpCtx, lane: usize) -> Phase_ {
         w.set_phase(Phase::PreValidation.id());
         let committing = self.committing_mask();
-        let ws_items: Vec<u64> =
-            self.exec.lanes[lane].ws.iter().map(|&(item, _)| item).collect();
+        let ws_items: Vec<u64> = self.exec.lanes[lane]
+            .ws
+            .iter()
+            .map(|&(item, _)| item)
+            .collect();
         // One shuffle per broadcast word, plus the compare ALU work.
         let mut regs = [0u64; WARP_LANES];
         let mut losers: u32 = 0;
         for &item in &ws_items {
             regs[lane] = item;
             let got = w.shfl(committing, &regs, |_| lane);
-            for j in (lane + 1)..WARP_LANES {
+            for (j, &e) in got.iter().enumerate().skip(lane + 1) {
                 if committing & (1 << j) == 0 || losers & (1 << j) != 0 {
                     continue;
                 }
-                let e = got[j];
                 let lj = &self.exec.lanes[j];
                 if lj.rs.contains(&e) || lj.ws.iter().any(|&(it, _)| it == e) {
                     losers |= 1 << j;
@@ -185,7 +197,11 @@ impl<S: TxSource> CsmvClient<S> {
 
     /// Current warp phase, for diagnostics.
     pub fn debug_phase(&self) -> String {
-        format!("{:?} committing={:032b}", self.phase, self.committing_mask())
+        format!(
+            "{:?} committing={:032b}",
+            self.phase,
+            self.committing_mask()
+        )
     }
 }
 
@@ -242,12 +258,7 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 w.global_write(
                     full_mask(),
                     |l| proto.hdr_a_addr(slot, l),
-                    |l| {
-                        CommitProtocol::pack_hdr_a(
-                            committing & (1 << l) != 0,
-                            lanes[l].snapshot,
-                        )
-                    },
+                    |l| CommitProtocol::pack_hdr_a(committing & (1 << l) != 0, lanes[l].snapshot),
                 );
                 self.phase = Phase_::SendHdrB;
                 StepOutcome::Running
@@ -268,10 +279,13 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
             Phase_::SendFlag => {
                 w.set_phase(Phase::WaitServer.id());
                 let leader = self.leader_lane();
-                w.global_write1(
+                // Release: publishes the headers/payload written above to the
+                // server, which acquires this flag when it polls.
+                w.global_write1_ord(
                     leader,
                     self.proto.mailboxes().status_addr(self.slot),
                     STATUS_REQUEST,
+                    MemOrder::Release,
                 );
                 self.phase = Phase_::WaitResp;
                 StepOutcome::Running
@@ -279,8 +293,13 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
             Phase_::WaitResp => {
                 w.set_phase(Phase::WaitServer.id());
                 let leader = self.leader_lane();
-                let st =
-                    w.global_read1(leader, self.proto.mailboxes().status_addr(self.slot));
+                // Acquire: seeing RESPONSE makes the server's outcome words
+                // visible.
+                let st = w.global_read1_ord(
+                    leader,
+                    self.proto.mailboxes().status_addr(self.slot),
+                    MemOrder::Acquire,
+                );
                 if st == STATUS_RESPONSE {
                     self.phase = Phase_::ReadOutcomes;
                 } else {
@@ -294,8 +313,8 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 let slot = self.slot;
                 let outcomes = w.global_read(full_mask(), |l| proto.outcome_addr(slot, l));
                 let now = w.now();
-                for lane in 0..WARP_LANES {
-                    match outcomes[lane] {
+                for (lane, &outcome) in outcomes.iter().enumerate() {
+                    match outcome {
                         OUTCOME_NONE => {}
                         OUTCOME_ABORT => self.exec.abort_lane(lane, now),
                         word => {
@@ -310,10 +329,13 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
             Phase_::ClearFlag => {
                 w.set_phase(Phase::WaitServer.id());
                 let leader = self.leader_lane();
-                w.global_write1(
+                // Release: hands the mailbox (and its outcome words) back to
+                // the protocol for the next round.
+                w.global_write1_ord(
                     leader,
                     self.proto.mailboxes().status_addr(self.slot),
                     STATUS_EMPTY,
+                    MemOrder::Release,
                 );
                 let committed = self.committed_mask();
                 self.phase = if committed == 0 {
@@ -358,11 +380,15 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 let lanes = &self.exec.lanes;
                 match sub {
                     0 => {
-                        let heads =
-                            w.global_read(mask, |l| heap.head_addr(lanes[l].ws[widx].0));
-                        for l in 0..WARP_LANES {
+                        // Acquire: pairs with other committers' head updates.
+                        let heads = w.global_read_ord(
+                            mask,
+                            |l| heap.head_addr(lanes[l].ws[widx].0),
+                            MemOrder::Acquire,
+                        );
+                        for (l, &head) in heads.iter().enumerate() {
                             if mask & (1 << l) != 0 {
-                                self.lane_head[l] = heads[l];
+                                self.lane_head[l] = head;
                             }
                         }
                         self.phase = Phase_::WriteBack { widx, sub: 1 };
@@ -370,7 +396,10 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                     1 => {
                         let lane_head = self.lane_head;
                         let lane_cts = self.lane_cts;
-                        w.global_write(
+                        // Release: a reader that probes this ring slot
+                        // re-checks the packed timestamp, so the overwrite of
+                        // the oldest version is an intended race.
+                        w.global_write_ord(
                             mask,
                             |l| {
                                 let (item, _) = lanes[l].ws[widx];
@@ -380,25 +409,39 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                                 let (_, value) = lanes[l].ws[widx];
                                 stm_core::vbox::pack_version(lane_cts[l], value)
                             },
+                            MemOrder::Release,
                         );
                         self.phase = Phase_::WriteBack { widx, sub: 2 };
                     }
                     _ => {
                         let lane_head = self.lane_head;
-                        w.global_write(
+                        // Release: publishes the version written in sub-step 1
+                        // to readers that acquire the head.
+                        w.global_write_ord(
                             mask,
                             |l| heap.head_addr(lanes[l].ws[widx].0),
                             |l| heap.next_slot(lane_head[l]),
+                            MemOrder::Release,
                         );
-                        self.phase = Phase_::WriteBack { widx: widx + 1, sub: 0 };
+                        self.phase = Phase_::WriteBack {
+                            widx: widx + 1,
+                            sub: 0,
+                        };
                     }
                 }
                 StepOutcome::Running
             }
             Phase_::GtsWait { base, n } => {
                 w.set_phase(Phase::WriteBack.id());
+                if self.skip_gts_wait {
+                    // Seeded bug: publish without taking our turn.
+                    self.phase = Phase_::GtsBump { base, n };
+                    return StepOutcome::Running;
+                }
                 let leader = self.leader_lane();
-                let gts = w.global_read1(leader, self.gts_addr);
+                // Acquire: pairs with the previous batch's GTS bump, making
+                // its write-back visible before ours is published.
+                let gts = w.global_read1_ord(leader, self.gts_addr, MemOrder::Acquire);
                 if gts == base - 1 {
                     self.phase = Phase_::GtsBump { base, n };
                 } else {
@@ -411,7 +454,9 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 w.set_phase(Phase::WriteBack.id());
                 let leader = self.leader_lane();
                 // One increment by n publishes the whole batch at once.
-                w.global_write1(leader, self.gts_addr, base + n - 1);
+                // Release: snapshot readers acquire the GTS and must see
+                // every version this warp wrote back.
+                w.global_write1_ord(leader, self.gts_addr, base + n - 1, MemOrder::Release);
                 self.phase = Phase_::FinishRound;
                 StepOutcome::Running
             }

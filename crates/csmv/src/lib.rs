@@ -39,18 +39,22 @@
 //! stm_core::check_history(&result.records, &bank.initial_state(), true).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod atr;
+pub mod check;
 pub mod client;
 pub mod multi;
 pub mod protocol;
 pub mod server;
 pub mod variant;
 
-use gpu_sim::{Device, GpuConfig};
+use gpu_sim::{AnalysisConfig, Device, GpuConfig};
 use stm_core::mv_exec::MvExecConfig;
 use stm_core::{RunResult, TxSource, VBoxHeap};
 
 pub use atr::SharedAtr;
+pub use check::CsmvInvariantChecker;
 pub use client::CsmvClient;
 pub use multi::{run_multi, MultiCsmvConfig};
 pub use protocol::CommitProtocol;
@@ -79,6 +83,9 @@ pub struct CsmvConfig {
     pub record_history: bool,
     /// Which mechanisms are enabled (ablations of §IV-C).
     pub variant: CsmvVariant,
+    /// Analysis layer (race detector / protocol-invariant checks); all-off
+    /// by default, which leaves the simulator on its zero-cost fast path.
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for CsmvConfig {
@@ -93,6 +100,7 @@ impl Default for CsmvConfig {
             atr_capacity: 384,
             record_history: true,
             variant: CsmvVariant::Full,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -134,7 +142,10 @@ where
     S: TxSource + 'static,
     F: FnMut(usize) -> S,
 {
-    assert!(cfg.gpu.num_sms >= 2, "CSMV needs at least one client SM and one server SM");
+    assert!(
+        cfg.gpu.num_sms >= 2,
+        "CSMV needs at least one client SM and one server SM"
+    );
     let server_sm = cfg.gpu.num_sms - 1;
     let num_clients = cfg.num_client_warps();
 
@@ -148,14 +159,25 @@ where
     // next_cts starts at 1 (commit timestamps are 1-based; GTS starts at 0).
     dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
 
+    dev.enable_analysis(cfg.analysis);
+    if cfg.analysis.invariants {
+        dev.add_invariant_checker(Box::new(check::CsmvInvariantChecker::new(
+            atr.clone(),
+            heap.clone(),
+            gts_addr,
+            server_sm,
+        )));
+    }
+
     // -- clients -----------------------------------------------------------
     let mut client_ids = Vec::new();
     let mut thread_id = 0usize;
     let mut slot = 0usize;
     for sm in 0..server_sm {
         for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> =
-                (0..gpu_sim::WARP_LANES).map(|i| make_source(thread_id + i)).collect();
+            let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
+                .map(|i| make_source(thread_id + i))
+                .collect();
             let exec_cfg = MvExecConfig {
                 record_history: cfg.record_history,
                 ..MvExecConfig::default()
@@ -195,15 +217,24 @@ where
 
     dev.run_to_completion();
 
-    let mut result = RunResult { elapsed_cycles: dev.elapsed_cycles(), ..Default::default() };
-    result.server_breakdown.add_warp(dev.warp_stats(receiver_id));
+    let analysis = dev.finish_analysis();
+    let mut result = RunResult {
+        elapsed_cycles: dev.elapsed_cycles(),
+        analysis,
+        ..Default::default()
+    };
+    result
+        .server_breakdown
+        .add_warp(dev.warp_stats(receiver_id));
     for id in worker_ids {
         result.server_breakdown.add_warp(dev.warp_stats(id));
     }
     for id in client_ids {
         result.client_breakdown.add_warp(dev.warp_stats(id));
-        let mut client =
-            dev.take_program(id).downcast::<CsmvClient<S>>().expect("client program type");
+        let mut client = dev
+            .take_program(id)
+            .downcast::<CsmvClient<S>>()
+            .expect("client program type");
         result.stats.merge(&client.exec.stats());
         result.records.append(&mut client.exec.take_records());
     }
@@ -218,9 +249,16 @@ mod tests {
     use workloads::{BankConfig, BankSource};
 
     fn small_cfg(variant: CsmvVariant) -> CsmvConfig {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 5; // 4 client SMs + server
-        CsmvConfig { gpu, variant, server_workers: 3, ..Default::default() }
+        let gpu = GpuConfig {
+            num_sms: 5,
+            ..Default::default()
+        }; // 4 client SMs + server
+        CsmvConfig {
+            gpu,
+            variant,
+            server_workers: 3,
+            ..Default::default()
+        }
     }
 
     fn bank_run(
@@ -330,7 +368,10 @@ mod tests {
                 1 => {
                     self.seen = last.unwrap();
                     self.step = 2;
-                    TxOp::Write { item: 0, value: self.seen + 1 }
+                    TxOp::Write {
+                        item: 0,
+                        value: self.seen + 1,
+                    }
                 }
                 _ => TxOp::Finish,
             }
@@ -390,9 +431,16 @@ mod debug_hang {
 
     #[test]
     fn diagnose() {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 5;
-        let cfg = CsmvConfig { gpu, variant: CsmvVariant::Full, server_workers: 3, ..Default::default() };
+        let gpu = GpuConfig {
+            num_sms: 5,
+            ..Default::default()
+        };
+        let cfg = CsmvConfig {
+            gpu,
+            variant: CsmvVariant::Full,
+            server_workers: 3,
+            ..Default::default()
+        };
         let bank = BankConfig::small(64, 30);
         // Inline copy of run() with a bounded loop and state dump.
         let server_sm = cfg.gpu.num_sms - 1;
@@ -400,7 +448,12 @@ mod debug_hang {
         let mut dev = Device::new(cfg.gpu.clone());
         let gts_addr = dev.alloc_global(1);
         let done_addr = dev.alloc_global(1);
-        let heap = VBoxHeap::init(dev.global_mut(), bank.accounts, cfg.versions_per_box, |_| bank.initial_balance);
+        let heap = VBoxHeap::init(
+            dev.global_mut(),
+            bank.accounts,
+            cfg.versions_per_box,
+            |_| bank.initial_balance,
+        );
         let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
         let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
         let ctl = ServerControl::alloc(&mut dev, server_sm, num_clients);
@@ -410,23 +463,70 @@ mod debug_hang {
         let mut slot = 0;
         for sm in 0..server_sm {
             for _ in 0..cfg.warps_per_sm {
-                let sources: Vec<BankSource> = (0..32).map(|i| BankSource::new(&bank, 42, thread_id + i, 3)).collect();
-                let c = CsmvClient::new(sources, thread_id, Default::default(), heap.clone(), proto.clone(), slot, gts_addr, done_addr, cfg.variant);
+                let sources: Vec<BankSource> = (0..32)
+                    .map(|i| BankSource::new(&bank, 42, thread_id + i, 3))
+                    .collect();
+                let c = CsmvClient::new(
+                    sources,
+                    thread_id,
+                    Default::default(),
+                    heap.clone(),
+                    proto.clone(),
+                    slot,
+                    gts_addr,
+                    done_addr,
+                    cfg.variant,
+                );
                 ids.push(("client", dev.spawn(sm, Box::new(c))));
-                thread_id += 32; slot += 1;
+                thread_id += 32;
+                slot += 1;
             }
         }
-        ids.push(("receiver", dev.spawn(server_sm, Box::new(ReceiverWarp::new(proto.clone(), ctl.clone(), num_clients, done_addr)))));
+        ids.push((
+            "receiver",
+            dev.spawn(
+                server_sm,
+                Box::new(ReceiverWarp::new(
+                    proto.clone(),
+                    ctl.clone(),
+                    num_clients,
+                    done_addr,
+                )),
+            ),
+        ));
         for _ in 0..cfg.server_workers {
-            ids.push(("worker", dev.spawn(server_sm, Box::new(WorkerWarp::new(proto.clone(), ctl.clone(), atr.clone(), heap.clone(), gts_addr, cfg.variant)))));
+            ids.push((
+                "worker",
+                dev.spawn(
+                    server_sm,
+                    Box::new(WorkerWarp::new(
+                        proto.clone(),
+                        ctl.clone(),
+                        atr.clone(),
+                        heap.clone(),
+                        gts_addr,
+                        cfg.variant,
+                    )),
+                ),
+            ));
         }
         for i in 0..30_000_000u64 {
-            if dev.live_warps() == 0 { println!("DONE at {i}"); return; }
+            if dev.live_warps() == 0 {
+                println!("DONE at {i}");
+                return;
+            }
             dev.step_once();
         }
-        println!("HUNG. GTS={} done={} next_cts={}", dev.global()[gts_addr as usize], dev.global()[done_addr as usize], dev.shared_read_host(server_sm, atr.next_cts_addr()));
+        println!(
+            "HUNG. GTS={} done={} next_cts={}",
+            dev.global()[gts_addr as usize],
+            dev.global()[done_addr as usize],
+            dev.shared_read_host(server_sm, atr.next_cts_addr())
+        );
         for (kind, id) in &ids {
-            if dev.warp_done(*id) { continue; }
+            if dev.warp_done(*id) {
+                continue;
+            }
             let dbg = dev.program(*id);
             let state = if let Some(c) = dbg.downcast_ref::<CsmvClient<BankSource>>() {
                 format!("{:?}", c.debug_phase())
@@ -434,7 +534,9 @@ mod debug_hang {
                 format!("{:?}", w.debug_state())
             } else if let Some(r) = dbg.downcast_ref::<ReceiverWarp>() {
                 format!("{:?}", r.debug_state())
-            } else { "?".into() };
+            } else {
+                "?".into()
+            };
             println!("warp {id} {kind}: {state}");
         }
         panic!("hung");

@@ -30,7 +30,10 @@
 //!   runs of consecutive timestamps bump in one write).
 
 use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
-use gpu_sim::{full_mask, Device, GpuConfig, Mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use gpu_sim::{
+    full_mask, AnalysisConfig, Device, GpuConfig, Mask, MemOrder, StepOutcome, WarpCtx,
+    WarpProgram, WARP_LANES,
+};
 use stm_core::mv_exec::{unpack_ws_entry, MvExec, MvExecConfig};
 use stm_core::{Phase, RunResult, TxSource, VBoxHeap};
 
@@ -60,6 +63,10 @@ pub struct MultiCsmvConfig {
     pub atr_capacity: u64,
     /// Record per-transaction histories.
     pub record_history: bool,
+    /// Analysis layer. Only the race detector applies here: the invariant
+    /// checker assumes single-server batch-ordered GTS publication, which
+    /// the multi-server progressive protocol deliberately relaxes.
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for MultiCsmvConfig {
@@ -74,6 +81,7 @@ impl Default for MultiCsmvConfig {
             max_ws: 8,
             atr_capacity: 384,
             record_history: true,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -123,7 +131,11 @@ impl PartitionedAtr {
     pub fn alloc(dev: &mut Device, sm: usize, capacity: u64, max_ws: usize) -> Self {
         let words = 2 + capacity as usize * (3 + max_ws);
         let base = dev.alloc_shared(sm, words);
-        Self { base, capacity, max_ws }
+        Self {
+            base,
+            capacity,
+            max_ws,
+        }
     }
 
     /// Ring capacity.
@@ -188,8 +200,12 @@ struct MTx {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum MState {
     Pop,
-    PopCas { head: u64 },
-    ReadEntry { head: u64 },
+    PopCas {
+        head: u64,
+    },
+    ReadEntry {
+        head: u64,
+    },
     ReadHdrA,
     ReadHdrB,
     Fetch,
@@ -198,19 +214,38 @@ enum MState {
     /// Validate tx `txi` walking down from local sequence `hi` (exclusive);
     /// `tail` is the batch's validation target, `walked` counts visited
     /// entries (ring-capacity guard).
-    WalkBack { txi: usize, hi: u64, walked: u64, tail: u64 },
+    WalkBack {
+        txi: usize,
+        hi: u64,
+        walked: u64,
+        tail: u64,
+    },
     /// Take the reservation lock.
-    Lock { tail: u64 },
+    Lock {
+        tail: u64,
+    },
     /// Lock held: re-read `next_local` (revalidate the delta if it moved).
-    Recheck { tail: u64 },
+    Recheck {
+        tail: u64,
+    },
     /// Reserve global timestamps for the survivors (one fetch-add).
-    ReserveGlobal { tail: u64 },
+    ReserveGlobal {
+        tail: u64,
+    },
     /// Write the entries' item words.
-    InsertItems { tail: u64, widx: usize },
+    InsertItems {
+        tail: u64,
+        widx: usize,
+    },
     /// Write cts + len words.
-    InsertMeta { tail: u64 },
+    InsertMeta {
+        tail: u64,
+    },
     /// Bump `next_local`, publish seq tags, release the lock.
-    Publish { tail: u64, sub: u8 },
+    Publish {
+        tail: u64,
+        sub: u8,
+    },
     WriteOutcomes,
     SetResponse,
     Finished,
@@ -266,7 +301,12 @@ impl MultiWorker {
     /// local tail `tail`.
     fn start_walk(&mut self, tail: u64) -> MState {
         match self.next_valid(0) {
-            Some(txi) => MState::WalkBack { txi, hi: tail, walked: 0, tail },
+            Some(txi) => MState::WalkBack {
+                txi,
+                hi: tail,
+                walked: 0,
+                tail,
+            },
             None => MState::Lock { tail },
         }
     }
@@ -274,7 +314,12 @@ impl MultiWorker {
     /// Next walk state after finishing (or failing) tx `txi`.
     fn after_walk(&mut self, txi: usize, tail: u64) -> MState {
         match self.next_valid(txi + 1) {
-            Some(next) => MState::WalkBack { txi: next, hi: tail, walked: 0, tail },
+            Some(next) => MState::WalkBack {
+                txi: next,
+                hi: tail,
+                walked: 0,
+                tail,
+            },
             None => MState::Lock { tail },
         }
     }
@@ -286,11 +331,16 @@ impl WarpProgram for MultiWorker {
             MState::Pop => {
                 w.set_phase(Phase::ServerIdle.id());
                 let ctl = &self.ctl;
-                let words = w.shared_read(0b111, |l| match l {
-                    0 => ctl.q_head_addr(),
-                    1 => ctl.q_tail_addr(),
-                    _ => ctl.shutdown_addr(),
-                });
+                // Acquire: pairs with the receiver's tail/shutdown releases.
+                let words = w.shared_read_ord(
+                    0b111,
+                    |l| match l {
+                        0 => ctl.q_head_addr(),
+                        1 => ctl.q_tail_addr(),
+                        _ => ctl.shutdown_addr(),
+                    },
+                    MemOrder::Acquire,
+                );
                 let (head, tail, shutdown) = (words[0], words[1], words[2]);
                 if head == tail {
                     if shutdown != 0 {
@@ -307,12 +357,18 @@ impl WarpProgram for MultiWorker {
             MState::PopCas { head } => {
                 w.set_phase(Phase::ServerIdle.id());
                 let old = w.shared_cas1(0, self.ctl.q_head_addr(), head, head + 1);
-                self.st = if old == head { MState::ReadEntry { head } } else { MState::Pop };
+                self.st = if old == head {
+                    MState::ReadEntry { head }
+                } else {
+                    MState::Pop
+                };
                 StepOutcome::Running
             }
             MState::ReadEntry { head } => {
                 w.set_phase(Phase::ServerIdle.id());
-                self.slot = w.shared_read1(0, self.ctl.q_entry_addr(head)) as usize;
+                // Acquire: pairs with the receiver's entry-release write.
+                self.slot =
+                    w.shared_read1_ord(0, self.ctl.q_entry_addr(head), MemOrder::Acquire) as usize;
                 self.st = MState::ReadHdrA;
                 StepOutcome::Running
             }
@@ -393,11 +449,17 @@ impl WarpProgram for MultiWorker {
             }
             MState::ReadTail => {
                 w.set_phase(Phase::Validation.id());
-                let tail = w.shared_read1(0, self.atr.next_local_addr());
+                // Acquire: pairs with the inserter's next_local release.
+                let tail = w.shared_read1_ord(0, self.atr.next_local_addr(), MemOrder::Acquire);
                 self.st = self.start_walk(tail);
                 StepOutcome::Running
             }
-            MState::WalkBack { txi, hi, walked, tail } => {
+            MState::WalkBack {
+                txi,
+                hi,
+                walked,
+                tail,
+            } => {
                 w.set_phase(Phase::Validation.id());
                 // Chunk of up to 32 entries below `hi`, walking down.
                 let budget = self.atr.capacity().saturating_sub(walked);
@@ -418,23 +480,33 @@ impl WarpProgram for MultiWorker {
                     mask |= 1 << j;
                 }
                 let atr = self.atr.clone();
-                let seqs =
-                    w.shared_read(mask, |j| atr.slot_seq_addr(atr.slot_of(lo + j as u64)));
+                // Acquire: seq tags are the seqlock publish word; a mismatch
+                // below means recycled or in-flight, both handled.
+                let seqs = w.shared_read_ord(
+                    mask,
+                    |j| atr.slot_seq_addr(atr.slot_of(lo + j as u64)),
+                    MemOrder::Acquire,
+                );
                 // seq tag for sequence q is q+1; anything else means the slot
                 // was recycled (newer) or is still being written (older/0).
                 let mut recycled = false;
                 let mut in_flight = false;
-                for j in 0..n as usize {
+                for (j, &seq) in seqs.iter().enumerate().take(n as usize) {
                     let want = lo + j as u64 + 1;
-                    if seqs[j] > want {
+                    if seq > want {
                         recycled = true;
-                    } else if seqs[j] < want {
+                    } else if seq < want {
                         in_flight = true;
                     }
                 }
                 if in_flight {
                     w.poll_wait();
-                    self.st = MState::WalkBack { txi, hi, walked, tail };
+                    self.st = MState::WalkBack {
+                        txi,
+                        hi,
+                        walked,
+                        tail,
+                    };
                     return StepOutcome::Running;
                 }
                 if recycled {
@@ -443,8 +515,18 @@ impl WarpProgram for MultiWorker {
                     self.st = self.after_walk(txi, tail);
                     return StepOutcome::Running;
                 }
-                let ctss = w.shared_read(mask, |j| atr.slot_cts_addr(atr.slot_of(lo + j as u64)));
-                let lens = w.shared_read(mask, |j| atr.slot_len_addr(atr.slot_of(lo + j as u64)));
+                // Acquire: slots may be recycled by a concurrent inserter;
+                // the seq-tag check above makes that an intended race.
+                let ctss = w.shared_read_ord(
+                    mask,
+                    |j| atr.slot_cts_addr(atr.slot_of(lo + j as u64)),
+                    MemOrder::Acquire,
+                );
+                let lens = w.shared_read_ord(
+                    mask,
+                    |j| atr.slot_len_addr(atr.slot_of(lo + j as u64)),
+                    MemOrder::Acquire,
+                );
                 let snapshot = self.txs[txi].snapshot;
                 // Which entries in this chunk are newer than the snapshot?
                 let relevant: Vec<usize> =
@@ -460,9 +542,11 @@ impl WarpProgram for MultiWorker {
                                 kmask |= 1 << j;
                             }
                         }
-                        let row = w.shared_read(kmask, |j| {
-                            atr.slot_item_addr(atr.slot_of(lo + j as u64), k)
-                        });
+                        let row = w.shared_read_ord(
+                            kmask,
+                            |j| atr.slot_item_addr(atr.slot_of(lo + j as u64), k),
+                            MemOrder::Acquire,
+                        );
                         for &j in &relevant {
                             if k < lens[j] {
                                 items[j].push(row[j]);
@@ -476,11 +560,7 @@ impl WarpProgram for MultiWorker {
                         (((tx.rs_len + tx.ws_len) as u64 * total.max(1)) / 32).max(1),
                     );
                     'outer: for &j in &relevant {
-                        for e in tx
-                            .rs_items
-                            .iter()
-                            .chain(tx.ws_pairs.iter().map(|(i, _)| i))
-                        {
+                        for e in tx.rs_items.iter().chain(tx.ws_pairs.iter().map(|(i, _)| i)) {
                             if items[j].contains(e) {
                                 conflict = true;
                                 break 'outer;
@@ -488,15 +568,19 @@ impl WarpProgram for MultiWorker {
                         }
                     }
                 }
-                let done_walking =
-                    conflict || relevant.len() < n as usize; // hit cts ≤ snapshot
+                let done_walking = conflict || relevant.len() < n as usize; // hit cts ≤ snapshot
                 if conflict {
                     self.txs[txi].valid = false;
                 }
                 self.st = if done_walking {
                     self.after_walk(txi, tail)
                 } else {
-                    MState::WalkBack { txi, hi: lo, walked: walked + n, tail }
+                    MState::WalkBack {
+                        txi,
+                        hi: lo,
+                        walked: walked + n,
+                        tail,
+                    }
                 };
                 StepOutcome::Running
             }
@@ -516,13 +600,15 @@ impl WarpProgram for MultiWorker {
             }
             MState::Recheck { tail } => {
                 w.set_phase(Phase::RecordInsert.id());
-                let cur = w.shared_read1(0, self.atr.next_local_addr());
+                // Acquire: ordered after the lock CAS; sees the latest
+                // published tail.
+                let cur = w.shared_read1_ord(0, self.atr.next_local_addr(), MemOrder::Acquire);
                 if cur != tail {
                     // New entries since validation: drop the lock and
                     // revalidate the delta ([tail, cur) walking back is just
                     // the full walk again — entries below tail are already
                     // proven clean, and the walk stops at cts ≤ snapshot).
-                    w.shared_write1(0, self.atr.lock_addr(), 0);
+                    w.shared_write1_ord(0, self.atr.lock_addr(), 0, MemOrder::Release);
                     self.st = self.start_walk(cur);
                 } else {
                     self.st = MState::ReserveGlobal { tail };
@@ -547,8 +633,12 @@ impl WarpProgram for MultiWorker {
             }
             MState::InsertItems { tail, widx } => {
                 w.set_phase(Phase::RecordInsert.id());
-                let valid: Vec<(usize, &MTx)> =
-                    self.txs.iter().enumerate().filter(|(_, t)| t.valid).collect();
+                let valid: Vec<(usize, &MTx)> = self
+                    .txs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.valid)
+                    .collect();
                 let max_ws = valid.iter().map(|(_, t)| t.ws_len).max().unwrap_or(0);
                 if widx >= max_ws {
                     self.st = MState::InsertMeta { tail };
@@ -571,8 +661,13 @@ impl WarpProgram for MultiWorker {
                         )
                     })
                     .collect();
-                w.shared_write(mask, |k| writes[k].0, |k| writes[k].1);
-                self.st = MState::InsertItems { tail, widx: widx + 1 };
+                // Release: recycles ring slots a validator may still probe;
+                // the seq-tag re-check makes that an intended race.
+                w.shared_write_ord(mask, |k| writes[k].0, |k| writes[k].1, MemOrder::Release);
+                self.st = MState::InsertItems {
+                    tail,
+                    widx: widx + 1,
+                };
                 StepOutcome::Running
             }
             MState::InsertMeta { tail } => {
@@ -588,15 +683,17 @@ impl WarpProgram for MultiWorker {
                     mask |= 1 << k;
                 }
                 let atr = self.atr.clone();
-                w.shared_write(
+                w.shared_write_ord(
                     mask,
                     |k| atr.slot_cts_addr(atr.slot_of(tail + k as u64)),
                     |k| valid[k].0,
+                    MemOrder::Release,
                 );
-                w.shared_write(
+                w.shared_write_ord(
                     mask,
                     |k| atr.slot_len_addr(atr.slot_of(tail + k as u64)),
                     |k| valid[k].1,
+                    MemOrder::Release,
                 );
                 self.st = MState::Publish { tail, sub: 0 };
                 StepOutcome::Running
@@ -612,19 +709,28 @@ impl WarpProgram for MultiWorker {
                             mask |= 1 << k;
                         }
                         let atr = self.atr.clone();
-                        w.shared_write(
+                        // Release: validators acquire these seq tags.
+                        w.shared_write_ord(
                             mask,
                             |k| atr.slot_seq_addr(atr.slot_of(tail + k as u64)),
                             |k| tail + k as u64 + 1,
+                            MemOrder::Release,
                         );
                         self.st = MState::Publish { tail, sub: 1 };
                     }
                     1 => {
-                        w.shared_write1(0, self.atr.next_local_addr(), tail + n);
+                        // Release: publishes the new tail to ReadTail readers.
+                        w.shared_write1_ord(
+                            0,
+                            self.atr.next_local_addr(),
+                            tail + n,
+                            MemOrder::Release,
+                        );
                         self.st = MState::Publish { tail, sub: 2 };
                     }
                     _ => {
-                        w.shared_write1(0, self.atr.lock_addr(), 0);
+                        // Release: unlock; the next lock CAS acquires it.
+                        w.shared_write1_ord(0, self.atr.lock_addr(), 0, MemOrder::Release);
                         self.st = MState::WriteOutcomes;
                     }
                 }
@@ -634,18 +740,31 @@ impl WarpProgram for MultiWorker {
                 w.set_phase(Phase::RecordInsert.id());
                 let mut outcomes = [OUTCOME_NONE; WARP_LANES];
                 for tx in &self.txs {
-                    outcomes[tx.lane] =
-                        if tx.valid { OUTCOME_COMMIT_BASE + tx.cts } else { OUTCOME_ABORT };
+                    outcomes[tx.lane] = if tx.valid {
+                        OUTCOME_COMMIT_BASE + tx.cts
+                    } else {
+                        OUTCOME_ABORT
+                    };
                 }
                 let proto = &self.proto;
                 let slot = self.slot;
-                w.global_write(full_mask(), |l| proto.outcome_addr(slot, l), |l| outcomes[l]);
+                w.global_write(
+                    full_mask(),
+                    |l| proto.outcome_addr(slot, l),
+                    |l| outcomes[l],
+                );
                 self.st = MState::SetResponse;
                 StepOutcome::Running
             }
             MState::SetResponse => {
                 w.set_phase(Phase::RecordInsert.id());
-                w.global_write1(0, self.proto.mailboxes().status_addr(self.slot), STATUS_RESPONSE);
+                // Release: publishes the outcome words to the waiting client.
+                w.global_write1_ord(
+                    0,
+                    self.proto.mailboxes().status_addr(self.slot),
+                    STATUS_RESPONSE,
+                    MemOrder::Release,
+                );
                 self.st = MState::Pop;
                 StepOutcome::Running
             }
@@ -653,8 +772,6 @@ impl WarpProgram for MultiWorker {
         }
     }
 }
-
-
 
 // ---------------------------------------------------------------------------
 // Multi-server client
@@ -666,15 +783,28 @@ enum McPhase {
     Begin,
     Bodies,
     Settle,
-    PreVal { lane: usize },
+    PreVal {
+        lane: usize,
+    },
     /// Submit to the `k`-th *involved* server: sub-step 0 = hdr A,
     /// 1 = hdr B, 2 = flag.
-    Send { k: usize, sub: u8 },
+    Send {
+        k: usize,
+        sub: u8,
+    },
     /// Poll the `k`-th involved server for its response.
-    Wait { k: usize },
+    Wait {
+        k: usize,
+    },
     /// Read the `k`-th involved server's outcomes, then clear its flag.
-    Outcomes { k: usize, cleared: bool },
-    WriteBack { widx: usize, sub: u8 },
+    Outcomes {
+        k: usize,
+        cleared: bool,
+    },
+    WriteBack {
+        widx: usize,
+        sub: u8,
+    },
     /// Progressive GTS publication (timestamps may be non-consecutive).
     GtsPublish,
     FinishRound,
@@ -740,8 +870,8 @@ impl<S: TxSource> MultiClient<S> {
     /// partition-confined (the documented restriction of this prototype).
     fn lane_partition(&self, lane: usize) -> usize {
         let l = &self.exec.lanes[lane];
-        let part = (l.ws.first().expect("update tx has writes").0
-            % self.num_servers as u64) as usize;
+        let part =
+            (l.ws.first().expect("update tx has writes").0 % self.num_servers as u64) as usize;
         for &(item, _) in &l.ws {
             assert_eq!(
                 (item % self.num_servers as u64) as usize,
@@ -867,18 +997,20 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 w.set_phase(Phase::PreValidation.id());
                 // Same shuffle-based exchange as the single-server client.
                 let committing = self.committing_mask();
-                let ws_items: Vec<u64> =
-                    self.exec.lanes[lane].ws.iter().map(|&(item, _)| item).collect();
+                let ws_items: Vec<u64> = self.exec.lanes[lane]
+                    .ws
+                    .iter()
+                    .map(|&(item, _)| item)
+                    .collect();
                 let mut regs = [0u64; WARP_LANES];
                 let mut losers: u32 = 0;
                 for &item in &ws_items {
                     regs[lane] = item;
                     let got = w.shfl(committing, &regs, |_| lane);
-                    for j in (lane + 1)..WARP_LANES {
+                    for (j, &e) in got.iter().enumerate().skip(lane + 1) {
                         if committing & (1 << j) == 0 || losers & (1 << j) != 0 {
                             continue;
                         }
-                        let e = got[j];
                         let lj = &self.exec.lanes[j];
                         if lj.rs.contains(&e) || lj.ws.iter().any(|&(it, _)| it == e) {
                             losers |= 1 << j;
@@ -916,12 +1048,7 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         w.global_write(
                             full_mask(),
                             |l| proto.hdr_a_addr(slot, l),
-                            |l| {
-                                CommitProtocol::pack_hdr_a(
-                                    mask & (1 << l) != 0,
-                                    lanes[l].snapshot,
-                                )
-                            },
+                            |l| CommitProtocol::pack_hdr_a(mask & (1 << l) != 0, lanes[l].snapshot),
                         );
                         self.phase = McPhase::Send { k, sub: 1 };
                     }
@@ -935,7 +1062,13 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         self.phase = McPhase::Send { k, sub: 2 };
                     }
                     _ => {
-                        w.global_write1(0, proto.mailboxes().status_addr(slot), STATUS_REQUEST);
+                        // Release: publishes the headers/payload to the server.
+                        w.global_write1_ord(
+                            0,
+                            proto.mailboxes().status_addr(slot),
+                            STATUS_REQUEST,
+                            MemOrder::Release,
+                        );
                         self.phase = if k + 1 < self.involved.len() {
                             McPhase::Send { k: k + 1, sub: 0 }
                         } else {
@@ -948,8 +1081,12 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
             McPhase::Wait { k } => {
                 w.set_phase(Phase::WaitServer.id());
                 let srv = self.involved[k];
-                let st =
-                    w.global_read1(0, self.hdr_protos[srv].mailboxes().status_addr(self.slot));
+                // Acquire: seeing RESPONSE makes the outcome words visible.
+                let st = w.global_read1_ord(
+                    0,
+                    self.hdr_protos[srv].mailboxes().status_addr(self.slot),
+                    MemOrder::Acquire,
+                );
                 if st == STATUS_RESPONSE {
                     self.phase = McPhase::Outcomes { k, cleared: false };
                 } else {
@@ -965,8 +1102,8 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     let slot = self.slot;
                     let outcomes = w.global_read(full_mask(), |l| proto.outcome_addr(slot, l));
                     let now = w.now();
-                    for lane in 0..WARP_LANES {
-                        match outcomes[lane] {
+                    for (lane, &outcome) in outcomes.iter().enumerate() {
+                        match outcome {
                             OUTCOME_NONE => {}
                             OUTCOME_ABORT => self.exec.abort_lane(lane, now),
                             word => self.lane_cts[lane] = word - OUTCOME_COMMIT_BASE,
@@ -974,10 +1111,12 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     }
                     self.phase = McPhase::Outcomes { k, cleared: true };
                 } else {
-                    w.global_write1(
+                    // Release: hands the mailbox back for the next round.
+                    w.global_write1_ord(
                         0,
                         self.hdr_protos[srv].mailboxes().status_addr(self.slot),
                         STATUS_EMPTY,
+                        MemOrder::Release,
                     );
                     self.phase = if k + 1 < self.involved.len() {
                         McPhase::Wait { k: k + 1 }
@@ -1007,11 +1146,15 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 let lanes = &self.exec.lanes;
                 match sub {
                     0 => {
-                        let heads =
-                            w.global_read(mask, |l| heap.head_addr(lanes[l].ws[widx].0));
-                        for l in 0..WARP_LANES {
+                        // Acquire: pairs with other committers' head updates.
+                        let heads = w.global_read_ord(
+                            mask,
+                            |l| heap.head_addr(lanes[l].ws[widx].0),
+                            MemOrder::Acquire,
+                        );
+                        for (l, &head) in heads.iter().enumerate() {
                             if mask & (1 << l) != 0 {
-                                self.lane_head[l] = heads[l];
+                                self.lane_head[l] = head;
                             }
                         }
                         self.phase = McPhase::WriteBack { widx, sub: 1 };
@@ -1019,7 +1162,9 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     1 => {
                         let lane_head = self.lane_head;
                         let lane_cts = self.lane_cts;
-                        w.global_write(
+                        // Release: ring-slot overwrite is an intended race
+                        // with probing readers (timestamp re-check).
+                        w.global_write_ord(
                             mask,
                             |l| {
                                 let (item, _) = lanes[l].ws[widx];
@@ -1029,17 +1174,23 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                                 let (_, value) = lanes[l].ws[widx];
                                 stm_core::vbox::pack_version(lane_cts[l], value)
                             },
+                            MemOrder::Release,
                         );
                         self.phase = McPhase::WriteBack { widx, sub: 2 };
                     }
                     _ => {
                         let lane_head = self.lane_head;
-                        w.global_write(
+                        // Release: publishes the version written above.
+                        w.global_write_ord(
                             mask,
                             |l| heap.head_addr(lanes[l].ws[widx].0),
                             |l| heap.next_slot(lane_head[l]),
+                            MemOrder::Release,
                         );
-                        self.phase = McPhase::WriteBack { widx: widx + 1, sub: 0 };
+                        self.phase = McPhase::WriteBack {
+                            widx: widx + 1,
+                            sub: 0,
+                        };
                     }
                 }
                 StepOutcome::Running
@@ -1049,12 +1200,12 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 // Progressive publication: timestamps may be non-consecutive
                 // across servers, so publish each run of consecutive cts as
                 // its turn comes.
-                let gts = w.global_read1(0, self.gts_addr);
+                // Acquire: pairs with other warps' GTS publications.
+                let gts = w.global_read1_ord(0, self.gts_addr, MemOrder::Acquire);
                 let mut new_gts = gts;
                 loop {
-                    let next = (0..WARP_LANES).find(|&l| {
-                        !self.lane_published[l] && self.lane_cts[l] == new_gts + 1
-                    });
+                    let next = (0..WARP_LANES)
+                        .find(|&l| !self.lane_published[l] && self.lane_cts[l] == new_gts + 1);
                     match next {
                         Some(l) => {
                             self.lane_published[l] = true;
@@ -1064,10 +1215,11 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     }
                 }
                 if new_gts > gts {
-                    w.global_write1(0, self.gts_addr, new_gts);
+                    // Release: snapshot readers must see our write-back.
+                    w.global_write1_ord(0, self.gts_addr, new_gts, MemOrder::Release);
                 }
-                let pending = (0..WARP_LANES)
-                    .any(|l| self.lane_cts[l] != 0 && !self.lane_published[l]);
+                let pending =
+                    (0..WARP_LANES).any(|l| self.lane_cts[l] != 0 && !self.lane_published[l]);
                 if pending {
                     w.poll_wait();
                 } else {
@@ -1102,8 +1254,6 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
     }
 }
 
-
-
 // ---------------------------------------------------------------------------
 // Launcher
 // ---------------------------------------------------------------------------
@@ -1136,6 +1286,12 @@ where
     dev.global_mut().write(global_cts_addr, 1); // cts are 1-based
     let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
 
+    // Races-only: see the `analysis` field's note on the invariant checker.
+    dev.enable_analysis(AnalysisConfig {
+        invariants: false,
+        ..cfg.analysis
+    });
+
     // Shared payload region (rs/ws) + per-server header/outcome mailboxes.
     let payload = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
     let hdr_protos: Vec<CommitProtocol> = (0..cfg.num_servers)
@@ -1144,16 +1300,15 @@ where
 
     // -- servers ------------------------------------------------------------
     let mut server_ids = Vec::new();
-    for srv in 0..cfg.num_servers {
+    for (srv, hdr_proto) in hdr_protos.iter().enumerate() {
         let sm = first_server_sm + srv;
         let atr = PartitionedAtr::alloc(&mut dev, sm, cfg.atr_capacity, cfg.max_ws);
         let ctl = ServerControl::alloc(&mut dev, sm, num_clients);
-        let receiver =
-            ReceiverWarp::new(hdr_protos[srv].clone(), ctl.clone(), num_clients, done_addr);
+        let receiver = ReceiverWarp::new(hdr_proto.clone(), ctl.clone(), num_clients, done_addr);
         server_ids.push(dev.spawn(sm, Box::new(receiver)));
         for _ in 0..cfg.server_workers {
             let worker = MultiWorker::new(
-                hdr_protos[srv].clone(),
+                hdr_proto.clone(),
                 payload.clone(),
                 ctl.clone(),
                 atr.clone(),
@@ -1169,8 +1324,9 @@ where
     let mut slot = 0usize;
     for sm in 0..first_server_sm {
         for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> =
-                (0..WARP_LANES).map(|i| make_source(thread_id + i)).collect();
+            let sources: Vec<S> = (0..WARP_LANES)
+                .map(|i| make_source(thread_id + i))
+                .collect();
             let exec_cfg = MvExecConfig {
                 record_history: cfg.record_history,
                 ..MvExecConfig::default()
@@ -1194,14 +1350,21 @@ where
 
     dev.run_to_completion();
 
-    let mut result = RunResult { elapsed_cycles: dev.elapsed_cycles(), ..Default::default() };
+    let analysis = dev.finish_analysis();
+    let mut result = RunResult {
+        elapsed_cycles: dev.elapsed_cycles(),
+        analysis,
+        ..Default::default()
+    };
     for id in server_ids {
         result.server_breakdown.add_warp(dev.warp_stats(id));
     }
     for id in client_ids {
         result.client_breakdown.add_warp(dev.warp_stats(id));
-        let mut client =
-            dev.take_program(id).downcast::<MultiClient<S>>().expect("client program type");
+        let mut client = dev
+            .take_program(id)
+            .downcast::<MultiClient<S>>()
+            .expect("client program type");
         result.stats.merge(&client.exec.stats());
         result.records.append(&mut client.exec.take_records());
     }
@@ -1245,12 +1408,18 @@ mod tests {
                     self.b = last.unwrap();
                     self.step = 3;
                     let amt = 5.min(self.a);
-                    TxOp::Write { item: self.from, value: self.a - amt }
+                    TxOp::Write {
+                        item: self.from,
+                        value: self.a - amt,
+                    }
                 }
                 3 => {
                     self.step = 4;
                     let amt = 5.min(self.a);
-                    TxOp::Write { item: self.to, value: self.b + amt }
+                    TxOp::Write {
+                        item: self.to,
+                        value: self.b + amt,
+                    }
                 }
                 _ => TxOp::Finish,
             }
@@ -1319,22 +1488,37 @@ mod tests {
         let servers = cfg.num_servers as u64;
         let mut v = Vec::new();
         for i in 0..txs {
-            if (thread + i) % 3 == 0 {
-                v.push(Mixed::S(Scan { items: ITEMS, next: 0 }));
+            if (thread + i).is_multiple_of(3) {
+                v.push(Mixed::S(Scan {
+                    items: ITEMS,
+                    next: 0,
+                }));
             } else {
                 // Same partition: from ≡ to (mod num_servers).
                 let from = ((thread as u64) * 7 + i as u64 * servers) % ITEMS;
                 let to = (from + servers * 3) % ITEMS;
-                let (from, to) = if from == to { (from, (to + servers) % ITEMS) } else { (from, to) };
-                v.push(Mixed::T(PTransfer { from, to, step: 0, a: 0, b: 0 }));
+                let (from, to) = if from == to {
+                    (from, (to + servers) % ITEMS)
+                } else {
+                    (from, to)
+                };
+                v.push(Mixed::T(PTransfer {
+                    from,
+                    to,
+                    step: 0,
+                    a: 0,
+                    b: 0,
+                }));
             }
         }
         Src { txs: v }
     }
 
     fn run_small(num_servers: usize, seed_shift: usize) -> (MultiCsmvConfig, RunResult) {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 4 + num_servers;
+        let gpu = GpuConfig {
+            num_sms: 4 + num_servers,
+            ..Default::default()
+        };
         let cfg = MultiCsmvConfig {
             gpu,
             num_servers,
@@ -1350,6 +1534,29 @@ mod tests {
             |_| 100,
         );
         (cfg, res)
+    }
+
+    #[test]
+    fn multi_server_runs_race_free() {
+        let gpu = GpuConfig {
+            num_sms: 6,
+            ..Default::default()
+        };
+        let cfg = MultiCsmvConfig {
+            gpu,
+            num_servers: 2,
+            versions_per_box: 8,
+            server_workers: 2,
+            analysis: AnalysisConfig {
+                races: true,
+                invariants: false,
+            },
+            ..Default::default()
+        };
+        let res = run_multi(&cfg, |t| make_src(&cfg, t, 3), ITEMS, |_| 100);
+        let report = res.analysis.expect("analysis was enabled");
+        assert!(report.events > 0);
+        assert_eq!(report.race_count, 0, "races: {:?}", report.races);
     }
 
     #[test]
@@ -1391,14 +1598,26 @@ mod tests {
     #[test]
     #[should_panic(expected = "partition-confined")]
     fn cross_partition_updates_are_rejected() {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 3;
-        let cfg = MultiCsmvConfig { gpu, num_servers: 2, ..Default::default() };
+        let gpu = GpuConfig {
+            num_sms: 3,
+            ..Default::default()
+        };
+        let cfg = MultiCsmvConfig {
+            gpu,
+            num_servers: 2,
+            ..Default::default()
+        };
         // from and to in different partitions (64 is even, offset 1).
         let _ = run_multi(
             &cfg,
             |_| Src {
-                txs: vec![Mixed::T(PTransfer { from: 0, to: 1, step: 0, a: 0, b: 0 })],
+                txs: vec![Mixed::T(PTransfer {
+                    from: 0,
+                    to: 1,
+                    step: 0,
+                    a: 0,
+                    b: 0,
+                })],
             },
             ITEMS,
             |_| 100,

@@ -54,7 +54,11 @@ impl CommitProtocol {
         let req_words = 2 * WARP_LANES + WARP_LANES * (max_rs + max_ws);
         let resp_words = WARP_LANES;
         let mailboxes = Mailboxes::alloc(global, num_client_warps, req_words, resp_words);
-        Self { mailboxes, max_rs, max_ws }
+        Self {
+            mailboxes,
+            max_rs,
+            max_ws,
+        }
     }
 
     /// The underlying mailboxes (status/flag addressing).
@@ -127,7 +131,10 @@ impl CommitProtocol {
     /// A [`SetArea`] view of one client warp's request payload, letting the
     /// execution engine build the commit request in place.
     pub fn set_area(&self, slot: usize) -> RequestSetArea {
-        RequestSetArea { proto: self.clone(), slot }
+        RequestSetArea {
+            proto: self.clone(),
+            slot,
+        }
     }
 }
 

@@ -10,7 +10,9 @@
 //! bottleneck of JVSTM-GPU's global-memory ATR into on-chip traffic.
 
 use gpu_sim::channel::{STATUS_CLAIMED, STATUS_REQUEST, STATUS_RESPONSE};
-use gpu_sim::{full_mask, single_lane, Mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use gpu_sim::{
+    full_mask, single_lane, Mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES,
+};
 use stm_core::mv_exec::unpack_ws_entry;
 use stm_core::{Phase, VBoxHeap};
 
@@ -39,7 +41,13 @@ impl ServerControl {
         let shutdown = dev.alloc_shared(sm, 1);
         let q_cap = num_clients.max(1) as u64;
         let q_base = dev.alloc_shared(sm, q_cap as usize);
-        Self { q_head, q_tail, q_base, q_cap, shutdown }
+        Self {
+            q_head,
+            q_tail,
+            q_base,
+            q_cap,
+            shutdown,
+        }
     }
 
     /// Address of the queue-head word.
@@ -136,8 +144,13 @@ impl WarpProgram for ReceiverWarp {
                     mask |= 1 << l;
                 }
                 let proto = &self.proto;
-                let statuses =
-                    w.global_read(mask, |l| proto.mailboxes().status_addr(lo + l));
+                // Acquire: seeing REQUEST makes the client's headers/payload
+                // visible to the worker that will process the batch.
+                let statuses = w.global_read_ord(
+                    mask,
+                    |l| proto.mailboxes().status_addr(lo + l),
+                    MemOrder::Acquire,
+                );
                 let found: Vec<usize> = (0..n)
                     .filter(|&l| statuses[l] == STATUS_REQUEST)
                     .map(|l| lo + l)
@@ -168,10 +181,12 @@ impl WarpProgram for ReceiverWarp {
                     mask |= 1 << l;
                 }
                 let proto = &self.proto;
-                w.global_write(
+                // Release: marks the slots as owned by the server side.
+                w.global_write_ord(
                     mask,
                     |l| proto.mailboxes().status_addr(slots[l]),
                     |_| STATUS_CLAIMED,
+                    MemOrder::Release,
                 );
                 self.st = RState::Push(slots);
                 StepOutcome::Running
@@ -183,22 +198,28 @@ impl WarpProgram for ReceiverWarp {
                 }
                 let ctl = &self.ctl;
                 let tail = self.tail;
-                w.shared_write(
+                // Release: queue entries are handed to workers, which acquire
+                // them via the tail/entry reads; slot reuse after wrap-around
+                // is ordered by the consumed entry itself.
+                w.shared_write_ord(
                     mask,
                     |l| ctl.q_entry_addr(tail + l as u64),
                     |l| slots[l] as u64,
+                    MemOrder::Release,
                 );
                 self.st = RState::PushTail(slots.len() as u64);
                 StepOutcome::Running
             }
             RState::PushTail(k) => {
                 self.tail += k;
-                w.shared_write1(0, self.ctl.q_tail_addr(), self.tail);
+                // Release: publishes the entries written above to the workers.
+                w.shared_write1_ord(0, self.ctl.q_tail_addr(), self.tail, MemOrder::Release);
                 self.st = RState::Poll;
                 StepOutcome::Running
             }
             RState::CheckDone => {
-                let done = w.global_read1(0, self.done_addr);
+                // Acquire: pairs with the clients' done-counter increments.
+                let done = w.global_read1_ord(0, self.done_addr, MemOrder::Acquire);
                 if done as usize >= self.num_clients {
                     self.st = RState::Shutdown;
                 } else {
@@ -208,7 +229,8 @@ impl WarpProgram for ReceiverWarp {
                 StepOutcome::Running
             }
             RState::Shutdown => {
-                w.shared_write1(0, self.ctl.shutdown_addr(), 1);
+                // Release: workers acquire the flag in their Pop read.
+                w.shared_write1_ord(0, self.ctl.shutdown_addr(), 1, MemOrder::Release);
                 self.st = RState::Finished;
                 StepOutcome::Running
             }
@@ -265,9 +287,13 @@ enum WState {
     /// Read queue head/tail and the shutdown flag.
     Pop,
     /// Try to claim queue entry `head`.
-    PopCas { head: u64 },
+    PopCas {
+        head: u64,
+    },
     /// Read the claimed queue entry.
-    ReadEntry { head: u64 },
+    ReadEntry {
+        head: u64,
+    },
     /// Read the batch's A headers.
     ReadHdrA,
     /// Read the batch's B headers.
@@ -277,24 +303,56 @@ enum WState {
     /// Read `next_cts` to fix the validation target.
     ReadTarget,
     /// Collaborative validation: tx `txi`, ATR chunk starting at cts `lo`.
-    CvChunk { txi: usize, lo: u64, target: u64 },
+    CvChunk {
+        txi: usize,
+        lo: u64,
+        target: u64,
+    },
     /// Independent (NoCv) validation: every lane walks its own
     /// transaction's window at its own cursor.
-    NcWalk { target: u64 },
+    NcWalk {
+        target: u64,
+    },
     /// Reserve `n_valid` commit timestamps with one CAS.
-    Reserve { target: u64 },
+    Reserve {
+        target: u64,
+    },
     /// Write the reserved entries' item words (word index `widx`).
-    InsertItems { base: u64, widx: usize },
+    InsertItems {
+        base: u64,
+        widx: usize,
+    },
     /// Write the entries' `ws_len` words.
-    InsertLens { base: u64 },
+    InsertLens {
+        base: u64,
+    },
     /// Publish the entries by writing their cts tags.
-    InsertCts { base: u64 },
+    InsertCts {
+        base: u64,
+    },
     /// OnlyCs: serial per-transaction processing, tx `txi`.
-    ScValidate { txi: usize, lo: u64, target: u64 },
-    ScReserve { txi: usize, target: u64 },
-    ScInsert { txi: usize, sub: u8 },
-    ScWriteBack { txi: usize, widx: usize, sub: u8, head: u64 },
-    ScGts { txi: usize },
+    ScValidate {
+        txi: usize,
+        lo: u64,
+        target: u64,
+    },
+    ScReserve {
+        txi: usize,
+        target: u64,
+    },
+    ScInsert {
+        txi: usize,
+        sub: u8,
+    },
+    ScWriteBack {
+        txi: usize,
+        widx: usize,
+        sub: u8,
+        head: u64,
+    },
+    ScGts {
+        txi: usize,
+    },
     /// Write the 32 outcome words back to the client.
     WriteOutcomes,
     /// Flip the mailbox status to RESPONSE.
@@ -343,48 +401,65 @@ impl WorkerWarp {
     /// `target`): lane `j` reads entry `lo + j`. Returns `None` if some
     /// entry is still being written (caller polls), else the per-entry
     /// `(ws_len, items)` list.
-    fn read_chunk(
-        &self,
-        w: &mut WarpCtx,
-        lo: u64,
-        target: u64,
-    ) -> ChunkRead {
+    fn read_chunk(&self, w: &mut WarpCtx, lo: u64, target: u64) -> ChunkRead {
         let n = ((target - lo) as usize).min(WARP_LANES);
         let mut mask: Mask = 0;
         for j in 0..n {
             mask |= 1 << j;
         }
         let atr = &self.atr;
-        let tags = w.shared_read(mask, |j| atr.slot_cts_addr(atr.slot_of(lo + j as u64)));
-        for j in 0..n {
+        // Acquire: a published tag releases its entry's len/items (seqlock
+        // pattern — tag mismatch means retry or spurious abort).
+        let tags = w.shared_read_ord(
+            mask,
+            |j| atr.slot_cts_addr(atr.slot_of(lo + j as u64)),
+            MemOrder::Acquire,
+        );
+        for (j, &tag) in tags.iter().enumerate().take(n) {
             let expected = lo + j as u64;
-            if tags[j] > expected {
+            if tag > expected {
                 // The ring recycled an entry we still needed: the snapshot
                 // fell out of the validation window mid-flight.
                 return ChunkRead::Recycled;
             }
-            if tags[j] < expected {
+            if tag < expected {
                 return ChunkRead::InFlight; // writer not done — poll
             }
         }
-        let lens = w.shared_read(mask, |j| atr.slot_len_addr(atr.slot_of(lo + j as u64)));
+        // Acquire: slots may be recycled by a later inserter; the tag
+        // re-check above makes the race benign.
+        let lens = w.shared_read_ord(
+            mask,
+            |j| atr.slot_len_addr(atr.slot_of(lo + j as u64)),
+            MemOrder::Acquire,
+        );
         let max_len = (0..n).map(|j| lens[j]).max().unwrap_or(0);
-        let mut items: Vec<Vec<u64>> = (0..n).map(|j| Vec::with_capacity(lens[j] as usize)).collect();
+        let mut items: Vec<Vec<u64>> = (0..n)
+            .map(|j| Vec::with_capacity(lens[j] as usize))
+            .collect();
         for k in 0..max_len {
             let mut kmask: Mask = 0;
-            for j in 0..n {
-                if (k) < lens[j] {
+            for (j, &len) in lens.iter().enumerate().take(n) {
+                if k < len {
                     kmask |= 1 << j;
                 }
             }
-            let row = w.shared_read(kmask, |j| atr.slot_item_addr(atr.slot_of(lo + j as u64), k));
+            let row = w.shared_read_ord(
+                kmask,
+                |j| atr.slot_item_addr(atr.slot_of(lo + j as u64), k),
+                MemOrder::Acquire,
+            );
             for j in 0..n {
                 if k < lens[j] {
                     items[j].push(row[j]);
                 }
             }
         }
-        ChunkRead::Ready((0..n).map(|j| (lens[j], std::mem::take(&mut items[j]))).collect())
+        ChunkRead::Ready(
+            (0..n)
+                .map(|j| (lens[j], std::mem::take(&mut items[j])))
+                .collect(),
+        )
     }
 
     /// Conflict test of one transaction against a decoded chunk; charges the
@@ -439,7 +514,11 @@ impl WorkerWarp {
                 None => WState::Reserve { target },
             },
             CsmvVariant::NoCv => {
-                if self.txs.iter().any(|t| t.valid && t.validated_to + 1 < target) {
+                if self
+                    .txs
+                    .iter()
+                    .any(|t| t.valid && t.validated_to + 1 < target)
+                {
                     WState::NcWalk { target }
                 } else {
                     WState::Reserve { target }
@@ -458,7 +537,11 @@ impl WorkerWarp {
                 if lo >= target {
                     self.advance_cv(next, target)
                 } else {
-                    WState::CvChunk { txi: next, lo, target }
+                    WState::CvChunk {
+                        txi: next,
+                        lo,
+                        target,
+                    }
                 }
             }
             None => WState::Reserve { target },
@@ -472,11 +555,16 @@ impl WarpProgram for WorkerWarp {
             WState::Pop => {
                 w.set_phase(Phase::ServerIdle.id());
                 let ctl = &self.ctl;
-                let words = w.shared_read(0b111, |l| match l {
-                    0 => ctl.q_head_addr(),
-                    1 => ctl.q_tail_addr(),
-                    _ => ctl.shutdown_addr(),
-                });
+                // Acquire: pairs with the receiver's tail/shutdown releases.
+                let words = w.shared_read_ord(
+                    0b111,
+                    |l| match l {
+                        0 => ctl.q_head_addr(),
+                        1 => ctl.q_tail_addr(),
+                        _ => ctl.shutdown_addr(),
+                    },
+                    MemOrder::Acquire,
+                );
                 let (head, tail, shutdown) = (words[0], words[1], words[2]);
                 if head == tail {
                     if shutdown != 0 {
@@ -502,7 +590,9 @@ impl WarpProgram for WorkerWarp {
             }
             WState::ReadEntry { head } => {
                 w.set_phase(Phase::ServerIdle.id());
-                self.slot = w.shared_read1(0, self.ctl.q_entry_addr(head)) as usize;
+                // Acquire: pairs with the receiver's entry-release write.
+                self.slot =
+                    w.shared_read1_ord(0, self.ctl.q_entry_addr(head), MemOrder::Acquire) as usize;
                 self.st = WState::ReadHdrA;
                 StepOutcome::Running
             }
@@ -564,16 +654,15 @@ impl WarpProgram for WorkerWarp {
                         }
                         if !sched.is_empty() {
                             let txs = &self.txs;
-                            let words =
-                                w.global_read_bulk(full_mask(), sched.len(), |_, i| {
-                                    let (ti, is_ws, e) = sched[i];
-                                    let lane = txs[ti].lane;
-                                    if is_ws {
-                                        proto.ws_addr(slot, lane, e)
-                                    } else {
-                                        proto.rs_addr(slot, lane, e)
-                                    }
-                                });
+                            let words = w.global_read_bulk(full_mask(), sched.len(), |_, i| {
+                                let (ti, is_ws, e) = sched[i];
+                                let lane = txs[ti].lane;
+                                if is_ws {
+                                    proto.ws_addr(slot, lane, e)
+                                } else {
+                                    proto.rs_addr(slot, lane, e)
+                                }
+                            });
                             for (i, &(ti, is_ws, _)) in sched.iter().enumerate() {
                                 let word = words[i][0];
                                 if is_ws {
@@ -611,8 +700,9 @@ impl WarpProgram for WorkerWarp {
                                 }
                             });
                             for (l, tx) in self.txs.iter_mut().enumerate() {
-                                for i in 0..tx.rs_len + tx.ws_len {
-                                    let word = words[i][l];
+                                for (i, row) in words.iter().enumerate().take(tx.rs_len + tx.ws_len)
+                                {
+                                    let word = row[l];
                                     if i < tx.rs_len {
                                         tx.rs_items.push(word);
                                     } else {
@@ -628,7 +718,9 @@ impl WarpProgram for WorkerWarp {
             }
             WState::ReadTarget => {
                 w.set_phase(Phase::Validation.id());
-                let target = w.shared_read1(0, self.atr.next_cts_addr());
+                // Acquire: the reservation CAS on next_cts orders access to
+                // the ATR entries below the target.
+                let target = w.shared_read1_ord(0, self.atr.next_cts_addr(), MemOrder::Acquire);
                 self.st = if self.variant == CsmvVariant::OnlyCs {
                     match self.next_valid(0) {
                         Some(txi) => {
@@ -659,15 +751,18 @@ impl WarpProgram for WorkerWarp {
                                 if nlo >= target {
                                     self.advance_cv(next, target)
                                 } else {
-                                    WState::CvChunk { txi: next, lo: nlo, target }
+                                    WState::CvChunk {
+                                        txi: next,
+                                        lo: nlo,
+                                        target,
+                                    }
                                 }
                             }
                             None => WState::Reserve { target },
                         };
                     }
                     ChunkRead::Ready(chunk) => {
-                        let conflict =
-                            Self::tx_conflicts_with_chunk(w, &self.txs[txi], &chunk, 32);
+                        let conflict = Self::tx_conflicts_with_chunk(w, &self.txs[txi], &chunk, 32);
                         if conflict {
                             self.txs[txi].valid = false;
                             self.st = match self.next_valid(txi + 1) {
@@ -676,7 +771,11 @@ impl WarpProgram for WorkerWarp {
                                     if nlo >= target {
                                         self.advance_cv(next, target)
                                     } else {
-                                        WState::CvChunk { txi: next, lo: nlo, target }
+                                        WState::CvChunk {
+                                            txi: next,
+                                            lo: nlo,
+                                            target,
+                                        }
                                     }
                                 }
                                 None => WState::Reserve { target },
@@ -686,7 +785,11 @@ impl WarpProgram for WorkerWarp {
                             self.st = if nlo >= target {
                                 self.advance_cv(txi, target)
                             } else {
-                                WState::CvChunk { txi, lo: nlo, target }
+                                WState::CvChunk {
+                                    txi,
+                                    lo: nlo,
+                                    target,
+                                }
                             };
                         }
                     }
@@ -712,9 +815,13 @@ impl WarpProgram for WorkerWarp {
                     self.st = WState::Reserve { target };
                     return StepOutcome::Running;
                 }
-                let mut mask = mask;
                 let atr = self.atr.clone();
-                let tags = w.shared_read(mask, |j| atr.slot_cts_addr(atr.slot_of(ctss[j])));
+                // Acquire: same seqlock-tag pattern as `read_chunk`.
+                let tags = w.shared_read_ord(
+                    mask,
+                    |j| atr.slot_cts_addr(atr.slot_of(ctss[j])),
+                    MemOrder::Acquire,
+                );
                 let mut in_flight = false;
                 for j in 0..WARP_LANES {
                     if mask & (1 << j) == 0 {
@@ -737,7 +844,11 @@ impl WarpProgram for WorkerWarp {
                     self.st = WState::NcWalk { target };
                     return StepOutcome::Running;
                 }
-                let lens = w.shared_read(mask, |j| atr.slot_len_addr(atr.slot_of(ctss[j])));
+                let lens = w.shared_read_ord(
+                    mask,
+                    |j| atr.slot_len_addr(atr.slot_of(ctss[j])),
+                    MemOrder::Acquire,
+                );
                 let max_len = (0..WARP_LANES)
                     .filter(|&j| mask & (1 << j) != 0)
                     .map(|j| lens[j])
@@ -747,13 +858,16 @@ impl WarpProgram for WorkerWarp {
                 let mut compares = 0u64;
                 for kk in 0..max_len {
                     let mut kmask: Mask = 0;
-                    for j in 0..WARP_LANES {
-                        if mask & (1 << j) != 0 && kk < lens[j] {
+                    for (j, &len) in lens.iter().enumerate() {
+                        if mask & (1 << j) != 0 && kk < len {
                             kmask |= 1 << j;
                         }
                     }
-                    let row =
-                        w.shared_read(kmask, |j| atr.slot_item_addr(atr.slot_of(ctss[j]), kk));
+                    let row = w.shared_read_ord(
+                        kmask,
+                        |j| atr.slot_item_addr(atr.slot_of(ctss[j]), kk),
+                        MemOrder::Acquire,
+                    );
                     for (j, tx) in self.txs.iter().enumerate() {
                         if kmask & (1 << j) != 0 {
                             compares = compares.max((tx.rs_len + tx.ws_len) as u64);
@@ -794,7 +908,10 @@ impl WarpProgram for WorkerWarp {
                             cts += 1;
                         }
                     }
-                    self.st = WState::InsertItems { base: target, widx: 0 };
+                    self.st = WState::InsertItems {
+                        base: target,
+                        widx: 0,
+                    };
                 } else {
                     // Entries [target, old) appeared: revalidate the delta.
                     self.st = self.start_validation(old);
@@ -818,16 +935,20 @@ impl WarpProgram for WorkerWarp {
                 let atr = self.atr.clone();
                 let items: Vec<(u64, u64)> = valid
                     .iter()
-                    .map(|t| {
-                        (t.cts, t.ws_pairs.get(widx).map(|&(i, _)| i).unwrap_or(0))
-                    })
+                    .map(|t| (t.cts, t.ws_pairs.get(widx).map(|&(i, _)| i).unwrap_or(0)))
                     .collect();
-                w.shared_write(
+                // Release: recycles a ring slot a validator may still probe;
+                // the cts-tag re-check makes that an intended race.
+                w.shared_write_ord(
                     mask,
                     |k| atr.slot_item_addr(atr.slot_of(items[k].0), widx as u64),
                     |k| items[k].1,
+                    MemOrder::Release,
                 );
-                self.st = WState::InsertItems { base, widx: widx + 1 };
+                self.st = WState::InsertItems {
+                    base,
+                    widx: widx + 1,
+                };
                 StepOutcome::Running
             }
             WState::InsertLens { base } => {
@@ -843,29 +964,30 @@ impl WarpProgram for WorkerWarp {
                     mask |= 1 << k;
                 }
                 let atr = self.atr.clone();
-                w.shared_write(
+                w.shared_write_ord(
                     mask,
                     |k| atr.slot_len_addr(atr.slot_of(valid[k].0)),
                     |k| valid[k].1,
+                    MemOrder::Release,
                 );
                 self.st = WState::InsertCts { base };
                 StepOutcome::Running
             }
             WState::InsertCts { base } => {
                 w.set_phase(Phase::RecordInsert.id());
-                let valid: Vec<u64> =
-                    self.txs.iter().filter(|t| t.valid).map(|t| t.cts).collect();
+                let valid: Vec<u64> = self.txs.iter().filter(|t| t.valid).map(|t| t.cts).collect();
                 let mut mask: Mask = 0;
                 for k in 0..valid.len() {
                     mask |= 1 << k;
                 }
                 let atr = self.atr.clone();
                 // Publishing write: validators polling these tags may now
-                // read the entries.
-                w.shared_write(
+                // read the entries. Release pairs with their tag acquires.
+                w.shared_write_ord(
                     mask,
                     |k| atr.slot_cts_addr(atr.slot_of(valid[k])),
                     |k| valid[k],
+                    MemOrder::Release,
                 );
                 let _ = base;
                 self.st = WState::WriteOutcomes;
@@ -889,7 +1011,8 @@ impl WarpProgram for WorkerWarp {
                 // Single-lane serial walk: one entry per step.
                 let atr = self.atr.clone();
                 let s = atr.slot_of(lo);
-                let tag = w.shared_read1(0, atr.slot_cts_addr(s));
+                // Acquire: seqlock tag, as in the parallel paths.
+                let tag = w.shared_read1_ord(0, atr.slot_cts_addr(s), MemOrder::Acquire);
                 if tag > lo {
                     // Entry recycled mid-validation: spurious abort.
                     self.txs[txi].valid = false;
@@ -901,10 +1024,10 @@ impl WarpProgram for WorkerWarp {
                     self.st = WState::ScValidate { txi, lo, target };
                     return StepOutcome::Running;
                 }
-                let len = w.shared_read1(0, atr.slot_len_addr(s));
+                let len = w.shared_read1_ord(0, atr.slot_len_addr(s), MemOrder::Acquire);
                 let mut conflict = false;
                 for k in 0..len {
-                    let item = w.shared_read1(0, atr.slot_item_addr(s, k));
+                    let item = w.shared_read1_ord(0, atr.slot_item_addr(s, k), MemOrder::Acquire);
                     if self.txs[txi].items_to_check().any(|e| e == item) {
                         conflict = true;
                     }
@@ -918,7 +1041,11 @@ impl WarpProgram for WorkerWarp {
                     self.st = self.sc_next(txi, target);
                 } else {
                     self.txs[txi].validated_to = lo;
-                    self.st = WState::ScValidate { txi, lo: lo + 1, target };
+                    self.st = WState::ScValidate {
+                        txi,
+                        lo: lo + 1,
+                        target,
+                    };
                 }
                 StepOutcome::Running
             }
@@ -929,8 +1056,11 @@ impl WarpProgram for WorkerWarp {
                     self.txs[txi].cts = target;
                     self.st = WState::ScInsert { txi, sub: 0 };
                 } else {
-                    self.st =
-                        WState::ScValidate { txi, lo: self.txs[txi].validated_to + 1, target: old };
+                    self.st = WState::ScValidate {
+                        txi,
+                        lo: self.txs[txi].validated_to + 1,
+                        target: old,
+                    };
                 }
                 StepOutcome::Running
             }
@@ -941,7 +1071,12 @@ impl WarpProgram for WorkerWarp {
                 match sub {
                     0 => {
                         for (k, &(item, _)) in tx.ws_pairs.iter().enumerate() {
-                            w.shared_write1(0, self.atr.slot_item_addr(s, k as u64), item);
+                            w.shared_write1_ord(
+                                0,
+                                self.atr.slot_item_addr(s, k as u64),
+                                item,
+                                MemOrder::Release,
+                            );
                         }
                         if tx.ws_pairs.is_empty() {
                             w.alu(single_lane(0), 1);
@@ -949,17 +1084,38 @@ impl WarpProgram for WorkerWarp {
                         self.st = WState::ScInsert { txi, sub: 1 };
                     }
                     1 => {
-                        w.shared_write1(0, self.atr.slot_len_addr(s), tx.ws_len as u64);
+                        w.shared_write1_ord(
+                            0,
+                            self.atr.slot_len_addr(s),
+                            tx.ws_len as u64,
+                            MemOrder::Release,
+                        );
                         self.st = WState::ScInsert { txi, sub: 2 };
                     }
                     _ => {
-                        w.shared_write1(0, self.atr.slot_cts_addr(s), tx.cts);
-                        self.st = WState::ScWriteBack { txi, widx: 0, sub: 0, head: 0 };
+                        // Publishing write (seqlock tag).
+                        w.shared_write1_ord(
+                            0,
+                            self.atr.slot_cts_addr(s),
+                            tx.cts,
+                            MemOrder::Release,
+                        );
+                        self.st = WState::ScWriteBack {
+                            txi,
+                            widx: 0,
+                            sub: 0,
+                            head: 0,
+                        };
                     }
                 }
                 StepOutcome::Running
             }
-            WState::ScWriteBack { txi, widx, sub, head } => {
+            WState::ScWriteBack {
+                txi,
+                widx,
+                sub,
+                head,
+            } => {
                 w.set_phase(Phase::WriteBack.id());
                 let tx = &self.txs[txi];
                 if widx >= tx.ws_pairs.len() {
@@ -969,22 +1125,40 @@ impl WarpProgram for WorkerWarp {
                 let (item, value) = tx.ws_pairs[widx];
                 match sub {
                     0 => {
-                        let h = w.global_read1(0, self.heap.head_addr(item));
-                        self.st = WState::ScWriteBack { txi, widx, sub: 1, head: h };
+                        // Acquire/Release on head/version words: same
+                        // version-ring discipline as the client write-back.
+                        let h = w.global_read1_ord(0, self.heap.head_addr(item), MemOrder::Acquire);
+                        self.st = WState::ScWriteBack {
+                            txi,
+                            widx,
+                            sub: 1,
+                            head: h,
+                        };
                     }
                     1 => {
                         let slot = self.heap.next_slot(head);
-                        w.global_write1(
+                        w.global_write1_ord(
                             0,
                             self.heap.version_addr(item, slot),
                             stm_core::vbox::pack_version(tx.cts, value),
+                            MemOrder::Release,
                         );
-                        self.st = WState::ScWriteBack { txi, widx, sub: 2, head };
+                        self.st = WState::ScWriteBack {
+                            txi,
+                            widx,
+                            sub: 2,
+                            head,
+                        };
                     }
                     _ => {
                         let slot = self.heap.next_slot(head);
-                        w.global_write1(0, self.heap.head_addr(item), slot);
-                        self.st = WState::ScWriteBack { txi, widx: widx + 1, sub: 0, head: 0 };
+                        w.global_write1_ord(0, self.heap.head_addr(item), slot, MemOrder::Release);
+                        self.st = WState::ScWriteBack {
+                            txi,
+                            widx: widx + 1,
+                            sub: 0,
+                            head: 0,
+                        };
                     }
                 }
                 StepOutcome::Running
@@ -992,9 +1166,10 @@ impl WarpProgram for WorkerWarp {
             WState::ScGts { txi } => {
                 w.set_phase(Phase::WriteBack.id());
                 let cts = self.txs[txi].cts;
-                let gts = w.global_read1(0, self.gts_addr);
+                // Acquire/Release GTS turn-taking, as in the client.
+                let gts = w.global_read1_ord(0, self.gts_addr, MemOrder::Acquire);
                 if gts == cts - 1 {
-                    w.global_write1(0, self.gts_addr, cts);
+                    w.global_write1_ord(0, self.gts_addr, cts, MemOrder::Release);
                     let target = cts + 1;
                     self.st = self.sc_next(txi, target);
                 } else {
@@ -1007,18 +1182,31 @@ impl WarpProgram for WorkerWarp {
                 w.set_phase(Phase::RecordInsert.id());
                 let mut outcomes = [OUTCOME_NONE; WARP_LANES];
                 for tx in &self.txs {
-                    outcomes[tx.lane] =
-                        if tx.valid { OUTCOME_COMMIT_BASE + tx.cts } else { OUTCOME_ABORT };
+                    outcomes[tx.lane] = if tx.valid {
+                        OUTCOME_COMMIT_BASE + tx.cts
+                    } else {
+                        OUTCOME_ABORT
+                    };
                 }
                 let proto = &self.proto;
                 let slot = self.slot;
-                w.global_write(full_mask(), |l| proto.outcome_addr(slot, l), |l| outcomes[l]);
+                w.global_write(
+                    full_mask(),
+                    |l| proto.outcome_addr(slot, l),
+                    |l| outcomes[l],
+                );
                 self.st = WState::SetResponse;
                 StepOutcome::Running
             }
             WState::SetResponse => {
                 w.set_phase(Phase::RecordInsert.id());
-                w.global_write1(0, self.proto.mailboxes().status_addr(self.slot), STATUS_RESPONSE);
+                // Release: publishes the outcome words to the waiting client.
+                w.global_write1_ord(
+                    0,
+                    self.proto.mailboxes().status_addr(self.slot),
+                    STATUS_RESPONSE,
+                    MemOrder::Release,
+                );
                 self.st = WState::Pop;
                 StepOutcome::Running
             }
@@ -1038,7 +1226,11 @@ impl WorkerWarp {
         match self.next_valid_unprocessed(txi + 1) {
             Some(next) => {
                 let lo = self.txs[next].validated_to + 1;
-                WState::ScValidate { txi: next, lo, target }
+                WState::ScValidate {
+                    txi: next,
+                    lo,
+                    target,
+                }
             }
             None => WState::WriteOutcomes,
         }

@@ -50,7 +50,14 @@ impl Mailboxes {
         let status_base = global.alloc(num_slots);
         let req_base = global.alloc(num_slots * req_words);
         let resp_base = global.alloc(num_slots * resp_words);
-        Self { num_slots, req_words, resp_words, status_base, req_base, resp_base }
+        Self {
+            num_slots,
+            req_words,
+            resp_words,
+            status_base,
+            req_base,
+            resp_base,
+        }
     }
 
     /// Number of mailbox slots.
@@ -169,12 +176,10 @@ mod tests {
                 return StepOutcome::Done;
             }
             let n = self.mb.num_slots();
-            let statuses = w.global_read(full_mask(), |l| {
-                self.mb.status_addr(l.min(n - 1))
-            });
+            let statuses = w.global_read(full_mask(), |l| self.mb.status_addr(l.min(n - 1)));
             let mut any = false;
-            for slot in 0..n {
-                if statuses[slot] == STATUS_REQUEST {
+            for (slot, &status) in statuses.iter().enumerate().take(n) {
+                if status == STATUS_REQUEST {
                     any = true;
                     w.global_write1(0, self.mb.status_addr(slot), STATUS_CLAIMED);
                     let x = w.global_read1(0, self.mb.req_addr(slot, 0));
@@ -208,7 +213,14 @@ mod tests {
             );
             client_ids.push(id);
         }
-        dev.spawn(27, Box::new(Server { mb, served: 0, expect: 4 }));
+        dev.spawn(
+            27,
+            Box::new(Server {
+                mb,
+                served: 0,
+                expect: 4,
+            }),
+        );
         dev.run_to_completion();
         for (slot, id) in client_ids.into_iter().enumerate() {
             let p = dev.take_program(id).downcast::<Client>().unwrap();

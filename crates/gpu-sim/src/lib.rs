@@ -56,17 +56,23 @@
 //! assert!(dev.elapsed_cycles() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod cost;
+pub mod invariant;
 pub mod mem;
+pub mod race;
 pub mod sched;
 pub mod stats;
 pub mod warp;
 
 pub use cost::{CostModel, GpuConfig};
+pub use invariant::{AccessKind, InvariantChecker, MemEvent, Space, Violation};
 pub use mem::{GlobalMemory, SharedMemory, Word};
+pub use race::{AnalysisConfig, AnalysisReport, AnalysisState, MemOrder, RaceReport};
 pub use sched::{Device, StepOutcome, WarpId, WarpProgram};
-pub use stats::{PhaseId, WarpStats, MAX_PHASES};
+pub use stats::{AnalysisStats, PhaseId, WarpStats, MAX_PHASES};
 pub use warp::{full_mask, lane_count, single_lane, Mask, WarpCtx};
 
 /// Number of lanes in a warp (fixed at the CUDA value).

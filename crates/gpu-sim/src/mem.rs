@@ -47,16 +47,49 @@ impl GlobalMemory {
         self.words.is_empty()
     }
 
-    /// Read one word.
+    /// Read one word, or `None` if `addr` was never allocated.
     #[inline]
-    pub fn read(&self, addr: u64) -> Word {
-        self.words[addr as usize]
+    pub fn get(&self, addr: u64) -> Option<Word> {
+        self.words.get(addr as usize).copied()
     }
 
-    /// Write one word.
+    /// Write one word; returns false (memory untouched) if `addr` was never
+    /// allocated.
+    #[inline]
+    #[must_use]
+    pub fn set(&mut self, addr: u64, value: Word) -> bool {
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Read one word; panics with the offending address on unallocated
+    /// access (device-side accesses go through `WarpCtx`, which adds warp
+    /// and cycle context).
+    #[inline]
+    pub fn read(&self, addr: u64) -> Word {
+        self.get(addr).unwrap_or_else(|| {
+            panic!(
+                "global read of unallocated address {addr} ({} words allocated)",
+                self.words.len()
+            )
+        })
+    }
+
+    /// Write one word; panics with the offending address on unallocated
+    /// access.
     #[inline]
     pub fn write(&mut self, addr: u64, value: Word) {
-        self.words[addr as usize] = value;
+        if !self.set(addr, value) {
+            panic!(
+                "global write of unallocated address {addr} ({} words allocated)",
+                self.words.len()
+            );
+        }
     }
 
     /// Raw view of the backing store (tests, post-run inspection).
@@ -76,7 +109,10 @@ pub struct SharedMemory {
 impl SharedMemory {
     /// Create a scratchpad with a fixed word capacity.
     pub fn new(capacity_words: usize) -> Self {
-        Self { words: vec![0; capacity_words], next_free: 0 }
+        Self {
+            words: vec![0; capacity_words],
+            next_free: 0,
+        }
     }
 
     /// Reserve `n` words; panics if the scratchpad is exhausted, mirroring a
@@ -103,16 +139,46 @@ impl SharedMemory {
         self.words.len()
     }
 
-    /// Read one word.
+    /// Read one word, or `None` if `addr` is beyond the scratchpad.
     #[inline]
-    pub fn read(&self, addr: u64) -> Word {
-        self.words[addr as usize]
+    pub fn get(&self, addr: u64) -> Option<Word> {
+        self.words.get(addr as usize).copied()
     }
 
-    /// Write one word.
+    /// Write one word; returns false (memory untouched) if `addr` is beyond
+    /// the scratchpad.
+    #[inline]
+    #[must_use]
+    pub fn set(&mut self, addr: u64, value: Word) -> bool {
+        match self.words.get_mut(addr as usize) {
+            Some(w) => {
+                *w = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Read one word; panics with the offending address when out of range.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Word {
+        self.get(addr).unwrap_or_else(|| {
+            panic!(
+                "shared read of out-of-range address {addr} (capacity {} words)",
+                self.words.len()
+            )
+        })
+    }
+
+    /// Write one word; panics with the offending address when out of range.
     #[inline]
     pub fn write(&mut self, addr: u64, value: Word) {
-        self.words[addr as usize] = value;
+        if !self.set(addr, value) {
+            panic!(
+                "shared write of out-of-range address {addr} (capacity {} words)",
+                self.words.len()
+            );
+        }
     }
 }
 

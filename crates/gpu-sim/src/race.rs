@@ -1,0 +1,733 @@
+//! A vector-clock happens-before race detector for the simulated memories.
+//!
+//! The scheduler executes warps in global simulated-time order, so every
+//! access has a definite place in a total order — but *temporal* ordering is
+//! not *synchronization*. Two accesses are happens-before ordered only when
+//! an ordering edge chain connects them:
+//!
+//! * **program order** — accesses of one warp are ordered by its step
+//!   sequence;
+//! * **release/acquire edges** — a [`MemOrder::Release`] store publishes the
+//!   writer's vector clock on the location; a later [`MemOrder::Acquire`]
+//!   load of that location joins it into the reader's clock (the scheduler's
+//!   time order guarantees the load observes the latest release);
+//! * **atomic edges** — CAS and fetch-and-add are acquire+release
+//!   (release only on a successful CAS), the simulator's analogue of a
+//!   barrier/commit synchronization point.
+//!
+//! Two conflicting accesses (same location, at least one a write) that are
+//! not happens-before ordered are a **race** — unless *both* are
+//! synchronizing accesses ([`MemOrder`] other than `Plain`, or an atomic).
+//! Mutually-synchronizing accesses are how the STM protocols intentionally
+//! communicate (polling a status word, publishing a version tag), and their
+//! outcome is well-defined word-at-a-time; flagging them would bury the
+//! report in intended protocol traffic. What the detector hunts is the GPU
+//! analogue of a C11 data race: a *plain* access racing anything.
+//!
+//! The detector is a FastTrack-style epoch scheme: per-warp vector clocks,
+//! per-location read/write epochs split into plain and synchronizing sets,
+//! and a per-location release clock.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::invariant::{AccessKind, InvariantChecker, MemEvent, Space, Violation};
+use crate::stats::AnalysisStats;
+
+/// Memory-order annotation of a kernel access, declaring which accesses are
+/// intentional synchronization. `Plain` accesses are data; the detector
+/// flags them when unordered with a conflicting access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemOrder {
+    /// Ordinary data access: participates in races.
+    #[default]
+    Plain,
+    /// Synchronizing load: joins the location's release clock.
+    Acquire,
+    /// Synchronizing store: publishes the writer's clock on the location.
+    Release,
+    /// Both (atomics report this implicitly).
+    AcqRel,
+}
+
+/// Vector clock: component `w` counts warp `w`'s recorded accesses.
+#[derive(Debug, Clone, Default)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, w: usize) -> u64 {
+        self.0.get(w).copied().unwrap_or(0)
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.0.len() < n {
+            self.0.resize(n, 0);
+        }
+    }
+
+    fn join(&mut self, other: &VClock) {
+        self.grow(other.0.len());
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(b);
+        }
+    }
+
+    fn tick(&mut self, w: usize) -> u64 {
+        self.grow(w + 1);
+        self.0[w] += 1;
+        self.0[w]
+    }
+}
+
+/// One recorded access: who, at which vector time, at which simulated cycle.
+#[derive(Debug, Clone, Copy)]
+struct Epoch {
+    warp: usize,
+    vtime: u64,
+    clock: u64,
+}
+
+/// Per-location detector state.
+#[derive(Debug, Default)]
+struct LocState {
+    /// Most recent plain write.
+    plain_write: Option<Epoch>,
+    /// Most recent synchronizing write.
+    sync_write: Option<Epoch>,
+    /// Plain reads since the last write (one epoch per warp).
+    plain_reads: Vec<Epoch>,
+    /// Synchronizing reads since the last write (one epoch per warp).
+    sync_reads: Vec<Epoch>,
+    /// Join of the clocks of all releases on this location.
+    release_vc: VClock,
+}
+
+/// Location key: shared addresses are scoped by SM, global addresses are
+/// device-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct LocKey {
+    space: Space,
+    sm: usize,
+    addr: u64,
+}
+
+/// One reported race: an unsynchronized conflicting access pair.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Memory the racing location lives in.
+    pub space: Space,
+    /// SM scoping the address (0 for global memory).
+    pub sm: usize,
+    /// The racing word address.
+    pub addr: u64,
+    /// Conflict shape, in access order: `"write-write"`, `"read-write"`
+    /// (earlier read, later write) or `"write-read"`.
+    pub pair: &'static str,
+    /// Warp of the earlier access.
+    pub first_warp: usize,
+    /// Simulated cycle of the earlier access.
+    pub first_clock: u64,
+    /// Warp of the later access.
+    pub second_warp: usize,
+    /// Simulated cycle of the later access.
+    pub second_clock: u64,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race on {} addr {} (sm {}): warp {} @ cycle {} vs warp {} @ cycle {}",
+            self.pair,
+            self.space,
+            self.addr,
+            self.sm,
+            self.first_warp,
+            self.first_clock,
+            self.second_warp,
+            self.second_clock
+        )
+    }
+}
+
+/// Cap on stored [`RaceReport`]s (the count keeps running past it).
+const MAX_STORED_RACES: usize = 64;
+
+/// The happens-before race detector.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    clocks: Vec<VClock>,
+    locations: HashMap<LocKey, LocState>,
+    /// First race per location, capped at [`MAX_STORED_RACES`].
+    races: Vec<RaceReport>,
+    race_count: u64,
+    /// Locations already reported (subsequent races there only count).
+    reported: std::collections::HashSet<LocKey>,
+}
+
+impl RaceDetector {
+    /// Races found so far (every unsynchronized conflicting pair).
+    pub fn race_count(&self) -> u64 {
+        self.race_count
+    }
+
+    /// Stored reports: the first race per location, up to a cap.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    fn report(&mut self, key: LocKey, pair: &'static str, prior: Epoch, ev: &MemEvent) {
+        self.race_count += 1;
+        if self.reported.insert(key) && self.races.len() < MAX_STORED_RACES {
+            self.races.push(RaceReport {
+                space: key.space,
+                sm: key.sm,
+                addr: key.addr,
+                pair,
+                first_warp: prior.warp,
+                first_clock: prior.clock,
+                second_warp: ev.warp,
+                second_clock: ev.clock,
+            });
+        }
+    }
+
+    /// Feed one access through the detector.
+    pub fn record(&mut self, ev: &MemEvent) {
+        let w = ev.warp;
+        if self.clocks.len() <= w {
+            self.clocks.resize_with(w + 1, VClock::default);
+        }
+        let key = LocKey {
+            space: ev.space,
+            sm: if ev.space == Space::Shared { ev.sm } else { 0 },
+            addr: ev.addr,
+        };
+
+        let atomic = matches!(ev.kind, AccessKind::Cas { .. } | AccessKind::Add { .. });
+        let sync = atomic || ev.order != MemOrder::Plain;
+        let acquires = atomic || matches!(ev.order, MemOrder::Acquire | MemOrder::AcqRel);
+        let releases = matches!(ev.order, MemOrder::Release | MemOrder::AcqRel)
+            || matches!(ev.kind, AccessKind::Add { .. })
+            || matches!(ev.kind, AccessKind::Cas { success: true, .. });
+        let is_write = ev.kind.is_write();
+
+        let loc = self.locations.entry(key).or_default();
+        if acquires {
+            self.clocks[w].join(&loc.release_vc);
+        }
+
+        // -- conflict checks against the recorded epochs -------------------
+        let cu = &self.clocks[w];
+        let hb = |e: &Epoch| e.vtime <= cu.get(e.warp);
+        let mut found: Vec<(&'static str, Epoch)> = Vec::new();
+        if is_write {
+            if let Some(e) = loc.plain_write.as_ref().filter(|e| !hb(e)) {
+                found.push(("write-write", *e));
+            }
+            for e in loc.plain_reads.iter().filter(|e| !hb(e)) {
+                found.push(("read-write", *e));
+            }
+            if !sync {
+                if let Some(e) = loc.sync_write.as_ref().filter(|e| !hb(e)) {
+                    found.push(("write-write", *e));
+                }
+                for e in loc.sync_reads.iter().filter(|e| !hb(e)) {
+                    found.push(("read-write", *e));
+                }
+            }
+        } else {
+            if let Some(e) = loc.plain_write.as_ref().filter(|e| !hb(e)) {
+                found.push(("write-read", *e));
+            }
+            if !sync {
+                if let Some(e) = loc.sync_write.as_ref().filter(|e| !hb(e)) {
+                    found.push(("write-read", *e));
+                }
+            }
+        }
+
+        // -- state update ---------------------------------------------------
+        let vtime = self.clocks[w].tick(w);
+        let epoch = Epoch {
+            warp: w,
+            vtime,
+            clock: ev.clock,
+        };
+        let loc = self
+            .locations
+            .get_mut(&key)
+            .expect("location just inserted");
+        if is_write {
+            loc.plain_reads.clear();
+            loc.sync_reads.clear();
+            if sync {
+                loc.sync_write = Some(epoch);
+            } else {
+                loc.plain_write = Some(epoch);
+            }
+        } else {
+            let set = if sync {
+                &mut loc.sync_reads
+            } else {
+                &mut loc.plain_reads
+            };
+            match set.iter_mut().find(|e| e.warp == w) {
+                Some(e) => *e = epoch,
+                None => set.push(epoch),
+            }
+        }
+        if releases {
+            loc.release_vc.join(&self.clocks[w]);
+        }
+
+        for (pair, prior) in found {
+            self.report(key, pair, prior, ev);
+        }
+    }
+}
+
+/// What the analysis layer should compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisConfig {
+    /// Run the happens-before race detector.
+    pub races: bool,
+    /// Feed events to the registered [`InvariantChecker`]s.
+    pub invariants: bool,
+}
+
+impl AnalysisConfig {
+    /// Everything on.
+    pub fn full() -> Self {
+        Self {
+            races: true,
+            invariants: true,
+        }
+    }
+
+    /// Whether any analysis is requested (when false, the device skips
+    /// event recording entirely — zero per-access cost).
+    pub fn enabled(&self) -> bool {
+        self.races || self.invariants
+    }
+}
+
+/// Live analysis state owned by a [`crate::Device`].
+pub struct AnalysisState {
+    cfg: AnalysisConfig,
+    detector: RaceDetector,
+    checkers: Vec<Box<dyn InvariantChecker>>,
+    violations: Vec<Violation>,
+    events: u64,
+}
+
+impl AnalysisState {
+    /// Build state for the given configuration.
+    pub fn new(cfg: AnalysisConfig) -> Self {
+        Self {
+            cfg,
+            detector: RaceDetector::default(),
+            checkers: Vec::new(),
+            violations: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// Register a protocol checker (no-op stream if `invariants` is off).
+    pub fn add_checker(&mut self, checker: Box<dyn InvariantChecker>) {
+        self.checkers.push(checker);
+    }
+
+    /// Feed one event to every enabled analysis.
+    pub fn record(&mut self, ev: &MemEvent) {
+        self.events += 1;
+        if self.cfg.races {
+            self.detector.record(ev);
+        }
+        if self.cfg.invariants {
+            for c in self.checkers.iter_mut() {
+                c.on_event(ev, &mut self.violations);
+            }
+        }
+    }
+
+    /// Run every checker's end-of-run pass.
+    pub fn finish(&mut self) {
+        if self.cfg.invariants {
+            for c in self.checkers.iter_mut() {
+                c.finish(&mut self.violations);
+            }
+        }
+    }
+
+    /// Races found so far.
+    pub fn race_count(&self) -> u64 {
+        self.detector.race_count()
+    }
+
+    /// Stored race reports.
+    pub fn races(&self) -> &[RaceReport] {
+        self.detector.races()
+    }
+
+    /// Invariant violations found so far.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64
+    }
+
+    /// The violations themselves.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Snapshot everything into a detachable report.
+    pub fn report(&self) -> AnalysisReport {
+        AnalysisReport {
+            races: self.detector.races().to_vec(),
+            race_count: self.detector.race_count(),
+            violations: self.violations.clone(),
+            events: self.events,
+        }
+    }
+}
+
+impl fmt::Debug for AnalysisState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisState")
+            .field("cfg", &self.cfg)
+            .field("events", &self.events)
+            .field("race_count", &self.detector.race_count())
+            .field("violations", &self.violations.len())
+            .field("checkers", &self.checkers.len())
+            .finish()
+    }
+}
+
+/// Detached result of an analysed run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Stored race reports (first per location, capped).
+    pub races: Vec<RaceReport>,
+    /// Total racing pairs found.
+    pub race_count: u64,
+    /// Every invariant violation.
+    pub violations: Vec<Violation>,
+    /// Memory events observed.
+    pub events: u64,
+}
+
+impl AnalysisReport {
+    /// Number of invariant violations.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64
+    }
+
+    /// True when no race and no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.race_count == 0 && self.violations.is_empty()
+    }
+
+    /// Counter summary for statistics plumbing.
+    pub fn stats(&self) -> AnalysisStats {
+        AnalysisStats {
+            events: self.events,
+            races: self.race_count,
+            violations: self.violation_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Device, StepOutcome, WarpProgram};
+    use crate::warp::WarpCtx;
+    use crate::GpuConfig;
+
+    /// Producer: write data (plain), then publish a flag.
+    struct Producer {
+        data: u64,
+        flag: u64,
+        publish_order: MemOrder,
+        step: u8,
+    }
+    impl WarpProgram for Producer {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            match self.step {
+                0 => {
+                    w.alu(crate::full_mask(), 500); // let the consumer poll first
+                    w.global_write1(0, self.data, 42);
+                    self.step = 1;
+                    StepOutcome::Running
+                }
+                1 => {
+                    w.global_write1_ord(0, self.flag, 1, self.publish_order);
+                    self.step = 2;
+                    StepOutcome::Running
+                }
+                _ => StepOutcome::Done,
+            }
+        }
+    }
+
+    /// Consumer: poll the flag, then read the data (plain).
+    struct Consumer {
+        data: u64,
+        flag: u64,
+        poll_order: MemOrder,
+        got: Option<u64>,
+    }
+    impl WarpProgram for Consumer {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.got.is_some() {
+                return StepOutcome::Done;
+            }
+            if w.global_read1_ord(0, self.flag, self.poll_order) == 1 {
+                self.got = Some(w.global_read1(0, self.data));
+            } else {
+                w.poll_wait();
+            }
+            StepOutcome::Running
+        }
+    }
+
+    fn message_pass(publish: MemOrder, poll: MemOrder) -> AnalysisReport {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.enable_analysis(AnalysisConfig {
+            races: true,
+            invariants: false,
+        });
+        dev.alloc_global(2);
+        dev.spawn(
+            0,
+            Box::new(Producer {
+                data: 0,
+                flag: 1,
+                publish_order: publish,
+                step: 0,
+            }),
+        );
+        dev.spawn(
+            1,
+            Box::new(Consumer {
+                data: 0,
+                flag: 1,
+                poll_order: poll,
+                got: None,
+            }),
+        );
+        dev.run_to_completion();
+        dev.finish_analysis().expect("analysis enabled")
+    }
+
+    #[test]
+    fn unannotated_message_passing_races() {
+        // Plain flag + plain data: the flag itself races (plain read vs
+        // plain write) and the data read is unordered with its write.
+        let report = message_pass(MemOrder::Plain, MemOrder::Plain);
+        assert!(report.race_count > 0, "expected races, got none");
+        assert!(
+            report.races.iter().any(|r| r.addr == 1),
+            "flag race missing: {:?}",
+            report.races
+        );
+        assert!(
+            report.races.iter().any(|r| r.addr == 0),
+            "data race missing: {:?}",
+            report.races
+        );
+    }
+
+    #[test]
+    fn release_acquire_message_passing_is_clean() {
+        // Release publish + acquire poll: the data read happens-after the
+        // data write through the flag edge; the flag accesses are both sync.
+        let report = message_pass(MemOrder::Release, MemOrder::Acquire);
+        assert_eq!(report.race_count, 0, "false positives: {:?}", report.races);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn release_without_acquire_still_races_on_data() {
+        // The consumer polls plainly: no acquire edge, so the plain data
+        // accesses stay unordered (and the plain poll races the sync flag
+        // write).
+        let report = message_pass(MemOrder::Release, MemOrder::Plain);
+        assert!(
+            report.races.iter().any(|r| r.addr == 0),
+            "data race missing: {:?}",
+            report.races
+        );
+    }
+
+    /// Two warps increment via CAS: atomics are mutual synchronization.
+    struct CasIncr {
+        addr: u64,
+        remaining: u32,
+    }
+    impl WarpProgram for CasIncr {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.remaining == 0 {
+                return StepOutcome::Done;
+            }
+            let old = w.global_read1_ord(0, self.addr, MemOrder::Acquire);
+            if w.global_cas1(0, self.addr, old, old + 1) == old {
+                self.remaining -= 1;
+            }
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn contended_cas_loop_is_clean() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.enable_analysis(AnalysisConfig {
+            races: true,
+            invariants: false,
+        });
+        dev.alloc_global(1);
+        dev.spawn(
+            0,
+            Box::new(CasIncr {
+                addr: 0,
+                remaining: 5,
+            }),
+        );
+        dev.spawn(
+            1,
+            Box::new(CasIncr {
+                addr: 0,
+                remaining: 5,
+            }),
+        );
+        dev.run_to_completion();
+        let report = dev.finish_analysis().unwrap();
+        assert_eq!(report.race_count, 0, "false positives: {:?}", report.races);
+        assert_eq!(dev.global()[0], 10);
+    }
+
+    #[test]
+    fn same_warp_accesses_never_race() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.enable_analysis(AnalysisConfig {
+            races: true,
+            invariants: false,
+        });
+        dev.alloc_global(64);
+        dev.spawn(
+            0,
+            Box::new(Producer {
+                data: 3,
+                flag: 4,
+                publish_order: MemOrder::Plain,
+                step: 0,
+            }),
+        );
+        dev.run_to_completion();
+        let report = dev.finish_analysis().unwrap();
+        assert_eq!(report.race_count, 0);
+    }
+
+    /// A checker that rejects writes of odd values to address 0.
+    struct NoOddWrites;
+    impl InvariantChecker for NoOddWrites {
+        fn name(&self) -> &'static str {
+            "no-odd-writes"
+        }
+        fn on_event(&mut self, ev: &MemEvent, out: &mut Vec<Violation>) {
+            if ev.addr == 0 && ev.kind == AccessKind::Write && ev.value % 2 == 1 {
+                out.push(Violation {
+                    checker: self.name(),
+                    warp: ev.warp,
+                    clock: ev.clock,
+                    addr: ev.addr,
+                    message: format!("odd value {} written", ev.value),
+                });
+            }
+        }
+        fn finish(&mut self, out: &mut Vec<Violation>) {
+            out.push(Violation {
+                checker: self.name(),
+                warp: 0,
+                clock: 0,
+                addr: u64::MAX,
+                message: "finish ran".into(),
+            });
+        }
+    }
+
+    struct WriteOnce(u64);
+    impl WarpProgram for WriteOnce {
+        fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+            if self.0 == 0 {
+                return StepOutcome::Done;
+            }
+            w.global_write1(0, 0, self.0);
+            self.0 = 0;
+            StepOutcome::Running
+        }
+    }
+
+    #[test]
+    fn invariant_checkers_see_events_and_finish() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.enable_analysis(AnalysisConfig {
+            races: false,
+            invariants: true,
+        });
+        dev.add_invariant_checker(Box::new(NoOddWrites));
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(WriteOnce(7)));
+        dev.run_to_completion();
+        let report = dev.finish_analysis().unwrap();
+        assert_eq!(report.violation_count(), 2); // the odd write + finish marker
+        assert!(report.violations[0].message.contains("odd value 7"));
+        let text = report.violations[0].to_string();
+        assert!(text.contains("no-odd-writes"), "{text}");
+    }
+
+    #[test]
+    fn disabled_config_reports_nothing() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.enable_analysis(AnalysisConfig::default()); // both off
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(WriteOnce(7)));
+        dev.run_to_completion();
+        assert!(
+            dev.finish_analysis().is_none(),
+            "disabled analysis allocates no state"
+        );
+    }
+
+    #[test]
+    fn analysis_does_not_perturb_timing() {
+        let run = |analysis: bool| {
+            let mut dev = Device::new(GpuConfig::default());
+            if analysis {
+                dev.enable_analysis(AnalysisConfig::full());
+            }
+            dev.alloc_global(2);
+            dev.spawn(
+                0,
+                Box::new(Producer {
+                    data: 0,
+                    flag: 1,
+                    publish_order: MemOrder::Release,
+                    step: 0,
+                }),
+            );
+            dev.spawn(
+                1,
+                Box::new(Consumer {
+                    data: 0,
+                    flag: 1,
+                    poll_order: MemOrder::Acquire,
+                    got: None,
+                }),
+            );
+            dev.run_to_completion();
+            (dev.elapsed_cycles(), dev.instructions_executed())
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

@@ -9,7 +9,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::cost::GpuConfig;
+use crate::invariant::InvariantChecker;
 use crate::mem::{GlobalMemory, SharedMemory, Word};
+use crate::race::{AnalysisConfig, AnalysisReport, AnalysisState};
 use crate::stats::WarpStats;
 use crate::warp::WarpCtx;
 use crate::WARP_LANES;
@@ -60,6 +62,9 @@ pub struct Device {
     queue: BinaryHeap<Reverse<(u64, WarpId)>>,
     live: usize,
     instructions_executed: u64,
+    /// Race/invariant analysis; `None` (the default) records nothing and
+    /// costs one pointer check per access.
+    analysis: Option<Box<AnalysisState>>,
 }
 
 impl Device {
@@ -79,7 +84,39 @@ impl Device {
             queue: BinaryHeap::new(),
             live: 0,
             instructions_executed: 0,
+            analysis: None,
         }
+    }
+
+    /// Turn on the analysis layer for this device. Call before spawning
+    /// warps; a config with everything off leaves analysis disabled.
+    pub fn enable_analysis(&mut self, cfg: AnalysisConfig) {
+        self.analysis = cfg.enabled().then(|| Box::new(AnalysisState::new(cfg)));
+    }
+
+    /// Register a protocol-invariant checker. Requires a prior
+    /// [`Device::enable_analysis`] with `invariants: true`.
+    pub fn add_invariant_checker(&mut self, checker: Box<dyn InvariantChecker>) {
+        self.analysis
+            .as_deref_mut()
+            .expect("enable_analysis before registering invariant checkers")
+            .add_checker(checker);
+    }
+
+    /// Live analysis state, if enabled (races/violations found so far).
+    pub fn analysis(&self) -> Option<&AnalysisState> {
+        self.analysis.as_deref()
+    }
+
+    /// Run the checkers' end-of-run passes and return the detached report
+    /// (`None` when analysis was never enabled). Idempotent only in the
+    /// sense that further device activity keeps being recorded; call after
+    /// the run completes.
+    pub fn finish_analysis(&mut self) -> Option<AnalysisReport> {
+        self.analysis.as_deref_mut().map(|a| {
+            a.finish();
+            a.report()
+        })
     }
 
     /// Device configuration.
@@ -181,6 +218,7 @@ impl Device {
             cost: &self.cfg.cost,
             atomic_global: &mut self.atomic_global,
             atomic_shared: &mut self.atomic_shared[sm],
+            analysis: self.analysis.as_deref_mut(),
         };
         let outcome = program.step(&mut ctx);
         let new_clock = ctx.clock;
@@ -274,8 +312,20 @@ mod tests {
     fn warps_interleave_in_time_order() {
         let mut dev = Device::new(GpuConfig::default());
         dev.alloc_global(1);
-        dev.spawn(0, Box::new(Counter { remaining: 10, addr: 0 }));
-        dev.spawn(1, Box::new(Counter { remaining: 10, addr: 0 }));
+        dev.spawn(
+            0,
+            Box::new(Counter {
+                remaining: 10,
+                addr: 0,
+            }),
+        );
+        dev.spawn(
+            1,
+            Box::new(Counter {
+                remaining: 10,
+                addr: 0,
+            }),
+        );
         dev.run_to_completion();
         assert_eq!(dev.global()[0], 20);
         assert_eq!(dev.live_warps(), 0);
@@ -286,8 +336,20 @@ mod tests {
     fn elapsed_is_max_over_warps() {
         let mut dev = Device::new(GpuConfig::default());
         dev.alloc_global(2);
-        dev.spawn(0, Box::new(Counter { remaining: 1, addr: 0 }));
-        dev.spawn(1, Box::new(Counter { remaining: 50, addr: 1 }));
+        dev.spawn(
+            0,
+            Box::new(Counter {
+                remaining: 1,
+                addr: 0,
+            }),
+        );
+        dev.spawn(
+            1,
+            Box::new(Counter {
+                remaining: 50,
+                addr: 1,
+            }),
+        );
         dev.run_to_completion();
         let c0 = dev.warp_stats(0).total_cycles;
         let c1 = dev.warp_stats(1).total_cycles;
@@ -301,10 +363,20 @@ mod tests {
             let mut dev = Device::new(GpuConfig::default());
             dev.alloc_global(1);
             for sm in 0..4 {
-                dev.spawn(sm, Box::new(Counter { remaining: 25, addr: 0 }));
+                dev.spawn(
+                    sm,
+                    Box::new(Counter {
+                        remaining: 25,
+                        addr: 0,
+                    }),
+                );
             }
             dev.run_to_completion();
-            (dev.elapsed_cycles(), dev.global()[0], dev.instructions_executed())
+            (
+                dev.elapsed_cycles(),
+                dev.global()[0],
+                dev.instructions_executed(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -365,7 +437,13 @@ mod tests {
     fn take_program_downcasts() {
         let mut dev = Device::new(GpuConfig::default());
         dev.alloc_global(1);
-        let id = dev.spawn(0, Box::new(Counter { remaining: 3, addr: 0 }));
+        let id = dev.spawn(
+            0,
+            Box::new(Counter {
+                remaining: 3,
+                addr: 0,
+            }),
+        );
         dev.run_to_completion();
         let prog = dev.take_program(id);
         let counter = prog.downcast::<Counter>().expect("wrong type");

@@ -43,14 +43,43 @@ impl Default for WarpStats {
     }
 }
 
+/// Device-wide counters from the analysis layer (see `crate::race`): how
+/// many memory events it observed and what it found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Memory events recorded (0 when analysis is off).
+    pub events: u64,
+    /// Unsynchronized conflicting access pairs found.
+    pub races: u64,
+    /// Protocol-invariant violations found.
+    pub violations: u64,
+}
+
+impl AnalysisStats {
+    /// Accumulate another run's counters (aggregation across launches).
+    pub fn merge(&mut self, other: &AnalysisStats) {
+        self.events += other.events;
+        self.races += other.races;
+        self.violations += other.violations;
+    }
+}
+
 impl WarpStats {
     /// Merge another warp's counters into this one (used to aggregate a
     /// device-wide breakdown).
     pub fn merge(&mut self, other: &WarpStats) {
-        for (a, b) in self.cycles_by_phase.iter_mut().zip(other.cycles_by_phase.iter()) {
+        for (a, b) in self
+            .cycles_by_phase
+            .iter_mut()
+            .zip(other.cycles_by_phase.iter())
+        {
             *a += b;
         }
-        for (a, b) in self.divergence_by_phase.iter_mut().zip(other.divergence_by_phase.iter()) {
+        for (a, b) in self
+            .divergence_by_phase
+            .iter_mut()
+            .zip(other.divergence_by_phase.iter())
+        {
             *a += b;
         }
         self.divergence_cycles += other.divergence_cycles;

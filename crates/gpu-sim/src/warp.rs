@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 
 use crate::cost::CostModel;
+use crate::invariant::{AccessKind, MemEvent, Space};
 use crate::mem::{bank_conflict_groups, coalesced_segments, GlobalMemory, SharedMemory, Word};
+use crate::race::{AnalysisState, MemOrder};
 use crate::stats::{PhaseId, WarpStats};
 use crate::WARP_LANES;
 
@@ -55,6 +57,7 @@ pub struct WarpCtx<'a> {
     pub(crate) cost: &'a CostModel,
     pub(crate) atomic_global: &'a mut HashMap<u64, u64>,
     pub(crate) atomic_shared: &'a mut HashMap<u64, u64>,
+    pub(crate) analysis: Option<&'a mut AnalysisState>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -116,6 +119,75 @@ impl<'a> WarpCtx<'a> {
     }
 
     // ------------------------------------------------------------------
+    // Analysis instrumentation and checked access
+    // ------------------------------------------------------------------
+
+    /// Report one access to the analysis layer (no-op when disabled).
+    fn note(&mut self, space: Space, addr: u64, kind: AccessKind, value: Word, order: MemOrder) {
+        if let Some(a) = self.analysis.as_deref_mut() {
+            a.record(&MemEvent {
+                warp: self.warp_id,
+                sm: self.sm_id,
+                clock: self.clock,
+                space,
+                addr,
+                kind,
+                value,
+                order,
+            });
+        }
+    }
+
+    /// Die with full context on an access outside allocated memory.
+    #[cold]
+    fn oob(&self, what: &str, space: Space, addr: u64) -> ! {
+        let allocated = match space {
+            Space::Global => self.global.len(),
+            Space::Shared => self.shared.capacity(),
+        };
+        panic!(
+            "warp {} (sm {}) @ cycle {}: {what} of unallocated {space} address {addr} \
+             ({allocated} words allocated)",
+            self.warp_id, self.sm_id, self.clock
+        );
+    }
+
+    /// Checked + instrumented global load — every device global read funnels
+    /// through here.
+    fn load_global(&mut self, addr: u64, order: MemOrder) -> Word {
+        let Some(v) = self.global.get(addr) else {
+            self.oob("read", Space::Global, addr);
+        };
+        self.note(Space::Global, addr, AccessKind::Read, v, order);
+        v
+    }
+
+    /// Checked + instrumented global store.
+    fn store_global(&mut self, addr: u64, value: Word, order: MemOrder) {
+        if !self.global.set(addr, value) {
+            self.oob("write", Space::Global, addr);
+        }
+        self.note(Space::Global, addr, AccessKind::Write, value, order);
+    }
+
+    /// Checked + instrumented shared load.
+    fn load_shared(&mut self, addr: u64, order: MemOrder) -> Word {
+        let Some(v) = self.shared.get(addr) else {
+            self.oob("read", Space::Shared, addr);
+        };
+        self.note(Space::Shared, addr, AccessKind::Read, v, order);
+        v
+    }
+
+    /// Checked + instrumented shared store.
+    fn store_shared(&mut self, addr: u64, value: Word, order: MemOrder) {
+        if !self.shared.set(addr, value) {
+            self.oob("write", Space::Shared, addr);
+        }
+        self.note(Space::Shared, addr, AccessKind::Write, value, order);
+    }
+
+    // ------------------------------------------------------------------
     // Global (off-chip) memory
     // ------------------------------------------------------------------
 
@@ -124,17 +196,28 @@ impl<'a> WarpCtx<'a> {
     pub fn global_read(
         &mut self,
         mask: Mask,
+        addr_of: impl FnMut(usize) -> u64,
+    ) -> [Word; WARP_LANES] {
+        self.global_read_ord(mask, addr_of, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::global_read`] with an explicit memory-order annotation for
+    /// the race detector.
+    pub fn global_read_ord(
+        &mut self,
+        mask: Mask,
         mut addr_of: impl FnMut(usize) -> u64,
+        order: MemOrder,
     ) -> [Word; WARP_LANES] {
         let mut out = [0; WARP_LANES];
         let mut addrs = [0u64; WARP_LANES];
         let mut n = 0;
-        for lane in 0..WARP_LANES {
+        for (lane, slot) in out.iter_mut().enumerate() {
             if lane_active(mask, lane) {
                 let a = addr_of(lane);
                 addrs[n] = a;
                 n += 1;
-                out[lane] = self.global.read(a);
+                *slot = self.load_global(a, order);
             }
         }
         self.charge_global_access(&addrs[..n], lane_count(mask));
@@ -148,8 +231,19 @@ impl<'a> WarpCtx<'a> {
     pub fn global_write(
         &mut self,
         mask: Mask,
+        addr_of: impl FnMut(usize) -> u64,
+        value_of: impl FnMut(usize) -> Word,
+    ) {
+        self.global_write_ord(mask, addr_of, value_of, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::global_write`] with an explicit memory-order annotation.
+    pub fn global_write_ord(
+        &mut self,
+        mask: Mask,
         mut addr_of: impl FnMut(usize) -> u64,
         mut value_of: impl FnMut(usize) -> Word,
+        order: MemOrder,
     ) {
         let mut addrs = [0u64; WARP_LANES];
         let mut n = 0;
@@ -158,7 +252,7 @@ impl<'a> WarpCtx<'a> {
                 let a = addr_of(lane);
                 addrs[n] = a;
                 n += 1;
-                self.global.write(a, value_of(lane));
+                self.store_global(a, value_of(lane), order);
             }
         }
         self.charge_global_access(&addrs[..n], lane_count(mask));
@@ -166,7 +260,12 @@ impl<'a> WarpCtx<'a> {
 
     /// Single-lane global read (divergent).
     pub fn global_read1(&mut self, lane: usize, addr: u64) -> Word {
-        let v = self.global.read(addr);
+        self.global_read1_ord(lane, addr, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::global_read1`] with an explicit memory-order annotation.
+    pub fn global_read1_ord(&mut self, lane: usize, addr: u64, order: MemOrder) -> Word {
+        let v = self.load_global(addr, order);
         self.charge_global_access(&[addr], 1);
         let _ = lane;
         v
@@ -174,7 +273,12 @@ impl<'a> WarpCtx<'a> {
 
     /// Single-lane global write (divergent).
     pub fn global_write1(&mut self, lane: usize, addr: u64, value: Word) {
-        self.global.write(addr, value);
+        self.global_write1_ord(lane, addr, value, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::global_write1`] with an explicit memory-order annotation.
+    pub fn global_write1_ord(&mut self, lane: usize, addr: u64, value: Word, order: MemOrder) {
+        self.store_global(addr, value, order);
         self.charge_global_access(&[addr], 1);
         let _ = lane;
     }
@@ -209,12 +313,12 @@ impl<'a> WarpCtx<'a> {
             let mut out = [0; WARP_LANES];
             let mut addrs = [0u64; WARP_LANES];
             let mut n = 0;
-            for lane in 0..WARP_LANES {
+            for (lane, slot) in out.iter_mut().enumerate() {
                 if lane_active(mask, lane) {
                     let a = addr_of(lane, i);
                     addrs[n] = a;
                     n += 1;
-                    out[lane] = self.global.read(a);
+                    *slot = self.load_global(a, MemOrder::Plain);
                 }
             }
             let segs = coalesced_segments(&addrs[..n]);
@@ -248,7 +352,7 @@ impl<'a> WarpCtx<'a> {
                     if let Some((a, v)) = write_of(lane, i) {
                         addrs[n] = a;
                         n += 1;
-                        self.global.write(a, v);
+                        self.store_global(a, v, MemOrder::Plain);
                     }
                 }
             }
@@ -270,17 +374,27 @@ impl<'a> WarpCtx<'a> {
     pub fn shared_read(
         &mut self,
         mask: Mask,
+        addr_of: impl FnMut(usize) -> u64,
+    ) -> [Word; WARP_LANES] {
+        self.shared_read_ord(mask, addr_of, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::shared_read`] with an explicit memory-order annotation.
+    pub fn shared_read_ord(
+        &mut self,
+        mask: Mask,
         mut addr_of: impl FnMut(usize) -> u64,
+        order: MemOrder,
     ) -> [Word; WARP_LANES] {
         let mut out = [0; WARP_LANES];
         let mut addrs = [0u64; WARP_LANES];
         let mut n = 0;
-        for lane in 0..WARP_LANES {
+        for (lane, slot) in out.iter_mut().enumerate() {
             if lane_active(mask, lane) {
                 let a = addr_of(lane);
                 addrs[n] = a;
                 n += 1;
-                out[lane] = self.shared.read(a);
+                *slot = self.load_shared(a, order);
             }
         }
         self.charge_shared_access(&addrs[..n], lane_count(mask));
@@ -291,8 +405,19 @@ impl<'a> WarpCtx<'a> {
     pub fn shared_write(
         &mut self,
         mask: Mask,
+        addr_of: impl FnMut(usize) -> u64,
+        value_of: impl FnMut(usize) -> Word,
+    ) {
+        self.shared_write_ord(mask, addr_of, value_of, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::shared_write`] with an explicit memory-order annotation.
+    pub fn shared_write_ord(
+        &mut self,
+        mask: Mask,
         mut addr_of: impl FnMut(usize) -> u64,
         mut value_of: impl FnMut(usize) -> Word,
+        order: MemOrder,
     ) {
         let mut addrs = [0u64; WARP_LANES];
         let mut n = 0;
@@ -301,7 +426,7 @@ impl<'a> WarpCtx<'a> {
                 let a = addr_of(lane);
                 addrs[n] = a;
                 n += 1;
-                self.shared.write(a, value_of(lane));
+                self.store_shared(a, value_of(lane), order);
             }
         }
         self.charge_shared_access(&addrs[..n], lane_count(mask));
@@ -309,7 +434,12 @@ impl<'a> WarpCtx<'a> {
 
     /// Single-lane shared read (divergent).
     pub fn shared_read1(&mut self, lane: usize, addr: u64) -> Word {
-        let v = self.shared.read(addr);
+        self.shared_read1_ord(lane, addr, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::shared_read1`] with an explicit memory-order annotation.
+    pub fn shared_read1_ord(&mut self, lane: usize, addr: u64, order: MemOrder) -> Word {
+        let v = self.load_shared(addr, order);
         self.charge_shared_access(&[addr], 1);
         let _ = lane;
         v
@@ -317,7 +447,12 @@ impl<'a> WarpCtx<'a> {
 
     /// Single-lane shared write (divergent).
     pub fn shared_write1(&mut self, lane: usize, addr: u64, value: Word) {
-        self.shared.write(addr, value);
+        self.shared_write1_ord(lane, addr, value, MemOrder::Plain)
+    }
+
+    /// [`WarpCtx::shared_write1`] with an explicit memory-order annotation.
+    pub fn shared_write1_ord(&mut self, lane: usize, addr: u64, value: Word, order: MemOrder) {
+        self.store_shared(addr, value, order);
         self.charge_shared_access(&[addr], 1);
         let _ = lane;
     }
@@ -350,7 +485,8 @@ impl<'a> WarpCtx<'a> {
     /// Uncosted raw read of global memory. ONLY for simulator-level
     /// optimizations that charge an equivalent cost via
     /// [`WarpCtx::charge_global_accesses`]; never use this to dodge the cost
-    /// model.
+    /// model. Peeks are invisible to the analysis layer (the accesses they
+    /// stand in for are accounted by their `charge_global_accesses` pairing).
     pub fn global_peek(&self, addr: u64) -> Word {
         self.global.read(addr)
     }
@@ -384,10 +520,24 @@ impl<'a> WarpCtx<'a> {
         self.stats.atomic_stall_cycles += stall;
         self.charge(delta, 1);
         let _ = lane;
-        let old = self.global.read(addr);
-        if old == expected {
-            self.global.write(addr, new);
+        let Some(old) = self.global.get(addr) else {
+            self.oob("atomic CAS", Space::Global, addr);
+        };
+        let success = old == expected;
+        if success {
+            let _ = self.global.set(addr, new);
         }
+        self.note(
+            Space::Global,
+            addr,
+            AccessKind::Cas {
+                expected,
+                new,
+                success,
+            },
+            old,
+            MemOrder::AcqRel,
+        );
         old
     }
 
@@ -403,8 +553,17 @@ impl<'a> WarpCtx<'a> {
         self.stats.atomic_stall_cycles += stall;
         self.charge(delta, 1);
         let _ = lane;
-        let old = self.global.read(addr);
-        self.global.write(addr, old.wrapping_add(delta_v));
+        let Some(old) = self.global.get(addr) else {
+            self.oob("atomic add", Space::Global, addr);
+        };
+        let _ = self.global.set(addr, old.wrapping_add(delta_v));
+        self.note(
+            Space::Global,
+            addr,
+            AccessKind::Add { operand: delta_v },
+            old,
+            MemOrder::AcqRel,
+        );
         old
     }
 
@@ -420,10 +579,24 @@ impl<'a> WarpCtx<'a> {
         self.stats.atomic_stall_cycles += stall;
         self.charge(delta, 1);
         let _ = lane;
-        let old = self.shared.read(addr);
-        if old == expected {
-            self.shared.write(addr, new);
+        let Some(old) = self.shared.get(addr) else {
+            self.oob("atomic CAS", Space::Shared, addr);
+        };
+        let success = old == expected;
+        if success {
+            let _ = self.shared.set(addr, new);
         }
+        self.note(
+            Space::Shared,
+            addr,
+            AccessKind::Cas {
+                expected,
+                new,
+                success,
+            },
+            old,
+            MemOrder::AcqRel,
+        );
         old
     }
 
@@ -439,8 +612,17 @@ impl<'a> WarpCtx<'a> {
         self.stats.atomic_stall_cycles += stall;
         self.charge(delta, 1);
         let _ = lane;
-        let old = self.shared.read(addr);
-        self.shared.write(addr, old.wrapping_add(delta_v));
+        let Some(old) = self.shared.get(addr) else {
+            self.oob("atomic add", Space::Shared, addr);
+        };
+        let _ = self.shared.set(addr, old.wrapping_add(delta_v));
+        self.note(
+            Space::Shared,
+            addr,
+            AccessKind::Add { operand: delta_v },
+            old,
+            MemOrder::AcqRel,
+        );
         old
     }
 
@@ -491,7 +673,11 @@ impl<'a> WarpCtx<'a> {
         let mut out = [0; WARP_LANES];
         for lane in 0..WARP_LANES {
             if lane_active(mask, lane) {
-                out[lane] = if lane >= delta { values[lane - delta] } else { values[lane] };
+                out[lane] = if lane >= delta {
+                    values[lane - delta]
+                } else {
+                    values[lane]
+                };
             }
         }
         self.charge(self.cost.lat_shuffle, lane_count(mask));
@@ -509,8 +695,11 @@ impl<'a> WarpCtx<'a> {
         let mut out = [0; WARP_LANES];
         for lane in 0..WARP_LANES {
             if lane_active(mask, lane) {
-                out[lane] =
-                    if lane + delta < WARP_LANES { values[lane + delta] } else { values[lane] };
+                out[lane] = if lane + delta < WARP_LANES {
+                    values[lane + delta]
+                } else {
+                    values[lane]
+                };
             }
         }
         self.charge(self.cost.lat_shuffle, lane_count(mask));
@@ -639,12 +828,18 @@ mod tests {
         // the second one must wait out the contention window.
         let mut dev = Device::new(GpuConfig::default());
         dev.alloc_global(4);
-        dev.spawn(0, Box::new(Once(Some(|w: &mut WarpCtx| {
-            w.global_atomic_add(0, 0, 1);
-        }))));
-        dev.spawn(1, Box::new(Once(Some(|w: &mut WarpCtx| {
-            w.global_atomic_add(0, 0, 1);
-        }))));
+        dev.spawn(
+            0,
+            Box::new(Once(Some(|w: &mut WarpCtx| {
+                w.global_atomic_add(0, 0, 1);
+            }))),
+        );
+        dev.spawn(
+            1,
+            Box::new(Once(Some(|w: &mut WarpCtx| {
+                w.global_atomic_add(0, 0, 1);
+            }))),
+        );
         dev.run_to_completion();
         let stalls = dev.warp_stats(0).atomic_stall_cycles + dev.warp_stats(1).atomic_stall_cycles;
         assert!(stalls > 0, "second atomic should stall behind the first");
@@ -655,12 +850,18 @@ mod tests {
     fn concurrent_atomics_on_distinct_addresses_do_not_stall() {
         let mut dev = Device::new(GpuConfig::default());
         dev.alloc_global(4);
-        dev.spawn(0, Box::new(Once(Some(|w: &mut WarpCtx| {
-            w.global_atomic_add(0, 0, 1);
-        }))));
-        dev.spawn(1, Box::new(Once(Some(|w: &mut WarpCtx| {
-            w.global_atomic_add(0, 1, 1);
-        }))));
+        dev.spawn(
+            0,
+            Box::new(Once(Some(|w: &mut WarpCtx| {
+                w.global_atomic_add(0, 0, 1);
+            }))),
+        );
+        dev.spawn(
+            1,
+            Box::new(Once(Some(|w: &mut WarpCtx| {
+                w.global_atomic_add(0, 1, 1);
+            }))),
+        );
         dev.run_to_completion();
         assert_eq!(dev.warp_stats(0).atomic_stall_cycles, 0);
         assert_eq!(dev.warp_stats(1).atomic_stall_cycles, 0);
@@ -806,6 +1007,24 @@ mod tests {
             assert_eq!(dev.global()[a], 100 + a as u64);
         }
         assert_eq!(dev.global()[6], 0);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "warp 0 (sm 0) @ cycle 0: read of unallocated global address 1000000"
+    )]
+    fn out_of_bounds_global_read_names_warp_and_address() {
+        run_once(4, |w| {
+            w.global_read1(0, 1_000_000);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "write of unallocated shared address 9999")]
+    fn out_of_bounds_shared_write_names_warp_and_address() {
+        run_once(4, |w| {
+            w.shared_write1(0, 9_999, 1);
+        });
     }
 
     #[test]

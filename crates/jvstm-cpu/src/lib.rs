@@ -11,6 +11,8 @@
 //! testbed was a 28-hardware-thread Xeon, so [`JvstmCpuConfig::default`]
 //! uses 28 threads.
 
+#![forbid(unsafe_code)]
+
 pub mod stm;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -34,7 +36,10 @@ pub struct JvstmCpuConfig {
 
 impl Default for JvstmCpuConfig {
     fn default() -> Self {
-        Self { threads: 28, record_history: true }
+        Self {
+            threads: 28,
+            record_history: true,
+        }
     }
 }
 
@@ -120,11 +125,17 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let elapsed = start.elapsed();
 
-    let mut out = CpuRunResult { elapsed, ..Default::default() };
+    let mut out = CpuRunResult {
+        elapsed,
+        ..Default::default()
+    };
     for (stats, mut records) in results {
         out.stats.merge(&stats);
         out.records.append(&mut records);
@@ -140,15 +151,21 @@ mod tests {
     use workloads::{BankConfig, BankSource};
 
     fn cfg(threads: usize) -> JvstmCpuConfig {
-        JvstmCpuConfig { threads, record_history: true }
+        JvstmCpuConfig {
+            threads,
+            record_history: true,
+        }
     }
 
     #[test]
     fn bank_run_is_opaque_and_conserves_balance() {
         let bank = BankConfig::small(64, 30);
-        let res = run(&cfg(8), |t| BankSource::new(&bank, 42, t, 50), bank.accounts, |_| {
-            bank.initial_balance
-        });
+        let res = run(
+            &cfg(8),
+            |t| BankSource::new(&bank, 42, t, 50),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
         assert_eq!(res.stats.commits(), 8 * 50);
         let initial: HashMap<u64, u64> = bank.initial_state();
         check_history(&res.records, &initial, true).expect("opaque history");
@@ -156,7 +173,11 @@ mod tests {
         let mut updates: Vec<_> = res.records.iter().filter(|r| r.cts.is_some()).collect();
         updates.sort_by_key(|r| r.cts.unwrap());
         for (i, r) in updates.iter().enumerate() {
-            assert_eq!(r.cts.unwrap(), i as u64 + 1, "cts dense under the commit lock");
+            assert_eq!(
+                r.cts.unwrap(),
+                i as u64 + 1,
+                "cts dense under the commit lock"
+            );
         }
         for r in updates {
             for &(item, value) in &r.writes {
@@ -169,9 +190,12 @@ mod tests {
     #[test]
     fn rots_never_abort() {
         let bank = BankConfig::small(32, 100);
-        let res = run(&cfg(8), |t| BankSource::new(&bank, 3, t, 30), bank.accounts, |_| {
-            bank.initial_balance
-        });
+        let res = run(
+            &cfg(8),
+            |t| BankSource::new(&bank, 3, t, 30),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
         assert_eq!(res.stats.aborts(), 0);
         assert_eq!(res.stats.rot_commits, 8 * 30);
     }
@@ -179,9 +203,12 @@ mod tests {
     #[test]
     fn contended_bank_stays_correct_under_many_threads() {
         let bank = BankConfig::small(4, 0); // tiny bank, pure updates
-        let res = run(&cfg(16), |t| BankSource::new(&bank, 9, t, 100), bank.accounts, |_| {
-            bank.initial_balance
-        });
+        let res = run(
+            &cfg(16),
+            |t| BankSource::new(&bank, 9, t, 100),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
         assert_eq!(res.stats.update_commits, 16 * 100);
         check_history(&res.records, &bank.initial_state(), true).expect("opaque");
         // Retries are likely but scheduling-dependent (a single-core host can
@@ -192,9 +219,12 @@ mod tests {
     #[test]
     fn throughput_is_positive() {
         let bank = BankConfig::small(16, 50);
-        let res = run(&cfg(4), |t| BankSource::new(&bank, 1, t, 20), bank.accounts, |_| {
-            bank.initial_balance
-        });
+        let res = run(
+            &cfg(4),
+            |t| BankSource::new(&bank, 1, t, 20),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
         assert!(res.throughput() > 0.0);
         assert!(res.elapsed > Duration::ZERO);
     }

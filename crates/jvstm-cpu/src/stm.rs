@@ -38,10 +38,18 @@ impl JvstmCpu {
     pub fn new(num_items: u64, mut initial: impl FnMut(u64) -> u64) -> Self {
         let boxes = (0..num_items)
             .map(|i| {
-                RwLock::new(Arc::new(Version { ts: 0, value: initial(i), prev: None }))
+                RwLock::new(Arc::new(Version {
+                    ts: 0,
+                    value: initial(i),
+                    prev: None,
+                }))
             })
             .collect();
-        Self { boxes, gts: AtomicU64::new(0), commit_lock: Mutex::new(()) }
+        Self {
+            boxes,
+            gts: AtomicU64::new(0),
+            commit_lock: Mutex::new(()),
+        }
     }
 
     /// Current global timestamp (= committed update transactions).
@@ -110,7 +118,13 @@ impl JvstmCpu {
         }
 
         if read_only || ws.is_empty() {
-            return Ok(TxRecord { thread, read_point: snapshot, cts: None, reads, writes: ws });
+            return Ok(TxRecord {
+                thread,
+                read_point: snapshot,
+                cts: None,
+                reads,
+                writes: ws,
+            });
         }
 
         // -- commit critical section (§III-A phases 1–3) --------------------
@@ -125,17 +139,29 @@ impl JvstmCpu {
         let cts = self.gts() + 1;
         for &(item, value) in &ws {
             let mut head = self.boxes[item as usize].write();
-            let new = Arc::new(Version { ts: cts, value, prev: Some(head.clone()) });
+            let new = Arc::new(Version {
+                ts: cts,
+                value,
+                prev: Some(head.clone()),
+            });
             *head = new;
         }
         self.gts.store(cts, Ordering::Release);
-        Ok(TxRecord { thread, read_point: snapshot, cts: Some(cts), reads, writes: ws })
+        Ok(TxRecord {
+            thread,
+            read_point: snapshot,
+            cts: Some(cts),
+            reads,
+            writes: ws,
+        })
     }
 
     /// Host-side snapshot of the newest committed values (tests).
     pub fn committed_state(&self) -> HashMap<u64, u64> {
         let gts = self.gts();
-        (0..self.boxes.len() as u64).map(|i| (i, self.read_at(i, gts))).collect()
+        (0..self.boxes.len() as u64)
+            .map(|i| (i, self.read_at(i, gts)))
+            .collect()
     }
 }
 
@@ -172,11 +198,17 @@ mod tests {
                 2 => {
                     self.b = last.unwrap();
                     self.step = 3;
-                    TxOp::Write { item: self.from, value: self.a - self.amount }
+                    TxOp::Write {
+                        item: self.from,
+                        value: self.a - self.amount,
+                    }
                 }
                 3 => {
                     self.step = 4;
-                    TxOp::Write { item: self.to, value: self.b + self.amount }
+                    TxOp::Write {
+                        item: self.to,
+                        value: self.b + self.amount,
+                    }
                 }
                 _ => TxOp::Finish,
             }
@@ -187,7 +219,14 @@ mod tests {
     fn sequential_transfers_preserve_totals() {
         let stm = JvstmCpu::new(4, |_| 100);
         for i in 0..10 {
-            let mut tx = Transfer { from: i % 4, to: (i + 1) % 4, amount: 5, step: 0, a: 0, b: 0 };
+            let mut tx = Transfer {
+                from: i % 4,
+                to: (i + 1) % 4,
+                amount: 5,
+                step: 0,
+                a: 0,
+                b: 0,
+            };
             stm.execute(&mut tx, 0).unwrap();
         }
         let total: u64 = stm.committed_state().values().sum();
@@ -198,7 +237,14 @@ mod tests {
     #[test]
     fn old_snapshots_read_old_versions() {
         let stm = JvstmCpu::new(1, |_| 7);
-        let mut tx = Transfer { from: 0, to: 0, amount: 0, step: 0, a: 0, b: 0 };
+        let mut tx = Transfer {
+            from: 0,
+            to: 0,
+            amount: 0,
+            step: 0,
+            a: 0,
+            b: 0,
+        };
         stm.execute(&mut tx, 0).unwrap();
         // After the (no-op) transfer, gts=1 but snapshot 0 still sees 7.
         assert_eq!(stm.read_at(0, 0), 7);
@@ -231,7 +277,10 @@ mod tests {
                     1 => {
                         self.observed = last.unwrap();
                         self.step = 2;
-                        TxOp::Write { item: 1, value: self.observed }
+                        TxOp::Write {
+                            item: 1,
+                            value: self.observed,
+                        }
                     }
                     _ => TxOp::Finish,
                 }
@@ -244,13 +293,23 @@ mod tests {
         let b2 = barrier.clone();
         let h = std::thread::spawn(move || {
             b2.wait();
-            let mut t = Transfer { from: 0, to: 1, amount: 1, step: 0, a: 0, b: 0 };
+            let mut t = Transfer {
+                from: 0,
+                to: 1,
+                amount: 1,
+                step: 0,
+                a: 0,
+                b: 0,
+            };
             s2.execute(&mut t, 1).unwrap();
         });
         barrier.wait(); // let T2 commit a write to item 0's reader set
         h.join().unwrap();
         // T1 executes *after* T2's commit with a fresh snapshot: no abort.
-        let mut t1 = SlowTx { step: 0, observed: 0 };
+        let mut t1 = SlowTx {
+            step: 0,
+            observed: 0,
+        };
         assert!(stm.execute(&mut t1, 0).is_ok());
     }
 }

@@ -28,7 +28,11 @@ impl GlobalAtr {
     pub fn alloc(global: &mut GlobalMemory, capacity: usize, max_ws: usize) -> Self {
         let words = 2 + capacity * (1 + max_ws);
         let base = global.alloc(words);
-        Self { base, capacity, max_ws }
+        Self {
+            base,
+            capacity,
+            max_ws,
+        }
     }
 
     /// Entry capacity.

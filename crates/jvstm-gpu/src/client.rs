@@ -3,7 +3,7 @@
 //! and bottlenecked on the global-memory ATR lock, exactly the pathology the
 //! paper's Table I quantifies.
 
-use gpu_sim::{single_lane, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use gpu_sim::{single_lane, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
 use stm_core::mv_exec::{MvExec, MvExecConfig, PlainSetArea};
 use stm_core::{Phase, TxSource, VBoxHeap};
 
@@ -30,7 +30,12 @@ enum LaneCommit {
     InsertLen { cur: u64 },
     /// Write-back version `widx`; `sub` = 0 read head / 1 write version /
     /// 2 write head.
-    WriteBack { cur: u64, widx: usize, sub: u8, head: u64 },
+    WriteBack {
+        cur: u64,
+        widx: usize,
+        sub: u8,
+        head: u64,
+    },
     /// Make the commit visible to new transactions.
     PublishGts { cur: u64 },
     /// Advance `next`.
@@ -106,7 +111,12 @@ impl<S: TxSource> JvstmGpuClient<S> {
 
     fn enter_commit(&mut self, lane: usize) -> CPhase {
         let snapshot = self.exec.lanes[lane].snapshot;
-        CPhase::Commit { lane, st: LaneCommit::ReadNext { validated_to: snapshot } }
+        CPhase::Commit {
+            lane,
+            st: LaneCommit::ReadNext {
+                validated_to: snapshot,
+            },
+        }
     }
 
     /// One step of a lane's commit; returns the next warp phase.
@@ -115,24 +125,36 @@ impl<S: TxSource> JvstmGpuClient<S> {
         match st {
             LaneCommit::ReadNext { validated_to } => {
                 w.set_phase(Phase::Validation.id());
-                let cur = w.global_read1(lane, self.atr.next_addr());
+                // Acquire: pairs with committers' BumpNext releases, making
+                // the entries below `cur` visible.
+                let cur = w.global_read1_ord(lane, self.atr.next_addr(), MemOrder::Acquire);
                 if cur > validated_to {
                     CPhase::Commit {
                         lane,
-                        st: LaneCommit::Validate { idx: validated_to, target: cur, locked: false },
+                        st: LaneCommit::Validate {
+                            idx: validated_to,
+                            target: cur,
+                            locked: false,
+                        },
                     }
                 } else {
-                    CPhase::Commit { lane, st: LaneCommit::TryLock { validated_to } }
+                    CPhase::Commit {
+                        lane,
+                        st: LaneCommit::TryLock { validated_to },
+                    }
                 }
             }
-            LaneCommit::Validate { idx, target, locked } => {
+            LaneCommit::Validate {
+                idx,
+                target,
+                locked,
+            } => {
                 w.set_phase(Phase::Validation.id());
                 let batch = ((target - idx) as usize).min(self.validate_batch);
                 // Read the ws_len words of the batch (single-lane, divergent).
                 let atr = self.atr.clone();
-                let lens = w.global_read_bulk(mask, batch, |_, i| {
-                    atr.entry_len_addr(idx + i as u64)
-                });
+                let lens =
+                    w.global_read_bulk(mask, batch, |_, i| atr.entry_len_addr(idx + i as u64));
                 let lens: Vec<u64> = (0..batch).map(|i| lens[i][lane]).collect();
                 // Read every entry's items.
                 let mut flat: Vec<(u64, u64)> = Vec::new();
@@ -151,24 +173,38 @@ impl<S: TxSource> JvstmGpuClient<S> {
                     });
                     let rs = &self.exec.lanes[lane].rs;
                     w.alu(mask, (rs.len().max(1) * flat.len()) as u64);
-                    items.iter().take(flat.len()).any(|row| rs.contains(&row[lane]))
+                    items
+                        .iter()
+                        .take(flat.len())
+                        .any(|row| rs.contains(&row[lane]))
                 };
                 if conflict {
                     if locked {
                         // Release before aborting.
                         w.set_phase(Phase::RecordInsert.id());
-                        w.global_write1(lane, self.atr.lock_addr(), UNLOCKED);
+                        w.global_write1_ord(
+                            lane,
+                            self.atr.lock_addr(),
+                            UNLOCKED,
+                            MemOrder::Release,
+                        );
                     }
                     self.exec.abort_lane(lane, w.now());
                     return self.after_lane(lane);
                 }
                 let new_idx = idx + batch as u64;
                 let st = if new_idx < target {
-                    LaneCommit::Validate { idx: new_idx, target, locked }
+                    LaneCommit::Validate {
+                        idx: new_idx,
+                        target,
+                        locked,
+                    }
                 } else if locked {
                     LaneCommit::InsertItems { cur: target }
                 } else {
-                    LaneCommit::TryLock { validated_to: target }
+                    LaneCommit::TryLock {
+                        validated_to: target,
+                    }
                 };
                 CPhase::Commit { lane, st }
             }
@@ -176,24 +212,37 @@ impl<S: TxSource> JvstmGpuClient<S> {
                 w.set_phase(Phase::RecordInsert.id());
                 let old = w.global_cas1(lane, self.atr.lock_addr(), UNLOCKED, LOCKED);
                 if old == UNLOCKED {
-                    CPhase::Commit { lane, st: LaneCommit::PostLockReadNext { validated_to } }
+                    CPhase::Commit {
+                        lane,
+                        st: LaneCommit::PostLockReadNext { validated_to },
+                    }
                 } else {
                     // Another transaction is inside its commit critical
                     // section; wait and revalidate whatever it publishes.
                     w.poll_wait();
-                    CPhase::Commit { lane, st: LaneCommit::ReadNext { validated_to } }
+                    CPhase::Commit {
+                        lane,
+                        st: LaneCommit::ReadNext { validated_to },
+                    }
                 }
             }
             LaneCommit::PostLockReadNext { validated_to } => {
                 w.set_phase(Phase::Validation.id());
-                let cur = w.global_read1(lane, self.atr.next_addr());
+                let cur = w.global_read1_ord(lane, self.atr.next_addr(), MemOrder::Acquire);
                 if cur > validated_to {
                     CPhase::Commit {
                         lane,
-                        st: LaneCommit::Validate { idx: validated_to, target: cur, locked: true },
+                        st: LaneCommit::Validate {
+                            idx: validated_to,
+                            target: cur,
+                            locked: true,
+                        },
                     }
                 } else {
-                    CPhase::Commit { lane, st: LaneCommit::InsertItems { cur } }
+                    CPhase::Commit {
+                        lane,
+                        st: LaneCommit::InsertItems { cur },
+                    }
                 }
             }
             LaneCommit::InsertItems { cur } => {
@@ -202,8 +251,11 @@ impl<S: TxSource> JvstmGpuClient<S> {
                     (cur as usize) < self.atr.capacity(),
                     "ATR capacity exceeded; size atr_capacity above the total update commits"
                 );
-                let ws: Vec<u64> =
-                    self.exec.lanes[lane].ws.iter().map(|&(item, _)| item).collect();
+                let ws: Vec<u64> = self.exec.lanes[lane]
+                    .ws
+                    .iter()
+                    .map(|&(item, _)| item)
+                    .collect();
                 let atr = self.atr.clone();
                 w.global_write_bulk(mask, ws.len().max(1), |_, k| {
                     if k < ws.len() {
@@ -212,67 +264,122 @@ impl<S: TxSource> JvstmGpuClient<S> {
                         None
                     }
                 });
-                CPhase::Commit { lane, st: LaneCommit::InsertLen { cur } }
+                CPhase::Commit {
+                    lane,
+                    st: LaneCommit::InsertLen { cur },
+                }
             }
             LaneCommit::InsertLen { cur } => {
                 w.set_phase(Phase::RecordInsert.id());
                 let len = self.exec.lanes[lane].ws.len() as u64;
-                w.global_write1(lane, self.atr.entry_len_addr(cur), len);
-                CPhase::Commit { lane, st: LaneCommit::WriteBack { cur, widx: 0, sub: 0, head: 0 } }
+                // Release: publishes the entry's items to validators (they
+                // acquire `next` before reading entries below it).
+                w.global_write1_ord(lane, self.atr.entry_len_addr(cur), len, MemOrder::Release);
+                CPhase::Commit {
+                    lane,
+                    st: LaneCommit::WriteBack {
+                        cur,
+                        widx: 0,
+                        sub: 0,
+                        head: 0,
+                    },
+                }
             }
-            LaneCommit::WriteBack { cur, widx, sub, head } => {
+            LaneCommit::WriteBack {
+                cur,
+                widx,
+                sub,
+                head,
+            } => {
                 w.set_phase(Phase::WriteBack.id());
                 let ws = &self.exec.lanes[lane].ws;
                 if widx >= ws.len() {
-                    return CPhase::Commit { lane, st: LaneCommit::PublishGts { cur } };
+                    return CPhase::Commit {
+                        lane,
+                        st: LaneCommit::PublishGts { cur },
+                    };
                 }
                 let (item, value) = ws[widx];
                 let cts = cur + 1;
                 match sub {
                     0 => {
-                        let h = w.global_read1(lane, self.heap.head_addr(item));
+                        // Acquire/Release head/version discipline, as in the
+                        // CSMV write-back.
+                        let h =
+                            w.global_read1_ord(lane, self.heap.head_addr(item), MemOrder::Acquire);
                         CPhase::Commit {
                             lane,
-                            st: LaneCommit::WriteBack { cur, widx, sub: 1, head: h },
+                            st: LaneCommit::WriteBack {
+                                cur,
+                                widx,
+                                sub: 1,
+                                head: h,
+                            },
                         }
                     }
                     1 => {
                         let slot = self.heap.next_slot(head);
-                        w.global_write1(
+                        w.global_write1_ord(
                             lane,
                             self.heap.version_addr(item, slot),
                             stm_core::vbox::pack_version(cts, value),
+                            MemOrder::Release,
                         );
                         CPhase::Commit {
                             lane,
-                            st: LaneCommit::WriteBack { cur, widx, sub: 2, head },
+                            st: LaneCommit::WriteBack {
+                                cur,
+                                widx,
+                                sub: 2,
+                                head,
+                            },
                         }
                     }
                     _ => {
                         let slot = self.heap.next_slot(head);
-                        w.global_write1(lane, self.heap.head_addr(item), slot);
+                        w.global_write1_ord(
+                            lane,
+                            self.heap.head_addr(item),
+                            slot,
+                            MemOrder::Release,
+                        );
                         CPhase::Commit {
                             lane,
-                            st: LaneCommit::WriteBack { cur, widx: widx + 1, sub: 0, head: 0 },
+                            st: LaneCommit::WriteBack {
+                                cur,
+                                widx: widx + 1,
+                                sub: 0,
+                                head: 0,
+                            },
                         }
                     }
                 }
             }
             LaneCommit::PublishGts { cur } => {
                 w.set_phase(Phase::WriteBack.id());
-                w.global_write1(lane, self.gts_addr, cur + 1);
-                CPhase::Commit { lane, st: LaneCommit::BumpNext { cur } }
+                // Release: snapshot readers acquire the GTS.
+                w.global_write1_ord(lane, self.gts_addr, cur + 1, MemOrder::Release);
+                CPhase::Commit {
+                    lane,
+                    st: LaneCommit::BumpNext { cur },
+                }
             }
             LaneCommit::BumpNext { cur } => {
                 w.set_phase(Phase::RecordInsert.id());
-                w.global_write1(lane, self.atr.next_addr(), cur + 1);
-                CPhase::Commit { lane, st: LaneCommit::Unlock { cur } }
+                // Release: publishes the inserted entry to validators.
+                w.global_write1_ord(lane, self.atr.next_addr(), cur + 1, MemOrder::Release);
+                CPhase::Commit {
+                    lane,
+                    st: LaneCommit::Unlock { cur },
+                }
             }
             LaneCommit::Unlock { cur } => {
                 w.set_phase(Phase::RecordInsert.id());
-                w.global_write1(lane, self.atr.lock_addr(), UNLOCKED);
+                // Release: the next lock CAS acquires the critical section.
+                w.global_write1_ord(lane, self.atr.lock_addr(), UNLOCKED, MemOrder::Release);
                 let snapshot = self.exec.lanes[lane].snapshot;
-                self.exec.commit_lane(lane, w.now(), Some(cur + 1), snapshot);
+                self.exec
+                    .commit_lane(lane, w.now(), Some(cur + 1), snapshot);
                 self.after_lane(lane)
             }
         }
@@ -367,7 +474,10 @@ mod tests {
                 1 => {
                     self.seen = last.unwrap();
                     self.step = 2;
-                    TxOp::Write { item: 0, value: self.seen + 1 }
+                    TxOp::Write {
+                        item: 0,
+                        value: self.seen + 1,
+                    }
                 }
                 _ => TxOp::Finish,
             }
@@ -386,15 +496,17 @@ mod tests {
     /// every transaction retries until it commits).
     #[test]
     fn contended_counter_is_exact() {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 4;
-        let cfg = JvstmGpuConfig { gpu, atr_capacity: 2048, versions_per_box: 8, ..Default::default() };
-        let res = run(
-            &cfg,
-            |_| Once(Some(Incr { step: 0, seen: 0 })),
-            4,
-            |_| 0,
-        );
+        let gpu = GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        let cfg = JvstmGpuConfig {
+            gpu,
+            atr_capacity: 2048,
+            versions_per_box: 8,
+            ..Default::default()
+        };
+        let res = run(&cfg, |_| Once(Some(Incr { step: 0, seen: 0 })), 4, |_| 0);
         let n = cfg.num_threads() as u64;
         assert_eq!(res.stats.update_commits, n);
         check_history(&res.records, &std::collections::HashMap::new(), true)
@@ -415,8 +527,10 @@ mod tests {
     /// stays opaque and every transaction eventually commits.
     #[test]
     fn single_version_boxes_cause_overflow_aborts_but_stay_correct() {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 2;
+        let gpu = GpuConfig {
+            num_sms: 2,
+            ..Default::default()
+        };
         let cfg = JvstmGpuConfig {
             gpu,
             atr_capacity: 2048,

@@ -18,10 +18,12 @@
 //! ATR (CAS; on failure revalidate newly committed entries and retry) →
 //! write-back + GTS increment + release.
 
+#![forbid(unsafe_code)]
+
 pub mod atr;
 pub mod client;
 
-use gpu_sim::{Device, GpuConfig};
+use gpu_sim::{AnalysisConfig, Device, GpuConfig};
 use stm_core::mv_exec::{MvExecConfig, PlainSetArea};
 use stm_core::{RunResult, TxSource, VBoxHeap};
 
@@ -50,6 +52,8 @@ pub struct JvstmGpuConfig {
     /// identical cycle cost, coarser interleaving; entries are immutable
     /// once published, so batching is race-free).
     pub validate_batch: usize,
+    /// Analysis layer (race detector); all-off by default.
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for JvstmGpuConfig {
@@ -63,6 +67,7 @@ impl Default for JvstmGpuConfig {
             atr_capacity: 1 << 16,
             record_history: true,
             validate_batch: 16,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -93,12 +98,15 @@ where
     let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
     let atr = GlobalAtr::alloc(dev.global_mut(), cfg.atr_capacity, cfg.max_ws);
 
+    dev.enable_analysis(cfg.analysis);
+
     let mut warp_ids = Vec::new();
     let mut thread_id = 0usize;
     for sm in 0..cfg.gpu.num_sms {
         for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> =
-                (0..gpu_sim::WARP_LANES).map(|i| make_source(thread_id + i)).collect();
+            let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
+                .map(|i| make_source(thread_id + i))
+                .collect();
             let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
             let exec_cfg = MvExecConfig {
                 record_history: cfg.record_history,
@@ -121,7 +129,12 @@ where
 
     dev.run_to_completion();
 
-    let mut result = RunResult { elapsed_cycles: dev.elapsed_cycles(), ..Default::default() };
+    let analysis = dev.finish_analysis();
+    let mut result = RunResult {
+        elapsed_cycles: dev.elapsed_cycles(),
+        analysis,
+        ..Default::default()
+    };
     for id in warp_ids {
         result.client_breakdown.add_warp(dev.warp_stats(id));
         let mut client = dev
@@ -142,9 +155,15 @@ mod tests {
     use workloads::{BankConfig, BankSource};
 
     fn small_cfg() -> JvstmGpuConfig {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 4;
-        JvstmGpuConfig { gpu, atr_capacity: 4096, ..Default::default() }
+        let gpu = GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        JvstmGpuConfig {
+            gpu,
+            atr_capacity: 4096,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -200,8 +219,31 @@ mod tests {
             bank.accounts,
             |_| bank.initial_balance,
         );
-        assert_eq!(res.stats.aborts(), 0, "pure-ROT workloads never abort in an MV STM");
+        assert_eq!(
+            res.stats.aborts(),
+            0,
+            "pure-ROT workloads never abort in an MV STM"
+        );
         assert!(res.stats.rot_commits > 0);
+    }
+
+    #[test]
+    fn stock_run_is_race_free() {
+        let mut cfg = small_cfg();
+        cfg.analysis = AnalysisConfig {
+            races: true,
+            invariants: false,
+        };
+        let bank = BankConfig::small(32, 30);
+        let res = run(
+            &cfg,
+            |t| BankSource::new(&bank, 13, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        let report = res.analysis.expect("analysis was enabled");
+        assert!(report.events > 0);
+        assert_eq!(report.race_count, 0, "races: {:?}", report.races);
     }
 
     #[test]

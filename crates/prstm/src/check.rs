@@ -1,0 +1,273 @@
+//! PR-STM-specific protocol-invariant checker for the simulator's analysis
+//! layer.
+//!
+//! [`PrstmInvariantChecker`] watches every access to the versioned lock
+//! table and enforces the lock-ownership discipline the algorithm's
+//! correctness rests on:
+//!
+//! 1. **Acquisition is CAS-only** — a plain store may never take a lock
+//!    word from unlocked to locked; only a compare-and-swap can, because
+//!    two plain stores could both "win".
+//! 2. **Versions never regress** — the version field survives locking,
+//!    stealing, and unlocking; any transition that lowers it would let an
+//!    already-validated reader miss a conflicting writer.
+//! 3. **Sealed locks cannot be stolen** — the seal bit marks the owner's
+//!    wait-free commit critical path; a successful CAS that re-owns a
+//!    sealed word breaks write-back atomicity.
+
+use std::collections::HashMap;
+
+use gpu_sim::{AccessKind, InvariantChecker, MemEvent, Space, Violation, Word};
+
+use crate::client::SEAL_BIT;
+use crate::{lock, LockTable};
+
+/// Protocol-invariant checker for PR-STM's versioned lock table.
+pub struct PrstmInvariantChecker {
+    /// First lock-word address (`LockTable` keeps its bases private; item
+    /// 0's address plus `num_items` recover the range).
+    locks0: u64,
+    num_items: u64,
+    /// Last observed word per item (host-initialised to `unlocked(0)`).
+    words: HashMap<u64, Word>,
+}
+
+impl PrstmInvariantChecker {
+    /// Build a checker for one PR-STM launch.
+    pub fn new(table: &LockTable) -> Self {
+        Self {
+            locks0: table.lock_addr(0),
+            num_items: table.num_items(),
+            words: HashMap::new(),
+        }
+    }
+
+    fn violation(ev: &MemEvent, message: String) -> Violation {
+        Violation {
+            checker: "prstm",
+            warp: ev.warp,
+            clock: ev.clock,
+            addr: ev.addr,
+            message,
+        }
+    }
+
+    /// Check one lock-word transition `prev -> new`.
+    fn on_transition(
+        &mut self,
+        ev: &MemEvent,
+        item: u64,
+        prev: Word,
+        new: Word,
+        via_cas: bool,
+        out: &mut Vec<Violation>,
+    ) {
+        if !via_cas && !lock::is_locked(prev) && lock::is_locked(new) {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "item {item}: lock acquired with a plain store ({prev:#x} -> {new:#x}) — \
+                     acquisition must CAS"
+                ),
+            ));
+        }
+        if lock::version_of(new) < lock::version_of(prev) {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "item {item}: lock version regressed from {} to {}",
+                    lock::version_of(prev),
+                    lock::version_of(new)
+                ),
+            ));
+        }
+        if via_cas
+            && lock::is_locked(prev)
+            && prev & SEAL_BIT != 0
+            && lock::is_locked(new)
+            && lock::owner_of(new) != lock::owner_of(prev)
+        {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "item {item}: thread {} stole a sealed lock from thread {} — sealed \
+                     locks mark the owner's commit critical path and are unstealable",
+                    lock::owner_of(new),
+                    lock::owner_of(prev)
+                ),
+            ));
+        }
+        self.words.insert(item, new);
+    }
+}
+
+impl InvariantChecker for PrstmInvariantChecker {
+    fn name(&self) -> &'static str {
+        "prstm"
+    }
+
+    fn on_event(&mut self, ev: &MemEvent, out: &mut Vec<Violation>) {
+        if ev.space != Space::Global
+            || ev.addr < self.locks0
+            || ev.addr >= self.locks0 + self.num_items
+        {
+            return;
+        }
+        let item = ev.addr - self.locks0;
+        let prev = self.words.get(&item).copied().unwrap_or(lock::unlocked(0));
+        match ev.kind {
+            AccessKind::Write => self.on_transition(ev, item, prev, ev.value, false, out),
+            AccessKind::Cas {
+                new, success: true, ..
+            } => self.on_transition(ev, item, prev, new, true, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::MemOrder;
+
+    fn table() -> LockTable {
+        let mut g = gpu_sim::GlobalMemory::new();
+        LockTable::init(&mut g, 8, |_| 0)
+    }
+
+    fn ev(addr: u64, kind: AccessKind, value: Word) -> MemEvent {
+        MemEvent {
+            warp: 0,
+            sm: 0,
+            clock: 1,
+            space: Space::Global,
+            addr,
+            kind,
+            value,
+            order: MemOrder::AcqRel,
+        }
+    }
+
+    #[test]
+    fn cas_acquire_steal_and_unlock_are_clean() {
+        let t = table();
+        let mut c = PrstmInvariantChecker::new(&t);
+        let mut out = Vec::new();
+        let a = t.lock_addr(3);
+        let w1 = lock::locked(0, 5, 0);
+        c.on_event(
+            &ev(
+                a,
+                AccessKind::Cas {
+                    expected: 0,
+                    new: w1,
+                    success: true,
+                },
+                0,
+            ),
+            &mut out,
+        );
+        // A stronger, unsealed steal is legal.
+        let w2 = lock::locked(0, 9, 3);
+        c.on_event(
+            &ev(
+                a,
+                AccessKind::Cas {
+                    expected: w1,
+                    new: w2,
+                    success: true,
+                },
+                w1,
+            ),
+            &mut out,
+        );
+        // Seal, then plain-unlock at version+1 (the commit path).
+        let sealed = w2 | SEAL_BIT;
+        c.on_event(
+            &ev(
+                a,
+                AccessKind::Cas {
+                    expected: w2,
+                    new: sealed,
+                    success: true,
+                },
+                w2,
+            ),
+            &mut out,
+        );
+        c.on_event(&ev(a, AccessKind::Write, lock::unlocked(1)), &mut out);
+        assert!(out.is_empty(), "violations: {out:?}");
+    }
+
+    #[test]
+    fn plain_store_acquisition_is_flagged() {
+        let t = table();
+        let mut c = PrstmInvariantChecker::new(&t);
+        let mut out = Vec::new();
+        c.on_event(
+            &ev(t.lock_addr(0), AccessKind::Write, lock::locked(0, 1, 0)),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("plain store"));
+    }
+
+    #[test]
+    fn version_regression_is_flagged() {
+        let t = table();
+        let mut c = PrstmInvariantChecker::new(&t);
+        let mut out = Vec::new();
+        let a = t.lock_addr(1);
+        c.on_event(&ev(a, AccessKind::Write, lock::unlocked(7)), &mut out);
+        assert!(out.is_empty());
+        c.on_event(&ev(a, AccessKind::Write, lock::unlocked(6)), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("regressed"));
+    }
+
+    #[test]
+    fn sealed_steal_is_flagged() {
+        let t = table();
+        let mut c = PrstmInvariantChecker::new(&t);
+        let mut out = Vec::new();
+        let a = t.lock_addr(2);
+        let sealed = lock::locked(4, 5, 1) | SEAL_BIT;
+        c.on_event(
+            &ev(
+                a,
+                AccessKind::Cas {
+                    expected: 0,
+                    new: sealed,
+                    success: true,
+                },
+                0,
+            ),
+            &mut out,
+        );
+        out.clear(); // (acquiring straight to sealed is fine for this test)
+        let thief = lock::locked(4, 9, 7);
+        c.on_event(
+            &ev(
+                a,
+                AccessKind::Cas {
+                    expected: sealed,
+                    new: thief,
+                    success: true,
+                },
+                sealed,
+            ),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("sealed"));
+    }
+
+    #[test]
+    fn non_lock_addresses_are_ignored() {
+        let t = table();
+        let mut c = PrstmInvariantChecker::new(&t);
+        let mut out = Vec::new();
+        c.on_event(&ev(t.value_addr(0), AccessKind::Write, 12345), &mut out);
+        assert!(out.is_empty());
+    }
+}

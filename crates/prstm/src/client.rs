@@ -9,7 +9,9 @@
 //! quadratic overhead the paper's Fig. 2/Table II attribute PR-STM's
 //! collapse on long ROTs to.
 
-use gpu_sim::{full_mask, lane_count, Mask, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
+use gpu_sim::{
+    full_mask, lane_count, Mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES,
+};
 use stm_core::history::TxRecord;
 use stm_core::mv_exec::{pack_ws_entry, PlainSetArea, SetArea};
 use stm_core::stats::CommitStats;
@@ -28,24 +30,48 @@ enum Micro {
     Idle,
     NeedNext(Option<u64>),
     /// Read `item`'s lock word (pre-read check).
-    ReadLock { item: u64 },
+    ReadLock {
+        item: u64,
+    },
     /// Lock word was clean at `version`; read the value.
-    ReadValue { item: u64, version: u64 },
+    ReadValue {
+        item: u64,
+        version: u64,
+    },
     /// Append the read to the read-set area, then revalidate.
-    AppendRs { item: u64, version: u64, value: u64 },
+    AppendRs {
+        item: u64,
+        version: u64,
+        value: u64,
+    },
     /// Incremental revalidation of the whole read-set; on success the read
     /// value is fed to the body.
-    Reval { value: u64 },
+    Reval {
+        value: u64,
+    },
     /// Examine `item`'s lock word before writing.
-    WLock { item: u64, value: u64 },
+    WLock {
+        item: u64,
+        value: u64,
+    },
     /// Try to acquire (or steal) the lock.
-    WLockCas { item: u64, value: u64, expect: u64 },
+    WLockCas {
+        item: u64,
+        value: u64,
+        expect: u64,
+    },
     /// Store the write-set entry.
-    AppendWs { ws_idx: usize, item: u64, value: u64 },
+    AppendWs {
+        ws_idx: usize,
+        item: u64,
+        value: u64,
+    },
     /// Body complete; awaiting the warp commit phases.
     BodyDone,
     /// Lock acquisition or validation failed: release held locks.
-    Releasing { idx: usize },
+    Releasing {
+        idx: usize,
+    },
     /// Fully aborted; bookkeeping happens at round settle.
     Aborted,
 }
@@ -104,7 +130,10 @@ struct Lane<S: TxSource> {
 
 impl<S: TxSource> Lane<S> {
     fn is_rot(&self) -> bool {
-        self.logic.as_ref().map(|l| l.is_read_only()).unwrap_or(false)
+        self.logic
+            .as_ref()
+            .map(|l| l.is_read_only())
+            .unwrap_or(false)
     }
 
     /// The word this lane installs when locking at `version`.
@@ -130,15 +159,23 @@ enum WPhase {
     Begin,
     Bodies,
     /// Seal write locks, one per step (CAS each).
-    CommitSeal { widx: usize },
+    CommitSeal {
+        widx: usize,
+    },
     /// Final read-set validation + timestamping.
     CommitValidate,
     /// Write back values, one write-set index per step.
-    CommitWrite { widx: usize },
+    CommitWrite {
+        widx: usize,
+    },
     /// Release with version bump.
-    CommitUnlock { widx: usize },
+    CommitUnlock {
+        widx: usize,
+    },
     /// Release locks of aborting lanes.
-    ReleaseAborts { idx: usize },
+    ReleaseAborts {
+        idx: usize,
+    },
     /// Bookkeeping, then next round.
     Settle,
     Finished,
@@ -191,7 +228,15 @@ impl<S: TxSource> PrstmClient<S> {
                 retry_pending: false,
             })
             .collect();
-        Self { lanes, table, area, log, record_history, phase: WPhase::Begin, warp_index }
+        Self {
+            lanes,
+            table,
+            area,
+            log,
+            record_history,
+            phase: WPhase::Begin,
+            warp_index,
+        }
     }
 
     /// Aggregate statistics over the warp.
@@ -253,7 +298,11 @@ impl<S: TxSource> PrstmClient<S> {
     /// Transition a lane into the abort/release path.
     fn start_abort(&mut self, lane: usize) {
         let l = &mut self.lanes[lane];
-        l.micro = if l.held.is_empty() { Micro::Aborted } else { Micro::Releasing { idx: 0 } };
+        l.micro = if l.held.is_empty() {
+            Micro::Aborted
+        } else {
+            Micro::Releasing { idx: 0 }
+        };
     }
 
     /// One execution step of the bodies. Returns true when every lane is
@@ -287,7 +336,11 @@ impl<S: TxSource> PrstmClient<S> {
                         assert!(!logic.is_read_only(), "ROT attempted a write");
                         if let Some(idx) = l.ws.iter().position(|&(it, _)| it == item) {
                             l.ws[idx] = (item, value);
-                            l.micro = Micro::AppendWs { ws_idx: idx, item, value };
+                            l.micro = Micro::AppendWs {
+                                ws_idx: idx,
+                                item,
+                                value,
+                            };
                         } else {
                             l.micro = Micro::WLock { item, value };
                         }
@@ -305,19 +358,27 @@ impl<S: TxSource> PrstmClient<S> {
         if m != 0 {
             let table = self.table.clone();
             let lanes = &self.lanes;
-            let words = w.global_read(m, |l| match &lanes[l].micro {
-                Micro::ReadLock { item } => table.lock_addr(*item),
-                _ => unreachable!(),
-            });
-            for i in 0..self.lanes.len() {
+            // Acquire: an unlocked lock word releases the committed value.
+            let words = w.global_read_ord(
+                m,
+                |l| match &lanes[l].micro {
+                    Micro::ReadLock { item } => table.lock_addr(*item),
+                    _ => unreachable!(),
+                },
+                MemOrder::Acquire,
+            );
+            for (i, &word) in words.iter().enumerate().take(self.lanes.len()) {
                 if m & (1 << i) == 0 {
                     continue;
                 }
-                let Micro::ReadLock { item } = self.lanes[i].micro else { unreachable!() };
-                let word = words[i];
+                let Micro::ReadLock { item } = self.lanes[i].micro else {
+                    unreachable!()
+                };
                 if !lock::is_locked(word) {
-                    self.lanes[i].micro =
-                        Micro::ReadValue { item, version: lock::version_of(word) };
+                    self.lanes[i].micro = Micro::ReadValue {
+                        item,
+                        version: lock::version_of(word),
+                    };
                 } else if word & SEAL_BIT != 0 {
                     // The owner is inside its (wait-free) commit: spinning is
                     // safe and short.
@@ -337,18 +398,28 @@ impl<S: TxSource> PrstmClient<S> {
         if m != 0 {
             let table = self.table.clone();
             let lanes = &self.lanes;
-            let vals = w.global_read(m, |l| match &lanes[l].micro {
-                Micro::ReadValue { item, .. } => table.value_addr(*item),
-                _ => unreachable!(),
-            });
-            for i in 0..self.lanes.len() {
+            // Acquire: a concurrent committer may overwrite the value; the
+            // version re-check at (re)validation makes that race benign.
+            let vals = w.global_read_ord(
+                m,
+                |l| match &lanes[l].micro {
+                    Micro::ReadValue { item, .. } => table.value_addr(*item),
+                    _ => unreachable!(),
+                },
+                MemOrder::Acquire,
+            );
+            for (i, &value) in vals.iter().enumerate().take(self.lanes.len()) {
                 if m & (1 << i) == 0 {
                     continue;
                 }
                 let Micro::ReadValue { item, version } = self.lanes[i].micro else {
                     unreachable!()
                 };
-                self.lanes[i].micro = Micro::AppendRs { item, version, value: vals[i] };
+                self.lanes[i].micro = Micro::AppendRs {
+                    item,
+                    version,
+                    value,
+                };
             }
             return false;
         }
@@ -377,7 +448,12 @@ impl<S: TxSource> PrstmClient<S> {
                 if m & (1 << i) == 0 {
                     continue;
                 }
-                let Micro::AppendRs { item, version, value } = self.lanes[i].micro else {
+                let Micro::AppendRs {
+                    item,
+                    version,
+                    value,
+                } = self.lanes[i].micro
+                else {
                     unreachable!()
                 };
                 assert!(
@@ -405,7 +481,9 @@ impl<S: TxSource> PrstmClient<S> {
                 if m & (1 << i) == 0 {
                     continue;
                 }
-                let Micro::Reval { value } = self.lanes[i].micro else { unreachable!() };
+                let Micro::Reval { value } = self.lanes[i].micro else {
+                    unreachable!()
+                };
                 if self.revalidate(w, i, m) {
                     self.lanes[i].micro = Micro::NeedNext(Some(value));
                 } else {
@@ -419,16 +497,22 @@ impl<S: TxSource> PrstmClient<S> {
         if m != 0 {
             let table = self.table.clone();
             let lanes = &self.lanes;
-            let words = w.global_read(m, |l| match &lanes[l].micro {
-                Micro::WLock { item, .. } => table.lock_addr(*item),
-                _ => unreachable!(),
-            });
-            for i in 0..self.lanes.len() {
+            // Acquire: examines lock words other warps CAS/release.
+            let words = w.global_read_ord(
+                m,
+                |l| match &lanes[l].micro {
+                    Micro::WLock { item, .. } => table.lock_addr(*item),
+                    _ => unreachable!(),
+                },
+                MemOrder::Acquire,
+            );
+            for (i, &word) in words.iter().enumerate().take(self.lanes.len()) {
                 if m & (1 << i) == 0 {
                     continue;
                 }
-                let Micro::WLock { item, value } = self.lanes[i].micro else { unreachable!() };
-                let word = words[i];
+                let Micro::WLock { item, value } = self.lanes[i].micro else {
+                    unreachable!()
+                };
                 let me = self.lanes[i].thread_id;
                 if !lock::is_locked(word)
                     || (lock::owner_of(word) != me
@@ -437,7 +521,11 @@ impl<S: TxSource> PrstmClient<S> {
                 {
                     // Free, or held by someone weaker and unsealed: try to
                     // take it (stealing preserves the version field).
-                    self.lanes[i].micro = Micro::WLockCas { item, value, expect: word };
+                    self.lanes[i].micro = Micro::WLockCas {
+                        item,
+                        value,
+                        expect: word,
+                    };
                 } else if lock::owner_of(word) == me {
                     unreachable!("write to an item already in ws is upserted locally");
                 } else if word & SEAL_BIT != 0 {
@@ -456,7 +544,12 @@ impl<S: TxSource> PrstmClient<S> {
                 if m & (1 << i) == 0 {
                     continue;
                 }
-                let Micro::WLockCas { item, value, expect } = self.lanes[i].micro else {
+                let Micro::WLockCas {
+                    item,
+                    value,
+                    expect,
+                } = self.lanes[i].micro
+                else {
                     unreachable!()
                 };
                 let version = lock::version_of(expect);
@@ -465,10 +558,18 @@ impl<S: TxSource> PrstmClient<S> {
                 if old == expect {
                     self.log.push(item);
                     let l = &mut self.lanes[i];
-                    l.held.push(Held { item, version, word: new_word });
+                    l.held.push(Held {
+                        item,
+                        version,
+                        word: new_word,
+                    });
                     let idx = l.ws.len();
                     l.ws.push((item, value));
-                    l.micro = Micro::AppendWs { ws_idx: idx, item, value };
+                    l.micro = Micro::AppendWs {
+                        ws_idx: idx,
+                        item,
+                        value,
+                    };
                 } else {
                     self.lanes[i].micro = Micro::WLock { item, value };
                 }
@@ -509,11 +610,17 @@ impl<S: TxSource> PrstmClient<S> {
                 if m & (1 << i) == 0 {
                     continue;
                 }
-                let Micro::Releasing { idx } = self.lanes[i].micro else { unreachable!() };
+                let Micro::Releasing { idx } = self.lanes[i].micro else {
+                    unreachable!()
+                };
                 let h = self.lanes[i].held[idx];
                 // Release only if still ours (a thief may have taken it).
-                let old =
-                    w.global_cas1(i, self.table.lock_addr(h.item), h.word, lock::unlocked(h.version));
+                let old = w.global_cas1(
+                    i,
+                    self.table.lock_addr(h.item),
+                    h.word,
+                    lock::unlocked(h.version),
+                );
                 if old == h.word {
                     self.log.push(h.item);
                 }
@@ -748,10 +855,14 @@ impl<S: TxSource + 'static> WarpProgram for PrstmClient<S> {
                 }
                 let table = self.table.clone();
                 let lanes = &self.lanes;
-                w.global_write(
+                // Release: values are published to readers by the unlock
+                // below; invisible readers may still race this (benign —
+                // their version re-check rejects the torn read).
+                w.global_write_ord(
                     m,
                     |l| table.value_addr(lanes[l].ws[widx].0),
                     |l| lanes[l].ws[widx].1,
+                    MemOrder::Release,
                 );
                 self.phase = WPhase::CommitWrite { widx: widx + 1 };
                 StepOutcome::Running
@@ -785,10 +896,13 @@ impl<S: TxSource + 'static> WarpProgram for PrstmClient<S> {
                 }
                 let table = self.table.clone();
                 let lanes = &self.lanes;
-                w.global_write(
+                // Release: the version-bumping unlock publishes the values
+                // written above.
+                w.global_write_ord(
                     m,
                     |l| table.lock_addr(lanes[l].held[widx].item),
                     |l| lock::unlocked(lanes[l].held[widx].version + 1),
+                    MemOrder::Release,
                 );
                 for (i, l) in self.lanes.iter().enumerate() {
                     if m & (1 << i) != 0 {

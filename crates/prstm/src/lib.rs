@@ -23,14 +23,18 @@
 //! wait-free commit). Lock stealing by stronger transactions is kept, as in
 //! the original.
 
+#![forbid(unsafe_code)]
+
+pub mod check;
 pub mod client;
 pub mod lock;
 pub mod log;
 
-use gpu_sim::{Device, GpuConfig};
+use gpu_sim::{AnalysisConfig, Device, GpuConfig};
 use stm_core::mv_exec::PlainSetArea;
 use stm_core::{RunResult, TxSource};
 
+pub use check::PrstmInvariantChecker;
 pub use client::PrstmClient;
 pub use lock::LockTable;
 pub use log::LockLog;
@@ -48,6 +52,9 @@ pub struct PrstmConfig {
     pub max_ws: usize,
     /// Record per-transaction histories for the correctness oracle.
     pub record_history: bool,
+    /// Analysis layer (race detector / lock-discipline checks); all-off by
+    /// default.
+    pub analysis: AnalysisConfig,
 }
 
 impl Default for PrstmConfig {
@@ -58,6 +65,7 @@ impl Default for PrstmConfig {
             max_rs: 256,
             max_ws: 16,
             record_history: true,
+            analysis: AnalysisConfig::default(),
         }
     }
 }
@@ -84,13 +92,19 @@ where
     let table = LockTable::init(dev.global_mut(), num_items, initial);
     let log = LockLog::new();
 
+    dev.enable_analysis(cfg.analysis);
+    if cfg.analysis.invariants {
+        dev.add_invariant_checker(Box::new(PrstmInvariantChecker::new(&table)));
+    }
+
     let mut warp_ids = Vec::new();
     let mut thread_id = 0usize;
     let mut warp_index = 0u64;
     for sm in 0..cfg.gpu.num_sms {
         for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> =
-                (0..gpu_sim::WARP_LANES).map(|i| make_source(thread_id + i)).collect();
+            let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
+                .map(|i| make_source(thread_id + i))
+                .collect();
             let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
             let client = PrstmClient::new(
                 sources,
@@ -109,11 +123,18 @@ where
 
     dev.run_to_completion();
 
-    let mut result = RunResult { elapsed_cycles: dev.elapsed_cycles(), ..Default::default() };
+    let analysis = dev.finish_analysis();
+    let mut result = RunResult {
+        elapsed_cycles: dev.elapsed_cycles(),
+        analysis,
+        ..Default::default()
+    };
     for id in warp_ids {
         result.client_breakdown.add_warp(dev.warp_stats(id));
-        let mut client =
-            dev.take_program(id).downcast::<PrstmClient<S>>().expect("client program type");
+        let mut client = dev
+            .take_program(id)
+            .downcast::<PrstmClient<S>>()
+            .expect("client program type");
         result.stats.merge(&client.stats());
         result.records.append(&mut client.take_records());
     }
@@ -128,9 +149,14 @@ mod tests {
     use workloads::{BankConfig, BankSource};
 
     fn small_cfg() -> PrstmConfig {
-        let mut gpu = GpuConfig::default();
-        gpu.num_sms = 4;
-        PrstmConfig { gpu, ..Default::default() }
+        let gpu = GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        PrstmConfig {
+            gpu,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -170,7 +196,10 @@ mod tests {
             bank.accounts,
             |_| bank.initial_balance,
         );
-        assert!(res.stats.rot_aborts > 0, "expected ROT aborts under contention");
+        assert!(
+            res.stats.rot_aborts > 0,
+            "expected ROT aborts under contention"
+        );
         check_history(&res.records, &bank.initial_state(), false).expect("serializable");
     }
 
@@ -196,7 +225,10 @@ mod tests {
                 1 => {
                     self.seen = last.unwrap();
                     self.step = 2;
-                    TxOp::Write { item: 0, value: self.seen + 1 }
+                    TxOp::Write {
+                        item: 0,
+                        value: self.seen + 1,
+                    }
                 }
                 _ => TxOp::Finish,
             }
@@ -225,6 +257,30 @@ mod tests {
             .map(|(_, v)| v)
             .unwrap();
         assert_eq!(max_write, n);
+    }
+
+    #[test]
+    fn stock_run_is_clean_under_full_analysis() {
+        let mut cfg = small_cfg();
+        cfg.analysis = AnalysisConfig {
+            races: true,
+            invariants: true,
+        };
+        let bank = BankConfig::small(16, 30);
+        let res = run(
+            &cfg,
+            |t| BankSource::new(&bank, 21, t, 3),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        let report = res.analysis.expect("analysis was enabled");
+        assert!(report.events > 0);
+        assert!(
+            report.is_clean(),
+            "races {:?}, violations {:?}",
+            report.races,
+            report.violations
+        );
     }
 
     #[test]
@@ -263,6 +319,9 @@ mod tests {
         let small = cycles(32);
         let big = cycles(128);
         // 4× the reads should cost clearly more than 4× the time.
-        assert!(big > 8.0 * small, "expected super-linear ROT cost, got {small} vs {big}");
+        assert!(
+            big > 8.0 * small,
+            "expected super-linear ROT cost, got {small} vs {big}"
+        );
     }
 }

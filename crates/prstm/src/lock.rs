@@ -94,7 +94,11 @@ impl LockTable {
             global.write(values_base + item, initial(item));
             global.write(locks_base + item, unlocked(0));
         }
-        Self { values_base, locks_base, num_items }
+        Self {
+            values_base,
+            locks_base,
+            num_items,
+        }
     }
 
     /// Number of items.

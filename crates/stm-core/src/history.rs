@@ -53,7 +53,11 @@ pub enum HistoryError {
         cts: u64,
     },
     /// An update transaction's read point is not before its commit point.
-    NonMonotoneTimestamps { thread: usize, read_point: u64, cts: u64 },
+    NonMonotoneTimestamps {
+        thread: usize,
+        read_point: u64,
+        cts: u64,
+    },
 }
 
 impl std::fmt::Display for HistoryError {
@@ -63,17 +67,33 @@ impl std::fmt::Display for HistoryError {
             HistoryError::MalformedRecord { thread, detail } => {
                 write!(f, "malformed record from thread {thread}: {detail}")
             }
-            HistoryError::InconsistentRead { thread, item, observed, expected, at_ts } => write!(
+            HistoryError::InconsistentRead {
+                thread,
+                item,
+                observed,
+                expected,
+                at_ts,
+            } => write!(
                 f,
                 "thread {thread} read item {item} = {observed}, but committed state at ts \
                  {at_ts} was {expected}"
             ),
-            HistoryError::StaleAtCommit { thread, item, observed, expected, cts } => write!(
+            HistoryError::StaleAtCommit {
+                thread,
+                item,
+                observed,
+                expected,
+                cts,
+            } => write!(
                 f,
                 "thread {thread} committed at {cts} having read item {item} = {observed}, \
                  but the value just before its commit was {expected}"
             ),
-            HistoryError::NonMonotoneTimestamps { thread, read_point, cts } => write!(
+            HistoryError::NonMonotoneTimestamps {
+                thread,
+                read_point,
+                cts,
+            } => write!(
                 f,
                 "thread {thread}: read point {read_point} not before commit ts {cts}"
             ),
@@ -159,7 +179,10 @@ pub fn check_history(
     for vs in versions.values_mut() {
         vs.sort_unstable_by_key(|&(cts, _)| cts);
     }
-    let hist = VersionHistory { versions, initial: initial.clone() };
+    let hist = VersionHistory {
+        versions,
+        initial: initial.clone(),
+    };
 
     // -- value checks -----------------------------------------------------
     for r in records {
@@ -168,9 +191,7 @@ pub fn check_history(
             // entries (the recorded value is the pending write, not committed
             // state). STMs record the *first* read of each item, but we stay
             // robust to repeated reads after own-writes.
-            if let Some(&(_, wv)) =
-                r.writes.iter().find(|&&(wi, _)| wi == item)
-            {
+            if let Some(&(_, wv)) = r.writes.iter().find(|&&(wi, _)| wi == item) {
                 if observed == wv {
                     continue;
                 }
@@ -216,7 +237,13 @@ mod tests {
         reads: &[(u64, u64)],
         writes: &[(u64, u64)],
     ) -> TxRecord {
-        TxRecord { thread, read_point, cts, reads: reads.to_vec(), writes: writes.to_vec() }
+        TxRecord {
+            thread,
+            read_point,
+            cts,
+            reads: reads.to_vec(),
+            writes: writes.to_vec(),
+        }
     }
 
     #[test]
@@ -247,7 +274,12 @@ mod tests {
         ];
         assert!(matches!(
             check_history(&records, &HashMap::new(), true),
-            Err(HistoryError::InconsistentRead { item: 1, observed: 20, expected: 10, .. })
+            Err(HistoryError::InconsistentRead {
+                item: 1,
+                observed: 20,
+                expected: 10,
+                ..
+            })
         ));
     }
 

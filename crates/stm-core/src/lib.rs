@@ -15,6 +15,8 @@
 //!   read point, and update transactions were still valid at their commit
 //!   point. The entire test-suite funnels through this oracle.
 
+#![forbid(unsafe_code)]
+
 pub mod history;
 pub mod logic;
 pub mod mv_exec;

@@ -52,12 +52,15 @@ pub trait TxSource {
     fn next_tx(&mut self) -> Option<Self::Tx>;
 }
 
+/// An `(item, value)` access list, as recorded in transaction histories.
+pub type AccessList = Vec<(u64, u64)>;
+
 /// Convenience: run a `TxLogic` to completion against a plain map, with no
 /// concurrency control. Used by tests and by the sequential oracle.
 pub fn run_sequential<L: TxLogic>(
     logic: &mut L,
     heap: &mut std::collections::HashMap<u64, u64>,
-) -> (Vec<(u64, u64)>, Vec<(u64, u64)>) {
+) -> (AccessList, AccessList) {
     let mut reads = Vec::new();
     let mut writes = Vec::new();
     let mut last = None;
@@ -106,7 +109,10 @@ mod tests {
             let op = match self.step {
                 0 => TxOp::Read { item: self.a },
                 1 => TxOp::Read { item: self.b },
-                2 => TxOp::Write { item: self.c, value: self.acc },
+                2 => TxOp::Write {
+                    item: self.c,
+                    value: self.acc,
+                },
                 _ => TxOp::Finish,
             };
             self.step += 1;
@@ -119,7 +125,13 @@ mod tests {
         let mut heap = HashMap::new();
         heap.insert(1, 10);
         heap.insert(2, 32);
-        let mut tx = Sum { step: 0, a: 1, b: 2, c: 3, acc: 0 };
+        let mut tx = Sum {
+            step: 0,
+            a: 1,
+            b: 2,
+            c: 3,
+            acc: 0,
+        };
         let (reads, writes) = run_sequential(&mut tx, &mut heap);
         assert_eq!(reads, vec![(1, 10), (2, 32)]);
         assert_eq!(writes, vec![(3, 42)]);
@@ -130,7 +142,13 @@ mod tests {
     fn reset_replays_identically() {
         let mut heap = HashMap::new();
         heap.insert(1, 5);
-        let mut tx = Sum { step: 0, a: 1, b: 1, c: 9, acc: 0 };
+        let mut tx = Sum {
+            step: 0,
+            a: 1,
+            b: 1,
+            c: 9,
+            acc: 0,
+        };
         let first = run_sequential(&mut tx, &mut heap);
         tx.reset();
         let second = run_sequential(&mut tx, &mut heap);
@@ -142,7 +160,13 @@ mod tests {
     #[test]
     fn missing_items_read_zero() {
         let mut heap = HashMap::new();
-        let mut tx = Sum { step: 0, a: 7, b: 8, c: 9, acc: 0 };
+        let mut tx = Sum {
+            step: 0,
+            a: 7,
+            b: 8,
+            c: 9,
+            acc: 0,
+        };
         let (reads, writes) = run_sequential(&mut tx, &mut heap);
         assert_eq!(reads, vec![(7, 0), (8, 0)]);
         assert_eq!(writes, vec![(9, 0)]);

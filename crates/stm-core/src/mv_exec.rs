@@ -20,7 +20,7 @@
 //! What it deliberately does **not** do is commit anything: the two STMs
 //! plug their very different commit protocols in around it.
 
-use gpu_sim::{Mask, WarpCtx, WARP_LANES};
+use gpu_sim::{Mask, MemOrder, WarpCtx, WARP_LANES};
 
 use crate::history::TxRecord;
 use crate::logic::{TxLogic, TxOp, TxSource};
@@ -57,7 +57,12 @@ impl PlainSetArea {
     pub fn alloc(global: &mut gpu_sim::mem::GlobalMemory, max_rs: usize, max_ws: usize) -> Self {
         let rs_base = global.alloc(max_rs * WARP_LANES);
         let ws_base = global.alloc(max_ws * WARP_LANES);
-        Self { rs_base, ws_base, max_rs, max_ws }
+        Self {
+            rs_base,
+            ws_base,
+            max_rs,
+            max_ws,
+        }
     }
 }
 
@@ -105,7 +110,11 @@ enum Micro {
     /// A read was accepted; the read-set append for `item` is pending.
     AppendRs { item: u64, value: u64 },
     /// A write was buffered; the write-set area store is pending.
-    AppendWs { ws_idx: usize, item: u64, value: u64 },
+    AppendWs {
+        ws_idx: usize,
+        item: u64,
+        value: u64,
+    },
     /// Body finished; ready for the STM's commit protocol.
     BodyDone,
     /// The version ring held no old-enough version: forced abort.
@@ -164,7 +173,10 @@ impl<S: TxSource> Lane<S> {
 
     /// Whether the in-flight transaction is read-only.
     pub fn is_rot(&self) -> bool {
-        self.logic.as_ref().map(|l| l.is_read_only()).unwrap_or(false)
+        self.logic
+            .as_ref()
+            .map(|l| l.is_read_only())
+            .unwrap_or(false)
     }
 
     /// Whether the body completed (and how).
@@ -195,7 +207,10 @@ pub struct MvExecConfig {
 
 impl Default for MvExecConfig {
     fn default() -> Self {
-        Self { record_history: true, max_logic_ops_per_step: 8 }
+        Self {
+            record_history: true,
+            max_logic_ops_per_step: 8,
+        }
     }
 }
 
@@ -275,7 +290,9 @@ impl<S: TxSource> MvExec<S> {
             return false;
         }
         let mask = self.active_mask();
-        let gts = w.global_read(mask, |_| gts_addr);
+        // Acquire: the snapshot read synchronizes with the committer's GTS
+        // publication, making all version writes at or below it visible.
+        let gts = w.global_read_ord(mask, |_| gts_addr, MemOrder::Acquire);
         let now = w.now();
         for (i, lane) in self.lanes.iter_mut().enumerate() {
             if lane.logic.is_some() {
@@ -341,7 +358,11 @@ impl<S: TxSource> MvExec<S> {
                             i,
                             area.max_ws()
                         );
-                        lane.micro = Micro::AppendWs { ws_idx: idx, item, value };
+                        lane.micro = Micro::AppendWs {
+                            ws_idx: idx,
+                            item,
+                            value,
+                        };
                     }
                     TxOp::Finish => {
                         lane.micro = Micro::BodyDone;
@@ -379,13 +400,23 @@ impl<S: TxSource> MvExec<S> {
         let head_mask = self.mask_of(|m| matches!(m, Micro::WantHead { .. }));
         if head_mask != 0 {
             let lanes = &self.lanes;
-            let heads = w.global_read(head_mask, |l| match &lanes[l].micro {
-                Micro::WantHead { item } => heap.head_addr(*item),
-                _ => unreachable!(),
-            });
+            // Acquire: head words are published by committers' release
+            // writes; version probes ride the same edge.
+            let heads = w.global_read_ord(
+                head_mask,
+                |l| match &lanes[l].micro {
+                    Micro::WantHead { item } => heap.head_addr(*item),
+                    _ => unreachable!(),
+                },
+                MemOrder::Acquire,
+            );
             for (i, lane) in self.lanes.iter_mut().enumerate() {
                 if let Micro::WantHead { item } = lane.micro {
-                    lane.micro = Micro::Probe { item, head: heads[i], back: 0 };
+                    lane.micro = Micro::Probe {
+                        item,
+                        head: heads[i],
+                        back: 0,
+                    };
                 }
             }
             return false;
@@ -395,12 +426,19 @@ impl<S: TxSource> MvExec<S> {
         if probe_mask != 0 {
             let nv = heap.versions_per_box();
             let lanes = &self.lanes;
-            let words = w.global_read(probe_mask, |l| match &lanes[l].micro {
-                Micro::Probe { item, head, back } => {
-                    heap.version_addr(*item, (head + nv - back) % nv)
-                }
-                _ => unreachable!(),
-            });
+            // Acquire: a probe may race a committer recycling the oldest
+            // ring slot; the timestamp-check-and-retry makes that benign,
+            // and the annotation declares the pair intentional.
+            let words = w.global_read_ord(
+                probe_mask,
+                |l| match &lanes[l].micro {
+                    Micro::Probe { item, head, back } => {
+                        heap.version_addr(*item, (head + nv - back) % nv)
+                    }
+                    _ => unreachable!(),
+                },
+                MemOrder::Acquire,
+            );
             let record = self.cfg.record_history;
             for (i, lane) in self.lanes.iter_mut().enumerate() {
                 if let Micro::Probe { item, head, back } = lane.micro {
@@ -425,7 +463,11 @@ impl<S: TxSource> MvExec<S> {
                     } else if back + 1 >= nv {
                         lane.micro = Micro::Overflow;
                     } else {
-                        lane.micro = Micro::Probe { item, head, back: back + 1 };
+                        lane.micro = Micro::Probe {
+                            item,
+                            head,
+                            back: back + 1,
+                        };
                     }
                 }
             }
@@ -574,7 +616,10 @@ mod tests {
                     if self.rot {
                         TxOp::Finish
                     } else {
-                        TxOp::Write { item: self.item + 1, value: self.seen + self.delta }
+                        TxOp::Write {
+                            item: self.item + 1,
+                            value: self.seen + self.delta,
+                        }
                     }
                 }
                 _ => TxOp::Finish,
@@ -622,14 +667,17 @@ mod tests {
 
     fn run_round(txs: Vec<CopyTx>, gts: u64, nv: u64) -> (Device, OneRound) {
         let (mut dev, heap, area, gts_addr) = setup(txs.clone(), gts, nv);
-        let exec = MvExec::new(
-            vec![ListSource(txs)],
-            0,
-            MvExecConfig::default(),
-        );
+        let exec = MvExec::new(vec![ListSource(txs)], 0, MvExecConfig::default());
         let id = dev.spawn(
             0,
-            Box::new(OneRound { exec, heap, area, gts_addr, begun: false, done: false }),
+            Box::new(OneRound {
+                exec,
+                heap,
+                area,
+                gts_addr,
+                begun: false,
+                done: false,
+            }),
         );
         dev.run_to_completion();
         let prog = dev.take_program(id).downcast::<OneRound>().unwrap();
@@ -638,7 +686,13 @@ mod tests {
 
     #[test]
     fn body_reads_initial_version_and_buffers_write() {
-        let tx = CopyTx { item: 3, delta: 5, step: 0, seen: 0, rot: false };
+        let tx = CopyTx {
+            item: 3,
+            delta: 5,
+            step: 0,
+            seen: 0,
+            rot: false,
+        };
         let (_, prog) = run_round(vec![tx], 0, 2);
         let lane = &prog.exec.lanes[0];
         assert!(lane.body_done());
@@ -649,7 +703,13 @@ mod tests {
 
     #[test]
     fn rot_tracks_no_sets() {
-        let tx = CopyTx { item: 2, delta: 0, step: 0, seen: 0, rot: true };
+        let tx = CopyTx {
+            item: 2,
+            delta: 0,
+            step: 0,
+            seen: 0,
+            rot: true,
+        };
         let (_, prog) = run_round(vec![tx], 0, 2);
         let lane = &prog.exec.lanes[0];
         assert!(lane.body_done());
@@ -659,7 +719,13 @@ mod tests {
 
     #[test]
     fn set_area_receives_appends() {
-        let tx = CopyTx { item: 1, delta: 2, step: 0, seen: 0, rot: false };
+        let tx = CopyTx {
+            item: 1,
+            delta: 2,
+            step: 0,
+            seen: 0,
+            rot: false,
+        };
         let (dev, prog) = run_round(vec![tx], 0, 2);
         let area = &prog.area;
         assert_eq!(dev.global()[area.rs_addr(0, 0) as usize], 1);
@@ -680,13 +746,26 @@ mod tests {
         dev.global_mut().write(w0, crate::vbox::pack_version(9, 99));
         let area = PlainSetArea::alloc(dev.global_mut(), 4, 4);
         let exec = MvExec::new(
-            vec![ListSource(vec![CopyTx { item: 0, delta: 1, step: 0, seen: 0, rot: false }])],
+            vec![ListSource(vec![CopyTx {
+                item: 0,
+                delta: 1,
+                step: 0,
+                seen: 0,
+                rot: false,
+            }])],
             0,
             MvExecConfig::default(),
         );
         let id = dev.spawn(
             0,
-            Box::new(OneRound { exec, heap, area, gts_addr, begun: false, done: false }),
+            Box::new(OneRound {
+                exec,
+                heap,
+                area,
+                gts_addr,
+                begun: false,
+                done: false,
+            }),
         );
         dev.run_to_completion();
         let prog = dev.take_program(id).downcast::<OneRound>().unwrap();
@@ -763,7 +842,14 @@ mod tests {
         );
         let id = dev.spawn(
             0,
-            Box::new(WawRound { exec, heap, area, gts_addr, begun: false, done: false }),
+            Box::new(WawRound {
+                exec,
+                heap,
+                area,
+                gts_addr,
+                begun: false,
+                done: false,
+            }),
         );
         dev.run_to_completion();
         let prog = dev.take_program(id).downcast::<WawRound>().unwrap();
@@ -781,7 +867,13 @@ mod tests {
 
     #[test]
     fn commit_and_abort_bookkeeping() {
-        let tx = CopyTx { item: 0, delta: 1, step: 0, seen: 0, rot: false };
+        let tx = CopyTx {
+            item: 0,
+            delta: 1,
+            step: 0,
+            seen: 0,
+            rot: false,
+        };
         let (_, mut prog) = run_round(vec![tx], 0, 2);
         prog.exec.abort_lane(0, 1000);
         assert_eq!(prog.exec.lanes[0].stats.update_aborts, 1);
@@ -820,7 +912,14 @@ mod tests {
         let exec = MvExec::new(sources, 0, MvExecConfig::default());
         let id = dev.spawn(
             0,
-            Box::new(OneRound { exec, heap, area, gts_addr, begun: false, done: false }),
+            Box::new(OneRound {
+                exec,
+                heap,
+                area,
+                gts_addr,
+                begun: false,
+                done: false,
+            }),
         );
         dev.run_to_completion();
         let prog = dev.take_program(id).downcast::<OneRound>().unwrap();

@@ -3,6 +3,7 @@
 
 use crate::history::TxRecord;
 use crate::stats::{CommitStats, TimeBreakdown};
+use gpu_sim::AnalysisReport;
 
 /// Outcome of running a workload to completion on one STM.
 #[derive(Debug, Default)]
@@ -17,6 +18,8 @@ pub struct RunResult {
     pub elapsed_cycles: u64,
     /// Committed-transaction records (empty when history recording is off).
     pub records: Vec<TxRecord>,
+    /// Race/invariant findings, when the run enabled the analysis layer.
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl RunResult {

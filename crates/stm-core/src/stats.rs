@@ -2,12 +2,11 @@
 //! for Figures 2–4 and Tables I–IV.
 
 use gpu_sim::WarpStats;
-use serde::{Deserialize, Serialize};
 
 use crate::phase::Phase;
 
 /// Per-thread (or aggregated) transaction outcome counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommitStats {
     /// Committed update transactions.
     pub update_commits: u64,
@@ -79,7 +78,7 @@ impl CommitStats {
 
 /// Cycles attributed to each named phase, summed over a set of warps.
 /// This is the row format of the paper's Tables I and III.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     /// Cycles per phase, indexed by `Phase::id()`.
     pub cycles: [u64; Phase::ALL.len()],
@@ -132,7 +131,10 @@ impl TimeBreakdown {
     /// cycles are what the active lanes spent, divergence is the idle-lane
     /// share on top.)
     pub fn commit_total(&self) -> u64 {
-        Self::COMMIT_PHASES.iter().map(|p| self.phase(*p)).sum::<u64>()
+        Self::COMMIT_PHASES
+            .iter()
+            .map(|p| self.phase(*p))
+            .sum::<u64>()
             + self.commit_divergence()
     }
 
@@ -189,8 +191,15 @@ mod tests {
 
     #[test]
     fn merge_is_additive() {
-        let mut a = CommitStats { update_commits: 1, ..Default::default() };
-        let b = CommitStats { update_commits: 2, rot_aborts: 3, ..Default::default() };
+        let mut a = CommitStats {
+            update_commits: 1,
+            ..Default::default()
+        };
+        let b = CommitStats {
+            update_commits: 2,
+            rot_aborts: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.update_commits, 3);
         assert_eq!(a.rot_aborts, 3);

@@ -53,7 +53,11 @@ impl VBoxHeap {
         assert!(versions_per_box >= 1, "need at least one version per box");
         let words = num_items * Self::words_per_box(versions_per_box);
         let base = global.alloc(words as usize);
-        let heap = Self { base, num_items, versions_per_box };
+        let heap = Self {
+            base,
+            num_items,
+            versions_per_box,
+        };
         for item in 0..num_items {
             global.write(heap.head_addr(item), 0);
             global.write(heap.version_addr(item, 0), pack_version(0, initial(item)));
@@ -205,7 +209,11 @@ mod tests {
         append(&mut g, &h, 0, 9, 900);
         // Ring full (ts 0, 5, 9); next append evicts ts=0.
         append(&mut g, &h, 0, 12, 1200);
-        assert_eq!(h.read_at(&g, 0, 4), None, "snapshot 4 needs the evicted ts=0 version");
+        assert_eq!(
+            h.read_at(&g, 0, 4),
+            None,
+            "snapshot 4 needs the evicted ts=0 version"
+        );
         assert_eq!(h.read_at(&g, 0, 5), Some(500));
         assert_eq!(h.read_at(&g, 0, 12), Some(1200));
     }

@@ -68,7 +68,9 @@ impl BankConfig {
 
     /// Initial `(item, value)` state for the history checker.
     pub fn initial_state(&self) -> std::collections::HashMap<u64, u64> {
-        (0..self.accounts).map(|i| (i, self.initial_balance)).collect()
+        (0..self.accounts)
+            .map(|i| (i, self.initial_balance))
+            .collect()
     }
 }
 
@@ -105,7 +107,11 @@ impl BankTx {
     /// For a finished Balance transaction, the sum it computed.
     pub fn balance_sum(&self) -> Option<u64> {
         match self {
-            BankTx::Balance { accounts, next, sum } if next == accounts => Some(*sum),
+            BankTx::Balance {
+                accounts,
+                next,
+                sum,
+            } if next == accounts => Some(*sum),
             _ => None,
         }
     }
@@ -118,7 +124,12 @@ impl TxLogic for BankTx {
 
     fn reset(&mut self) {
         match self {
-            BankTx::Transfer { step, from_balance, to_balance, .. } => {
+            BankTx::Transfer {
+                step,
+                from_balance,
+                to_balance,
+                ..
+            } => {
                 *step = 0;
                 *from_balance = 0;
                 *to_balance = 0;
@@ -132,7 +143,14 @@ impl TxLogic for BankTx {
 
     fn next(&mut self, last_read: Option<u64>) -> TxOp {
         match self {
-            BankTx::Transfer { from, to, amount, step, from_balance, to_balance } => {
+            BankTx::Transfer {
+                from,
+                to,
+                amount,
+                step,
+                from_balance,
+                to_balance,
+            } => {
                 match *step {
                     0 => {
                         *step = 1;
@@ -148,17 +166,27 @@ impl TxLogic for BankTx {
                         *step = 3;
                         // Transfers never overdraw: move at most the balance.
                         let amt = (*amount).min(*from_balance);
-                        TxOp::Write { item: *from, value: *from_balance - amt }
+                        TxOp::Write {
+                            item: *from,
+                            value: *from_balance - amt,
+                        }
                     }
                     3 => {
                         *step = 4;
                         let amt = (*amount).min(*from_balance);
-                        TxOp::Write { item: *to, value: *to_balance + amt }
+                        TxOp::Write {
+                            item: *to,
+                            value: *to_balance + amt,
+                        }
                     }
                     _ => TxOp::Finish,
                 }
             }
-            BankTx::Balance { accounts, next, sum } => {
+            BankTx::Balance {
+                accounts,
+                next,
+                sum,
+            } => {
                 if let Some(v) = last_read {
                     *sum += v;
                 }
@@ -203,7 +231,11 @@ impl TxSource for BankSource {
         self.remaining -= 1;
         let is_rot = self.rng.random_range(0..100u8) < self.cfg.rot_pct;
         Some(if is_rot {
-            BankTx::Balance { accounts: self.cfg.accounts, next: 0, sum: 0 }
+            BankTx::Balance {
+                accounts: self.cfg.accounts,
+                next: 0,
+                sum: 0,
+            }
         } else {
             let (from, to) = match self.cfg.partitions {
                 None => {
@@ -231,7 +263,14 @@ impl TxSource for BankSource {
                 }
             };
             let amount = self.rng.random_range(1..=self.cfg.max_transfer);
-            BankTx::Transfer { from, to, amount, step: 0, from_balance: 0, to_balance: 0 }
+            BankTx::Transfer {
+                from,
+                to,
+                amount,
+                step: 0,
+                from_balance: 0,
+                to_balance: 0,
+            }
         })
     }
 }
@@ -269,7 +308,11 @@ mod tests {
     fn balance_sums_all_accounts() {
         let cfg = BankConfig::small(8, 100);
         let mut heap: HashMap<u64, u64> = cfg.initial_state();
-        let mut tx = BankTx::Balance { accounts: 8, next: 0, sum: 0 };
+        let mut tx = BankTx::Balance {
+            accounts: 8,
+            next: 0,
+            sum: 0,
+        };
         let (reads, writes) = run_sequential(&mut tx, &mut heap);
         assert_eq!(reads.len(), 8);
         assert!(writes.is_empty());
@@ -334,7 +377,13 @@ mod tests {
         assert_eq!(tx.next(None), TxOp::Read { item: 0 });
         assert_eq!(tx.next(Some(100)), TxOp::Read { item: 1 });
         assert_eq!(tx.next(Some(200)), TxOp::Write { item: 0, value: 95 });
-        assert_eq!(tx.next(None), TxOp::Write { item: 1, value: 205 });
+        assert_eq!(
+            tx.next(None),
+            TxOp::Write {
+                item: 1,
+                value: 205
+            }
+        );
         assert_eq!(tx.next(None), TxOp::Finish);
     }
 }

@@ -19,6 +19,8 @@
 //! All generators are deterministic given a seed, which the reproducibility
 //! tests rely on.
 
+#![forbid(unsafe_code)]
+
 pub mod bank;
 pub mod list;
 pub mod memcached;

@@ -123,13 +123,24 @@ pub enum ListOpKind {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LStep {
     /// About to issue the read of `pred`'s next pointer.
-    ReadNext { pred: u64 },
+    ReadNext {
+        pred: u64,
+    },
     /// The next-pointer read is in flight.
-    AwaitNext { pred: u64 },
+    AwaitNext {
+        pred: u64,
+    },
     /// Read `cur`'s key.
-    ReadKey { pred: u64, cur: u64 },
+    ReadKey {
+        pred: u64,
+        cur: u64,
+    },
     /// Writing: insert sub-steps 0..3 / remove sub-step 0.
-    Mutate { pred: u64, cur: u64, sub: u8 },
+    Mutate {
+        pred: u64,
+        cur: u64,
+        sub: u8,
+    },
     Done,
 }
 
@@ -150,8 +161,15 @@ pub struct ListTx {
 impl ListTx {
     /// Build an operation. `new_node` is only used by inserts.
     pub fn new(kind: ListOpKind, key: u64, new_node: u64) -> Self {
-        assert!(key >= 1 && key < KEY_MAX);
-        Self { kind, key, new_node, step: LStep::ReadNext { pred: 0 }, found: None, succ: 0 }
+        assert!((1..KEY_MAX).contains(&key));
+        Self {
+            kind,
+            key,
+            new_node,
+            step: LStep::ReadNext { pred: 0 },
+            found: None,
+            succ: 0,
+        }
     }
 
     /// For a finished `contains`, whether the key was present.
@@ -186,14 +204,18 @@ impl TxLogic for ListTx {
             match self.step {
                 LStep::ReadNext { pred } => {
                     self.step = LStep::AwaitNext { pred };
-                    return TxOp::Read { item: ListConfig::next_item(pred) };
+                    return TxOp::Read {
+                        item: ListConfig::next_item(pred),
+                    };
                 }
                 LStep::ReadKey { pred, cur } => {
                     let key = last_read.expect("key read result");
                     if key < self.key {
                         // Keep walking.
                         self.step = LStep::AwaitNext { pred: cur };
-                        return TxOp::Read { item: ListConfig::next_item(cur) };
+                        return TxOp::Read {
+                            item: ListConfig::next_item(cur),
+                        };
                     }
                     let present = key == self.key;
                     match self.kind {
@@ -246,7 +268,9 @@ impl TxLogic for ListTx {
                     ListOpKind::Remove => match sub {
                         0 => {
                             self.step = LStep::Mutate { pred, cur, sub: 1 };
-                            return TxOp::Read { item: ListConfig::next_item(cur) };
+                            return TxOp::Read {
+                                item: ListConfig::next_item(cur),
+                            };
                         }
                         _ => {
                             self.succ = last_read.expect("victim next");
@@ -262,7 +286,9 @@ impl TxLogic for ListTx {
                 LStep::AwaitNext { pred } => {
                     let cur = last_read.expect("next read result");
                     self.step = LStep::ReadKey { pred, cur };
-                    return TxOp::Read { item: ListConfig::key_item(cur) };
+                    return TxOp::Read {
+                        item: ListConfig::key_item(cur),
+                    };
                 }
                 LStep::Done => return TxOp::Finish,
             }
@@ -341,7 +367,13 @@ mod tests {
     }
 
     fn cfg() -> ListConfig {
-        ListConfig { key_range: 100, initial_nodes: 8, contains_pct: 0, pool_per_thread: 4, threads: 1 }
+        ListConfig {
+            key_range: 100,
+            initial_nodes: 8,
+            contains_pct: 0,
+            pool_per_thread: 4,
+            threads: 1,
+        }
     }
 
     #[test]
@@ -419,10 +451,17 @@ mod tests {
 
     #[test]
     fn random_ops_match_btreeset_reference() {
-        let c = ListConfig { key_range: 60, initial_nodes: 8, contains_pct: 20, pool_per_thread: 16, threads: 1 };
+        let c = ListConfig {
+            key_range: 60,
+            initial_nodes: 8,
+            contains_pct: 20,
+            pool_per_thread: 16,
+            threads: 1,
+        };
         let mut heap = c.initial_state();
-        let mut reference: std::collections::BTreeSet<u64> =
-            (1..=c.initial_nodes).map(|j| c.initial_key(j).max(1)).collect();
+        let mut reference: std::collections::BTreeSet<u64> = (1..=c.initial_nodes)
+            .map(|j| c.initial_key(j).max(1))
+            .collect();
         let mut src = ListSource::new(&c, 77, 0, 40);
         while let Some(mut tx) = src.next_tx() {
             let kind = tx.kind();

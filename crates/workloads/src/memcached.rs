@@ -52,12 +52,22 @@ pub struct MemcachedConfig {
 impl MemcachedConfig {
     /// The paper's §IV-B configuration at a given associativity.
     pub fn paper(ways: u64) -> Self {
-        Self { capacity: 1 << 20, ways, get_per_mille: 998, zipf_s: 0.99 }
+        Self {
+            capacity: 1 << 20,
+            ways,
+            get_per_mille: 998,
+            zipf_s: 0.99,
+        }
     }
 
     /// A scaled-down configuration for fast tests.
     pub fn small(capacity: u64, ways: u64) -> Self {
-        Self { capacity, ways, get_per_mille: 998, zipf_s: 0.99 }
+        Self {
+            capacity,
+            ways,
+            get_per_mille: 998,
+            zipf_s: 0.99,
+        }
     }
 
     /// Number of sets.
@@ -136,7 +146,11 @@ enum Step {
     /// PUT hit at `way`: emitting the 4 metadata writes, `i` of 4 done.
     WriteFields { way: u64, i: u8 },
     /// PUT miss: reading LRU stamps, tracking the minimum.
-    ScanLru { way: u64, best_way: u64, best_lru: u64 },
+    ScanLru {
+        way: u64,
+        best_way: u64,
+        best_lru: u64,
+    },
     /// Finished.
     Done,
 }
@@ -201,10 +215,22 @@ impl MemcachedTx {
     fn put_write(&self, way: u64, i: u8) -> TxOp {
         let (value, lru) = self.put.expect("PUT fields");
         match i {
-            0 => TxOp::Write { item: self.item(way, F_VALUE), value },
-            1 => TxOp::Write { item: self.item(way, F_LRU), value: lru },
-            2 => TxOp::Write { item: self.item(way, F_META), value: lru ^ self.key },
-            _ => TxOp::Write { item: self.item(way, F_KEY), value: MemcachedConfig::tag(self.key) },
+            0 => TxOp::Write {
+                item: self.item(way, F_VALUE),
+                value,
+            },
+            1 => TxOp::Write {
+                item: self.item(way, F_LRU),
+                value: lru,
+            },
+            2 => TxOp::Write {
+                item: self.item(way, F_META),
+                value: lru ^ self.key,
+            },
+            _ => TxOp::Write {
+                item: self.item(way, F_KEY),
+                value: MemcachedConfig::tag(self.key),
+            },
         }
     }
 }
@@ -246,19 +272,27 @@ impl TxLogic for MemcachedTx {
                                 return TxOp::Finish;
                             }
                             Some(_) => {
-                                self.step = Step::ScanLru { way: 0, best_way: 0, best_lru: u64::MAX };
+                                self.step = Step::ScanLru {
+                                    way: 0,
+                                    best_way: 0,
+                                    best_lru: u64::MAX,
+                                };
                                 continue;
                             }
                         }
                     }
                     self.step = Step::Scan { way: way + 1 };
-                    return TxOp::Read { item: self.item(way, F_KEY) };
+                    return TxOp::Read {
+                        item: self.item(way, F_KEY),
+                    };
                 }
                 Step::ReadValue { way } => {
                     // (Reached via `continue` from the scan arm, which already
                     // consumed `last_read` as the matching key tag.)
                     self.step = Step::Done;
-                    return TxOp::Read { item: self.item(way, F_VALUE) };
+                    return TxOp::Read {
+                        item: self.item(way, F_VALUE),
+                    };
                 }
                 Step::WriteFields { way, i } => {
                     if i == 4 {
@@ -268,22 +302,38 @@ impl TxLogic for MemcachedTx {
                     self.step = Step::WriteFields { way, i: i + 1 };
                     return self.put_write(way, i);
                 }
-                Step::ScanLru { way, best_way, best_lru } => {
+                Step::ScanLru {
+                    way,
+                    best_way,
+                    best_lru,
+                } => {
                     if way > 0 {
                         let stamp = last_read.expect("lru read result");
                         if stamp < best_lru {
-                            self.step =
-                                Step::ScanLru { way, best_way: way - 1, best_lru: stamp };
+                            self.step = Step::ScanLru {
+                                way,
+                                best_way: way - 1,
+                                best_lru: stamp,
+                            };
                             continue;
                         }
                     }
                     if way == self.cfg_ways {
                         // Evict the LRU victim: 4 writes.
-                        self.step = Step::WriteFields { way: best_way, i: 0 };
+                        self.step = Step::WriteFields {
+                            way: best_way,
+                            i: 0,
+                        };
                         continue;
                     }
-                    self.step = Step::ScanLru { way: way + 1, best_way, best_lru };
-                    return TxOp::Read { item: self.item(way, F_LRU) };
+                    self.step = Step::ScanLru {
+                        way: way + 1,
+                        best_way,
+                        best_lru,
+                    };
+                    return TxOp::Read {
+                        item: self.item(way, F_LRU),
+                    };
                 }
                 Step::Done => {
                     if let Some(v) = last_read {
@@ -308,13 +358,7 @@ pub struct MemcachedSource {
 impl MemcachedSource {
     /// A stream of `txs` transactions for `thread`. Pass a shared
     /// [`Zipfian`] (built once per experiment — it holds the CDF).
-    pub fn new(
-        cfg: &MemcachedConfig,
-        zipf: Zipfian,
-        seed: u64,
-        thread: usize,
-        txs: usize,
-    ) -> Self {
+    pub fn new(cfg: &MemcachedConfig, zipf: Zipfian, seed: u64, thread: usize, txs: usize) -> Self {
         Self {
             cfg: cfg.clone(),
             zipf,

@@ -93,7 +93,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "count {c} too far from uniform");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 1_000.0,
+                "count {c} too far from uniform"
+            );
         }
     }
 

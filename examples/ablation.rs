@@ -11,9 +11,15 @@ use gpu_sim::GpuConfig;
 use workloads::{BankConfig, BankSource};
 
 fn main() {
-    let rot_pct: u8 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let rot_pct: u8 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
     let bank = BankConfig::small(1_024, rot_pct);
-    let gpu = GpuConfig { num_sms: 8, ..GpuConfig::default() };
+    let gpu = GpuConfig {
+        num_sms: 8,
+        ..GpuConfig::default()
+    };
     let seed = 3;
     let txs = 4;
 
@@ -53,5 +59,10 @@ fn main() {
         bank.accounts,
         |_| bank.initial_balance,
     );
-    println!("{:<14} {:>14.3e} {:>10.2}", "JVSTM-GPU", r.throughput(1.58), r.abort_rate_pct());
+    println!(
+        "{:<14} {:>14.3e} {:>10.2}",
+        "JVSTM-GPU",
+        r.throughput(1.58),
+        r.abort_rate_pct()
+    );
 }

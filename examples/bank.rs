@@ -13,18 +13,31 @@ use gpu_sim::GpuConfig;
 use workloads::{BankConfig, BankSource};
 
 fn main() {
-    let rot_pct: u8 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(50);
+    let rot_pct: u8 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
     let accounts = 1_024;
     let txs_per_thread = 4;
     let seed = 7;
     let bank = BankConfig::small(accounts, rot_pct);
-    let gpu = GpuConfig { num_sms: 8, ..GpuConfig::default() };
+    let gpu = GpuConfig {
+        num_sms: 8,
+        ..GpuConfig::default()
+    };
 
     println!("Bank: {accounts} accounts, {rot_pct}% read-only transactions\n");
-    println!("{:<12} {:>14} {:>10} {:>12}", "system", "TXs/s", "abort %", "commits");
+    println!(
+        "{:<12} {:>14} {:>10} {:>12}",
+        "system", "TXs/s", "abort %", "commits"
+    );
 
     // CSMV
-    let cfg = csmv::CsmvConfig { gpu: gpu.clone(), record_history: false, ..Default::default() };
+    let cfg = csmv::CsmvConfig {
+        gpu: gpu.clone(),
+        record_history: false,
+        ..Default::default()
+    };
     let r = csmv::run(
         &cfg,
         |t| BankSource::new(&bank, seed, t, txs_per_thread),
@@ -82,7 +95,10 @@ fn main() {
     );
 
     // JVSTM on host threads (wall-clock!)
-    let cfg = jvstm_cpu::JvstmCpuConfig { threads: 8, record_history: false };
+    let cfg = jvstm_cpu::JvstmCpuConfig {
+        threads: 8,
+        record_history: false,
+    };
     let r = jvstm_cpu::run(
         &cfg,
         |t| BankSource::new(&bank, seed, t, 16),

@@ -11,8 +11,14 @@ use workloads::memcached::{FIELDS_PER_SLOT, F_KEY, F_VALUE};
 use workloads::{MemcachedConfig, MemcachedSource, Zipfian};
 
 fn main() {
-    let ways: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
-    let mc = MemcachedConfig { capacity: 1 << 14, ..MemcachedConfig::paper(ways) };
+    let ways: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let mc = MemcachedConfig {
+        capacity: 1 << 14,
+        ..MemcachedConfig::paper(ways)
+    };
     let zipf = Zipfian::new(mc.capacity as usize, mc.zipf_s);
     let txs_per_thread = 8;
 
@@ -41,12 +47,20 @@ fn main() {
         },
     );
 
-    println!("cache              : {} slots, {} ways, {} sets", mc.capacity, ways, mc.num_sets());
+    println!(
+        "cache              : {} slots, {} ways, {} sets",
+        mc.capacity,
+        ways,
+        mc.num_sets()
+    );
     println!("threads            : {}", cfg.num_threads());
     println!("GET transactions   : {}", result.stats.rot_commits);
     println!("PUT transactions   : {}", result.stats.update_commits);
     println!("abort rate         : {:.3}%", result.abort_rate_pct());
-    println!("throughput         : {:.3e} TXs/s @1.58GHz", result.throughput(1.58));
+    println!(
+        "throughput         : {:.3e} TXs/s @1.58GHz",
+        result.throughput(1.58)
+    );
 
     // The history checker validates GETs saw consistent snapshots of the
     // cache and PUT metadata updates serialized correctly.
@@ -64,6 +78,9 @@ fn main() {
     if !get_reads.is_empty() {
         let avg = get_reads.iter().sum::<usize>() as f64 / get_reads.len() as f64;
         let max = get_reads.iter().max().unwrap();
-        println!("GET reads          : avg {avg:.1}, max {max} (bounded by ways+1 = {})", ways + 1);
+        println!(
+            "GET reads          : avg {avg:.1}, max {max} (bounded by ways+1 = {})",
+            ways + 1
+        );
     }
 }

@@ -24,7 +24,10 @@ fn main() {
     {
         let bank = BankConfig::small(accounts, rot_pct);
         let mut cfg = CsmvConfig {
-            gpu: GpuConfig { num_sms: sms, ..GpuConfig::default() },
+            gpu: GpuConfig {
+                num_sms: sms,
+                ..GpuConfig::default()
+            },
             max_ws: 2,
             ..Default::default()
         };
@@ -48,7 +51,10 @@ fn main() {
     for servers in [2usize, 4] {
         let bank = BankConfig::small(accounts, rot_pct).partitioned(servers as u64);
         let cfg = MultiCsmvConfig {
-            gpu: GpuConfig { num_sms: sms, ..GpuConfig::default() },
+            gpu: GpuConfig {
+                num_sms: sms,
+                ..GpuConfig::default()
+            },
             num_servers: servers,
             max_ws: 2,
             atr_capacity: 512,

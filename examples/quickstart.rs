@@ -46,11 +46,17 @@ impl TxLogic for TransferOne {
             2 => {
                 self.to_balance = last_read.unwrap();
                 self.step = 3;
-                TxOp::Write { item: self.from, value: self.from_balance - 1 }
+                TxOp::Write {
+                    item: self.from,
+                    value: self.from_balance - 1,
+                }
             }
             3 => {
                 self.step = 4;
-                TxOp::Write { item: self.to, value: self.to_balance + 1 }
+                TxOp::Write {
+                    item: self.to,
+                    value: self.to_balance + 1,
+                }
             }
             _ => TxOp::Finish,
         }
@@ -73,7 +79,13 @@ impl TxSource for TransferSource {
         self.remaining -= 1;
         let from = (self.thread as u64 * 7 + self.remaining as u64) % self.accounts;
         let to = (from + 1) % self.accounts;
-        Some(TransferOne { from, to, step: 0, from_balance: 0, to_balance: 0 })
+        Some(TransferOne {
+            from,
+            to,
+            step: 0,
+            from_balance: 0,
+            to_balance: 0,
+        })
     }
 }
 
@@ -88,7 +100,11 @@ fn main() {
 
     let result = csmv::run(
         &cfg,
-        |thread| TransferSource { thread, remaining: TXS_PER_THREAD, accounts: ACCOUNTS },
+        |thread| TransferSource {
+            thread,
+            remaining: TXS_PER_THREAD,
+            accounts: ACCOUNTS,
+        },
         ACCOUNTS,
         |_| INITIAL,
     );
@@ -98,7 +114,10 @@ fn main() {
     println!("aborted attempts   : {}", result.stats.aborts());
     println!("abort rate         : {:.2}%", result.abort_rate_pct());
     println!("simulated cycles   : {}", result.elapsed_cycles);
-    println!("throughput         : {:.3e} TXs/s @1.58GHz", result.throughput(1.58));
+    println!(
+        "throughput         : {:.3e} TXs/s @1.58GHz",
+        result.throughput(1.58)
+    );
 
     // Every committed transaction saw a consistent snapshot (opacity).
     let initial = (0..ACCOUNTS).map(|i| (i, INITIAL)).collect();

@@ -20,6 +20,8 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub use csmv;
 pub use gpu_sim;
 pub use jvstm_cpu;

@@ -5,13 +5,16 @@
 use std::collections::HashMap;
 
 use gpu_sim::GpuConfig;
-use stm_core::history::TxRecord;
 use stm_core::check_history;
+use stm_core::history::TxRecord;
 use workloads::memcached::{FIELDS_PER_SLOT, F_KEY, F_VALUE};
 use workloads::{BankConfig, BankSource, MemcachedConfig, MemcachedSource, Zipfian};
 
 fn gpu(sms: usize) -> GpuConfig {
-    GpuConfig { num_sms: sms, ..GpuConfig::default() }
+    GpuConfig {
+        num_sms: sms,
+        ..GpuConfig::default()
+    }
 }
 
 /// Replay committed writes in cts order over the initial state.
@@ -29,7 +32,11 @@ fn replay(records: &[TxRecord], initial: &HashMap<u64, u64>) -> HashMap<u64, u64
 
 fn assert_bank_invariant(records: &[TxRecord], bank: &BankConfig) {
     let heap = replay(records, &bank.initial_state());
-    assert_eq!(heap.values().sum::<u64>(), bank.total_balance(), "balance conservation");
+    assert_eq!(
+        heap.values().sum::<u64>(),
+        bank.total_balance(),
+        "balance conservation"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -39,15 +46,27 @@ fn assert_bank_invariant(records: &[TxRecord], bank: &BankConfig) {
 #[test]
 fn bank_on_csmv_all_variants() {
     let bank = BankConfig::small(96, 40);
-    for variant in [csmv::CsmvVariant::Full, csmv::CsmvVariant::NoCv, csmv::CsmvVariant::OnlyCs] {
-        let cfg = csmv::CsmvConfig { gpu: gpu(4), variant, ..Default::default() };
+    for variant in [
+        csmv::CsmvVariant::Full,
+        csmv::CsmvVariant::NoCv,
+        csmv::CsmvVariant::OnlyCs,
+    ] {
+        let cfg = csmv::CsmvConfig {
+            gpu: gpu(4),
+            variant,
+            ..Default::default()
+        };
         let res = csmv::run(
             &cfg,
             |t| BankSource::new(&bank, 1, t, 3),
             bank.accounts,
             |_| bank.initial_balance,
         );
-        assert_eq!(res.stats.commits(), (cfg.num_threads() * 3) as u64, "{variant:?}");
+        assert_eq!(
+            res.stats.commits(),
+            (cfg.num_threads() * 3) as u64,
+            "{variant:?}"
+        );
         check_history(&res.records, &bank.initial_state(), true)
             .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
         assert_bank_invariant(&res.records, &bank);
@@ -57,7 +76,11 @@ fn bank_on_csmv_all_variants() {
 #[test]
 fn bank_on_jvstm_gpu() {
     let bank = BankConfig::small(96, 40);
-    let cfg = jvstm_gpu::JvstmGpuConfig { gpu: gpu(4), atr_capacity: 4096, ..Default::default() };
+    let cfg = jvstm_gpu::JvstmGpuConfig {
+        gpu: gpu(4),
+        atr_capacity: 4096,
+        ..Default::default()
+    };
     let res = jvstm_gpu::run(
         &cfg,
         |t| BankSource::new(&bank, 1, t, 3),
@@ -72,7 +95,11 @@ fn bank_on_jvstm_gpu() {
 #[test]
 fn bank_on_prstm() {
     let bank = BankConfig::small(96, 40);
-    let cfg = prstm::PrstmConfig { gpu: gpu(4), max_rs: 128, ..Default::default() };
+    let cfg = prstm::PrstmConfig {
+        gpu: gpu(4),
+        max_rs: 128,
+        ..Default::default()
+    };
     let res = prstm::run(
         &cfg,
         |t| BankSource::new(&bank, 1, t, 3),
@@ -87,7 +114,10 @@ fn bank_on_prstm() {
 #[test]
 fn bank_on_jvstm_cpu() {
     let bank = BankConfig::small(96, 40);
-    let cfg = jvstm_cpu::JvstmCpuConfig { threads: 6, record_history: true };
+    let cfg = jvstm_cpu::JvstmCpuConfig {
+        threads: 6,
+        record_history: true,
+    };
     let res = jvstm_cpu::run(
         &cfg,
         |t| BankSource::new(&bank, 1, t, 40),
@@ -179,7 +209,12 @@ fn memcached_on_jvstm_gpu() {
 fn memcached_on_prstm() {
     let mc = MemcachedConfig::small(256, 8);
     let zipf = Zipfian::new(mc.capacity as usize, mc.zipf_s);
-    let cfg = prstm::PrstmConfig { gpu: gpu(4), max_rs: 24, max_ws: 4, ..Default::default() };
+    let cfg = prstm::PrstmConfig {
+        gpu: gpu(4),
+        max_rs: 24,
+        max_ws: 4,
+        ..Default::default()
+    };
     let res = prstm::run(
         &cfg,
         |t| MemcachedSource::new(&mc, zipf.clone(), 2, t, 4),
@@ -202,7 +237,11 @@ fn deterministic_gpu_stms_agree_on_commit_counts() {
     let n_csmv;
     let n_jv;
     {
-        let cfg = csmv::CsmvConfig { gpu: gpu(4), record_history: false, ..Default::default() };
+        let cfg = csmv::CsmvConfig {
+            gpu: gpu(4),
+            record_history: false,
+            ..Default::default()
+        };
         let res = csmv::run(
             &cfg,
             |t| BankSource::new(&bank, 5, t, 2),
@@ -334,7 +373,11 @@ mod list_suite {
             pool_per_thread: 1,
             threads,
         };
-        let stm = prstm::PrstmConfig { gpu: gpu(1), max_rs: 160, ..Default::default() };
+        let stm = prstm::PrstmConfig {
+            gpu: gpu(1),
+            max_rs: 160,
+            ..Default::default()
+        };
         let res = prstm::run(
             &stm,
             |t| ListSource::new(&cfg, 13, t, 2),

@@ -9,7 +9,10 @@ use stm_core::check_history;
 use workloads::{BankConfig, BankSource};
 
 fn gpu(sms: usize) -> GpuConfig {
-    GpuConfig { num_sms: sms, ..GpuConfig::default() }
+    GpuConfig {
+        num_sms: sms,
+        ..GpuConfig::default()
+    }
 }
 
 /// A single version per box under write pressure: readers constantly lose
@@ -30,7 +33,10 @@ fn csmv_survives_single_version_boxes() {
         |_| bank.initial_balance,
     );
     assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
-    assert!(res.stats.aborts() > 0, "single-version rings must cause overflow aborts");
+    assert!(
+        res.stats.aborts() > 0,
+        "single-version rings must cause overflow aborts"
+    );
     check_history(&res.records, &bank.initial_state(), true).expect("opaque");
 }
 
@@ -83,7 +89,11 @@ fn csmv_survives_minimal_atr_window() {
 /// and few versions.
 #[test]
 fn variants_survive_combined_starvation() {
-    for variant in [csmv::CsmvVariant::Full, csmv::CsmvVariant::NoCv, csmv::CsmvVariant::OnlyCs] {
+    for variant in [
+        csmv::CsmvVariant::Full,
+        csmv::CsmvVariant::NoCv,
+        csmv::CsmvVariant::OnlyCs,
+    ] {
         let bank = BankConfig::small(16, 20);
         let cfg = csmv::CsmvConfig {
             gpu: gpu(3),
@@ -135,7 +145,11 @@ fn prstm_read_set_overflow_is_detected() {
     // 100% ROT over 64 accounts with a 16-entry read-set: the balance scan
     // overflows.
     let bank = BankConfig::small(64, 100);
-    let cfg = prstm::PrstmConfig { gpu: gpu(2), max_rs: 16, ..Default::default() };
+    let cfg = prstm::PrstmConfig {
+        gpu: gpu(2),
+        max_rs: 16,
+        ..Default::default()
+    };
     let _ = prstm::run(
         &cfg,
         |t| BankSource::new(&bank, 1, t, 1),
@@ -161,5 +175,8 @@ fn run_with_limit_is_a_real_safety_net() {
     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         dev.run_with_limit(1_000);
     }));
-    assert!(res.is_err(), "the instruction budget must abort a livelocked run");
+    assert!(
+        res.is_err(),
+        "the instruction budget must abort a livelocked run"
+    );
 }

@@ -8,22 +8,50 @@ use stm_core::mv_exec::PlainSetArea;
 use stm_core::{TxLogic, TxOp, TxSource};
 
 #[derive(Debug, Clone)]
-enum Op { R(u64), W(u64, u64) }
+enum Op {
+    R(u64),
+    W(u64, u64),
+}
 
 #[derive(Debug, Clone)]
-struct Tx { ops: Vec<Op>, pc: usize, acc: u64 }
+struct Tx {
+    ops: Vec<Op>,
+    pc: usize,
+    acc: u64,
+}
 impl TxLogic for Tx {
-    fn is_read_only(&self) -> bool { self.ops.iter().all(|o| matches!(o, Op::R(_))) }
-    fn reset(&mut self) { self.pc = 0; self.acc = 0; }
+    fn is_read_only(&self) -> bool {
+        self.ops.iter().all(|o| matches!(o, Op::R(_)))
+    }
+    fn reset(&mut self) {
+        self.pc = 0;
+        self.acc = 0;
+    }
     fn next(&mut self, last: Option<u64>) -> TxOp {
-        if let Some(v) = last { self.acc = (self.acc + v) & 0xFFFF; }
-        let op = match self.ops.get(self.pc) { None => return TxOp::Finish, Some(o) => o.clone() };
+        if let Some(v) = last {
+            self.acc = (self.acc + v) & 0xFFFF;
+        }
+        let op = match self.ops.get(self.pc) {
+            None => return TxOp::Finish,
+            Some(o) => o.clone(),
+        };
         self.pc += 1;
-        match op { Op::R(i) => TxOp::Read { item: i }, Op::W(i, b) => TxOp::Write { item: i, value: (self.acc + b) & 0xFFFF } }
+        match op {
+            Op::R(i) => TxOp::Read { item: i },
+            Op::W(i, b) => TxOp::Write {
+                item: i,
+                value: (self.acc + b) & 0xFFFF,
+            },
+        }
     }
 }
 struct Src(Vec<Tx>);
-impl TxSource for Src { type Tx = Tx; fn next_tx(&mut self) -> Option<Tx> { self.0.pop() } }
+impl TxSource for Src {
+    type Tx = Tx;
+    fn next_tx(&mut self) -> Option<Tx> {
+        self.0.pop()
+    }
+}
 
 #[test]
 fn mutual_reader_abort_cycles_terminate() {
@@ -33,10 +61,17 @@ fn mutual_reader_abort_cycles_terminate() {
     let mk = |t: usize| {
         let a = (t % 4) as u64;
         let b = ((t + 1) % 4) as u64;
-        vec![Tx { ops: vec![Op::R(a), Op::W(a, 3), Op::R(b)], pc: 0, acc: 0 }]
+        vec![Tx {
+            ops: vec![Op::R(a), Op::W(a, 3), Op::R(b)],
+            pc: 0,
+            acc: 0,
+        }]
     };
     let cfg = prstm::PrstmConfig {
-        gpu: GpuConfig { num_sms: 1, ..GpuConfig::default() },
+        gpu: GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::default()
+        },
         warps_per_sm: 1,
         ..Default::default()
     };
@@ -44,18 +79,16 @@ fn mutual_reader_abort_cycles_terminate() {
     let mut dev = Device::new(cfg.gpu.clone());
     let table = prstm::LockTable::init(dev.global_mut(), 12, |i| i);
     let log = prstm::LockLog::new();
-    let sources: Vec<Src> = (0..32).map(|t| Src(if t < 4 { mk(t) } else { Vec::new() })).collect();
     let mut warps = Vec::new();
-    let mut thread = 0;
-    for s in sources.into_iter().map(|s| vec![s]) {
-        let _ = s; break; // single warp path below
-    }
     let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
-    let lanes: Vec<Src> = (0..32).map(|t| Src(if t < 4 { mk(t) } else { Vec::new() })).collect();
-    let client = prstm::PrstmClient::new(lanes, thread, table.clone(), area, log.clone(), true, 0);
+    let lanes: Vec<Src> = (0..32)
+        .map(|t| Src(if t < 4 { mk(t) } else { Vec::new() }))
+        .collect();
+    let client = prstm::PrstmClient::new(lanes, 0, table.clone(), area, log.clone(), true, 0);
     warps.push(dev.spawn(0, Box::new(client)));
-    thread += 32;
-    let _ = thread;
     dev.run_with_limit(20_000_000); // panics on livelock
-    assert!(dev.instructions_executed() < 1_000_000, "livelock-adjacent churn");
+    assert!(
+        dev.instructions_executed() < 1_000_000,
+        "livelock-adjacent churn"
+    );
 }

@@ -13,7 +13,10 @@ use workloads::{BankConfig, BankSource};
 fn prstm_stamps_match_observation_instant() {
     let bank = BankConfig::small(96, 40);
     let cfg = prstm::PrstmConfig {
-        gpu: GpuConfig { num_sms: 4, ..GpuConfig::default() },
+        gpu: GpuConfig {
+            num_sms: 4,
+            ..GpuConfig::default()
+        },
         max_rs: 128,
         ..Default::default()
     };

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the subset of proptest's API the workspace uses: the
+//! `proptest!` macro, `Strategy` with `prop_map`/`boxed`, integer-range and
+//! tuple strategies, `collection::vec`, `num::u64::ANY`, `prop_oneof!`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics immediately with the generated
+//!   inputs printed in full (`Debug`), rather than searching for a minimal
+//!   counterexample.
+//! * **Fixed seeding.** Case `i` of every test draws from a generator seeded
+//!   with a constant mixed with `i`, so runs are fully reproducible without
+//!   a persistence file (`*.proptest-regressions` files are ignored).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a proptest-using test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]`, then any number of `#[test]` functions whose
+/// arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(&config, |__rng| {
+                let mut __inputs = String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&($strat), __rng);
+                    __inputs.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($pat), __value
+                    ));
+                    let $pat = __value;
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(r) => r.map_err(|e| (e, __inputs.clone())),
+                    Err(payload) => {
+                        eprintln!("proptest case inputs:\n{__inputs}");
+                        ::std::panic::resume_unwind(payload)
+                    }
+                }
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert inside a proptest body; on failure the case (with its inputs) is
+/// reported and the test fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{:?}` != `{:?}`: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,21 @@
+//! Numeric `ANY` strategies (`proptest::num::u64::ANY`).
+
+/// Strategies over the full `u64` domain.
+pub mod u64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding any `u64`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Any `u64`, uniformly.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = ::core::primitive::u64;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.next_u64()
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type. `Debug` so failing cases can be printed.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of a strategy (implementation detail of boxing).
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Build from the (non-empty) alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self(options)
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                let span = (e as u64) - (s as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                s + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_stay_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        let s = (3u64..9).prop_map(|v| v * 2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (6..18).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_samples_every_alternative() {
+        let mut rng = TestRng::for_case(1);
+        let u = Union::new(vec![(0u64..1).boxed(), (10u64..11).boxed()]);
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            match u.generate(&mut rng) {
+                0 => seen[0] = true,
+                10 => seen[1] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn tuples_generate_elementwise() {
+        let mut rng = TestRng::for_case(2);
+        let (a, b) = (1u64..5, 100u32..200).generate(&mut rng);
+        assert!((1..5).contains(&a));
+        assert!((100..200).contains(&b));
+    }
+}

@@ -1,0 +1,99 @@
+//! The case loop, configuration, and the deterministic generator.
+
+use std::fmt;
+
+/// Deterministic per-case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for case number `case` (fixed seed, fully
+    /// reproducible across runs and machines).
+    pub fn for_case(case: u64) -> Self {
+        Self {
+            state: 0x6A09_E667_F3BC_C908 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Subset of proptest's configuration: only `cases` is interpreted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed assertion inside a proptest body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure with its message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Run `config.cases` generated cases of `f`, panicking (with the case's
+/// inputs) on the first failure. No shrinking is attempted.
+pub fn run<F>(config: &ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), (TestCaseError, String)>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(case as u64);
+        if let Err((err, inputs)) = f(&mut rng) {
+            panic!("proptest case {case} failed: {err}\ninputs:\n{inputs}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case(5);
+        let mut b = TestRng::for_case(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case(6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case 0 failed")]
+    fn failures_panic_with_case_number() {
+        run(&ProptestConfig { cases: 3 }, |_| {
+            Err((TestCaseError::fail("boom"), String::from("  x = 1\n")))
+        });
+    }
+}
