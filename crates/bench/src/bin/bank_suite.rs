@@ -2,14 +2,16 @@
 //! Table II from a single pass over the %ROT axis (each system runs once
 //! per point instead of once per artifact).
 
+use bench::cli::BenchArgs;
 use bench::{
     bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, breakdown_cells, fmt_ms, fmt_tput,
-    print_table, Row, Scale,
+    print_table, Row,
 };
 use csmv::CsmvVariant;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("bank_suite");
+    let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
     struct Point {
@@ -175,6 +177,21 @@ fn main() {
         ],
         &rows,
     );
+
+    let measured: Vec<Row> = pts
+        .iter()
+        .flat_map(|p| {
+            [
+                p.csmv.clone(),
+                p.nocv.clone(),
+                p.onlycs.clone(),
+                p.prstm.clone(),
+                p.jv.clone(),
+                p.cpu.clone(),
+            ]
+        })
+        .collect();
+    args.emit_json(&measured);
 
     // ---- headline ratios ------------------------------------------------------
     let first = &pts[0];

@@ -1,0 +1,156 @@
+//! `bench-gate` — the CI benchmark-regression gate.
+//!
+//! Compares candidate JSON reports (produced by the bench binaries'
+//! `--json` flag) against committed baselines and exits nonzero when any
+//! gated metric regressed past its threshold (see `bench::gate`).
+//!
+//! ```text
+//! bench-gate --baseline results/baselines --candidate target/bench-json
+//! bench-gate --baseline results/baselines/fig2.json --candidate fig2.json
+//! ```
+//!
+//! Directory mode pairs files by name: every `*.json` in the baseline
+//! directory must have a same-named candidate.
+
+use bench::gate::compare;
+use bench::report::BenchReport;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: PathBuf,
+    candidate: PathBuf,
+}
+
+fn usage() -> String {
+    "usage: bench-gate --baseline PATH --candidate PATH\n\
+     \n\
+     PATH is either a single report or a directory of them; with\n\
+     directories, files are paired by name and every baseline must\n\
+     have a candidate. Exits 1 on any regression, 2 on usage or\n\
+     configuration errors."
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline requires a path")?,
+                ))
+            }
+            "--candidate" => {
+                candidate = Some(PathBuf::from(
+                    args.next().ok_or("--candidate requires a path")?,
+                ))
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        candidate: candidate.ok_or("--candidate is required")?,
+    })
+}
+
+/// The (baseline, candidate) file pairs to check.
+fn pair_files(args: &Args) -> Result<Vec<(PathBuf, PathBuf)>, String> {
+    if args.baseline.is_dir() {
+        if !args.candidate.is_dir() {
+            return Err("--baseline is a directory but --candidate is not".into());
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&args.baseline)
+            .map_err(|e| format!("{}: {e}", args.baseline.display()))?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                name.ends_with(".json").then_some(name)
+            })
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            return Err(format!(
+                "no *.json baselines under {}",
+                args.baseline.display()
+            ));
+        }
+        Ok(names
+            .into_iter()
+            .map(|name| (args.baseline.join(&name), args.candidate.join(&name)))
+            .collect())
+    } else {
+        Ok(vec![(args.baseline.clone(), args.candidate.clone())])
+    }
+}
+
+fn check_pair(baseline: &Path, candidate: &Path) -> Result<usize, String> {
+    let base = BenchReport::read_file(baseline)?;
+    if !candidate.exists() {
+        return Err(format!(
+            "candidate report {} is missing (did the bench run with --json?)",
+            candidate.display()
+        ));
+    }
+    let cand = BenchReport::read_file(candidate)?;
+    let violations = compare(&base, &cand)?;
+    if violations.is_empty() {
+        println!(
+            "PASS {} ({} rows gated)",
+            base.bench,
+            base.rows.iter().filter(|r| !r.wall_clock).count()
+        );
+    } else {
+        println!("FAIL {} — {} violation(s):", base.bench, violations.len());
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+    Ok(violations.len())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let pairs = match pair_files(&args) {
+        Ok(pairs) => pairs,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut total = 0usize;
+    for (baseline, candidate) in &pairs {
+        match check_pair(baseline, candidate) {
+            Ok(n) => total += n,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if total == 0 {
+        println!(
+            "bench-gate: all {} report(s) within thresholds",
+            pairs.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench-gate: {total} violation(s) across {} report(s)",
+            pairs.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -2,13 +2,15 @@
 //! function of the percentage of read-only transactions, for CSMV, PR-STM,
 //! JVSTM-GPU (simulated GPU) and JVSTM (host CPU).
 
+use bench::cli::BenchArgs;
 use bench::{
     bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, fmt_tput, print_analysis_summary,
-    print_table, Row, Scale,
+    print_table, Row,
 };
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("fig2");
+    let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
     let mut rows: Vec<Vec<Row>> = Vec::new();
@@ -44,6 +46,7 @@ fn main() {
     print_table("Fig. 2b — Bank abort rate (%) vs %ROT", &headers, &abort);
     let flat: Vec<Row> = rows.iter().flatten().cloned().collect();
     print_analysis_summary(&flat);
+    args.emit_json(&flat);
 
     // Shape summary against the paper's headline claims.
     let speedup = |r: &Vec<Row>, i: usize| r[0].throughput / r[i].throughput.max(1e-12);

@@ -2,10 +2,12 @@
 //! cache associativity (number of ways), for CSMV, PR-STM and JVSTM-GPU.
 //! (JVSTM-CPU is omitted, as in the paper.)
 
-use bench::{fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row, Scale};
+use bench::cli::BenchArgs;
+use bench::{fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("fig3");
+    let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
     let mut rows: Vec<Vec<Row>> = Vec::new();
@@ -42,6 +44,8 @@ fn main() {
         })
         .collect();
     print_table("Fig. 3 — MemcachedGPU abort rate (%)", &headers, &abort);
+    let flat: Vec<Row> = rows.iter().flatten().cloned().collect();
+    args.emit_json(&flat);
 
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();

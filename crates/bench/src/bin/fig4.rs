@@ -2,13 +2,16 @@
 //! CSMV vs CSMV-NoCV (no collaborative validation) vs CSMV-onlyCS (bare
 //! client-server skeleton) vs JVSTM-GPU.
 
-use bench::{bank_csmv, bank_jvstm_gpu, fmt_tput, print_table, Scale};
+use bench::cli::BenchArgs;
+use bench::{bank_csmv, bank_jvstm_gpu, fmt_tput, print_table};
 use csmv::CsmvVariant;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("fig4");
+    let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
+    let mut measured = Vec::new();
     let mut rows = Vec::new();
     for &rot in rots {
         eprintln!("[fig4] %ROT = {rot}");
@@ -23,12 +26,14 @@ fn main() {
             fmt_tput(onlycs.throughput),
             fmt_tput(jv.throughput),
         ]);
+        measured.extend([full, nocv, onlycs, jv]);
     }
     print_table(
         "Fig. 4 — Bank throughput (TXs/s): CSMV ablation variants",
         &["%ROT", "CSMV", "CSMV-NoCV", "CSMV-onlyCS", "JVSTM-GPU"],
         &rows,
     );
+    args.emit_json(&measured);
     println!(
         "\nExpected ordering (update-heavy): CSMV > CSMV-NoCV > JVSTM-GPU > CSMV-onlyCS,\n\
          with the gaps closing as %ROT grows (paper, §IV-C)."

@@ -1,7 +1,8 @@
 //! Combined MemcachedGPU sweep: regenerates Fig. 3, Table III and Table IV
 //! from a single pass over the associativity axis.
 
-use bench::{fmt_ms, fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row, Scale};
+use bench::cli::BenchArgs;
+use bench::{fmt_ms, fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row};
 use csmv::CsmvVariant;
 use stm_core::Phase;
 
@@ -33,7 +34,8 @@ fn bd_cells(row: &Row, csmv_style: bool) -> Vec<String> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("mc_suite");
+    let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
     struct Point {
@@ -159,6 +161,12 @@ fn main() {
         ],
         &rows,
     );
+
+    let measured: Vec<Row> = pts
+        .iter()
+        .flat_map(|p| [p.csmv.clone(), p.prstm.clone(), p.jv.clone()])
+        .collect();
+    args.emit_json(&measured);
 
     let first = &pts[0];
     let last = pts.last().unwrap();

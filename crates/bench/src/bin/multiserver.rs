@@ -6,16 +6,19 @@
 //!
 //! Not part of the paper's evaluation — an extension experiment.
 
-use bench::{fmt_tput, print_table, Scale};
+use bench::cli::BenchArgs;
+use bench::{fmt_tput, print_table, row_from};
 use csmv::{CsmvConfig, CsmvVariant, MultiCsmvConfig};
 use gpu_sim::GpuConfig;
 use workloads::{BankConfig, BankSource};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("multiserver");
+    let scale = args.scale.clone();
     let rot_pct = 1u8; // update-heavy: the server-bound regime
     let servers: &[usize] = &[1, 2, 4];
 
+    let mut measured = Vec::new();
     let mut rows = Vec::new();
     let mut audit = gpu_sim::AnalysisStats::default();
 
@@ -55,6 +58,7 @@ fn main() {
             fmt_tput(res.throughput(1.58)),
             format!("{:.2}", res.abort_rate_pct()),
         ]);
+        measured.push(row_from("CSMV (paper)", 1, &res));
     }
 
     for &n in servers {
@@ -94,6 +98,7 @@ fn main() {
             fmt_tput(res.throughput(1.58)),
             format!("{:.2}", res.abort_rate_pct()),
         ]);
+        measured.push(row_from("CSMV-multi", n as u64, &res));
     }
 
     print_table(
@@ -101,6 +106,7 @@ fn main() {
         &["system", "servers", "TXs/s", "abort %"],
         &rows,
     );
+    args.emit_json(&measured);
     if audit.events > 0 {
         println!(
             "analysis: {} memory events, {} races, {} invariant violations",

@@ -2,12 +2,15 @@
 //! (Bank benchmark, milliseconds), as a function of the percentage of
 //! read-only transactions.
 
-use bench::{bank_csmv, bank_jvstm_gpu, breakdown_cells, print_table, Scale};
+use bench::cli::BenchArgs;
+use bench::{bank_csmv, bank_jvstm_gpu, breakdown_cells, print_table};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("table1");
+    let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
+    let mut measured = Vec::new();
     let mut jv_rows = Vec::new();
     let mut cs_rows = Vec::new();
     for &rot in rots {
@@ -20,6 +23,7 @@ fn main() {
         let mut row = vec![rot.to_string()];
         row.extend(breakdown_cells(&cs, true));
         cs_rows.push(row);
+        measured.extend([jv, cs]);
     }
 
     print_table(
@@ -48,4 +52,5 @@ fn main() {
         ],
         &cs_rows,
     );
+    args.emit_json(&measured);
 }

@@ -1,12 +1,15 @@
 //! Table II — average total and wasted (aborted-attempt) time per committed
 //! transaction (Bank benchmark, milliseconds).
 
-use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, fmt_ms, print_table, Scale};
+use bench::cli::BenchArgs;
+use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, fmt_ms, print_table};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("table2");
+    let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
+    let mut measured = Vec::new();
     let mut rows = Vec::new();
     for &rot in rots {
         eprintln!("[table2] %ROT = {rot}");
@@ -22,6 +25,7 @@ fn main() {
             fmt_ms(jv.total_ms_per_tx),
             fmt_ms(jv.wasted_ms_per_tx),
         ]);
+        measured.extend([cs, pr, jv]);
     }
     print_table(
         "Table II — total/wasted time per transaction (ms, Bank)",
@@ -36,4 +40,5 @@ fn main() {
         ],
         &rows,
     );
+    args.emit_json(&measured);
 }

@@ -1,7 +1,8 @@
 //! Table III — breakdown of the main commit phases for JVSTM-GPU and CSMV
 //! (MemcachedGPU, microseconds), as a function of the cache associativity.
 
-use bench::{mc_csmv, mc_jvstm_gpu, print_table, Row, Scale};
+use bench::cli::BenchArgs;
+use bench::{mc_csmv, mc_jvstm_gpu, print_table, Row};
 use stm_core::Phase;
 
 const CLOCK_GHZ: f64 = 1.58;
@@ -32,9 +33,11 @@ fn cells(row: &Row, csmv_style: bool) -> Vec<String> {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("table3");
+    let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
+    let mut measured = Vec::new();
     let mut jv_rows = Vec::new();
     let mut cs_rows = Vec::new();
     for &w in ways {
@@ -47,6 +50,7 @@ fn main() {
         let mut row = vec![w.to_string()];
         row.extend(cells(&cs, true));
         cs_rows.push(row);
+        measured.extend([jv, cs]);
     }
 
     print_table(
@@ -75,4 +79,5 @@ fn main() {
         ],
         &cs_rows,
     );
+    args.emit_json(&measured);
 }

@@ -1,12 +1,15 @@
 //! Table IV — average total and wasted time per committed transaction
 //! (MemcachedGPU, milliseconds), as a function of the cache associativity.
 
-use bench::{fmt_ms, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Scale};
+use bench::cli::BenchArgs;
+use bench::{fmt_ms, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("table4");
+    let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
+    let mut measured = Vec::new();
     let mut rows = Vec::new();
     for &w in ways {
         eprintln!("[table4] ways = {w}");
@@ -22,6 +25,7 @@ fn main() {
             fmt_ms(pr.total_ms_per_tx),
             fmt_ms(pr.wasted_ms_per_tx),
         ]);
+        measured.extend([jv, cs, pr]);
     }
     print_table(
         "Table IV — total/wasted time per transaction (ms, Memcached)",
@@ -36,4 +40,5 @@ fn main() {
         ],
         &rows,
     );
+    args.emit_json(&measured);
 }

@@ -6,15 +6,19 @@
 //! sizes step uniformly by one version; we sweep {2,3,4,5,8,10} — see
 //! DESIGN.md.)
 
-use bench::{bank_csmv, bank_prstm, fmt_tput, print_table, Scale};
+use bench::cli::BenchArgs;
+use bench::{bank_csmv, bank_prstm, fmt_tput, print_table};
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = BenchArgs::parse("table5");
+    let scale = args.scale.clone();
     let rot = 90u8;
     let versions: &[u64] = &[2, 3, 4, 5, 8, 10];
 
     eprintln!("[table5] PR-STM");
-    let pr = bank_prstm(&scale, rot);
+    let mut pr = bank_prstm(&scale, rot);
+    // The swept axis is versions-per-VBox; PR-STM is the 1-version point.
+    pr.x = 1;
     let pr_bytes = scale.accounts * 4;
 
     let mut size_row = vec![
@@ -24,14 +28,17 @@ fn main() {
     let mut tput_row = vec!["Throughput [TXs/s]".to_string(), fmt_tput(pr.throughput)];
     let mut abort_row = vec!["Abort rate [%]".to_string(), format!("{:.2}", pr.abort_pct)];
 
+    let mut measured = vec![pr];
     for &v in versions {
         eprintln!("[table5] CSMV {v}v");
-        let row = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, v);
+        let mut row = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, v);
+        row.x = v;
         // Paper formula: 4 + (sizeof(X)+4)·#versions bytes per item.
         let bytes = scale.accounts * (4 + 8 * v);
         size_row.push(format!("{:.0}", bytes as f64 / 1024.0));
         tput_row.push(fmt_tput(row.throughput));
         abort_row.push(format!("{:.2}", row.abort_pct));
+        measured.push(row);
     }
 
     let mut headers: Vec<String> = vec!["".into(), "PR-STM".into()];
@@ -42,4 +49,5 @@ fn main() {
         &headers_ref,
         &[size_row, tput_row, abort_row],
     );
+    args.emit_json(&measured);
 }

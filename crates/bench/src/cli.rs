@@ -1,0 +1,179 @@
+//! The command-line surface shared by every bench binary:
+//!
+//! ```text
+//! <bench> [--json PATH] [--seed N] [--quick | --paper] [--analysis]
+//! ```
+//!
+//! Flags override the `BENCH_QUICK` / `BENCH_ANALYSIS` environment
+//! variables (which stay honoured for compatibility with the original
+//! harness). `--seed` feeds every workload RNG, so two runs with the same
+//! seed, scale and binary produce byte-identical `--json` reports — the
+//! property `bench-gate` checks in CI.
+
+use crate::report::BenchReport;
+use crate::{Row, Scale};
+use std::path::PathBuf;
+
+/// Parsed command line of a bench binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Bench binary name, recorded in the report.
+    pub bench: String,
+    /// Where to write the JSON report, if requested.
+    pub json: Option<PathBuf>,
+    /// Scale (geometry, workload sizes, seed) the run uses.
+    pub scale: Scale,
+    /// Scale label recorded in the report (`quick` or `paper`).
+    pub scale_name: String,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`. Prints usage and exits on `--help` or on a
+    /// malformed command line.
+    pub fn parse(bench: &str) -> BenchArgs {
+        Self::parse_from(bench, std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (testable).
+    pub fn parse_from(bench: &str, args: impl IntoIterator<Item = String>) -> BenchArgs {
+        match Self::try_parse(bench, args) {
+            Ok(parsed) => parsed,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("{}", usage(bench));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn try_parse(bench: &str, args: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
+        // Environment first, flags override.
+        let mut scale = Scale::from_env();
+        let mut quick = std::env::var("BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        let mut json = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let path = args.next().ok_or("--json requires a path")?;
+                    json = Some(PathBuf::from(path));
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed requires a value")?;
+                    scale.seed = parse_u64(&v).ok_or_else(|| format!("bad --seed '{v}'"))?;
+                }
+                "--quick" => {
+                    scale = Scale {
+                        seed: scale.seed,
+                        analysis: scale.analysis,
+                        atr_cap: scale.atr_cap,
+                        ..Scale::quick()
+                    };
+                    quick = true;
+                }
+                "--paper" => {
+                    scale = Scale {
+                        seed: scale.seed,
+                        analysis: scale.analysis,
+                        atr_cap: scale.atr_cap,
+                        ..Scale::paper()
+                    };
+                    quick = false;
+                }
+                "--analysis" => scale.analysis = true,
+                "--help" | "-h" => {
+                    println!("{}", usage(bench));
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(BenchArgs {
+            bench: bench.to_string(),
+            json,
+            scale,
+            scale_name: if quick { "quick" } else { "paper" }.to_string(),
+        })
+    }
+
+    /// Emit the JSON report if `--json` was given. Call once, at the end of
+    /// the bench, with every measured row.
+    pub fn emit_json(&self, rows: &[Row]) {
+        let Some(path) = &self.json else { return };
+        let report = BenchReport::from_rows(&self.bench, &self.scale_name, self.scale.seed, rows);
+        match report.write_file(path) {
+            Ok(()) => eprintln!("[{}] wrote {}", self.bench, path.display()),
+            Err(e) => {
+                eprintln!("[{}] failed to write {}: {e}", self.bench, path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+fn usage(bench: &str) -> String {
+    format!(
+        "usage: {bench} [--json PATH] [--seed N] [--quick | --paper] [--analysis]\n\
+         \n\
+         --json PATH   write the structured report (schema: crates/bench/src/report.rs)\n\
+         --seed N      workload RNG seed (decimal or 0x-hex; default 0xC53A17)\n\
+         --quick       reduced smoke-test scale (same as BENCH_QUICK=1)\n\
+         --paper       paper-faithful scale (the default)\n\
+         --analysis    run under the race/invariant analysis layer"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_keep_the_paper_seed() {
+        let a = BenchArgs::try_parse("fig2", argv(&[])).unwrap();
+        assert_eq!(a.scale.seed, 0xC5_3A17);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn flags_override_scale_and_seed() {
+        let a = BenchArgs::try_parse(
+            "fig3",
+            argv(&["--quick", "--seed", "0xBEEF", "--json", "/tmp/r.json"]),
+        )
+        .unwrap();
+        assert_eq!(a.scale_name, "quick");
+        assert_eq!(a.scale.sms, Scale::quick().sms);
+        assert_eq!(a.scale.seed, 0xBEEF);
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("/tmp/r.json")));
+    }
+
+    #[test]
+    fn seed_survives_a_later_scale_flag() {
+        let a = BenchArgs::try_parse("t", argv(&["--seed", "7", "--quick"])).unwrap();
+        assert_eq!(a.scale.seed, 7);
+        let a = BenchArgs::try_parse("t", argv(&["--seed", "7", "--paper"])).unwrap();
+        assert_eq!(a.scale.seed, 7);
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(BenchArgs::try_parse("t", argv(&["--seed"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--seed", "zap"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--frobnicate"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--json"])).is_err());
+    }
+}

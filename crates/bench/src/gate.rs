@@ -1,0 +1,363 @@
+//! The benchmark-regression gate: compares a candidate [`BenchReport`]
+//! against a committed baseline and reports per-metric violations.
+//!
+//! The simulator is deterministic, so a candidate produced from the same
+//! code at the same seed/scale matches its baseline exactly; the thresholds
+//! exist to absorb *intentional* code changes whose timing drifts a little,
+//! while still catching real regressions (a degraded ATR window, a lost
+//! optimization, an abort storm). Each gated metric declares which direction
+//! is bad and how much relative + absolute slack it gets. Wall-clock rows
+//! (the CPU baseline) are skipped entirely — host timing is not
+//! reproducible.
+
+use crate::report::{BenchReport, ReportRow, SCHEMA_VERSION};
+
+/// Which direction of drift fails the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// A candidate value *below* the allowed band fails (e.g. throughput).
+    HigherIsBetter,
+    /// A candidate value *above* the allowed band fails (e.g. abort rate).
+    LowerIsBetter,
+}
+
+/// Allowed drift for one gated metric.
+#[derive(Debug, Clone, Copy)]
+pub struct Threshold {
+    /// Bad direction.
+    pub direction: Direction,
+    /// Relative slack (0.10 = 10 % of the baseline value).
+    pub rel: f64,
+    /// Absolute slack, in the metric's own unit, added on top of the
+    /// relative band (keeps near-zero baselines from gating on noise).
+    pub abs: f64,
+}
+
+impl Threshold {
+    /// The candidate value at which the gate starts failing.
+    pub fn limit(&self, baseline: f64) -> f64 {
+        match self.direction {
+            Direction::HigherIsBetter => baseline * (1.0 - self.rel) - self.abs,
+            Direction::LowerIsBetter => baseline * (1.0 + self.rel) + self.abs,
+        }
+    }
+
+    /// Does `candidate` pass against `baseline`?
+    pub fn passes(&self, baseline: f64, candidate: f64) -> bool {
+        match self.direction {
+            Direction::HigherIsBetter => candidate >= self.limit(baseline),
+            Direction::LowerIsBetter => candidate <= self.limit(baseline),
+        }
+    }
+}
+
+/// The gated subset of the schema. Everything else in the report (abort
+/// taxonomy, histograms, series) is informational: it explains *why* a gated
+/// metric moved, but does not fail the gate on its own.
+pub fn threshold_for(metric: &str) -> Option<Threshold> {
+    use Direction::*;
+    let t = |direction, rel, abs| {
+        Some(Threshold {
+            direction,
+            rel,
+            abs,
+        })
+    };
+    match metric {
+        // Committed work must not shrink at all: the workload is fixed.
+        "commits" => t(HigherIsBetter, 0.0, 0.0),
+        "throughput" => t(HigherIsBetter, 0.10, 0.0),
+        "abort_pct" => t(LowerIsBetter, 0.10, 0.5),
+        "total_ms_per_tx" => t(LowerIsBetter, 0.15, 1e-6),
+        "wasted_ms_per_tx" => t(LowerIsBetter, 0.15, 1e-4),
+        "elapsed_ms" => t(LowerIsBetter, 0.10, 1e-3),
+        "commit_latency.mean" => t(LowerIsBetter, 0.15, 64.0),
+        "poll_stall_cycles" => t(LowerIsBetter, 0.25, 4096.0),
+        _ => None,
+    }
+}
+
+/// One reason the gate failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The candidate has no row matching a baseline (system, x) pair.
+    MissingRow { system: String, x: u64 },
+    /// A gated metric present in the baseline is absent from the candidate.
+    MissingMetric {
+        system: String,
+        x: u64,
+        metric: String,
+    },
+    /// A gated metric drifted past its threshold.
+    Regression {
+        system: String,
+        x: u64,
+        metric: String,
+        baseline: f64,
+        candidate: f64,
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingRow { system, x } => {
+                write!(f, "missing row: system={system} x={x}")
+            }
+            Violation::MissingMetric { system, x, metric } => {
+                write!(f, "missing metric: system={system} x={x} {metric}")
+            }
+            Violation::Regression {
+                system,
+                x,
+                metric,
+                baseline,
+                candidate,
+                limit,
+            } => write!(
+                f,
+                "regression: system={system} x={x} {metric}: \
+                 baseline {baseline:.6} -> candidate {candidate:.6} (limit {limit:.6})"
+            ),
+        }
+    }
+}
+
+/// Compare a candidate report against its baseline.
+///
+/// Returns `Err` when the two reports are not comparable at all (different
+/// bench, scale, seed or schema version — a configuration mistake, not a
+/// performance regression), otherwise the list of violations (empty = pass).
+pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Violation>, String> {
+    if baseline.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "baseline schema v{} != supported v{SCHEMA_VERSION} (regenerate the baseline)",
+            baseline.schema_version
+        ));
+    }
+    for (what, b, c) in [
+        (
+            "schema_version",
+            baseline.schema_version.to_string(),
+            candidate.schema_version.to_string(),
+        ),
+        ("bench", baseline.bench.clone(), candidate.bench.clone()),
+        ("scale", baseline.scale.clone(), candidate.scale.clone()),
+        (
+            "seed",
+            baseline.seed.to_string(),
+            candidate.seed.to_string(),
+        ),
+    ] {
+        if b != c {
+            return Err(format!(
+                "reports are not comparable: {what} differs (baseline {b}, candidate {c})"
+            ));
+        }
+    }
+
+    let mut violations = Vec::new();
+    for base_row in &baseline.rows {
+        if base_row.wall_clock {
+            continue;
+        }
+        let Some(cand_row) = find_row(candidate, base_row) else {
+            violations.push(Violation::MissingRow {
+                system: base_row.system.clone(),
+                x: base_row.x,
+            });
+            continue;
+        };
+        for (metric, base_value) in &base_row.metrics {
+            let Some(threshold) = threshold_for(metric) else {
+                continue;
+            };
+            let Some(cand_value) = cand_row.metric(metric) else {
+                violations.push(Violation::MissingMetric {
+                    system: base_row.system.clone(),
+                    x: base_row.x,
+                    metric: metric.clone(),
+                });
+                continue;
+            };
+            if !threshold.passes(*base_value, cand_value) {
+                violations.push(Violation::Regression {
+                    system: base_row.system.clone(),
+                    x: base_row.x,
+                    metric: metric.clone(),
+                    baseline: *base_value,
+                    candidate: cand_value,
+                    limit: threshold.limit(*base_value),
+                });
+            }
+        }
+    }
+    Ok(violations)
+}
+
+fn find_row<'a>(report: &'a BenchReport, key: &ReportRow) -> Option<&'a ReportRow> {
+    report
+        .rows
+        .iter()
+        .find(|r| r.system == key.system && r.x == key.x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: Vec<ReportRow>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench: "fig2".into(),
+            scale: "quick".into(),
+            seed: 7,
+            rows,
+        }
+    }
+
+    fn row(system: &str, x: u64, metrics: &[(&str, f64)]) -> ReportRow {
+        ReportRow {
+            system: system.into(),
+            x,
+            wall_clock: false,
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    fn base_metrics() -> Vec<(&'static str, f64)> {
+        vec![
+            ("throughput", 1e6),
+            ("abort_pct", 10.0),
+            ("commits", 1000.0),
+            ("aborts.read_validation", 50.0), // informational, not gated
+        ]
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = report(vec![row("CSMV", 50, &base_metrics())]);
+        assert_eq!(compare(&b, &b.clone()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn drift_within_the_band_passes() {
+        let b = report(vec![row("CSMV", 50, &base_metrics())]);
+        let c = report(vec![row(
+            "CSMV",
+            50,
+            &[
+                ("throughput", 0.95e6), // -5 % < the 10 % band
+                ("abort_pct", 10.4),    // within rel+abs slack
+                ("commits", 1000.0),
+                ("aborts.read_validation", 500.0), // ungated: any drift is fine
+            ],
+        )]);
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn throughput_collapse_fails() {
+        let b = report(vec![row("CSMV", 50, &base_metrics())]);
+        let mut m = base_metrics();
+        m[0].1 = 0.5e6; // -50 %
+        let c = report(vec![row("CSMV", 50, &m)]);
+        let violations = compare(&b, &c).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::Regression { metric, .. } if metric == "throughput"
+        ));
+        // The rendering names the row and the band.
+        let text = violations[0].to_string();
+        assert!(
+            text.contains("CSMV") && text.contains("throughput"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn lost_commits_fail_with_zero_slack() {
+        let b = report(vec![row("CSMV", 50, &base_metrics())]);
+        let mut m = base_metrics();
+        m[2].1 = 999.0;
+        let c = report(vec![row("CSMV", 50, &m)]);
+        assert_eq!(compare(&b, &c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_row_and_missing_metric_fail() {
+        let b = report(vec![
+            row("CSMV", 50, &base_metrics()),
+            row("PR-STM", 50, &base_metrics()),
+        ]);
+        let c = report(vec![row("CSMV", 50, &[("abort_pct", 10.0)])]);
+        let violations = compare(&b, &c).unwrap();
+        assert!(violations.contains(&Violation::MissingRow {
+            system: "PR-STM".into(),
+            x: 50
+        }));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingMetric { metric, .. } if metric == "throughput"
+        )));
+        // Missing *ungated* metrics are not violations.
+        assert!(!violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingMetric { metric, .. } if metric == "aborts.read_validation"
+        )));
+    }
+
+    #[test]
+    fn wall_clock_rows_are_skipped() {
+        let mut cpu = row("JVSTM (CPU)", 50, &[("throughput", 1e6)]);
+        cpu.wall_clock = true;
+        let b = report(vec![cpu.clone()]);
+        let mut slow = cpu;
+        slow.metrics[0].1 = 1.0; // collapsed, but wall-clock: ignored
+        let c = report(vec![slow]);
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn mismatched_configs_are_errors_not_regressions() {
+        let b = report(vec![]);
+        let mut c = b.clone();
+        c.seed = 8;
+        assert!(compare(&b, &c).unwrap_err().contains("seed"));
+        let mut c = b.clone();
+        c.scale = "paper".into();
+        assert!(compare(&b, &c).unwrap_err().contains("scale"));
+        let mut c = b.clone();
+        c.bench = "fig3".into();
+        assert!(compare(&b, &c).unwrap_err().contains("bench"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let b = report(vec![row("CSMV", 50, &base_metrics())]);
+        let c = report(vec![row(
+            "CSMV",
+            50,
+            &[
+                ("throughput", 2e6),
+                ("abort_pct", 1.0),
+                ("commits", 2000.0),
+                ("aborts.read_validation", 0.0),
+            ],
+        )]);
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn threshold_directions_are_correct() {
+        let t = threshold_for("throughput").unwrap();
+        assert!(t.passes(100.0, 95.0));
+        assert!(!t.passes(100.0, 80.0));
+        let t = threshold_for("abort_pct").unwrap();
+        assert!(t.passes(10.0, 11.0));
+        assert!(!t.passes(10.0, 20.0));
+        assert!(threshold_for("gts_stall.sum").is_none());
+    }
+}

@@ -19,8 +19,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
+pub mod gate;
+pub mod json;
+pub mod report;
+
 use gpu_sim::{AnalysisConfig, AnalysisStats, GpuConfig};
-use stm_core::{Phase, RunResult, TimeBreakdown};
+use stm_core::{MetricsReport, Phase, RunResult, TimeBreakdown};
 use workloads::{BankConfig, BankSource, MemcachedConfig, MemcachedSource, Zipfian};
 
 /// Experiment scale knobs.
@@ -45,6 +50,11 @@ pub struct Scale {
     /// simulation down; results are unchanged (analysis never perturbs
     /// timing).
     pub analysis: bool,
+    /// Override the CSMV ATR ring capacity (`BENCH_ATR_CAP`). Normally
+    /// `None` (each run sizes its own ring); setting a tiny value degrades
+    /// CSMV with spurious window aborts — used to prove `bench-gate`
+    /// actually fails on a regression.
+    pub atr_cap: Option<u64>,
 }
 
 impl Scale {
@@ -59,6 +69,7 @@ impl Scale {
             versions: 8,
             seed: 0xC5_3A17,
             analysis: false,
+            atr_cap: None,
         }
     }
 
@@ -73,12 +84,14 @@ impl Scale {
             versions: 8,
             seed: 0xC5_3A17,
             analysis: false,
+            atr_cap: None,
         }
     }
 
     /// Scale selected by the `BENCH_QUICK` environment variable; setting
     /// `BENCH_ANALYSIS=1` additionally runs everything under the analysis
-    /// layer and prints what it found.
+    /// layer and prints what it found, and `BENCH_ATR_CAP=N` force-degrades
+    /// the CSMV ATR ring to N records.
     pub fn from_env() -> Self {
         let mut scale = if std::env::var("BENCH_QUICK")
             .map(|v| v == "1")
@@ -91,6 +104,9 @@ impl Scale {
         scale.analysis = std::env::var("BENCH_ANALYSIS")
             .map(|v| v == "1")
             .unwrap_or(false);
+        scale.atr_cap = std::env::var("BENCH_ATR_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok());
         scale
     }
 
@@ -137,6 +153,12 @@ pub struct Row {
     pub aborts: u64,
     /// Analysis-layer counters, when [`Scale::analysis`] was on.
     pub analysis: Option<AnalysisStats>,
+    /// True when the row was measured in host wall-clock time (the CPU
+    /// baseline): not reproducible, so `bench-gate` skips it.
+    pub wall_clock: bool,
+    /// Structured observability harvested from the run (empty for
+    /// wall-clock-measured systems).
+    pub metrics: MetricsReport,
 }
 
 const CLOCK_GHZ: f64 = 1.58;
@@ -149,7 +171,9 @@ fn cycles_to_ms_f(c: f64) -> f64 {
     c / (CLOCK_GHZ * 1e6)
 }
 
-fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
+/// Build a [`Row`] from a simulated run (used directly by benches that drive
+/// an STM themselves, e.g. `multiserver`).
+pub fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
     Row {
         system: system.to_string(),
         x,
@@ -163,6 +187,8 @@ fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
         commits: res.stats.commits(),
         aborts: res.stats.aborts(),
         analysis: res.analysis.as_ref().map(|a| a.stats()),
+        wall_clock: false,
+        metrics: res.metrics.clone(),
     }
 }
 
@@ -188,6 +214,9 @@ pub fn bank_csmv(scale: &Scale, rot_pct: u8, variant: csmv::CsmvVariant, version
         ..Default::default()
     };
     cfg.fit_atr_capacity();
+    if let Some(cap) = scale.atr_cap {
+        cfg.atr_capacity = cap;
+    }
     let res = csmv::run(
         &cfg,
         |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
@@ -283,6 +312,8 @@ pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
         commits: res.stats.commits(),
         aborts: res.stats.aborts(),
         analysis: None, // the CPU baseline runs outside the simulator
+        wall_clock: true,
+        metrics: MetricsReport::default(),
     }
 }
 
@@ -318,6 +349,9 @@ pub fn mc_csmv(scale: &Scale, ways: u64, variant: csmv::CsmvVariant) -> Row {
         ..Default::default()
     };
     cfg.fit_atr_capacity();
+    if let Some(cap) = scale.atr_cap {
+        cfg.atr_capacity = cap;
+    }
     let res = csmv::run(
         &cfg,
         |t| MemcachedSource::new(&mc, zipf.clone(), scale.seed, t, scale.mc_txs),

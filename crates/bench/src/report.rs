@@ -1,0 +1,334 @@
+//! The canonical JSON schema every bench binary emits under `--json` and the
+//! `bench-gate` comparator consumes.
+//!
+//! A report is one benchmark invocation: the bench name, the scale/seed it
+//! ran at, and one row per measured configuration. Each row flattens the
+//! run's [`stm_core::MetricsReport`] (plus the headline throughput/abort
+//! numbers) into an ordered `metric name → f64` map, so the gate can apply
+//! per-metric thresholds without knowing any STM internals. Rows measured in
+//! wall-clock time (the CPU baseline) are marked `wall_clock` and skipped by
+//! the gate — host timing is not reproducible.
+
+use crate::json::{parse, Json};
+use crate::Row;
+use stm_core::AbortReason;
+
+/// Bumped whenever the schema changes incompatibly; `bench-gate` refuses to
+/// compare reports of different versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark invocation's structured output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] when produced by this build).
+    pub schema_version: u64,
+    /// Bench binary name (`fig2`, `bank_suite`, …).
+    pub bench: String,
+    /// Scale label: `quick` or `paper`.
+    pub scale: String,
+    /// Workload RNG seed the run used.
+    pub seed: u64,
+    /// Measured configurations, in execution order.
+    pub rows: Vec<ReportRow>,
+}
+
+/// One measured configuration within a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// System label (`CSMV`, `PR-STM`, …).
+    pub system: String,
+    /// Swept parameter value (%ROT, ways, versions or server count).
+    pub x: u64,
+    /// True when the row was measured in host wall-clock time.
+    pub wall_clock: bool,
+    /// Flat metric map, in canonical order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ReportRow {
+    /// Look up one metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Flatten one measured [`Row`] into the canonical metric map.
+fn flatten(row: &Row) -> Vec<(String, f64)> {
+    let mut m: Vec<(String, f64)> = vec![
+        ("throughput".into(), row.throughput),
+        ("abort_pct".into(), row.abort_pct),
+        ("total_ms_per_tx".into(), row.total_ms_per_tx),
+        ("wasted_ms_per_tx".into(), row.wasted_ms_per_tx),
+        ("elapsed_ms".into(), row.elapsed_ms),
+        ("commits".into(), row.commits as f64),
+        ("aborts".into(), row.aborts as f64),
+        (
+            "poll_stall_cycles".into(),
+            (row.client_bd.poll_stall_cycles + row.server_bd.poll_stall_cycles) as f64,
+        ),
+    ];
+    let metrics = &row.metrics;
+    for reason in AbortReason::ALL {
+        m.push((
+            format!("aborts.{}", reason.key()),
+            metrics.aborts.count(reason) as f64,
+        ));
+    }
+    for (prefix, h) in [
+        ("commit_latency", &metrics.commit_latency),
+        ("abort_latency", &metrics.abort_latency),
+        ("batch_sizes", &metrics.batch_sizes),
+    ] {
+        m.push((format!("{prefix}.count"), h.count() as f64));
+        m.push((format!("{prefix}.mean"), h.mean()));
+        m.push((format!("{prefix}.p50"), h.quantile(0.5) as f64));
+        m.push((format!("{prefix}.p99"), h.quantile(0.99) as f64));
+        m.push((format!("{prefix}.max"), h.max() as f64));
+    }
+    for (prefix, s) in [
+        ("atr_occupancy", &metrics.atr_occupancy),
+        ("gts_stall", &metrics.gts_stall),
+    ] {
+        m.push((format!("{prefix}.samples"), s.len() as f64));
+        m.push((format!("{prefix}.mean"), s.mean()));
+        m.push((format!("{prefix}.max"), s.max() as f64));
+        m.push((format!("{prefix}.sum"), s.sum() as f64));
+    }
+    m
+}
+
+impl BenchReport {
+    /// Build a report from measured rows.
+    pub fn from_rows(bench: &str, scale: &str, seed: u64, rows: &[Row]) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            seed,
+            rows: rows
+                .iter()
+                .map(|r| ReportRow {
+                    system: r.system.clone(),
+                    x: r.x,
+                    wall_clock: r.wall_clock,
+                    metrics: flatten(r),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the canonical JSON document.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("system".into(), Json::Str(r.system.clone())),
+                    ("x".into(), Json::Num(r.x as f64)),
+                    ("wall_clock".into(), Json::Bool(r.wall_clock)),
+                    (
+                        "metrics".into(),
+                        Json::Obj(
+                            r.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Num(self.schema_version as f64),
+            ),
+            ("bench".into(), Json::Str(self.bench.clone())),
+            ("scale".into(), Json::Str(self.scale.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("rows".into(), Json::Arr(rows)),
+        ])
+    }
+
+    /// Deserialize from a JSON document.
+    pub fn from_json(doc: &Json) -> Result<BenchReport, String> {
+        let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing '{key}'"));
+        let schema_version = field("schema_version")?
+            .as_u64()
+            .ok_or("'schema_version' must be an integer")?;
+        let bench = field("bench")?
+            .as_str()
+            .ok_or("'bench' must be a string")?
+            .to_string();
+        let scale = field("scale")?
+            .as_str()
+            .ok_or("'scale' must be a string")?
+            .to_string();
+        let seed = field("seed")?.as_u64().ok_or("'seed' must be an integer")?;
+        let mut rows = Vec::new();
+        for (i, row) in field("rows")?
+            .as_array()
+            .ok_or("'rows' must be an array")?
+            .iter()
+            .enumerate()
+        {
+            let rf = |key: &str| {
+                row.get(key)
+                    .ok_or_else(|| format!("row {i}: missing '{key}'"))
+            };
+            let system = rf("system")?
+                .as_str()
+                .ok_or_else(|| format!("row {i}: 'system' must be a string"))?
+                .to_string();
+            let x = rf("x")?
+                .as_u64()
+                .ok_or_else(|| format!("row {i}: 'x' must be an integer"))?;
+            let wall_clock = rf("wall_clock")?
+                .as_bool()
+                .ok_or_else(|| format!("row {i}: 'wall_clock' must be a boolean"))?;
+            let mut metrics = Vec::new();
+            for (k, v) in rf("metrics")?
+                .as_object()
+                .ok_or_else(|| format!("row {i}: 'metrics' must be an object"))?
+            {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("row {i}: metric '{k}' must be a number"))?;
+                metrics.push((k.clone(), v));
+            }
+            rows.push(ReportRow {
+                system,
+                x,
+                wall_clock,
+                metrics,
+            });
+        }
+        Ok(BenchReport {
+            schema_version,
+            bench,
+            scale,
+            seed,
+            rows,
+        })
+    }
+
+    /// Write the report to `path`, creating parent directories as needed.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json().pretty())
+    }
+
+    /// Read a report back from `path`.
+    pub fn read_file(path: &std::path::Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::MetricsReport;
+    use stm_core::TimeBreakdown;
+
+    fn sample_row() -> Row {
+        let mut metrics = MetricsReport::default();
+        metrics.record_commit(120);
+        metrics.record_commit(80);
+        metrics.record_abort(AbortReason::PreValidationKill, 40);
+        metrics.batch_sizes.record(17);
+        metrics.atr_occupancy.push(10, 3);
+        metrics.gts_stall.push(20, 7);
+        let client_bd = TimeBreakdown {
+            poll_stall_cycles: 55,
+            ..Default::default()
+        };
+        Row {
+            system: "CSMV".into(),
+            x: 50,
+            throughput: 1.25e6,
+            abort_pct: 3.5,
+            total_ms_per_tx: 0.02,
+            wasted_ms_per_tx: 0.001,
+            client_bd,
+            server_bd: TimeBreakdown::default(),
+            elapsed_ms: 12.0,
+            commits: 1000,
+            aborts: 35,
+            analysis: None,
+            wall_clock: false,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn flatten_covers_the_taxonomy_and_summaries() {
+        let report = BenchReport::from_rows("fig2", "quick", 7, &[sample_row()]);
+        let row = &report.rows[0];
+        assert_eq!(row.metric("throughput"), Some(1.25e6));
+        assert_eq!(row.metric("aborts.prevalidation_kill"), Some(1.0));
+        assert_eq!(row.metric("aborts.write_write"), Some(0.0));
+        assert_eq!(row.metric("commit_latency.count"), Some(2.0));
+        assert_eq!(row.metric("commit_latency.mean"), Some(100.0));
+        assert_eq!(row.metric("batch_sizes.max"), Some(17.0));
+        assert_eq!(row.metric("atr_occupancy.samples"), Some(1.0));
+        assert_eq!(row.metric("gts_stall.sum"), Some(7.0));
+        assert_eq!(row.metric("poll_stall_cycles"), Some(55.0));
+        assert_eq!(row.metric("no_such_metric"), None);
+        // Every abort reason appears exactly once.
+        for reason in AbortReason::ALL {
+            let key = format!("aborts.{}", reason.key());
+            assert_eq!(
+                row.metrics.iter().filter(|(k, _)| *k == key).count(),
+                1,
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport::from_rows("table3", "paper", 0xC5_3A17, &[sample_row()]);
+        let text = report.to_json().pretty();
+        let back = BenchReport::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn file_round_trip_and_deterministic_bytes() {
+        let dir = std::env::temp_dir().join("csmv-bench-report-test");
+        let path = dir.join("r.json");
+        let report = BenchReport::from_rows("fig3", "quick", 1, &[sample_row()]);
+        report.write_file(&path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        BenchReport::read_file(&path)
+            .unwrap()
+            .write_file(&path)
+            .unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected_with_context() {
+        let err = BenchReport::from_json(&parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let doc = parse(
+            "{\"schema_version\":1,\"bench\":\"b\",\"scale\":\"quick\",\"seed\":1,\
+             \"rows\":[{\"system\":\"S\",\"x\":1,\"wall_clock\":false,\
+             \"metrics\":{\"throughput\":\"fast\"}}]}",
+        )
+        .unwrap();
+        let err = BenchReport::from_json(&doc).unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+    }
+}

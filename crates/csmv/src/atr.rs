@@ -88,6 +88,13 @@ impl SharedAtr {
     pub fn snapshot_in_window(&self, snapshot: u64, next_cts: u64) -> bool {
         next_cts - 1 - snapshot <= self.capacity
     }
+
+    /// Live entries in the ring, given the current `next_cts`: the number of
+    /// timestamps ever published, saturating at the ring capacity once old
+    /// slots start being recycled.
+    pub fn occupancy(&self, next_cts: u64) -> u64 {
+        next_cts.saturating_sub(1).min(self.capacity)
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +141,14 @@ mod tests {
         // Fresh snapshots are always fine.
         assert!(a.snapshot_in_window(9, 10));
         assert!(a.snapshot_in_window(0, 1));
+    }
+
+    #[test]
+    fn occupancy_saturates_at_capacity() {
+        let a = atr();
+        assert_eq!(a.occupancy(1), 0); // nothing committed yet
+        assert_eq!(a.occupancy(5), 4);
+        assert_eq!(a.occupancy(9), 8); // exactly full
+        assert_eq!(a.occupancy(100), 8); // recycling: still full
     }
 }

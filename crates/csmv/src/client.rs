@@ -7,11 +7,9 @@
 use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
 use gpu_sim::{full_mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
 use stm_core::mv_exec::{MvExec, MvExecConfig};
-use stm_core::{Phase, TxSource, VBoxHeap};
+use stm_core::{AbortReason, Phase, TxSource, VBoxHeap};
 
-use crate::protocol::{
-    CommitProtocol, RequestSetArea, OUTCOME_ABORT, OUTCOME_COMMIT_BASE, OUTCOME_NONE,
-};
+use crate::protocol::{unpack_outcome, CommitProtocol, Outcome, RequestSetArea};
 use crate::variant::CsmvVariant;
 
 /// Warp-level phase of the client kernel.
@@ -70,6 +68,8 @@ pub struct CsmvClient<S: TxSource> {
     lane_cts: [u64; WARP_LANES],
     /// Per-lane write-back head registers.
     lane_head: [u64; WARP_LANES],
+    /// Cycle at which the current GTS-wait episode began.
+    gts_wait_start: Option<u64>,
 }
 
 impl<S: TxSource> CsmvClient<S> {
@@ -100,6 +100,7 @@ impl<S: TxSource> CsmvClient<S> {
             lane_cts: [0; WARP_LANES],
             lane_head: [0; WARP_LANES],
             skip_gts_wait: false,
+            gts_wait_start: None,
         }
     }
 
@@ -176,7 +177,7 @@ impl<S: TxSource> CsmvClient<S> {
         let now = w.now();
         for j in 0..WARP_LANES {
             if losers & (1 << j) != 0 {
-                self.exec.abort_lane(j, now);
+                self.exec.abort_lane(j, now, AbortReason::PreValidationKill);
             }
         }
         match self.next_broadcaster(lane + 1) {
@@ -233,7 +234,8 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                         continue;
                     }
                     if l.overflowed() {
-                        self.exec.abort_lane(lane, now);
+                        self.exec
+                            .abort_lane(lane, now, AbortReason::VersionOverflow);
                         settled += 1;
                     } else if l.body_done() && l.is_rot() {
                         let snapshot = l.snapshot;
@@ -314,13 +316,10 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 let outcomes = w.global_read(full_mask(), |l| proto.outcome_addr(slot, l));
                 let now = w.now();
                 for (lane, &outcome) in outcomes.iter().enumerate() {
-                    match outcome {
-                        OUTCOME_NONE => {}
-                        OUTCOME_ABORT => self.exec.abort_lane(lane, now),
-                        word => {
-                            debug_assert!(word >= OUTCOME_COMMIT_BASE);
-                            self.lane_cts[lane] = word - OUTCOME_COMMIT_BASE;
-                        }
+                    match unpack_outcome(outcome) {
+                        Outcome::None => {}
+                        Outcome::Abort(reason) => self.exec.abort_lane(lane, now, reason),
+                        Outcome::Commit(cts) => self.lane_cts[lane] = cts,
                     }
                 }
                 self.phase = Phase_::ClearFlag;
@@ -432,9 +431,13 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 StepOutcome::Running
             }
             Phase_::GtsWait { base, n } => {
-                w.set_phase(Phase::WriteBack.id());
+                w.set_phase(Phase::WaitGts.id());
+                if self.gts_wait_start.is_none() {
+                    self.gts_wait_start = Some(w.now());
+                }
                 if self.skip_gts_wait {
                     // Seeded bug: publish without taking our turn.
+                    self.gts_wait_start = None;
                     self.phase = Phase_::GtsBump { base, n };
                     return StepOutcome::Running;
                 }
@@ -443,6 +446,12 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 // its write-back visible before ours is published.
                 let gts = w.global_read1_ord(leader, self.gts_addr, MemOrder::Acquire);
                 if gts == base - 1 {
+                    let now = w.now();
+                    let started = self.gts_wait_start.take().unwrap_or(now);
+                    self.exec
+                        .metrics
+                        .gts_stall
+                        .push(now, now.saturating_sub(started));
                     self.phase = Phase_::GtsBump { base, n };
                 } else {
                     debug_assert!(gts < base, "GTS overtook this batch");

@@ -79,6 +79,11 @@ pub struct CsmvConfig {
     /// ATR ring capacity in entries — bounded by shared memory; snapshots
     /// older than the ring window abort spuriously.
     pub atr_capacity: u64,
+    /// Server dispatch-queue capacity. `None` sizes it to the client count
+    /// (the default — one outstanding request per client means it can never
+    /// overflow). Smaller values make [`stm_core::AbortReason::ServerQueueFull`]
+    /// rejections reachable.
+    pub server_queue_cap: Option<usize>,
     /// Record per-transaction histories for the correctness oracle.
     pub record_history: bool,
     /// Which mechanisms are enabled (ablations of §IV-C).
@@ -98,6 +103,7 @@ impl Default for CsmvConfig {
             max_rs: 64,
             max_ws: 8,
             atr_capacity: 384,
+            server_queue_cap: None,
             record_history: true,
             variant: CsmvVariant::Full,
             analysis: AnalysisConfig::default(),
@@ -155,7 +161,8 @@ where
     let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
     let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
     let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
-    let ctl = ServerControl::alloc(&mut dev, server_sm, num_clients);
+    let q_cap = cfg.server_queue_cap.unwrap_or(num_clients).max(1);
+    let ctl = ServerControl::alloc_with_queue(&mut dev, server_sm, q_cap);
     // next_cts starts at 1 (commit timestamps are 1-based; GTS starts at 0).
     dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
 
@@ -228,6 +235,11 @@ where
         .add_warp(dev.warp_stats(receiver_id));
     for id in worker_ids {
         result.server_breakdown.add_warp(dev.warp_stats(id));
+        let worker = dev
+            .take_program(id)
+            .downcast::<WorkerWarp>()
+            .expect("worker program type");
+        result.metrics.merge(&worker.metrics);
     }
     for id in client_ids {
         result.client_breakdown.add_warp(dev.warp_stats(id));
@@ -236,6 +248,7 @@ where
             .downcast::<CsmvClient<S>>()
             .expect("client program type");
         result.stats.merge(&client.exec.stats());
+        result.metrics.merge(&client.exec.metrics);
         result.records.append(&mut client.exec.take_records());
     }
     result
@@ -245,7 +258,7 @@ where
 mod tests {
     use super::*;
     use std::collections::HashMap;
-    use stm_core::{check_history, Phase, TxLogic, TxOp};
+    use stm_core::{check_history, AbortReason, Phase, TxLogic, TxOp};
     use workloads::{BankConfig, BankSource};
 
     fn small_cfg(variant: CsmvVariant) -> CsmvConfig {
@@ -421,6 +434,86 @@ mod tests {
         );
         assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
         check_history(&res.records, &bank.initial_state(), true).expect("opaque history");
+        // The spurious aborts must be attributed to the window, not to
+        // genuine read-validation conflicts.
+        assert!(
+            res.metrics.aborts.count(AbortReason::AtrWindowOverflow) > 0,
+            "window aborts must be classified: {:?}",
+            res.metrics.aborts
+        );
+    }
+
+    // -- abort-reason taxonomy: each reason reachable by construction -------
+
+    /// Metrics must agree with the commit/abort counters: every abort has a
+    /// reason and a latency sample, every commit a latency sample.
+    fn assert_metrics_consistent(res: &RunResult) {
+        assert_eq!(res.metrics.aborts.total(), res.stats.aborts());
+        assert_eq!(res.metrics.abort_latency.count(), res.stats.aborts());
+        assert_eq!(res.metrics.commit_latency.count(), res.stats.commits());
+    }
+
+    #[test]
+    fn preval_kills_are_attributed_on_full_variant() {
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.versions_per_box = 8;
+        let res = run(&cfg, |_| Once(Some(Incr { step: 0, seen: 0 })), 4, |_| 0);
+        assert_metrics_consistent(&res);
+        // Every warp submits 32 lanes writing item 0: intra-warp
+        // pre-validation must kill lanes before the server sees them.
+        assert!(res.metrics.aborts.count(AbortReason::PreValidationKill) > 0);
+        // The server still sees batches; their sizes were recorded.
+        assert!(res.metrics.batch_sizes.count() > 0);
+        assert!(!res.metrics.atr_occupancy.is_empty());
+        assert!(!res.metrics.gts_stall.is_empty());
+    }
+
+    #[test]
+    fn server_conflicts_are_read_validation_on_onlycs_variant() {
+        // OnlyCs disables pre-validation, so the same all-lanes-increment
+        // conflict is discovered by the server's validation instead.
+        let mut cfg = small_cfg(CsmvVariant::OnlyCs);
+        cfg.versions_per_box = 8;
+        let res = run(&cfg, |_| Once(Some(Incr { step: 0, seen: 0 })), 4, |_| 0);
+        assert_metrics_consistent(&res);
+        assert_eq!(res.metrics.aborts.count(AbortReason::PreValidationKill), 0);
+        assert!(res.metrics.aborts.count(AbortReason::ReadValidation) > 0);
+    }
+
+    #[test]
+    fn server_queue_full_rejections_are_attributed_and_correct() {
+        // A one-entry dispatch queue cannot hold every client's request, so
+        // the receiver must reject overflowing batches with ServerQueueFull;
+        // the rejected clients retry until the queue drains.
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.server_queue_cap = Some(1);
+        cfg.versions_per_box = 16;
+        let bank = BankConfig::small(64, 0);
+        let res = run(
+            &cfg,
+            |t| BankSource::new(&bank, 21, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        );
+        assert_eq!(res.stats.commits(), (cfg.num_threads() * 2) as u64);
+        check_history(&res.records, &bank.initial_state(), true).expect("opaque history");
+        assert_metrics_consistent(&res);
+        assert!(
+            res.metrics.aborts.count(AbortReason::ServerQueueFull) > 0,
+            "a 1-entry queue must reject batches: {:?}",
+            res.metrics.aborts
+        );
+    }
+
+    #[test]
+    fn version_overflow_is_attributed_with_single_version_boxes() {
+        // One version per box: laggard snapshots fall off the version ring
+        // during execution and abort with snapshot-too-old.
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.versions_per_box = 1;
+        let res = run(&cfg, |_| Once(Some(Incr { step: 0, seen: 0 })), 4, |_| 0);
+        assert_metrics_consistent(&res);
+        assert!(res.metrics.aborts.count(AbortReason::VersionOverflow) > 0);
     }
 }
 

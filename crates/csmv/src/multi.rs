@@ -35,10 +35,10 @@ use gpu_sim::{
     WarpProgram, WARP_LANES,
 };
 use stm_core::mv_exec::{unpack_ws_entry, MvExec, MvExecConfig};
-use stm_core::{Phase, RunResult, TxSource, VBoxHeap};
+use stm_core::{AbortReason, MetricsReport, Phase, RunResult, TxSource, VBoxHeap};
 
 use crate::protocol::{
-    CommitProtocol, RequestSetArea, OUTCOME_ABORT, OUTCOME_COMMIT_BASE, OUTCOME_NONE,
+    pack_abort, pack_commit, unpack_outcome, CommitProtocol, Outcome, RequestSetArea, OUTCOME_NONE,
 };
 use crate::server::{ReceiverWarp, ServerControl};
 
@@ -194,6 +194,7 @@ struct MTx {
     rs_items: Vec<u64>,
     ws_pairs: Vec<(u64, u64)>,
     valid: bool,
+    reason: AbortReason,
     cts: u64,
 }
 
@@ -265,6 +266,8 @@ pub struct MultiWorker {
     slot: usize,
     txs: Vec<MTx>,
     st: MState,
+    /// Server-side observability (public for result harvesting).
+    pub metrics: MetricsReport,
 }
 
 impl MultiWorker {
@@ -286,6 +289,7 @@ impl MultiWorker {
             slot: 0,
             txs: Vec::new(),
             st: MState::Pop,
+            metrics: MetricsReport::default(),
         }
     }
 
@@ -389,10 +393,12 @@ impl WarpProgram for MultiWorker {
                             rs_items: Vec::new(),
                             ws_pairs: Vec::new(),
                             valid: true,
+                            reason: AbortReason::ReadValidation,
                             cts: 0,
                         });
                     }
                 }
+                self.metrics.batch_sizes.record(self.txs.len() as u64);
                 self.st = MState::ReadHdrB;
                 StepOutcome::Running
             }
@@ -451,6 +457,9 @@ impl WarpProgram for MultiWorker {
                 w.set_phase(Phase::Validation.id());
                 // Acquire: pairs with the inserter's next_local release.
                 let tail = w.shared_read1_ord(0, self.atr.next_local_addr(), MemOrder::Acquire);
+                self.metrics
+                    .atr_occupancy
+                    .push(w.now(), tail.min(self.atr.capacity()));
                 self.st = self.start_walk(tail);
                 StepOutcome::Running
             }
@@ -470,6 +479,7 @@ impl WarpProgram for MultiWorker {
                     // before the snapshot (window abort).
                     if n == 0 && hi > 0 {
                         self.txs[txi].valid = false;
+                        self.txs[txi].reason = AbortReason::AtrWindowOverflow;
                     }
                     self.st = self.after_walk(txi, tail);
                     return StepOutcome::Running;
@@ -512,6 +522,7 @@ impl WarpProgram for MultiWorker {
                 if recycled {
                     // Needed history fell out of the ring.
                     self.txs[txi].valid = false;
+                    self.txs[txi].reason = AbortReason::AtrWindowOverflow;
                     self.st = self.after_walk(txi, tail);
                     return StepOutcome::Running;
                 }
@@ -571,6 +582,7 @@ impl WarpProgram for MultiWorker {
                 let done_walking = conflict || relevant.len() < n as usize; // hit cts ≤ snapshot
                 if conflict {
                     self.txs[txi].valid = false;
+                    self.txs[txi].reason = AbortReason::ReadValidation;
                 }
                 self.st = if done_walking {
                     self.after_walk(txi, tail)
@@ -741,9 +753,9 @@ impl WarpProgram for MultiWorker {
                 let mut outcomes = [OUTCOME_NONE; WARP_LANES];
                 for tx in &self.txs {
                     outcomes[tx.lane] = if tx.valid {
-                        OUTCOME_COMMIT_BASE + tx.cts
+                        pack_commit(tx.cts)
                     } else {
-                        OUTCOME_ABORT
+                        pack_abort(tx.reason)
                     };
                 }
                 let proto = &self.proto;
@@ -832,6 +844,8 @@ pub struct MultiClient<S: TxSource> {
     lane_cts: [u64; WARP_LANES],
     lane_published: [bool; WARP_LANES],
     lane_head: [u64; WARP_LANES],
+    /// Cycle at which the current GTS-publication episode began.
+    gts_wait_start: Option<u64>,
 }
 
 impl<S: TxSource> MultiClient<S> {
@@ -863,6 +877,7 @@ impl<S: TxSource> MultiClient<S> {
             lane_cts: [0; WARP_LANES],
             lane_published: [false; WARP_LANES],
             lane_head: [0; WARP_LANES],
+            gts_wait_start: None,
         }
     }
 
@@ -977,7 +992,8 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         continue;
                     }
                     if l.overflowed() {
-                        self.exec.abort_lane(lane, now);
+                        self.exec
+                            .abort_lane(lane, now, AbortReason::VersionOverflow);
                         settled += 1;
                     } else if l.body_done() && l.is_rot() {
                         let snapshot = l.snapshot;
@@ -1021,7 +1037,7 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 let now = w.now();
                 for j in 0..WARP_LANES {
                     if losers & (1 << j) != 0 {
-                        self.exec.abort_lane(j, now);
+                        self.exec.abort_lane(j, now, AbortReason::PreValidationKill);
                     }
                 }
                 self.phase = match self.next_broadcaster(lane + 1) {
@@ -1103,10 +1119,10 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     let outcomes = w.global_read(full_mask(), |l| proto.outcome_addr(slot, l));
                     let now = w.now();
                     for (lane, &outcome) in outcomes.iter().enumerate() {
-                        match outcome {
-                            OUTCOME_NONE => {}
-                            OUTCOME_ABORT => self.exec.abort_lane(lane, now),
-                            word => self.lane_cts[lane] = word - OUTCOME_COMMIT_BASE,
+                        match unpack_outcome(outcome) {
+                            Outcome::None => {}
+                            Outcome::Abort(reason) => self.exec.abort_lane(lane, now, reason),
+                            Outcome::Commit(cts) => self.lane_cts[lane] = cts,
                         }
                     }
                     self.phase = McPhase::Outcomes { k, cleared: true };
@@ -1197,6 +1213,9 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
             }
             McPhase::GtsPublish => {
                 w.set_phase(Phase::WaitGts.id());
+                if self.gts_wait_start.is_none() {
+                    self.gts_wait_start = Some(w.now());
+                }
                 // Progressive publication: timestamps may be non-consecutive
                 // across servers, so publish each run of consecutive cts as
                 // its turn comes.
@@ -1223,6 +1242,12 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 if pending {
                     w.poll_wait();
                 } else {
+                    let now = w.now();
+                    let started = self.gts_wait_start.take().unwrap_or(now);
+                    self.exec
+                        .metrics
+                        .gts_stall
+                        .push(now, now.saturating_sub(started));
                     self.phase = McPhase::FinishRound;
                 }
                 StepOutcome::Running
@@ -1358,6 +1383,10 @@ where
     };
     for id in server_ids {
         result.server_breakdown.add_warp(dev.warp_stats(id));
+        // Receivers stay in place; only MultiWorker programs carry metrics.
+        if let Ok(worker) = dev.take_program(id).downcast::<MultiWorker>() {
+            result.metrics.merge(&worker.metrics);
+        }
     }
     for id in client_ids {
         result.client_breakdown.add_warp(dev.warp_stats(id));
@@ -1366,6 +1395,7 @@ where
             .downcast::<MultiClient<S>>()
             .expect("client program type");
         result.stats.merge(&client.exec.stats());
+        result.metrics.merge(&client.exec.metrics);
         result.records.append(&mut client.exec.take_records());
     }
     result

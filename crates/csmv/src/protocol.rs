@@ -20,20 +20,58 @@
 //!   hdr_a = committing << 32 | snapshot
 //!   hdr_b = rs_len    << 32 | ws_len
 //! response: [outcome × 32]
-//!   outcome = 0 (not committing) | 1 (abort) | 2 + cts (commit)
+//!   outcome = 0 (not committing)
+//!           | 1 + reason (abort; reason = stm_core::AbortReason id)
+//!           | OUTCOME_COMMIT_BASE + cts (commit)
 //! ```
 
 use gpu_sim::channel::Mailboxes;
 use gpu_sim::mem::GlobalMemory;
 use gpu_sim::WARP_LANES;
-use stm_core::SetArea;
+use stm_core::{AbortReason, SetArea};
 
 /// Response word: lane was not part of the batch.
 pub const OUTCOME_NONE: u64 = 0;
-/// Response word: transaction failed validation.
-pub const OUTCOME_ABORT: u64 = 1;
+/// Response word bias for aborts: `word = OUTCOME_ABORT_BASE + reason id`,
+/// so the client learns *why* the server refused the transaction.
+pub const OUTCOME_ABORT_BASE: u64 = 1;
 /// Response word bias for commits: `word = OUTCOME_COMMIT_BASE + cts`.
-pub const OUTCOME_COMMIT_BASE: u64 = 2;
+/// Everything in `(OUTCOME_NONE, OUTCOME_COMMIT_BASE)` is an abort code.
+pub const OUTCOME_COMMIT_BASE: u64 = 8;
+
+/// A decoded response word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Lane was not part of the batch.
+    None,
+    /// Validation refused the transaction for the given reason.
+    Abort(AbortReason),
+    /// Transaction committed with this timestamp.
+    Commit(u64),
+}
+
+/// Encode an abort response carrying its reason.
+pub fn pack_abort(reason: AbortReason) -> u64 {
+    OUTCOME_ABORT_BASE + reason.id() as u64
+}
+
+/// Encode a commit response carrying its timestamp.
+pub fn pack_commit(cts: u64) -> u64 {
+    OUTCOME_COMMIT_BASE + cts
+}
+
+/// Decode a response word.
+pub fn unpack_outcome(word: u64) -> Outcome {
+    if word == OUTCOME_NONE {
+        Outcome::None
+    } else if word >= OUTCOME_COMMIT_BASE {
+        Outcome::Commit(word - OUTCOME_COMMIT_BASE)
+    } else {
+        let reason = AbortReason::from_id((word - OUTCOME_ABORT_BASE) as u8)
+            .expect("abort outcome with unknown reason code");
+        Outcome::Abort(reason)
+    }
+}
 
 /// Payload geometry for one launch.
 #[derive(Debug, Clone)]
@@ -214,6 +252,27 @@ mod tests {
         assert_eq!(CommitProtocol::unpack_hdr_a(a), (false, 0));
         let b = CommitProtocol::pack_hdr_b(17, 3);
         assert_eq!(CommitProtocol::unpack_hdr_b(b), (17, 3));
+    }
+
+    #[test]
+    fn outcome_codec_roundtrips() {
+        assert_eq!(unpack_outcome(OUTCOME_NONE), Outcome::None);
+        for reason in AbortReason::ALL {
+            let word = pack_abort(reason);
+            assert!(word > OUTCOME_NONE && word < OUTCOME_COMMIT_BASE);
+            assert_eq!(unpack_outcome(word), Outcome::Abort(reason));
+        }
+        for cts in [0, 1, 12345] {
+            assert_eq!(unpack_outcome(pack_commit(cts)), Outcome::Commit(cts));
+        }
+    }
+
+    #[test]
+    fn abort_codes_fit_below_commit_base() {
+        // Every abort reason must encode strictly below the commit bias, or
+        // an abort would be misread as a commit with a small cts.
+        let top = OUTCOME_ABORT_BASE + AbortReason::ALL.len() as u64 - 1;
+        assert!(top < OUTCOME_COMMIT_BASE);
     }
 
     #[test]

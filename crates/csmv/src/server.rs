@@ -14,10 +14,10 @@ use gpu_sim::{
     full_mask, single_lane, Mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES,
 };
 use stm_core::mv_exec::unpack_ws_entry;
-use stm_core::{Phase, VBoxHeap};
+use stm_core::{AbortReason, MetricsReport, Phase, VBoxHeap};
 
 use crate::atr::SharedAtr;
-use crate::protocol::{CommitProtocol, OUTCOME_ABORT, OUTCOME_COMMIT_BASE, OUTCOME_NONE};
+use crate::protocol::{pack_abort, pack_commit, CommitProtocol, OUTCOME_NONE};
 use crate::variant::CsmvVariant;
 
 /// Shared-memory control block of the server SM: the dispatch queue plus the
@@ -36,10 +36,19 @@ impl ServerControl {
     /// sized to the client count (each client has at most one outstanding
     /// request, so it can never overflow).
     pub fn alloc(dev: &mut gpu_sim::Device, sm: usize, num_clients: usize) -> Self {
+        Self::alloc_with_queue(dev, sm, num_clients.max(1))
+    }
+
+    /// Allocate the control block with an explicit dispatch-queue capacity.
+    /// A capacity below the client count makes queue-full rejections
+    /// reachable (the receiver then refuses overflowing batches with
+    /// [`stm_core::AbortReason::ServerQueueFull`]).
+    pub fn alloc_with_queue(dev: &mut gpu_sim::Device, sm: usize, q_cap: usize) -> Self {
+        assert!(q_cap >= 1);
         let q_head = dev.alloc_shared(sm, 1);
         let q_tail = dev.alloc_shared(sm, 1);
         let shutdown = dev.alloc_shared(sm, 1);
-        let q_cap = num_clients.max(1) as u64;
+        let q_cap = q_cap as u64;
         let q_base = dev.alloc_shared(sm, q_cap as usize);
         Self {
             q_head,
@@ -48,6 +57,11 @@ impl ServerControl {
             q_cap,
             shutdown,
         }
+    }
+
+    /// Dispatch-queue capacity in entries.
+    pub(crate) fn q_capacity(&self) -> u64 {
+        self.q_cap
     }
 
     /// Address of the queue-head word.
@@ -95,6 +109,25 @@ pub struct ReceiverWarp {
 enum RState {
     Poll,
     Claim(Vec<usize>),
+    /// Read the queue head to learn how much space is left.
+    ReadHead(Vec<usize>),
+    /// Queue full: read the overflowing slot's headers to learn which lanes
+    /// were committing (they get the queue-full abort, the rest get NONE).
+    RejectHdr {
+        fits: Vec<usize>,
+        rejected: Vec<usize>,
+    },
+    /// Write the queue-full abort outcomes for the first rejected slot.
+    RejectOutcomes {
+        fits: Vec<usize>,
+        rejected: Vec<usize>,
+        committing: Mask,
+    },
+    /// Flip the rejected slot's status to RESPONSE and move on.
+    RejectStatus {
+        fits: Vec<usize>,
+        rejected: Vec<usize>,
+    },
     Push(Vec<usize>),
     PushTail(u64),
     CheckDone,
@@ -188,7 +221,79 @@ impl WarpProgram for ReceiverWarp {
                     |_| STATUS_CLAIMED,
                     MemOrder::Release,
                 );
-                self.st = RState::Push(slots);
+                self.st = RState::ReadHead(slots);
+                StepOutcome::Running
+            }
+            RState::ReadHead(slots) => {
+                // Acquire: pairs with the workers' head-CAS releases; the
+                // receiver is the only producer, so `tail` is its own copy.
+                let head = w.shared_read1_ord(0, self.ctl.q_head_addr(), MemOrder::Acquire);
+                let used = self.tail - head;
+                let free = (self.ctl.q_capacity() - used) as usize;
+                if slots.len() <= free {
+                    self.st = RState::Push(slots);
+                } else {
+                    let mut fits = slots;
+                    let rejected = fits.split_off(free);
+                    self.st = RState::RejectHdr { fits, rejected };
+                }
+                StepOutcome::Running
+            }
+            RState::RejectHdr { fits, rejected } => {
+                let slot = rejected[0];
+                let proto = &self.proto;
+                let hdrs = w.global_read(full_mask(), |l| proto.hdr_a_addr(slot, l));
+                let mut committing: Mask = 0;
+                for (l, &h) in hdrs.iter().enumerate() {
+                    if CommitProtocol::unpack_hdr_a(h).0 {
+                        committing |= 1 << l;
+                    }
+                }
+                self.st = RState::RejectOutcomes {
+                    fits,
+                    rejected,
+                    committing,
+                };
+                StepOutcome::Running
+            }
+            RState::RejectOutcomes {
+                fits,
+                rejected,
+                committing,
+            } => {
+                let slot = rejected[0];
+                let proto = &self.proto;
+                let word = pack_abort(AbortReason::ServerQueueFull);
+                w.global_write(
+                    full_mask(),
+                    |l| proto.outcome_addr(slot, l),
+                    |l| {
+                        if committing & (1 << l) != 0 {
+                            word
+                        } else {
+                            OUTCOME_NONE
+                        }
+                    },
+                );
+                self.st = RState::RejectStatus { fits, rejected };
+                StepOutcome::Running
+            }
+            RState::RejectStatus { fits, mut rejected } => {
+                let slot = rejected.remove(0);
+                // Release: publishes the queue-full outcomes to the client.
+                w.global_write1_ord(
+                    0,
+                    self.proto.mailboxes().status_addr(slot),
+                    STATUS_RESPONSE,
+                    MemOrder::Release,
+                );
+                self.st = if !rejected.is_empty() {
+                    RState::RejectHdr { fits, rejected }
+                } else if !fits.is_empty() {
+                    RState::Push(fits)
+                } else {
+                    RState::Poll
+                };
                 StepOutcome::Running
             }
             RState::Push(slots) => {
@@ -257,6 +362,8 @@ struct TxD {
     ws_pairs: Vec<(u64, u64)>,
     /// Still passing validation.
     valid: bool,
+    /// Why validation refused the transaction (meaningful when `!valid`).
+    reason: AbortReason,
     /// Commit timestamps `(snapshot, validated_to]` have been checked.
     validated_to: u64,
     /// Assigned commit timestamp (0 until reserved).
@@ -372,6 +479,8 @@ pub struct WorkerWarp {
     slot: usize,
     txs: Vec<TxD>,
     st: WState,
+    /// Server-side observability: batch sizes and ATR occupancy samples.
+    pub metrics: MetricsReport,
 }
 
 impl WorkerWarp {
@@ -394,6 +503,7 @@ impl WorkerWarp {
             slot: 0,
             txs: Vec::new(),
             st: WState::Pop,
+            metrics: MetricsReport::default(),
         }
     }
 
@@ -499,6 +609,7 @@ impl WorkerWarp {
         for tx in self.txs.iter_mut() {
             if tx.valid && !self.atr.snapshot_in_window(tx.snapshot, target) {
                 tx.valid = false; // spurious (capacity) abort
+                tx.reason = AbortReason::AtrWindowOverflow;
             }
         }
         match self.variant {
@@ -613,11 +724,13 @@ impl WarpProgram for WorkerWarp {
                             rs_items: Vec::new(),
                             ws_pairs: Vec::new(),
                             valid: true,
+                            reason: AbortReason::ReadValidation,
                             validated_to: snapshot,
                             cts: 0,
                         });
                     }
                 }
+                self.metrics.batch_sizes.record(self.txs.len() as u64);
                 self.st = WState::ReadHdrB;
                 StepOutcome::Running
             }
@@ -721,6 +834,9 @@ impl WarpProgram for WorkerWarp {
                 // Acquire: the reservation CAS on next_cts orders access to
                 // the ATR entries below the target.
                 let target = w.shared_read1_ord(0, self.atr.next_cts_addr(), MemOrder::Acquire);
+                self.metrics
+                    .atr_occupancy
+                    .push(w.now(), self.atr.occupancy(target));
                 self.st = if self.variant == CsmvVariant::OnlyCs {
                     match self.next_valid(0) {
                         Some(txi) => {
@@ -745,6 +861,7 @@ impl WarpProgram for WorkerWarp {
                         // Spurious (capacity) abort, as §V's discussion of the
                         // bounded shared-memory ATR anticipates.
                         self.txs[txi].valid = false;
+                        self.txs[txi].reason = AbortReason::AtrWindowOverflow;
                         self.st = match self.next_valid(txi + 1) {
                             Some(next) => {
                                 let nlo = self.txs[next].validated_to + 1;
@@ -765,6 +882,7 @@ impl WarpProgram for WorkerWarp {
                         let conflict = Self::tx_conflicts_with_chunk(w, &self.txs[txi], &chunk, 32);
                         if conflict {
                             self.txs[txi].valid = false;
+                            self.txs[txi].reason = AbortReason::ReadValidation;
                             self.st = match self.next_valid(txi + 1) {
                                 Some(next) => {
                                     let nlo = self.txs[next].validated_to + 1;
@@ -830,6 +948,7 @@ impl WarpProgram for WorkerWarp {
                     if tags[j] > ctss[j] {
                         // Entry recycled: spurious abort for this lane's tx.
                         self.txs[j].valid = false;
+                        self.txs[j].reason = AbortReason::AtrWindowOverflow;
                         mask &= !(1 << j);
                     } else if tags[j] < ctss[j] {
                         in_flight = true;
@@ -883,6 +1002,7 @@ impl WarpProgram for WorkerWarp {
                     if mask & (1 << j) != 0 {
                         if conflict[j] {
                             tx.valid = false;
+                            tx.reason = AbortReason::ReadValidation;
                         } else {
                             tx.validated_to = ctss[j];
                         }
@@ -1001,6 +1121,7 @@ impl WarpProgram for WorkerWarp {
                 w.set_phase(Phase::Validation.id());
                 if !self.atr.snapshot_in_window(self.txs[txi].snapshot, target) {
                     self.txs[txi].valid = false;
+                    self.txs[txi].reason = AbortReason::AtrWindowOverflow;
                     self.st = self.sc_next(txi, target);
                     return StepOutcome::Running;
                 }
@@ -1016,6 +1137,7 @@ impl WarpProgram for WorkerWarp {
                 if tag > lo {
                     // Entry recycled mid-validation: spurious abort.
                     self.txs[txi].valid = false;
+                    self.txs[txi].reason = AbortReason::AtrWindowOverflow;
                     self.st = self.sc_next(txi, target);
                     return StepOutcome::Running;
                 }
@@ -1038,6 +1160,7 @@ impl WarpProgram for WorkerWarp {
                 );
                 if conflict {
                     self.txs[txi].valid = false;
+                    self.txs[txi].reason = AbortReason::ReadValidation;
                     self.st = self.sc_next(txi, target);
                 } else {
                     self.txs[txi].validated_to = lo;
@@ -1183,9 +1306,9 @@ impl WarpProgram for WorkerWarp {
                 let mut outcomes = [OUTCOME_NONE; WARP_LANES];
                 for tx in &self.txs {
                     outcomes[tx.lane] = if tx.valid {
-                        OUTCOME_COMMIT_BASE + tx.cts
+                        pack_commit(tx.cts)
                     } else {
-                        OUTCOME_ABORT
+                        pack_abort(tx.reason)
                     };
                 }
                 let proto = &self.proto;

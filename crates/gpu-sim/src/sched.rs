@@ -248,6 +248,16 @@ impl Device {
         &self.warps[id].stats
     }
 
+    /// Device-wide cycle counters: every warp's stats merged into one
+    /// (observability harvests read protocol-stall totals from here).
+    pub fn aggregate_stats(&self) -> WarpStats {
+        let mut agg = WarpStats::default();
+        for w in &self.warps {
+            agg.merge(&w.stats);
+        }
+        agg
+    }
+
     /// Whether a warp has retired.
     pub fn warp_done(&self, id: WarpId) -> bool {
         self.warps[id].done
@@ -383,18 +393,25 @@ mod tests {
 
     /// A program that waits for a flag another warp sets.
     struct Setter {
-        fired: bool,
+        step: u8,
     }
     impl WarpProgram for Setter {
         fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
-            if self.fired {
-                return StepOutcome::Done;
+            match self.step {
+                0 => {
+                    // Burn some time first — in its own step, so the waiter
+                    // observes the unset flag and really has to poll.
+                    w.alu(full_mask(), 5000);
+                    self.step = 1;
+                    StepOutcome::Running
+                }
+                1 => {
+                    w.global_write1(0, 0, 1);
+                    self.step = 2;
+                    StepOutcome::Running
+                }
+                _ => StepOutcome::Done,
             }
-            // Burn some time first so the waiter really has to poll.
-            w.alu(full_mask(), 5000);
-            w.global_write1(0, 0, 1);
-            self.fired = true;
-            StepOutcome::Running
         }
     }
     struct Waiter {
@@ -418,10 +435,20 @@ mod tests {
     fn polling_synchronization_works() {
         let mut dev = Device::new(GpuConfig::default());
         dev.alloc_global(1);
-        dev.spawn(0, Box::new(Setter { fired: false }));
+        dev.spawn(0, Box::new(Setter { step: 0 }));
         dev.spawn(1, Box::new(Waiter { seen: false }));
         dev.run_to_completion();
         assert_eq!(dev.global()[0], 1);
+        // The waiter's busy-wait time is visible as poll-stall, both on the
+        // warp itself and in the device-wide aggregate.
+        assert!(dev.warp_stats(1).poll_stall_cycles > 0);
+        assert_eq!(dev.warp_stats(0).poll_stall_cycles, 0);
+        let agg = dev.aggregate_stats();
+        assert_eq!(agg.poll_stall_cycles, dev.warp_stats(1).poll_stall_cycles);
+        assert_eq!(
+            agg.total_cycles,
+            dev.warp_stats(0).total_cycles + dev.warp_stats(1).total_cycles
+        );
     }
 
     #[test]

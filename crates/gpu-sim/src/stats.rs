@@ -28,6 +28,10 @@ pub struct WarpStats {
     pub instructions: u64,
     /// Cycles spent stalled behind contended atomics.
     pub atomic_stall_cycles: u64,
+    /// Cycles spent busy-waiting in [`crate::WarpCtx::poll_wait`] — protocol
+    /// wait time (mailbox polling, GTS turn-taking, lock backoff) as opposed
+    /// to productive execution.
+    pub poll_stall_cycles: u64,
 }
 
 impl Default for WarpStats {
@@ -39,6 +43,7 @@ impl Default for WarpStats {
             total_cycles: 0,
             instructions: 0,
             atomic_stall_cycles: 0,
+            poll_stall_cycles: 0,
         }
     }
 }
@@ -86,6 +91,7 @@ impl WarpStats {
         self.total_cycles += other.total_cycles;
         self.instructions += other.instructions;
         self.atomic_stall_cycles += other.atomic_stall_cycles;
+        self.poll_stall_cycles += other.poll_stall_cycles;
     }
 
     /// Cycles charged to one phase.
@@ -110,11 +116,13 @@ mod tests {
         b.divergence_cycles = 2;
         b.total_cycles = 50;
         b.instructions = 4;
+        b.poll_stall_cycles = 9;
         a.merge(&b);
         assert_eq!(a.phase(1), 15);
         assert_eq!(a.phase(2), 7);
         assert_eq!(a.divergence_cycles, 5);
         assert_eq!(a.total_cycles, 150);
         assert_eq!(a.instructions, 4);
+        assert_eq!(a.poll_stall_cycles, 9);
     }
 }

@@ -115,6 +115,7 @@ impl<'a> WarpCtx<'a> {
 
     /// Busy-wait one polling interval (flag not yet set).
     pub fn poll_wait(&mut self) {
+        self.stats.poll_stall_cycles += self.cost.poll_interval;
         self.charge(self.cost.poll_interval, self.participating);
     }
 

@@ -5,7 +5,7 @@
 
 use gpu_sim::{single_lane, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
 use stm_core::mv_exec::{MvExec, MvExecConfig, PlainSetArea};
-use stm_core::{Phase, TxSource, VBoxHeap};
+use stm_core::{AbortReason, Phase, TxSource, VBoxHeap};
 
 use crate::atr::GlobalAtr;
 
@@ -189,7 +189,8 @@ impl<S: TxSource> JvstmGpuClient<S> {
                             MemOrder::Release,
                         );
                     }
-                    self.exec.abort_lane(lane, w.now());
+                    self.exec
+                        .abort_lane(lane, w.now(), AbortReason::ReadValidation);
                     return self.after_lane(lane);
                 }
                 let new_idx = idx + batch as u64;
@@ -368,6 +369,8 @@ impl<S: TxSource> JvstmGpuClient<S> {
                 w.set_phase(Phase::RecordInsert.id());
                 // Release: publishes the inserted entry to validators.
                 w.global_write1_ord(lane, self.atr.next_addr(), cur + 1, MemOrder::Release);
+                // The global ATR is append-only: `next` IS its occupancy.
+                self.exec.metrics.atr_occupancy.push(w.now(), cur + 1);
                 CPhase::Commit {
                     lane,
                     st: LaneCommit::Unlock { cur },
@@ -421,7 +424,8 @@ impl<S: TxSource + 'static> WarpProgram for JvstmGpuClient<S> {
                         continue;
                     }
                     if l.overflowed() {
-                        self.exec.abort_lane(lane, now);
+                        self.exec
+                            .abort_lane(lane, now, AbortReason::VersionOverflow);
                         settled += 1;
                     } else if l.body_done() && l.is_rot() {
                         let snapshot = l.snapshot;
@@ -520,6 +524,16 @@ mod tests {
             .map(|(_, v)| v)
             .unwrap();
         assert_eq!(max_write, n);
+        // Conflicts on item 0 are discovered by per-lane ATR validation.
+        assert_eq!(res.metrics.aborts.total(), res.stats.aborts());
+        assert!(
+            res.metrics.aborts.count(AbortReason::ReadValidation) > 0,
+            "contended increments must abort on validation: {:?}",
+            res.metrics.aborts
+        );
+        // The append-only ATR's occupancy was sampled at each publication.
+        assert_eq!(res.metrics.atr_occupancy.len(), n);
+        assert_eq!(res.metrics.atr_occupancy.max(), n);
     }
 
     /// With a single version per box, concurrent committers overwrite the
@@ -542,5 +556,10 @@ mod tests {
         assert_eq!(res.stats.update_commits, n);
         check_history(&res.records, &std::collections::HashMap::new(), true)
             .expect("opaque history");
+        assert!(
+            res.metrics.aborts.count(AbortReason::VersionOverflow) > 0,
+            "snapshot-too-old aborts must be classified: {:?}",
+            res.metrics.aborts
+        );
     }
 }

@@ -142,6 +142,7 @@ where
             .downcast::<JvstmGpuClient<S>>()
             .expect("client program type");
         result.stats.merge(&client.exec.stats());
+        result.metrics.merge(&client.exec.metrics);
         result.records.append(&mut client.exec.take_records());
     }
     result

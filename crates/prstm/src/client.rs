@@ -15,7 +15,7 @@ use gpu_sim::{
 use stm_core::history::TxRecord;
 use stm_core::mv_exec::{pack_ws_entry, PlainSetArea, SetArea};
 use stm_core::stats::CommitStats;
-use stm_core::{Phase, TxLogic, TxOp, TxSource};
+use stm_core::{AbortReason, MetricsReport, Phase, TxLogic, TxOp, TxSource};
 
 use crate::lock::{self, LockTable};
 use crate::log::LockLog;
@@ -126,6 +126,8 @@ struct Lane<S: TxSource> {
     stats: CommitStats,
     records: Vec<TxRecord>,
     retry_pending: bool,
+    /// Why the in-flight abort was started (consumed at `finish_abort`).
+    pending_reason: AbortReason,
 }
 
 impl<S: TxSource> Lane<S> {
@@ -190,6 +192,8 @@ pub struct PrstmClient<S: TxSource> {
     record_history: bool,
     phase: WPhase,
     warp_index: u64,
+    /// Warp-level observability (public for result harvesting).
+    pub metrics: MetricsReport,
 }
 
 impl<S: TxSource> PrstmClient<S> {
@@ -226,6 +230,7 @@ impl<S: TxSource> PrstmClient<S> {
                 stats: CommitStats::default(),
                 records: Vec::new(),
                 retry_pending: false,
+                pending_reason: AbortReason::ReadValidation,
             })
             .collect();
         Self {
@@ -236,6 +241,7 @@ impl<S: TxSource> PrstmClient<S> {
             record_history,
             phase: WPhase::Begin,
             warp_index,
+            metrics: MetricsReport::default(),
         }
     }
 
@@ -295,9 +301,10 @@ impl<S: TxSource> PrstmClient<S> {
         ok
     }
 
-    /// Transition a lane into the abort/release path.
-    fn start_abort(&mut self, lane: usize) {
+    /// Transition a lane into the abort/release path, noting why.
+    fn start_abort(&mut self, lane: usize, reason: AbortReason) {
         let l = &mut self.lanes[lane];
+        l.pending_reason = reason;
         l.micro = if l.held.is_empty() {
             Micro::Aborted
         } else {
@@ -388,7 +395,7 @@ impl<S: TxSource> PrstmClient<S> {
                     // locks — under SIMT lockstep a same/cross-warp wait
                     // cycle would deadlock the warps — they abort and rely
                     // on strength aging for progress.
-                    self.start_abort(i);
+                    self.start_abort(i, AbortReason::WriteWrite);
                 }
             }
             return false;
@@ -487,7 +494,7 @@ impl<S: TxSource> PrstmClient<S> {
                 if self.revalidate(w, i, m) {
                     self.lanes[i].micro = Micro::NeedNext(Some(value));
                 } else {
-                    self.start_abort(i);
+                    self.start_abort(i, AbortReason::ReadValidation);
                 }
             }
             return false;
@@ -532,7 +539,7 @@ impl<S: TxSource> PrstmClient<S> {
                     // Sealed: the owner is committing; wait it out.
                     self.lanes[i].micro = Micro::WLock { item, value };
                 } else {
-                    self.start_abort(i);
+                    self.start_abort(i, AbortReason::WriteWrite);
                 }
             }
             return false;
@@ -696,14 +703,17 @@ impl<S: TxSource> PrstmClient<S> {
     }
 
     /// Abort bookkeeping for a lane (strength aging + retry arming).
-    fn finish_abort(&mut self, lane: usize, now: u64) {
+    fn finish_abort(&mut self, lane: usize, now: u64, reason: AbortReason) {
         let l = &mut self.lanes[lane];
-        l.stats.wasted_cycles += now.saturating_sub(l.attempt_start);
+        let wasted = now.saturating_sub(l.attempt_start);
+        l.stats.wasted_cycles += wasted;
         if l.is_rot() {
             l.stats.rot_aborts += 1;
         } else {
             l.stats.update_aborts += 1;
         }
+        self.metrics.record_abort(reason, wasted);
+        let l = &mut self.lanes[lane];
         l.strength += 1;
         // Asymmetric restart delay: distinct thread ids give distinct
         // delays, so symmetric conflict patterns cannot replay identically.
@@ -717,7 +727,10 @@ impl<S: TxSource> PrstmClient<S> {
     fn finish_commit(&mut self, lane: usize, now: u64, cts: Option<u64>, read_point: u64) {
         let record = self.record_history;
         let l = &mut self.lanes[lane];
-        l.stats.useful_cycles += now.saturating_sub(l.attempt_start);
+        let useful = now.saturating_sub(l.attempt_start);
+        l.stats.useful_cycles += useful;
+        self.metrics.record_commit(useful);
+        let l = &mut self.lanes[lane];
         if l.is_rot() {
             l.stats.rot_commits += 1;
         } else {
@@ -783,7 +796,7 @@ impl<S: TxSource + 'static> WarpProgram for PrstmClient<S> {
                     } else {
                         // Stolen before we could seal: abort.
                         self.lanes[i].commit = LaneCommit::None;
-                        self.start_abort(i);
+                        self.start_abort(i, AbortReason::WriteWrite);
                     }
                 }
                 if any {
@@ -828,14 +841,14 @@ impl<S: TxSource + 'static> WarpProgram for PrstmClient<S> {
                         if ok {
                             self.finish_commit(i, now, None, stamp);
                         } else {
-                            self.finish_abort(i, now);
+                            self.finish_abort(i, now, AbortReason::ReadValidation);
                         }
                     } else if ok {
                         self.lanes[i].cts = stamp;
                         self.lanes[i].commit = LaneCommit::Writing;
                     } else {
                         self.lanes[i].commit = LaneCommit::None;
-                        self.start_abort(i);
+                        self.start_abort(i, AbortReason::ReadValidation);
                     }
                 }
                 self.phase = WPhase::CommitWrite { widx: 0 };
@@ -937,7 +950,8 @@ impl<S: TxSource + 'static> WarpProgram for PrstmClient<S> {
                         }
                         _ => {
                             if matches!(self.lanes[i].micro, Micro::Aborted) {
-                                self.finish_abort(i, now);
+                                let reason = self.lanes[i].pending_reason;
+                                self.finish_abort(i, now, reason);
                             }
                         }
                     }

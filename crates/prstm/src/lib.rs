@@ -136,9 +136,80 @@ where
             .downcast::<PrstmClient<S>>()
             .expect("client program type");
         result.stats.merge(&client.stats());
+        result.metrics.merge(&client.metrics);
         result.records.append(&mut client.take_records());
     }
     result
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use stm_core::{AbortReason, TxLogic, TxOp, TxSource};
+
+    /// Increment item 0 once (maximal write-write contention).
+    #[derive(Clone)]
+    struct Incr {
+        step: u8,
+    }
+    impl TxLogic for Incr {
+        fn is_read_only(&self) -> bool {
+            false
+        }
+        fn reset(&mut self) {
+            self.step = 0;
+        }
+        fn next(&mut self, last: Option<u64>) -> TxOp {
+            match self.step {
+                0 => {
+                    self.step = 1;
+                    TxOp::Read { item: 0 }
+                }
+                1 => {
+                    self.step = 2;
+                    TxOp::Write {
+                        item: 0,
+                        value: last.unwrap() + 1,
+                    }
+                }
+                _ => TxOp::Finish,
+            }
+        }
+    }
+    struct Once(Option<Incr>);
+    impl TxSource for Once {
+        type Tx = Incr;
+        fn next_tx(&mut self) -> Option<Incr> {
+            self.0.take()
+        }
+    }
+
+    #[test]
+    fn contended_aborts_carry_write_write_reasons() {
+        let gpu = gpu_sim::GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        let cfg = PrstmConfig {
+            gpu,
+            ..Default::default()
+        };
+        let res = run(&cfg, |_| Once(Some(Incr { step: 0 })), 4, |_| 0);
+        let n = cfg.num_threads() as u64;
+        assert_eq!(res.stats.update_commits, n);
+        // Metrics agree with the counters: every abort is classified and
+        // latency-sampled, every commit latency-sampled.
+        assert_eq!(res.metrics.aborts.total(), res.stats.aborts());
+        assert_eq!(res.metrics.abort_latency.count(), res.stats.aborts());
+        assert_eq!(res.metrics.commit_latency.count(), res.stats.commits());
+        // All lanes fight over item 0's lock: encounter-time locking makes
+        // write-write the dominant (and certainly a present) reason.
+        assert!(
+            res.metrics.aborts.count(AbortReason::WriteWrite) > 0,
+            "lock-busy aborts must be classified: {:?}",
+            res.metrics.aborts
+        );
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 
 pub mod history;
 pub mod logic;
+pub mod metrics;
 pub mod mv_exec;
 pub mod phase;
 pub mod result;
@@ -27,6 +28,7 @@ pub mod vbox;
 
 pub use history::{check_history, HistoryError, TxRecord};
 pub use logic::{TxLogic, TxOp, TxSource};
+pub use metrics::{AbortCounts, AbortReason, Histogram, MetricsReport, Sample, Series};
 pub use mv_exec::{MvExec, MvExecConfig, PlainSetArea, SetArea};
 pub use phase::Phase;
 pub use result::RunResult;

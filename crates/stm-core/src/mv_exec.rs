@@ -24,6 +24,7 @@ use gpu_sim::{Mask, MemOrder, WarpCtx, WARP_LANES};
 
 use crate::history::TxRecord;
 use crate::logic::{TxLogic, TxOp, TxSource};
+use crate::metrics::{AbortReason, MetricsReport};
 use crate::phase::Phase;
 use crate::stats::CommitStats;
 use crate::vbox::{unpack_version, VBoxHeap, EMPTY_TS};
@@ -219,6 +220,9 @@ pub struct MvExec<S: TxSource> {
     /// The lanes (fixed 32; lanes beyond the spawned thread count are Idle
     /// with empty sources).
     pub lanes: Vec<Lane<S>>,
+    /// Per-warp observability: abort reasons and commit/abort latencies are
+    /// recorded here; the owning kernel adds its protocol series on top.
+    pub metrics: MetricsReport,
     cfg: MvExecConfig,
 }
 
@@ -232,7 +236,11 @@ impl<S: TxSource> MvExec<S> {
             .enumerate()
             .map(|(i, s)| Lane::new(s, thread_base + i))
             .collect();
-        Self { lanes, cfg }
+        Self {
+            lanes,
+            metrics: MetricsReport::default(),
+            cfg,
+        }
     }
 
     /// Mask of lanes currently holding a transaction in any state.
@@ -509,8 +517,9 @@ impl<S: TxSource> MvExec<S> {
         m
     }
 
-    /// Record an abort of lane `lane` and arm it for retry.
-    pub fn abort_lane(&mut self, lane: usize, now: u64) {
+    /// Record an abort of lane `lane` (attributed to `reason`) and arm it
+    /// for retry.
+    pub fn abort_lane(&mut self, lane: usize, now: u64, reason: AbortReason) {
         let l = &mut self.lanes[lane];
         let wasted = now.saturating_sub(l.attempt_start);
         l.stats.wasted_cycles += wasted;
@@ -521,6 +530,7 @@ impl<S: TxSource> MvExec<S> {
         }
         l.retry_pending = true;
         l.micro = Micro::Idle;
+        self.metrics.record_abort(reason, wasted);
     }
 
     /// Record a commit of lane `lane`. `cts` is `Some` for update
@@ -547,6 +557,7 @@ impl<S: TxSource> MvExec<S> {
         l.logic = None;
         l.retry_pending = false;
         l.micro = Micro::Idle;
+        self.metrics.record_commit(useful);
     }
 
     /// Aggregate outcome counters over all lanes.
@@ -875,7 +886,7 @@ mod tests {
             rot: false,
         };
         let (_, mut prog) = run_round(vec![tx], 0, 2);
-        prog.exec.abort_lane(0, 1000);
+        prog.exec.abort_lane(0, 1000, AbortReason::ReadValidation);
         assert_eq!(prog.exec.lanes[0].stats.update_aborts, 1);
         assert!(prog.exec.lanes[0].retry_pending);
         assert!(!prog.exec.all_finished());
@@ -886,6 +897,13 @@ mod tests {
         assert_eq!(stats.update_commits, 1);
         assert_eq!(stats.update_aborts, 1);
         assert!(stats.wasted_cycles > 0);
+        // Metrics mirror the outcome counters with latencies attached.
+        assert_eq!(
+            prog.exec.metrics.aborts.count(AbortReason::ReadValidation),
+            1
+        );
+        assert_eq!(prog.exec.metrics.abort_latency.count(), 1);
+        assert_eq!(prog.exec.metrics.commit_latency.count(), 1);
         let records = prog.exec.take_records();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].cts, Some(1));

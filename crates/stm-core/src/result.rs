@@ -2,6 +2,7 @@
 //! oracles need.
 
 use crate::history::TxRecord;
+use crate::metrics::MetricsReport;
 use crate::stats::{CommitStats, TimeBreakdown};
 use gpu_sim::AnalysisReport;
 
@@ -20,6 +21,9 @@ pub struct RunResult {
     pub records: Vec<TxRecord>,
     /// Race/invariant findings, when the run enabled the analysis layer.
     pub analysis: Option<AnalysisReport>,
+    /// Structured observability: abort reasons, latency histograms and
+    /// protocol time series (empty for wall-clock-measured systems).
+    pub metrics: MetricsReport,
 }
 
 impl RunResult {

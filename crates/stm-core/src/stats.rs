@@ -86,6 +86,9 @@ pub struct TimeBreakdown {
     pub divergence_cycles: u64,
     /// Divergence attributed per phase.
     pub divergence: [u64; Phase::ALL.len()],
+    /// Busy-wait cycles (mailbox polling, GTS turn-taking, lock backoff),
+    /// summed over all phases.
+    pub poll_stall_cycles: u64,
 }
 
 impl TimeBreakdown {
@@ -96,6 +99,7 @@ impl TimeBreakdown {
             self.divergence[p.id() as usize] += stats.divergence_by_phase[p.id() as usize];
         }
         self.divergence_cycles += stats.divergence_cycles;
+        self.poll_stall_cycles += stats.poll_stall_cycles;
     }
 
     /// Cycles attributed to `phase`.
@@ -147,6 +151,7 @@ impl TimeBreakdown {
             *a += b;
         }
         self.divergence_cycles += other.divergence_cycles;
+        self.poll_stall_cycles += other.poll_stall_cycles;
     }
 }
 
@@ -212,12 +217,14 @@ mod tests {
         ws.cycles_by_phase[Phase::WriteBack.id() as usize] = 2;
         ws.divergence_cycles = 8;
         ws.divergence_by_phase[Phase::Validation.id() as usize] = 8;
+        ws.poll_stall_cycles = 3;
         let mut bd = TimeBreakdown::default();
         bd.add_warp(&ws);
         bd.add_warp(&ws);
         assert_eq!(bd.phase(Phase::Validation), 80);
         assert_eq!(bd.phase(Phase::WriteBack), 4);
         assert_eq!(bd.divergence_cycles, 16);
+        assert_eq!(bd.poll_stall_cycles, 6);
         assert_eq!(bd.commit_divergence(), 16);
         assert_eq!(bd.commit_total(), 80 + 4 + 16);
     }
