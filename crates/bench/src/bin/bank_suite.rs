@@ -5,7 +5,7 @@
 use bench::cli::BenchArgs;
 use bench::{
     bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, breakdown_cells, fmt_ms, fmt_tput,
-    print_table, Row,
+    print_table, run_cells, Cell, Row,
 };
 use csmv::CsmvVariant;
 
@@ -23,30 +23,41 @@ fn main() {
         jv: Row,
         cpu: Row,
     }
-    let mut pts = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &rot in rots {
-        eprintln!("[bank] %ROT = {rot}: CSMV");
-        let csmv_r = bank_csmv(&scale, rot, CsmvVariant::Full, scale.versions);
-        eprintln!("[bank] %ROT = {rot}: CSMV-NoCV");
-        let nocv = bank_csmv(&scale, rot, CsmvVariant::NoCv, scale.versions);
-        eprintln!("[bank] %ROT = {rot}: CSMV-onlyCS");
-        let onlycs = bank_csmv(&scale, rot, CsmvVariant::OnlyCs, scale.versions);
-        eprintln!("[bank] %ROT = {rot}: PR-STM");
-        let prstm_r = bank_prstm(&scale, rot);
-        eprintln!("[bank] %ROT = {rot}: JVSTM-GPU");
-        let jv = bank_jvstm_gpu(&scale, rot);
-        eprintln!("[bank] %ROT = {rot}: JVSTM (CPU)");
-        let cpu = bank_jvstm_cpu(&scale, rot);
-        pts.push(Point {
-            rot,
-            csmv: csmv_r,
-            nocv,
-            onlycs,
-            prstm: prstm_r,
-            jv,
-            cpu,
-        });
+        for variant in [CsmvVariant::Full, CsmvVariant::NoCv, CsmvVariant::OnlyCs] {
+            cells.push(Box::new(move || {
+                eprintln!("[bank] %ROT = {rot}: {}", variant.name());
+                bank_csmv(scale, rot, variant, scale.versions)
+            }));
+        }
+        cells.push(Box::new(move || {
+            eprintln!("[bank] %ROT = {rot}: PR-STM");
+            bank_prstm(scale, rot)
+        }));
+        cells.push(Box::new(move || {
+            eprintln!("[bank] %ROT = {rot}: JVSTM-GPU");
+            bank_jvstm_gpu(scale, rot)
+        }));
+        cells.push(Box::new(move || {
+            eprintln!("[bank] %ROT = {rot}: JVSTM (CPU)");
+            bank_jvstm_cpu(scale, rot)
+        }));
     }
+    let mut it = run_cells(args.threads, cells).into_iter();
+    let pts: Vec<Point> = rots
+        .iter()
+        .map(|&rot| Point {
+            rot,
+            csmv: it.next().unwrap(),
+            nocv: it.next().unwrap(),
+            onlycs: it.next().unwrap(),
+            prstm: it.next().unwrap(),
+            jv: it.next().unwrap(),
+            cpu: it.next().unwrap(),
+        })
+        .collect();
 
     // ---- Fig. 2a -----------------------------------------------------------
     let rows: Vec<Vec<String>> = pts

@@ -7,12 +7,19 @@
 //! ```text
 //! bench-gate --baseline results/baselines --candidate target/bench-json
 //! bench-gate --baseline results/baselines/fig2.json --candidate fig2.json
+//! bench-gate --equal --baseline eq-results/t1 --candidate eq-results/t8
 //! ```
 //!
 //! Directory mode pairs files by name: every `*.json` in the baseline
 //! directory must have a same-named candidate.
+//!
+//! `--equal` switches from thresholded regression gating to the strict
+//! equivalence check (`bench::gate::equal`): the CI parallel-equivalence
+//! matrix uses it to prove that reports produced at different `--threads`
+//! values are identical apart from the recorded thread count and the
+//! non-reproducible wall-clock rows.
 
-use bench::gate::compare;
+use bench::gate::{compare, equal};
 use bench::report::BenchReport;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -20,21 +27,25 @@ use std::process::ExitCode;
 struct Args {
     baseline: PathBuf,
     candidate: PathBuf,
+    equal: bool,
 }
 
 fn usage() -> String {
-    "usage: bench-gate --baseline PATH --candidate PATH\n\
+    "usage: bench-gate [--equal] --baseline PATH --candidate PATH\n\
      \n\
      PATH is either a single report or a directory of them; with\n\
      directories, files are paired by name and every baseline must\n\
-     have a candidate. Exits 1 on any regression, 2 on usage or\n\
-     configuration errors."
+     have a candidate. --equal demands strict equivalence (modulo\n\
+     the recorded thread count and wall-clock rows) instead of the\n\
+     thresholded regression gate. Exits 1 on any regression, 2 on\n\
+     usage or configuration errors."
         .to_string()
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut candidate = None;
+    let mut equal = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--candidate requires a path")?,
                 ))
             }
+            "--equal" => equal = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -58,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         baseline: baseline.ok_or("--baseline is required")?,
         candidate: candidate.ok_or("--candidate is required")?,
+        equal,
     })
 }
 
@@ -90,7 +103,7 @@ fn pair_files(args: &Args) -> Result<Vec<(PathBuf, PathBuf)>, String> {
     }
 }
 
-fn check_pair(baseline: &Path, candidate: &Path) -> Result<usize, String> {
+fn check_pair(baseline: &Path, candidate: &Path, strict_equal: bool) -> Result<usize, String> {
     let base = BenchReport::read_file(baseline)?;
     if !candidate.exists() {
         return Err(format!(
@@ -99,6 +112,19 @@ fn check_pair(baseline: &Path, candidate: &Path) -> Result<usize, String> {
         ));
     }
     let cand = BenchReport::read_file(candidate)?;
+    if strict_equal {
+        return match equal(&base, &cand) {
+            Ok(()) => {
+                println!("PASS {} (equivalent, {} rows)", base.bench, base.rows.len());
+                Ok(0)
+            }
+            Err(diff) => {
+                println!("FAIL {} — reports are not equivalent:", base.bench);
+                println!("  {diff}");
+                Ok(1)
+            }
+        };
+    }
     let violations = compare(&base, &cand)?;
     if violations.is_empty() {
         println!(
@@ -132,7 +158,7 @@ fn main() -> ExitCode {
     };
     let mut total = 0usize;
     for (baseline, candidate) in &pairs {
-        match check_pair(baseline, candidate) {
+        match check_pair(baseline, candidate, args.equal) {
             Ok(n) => total += n,
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -142,8 +168,13 @@ fn main() -> ExitCode {
     }
     if total == 0 {
         println!(
-            "bench-gate: all {} report(s) within thresholds",
-            pairs.len()
+            "bench-gate: all {} report(s) {}",
+            pairs.len(),
+            if args.equal {
+                "equivalent"
+            } else {
+                "within thresholds"
+            }
         );
         ExitCode::SUCCESS
     } else {

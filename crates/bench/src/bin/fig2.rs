@@ -5,7 +5,7 @@
 use bench::cli::BenchArgs;
 use bench::{
     bank_csmv, bank_jvstm_cpu, bank_jvstm_gpu, bank_prstm, fmt_tput, print_analysis_summary,
-    print_table, Row,
+    print_table, run_cells, Cell, Row,
 };
 
 fn main() {
@@ -13,16 +13,21 @@ fn main() {
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
-    let mut rows: Vec<Vec<Row>> = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &rot in rots {
-        eprintln!("[fig2] %ROT = {rot}");
-        rows.push(vec![
-            bank_csmv(&scale, rot, csmv::CsmvVariant::Full, scale.versions),
-            bank_prstm(&scale, rot),
-            bank_jvstm_gpu(&scale, rot),
-            bank_jvstm_cpu(&scale, rot),
-        ]);
+        cells.push(Box::new(move || {
+            eprintln!("[fig2] %ROT = {rot}: CSMV");
+            bank_csmv(scale, rot, csmv::CsmvVariant::Full, scale.versions)
+        }));
+        cells.push(Box::new(move || bank_prstm(scale, rot)));
+        cells.push(Box::new(move || bank_jvstm_gpu(scale, rot)));
+        cells.push(Box::new(move || bank_jvstm_cpu(scale, rot)));
     }
+    let rows: Vec<Vec<Row>> = run_cells(args.threads, cells)
+        .chunks(4)
+        .map(|point| point.to_vec())
+        .collect();
 
     let headers = ["%ROT", "CSMV", "PR-STM", "JVSTM-GPU", "JVSTM (CPU)"];
     let tput: Vec<Vec<String>> = rows

@@ -3,22 +3,27 @@
 //! (JVSTM-CPU is omitted, as in the paper.)
 
 use bench::cli::BenchArgs;
-use bench::{fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row};
+use bench::{fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, run_cells, Cell, Row};
 
 fn main() {
     let args = BenchArgs::parse("fig3");
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
-    let mut rows: Vec<Vec<Row>> = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &w in ways {
-        eprintln!("[fig3] ways = {w}");
-        rows.push(vec![
-            mc_csmv(&scale, w, csmv::CsmvVariant::Full),
-            mc_prstm(&scale, w),
-            mc_jvstm_gpu(&scale, w),
-        ]);
+        cells.push(Box::new(move || {
+            eprintln!("[fig3] ways = {w}: CSMV");
+            mc_csmv(scale, w, csmv::CsmvVariant::Full)
+        }));
+        cells.push(Box::new(move || mc_prstm(scale, w)));
+        cells.push(Box::new(move || mc_jvstm_gpu(scale, w)));
     }
+    let rows: Vec<Vec<Row>> = run_cells(args.threads, cells)
+        .chunks(3)
+        .map(|point| point.to_vec())
+        .collect();
 
     let headers = ["ways", "CSMV", "PR-STM", "JVSTM-GPU"];
     let tput: Vec<Vec<String>> = rows

@@ -3,7 +3,7 @@
 //! client-server skeleton) vs JVSTM-GPU.
 
 use bench::cli::BenchArgs;
-use bench::{bank_csmv, bank_jvstm_gpu, fmt_tput, print_table};
+use bench::{bank_csmv, bank_jvstm_gpu, fmt_tput, print_table, run_cells, Cell};
 use csmv::CsmvVariant;
 
 fn main() {
@@ -11,23 +11,26 @@ fn main() {
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
-    let mut measured = Vec::new();
-    let mut rows = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &rot in rots {
-        eprintln!("[fig4] %ROT = {rot}");
-        let full = bank_csmv(&scale, rot, CsmvVariant::Full, scale.versions);
-        let nocv = bank_csmv(&scale, rot, CsmvVariant::NoCv, scale.versions);
-        let onlycs = bank_csmv(&scale, rot, CsmvVariant::OnlyCs, scale.versions);
-        let jv = bank_jvstm_gpu(&scale, rot);
-        rows.push(vec![
-            rot.to_string(),
-            fmt_tput(full.throughput),
-            fmt_tput(nocv.throughput),
-            fmt_tput(onlycs.throughput),
-            fmt_tput(jv.throughput),
-        ]);
-        measured.extend([full, nocv, onlycs, jv]);
+        for variant in [CsmvVariant::Full, CsmvVariant::NoCv, CsmvVariant::OnlyCs] {
+            cells.push(Box::new(move || {
+                eprintln!("[fig4] %ROT = {rot}: {}", variant.name());
+                bank_csmv(scale, rot, variant, scale.versions)
+            }));
+        }
+        cells.push(Box::new(move || bank_jvstm_gpu(scale, rot)));
     }
+    let measured = run_cells(args.threads, cells);
+    let rows: Vec<Vec<String>> = measured
+        .chunks(4)
+        .map(|point| {
+            let mut row = vec![point[0].x.to_string()];
+            row.extend(point.iter().map(|r| fmt_tput(r.throughput)));
+            row
+        })
+        .collect();
     print_table(
         "Fig. 4 — Bank throughput (TXs/s): CSMV ablation variants",
         &["%ROT", "CSMV", "CSMV-NoCV", "CSMV-onlyCS", "JVSTM-GPU"],

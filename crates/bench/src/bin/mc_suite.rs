@@ -2,7 +2,7 @@
 //! from a single pass over the associativity axis.
 
 use bench::cli::BenchArgs;
-use bench::{fmt_ms, fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, Row};
+use bench::{fmt_ms, fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, run_cells, Cell, Row};
 use csmv::CsmvVariant;
 use stm_core::Phase;
 
@@ -44,21 +44,32 @@ fn main() {
         prstm: Row,
         jv: Row,
     }
-    let mut pts = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &w in ways {
-        eprintln!("[mc] ways = {w}: CSMV");
-        let c = mc_csmv(&scale, w, CsmvVariant::Full);
-        eprintln!("[mc] ways = {w}: PR-STM");
-        let p = mc_prstm(&scale, w);
-        eprintln!("[mc] ways = {w}: JVSTM-GPU");
-        let j = mc_jvstm_gpu(&scale, w);
-        pts.push(Point {
-            w,
-            csmv: c,
-            prstm: p,
-            jv: j,
-        });
+        cells.push(Box::new(move || {
+            eprintln!("[mc] ways = {w}: CSMV");
+            mc_csmv(scale, w, CsmvVariant::Full)
+        }));
+        cells.push(Box::new(move || {
+            eprintln!("[mc] ways = {w}: PR-STM");
+            mc_prstm(scale, w)
+        }));
+        cells.push(Box::new(move || {
+            eprintln!("[mc] ways = {w}: JVSTM-GPU");
+            mc_jvstm_gpu(scale, w)
+        }));
     }
+    let mut it = run_cells(args.threads, cells).into_iter();
+    let pts: Vec<Point> = ways
+        .iter()
+        .map(|&w| Point {
+            w,
+            csmv: it.next().unwrap(),
+            prstm: it.next().unwrap(),
+            jv: it.next().unwrap(),
+        })
+        .collect();
 
     let headers = ["ways", "CSMV", "PR-STM", "JVSTM-GPU"];
     let rows: Vec<Vec<String>> = pts

@@ -7,7 +7,7 @@
 //! Not part of the paper's evaluation — an extension experiment.
 
 use bench::cli::BenchArgs;
-use bench::{fmt_tput, print_table, row_from};
+use bench::{fmt_tput, print_table, row_from, run_cells, Cell};
 use csmv::{CsmvConfig, CsmvVariant, MultiCsmvConfig};
 use gpu_sim::GpuConfig;
 use workloads::{BankConfig, BankSource};
@@ -18,12 +18,9 @@ fn main() {
     let rot_pct = 1u8; // update-heavy: the server-bound regime
     let servers: &[usize] = &[1, 2, 4];
 
-    let mut measured = Vec::new();
-    let mut rows = Vec::new();
-    let mut audit = gpu_sim::AnalysisStats::default();
-
+    let scale = &scale;
     // Reference: the paper's single-server CSMV (unpartitioned workload).
-    {
+    let mut cells: Vec<Cell> = vec![Box::new(move || {
         let bank = BankConfig {
             accounts: scale.accounts,
             ..BankConfig::paper(rot_pct)
@@ -49,57 +46,61 @@ fn main() {
             bank.accounts,
             |_| bank.initial_balance,
         );
-        if let Some(a) = &res.analysis {
-            audit.merge(&a.stats());
-        }
-        rows.push(vec![
-            "CSMV (paper)".to_string(),
-            "1".to_string(),
-            fmt_tput(res.throughput(1.58)),
-            format!("{:.2}", res.abort_rate_pct()),
-        ]);
-        measured.push(row_from("CSMV (paper)", 1, &res));
-    }
+        row_from("CSMV (paper)", 1, &res)
+    })];
 
     for &n in servers {
-        eprintln!("[multiserver] {n} server(s)");
-        let bank = BankConfig {
-            accounts: scale.accounts,
-            ..BankConfig::paper(rot_pct)
-        }
-        .partitioned(n as u64);
-        let cfg = MultiCsmvConfig {
-            gpu: GpuConfig {
-                num_sms: scale.sms,
-                ..GpuConfig::default()
-            },
-            num_servers: n,
-            versions_per_box: scale.versions,
-            warps_per_sm: 2,
-            server_workers: 7,
-            max_rs: 8,
-            max_ws: 2,
-            atr_capacity: 1024,
-            record_history: false,
-            analysis: scale.analysis_cfg(),
-        };
-        let res = csmv::run_multi(
-            &cfg,
-            |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
-            bank.accounts,
-            |_| bank.initial_balance,
-        );
-        if let Some(a) = &res.analysis {
-            audit.merge(&a.stats());
-        }
-        rows.push(vec![
-            "CSMV-multi".to_string(),
-            n.to_string(),
-            fmt_tput(res.throughput(1.58)),
-            format!("{:.2}", res.abort_rate_pct()),
-        ]);
-        measured.push(row_from("CSMV-multi", n as u64, &res));
+        cells.push(Box::new(move || {
+            eprintln!("[multiserver] {n} server(s)");
+            let bank = BankConfig {
+                accounts: scale.accounts,
+                ..BankConfig::paper(rot_pct)
+            }
+            .partitioned(n as u64);
+            let cfg = MultiCsmvConfig {
+                gpu: GpuConfig {
+                    num_sms: scale.sms,
+                    ..GpuConfig::default()
+                },
+                num_servers: n,
+                versions_per_box: scale.versions,
+                warps_per_sm: 2,
+                server_workers: 7,
+                max_rs: 8,
+                max_ws: 2,
+                atr_capacity: 1024,
+                record_history: false,
+                analysis: scale.analysis_cfg(),
+                ..Default::default()
+            };
+            let res = csmv::run_multi(
+                &cfg,
+                |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),
+                bank.accounts,
+                |_| bank.initial_balance,
+            );
+            row_from("CSMV-multi", n as u64, &res)
+        }));
     }
+
+    let measured = run_cells(args.threads, cells);
+    let mut audit = gpu_sim::AnalysisStats::default();
+    for row in &measured {
+        if let Some(a) = &row.analysis {
+            audit.merge(a);
+        }
+    }
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|row| {
+            vec![
+                row.system.clone(),
+                row.x.to_string(),
+                fmt_tput(row.throughput),
+                format!("{:.2}", row.abort_pct),
+            ]
+        })
+        .collect();
 
     print_table(
         &format!("Multi-server CSMV — Bank at {rot_pct}% ROT (partition-confined transfers)"),

@@ -3,27 +3,35 @@
 //! read-only transactions.
 
 use bench::cli::BenchArgs;
-use bench::{bank_csmv, bank_jvstm_gpu, breakdown_cells, print_table};
+use bench::{bank_csmv, bank_jvstm_gpu, breakdown_cells, print_table, run_cells, Cell};
 
 fn main() {
     let args = BenchArgs::parse("table1");
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
-    let mut measured = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
+    for &rot in rots {
+        cells.push(Box::new(move || {
+            eprintln!("[table1] %ROT = {rot}");
+            bank_jvstm_gpu(scale, rot)
+        }));
+        cells.push(Box::new(move || {
+            bank_csmv(scale, rot, csmv::CsmvVariant::Full, scale.versions)
+        }));
+    }
+    let measured = run_cells(args.threads, cells);
     let mut jv_rows = Vec::new();
     let mut cs_rows = Vec::new();
-    for &rot in rots {
-        eprintln!("[table1] %ROT = {rot}");
-        let jv = bank_jvstm_gpu(&scale, rot);
-        let cs = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, scale.versions);
-        let mut row = vec![rot.to_string()];
-        row.extend(breakdown_cells(&jv, false));
+    for point in measured.chunks(2) {
+        let (jv, cs) = (&point[0], &point[1]);
+        let mut row = vec![jv.x.to_string()];
+        row.extend(breakdown_cells(jv, false));
         jv_rows.push(row);
-        let mut row = vec![rot.to_string()];
-        row.extend(breakdown_cells(&cs, true));
+        let mut row = vec![cs.x.to_string()];
+        row.extend(breakdown_cells(cs, true));
         cs_rows.push(row);
-        measured.extend([jv, cs]);
     }
 
     print_table(

@@ -2,31 +2,35 @@
 //! transaction (Bank benchmark, milliseconds).
 
 use bench::cli::BenchArgs;
-use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, fmt_ms, print_table};
+use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, fmt_ms, print_table, run_cells, Cell};
 
 fn main() {
     let args = BenchArgs::parse("table2");
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 
-    let mut measured = Vec::new();
-    let mut rows = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &rot in rots {
-        eprintln!("[table2] %ROT = {rot}");
-        let cs = bank_csmv(&scale, rot, csmv::CsmvVariant::Full, scale.versions);
-        let pr = bank_prstm(&scale, rot);
-        let jv = bank_jvstm_gpu(&scale, rot);
-        rows.push(vec![
-            rot.to_string(),
-            fmt_ms(cs.total_ms_per_tx),
-            fmt_ms(cs.wasted_ms_per_tx),
-            fmt_ms(pr.total_ms_per_tx),
-            fmt_ms(pr.wasted_ms_per_tx),
-            fmt_ms(jv.total_ms_per_tx),
-            fmt_ms(jv.wasted_ms_per_tx),
-        ]);
-        measured.extend([cs, pr, jv]);
+        cells.push(Box::new(move || {
+            eprintln!("[table2] %ROT = {rot}");
+            bank_csmv(scale, rot, csmv::CsmvVariant::Full, scale.versions)
+        }));
+        cells.push(Box::new(move || bank_prstm(scale, rot)));
+        cells.push(Box::new(move || bank_jvstm_gpu(scale, rot)));
     }
+    let measured = run_cells(args.threads, cells);
+    let rows: Vec<Vec<String>> = measured
+        .chunks(3)
+        .map(|point| {
+            let mut row = vec![point[0].x.to_string()];
+            for r in point {
+                row.push(fmt_ms(r.total_ms_per_tx));
+                row.push(fmt_ms(r.wasted_ms_per_tx));
+            }
+            row
+        })
+        .collect();
     print_table(
         "Table II — total/wasted time per transaction (ms, Bank)",
         &[

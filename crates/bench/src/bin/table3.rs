@@ -2,7 +2,7 @@
 //! (MemcachedGPU, microseconds), as a function of the cache associativity.
 
 use bench::cli::BenchArgs;
-use bench::{mc_csmv, mc_jvstm_gpu, print_table, Row};
+use bench::{mc_csmv, mc_jvstm_gpu, print_table, run_cells, Cell, Row};
 use stm_core::Phase;
 
 const CLOCK_GHZ: f64 = 1.58;
@@ -37,20 +37,26 @@ fn main() {
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
-    let mut measured = Vec::new();
+    let scale = &scale;
+    let mut work: Vec<Cell> = Vec::new();
+    for &w in ways {
+        work.push(Box::new(move || {
+            eprintln!("[table3] ways = {w}");
+            mc_jvstm_gpu(scale, w)
+        }));
+        work.push(Box::new(move || mc_csmv(scale, w, csmv::CsmvVariant::Full)));
+    }
+    let measured = run_cells(args.threads, work);
     let mut jv_rows = Vec::new();
     let mut cs_rows = Vec::new();
-    for &w in ways {
-        eprintln!("[table3] ways = {w}");
-        let jv = mc_jvstm_gpu(&scale, w);
-        let cs = mc_csmv(&scale, w, csmv::CsmvVariant::Full);
-        let mut row = vec![w.to_string()];
-        row.extend(cells(&jv, false));
+    for point in measured.chunks(2) {
+        let (jv, cs) = (&point[0], &point[1]);
+        let mut row = vec![jv.x.to_string()];
+        row.extend(cells(jv, false));
         jv_rows.push(row);
-        let mut row = vec![w.to_string()];
-        row.extend(cells(&cs, true));
+        let mut row = vec![cs.x.to_string()];
+        row.extend(cells(cs, true));
         cs_rows.push(row);
-        measured.extend([jv, cs]);
     }
 
     print_table(

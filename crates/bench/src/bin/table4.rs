@@ -2,31 +2,35 @@
 //! (MemcachedGPU, milliseconds), as a function of the cache associativity.
 
 use bench::cli::BenchArgs;
-use bench::{fmt_ms, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table};
+use bench::{fmt_ms, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, run_cells, Cell};
 
 fn main() {
     let args = BenchArgs::parse("table4");
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 
-    let mut measured = Vec::new();
-    let mut rows = Vec::new();
+    let scale = &scale;
+    let mut cells: Vec<Cell> = Vec::new();
     for &w in ways {
-        eprintln!("[table4] ways = {w}");
-        let jv = mc_jvstm_gpu(&scale, w);
-        let cs = mc_csmv(&scale, w, csmv::CsmvVariant::Full);
-        let pr = mc_prstm(&scale, w);
-        rows.push(vec![
-            w.to_string(),
-            fmt_ms(jv.total_ms_per_tx),
-            fmt_ms(jv.wasted_ms_per_tx),
-            fmt_ms(cs.total_ms_per_tx),
-            fmt_ms(cs.wasted_ms_per_tx),
-            fmt_ms(pr.total_ms_per_tx),
-            fmt_ms(pr.wasted_ms_per_tx),
-        ]);
-        measured.extend([jv, cs, pr]);
+        cells.push(Box::new(move || {
+            eprintln!("[table4] ways = {w}");
+            mc_jvstm_gpu(scale, w)
+        }));
+        cells.push(Box::new(move || mc_csmv(scale, w, csmv::CsmvVariant::Full)));
+        cells.push(Box::new(move || mc_prstm(scale, w)));
     }
+    let measured = run_cells(args.threads, cells);
+    let rows: Vec<Vec<String>> = measured
+        .chunks(3)
+        .map(|point| {
+            let mut row = vec![point[0].x.to_string()];
+            for r in point {
+                row.push(fmt_ms(r.total_ms_per_tx));
+                row.push(fmt_ms(r.wasted_ms_per_tx));
+            }
+            row
+        })
+        .collect();
     print_table(
         "Table IV — total/wasted time per transaction (ms, Memcached)",
         &[

@@ -1,11 +1,11 @@
 //! The command-line surface shared by every bench binary:
 //!
 //! ```text
-//! <bench> [--json PATH] [--seed N] [--quick | --paper] [--analysis]
+//! <bench> [--json PATH] [--seed N] [--quick | --paper] [--threads N] [--analysis]
 //! ```
 //!
-//! Flags override the `BENCH_QUICK` / `BENCH_ANALYSIS` environment
-//! variables (which stay honoured for compatibility with the original
+//! Flags override the `BENCH_QUICK` / `BENCH_ANALYSIS` / `BENCH_THREADS`
+//! environment variables (which stay honoured for compatibility with the original
 //! harness). `--seed` feeds every workload RNG, so two runs with the same
 //! seed, scale and binary produce byte-identical `--json` reports — the
 //! property `bench-gate` checks in CI.
@@ -25,6 +25,11 @@ pub struct BenchArgs {
     pub scale: Scale,
     /// Scale label recorded in the report (`quick` or `paper`).
     pub scale_name: String,
+    /// Host threads used to execute bench cells (`--threads` /
+    /// `BENCH_THREADS`; default 1). Results are identical for every value —
+    /// only wall-clock time changes — and the count is recorded in the
+    /// report's `config` block, which `bench-gate` treats as non-gating.
+    pub threads: usize,
 }
 
 impl BenchArgs {
@@ -53,6 +58,10 @@ impl BenchArgs {
             .map(|v| v == "1")
             .unwrap_or(false);
         let mut json = None;
+        let mut threads = match std::env::var("BENCH_THREADS") {
+            Ok(v) => parse_threads(&v).ok_or_else(|| format!("bad BENCH_THREADS '{v}'"))?,
+            Err(_) => 1,
+        };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -82,6 +91,10 @@ impl BenchArgs {
                     };
                     quick = false;
                 }
+                "--threads" => {
+                    let v = args.next().ok_or("--threads requires a value")?;
+                    threads = parse_threads(&v).ok_or_else(|| format!("bad --threads '{v}'"))?;
+                }
                 "--analysis" => scale.analysis = true,
                 "--help" | "-h" => {
                     println!("{}", usage(bench));
@@ -95,6 +108,7 @@ impl BenchArgs {
             json,
             scale,
             scale_name: if quick { "quick" } else { "paper" }.to_string(),
+            threads,
         })
     }
 
@@ -102,7 +116,9 @@ impl BenchArgs {
     /// the bench, with every measured row.
     pub fn emit_json(&self, rows: &[Row]) {
         let Some(path) = &self.json else { return };
-        let report = BenchReport::from_rows(&self.bench, &self.scale_name, self.scale.seed, rows);
+        let mut report =
+            BenchReport::from_rows(&self.bench, &self.scale_name, self.scale.seed, rows);
+        report.threads = self.threads as u64;
         match report.write_file(path) {
             Ok(()) => eprintln!("[{}] wrote {}", self.bench, path.display()),
             Err(e) => {
@@ -110,6 +126,13 @@ impl BenchArgs {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+fn parse_threads(s: &str) -> Option<usize> {
+    match s.replace('_', "").parse() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
     }
 }
 
@@ -123,12 +146,14 @@ fn parse_u64(s: &str) -> Option<u64> {
 
 fn usage(bench: &str) -> String {
     format!(
-        "usage: {bench} [--json PATH] [--seed N] [--quick | --paper] [--analysis]\n\
+        "usage: {bench} [--json PATH] [--seed N] [--quick | --paper] [--threads N] [--analysis]\n\
          \n\
          --json PATH   write the structured report (schema: crates/bench/src/report.rs)\n\
          --seed N      workload RNG seed (decimal or 0x-hex; default 0xC53A17)\n\
          --quick       reduced smoke-test scale (same as BENCH_QUICK=1)\n\
          --paper       paper-faithful scale (the default)\n\
+         --threads N   host threads for bench cells (same as BENCH_THREADS=N;\n\
+                       default 1; results are identical for every value)\n\
          --analysis    run under the race/invariant analysis layer"
     )
 }
@@ -175,5 +200,20 @@ mod tests {
         assert!(BenchArgs::try_parse("t", argv(&["--seed", "zap"])).is_err());
         assert!(BenchArgs::try_parse("t", argv(&["--frobnicate"])).is_err());
         assert!(BenchArgs::try_parse("t", argv(&["--json"])).is_err());
+    }
+
+    #[test]
+    fn threads_defaults_to_one_and_parses_from_the_flag() {
+        let a = BenchArgs::try_parse("t", argv(&[])).unwrap();
+        assert_eq!(a.threads, 1);
+        let a = BenchArgs::try_parse("t", argv(&["--threads", "8"])).unwrap();
+        assert_eq!(a.threads, 8);
+    }
+
+    #[test]
+    fn zero_or_malformed_thread_counts_are_rejected() {
+        assert!(BenchArgs::try_parse("t", argv(&["--threads"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--threads", "0"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--threads", "many"])).is_err());
     }
 }

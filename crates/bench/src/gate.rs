@@ -196,6 +196,68 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Vi
     Ok(violations)
 }
 
+/// Strict equivalence check, used by the CI `parallel-equivalence` matrix to
+/// prove `--threads N` reports match the `--threads 1` report.
+///
+/// Everything must match exactly — row order, identities, metric names and
+/// order, and every simulated metric value bit for bit — except the two
+/// execution details that legitimately differ between runs: the recorded
+/// `config.threads`, and the metric *values* of wall-clock rows (the CPU
+/// baseline is measured in host time, which is never reproducible). Returns
+/// a description of the first difference found.
+pub fn equal(a: &BenchReport, b: &BenchReport) -> Result<(), String> {
+    let diff = |what: &str, av: &dyn std::fmt::Display, bv: &dyn std::fmt::Display| {
+        Err(format!("{what} differs: {av} vs {bv}"))
+    };
+    if a.schema_version != b.schema_version {
+        return diff("schema_version", &a.schema_version, &b.schema_version);
+    }
+    if a.bench != b.bench {
+        return diff("bench", &a.bench, &b.bench);
+    }
+    if a.scale != b.scale {
+        return diff("scale", &a.scale, &b.scale);
+    }
+    if a.seed != b.seed {
+        return diff("seed", &a.seed, &b.seed);
+    }
+    if a.rows.len() != b.rows.len() {
+        return diff("row count", &a.rows.len(), &b.rows.len());
+    }
+    for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        let ctx = format!("row {i} (system={} x={})", ra.system, ra.x);
+        if ra.system != rb.system || ra.x != rb.x {
+            return Err(format!(
+                "row {i} identity differs: system={} x={} vs system={} x={}",
+                ra.system, ra.x, rb.system, rb.x
+            ));
+        }
+        if ra.wall_clock != rb.wall_clock {
+            return diff(
+                &format!("{ctx}: wall_clock"),
+                &ra.wall_clock,
+                &rb.wall_clock,
+            );
+        }
+        if ra.metrics.len() != rb.metrics.len() {
+            return diff(
+                &format!("{ctx}: metric count"),
+                &ra.metrics.len(),
+                &rb.metrics.len(),
+            );
+        }
+        for ((ka, va), (kb, vb)) in ra.metrics.iter().zip(&rb.metrics) {
+            if ka != kb {
+                return diff(&format!("{ctx}: metric order"), ka, kb);
+            }
+            if !ra.wall_clock && va.to_bits() != vb.to_bits() {
+                return diff(&format!("{ctx}: metric '{ka}'"), va, vb);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn find_row<'a>(report: &'a BenchReport, key: &ReportRow) -> Option<&'a ReportRow> {
     report
         .rows
@@ -213,6 +275,7 @@ mod tests {
             bench: "fig2".into(),
             scale: "quick".into(),
             seed: 7,
+            threads: 1,
             rows,
         }
     }
@@ -348,6 +411,44 @@ mod tests {
             ],
         )]);
         assert_eq!(compare(&b, &c).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn thread_count_is_not_gating() {
+        // Baselines predate the `config.threads` field and parse as
+        // threads=1; a parallel candidate must still gate cleanly against
+        // them without regenerating anything.
+        let b = report(vec![row("CSMV", 50, &base_metrics())]);
+        let mut c = b.clone();
+        c.threads = 8;
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+        assert_eq!(compare(&c, &b).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn equal_ignores_threads_and_wall_clock_values_only() {
+        let mut cpu = row("JVSTM (CPU)", 50, &[("throughput", 1e6)]);
+        cpu.wall_clock = true;
+        let a = report(vec![row("CSMV", 50, &base_metrics()), cpu.clone()]);
+        // Different thread count and different wall-clock timing: equivalent.
+        let mut b = a.clone();
+        b.threads = 8;
+        b.rows[1].metrics[0].1 = 2e6;
+        assert_eq!(equal(&a, &b), Ok(()));
+        // A simulated metric differing in the last bit: not equivalent.
+        let mut b = a.clone();
+        b.rows[0].metrics[0].1 = f64::from_bits(b.rows[0].metrics[0].1.to_bits() + 1);
+        let err = equal(&a, &b).unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+        // Row order is part of the contract.
+        let mut b = a.clone();
+        b.rows.swap(0, 1);
+        assert!(equal(&a, &b).is_err());
+        // So is the row set.
+        let mut b = a.clone();
+        b.rows.pop();
+        let err = equal(&a, &b).unwrap_err();
+        assert!(err.contains("row count"), "{err}");
     }
 
     #[test]

@@ -481,6 +481,73 @@ pub fn breakdown_cells(row: &Row, csmv_style: bool) -> Vec<String> {
     cells
 }
 
+// ---------------------------------------------------------------------------
+// Parallel cell execution
+// ---------------------------------------------------------------------------
+
+/// One independently runnable measurement: a closure producing a [`Row`].
+///
+/// Bench binaries describe their whole sweep as a flat list of cells and
+/// hand it to [`run_cells`]. Each cell is a pure function of its captured
+/// configuration — every simulated run is deterministic — so executing the
+/// cells on several host threads changes wall-clock time only, never a
+/// result.
+pub type Cell<'a> = Box<dyn Fn() -> Row + Send + Sync + 'a>;
+
+/// Map `f` over `items` on up to `threads` host threads, returning results
+/// in item order regardless of how the OS schedules the workers.
+///
+/// Workers claim indices from a shared atomic counter, collect
+/// `(index, result)` pairs, and the pairs are placed back by index — so the
+/// output is identical for every thread count, which is what lets the CI
+/// equivalence matrix compare `--threads 1` and `--threads 8` reports
+/// byte for byte.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("bench worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// Execute every cell on up to `threads` host threads, preserving cell
+/// order in the returned rows.
+pub fn run_cells(threads: usize, cells: Vec<Cell<'_>>) -> Vec<Row> {
+    par_map(threads, &cells, |_, cell| cell())
+}
+
 /// Print the analysis-layer summary line for a set of rows (no-op when the
 /// rows were measured without analysis).
 pub fn print_analysis_summary(rows: &[Row]) {
@@ -553,5 +620,42 @@ mod tests {
     }
     fn mc_prstm_wrap(s: &Scale, w: u64) -> Row {
         mc_prstm(s, w)
+    }
+
+    #[test]
+    fn par_map_preserves_item_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map(threads, &items, |i, v| {
+                assert_eq!(items[i], *v);
+                v * v
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_cells_matches_sequential_execution() {
+        let scale = Scale::quick();
+        let cells: Vec<Cell> = vec![
+            Box::new(|| bank_prstm(&scale, 10)),
+            Box::new(|| bank_jvstm_gpu(&scale, 50)),
+            Box::new(|| bank_prstm(&scale, 90)),
+        ];
+        let parallel = run_cells(4, cells);
+        let sequential = [
+            bank_prstm(&scale, 10),
+            bank_jvstm_gpu(&scale, 50),
+            bank_prstm(&scale, 90),
+        ];
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(sequential.iter()) {
+            assert_eq!(p.system, s.system);
+            assert_eq!(p.x, s.x);
+            assert_eq!(p.commits, s.commits);
+            assert_eq!(p.aborts, s.aborts);
+            assert_eq!(p.elapsed_ms, s.elapsed_ms);
+        }
     }
 }

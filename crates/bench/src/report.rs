@@ -28,6 +28,11 @@ pub struct BenchReport {
     pub scale: String,
     /// Workload RNG seed the run used.
     pub seed: u64,
+    /// Host threads the bench harness used to execute its cells (the
+    /// report's `config.threads`). Purely an execution detail: cells are
+    /// deterministic and ordered, so reports produced at different thread
+    /// counts are otherwise identical, and `bench-gate` never gates on it.
+    pub threads: u64,
     /// Measured configurations, in execution order.
     pub rows: Vec<ReportRow>,
 }
@@ -108,6 +113,7 @@ impl BenchReport {
             bench: bench.to_string(),
             scale: scale.to_string(),
             seed,
+            threads: 1,
             rows: rows
                 .iter()
                 .map(|r| ReportRow {
@@ -151,6 +157,10 @@ impl BenchReport {
             ("scale".into(), Json::Str(self.scale.clone())),
             ("seed".into(), Json::Num(self.seed as f64)),
             ("rows".into(), Json::Arr(rows)),
+            (
+                "config".into(),
+                Json::Obj(vec![("threads".into(), Json::Num(self.threads as f64))]),
+            ),
         ])
     }
 
@@ -169,6 +179,16 @@ impl BenchReport {
             .ok_or("'scale' must be a string")?
             .to_string();
         let seed = field("seed")?.as_u64().ok_or("'seed' must be an integer")?;
+        // `config` is optional so baselines written before it existed still
+        // parse (they ran single-threaded).
+        let threads = match doc.get("config") {
+            Some(cfg) => cfg
+                .get("threads")
+                .map(|t| t.as_u64().ok_or("'config.threads' must be an integer"))
+                .transpose()?
+                .unwrap_or(1),
+            None => 1,
+        };
         let mut rows = Vec::new();
         for (i, row) in field("rows")?
             .as_array()
@@ -212,6 +232,7 @@ impl BenchReport {
             bench,
             scale,
             seed,
+            threads,
             rows,
         })
     }
@@ -297,10 +318,21 @@ mod tests {
 
     #[test]
     fn report_round_trips_through_json() {
-        let report = BenchReport::from_rows("table3", "paper", 0xC5_3A17, &[sample_row()]);
+        let mut report = BenchReport::from_rows("table3", "paper", 0xC5_3A17, &[sample_row()]);
+        report.threads = 8;
         let text = report.to_json().pretty();
         let back = BenchReport::from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn reports_without_a_config_block_default_to_one_thread() {
+        let doc = parse(
+            "{\"schema_version\":1,\"bench\":\"b\",\"scale\":\"quick\",\"seed\":1,\"rows\":[]}",
+        )
+        .unwrap();
+        let report = BenchReport::from_json(&doc).unwrap();
+        assert_eq!(report.threads, 1);
     }
 
     #[test]

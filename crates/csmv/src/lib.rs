@@ -49,7 +49,7 @@ pub mod protocol;
 pub mod server;
 pub mod variant;
 
-use gpu_sim::{AnalysisConfig, Device, GpuConfig};
+use gpu_sim::{AnalysisConfig, Device, GpuConfig, RunMode};
 use stm_core::mv_exec::MvExecConfig;
 use stm_core::{RunResult, TxSource, VBoxHeap};
 
@@ -91,6 +91,11 @@ pub struct CsmvConfig {
     /// Analysis layer (race detector / protocol-invariant checks); all-off
     /// by default, which leaves the simulator on its zero-cost fast path.
     pub analysis: AnalysisConfig,
+    /// Host execution mode. `Parallel` attempts the phase-barriered
+    /// scheduler and falls back to an identical sequential re-run when a
+    /// window conflicts (CSMV's mailbox/GTS coupling conflicts quickly, so
+    /// expect the fallback; results are bit-identical either way).
+    pub sim: RunMode,
 }
 
 impl Default for CsmvConfig {
@@ -107,6 +112,7 @@ impl Default for CsmvConfig {
             record_history: true,
             variant: CsmvVariant::Full,
             analysis: AnalysisConfig::default(),
+            sim: RunMode::Sequential,
         }
     }
 }
@@ -142,7 +148,7 @@ pub fn run<S, F>(
     cfg: &CsmvConfig,
     mut make_source: F,
     num_items: u64,
-    initial: impl FnMut(u64) -> u64,
+    mut initial: impl FnMut(u64) -> u64,
 ) -> RunResult
 where
     S: TxSource + 'static,
@@ -155,74 +161,84 @@ where
     let server_sm = cfg.gpu.num_sms - 1;
     let num_clients = cfg.num_client_warps();
 
-    let mut dev = Device::new(cfg.gpu.clone());
-    let gts_addr = dev.alloc_global(1);
-    let done_addr = dev.alloc_global(1);
-    let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
-    let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
-    let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
-    let q_cap = cfg.server_queue_cap.unwrap_or(num_clients).max(1);
-    let ctl = ServerControl::alloc_with_queue(&mut dev, server_sm, q_cap);
-    // next_cts starts at 1 (commit timestamps are 1-based; GTS starts at 0).
-    dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
+    // The launch is a closure so the parallel mode's conflict fallback can
+    // rebuild the identical device from scratch (see gpu_sim::run_with_mode).
+    let launch = || {
+        let mut dev = Device::new(cfg.gpu.clone());
+        let gts_addr = dev.alloc_global(1);
+        let done_addr = dev.alloc_global(1);
+        let heap = VBoxHeap::init(
+            dev.global_mut(),
+            num_items,
+            cfg.versions_per_box,
+            &mut initial,
+        );
+        let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+        let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
+        let q_cap = cfg.server_queue_cap.unwrap_or(num_clients).max(1);
+        let ctl = ServerControl::alloc_with_queue(&mut dev, server_sm, q_cap);
+        // next_cts starts at 1 (commit timestamps are 1-based; GTS starts at 0).
+        dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
 
-    dev.enable_analysis(cfg.analysis);
-    if cfg.analysis.invariants {
-        dev.add_invariant_checker(Box::new(check::CsmvInvariantChecker::new(
-            atr.clone(),
-            heap.clone(),
-            gts_addr,
-            server_sm,
-        )));
-    }
-
-    // -- clients -----------------------------------------------------------
-    let mut client_ids = Vec::new();
-    let mut thread_id = 0usize;
-    let mut slot = 0usize;
-    for sm in 0..server_sm {
-        for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
-                .map(|i| make_source(thread_id + i))
-                .collect();
-            let exec_cfg = MvExecConfig {
-                record_history: cfg.record_history,
-                ..MvExecConfig::default()
-            };
-            let client = CsmvClient::new(
-                sources,
-                thread_id,
-                exec_cfg,
+        dev.enable_analysis(cfg.analysis);
+        if cfg.analysis.invariants {
+            dev.add_invariant_checker(Box::new(check::CsmvInvariantChecker::new(
+                atr.clone(),
                 heap.clone(),
-                proto.clone(),
-                slot,
                 gts_addr,
-                done_addr,
+                server_sm,
+            )));
+        }
+
+        // -- clients -------------------------------------------------------
+        let mut client_ids = Vec::new();
+        let mut thread_id = 0usize;
+        let mut slot = 0usize;
+        for sm in 0..server_sm {
+            for _ in 0..cfg.warps_per_sm {
+                let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
+                    .map(|i| make_source(thread_id + i))
+                    .collect();
+                let exec_cfg = MvExecConfig {
+                    record_history: cfg.record_history,
+                    ..MvExecConfig::default()
+                };
+                let client = CsmvClient::new(
+                    sources,
+                    thread_id,
+                    exec_cfg,
+                    heap.clone(),
+                    proto.clone(),
+                    slot,
+                    gts_addr,
+                    done_addr,
+                    cfg.variant,
+                );
+                client_ids.push(dev.spawn(sm, Box::new(client)));
+                thread_id += gpu_sim::WARP_LANES;
+                slot += 1;
+            }
+        }
+
+        // -- server --------------------------------------------------------
+        let receiver = ReceiverWarp::new(proto.clone(), ctl.clone(), num_clients, done_addr);
+        let receiver_id = dev.spawn(server_sm, Box::new(receiver));
+        let mut worker_ids = Vec::new();
+        for _ in 0..cfg.server_workers {
+            let worker = WorkerWarp::new(
+                proto.clone(),
+                ctl.clone(),
+                atr.clone(),
+                heap.clone(),
+                gts_addr,
                 cfg.variant,
             );
-            client_ids.push(dev.spawn(sm, Box::new(client)));
-            thread_id += gpu_sim::WARP_LANES;
-            slot += 1;
+            worker_ids.push(dev.spawn(server_sm, Box::new(worker)));
         }
-    }
+        (dev, (client_ids, receiver_id, worker_ids))
+    };
 
-    // -- server ------------------------------------------------------------
-    let receiver = ReceiverWarp::new(proto.clone(), ctl.clone(), num_clients, done_addr);
-    let receiver_id = dev.spawn(server_sm, Box::new(receiver));
-    let mut worker_ids = Vec::new();
-    for _ in 0..cfg.server_workers {
-        let worker = WorkerWarp::new(
-            proto.clone(),
-            ctl.clone(),
-            atr.clone(),
-            heap.clone(),
-            gts_addr,
-            cfg.variant,
-        );
-        worker_ids.push(dev.spawn(server_sm, Box::new(worker)));
-    }
-
-    dev.run_to_completion();
+    let (mut dev, (client_ids, receiver_id, worker_ids)) = gpu_sim::run_with_mode(cfg.sim, launch);
 
     let analysis = dev.finish_analysis();
     let mut result = RunResult {

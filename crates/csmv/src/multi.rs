@@ -31,7 +31,7 @@
 
 use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
 use gpu_sim::{
-    full_mask, AnalysisConfig, Device, GpuConfig, Mask, MemOrder, StepOutcome, WarpCtx,
+    full_mask, AnalysisConfig, Device, GpuConfig, Mask, MemOrder, RunMode, StepOutcome, WarpCtx,
     WarpProgram, WARP_LANES,
 };
 use stm_core::mv_exec::{unpack_ws_entry, MvExec, MvExecConfig};
@@ -67,6 +67,11 @@ pub struct MultiCsmvConfig {
     /// checker assumes single-server batch-ordered GTS publication, which
     /// the multi-server progressive protocol deliberately relaxes.
     pub analysis: AnalysisConfig,
+    /// Host execution mode; `Parallel` falls back to an identical
+    /// sequential re-run on a cross-SM window conflict (the shared
+    /// global-cts counter couples the server SMs; results are bit-identical
+    /// either way).
+    pub sim: RunMode,
 }
 
 impl Default for MultiCsmvConfig {
@@ -82,6 +87,7 @@ impl Default for MultiCsmvConfig {
             atr_capacity: 384,
             record_history: true,
             analysis: AnalysisConfig::default(),
+            sim: RunMode::Sequential,
         }
     }
 }
@@ -1289,7 +1295,7 @@ pub fn run_multi<S, F>(
     cfg: &MultiCsmvConfig,
     mut make_source: F,
     num_items: u64,
-    initial: impl FnMut(u64) -> u64,
+    mut initial: impl FnMut(u64) -> u64,
 ) -> RunResult
 where
     S: TxSource + 'static,
@@ -1304,76 +1310,87 @@ where
     let num_clients = cfg.num_client_warps();
     let first_server_sm = cfg.gpu.num_sms - cfg.num_servers;
 
-    let mut dev = Device::new(cfg.gpu.clone());
-    let gts_addr = dev.alloc_global(1);
-    let done_addr = dev.alloc_global(1);
-    let global_cts_addr = dev.alloc_global(1);
-    dev.global_mut().write(global_cts_addr, 1); // cts are 1-based
-    let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
+    // Closure so the parallel mode's conflict fallback can rebuild the
+    // identical device from scratch (see gpu_sim::run_with_mode).
+    let launch = || {
+        let mut dev = Device::new(cfg.gpu.clone());
+        let gts_addr = dev.alloc_global(1);
+        let done_addr = dev.alloc_global(1);
+        let global_cts_addr = dev.alloc_global(1);
+        dev.global_mut().write(global_cts_addr, 1); // cts are 1-based
+        let heap = VBoxHeap::init(
+            dev.global_mut(),
+            num_items,
+            cfg.versions_per_box,
+            &mut initial,
+        );
 
-    // Races-only: see the `analysis` field's note on the invariant checker.
-    dev.enable_analysis(AnalysisConfig {
-        invariants: false,
-        ..cfg.analysis
-    });
+        // Races-only: see the `analysis` field's note on the invariant checker.
+        dev.enable_analysis(AnalysisConfig {
+            invariants: false,
+            ..cfg.analysis
+        });
 
-    // Shared payload region (rs/ws) + per-server header/outcome mailboxes.
-    let payload = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
-    let hdr_protos: Vec<CommitProtocol> = (0..cfg.num_servers)
-        .map(|_| CommitProtocol::alloc(dev.global_mut(), num_clients, 1, 1))
-        .collect();
+        // Shared payload region (rs/ws) + per-server header/outcome mailboxes.
+        let payload = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
+        let hdr_protos: Vec<CommitProtocol> = (0..cfg.num_servers)
+            .map(|_| CommitProtocol::alloc(dev.global_mut(), num_clients, 1, 1))
+            .collect();
 
-    // -- servers ------------------------------------------------------------
-    let mut server_ids = Vec::new();
-    for (srv, hdr_proto) in hdr_protos.iter().enumerate() {
-        let sm = first_server_sm + srv;
-        let atr = PartitionedAtr::alloc(&mut dev, sm, cfg.atr_capacity, cfg.max_ws);
-        let ctl = ServerControl::alloc(&mut dev, sm, num_clients);
-        let receiver = ReceiverWarp::new(hdr_proto.clone(), ctl.clone(), num_clients, done_addr);
-        server_ids.push(dev.spawn(sm, Box::new(receiver)));
-        for _ in 0..cfg.server_workers {
-            let worker = MultiWorker::new(
-                hdr_proto.clone(),
-                payload.clone(),
-                ctl.clone(),
-                atr.clone(),
-                global_cts_addr,
-            );
-            server_ids.push(dev.spawn(sm, Box::new(worker)));
+        // -- servers --------------------------------------------------------
+        let mut server_ids = Vec::new();
+        for (srv, hdr_proto) in hdr_protos.iter().enumerate() {
+            let sm = first_server_sm + srv;
+            let atr = PartitionedAtr::alloc(&mut dev, sm, cfg.atr_capacity, cfg.max_ws);
+            let ctl = ServerControl::alloc(&mut dev, sm, num_clients);
+            let receiver =
+                ReceiverWarp::new(hdr_proto.clone(), ctl.clone(), num_clients, done_addr);
+            server_ids.push(dev.spawn(sm, Box::new(receiver)));
+            for _ in 0..cfg.server_workers {
+                let worker = MultiWorker::new(
+                    hdr_proto.clone(),
+                    payload.clone(),
+                    ctl.clone(),
+                    atr.clone(),
+                    global_cts_addr,
+                );
+                server_ids.push(dev.spawn(sm, Box::new(worker)));
+            }
         }
-    }
 
-    // -- clients ------------------------------------------------------------
-    let mut client_ids = Vec::new();
-    let mut thread_id = 0usize;
-    let mut slot = 0usize;
-    for sm in 0..first_server_sm {
-        for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> = (0..WARP_LANES)
-                .map(|i| make_source(thread_id + i))
-                .collect();
-            let exec_cfg = MvExecConfig {
-                record_history: cfg.record_history,
-                ..MvExecConfig::default()
-            };
-            let client = MultiClient::new(
-                sources,
-                thread_id,
-                exec_cfg,
-                heap.clone(),
-                hdr_protos.clone(),
-                &payload,
-                slot,
-                gts_addr,
-                done_addr,
-            );
-            client_ids.push(dev.spawn(sm, Box::new(client)));
-            thread_id += WARP_LANES;
-            slot += 1;
+        // -- clients --------------------------------------------------------
+        let mut client_ids = Vec::new();
+        let mut thread_id = 0usize;
+        let mut slot = 0usize;
+        for sm in 0..first_server_sm {
+            for _ in 0..cfg.warps_per_sm {
+                let sources: Vec<S> = (0..WARP_LANES)
+                    .map(|i| make_source(thread_id + i))
+                    .collect();
+                let exec_cfg = MvExecConfig {
+                    record_history: cfg.record_history,
+                    ..MvExecConfig::default()
+                };
+                let client = MultiClient::new(
+                    sources,
+                    thread_id,
+                    exec_cfg,
+                    heap.clone(),
+                    hdr_protos.clone(),
+                    &payload,
+                    slot,
+                    gts_addr,
+                    done_addr,
+                );
+                client_ids.push(dev.spawn(sm, Box::new(client)));
+                thread_id += WARP_LANES;
+                slot += 1;
+            }
         }
-    }
+        (dev, (server_ids, client_ids))
+    };
 
-    dev.run_to_completion();
+    let (mut dev, (server_ids, client_ids)) = gpu_sim::run_with_mode(cfg.sim, launch);
 
     let analysis = dev.finish_analysis();
     let mut result = RunResult {

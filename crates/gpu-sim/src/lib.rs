@@ -28,8 +28,13 @@
 //!   protocol (after Wang et al., ASPLOS'19) on top of simulated global
 //!   memory, used by CSMV to ship read/write-sets to the commit server.
 //!
-//! Everything is seeded and single-threaded: a given program + seed always
+//! Everything is seeded and deterministic: a given program + seed always
 //! produces the identical interleaving, which the test-suite relies on.
+//! That guarantee survives host parallelism — [`Device::run_parallel`]
+//! steps SM groups on multiple OS threads inside phase-barriered windows of
+//! simulated cycles and merges their memory effects in a fixed `(SM id,
+//! warp id)` order, so its results are bit-identical to the sequential
+//! event loop for every thread count (see the [`parallel`] module).
 //!
 //! ```
 //! use gpu_sim::{Device, GpuConfig, StepOutcome, WarpCtx, WarpProgram};
@@ -62,6 +67,7 @@ pub mod channel;
 pub mod cost;
 pub mod invariant;
 pub mod mem;
+pub mod parallel;
 pub mod race;
 pub mod sched;
 pub mod stats;
@@ -70,6 +76,7 @@ pub mod warp;
 pub use cost::{CostModel, GpuConfig};
 pub use invariant::{AccessKind, InvariantChecker, MemEvent, Space, Violation};
 pub use mem::{GlobalMemory, SharedMemory, Word};
+pub use parallel::{run_with_mode, ParallelConfig, ParallelError, RunMode, DEFAULT_WINDOW};
 pub use race::{AnalysisConfig, AnalysisReport, AnalysisState, MemOrder, RaceReport};
 pub use sched::{Device, StepOutcome, WarpId, WarpProgram};
 pub use stats::{AnalysisStats, PhaseId, WarpStats, MAX_PHASES};

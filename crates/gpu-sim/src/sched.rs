@@ -11,6 +11,7 @@ use std::collections::{BinaryHeap, HashMap};
 use crate::cost::GpuConfig;
 use crate::invariant::InvariantChecker;
 use crate::mem::{GlobalMemory, SharedMemory, Word};
+use crate::parallel::GlobalSlot;
 use crate::race::{AnalysisConfig, AnalysisReport, AnalysisState};
 use crate::stats::WarpStats;
 use crate::warp::WarpCtx;
@@ -33,38 +34,42 @@ pub enum StepOutcome {
 /// `step` must perform a bounded amount of work — ideally one warp-wide
 /// instruction — through the [`WarpCtx`]; the scheduler interleaves warps
 /// between steps in simulated-time order. Programs are `Any` so the harness
-/// can downcast them after the run to collect results.
-pub trait WarpProgram: Any {
+/// can downcast them after the run to collect results, and `Send` so
+/// [`Device::run_parallel`] can step SM groups on scoped host threads.
+pub trait WarpProgram: Any + Send {
     /// Execute the next instruction(s).
     fn step(&mut self, w: &mut WarpCtx) -> StepOutcome;
 }
 
-struct WarpSlot {
-    sm_id: usize,
-    clock: u64,
-    stats: WarpStats,
-    program: Option<Box<dyn WarpProgram>>,
-    done: bool,
+pub(crate) struct WarpSlot {
+    pub(crate) sm_id: usize,
+    pub(crate) clock: u64,
+    pub(crate) stats: WarpStats,
+    pub(crate) program: Option<Box<dyn WarpProgram>>,
+    pub(crate) done: bool,
     /// Phase currently attributed (persists across steps).
-    phase: u8,
+    pub(crate) phase: u8,
     /// Lanes this kernel logically runs (persists across steps).
-    participating: u32,
+    pub(crate) participating: u32,
 }
 
 /// The simulated GPU: owns memories, warps and the event loop.
 pub struct Device {
-    cfg: GpuConfig,
-    global: GlobalMemory,
-    shared: Vec<SharedMemory>,
-    atomic_global: HashMap<u64, u64>,
-    atomic_shared: Vec<HashMap<u64, u64>>,
-    warps: Vec<WarpSlot>,
-    queue: BinaryHeap<Reverse<(u64, WarpId)>>,
-    live: usize,
-    instructions_executed: u64,
+    pub(crate) cfg: GpuConfig,
+    pub(crate) global: GlobalMemory,
+    pub(crate) shared: Vec<SharedMemory>,
+    pub(crate) atomic_global: HashMap<u64, u64>,
+    pub(crate) atomic_shared: Vec<HashMap<u64, u64>>,
+    pub(crate) warps: Vec<WarpSlot>,
+    pub(crate) queue: BinaryHeap<Reverse<(u64, WarpId)>>,
+    pub(crate) live: usize,
+    pub(crate) instructions_executed: u64,
     /// Race/invariant analysis; `None` (the default) records nothing and
     /// costs one pointer check per access.
-    analysis: Option<Box<AnalysisState>>,
+    pub(crate) analysis: Option<Box<AnalysisState>>,
+    /// Set when a parallel run conflicted mid-window: warp programs have
+    /// consumed steps that cannot rewind, so further stepping is refused.
+    pub(crate) poisoned: bool,
 }
 
 impl Device {
@@ -85,6 +90,7 @@ impl Device {
             live: 0,
             instructions_executed: 0,
             analysis: None,
+            poisoned: false,
         }
     }
 
@@ -182,6 +188,7 @@ impl Device {
     /// instructions elapse first — a guard against protocol deadlocks that
     /// would otherwise poll forever.
     pub fn run_with_limit(&mut self, max_instructions: u64) {
+        self.assert_not_poisoned();
         while self.live > 0 {
             assert!(
                 self.instructions_executed < max_instructions,
@@ -213,10 +220,12 @@ impl Device {
             phase: slot.stats_phase(),
             participating: slot.stats_participating(),
             stats: &mut slot.stats,
-            global: &mut self.global,
+            global: GlobalSlot::Direct {
+                mem: &mut self.global,
+                atomic: &mut self.atomic_global,
+            },
             shared: &mut self.shared[sm],
             cost: &self.cfg.cost,
-            atomic_global: &mut self.atomic_global,
             atomic_shared: &mut self.atomic_shared[sm],
             analysis: self.analysis.as_deref_mut(),
         };

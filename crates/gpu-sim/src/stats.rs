@@ -10,7 +10,7 @@ pub type PhaseId = u8;
 pub const MAX_PHASES: usize = 16;
 
 /// Cycle counters for one warp.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WarpStats {
     /// Cycles charged while each phase was current.
     pub cycles_by_phase: [u64; MAX_PHASES],

@@ -23,7 +23,7 @@
 pub mod atr;
 pub mod client;
 
-use gpu_sim::{AnalysisConfig, Device, GpuConfig};
+use gpu_sim::{AnalysisConfig, Device, GpuConfig, RunMode};
 use stm_core::mv_exec::{MvExecConfig, PlainSetArea};
 use stm_core::{RunResult, TxSource, VBoxHeap};
 
@@ -54,6 +54,10 @@ pub struct JvstmGpuConfig {
     pub validate_batch: usize,
     /// Analysis layer (race detector); all-off by default.
     pub analysis: AnalysisConfig,
+    /// Host execution mode; `Parallel` falls back to an identical
+    /// sequential re-run on a cross-SM window conflict (the shared GTS and
+    /// global ATR conflict quickly; results are bit-identical either way).
+    pub sim: RunMode,
 }
 
 impl Default for JvstmGpuConfig {
@@ -68,6 +72,7 @@ impl Default for JvstmGpuConfig {
             record_history: true,
             validate_batch: 16,
             analysis: AnalysisConfig::default(),
+            sim: RunMode::Sequential,
         }
     }
 }
@@ -87,47 +92,57 @@ pub fn run<S, F>(
     cfg: &JvstmGpuConfig,
     mut make_source: F,
     num_items: u64,
-    initial: impl FnMut(u64) -> u64,
+    mut initial: impl FnMut(u64) -> u64,
 ) -> RunResult
 where
     S: TxSource + 'static,
     F: FnMut(usize) -> S,
 {
-    let mut dev = Device::new(cfg.gpu.clone());
-    let gts_addr = dev.alloc_global(1);
-    let heap = VBoxHeap::init(dev.global_mut(), num_items, cfg.versions_per_box, initial);
-    let atr = GlobalAtr::alloc(dev.global_mut(), cfg.atr_capacity, cfg.max_ws);
+    // Closure so the parallel mode's conflict fallback can rebuild the
+    // identical device from scratch (see gpu_sim::run_with_mode).
+    let launch = || {
+        let mut dev = Device::new(cfg.gpu.clone());
+        let gts_addr = dev.alloc_global(1);
+        let heap = VBoxHeap::init(
+            dev.global_mut(),
+            num_items,
+            cfg.versions_per_box,
+            &mut initial,
+        );
+        let atr = GlobalAtr::alloc(dev.global_mut(), cfg.atr_capacity, cfg.max_ws);
 
-    dev.enable_analysis(cfg.analysis);
+        dev.enable_analysis(cfg.analysis);
 
-    let mut warp_ids = Vec::new();
-    let mut thread_id = 0usize;
-    for sm in 0..cfg.gpu.num_sms {
-        for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
-                .map(|i| make_source(thread_id + i))
-                .collect();
-            let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
-            let exec_cfg = MvExecConfig {
-                record_history: cfg.record_history,
-                ..MvExecConfig::default()
-            };
-            let client = JvstmGpuClient::new(
-                sources,
-                thread_id,
-                exec_cfg,
-                heap.clone(),
-                atr.clone(),
-                area,
-                gts_addr,
-                cfg.validate_batch,
-            );
-            warp_ids.push(dev.spawn(sm, Box::new(client)));
-            thread_id += gpu_sim::WARP_LANES;
+        let mut warp_ids = Vec::new();
+        let mut thread_id = 0usize;
+        for sm in 0..cfg.gpu.num_sms {
+            for _ in 0..cfg.warps_per_sm {
+                let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
+                    .map(|i| make_source(thread_id + i))
+                    .collect();
+                let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
+                let exec_cfg = MvExecConfig {
+                    record_history: cfg.record_history,
+                    ..MvExecConfig::default()
+                };
+                let client = JvstmGpuClient::new(
+                    sources,
+                    thread_id,
+                    exec_cfg,
+                    heap.clone(),
+                    atr.clone(),
+                    area,
+                    gts_addr,
+                    cfg.validate_batch,
+                );
+                warp_ids.push(dev.spawn(sm, Box::new(client)));
+                thread_id += gpu_sim::WARP_LANES;
+            }
         }
-    }
+        (dev, warp_ids)
+    };
 
-    dev.run_to_completion();
+    let (mut dev, warp_ids) = gpu_sim::run_with_mode(cfg.sim, launch);
 
     let analysis = dev.finish_analysis();
     let mut result = RunResult {

@@ -30,7 +30,7 @@ pub mod client;
 pub mod lock;
 pub mod log;
 
-use gpu_sim::{AnalysisConfig, Device, GpuConfig};
+use gpu_sim::{AnalysisConfig, Device, GpuConfig, RunMode};
 use stm_core::mv_exec::PlainSetArea;
 use stm_core::{RunResult, TxSource};
 
@@ -55,6 +55,10 @@ pub struct PrstmConfig {
     /// Analysis layer (race detector / lock-discipline checks); all-off by
     /// default.
     pub analysis: AnalysisConfig,
+    /// Host execution mode; `Parallel` falls back to an identical
+    /// sequential re-run on a cross-SM window conflict (PR-STM's global
+    /// lock table conflicts quickly; results are bit-identical either way).
+    pub sim: RunMode,
 }
 
 impl Default for PrstmConfig {
@@ -66,6 +70,7 @@ impl Default for PrstmConfig {
             max_ws: 16,
             record_history: true,
             analysis: AnalysisConfig::default(),
+            sim: RunMode::Sequential,
         }
     }
 }
@@ -82,46 +87,51 @@ pub fn run<S, F>(
     cfg: &PrstmConfig,
     mut make_source: F,
     num_items: u64,
-    initial: impl FnMut(u64) -> u64,
+    mut initial: impl FnMut(u64) -> u64,
 ) -> RunResult
 where
     S: TxSource + 'static,
     F: FnMut(usize) -> S,
 {
-    let mut dev = Device::new(cfg.gpu.clone());
-    let table = LockTable::init(dev.global_mut(), num_items, initial);
-    let log = LockLog::new();
+    // Closure so the parallel mode's conflict fallback can rebuild the
+    // identical device from scratch (see gpu_sim::run_with_mode).
+    let launch = || {
+        let mut dev = Device::new(cfg.gpu.clone());
+        let table = LockTable::init(dev.global_mut(), num_items, &mut initial);
+        let log = LockLog::new();
 
-    dev.enable_analysis(cfg.analysis);
-    if cfg.analysis.invariants {
-        dev.add_invariant_checker(Box::new(PrstmInvariantChecker::new(&table)));
-    }
-
-    let mut warp_ids = Vec::new();
-    let mut thread_id = 0usize;
-    let mut warp_index = 0u64;
-    for sm in 0..cfg.gpu.num_sms {
-        for _ in 0..cfg.warps_per_sm {
-            let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
-                .map(|i| make_source(thread_id + i))
-                .collect();
-            let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
-            let client = PrstmClient::new(
-                sources,
-                thread_id,
-                table.clone(),
-                area,
-                log.clone(),
-                cfg.record_history,
-                warp_index,
-            );
-            warp_ids.push(dev.spawn(sm, Box::new(client)));
-            thread_id += gpu_sim::WARP_LANES;
-            warp_index += 1;
+        dev.enable_analysis(cfg.analysis);
+        if cfg.analysis.invariants {
+            dev.add_invariant_checker(Box::new(PrstmInvariantChecker::new(&table)));
         }
-    }
 
-    dev.run_to_completion();
+        let mut warp_ids = Vec::new();
+        let mut thread_id = 0usize;
+        let mut warp_index = 0u64;
+        for sm in 0..cfg.gpu.num_sms {
+            for _ in 0..cfg.warps_per_sm {
+                let sources: Vec<S> = (0..gpu_sim::WARP_LANES)
+                    .map(|i| make_source(thread_id + i))
+                    .collect();
+                let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
+                let client = PrstmClient::new(
+                    sources,
+                    thread_id,
+                    table.clone(),
+                    area,
+                    log.clone(),
+                    cfg.record_history,
+                    warp_index,
+                );
+                warp_ids.push(dev.spawn(sm, Box::new(client)));
+                thread_id += gpu_sim::WARP_LANES;
+                warp_index += 1;
+            }
+        }
+        (dev, warp_ids)
+    };
+
+    let (mut dev, warp_ids) = gpu_sim::run_with_mode(cfg.sim, launch);
 
     let analysis = dev.finish_analysis();
     let mut result = RunResult {

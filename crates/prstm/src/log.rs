@@ -22,13 +22,18 @@
 //! word, the accept/abort outcome is identical to re-reading every lock
 //! word at the validation instant.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Shared, append-only list of items whose lock word was mutated.
+///
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` so the owning warp
+/// programs stay `Send` for parallel host execution. All lock-word
+/// mutations happen on an SM whose group holds the log during a window, so
+/// the mutex is uncontended; it exists to satisfy `Send`, not to
+/// synchronize simulated time.
 #[derive(Clone, Default)]
 pub struct LockLog {
-    inner: Rc<RefCell<Vec<u64>>>,
+    inner: Arc<Mutex<Vec<u64>>>,
 }
 
 impl LockLog {
@@ -37,24 +42,28 @@ impl LockLog {
         Self::default()
     }
 
+    fn guard(&self) -> std::sync::MutexGuard<'_, Vec<u64>> {
+        self.inner.lock().expect("lock log poisoned")
+    }
+
     /// Record a mutation of `item`'s lock word.
     pub fn push(&self, item: u64) {
-        self.inner.borrow_mut().push(item);
+        self.guard().push(item);
     }
 
     /// Current length (used as a revalidation cursor).
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.guard().len()
     }
 
     /// True when nothing has been logged.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.guard().is_empty()
     }
 
     /// Visit the items logged at positions `[cursor, len)`.
     pub fn scan_since(&self, cursor: usize, mut f: impl FnMut(u64)) {
-        let v = self.inner.borrow();
+        let v = self.guard();
         for &item in &v[cursor..] {
             f(item);
         }

@@ -29,7 +29,10 @@ pub enum TxOp {
 /// `Read` that returned `v` (writes acknowledge with `None`). After an abort
 /// the STM calls [`TxLogic::reset`] and replays from the start — bodies must
 /// therefore be deterministic functions of their read values.
-pub trait TxLogic {
+///
+/// Bodies are `Send` because warp programs (which own in-flight bodies) may
+/// be stepped on another host thread by `gpu_sim::Device::run_parallel`.
+pub trait TxLogic: Send {
     /// Whether this transaction is declared read-only at start (multi-version
     /// STMs give such transactions an instrumentation-free fast path).
     fn is_read_only(&self) -> bool;
@@ -43,8 +46,10 @@ pub trait TxLogic {
 }
 
 /// A per-thread stream of transactions to execute. `None` means the thread's
-/// quota is exhausted and the lane can retire.
-pub trait TxSource {
+/// quota is exhausted and the lane can retire. Sources are `Send` for the
+/// same reason as [`TxLogic`]: the owning warp program may be stepped on
+/// another host thread.
+pub trait TxSource: Send {
     /// The concrete transaction-body type.
     type Tx: TxLogic;
 

@@ -1,0 +1,329 @@
+//! Sequential/parallel equivalence: the phase-barriered parallel scheduler
+//! (`gpu_sim::parallel`) must be an *observationally invisible* optimization.
+//!
+//! Two layers of evidence:
+//!
+//! 1. A property test drives randomized group-confined warp programs (writes
+//!    and atomics stay in per-warp regions; a shared region is read-only)
+//!    through `run_parallel` at several thread counts and window widths, and
+//!    demands bit-identical global memory, cycle counts, instruction counts
+//!    and per-warp stats versus `run_to_completion`.
+//! 2. Full STM harness runs (CSMV, PR-STM, JVSTM-GPU, multi-server CSMV)
+//!    with `sim: RunMode::parallel(..)` must produce results identical to
+//!    sequential runs — including committed histories and metrics — via the
+//!    conflict-fallback contract of `gpu_sim::run_with_mode`.
+
+use gpu_sim::{
+    full_mask, Device, GpuConfig, ParallelConfig, RunMode, StepOutcome, WarpCtx, WarpId,
+    WarpProgram, DEFAULT_WINDOW,
+};
+use proptest::prelude::*;
+use stm_core::RunResult;
+use workloads::{BankConfig, BankSource};
+
+// ---------------------------------------------------------------------------
+// Layer 1: randomized programs on the raw simulator
+// ---------------------------------------------------------------------------
+
+const PRIV_WORDS: u64 = 4;
+const SHARED_WORDS: u64 = 8;
+
+/// One scripted instruction of a generated warp program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Spin the ALU for `n` cycles (skews this warp's clock against others).
+    Alu(u64),
+    /// Read a word of this warp's private global region.
+    ReadPrivate(u64),
+    /// Write a value derived from the reads so far to the private region.
+    WritePrivate(u64),
+    /// Atomic fetch-add on a private counter.
+    AtomicPrivate(u64),
+    /// Read the shared region (read-only for every warp, so cross-group
+    /// reads can never conflict).
+    ReadShared(u64),
+}
+
+/// A deterministic warp program executing a generated script.
+struct ScriptProgram {
+    ops: Vec<Op>,
+    pc: usize,
+    acc: u64,
+    priv_base: u64,
+    shared_base: u64,
+}
+
+impl WarpProgram for ScriptProgram {
+    fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+        let Some(op) = self.ops.get(self.pc).copied() else {
+            return StepOutcome::Done;
+        };
+        self.pc += 1;
+        match op {
+            Op::Alu(n) => w.alu(full_mask(), n),
+            Op::ReadPrivate(s) => {
+                let v = w.global_read1(0, self.priv_base + s % PRIV_WORDS);
+                self.acc = self.acc.wrapping_add(v);
+            }
+            Op::WritePrivate(s) => {
+                let v = self
+                    .acc
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(self.pc as u64);
+                w.global_write1(0, self.priv_base + s % PRIV_WORDS, v);
+            }
+            Op::AtomicPrivate(s) => {
+                let got = w.global_atomic_add(0, self.priv_base + s % PRIV_WORDS, 1 + s % 7);
+                self.acc ^= got;
+            }
+            Op::ReadShared(s) => {
+                let v = w.global_read1(0, self.shared_base + s % SHARED_WORDS);
+                self.acc = self.acc.wrapping_add(v);
+            }
+        }
+        StepOutcome::Running
+    }
+}
+
+/// Build a device running the given scripts, round-robined over `num_sms`.
+fn build(num_sms: usize, scripts: &[Vec<Op>]) -> (Device, Vec<WarpId>) {
+    let mut dev = Device::new(GpuConfig {
+        num_sms,
+        ..GpuConfig::default()
+    });
+    let shared_base = dev.alloc_global(SHARED_WORDS as usize);
+    for s in 0..SHARED_WORDS {
+        dev.global_mut().write(shared_base + s, 0x1000 + 3 * s);
+    }
+    let ids = scripts
+        .iter()
+        .enumerate()
+        .map(|(i, ops)| {
+            let priv_base = dev.alloc_global(PRIV_WORDS as usize);
+            dev.spawn(
+                i % num_sms,
+                Box::new(ScriptProgram {
+                    ops: ops.clone(),
+                    pc: 0,
+                    acc: 0,
+                    priv_base,
+                    shared_base,
+                }),
+            )
+        })
+        .collect();
+    (dev, ids)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..32).prop_map(Op::Alu),
+        (0u64..PRIV_WORDS).prop_map(Op::ReadPrivate),
+        (0u64..16).prop_map(Op::WritePrivate),
+        (0u64..16).prop_map(Op::AtomicPrivate),
+        (0u64..SHARED_WORDS).prop_map(Op::ReadShared),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn parallel_execution_is_invisible_for_group_confined_programs(
+        num_sms in 1usize..4,
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..24),
+            1..8,
+        ),
+    ) {
+        let (mut seq, seq_ids) = build(num_sms, &scripts);
+        seq.run_to_completion();
+
+        for threads in [1usize, 2, 4] {
+            for window in [1u64, 64, DEFAULT_WINDOW] {
+                let (mut par, ids) = build(num_sms, &scripts);
+                par.run_parallel(&ParallelConfig { threads, window })
+                    .expect("group-confined programs cannot conflict");
+                prop_assert_eq!(par.elapsed_cycles(), seq.elapsed_cycles());
+                prop_assert_eq!(par.instructions_executed(), seq.instructions_executed());
+                prop_assert_eq!(par.global(), seq.global());
+                for (&p, &s) in ids.iter().zip(&seq_ids) {
+                    prop_assert_eq!(par.warp_stats(p), seq.warp_stats(s));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: full STM harnesses through RunMode
+// ---------------------------------------------------------------------------
+
+/// Assert two harness results are indistinguishable, committed history
+/// included.
+fn assert_same_result(par: &RunResult, seq: &RunResult) {
+    assert_eq!(par.elapsed_cycles, seq.elapsed_cycles);
+    assert_eq!(par.stats, seq.stats);
+    assert_eq!(par.client_breakdown, seq.client_breakdown);
+    assert_eq!(par.server_breakdown, seq.server_breakdown);
+    assert_eq!(par.records, seq.records);
+    assert_eq!(par.metrics, seq.metrics);
+}
+
+fn small_bank() -> BankConfig {
+    BankConfig {
+        accounts: 128,
+        ..BankConfig::paper(50)
+    }
+}
+
+fn small_gpu() -> GpuConfig {
+    GpuConfig {
+        num_sms: 4,
+        ..GpuConfig::default()
+    }
+}
+
+fn run_csmv(sim: RunMode) -> RunResult {
+    let bank = small_bank();
+    let mut cfg = csmv::CsmvConfig {
+        gpu: small_gpu(),
+        versions_per_box: 4,
+        max_rs: 8,
+        max_ws: 2,
+        record_history: true,
+        sim,
+        ..Default::default()
+    };
+    cfg.fit_atr_capacity();
+    csmv::run(
+        &cfg,
+        |t| BankSource::new(&bank, 7, t, 2),
+        bank.accounts,
+        |_| bank.initial_balance,
+    )
+}
+
+#[test]
+fn csmv_parallel_mode_matches_sequential() {
+    let seq = run_csmv(RunMode::Sequential);
+    for threads in [2usize, 8] {
+        assert_same_result(&run_csmv(RunMode::parallel(threads)), &seq);
+    }
+}
+
+#[test]
+fn prstm_parallel_mode_matches_sequential() {
+    let run = |sim| {
+        let bank = small_bank();
+        let cfg = prstm::PrstmConfig {
+            gpu: small_gpu(),
+            max_rs: bank.accounts as usize + 8,
+            max_ws: 8,
+            record_history: true,
+            sim,
+            ..Default::default()
+        };
+        prstm::run(
+            &cfg,
+            |t| BankSource::new(&bank, 7, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+    };
+    assert_same_result(&run(RunMode::parallel(4)), &run(RunMode::Sequential));
+}
+
+#[test]
+fn jvstm_gpu_parallel_mode_matches_sequential() {
+    let run = |sim| {
+        let bank = small_bank();
+        let cfg = jvstm_gpu::JvstmGpuConfig {
+            gpu: small_gpu(),
+            versions_per_box: 4,
+            max_rs: 8,
+            max_ws: 8,
+            atr_capacity: 4096,
+            record_history: true,
+            sim,
+            ..Default::default()
+        };
+        jvstm_gpu::run(
+            &cfg,
+            |t| BankSource::new(&bank, 7, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+    };
+    assert_same_result(&run(RunMode::parallel(4)), &run(RunMode::Sequential));
+}
+
+#[test]
+fn multi_server_csmv_parallel_mode_matches_sequential() {
+    let run = |sim| {
+        let bank = small_bank().partitioned(2);
+        let cfg = csmv::MultiCsmvConfig {
+            gpu: GpuConfig {
+                num_sms: 6,
+                ..GpuConfig::default()
+            },
+            num_servers: 2,
+            versions_per_box: 4,
+            warps_per_sm: 2,
+            server_workers: 7,
+            max_rs: 8,
+            max_ws: 2,
+            atr_capacity: 1024,
+            record_history: true,
+            sim,
+            ..Default::default()
+        };
+        csmv::run_multi(
+            &cfg,
+            |t| BankSource::new(&bank, 7, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+    };
+    assert_same_result(&run(RunMode::parallel(4)), &run(RunMode::Sequential));
+}
+
+/// The analysis layer is incompatible with parallel stepping by contract;
+/// `run_with_mode` must fall back to a sequential run on the same device and
+/// still deliver analysis results identical to a sequential launch.
+#[test]
+fn analysis_plus_parallel_mode_falls_back_and_matches() {
+    let run = |sim| {
+        let bank = small_bank();
+        let mut cfg = csmv::CsmvConfig {
+            gpu: small_gpu(),
+            versions_per_box: 4,
+            max_rs: 8,
+            max_ws: 2,
+            record_history: true,
+            analysis: gpu_sim::AnalysisConfig {
+                races: true,
+                invariants: true,
+            },
+            sim,
+            ..Default::default()
+        };
+        cfg.fit_atr_capacity();
+        csmv::run(
+            &cfg,
+            |t| BankSource::new(&bank, 7, t, 2),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+    };
+    let seq = run(RunMode::Sequential);
+    let par = run(RunMode::parallel(4));
+    assert_same_result(&par, &seq);
+    let (ps, ss) = (
+        par.analysis.as_ref().expect("analysis ran").stats(),
+        seq.analysis.as_ref().expect("analysis ran").stats(),
+    );
+    assert_eq!(ps.events, ss.events);
+    assert_eq!(ps.races, ss.races);
+    assert_eq!(ps.violations, ss.violations);
+}
