@@ -36,8 +36,13 @@ fn main() {
             record_history: false,
             variant: CsmvVariant::Full,
             analysis: scale.analysis_cfg(),
+            recovery: scale.recovery(),
+            faults: scale.fault_plan(),
             ..Default::default()
         };
+        if let Some(watchdog) = scale.fault_watchdog() {
+            cfg.max_idle_cycles = Some(watchdog);
+        }
         cfg.fit_atr_capacity();
         eprintln!("[multiserver] baseline single-server");
         let res = csmv::run(
@@ -57,7 +62,7 @@ fn main() {
                 ..BankConfig::paper(rot_pct)
             }
             .partitioned(n as u64);
-            let cfg = MultiCsmvConfig {
+            let mut cfg = MultiCsmvConfig {
                 gpu: GpuConfig {
                     num_sms: scale.sms,
                     ..GpuConfig::default()
@@ -71,8 +76,17 @@ fn main() {
                 atr_capacity: 1024,
                 record_history: false,
                 analysis: scale.analysis_cfg(),
+                recovery: scale.recovery(),
+                faults: scale.fault_plan(),
                 ..Default::default()
             };
+            if let Some(watchdog) = scale.fault_watchdog() {
+                // Faulted runs wait out timeouts/backoff; keep the (generous)
+                // fault watchdog and arm heartbeat quarantine so a crashed
+                // server degrades gracefully instead of stalling the run.
+                cfg.max_idle_cycles = Some(watchdog);
+                cfg.heartbeat_patience = Some(25_000);
+            }
             let res = csmv::run_multi(
                 &cfg,
                 |t| BankSource::new(&bank, scale.seed, t, scale.bank_txs),

@@ -95,6 +95,19 @@ impl BenchArgs {
                     let v = args.next().ok_or("--threads requires a value")?;
                     threads = parse_threads(&v).ok_or_else(|| format!("bad --threads '{v}'"))?;
                 }
+                "--faults" => {
+                    let v = args.next().ok_or("--faults requires a spec")?;
+                    // Validate eagerly so a typo fails at the command line,
+                    // not halfway through a sweep.
+                    v.parse::<gpu_sim::fault::FaultSpec>()
+                        .map_err(|e| format!("bad --faults '{v}': {e}"))?;
+                    scale.faults = Some(v);
+                }
+                "--fault-seed" => {
+                    let v = args.next().ok_or("--fault-seed requires a value")?;
+                    scale.fault_seed =
+                        parse_u64(&v).ok_or_else(|| format!("bad --fault-seed '{v}'"))?;
+                }
                 "--analysis" => scale.analysis = true,
                 "--help" | "-h" => {
                     println!("{}", usage(bench));
@@ -119,6 +132,10 @@ impl BenchArgs {
         let mut report =
             BenchReport::from_rows(&self.bench, &self.scale_name, self.scale.seed, rows);
         report.threads = self.threads as u64;
+        if self.scale.faults.is_some() {
+            report.faults = self.scale.faults.clone();
+            report.fault_seed = Some(self.scale.fault_seed);
+        }
         match report.write_file(path) {
             Ok(()) => eprintln!("[{}] wrote {}", self.bench, path.display()),
             Err(e) => {
@@ -147,14 +164,22 @@ fn parse_u64(s: &str) -> Option<u64> {
 fn usage(bench: &str) -> String {
     format!(
         "usage: {bench} [--json PATH] [--seed N] [--quick | --paper] [--threads N] [--analysis]\n\
+         \x20             [--faults SPEC] [--fault-seed N]\n\
          \n\
-         --json PATH   write the structured report (schema: crates/bench/src/report.rs)\n\
-         --seed N      workload RNG seed (decimal or 0x-hex; default 0xC53A17)\n\
-         --quick       reduced smoke-test scale (same as BENCH_QUICK=1)\n\
-         --paper       paper-faithful scale (the default)\n\
-         --threads N   host threads for bench cells (same as BENCH_THREADS=N;\n\
-                       default 1; results are identical for every value)\n\
-         --analysis    run under the race/invariant analysis layer"
+         --json PATH     write the structured report (schema: crates/bench/src/report.rs)\n\
+         --seed N        workload RNG seed (decimal or 0x-hex; default 0xC53A17)\n\
+         --quick         reduced smoke-test scale (same as BENCH_QUICK=1)\n\
+         --paper         paper-faithful scale (the default)\n\
+         --threads N     host threads for bench cells (same as BENCH_THREADS=N;\n\
+                         default 1; results are identical for every value)\n\
+         --analysis      run under the race/invariant analysis layer\n\
+         --faults SPEC   deterministic fault injection (same as BENCH_FAULTS=SPEC;\n\
+                         comma-separated clauses, e.g.\n\
+                         'drop_req=0.1,drop_resp=0.1,dup_req=0.05,delay_req=0.2x200';\n\
+                         also kill=W@C, stall=W@CxN, crash_sm=S@C); arms client\n\
+                         timeouts/backoff and the stall watchdog\n\
+         --fault-seed N  seed for fault decisions and recovery jitter (same as\n\
+                         BENCH_FAULT_SEED=N; default 0xFA0175)"
     )
 }
 
@@ -208,6 +233,42 @@ mod tests {
         assert_eq!(a.threads, 1);
         let a = BenchArgs::try_parse("t", argv(&["--threads", "8"])).unwrap();
         assert_eq!(a.threads, 8);
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate_eagerly() {
+        let a = BenchArgs::try_parse(
+            "t",
+            argv(&[
+                "--faults",
+                "drop_req=0.2,delay_req=0.1x100",
+                "--fault-seed",
+                "0xFA",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(
+            a.scale.faults.as_deref(),
+            Some("drop_req=0.2,delay_req=0.1x100")
+        );
+        assert_eq!(a.scale.fault_seed, 0xFA);
+        assert!(a.scale.fault_plan().is_some());
+        // A malformed spec is rejected at parse time, before any run starts.
+        assert!(BenchArgs::try_parse("t", argv(&["--faults", "drop_req=eleven"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--faults"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--fault-seed", "zap"])).is_err());
+    }
+
+    #[test]
+    fn faultless_scales_keep_recovery_inert() {
+        let a = BenchArgs::try_parse("t", argv(&[])).unwrap();
+        assert!(a.scale.faults.is_none());
+        assert!(a.scale.fault_plan().is_none());
+        assert!(a.scale.fault_watchdog().is_none());
+        assert_eq!(a.scale.recovery().resp_timeout, None);
+        let b = BenchArgs::try_parse("t", argv(&["--faults", "drop_req=0.1"])).unwrap();
+        assert!(b.scale.recovery().resp_timeout.is_some());
+        assert!(b.scale.fault_watchdog().is_some());
     }
 
     #[test]

@@ -149,6 +149,18 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Vi
             baseline.seed.to_string(),
             candidate.seed.to_string(),
         ),
+        // Fault injection changes results by design; comparing a faulted run
+        // against a fault-free baseline is a configuration mistake.
+        (
+            "faults",
+            format!("{:?}", baseline.faults),
+            format!("{:?}", candidate.faults),
+        ),
+        (
+            "fault_seed",
+            format!("{:?}", baseline.fault_seed),
+            format!("{:?}", candidate.fault_seed),
+        ),
     ] {
         if b != c {
             return Err(format!(
@@ -221,6 +233,20 @@ pub fn equal(a: &BenchReport, b: &BenchReport) -> Result<(), String> {
     if a.seed != b.seed {
         return diff("seed", &a.seed, &b.seed);
     }
+    if a.faults != b.faults {
+        return diff(
+            "faults",
+            &format!("{:?}", a.faults),
+            &format!("{:?}", b.faults),
+        );
+    }
+    if a.fault_seed != b.fault_seed {
+        return diff(
+            "fault_seed",
+            &format!("{:?}", a.fault_seed),
+            &format!("{:?}", b.fault_seed),
+        );
+    }
     if a.rows.len() != b.rows.len() {
         return diff("row count", &a.rows.len(), &b.rows.len());
     }
@@ -276,6 +302,8 @@ mod tests {
             scale: "quick".into(),
             seed: 7,
             threads: 1,
+            faults: None,
+            fault_seed: None,
             rows,
         }
     }

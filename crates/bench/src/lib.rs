@@ -55,6 +55,13 @@ pub struct Scale {
     /// CSMV with spurious window aborts — used to prove `bench-gate`
     /// actually fails on a regression.
     pub atr_cap: Option<u64>,
+    /// Deterministic fault-injection spec (`--faults` / `BENCH_FAULTS`;
+    /// comma-separated clauses, see `gpu_sim::fault::FaultSpec`). `None`
+    /// runs fault-free.
+    pub faults: Option<String>,
+    /// Seed every fault-plan decision and the recovery jitter derive from
+    /// (`--fault-seed` / `BENCH_FAULT_SEED`).
+    pub fault_seed: u64,
 }
 
 impl Scale {
@@ -70,6 +77,8 @@ impl Scale {
             seed: 0xC5_3A17,
             analysis: false,
             atr_cap: None,
+            faults: None,
+            fault_seed: 0xFA_0175,
         }
     }
 
@@ -85,6 +94,8 @@ impl Scale {
             seed: 0xC5_3A17,
             analysis: false,
             atr_cap: None,
+            faults: None,
+            fault_seed: 0xFA_0175,
         }
     }
 
@@ -107,7 +118,50 @@ impl Scale {
         scale.atr_cap = std::env::var("BENCH_ATR_CAP")
             .ok()
             .and_then(|v| v.parse().ok());
+        scale.faults = std::env::var("BENCH_FAULTS").ok().filter(|v| !v.is_empty());
+        if let Some(seed) = std::env::var("BENCH_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            scale.fault_seed = seed;
+        }
         scale
+    }
+
+    /// The fault plan the `faults` spec selects. Panics on a malformed spec:
+    /// that is a configuration error, not a measurement.
+    pub fn fault_plan(&self) -> Option<gpu_sim::fault::FaultPlan> {
+        self.faults.as_ref().map(|spec| {
+            let parsed = spec
+                .parse()
+                .unwrap_or_else(|e| panic!("bad fault spec '{spec}': {e}"));
+            gpu_sim::fault::FaultPlan::new(self.fault_seed, parsed)
+        })
+    }
+
+    /// The client recovery policy armed alongside fault injection: generous
+    /// timeout × attempts (terminal abandonment of a batch on a *live* but
+    /// slow server risks an unpublished commit timestamp; see DESIGN.md §11)
+    /// plus seeded backoff jitter. Inert when no faults are injected, so
+    /// fault-free runs behave exactly as before.
+    pub fn recovery(&self) -> stm_core::RetryPolicy {
+        if self.faults.is_none() {
+            return stm_core::RetryPolicy::default();
+        }
+        stm_core::RetryPolicy {
+            resp_timeout: Some(20_000),
+            max_send_attempts: 16,
+            retry_budget: None,
+            backoff_base: 64,
+            backoff_cap: 4096,
+            jitter_seed: self.fault_seed ^ 0x5EED,
+        }
+    }
+
+    /// Stall watchdog armed under fault injection, so an unsurvivable plan
+    /// fails loudly instead of hanging the bench.
+    pub fn fault_watchdog(&self) -> Option<u64> {
+        self.faults.as_ref().map(|_| 4_000_000)
     }
 
     /// The analysis configuration the `analysis` knob selects.
@@ -151,6 +205,9 @@ pub struct Row {
     pub commits: u64,
     /// Raw abort count.
     pub aborts: u64,
+    /// Transactions terminally failed by the recovery layer (fault
+    /// injection only; 0 in healthy runs).
+    pub failed: u64,
     /// Analysis-layer counters, when [`Scale::analysis`] was on.
     pub analysis: Option<AnalysisStats>,
     /// True when the row was measured in host wall-clock time (the CPU
@@ -186,6 +243,7 @@ pub fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
         elapsed_ms: cycles_to_ms(res.elapsed_cycles),
         commits: res.stats.commits(),
         aborts: res.stats.aborts(),
+        failed: res.stats.failed,
         analysis: res.analysis.as_ref().map(|a| a.stats()),
         wall_clock: false,
         metrics: res.metrics.clone(),
@@ -211,8 +269,13 @@ pub fn bank_csmv(scale: &Scale, rot_pct: u8, variant: csmv::CsmvVariant, version
         record_history: false,
         variant,
         analysis: scale.analysis_cfg(),
+        recovery: scale.recovery(),
+        faults: scale.fault_plan(),
         ..Default::default()
     };
+    if let Some(watchdog) = scale.fault_watchdog() {
+        cfg.max_idle_cycles = Some(watchdog);
+    }
     cfg.fit_atr_capacity();
     if let Some(cap) = scale.atr_cap {
         cfg.atr_capacity = cap;
@@ -240,6 +303,9 @@ pub fn bank_jvstm_gpu(scale: &Scale, rot_pct: u8) -> Row {
         atr_capacity: cfg_atr(scale),
         record_history: false,
         analysis: scale.analysis_cfg(),
+        recovery: scale.recovery(),
+        faults: scale.fault_plan(),
+        max_idle_cycles: scale.fault_watchdog(),
         ..Default::default()
     };
     let res = jvstm_gpu::run(
@@ -268,6 +334,9 @@ pub fn bank_prstm(scale: &Scale, rot_pct: u8) -> Row {
         max_ws: 8,
         record_history: false,
         analysis: scale.analysis_cfg(),
+        recovery: scale.recovery(),
+        faults: scale.fault_plan(),
+        max_idle_cycles: scale.fault_watchdog(),
         ..Default::default()
     };
     let res = prstm::run(
@@ -311,6 +380,7 @@ pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
         elapsed_ms: res.elapsed.as_secs_f64() * 1e3,
         commits: res.stats.commits(),
         aborts: res.stats.aborts(),
+        failed: 0,
         analysis: None, // the CPU baseline runs outside the simulator
         wall_clock: true,
         metrics: MetricsReport::default(),
@@ -346,8 +416,13 @@ pub fn mc_csmv(scale: &Scale, ways: u64, variant: csmv::CsmvVariant) -> Row {
         record_history: false,
         variant,
         analysis: scale.analysis_cfg(),
+        recovery: scale.recovery(),
+        faults: scale.fault_plan(),
         ..Default::default()
     };
+    if let Some(watchdog) = scale.fault_watchdog() {
+        cfg.max_idle_cycles = Some(watchdog);
+    }
     cfg.fit_atr_capacity();
     if let Some(cap) = scale.atr_cap {
         cfg.atr_capacity = cap;
@@ -373,6 +448,9 @@ pub fn mc_jvstm_gpu(scale: &Scale, ways: u64) -> Row {
         atr_capacity: cfg_atr(scale),
         record_history: false,
         analysis: scale.analysis_cfg(),
+        recovery: scale.recovery(),
+        faults: scale.fault_plan(),
+        max_idle_cycles: scale.fault_watchdog(),
         ..Default::default()
     };
     let res = jvstm_gpu::run(
@@ -394,6 +472,9 @@ pub fn mc_prstm(scale: &Scale, ways: u64) -> Row {
         max_ws: 4,
         record_history: false,
         analysis: scale.analysis_cfg(),
+        recovery: scale.recovery(),
+        faults: scale.fault_plan(),
+        max_idle_cycles: scale.fault_watchdog(),
         ..Default::default()
     };
     let res = prstm::run(

@@ -11,7 +11,7 @@
 
 use crate::json::{parse, Json};
 use crate::Row;
-use stm_core::AbortReason;
+use stm_core::{AbortReason, FaultEvent};
 
 /// Bumped whenever the schema changes incompatibly; `bench-gate` refuses to
 /// compare reports of different versions.
@@ -33,6 +33,13 @@ pub struct BenchReport {
     /// deterministic and ordered, so reports produced at different thread
     /// counts are otherwise identical, and `bench-gate` never gates on it.
     pub threads: u64,
+    /// Fault-injection spec the run used (`config.faults`), if any. Unlike
+    /// `threads` this changes results, so `bench-gate` refuses to compare
+    /// reports whose fault configs differ.
+    pub faults: Option<String>,
+    /// Seed feeding fault decisions and recovery jitter
+    /// (`config.fault_seed`); recorded only when faults were injected.
+    pub fault_seed: Option<u64>,
     /// Measured configurations, in execution order.
     pub rows: Vec<ReportRow>,
 }
@@ -82,6 +89,16 @@ fn flatten(row: &Row) -> Vec<(String, f64)> {
             metrics.aborts.count(reason) as f64,
         ));
     }
+    // Fault/recovery observability: informational (never gated), present in
+    // every report so fault-armed runs stay schema-compatible.
+    m.push(("failed".into(), row.failed as f64));
+    for event in FaultEvent::ALL {
+        m.push((
+            format!("faults.{}", event.key()),
+            metrics.faults.count(event) as f64,
+        ));
+    }
+    m.push(("faults.total".into(), metrics.faults.total() as f64));
     for (prefix, h) in [
         ("commit_latency", &metrics.commit_latency),
         ("abort_latency", &metrics.abort_latency),
@@ -114,6 +131,8 @@ impl BenchReport {
             scale: scale.to_string(),
             seed,
             threads: 1,
+            faults: None,
+            fault_seed: None,
             rows: rows
                 .iter()
                 .map(|r| ReportRow {
@@ -157,10 +176,16 @@ impl BenchReport {
             ("scale".into(), Json::Str(self.scale.clone())),
             ("seed".into(), Json::Num(self.seed as f64)),
             ("rows".into(), Json::Arr(rows)),
-            (
-                "config".into(),
-                Json::Obj(vec![("threads".into(), Json::Num(self.threads as f64))]),
-            ),
+            ("config".into(), {
+                let mut cfg = vec![("threads".into(), Json::Num(self.threads as f64))];
+                if let Some(spec) = &self.faults {
+                    cfg.push(("faults".into(), Json::Str(spec.clone())));
+                }
+                if let Some(seed) = self.fault_seed {
+                    cfg.push(("fault_seed".into(), Json::Num(seed as f64)));
+                }
+                Json::Obj(cfg)
+            }),
         ])
     }
 
@@ -181,13 +206,26 @@ impl BenchReport {
         let seed = field("seed")?.as_u64().ok_or("'seed' must be an integer")?;
         // `config` is optional so baselines written before it existed still
         // parse (they ran single-threaded).
-        let threads = match doc.get("config") {
-            Some(cfg) => cfg
-                .get("threads")
-                .map(|t| t.as_u64().ok_or("'config.threads' must be an integer"))
-                .transpose()?
-                .unwrap_or(1),
-            None => 1,
+        let (threads, faults, fault_seed) = match doc.get("config") {
+            Some(cfg) => (
+                cfg.get("threads")
+                    .map(|t| t.as_u64().ok_or("'config.threads' must be an integer"))
+                    .transpose()?
+                    .unwrap_or(1),
+                // Optional so fault-free baselines (and reports written
+                // before the fault layer existed) parse unchanged.
+                cfg.get("faults")
+                    .map(|f| {
+                        f.as_str()
+                            .map(str::to_string)
+                            .ok_or("'config.faults' must be a string")
+                    })
+                    .transpose()?,
+                cfg.get("fault_seed")
+                    .map(|s| s.as_u64().ok_or("'config.fault_seed' must be an integer"))
+                    .transpose()?,
+            ),
+            None => (1, None, None),
         };
         let mut rows = Vec::new();
         for (i, row) in field("rows")?
@@ -233,6 +271,8 @@ impl BenchReport {
             scale,
             seed,
             threads,
+            faults,
+            fault_seed,
             rows,
         })
     }
@@ -285,6 +325,7 @@ mod tests {
             elapsed_ms: 12.0,
             commits: 1000,
             aborts: 35,
+            failed: 0,
             analysis: None,
             wall_clock: false,
             metrics,
@@ -302,6 +343,9 @@ mod tests {
         assert_eq!(row.metric("commit_latency.mean"), Some(100.0));
         assert_eq!(row.metric("batch_sizes.max"), Some(17.0));
         assert_eq!(row.metric("atr_occupancy.samples"), Some(1.0));
+        assert_eq!(row.metric("failed"), Some(0.0));
+        assert_eq!(row.metric("faults.timeouts"), Some(0.0));
+        assert_eq!(row.metric("faults.total"), Some(0.0));
         assert_eq!(row.metric("gts_stall.sum"), Some(7.0));
         assert_eq!(row.metric("poll_stall_cycles"), Some(55.0));
         assert_eq!(row.metric("no_such_metric"), None);
@@ -320,6 +364,13 @@ mod tests {
     fn report_round_trips_through_json() {
         let mut report = BenchReport::from_rows("table3", "paper", 0xC5_3A17, &[sample_row()]);
         report.threads = 8;
+        let text = report.to_json().pretty();
+        let back = BenchReport::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
+        // The fault config is part of the run's identity: it must survive the
+        // round trip too.
+        report.faults = Some("drop_req=0.1,dup_req=0.05".into());
+        report.fault_seed = Some(0xFA_0175);
         let text = report.to_json().pretty();
         let back = BenchReport::from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(back, report);

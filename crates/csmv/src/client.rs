@@ -7,7 +7,7 @@
 use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
 use gpu_sim::{full_mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES};
 use stm_core::mv_exec::{MvExec, MvExecConfig};
-use stm_core::{AbortReason, Phase, TxSource, VBoxHeap};
+use stm_core::{AbortReason, FaultEvent, Phase, RetryPolicy, TxSource, VBoxHeap};
 
 use crate::protocol::{unpack_outcome, CommitProtocol, Outcome, RequestSetArea};
 use crate::variant::CsmvVariant;
@@ -27,8 +27,13 @@ enum Phase_ {
     SendHdrA,
     /// Write the per-lane B headers.
     SendHdrB,
+    /// Write the batch sequence word (idempotence key for retries).
+    SendSeq,
     /// Flip the mailbox flag to REQUEST.
     SendFlag,
+    /// Costed wait until `resume_at`, then (re-)post the request flag —
+    /// used for injected send delays and timeout backoff.
+    Backoff { resume_at: u64 },
     /// Poll for the server's response.
     WaitResp,
     /// Read the 32 outcome words.
@@ -70,6 +75,23 @@ pub struct CsmvClient<S: TxSource> {
     lane_head: [u64; WARP_LANES],
     /// Cycle at which the current GTS-wait episode began.
     gts_wait_start: Option<u64>,
+    /// Failure-recovery policy (response timeout, backoff, retry budget);
+    /// inert by default so healthy runs are unchanged.
+    recovery: RetryPolicy,
+    /// Fault-domain channel id (partition index in multi-server setups).
+    fault_channel: u64,
+    /// Next batch sequence number (1-based; the receiver treats 0 as
+    /// "nothing received yet").
+    next_seq: u64,
+    /// Seq of the in-flight batch; retries re-post the same value.
+    cur_seq: u64,
+    /// Send attempts of the in-flight batch (0 while the first send is
+    /// pending).
+    send_attempt: u32,
+    /// Cycle at which the current send's response wait began.
+    send_started: u64,
+    /// An injected send delay has already been served for this attempt.
+    delay_served: bool,
 }
 
 impl<S: TxSource> CsmvClient<S> {
@@ -101,7 +123,24 @@ impl<S: TxSource> CsmvClient<S> {
             lane_head: [0; WARP_LANES],
             skip_gts_wait: false,
             gts_wait_start: None,
+            recovery: RetryPolicy::default(),
+            fault_channel: 0,
+            next_seq: 1,
+            cur_seq: 0,
+            send_attempt: 0,
+            send_started: 0,
+            delay_served: false,
         }
+    }
+
+    /// Install a failure-recovery policy (timeouts, backoff, retry budget).
+    pub fn set_recovery(&mut self, policy: RetryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// Set the fault-domain channel id (multi-server partition index).
+    pub fn set_fault_channel(&mut self, channel: u64) {
+        self.fault_channel = channel;
     }
 
     /// Seed a protocol bug for analysis-layer tests: this warp publishes its
@@ -275,21 +314,89 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                     |l| proto.hdr_b_addr(slot, l),
                     |l| CommitProtocol::pack_hdr_b(lanes[l].rs.len(), lanes[l].ws.len()),
                 );
+                self.phase = Phase_::SendSeq;
+                StepOutcome::Running
+            }
+            Phase_::SendSeq => {
+                w.set_phase(Phase::WaitServer.id());
+                self.cur_seq = self.next_seq;
+                self.next_seq += 1;
+                self.send_attempt = 0;
+                self.delay_served = false;
+                let leader = self.leader_lane();
+                // Seq words are mailbox control plane, like the status word:
+                // recovery resends rewrite them while the server side may
+                // still be sweeping, so every access is ordered.
+                w.global_write1_ord(
+                    leader,
+                    self.proto.req_seq_addr(self.slot),
+                    self.cur_seq,
+                    MemOrder::Release,
+                );
                 self.phase = Phase_::SendFlag;
                 StepOutcome::Running
             }
             Phase_::SendFlag => {
                 w.set_phase(Phase::WaitServer.id());
+                let channel = self.fault_channel;
+                let slot = self.slot as u64;
+                let seq = self.cur_seq;
+                let attempt = self.send_attempt;
+                let mut delay = 0;
+                let mut dropped = false;
+                if let Some(plan) = w.fault_plan() {
+                    if !self.delay_served {
+                        delay = plan.request_delay(channel, slot, seq, attempt);
+                    }
+                    dropped = plan.drop_request(channel, slot, seq, attempt);
+                }
+                if delay > 0 {
+                    self.delay_served = true;
+                    let now = w.now();
+                    self.exec
+                        .metrics
+                        .record_fault(FaultEvent::DelayInjected, now);
+                    self.phase = Phase_::Backoff {
+                        resume_at: now + delay,
+                    };
+                    return StepOutcome::Running;
+                }
+                if attempt > 0 {
+                    self.exec.metrics.record_fault(FaultEvent::Resend, w.now());
+                }
                 let leader = self.leader_lane();
-                // Release: publishes the headers/payload written above to the
-                // server, which acquires this flag when it polls.
-                w.global_write1_ord(
-                    leader,
-                    self.proto.mailboxes().status_addr(self.slot),
-                    STATUS_REQUEST,
-                    MemOrder::Release,
-                );
+                if dropped {
+                    // The flag flip is lost in transit: pay the memory cost
+                    // but leave the mailbox status untouched (the seq rewrite
+                    // is idempotent).
+                    w.global_write1_ord(
+                        leader,
+                        self.proto.req_seq_addr(self.slot),
+                        seq,
+                        MemOrder::Release,
+                    );
+                } else {
+                    // Release: publishes the headers/payload written above to
+                    // the server, which acquires this flag when it polls.
+                    w.global_write1_ord(
+                        leader,
+                        self.proto.mailboxes().status_addr(self.slot),
+                        STATUS_REQUEST,
+                        MemOrder::Release,
+                    );
+                }
+                self.delay_served = false;
+                self.send_started = w.now();
                 self.phase = Phase_::WaitResp;
+                StepOutcome::Running
+            }
+            Phase_::Backoff { resume_at } => {
+                w.set_phase(Phase::WaitServer.id());
+                if w.now() >= resume_at {
+                    self.phase = Phase_::SendFlag;
+                } else {
+                    w.poll_wait();
+                }
                 StepOutcome::Running
             }
             Phase_::WaitResp => {
@@ -303,9 +410,50 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                     MemOrder::Acquire,
                 );
                 if st == STATUS_RESPONSE {
-                    self.phase = Phase_::ReadOutcomes;
-                } else {
+                    // Guard against a stale response left over from a previous
+                    // batch whose duplicate the receiver has not yet re-armed:
+                    // only consume outcomes stamped with this batch's seq. A
+                    // stale echo falls through to the timeout logic below so a
+                    // re-posted REQUEST can reclaim the slot.
+                    let echo = w.global_read1_ord(
+                        leader,
+                        self.proto.resp_seq_addr(self.slot),
+                        MemOrder::Acquire,
+                    );
+                    if echo == self.cur_seq {
+                        self.phase = Phase_::ReadOutcomes;
+                        return StepOutcome::Running;
+                    }
+                }
+                let timed_out = self
+                    .recovery
+                    .resp_timeout
+                    .is_some_and(|t| w.now().saturating_sub(self.send_started) > t);
+                if !timed_out {
                     w.poll_wait();
+                    return StepOutcome::Running;
+                }
+                let now = w.now();
+                self.exec.metrics.record_fault(FaultEvent::Timeout, now);
+                self.send_attempt += 1;
+                if self.send_attempt >= self.recovery.max_send_attempts {
+                    // Terminal: the server is unreachable for this batch.
+                    let committing = self.committing_mask();
+                    for lane in 0..WARP_LANES {
+                        if committing & (1 << lane) != 0 {
+                            self.exec.fail_lane(lane, now, AbortReason::ServerTimeout);
+                        }
+                    }
+                    self.phase = Phase_::FinishRound;
+                } else {
+                    let delay = self.recovery.backoff_cycles(
+                        self.slot as u64,
+                        self.cur_seq,
+                        self.send_attempt,
+                    );
+                    self.phase = Phase_::Backoff {
+                        resume_at: now + delay,
+                    };
                 }
                 StepOutcome::Running
             }
@@ -328,14 +476,35 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
             Phase_::ClearFlag => {
                 w.set_phase(Phase::WaitServer.id());
                 let leader = self.leader_lane();
-                // Release: hands the mailbox (and its outcome words) back to
-                // the protocol for the next round.
-                w.global_write1_ord(
-                    leader,
-                    self.proto.mailboxes().status_addr(self.slot),
-                    STATUS_EMPTY,
-                    MemOrder::Release,
-                );
+                let dup = w.fault_plan().is_some_and(|p| {
+                    p.duplicate_request(self.fault_channel, self.slot as u64, self.cur_seq)
+                });
+                if dup {
+                    // Injected duplicate delivery: instead of releasing the
+                    // mailbox, re-post the already-served request. The
+                    // receiver recognises the stale seq, suppresses it, and
+                    // re-arms the response, which this client ignores via the
+                    // seq-echo check before its next fresh batch overwrites
+                    // the slot.
+                    self.exec
+                        .metrics
+                        .record_fault(FaultEvent::DuplicateInjected, w.now());
+                    w.global_write1_ord(
+                        leader,
+                        self.proto.mailboxes().status_addr(self.slot),
+                        STATUS_REQUEST,
+                        MemOrder::Release,
+                    );
+                } else {
+                    // Release: hands the mailbox (and its outcome words) back
+                    // to the protocol for the next round.
+                    w.global_write1_ord(
+                        leader,
+                        self.proto.mailboxes().status_addr(self.slot),
+                        STATUS_EMPTY,
+                        MemOrder::Release,
+                    );
+                }
                 let committed = self.committed_mask();
                 self.phase = if committed == 0 {
                     // Whole batch aborted (or OnlyCs with no survivors).

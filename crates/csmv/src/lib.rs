@@ -49,14 +49,14 @@ pub mod protocol;
 pub mod server;
 pub mod variant;
 
-use gpu_sim::{AnalysisConfig, Device, GpuConfig, RunMode};
+use gpu_sim::{AnalysisConfig, Device, FaultPlan, GpuConfig, RunMode};
 use stm_core::mv_exec::MvExecConfig;
-use stm_core::{RunResult, TxSource, VBoxHeap};
+use stm_core::{RetryPolicy, RunResult, TxSource, VBoxHeap};
 
 pub use atr::SharedAtr;
 pub use check::CsmvInvariantChecker;
 pub use client::CsmvClient;
-pub use multi::{run_multi, MultiCsmvConfig};
+pub use multi::{run_multi, run_multi_checked, MultiCsmvConfig};
 pub use protocol::CommitProtocol;
 pub use server::{ReceiverWarp, ServerControl, WorkerWarp};
 pub use variant::CsmvVariant;
@@ -96,6 +96,102 @@ pub struct CsmvConfig {
     /// window conflicts (CSMV's mailbox/GTS coupling conflicts quickly, so
     /// expect the fallback; results are bit-identical either way).
     pub sim: RunMode,
+    /// Stall watchdog: if every live warp spends more than this many cycles
+    /// doing nothing but polling, the run stops and [`run_checked`] returns
+    /// [`RunError::Stalled`] instead of hanging silently. `None` disables it.
+    pub max_idle_cycles: Option<u64>,
+    /// Failure-recovery policy installed on every client warp (response
+    /// timeout, bounded exponential backoff, retry budget). Inert by
+    /// default, so healthy runs are byte-identical with or without it.
+    pub recovery: RetryPolicy,
+    /// Seeded fault plan (message drops/delays/duplicates, warp kills,
+    /// server-SM crashes). `None` injects nothing.
+    pub faults: Option<FaultPlan>,
+}
+
+/// A [`CsmvConfig`] that cannot be launched, diagnosed before any device
+/// state is allocated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsmvConfigError {
+    /// CSMV needs at least one client SM plus the server SM.
+    NotEnoughSms {
+        /// Configured SM count.
+        num_sms: usize,
+    },
+    /// `warps_per_sm` is zero: no client would ever run.
+    NoClientWarps,
+    /// `server_workers` is zero: requests would queue forever.
+    NoServerWorkers,
+    /// `server_queue_cap` was explicitly set to zero.
+    ZeroQueueCap,
+    /// The ATR ring plus the dispatch queue exceed the server SM's shared
+    /// memory.
+    SharedMemoryExhausted {
+        /// Words the server-side structures need.
+        needed: usize,
+        /// Words one SM offers.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for CsmvConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotEnoughSms { num_sms } => write!(
+                f,
+                "CSMV needs at least one client SM and one server SM (got {num_sms})"
+            ),
+            Self::NoClientWarps => write!(f, "warps_per_sm must be at least 1"),
+            Self::NoServerWorkers => write!(f, "server_workers must be at least 1"),
+            Self::ZeroQueueCap => write!(f, "server_queue_cap must be at least 1"),
+            Self::SharedMemoryExhausted { needed, available } => write!(
+                f,
+                "shared memory exhausted on the server SM: \
+                 ATR ring + dispatch queue need {needed} words, one SM has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsmvConfigError {}
+
+/// A CSMV run that could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The configuration was rejected before launch.
+    Config(CsmvConfigError),
+    /// The stall watchdog interrupted the run: every live warp had been
+    /// polling without progress for longer than
+    /// [`CsmvConfig::max_idle_cycles`] — the protocol is wedged (e.g. every
+    /// retry budget exhausted while a GTS turn is permanently vacant).
+    Stalled {
+        /// Simulated cycle at which the stall was diagnosed.
+        cycle: u64,
+        /// Warps that had not retired.
+        live_warps: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "{e}"),
+            Self::Stalled { cycle, live_warps } => write!(
+                f,
+                "run stalled at cycle {cycle}: {live_warps} live warp(s) \
+                 polling without progress"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Stalled { .. } => None,
+        }
+    }
 }
 
 impl Default for CsmvConfig {
@@ -113,6 +209,9 @@ impl Default for CsmvConfig {
             variant: CsmvVariant::Full,
             analysis: AnalysisConfig::default(),
             sim: RunMode::Sequential,
+            max_idle_cycles: Some(1_000_000),
+            recovery: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -137,6 +236,45 @@ impl CsmvConfig {
     pub fn num_threads(&self) -> usize {
         self.num_client_warps() * gpu_sim::WARP_LANES
     }
+
+    /// Effective dispatch-queue capacity.
+    fn queue_cap(&self) -> usize {
+        self.server_queue_cap
+            .unwrap_or_else(|| self.num_client_warps().max(1))
+    }
+
+    /// Check that this configuration can launch, without allocating any
+    /// device state. [`run_checked`] calls this first; launching an invalid
+    /// config through [`run`] panics with the same diagnosis.
+    pub fn validate(&self) -> Result<(), CsmvConfigError> {
+        if self.gpu.num_sms < 2 {
+            return Err(CsmvConfigError::NotEnoughSms {
+                num_sms: self.gpu.num_sms,
+            });
+        }
+        if self.warps_per_sm == 0 {
+            return Err(CsmvConfigError::NoClientWarps);
+        }
+        if self.server_workers == 0 {
+            return Err(CsmvConfigError::NoServerWorkers);
+        }
+        if self.server_queue_cap == Some(0) {
+            return Err(CsmvConfigError::ZeroQueueCap);
+        }
+        // Mirror the server-SM shared allocations: the ATR ring
+        // (1 + capacity·(2 + max_ws) words) plus the control block
+        // (3 words + the dispatch queue).
+        let atr_words = 1 + self.atr_capacity as usize * (2 + self.max_ws);
+        let ctl_words = 3 + self.queue_cap();
+        let needed = atr_words + ctl_words;
+        if needed > self.gpu.shared_words_per_sm {
+            return Err(CsmvConfigError::SharedMemoryExhausted {
+                needed,
+                available: self.gpu.shared_words_per_sm,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Run a workload to completion on CSMV.
@@ -146,18 +284,30 @@ impl CsmvConfig {
 /// * `num_items` / `initial(item)` describe the transactional heap.
 pub fn run<S, F>(
     cfg: &CsmvConfig,
-    mut make_source: F,
+    make_source: F,
     num_items: u64,
-    mut initial: impl FnMut(u64) -> u64,
+    initial: impl FnMut(u64) -> u64,
 ) -> RunResult
 where
     S: TxSource + 'static,
     F: FnMut(usize) -> S,
 {
-    assert!(
-        cfg.gpu.num_sms >= 2,
-        "CSMV needs at least one client SM and one server SM"
-    );
+    run_checked(cfg, make_source, num_items, initial).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run`], but with launch-time configuration errors and watchdog-diagnosed
+/// stalls reported as values instead of panics.
+pub fn run_checked<S, F>(
+    cfg: &CsmvConfig,
+    mut make_source: F,
+    num_items: u64,
+    mut initial: impl FnMut(u64) -> u64,
+) -> Result<RunResult, RunError>
+where
+    S: TxSource + 'static,
+    F: FnMut(usize) -> S,
+{
+    cfg.validate().map_err(RunError::Config)?;
     let server_sm = cfg.gpu.num_sms - 1;
     let num_clients = cfg.num_client_warps();
 
@@ -175,11 +325,16 @@ where
         );
         let proto = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
         let atr = SharedAtr::alloc(&mut dev, server_sm, cfg.atr_capacity, cfg.max_ws);
-        let q_cap = cfg.server_queue_cap.unwrap_or(num_clients).max(1);
-        let ctl = ServerControl::alloc_with_queue(&mut dev, server_sm, q_cap);
+        let ctl = ServerControl::alloc_with_queue(&mut dev, server_sm, cfg.queue_cap());
         // next_cts starts at 1 (commit timestamps are 1-based; GTS starts at 0).
         dev.shared_write_host(server_sm, atr.next_cts_addr(), 1);
 
+        if let Some(plan) = &cfg.faults {
+            dev.set_fault_plan(plan.clone());
+        }
+        if let Some(max_idle) = cfg.max_idle_cycles {
+            dev.set_watchdog(max_idle);
+        }
         dev.enable_analysis(cfg.analysis);
         if cfg.analysis.invariants {
             dev.add_invariant_checker(Box::new(check::CsmvInvariantChecker::new(
@@ -201,9 +356,10 @@ where
                     .collect();
                 let exec_cfg = MvExecConfig {
                     record_history: cfg.record_history,
+                    retry: cfg.recovery.clone(),
                     ..MvExecConfig::default()
                 };
-                let client = CsmvClient::new(
+                let mut client = CsmvClient::new(
                     sources,
                     thread_id,
                     exec_cfg,
@@ -214,6 +370,7 @@ where
                     done_addr,
                     cfg.variant,
                 );
+                client.set_recovery(cfg.recovery.clone());
                 client_ids.push(dev.spawn(sm, Box::new(client)));
                 thread_id += gpu_sim::WARP_LANES;
                 slot += 1;
@@ -240,6 +397,13 @@ where
 
     let (mut dev, (client_ids, receiver_id, worker_ids)) = gpu_sim::run_with_mode(cfg.sim, launch);
 
+    if let Some(info) = dev.stalled() {
+        return Err(RunError::Stalled {
+            cycle: info.cycle,
+            live_warps: info.live_warps,
+        });
+    }
+
     let analysis = dev.finish_analysis();
     let mut result = RunResult {
         elapsed_cycles: dev.elapsed_cycles(),
@@ -249,6 +413,13 @@ where
     result
         .server_breakdown
         .add_warp(dev.warp_stats(receiver_id));
+    {
+        let receiver = dev
+            .take_program(receiver_id)
+            .downcast::<ReceiverWarp>()
+            .expect("receiver program type");
+        result.metrics.merge(&receiver.metrics);
+    }
     for id in worker_ids {
         result.server_breakdown.add_warp(dev.warp_stats(id));
         let worker = dev
@@ -267,7 +438,7 @@ where
         result.metrics.merge(&client.exec.metrics);
         result.records.append(&mut client.exec.take_records());
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -522,6 +693,72 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_are_rejected_before_launch() {
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.gpu.num_sms = 1;
+        assert_eq!(
+            cfg.validate(),
+            Err(CsmvConfigError::NotEnoughSms { num_sms: 1 })
+        );
+
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.server_queue_cap = Some(0);
+        assert_eq!(cfg.validate(), Err(CsmvConfigError::ZeroQueueCap));
+
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.warps_per_sm = 0;
+        assert_eq!(cfg.validate(), Err(CsmvConfigError::NoClientWarps));
+
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        cfg.atr_capacity = 1 << 30;
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, CsmvConfigError::SharedMemoryExhausted { .. }));
+        // The message run() panics with keeps the historical wording.
+        assert!(err.to_string().contains("shared memory exhausted"));
+
+        assert_eq!(small_cfg(CsmvVariant::Full).validate(), Ok(()));
+    }
+
+    #[test]
+    fn message_faults_with_recovery_preserve_correctness() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let mut cfg = small_cfg(CsmvVariant::Full);
+        let spec: FaultSpec = "drop_req=0.2,drop_resp=0.2,dup_req=0.1,delay_req=0.3x200"
+            .parse()
+            .unwrap();
+        cfg.faults = Some(FaultPlan::new(0xFA01, spec));
+        cfg.recovery = stm_core::RetryPolicy {
+            resp_timeout: Some(20_000),
+            max_send_attempts: 16,
+            backoff_base: 64,
+            backoff_cap: 4096,
+            jitter_seed: 7,
+            ..Default::default()
+        };
+        let bank = BankConfig::small(64, 20);
+        let res = run_checked(
+            &cfg,
+            |t| BankSource::new(&bank, 11, t, 3),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+        .expect("recovery must keep the run live");
+        let total = (cfg.num_threads() * 3) as u64;
+        assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            total,
+            "every transaction must commit or fail terminally"
+        );
+        assert!(
+            res.metrics.faults.total() > 0,
+            "the plan must actually inject faults: {:?}",
+            res.metrics.faults
+        );
+        check_history(&res.records, &bank.initial_state(), true).expect("opaque history");
+        assert_metrics_consistent(&res);
+    }
+
+    #[test]
     fn version_overflow_is_attributed_with_single_version_boxes() {
         // One version per box: laggard snapshots fall off the version ring
         // during execution and abort with snapshot-too-old.
@@ -619,15 +856,15 @@ mod debug_hang {
                 ),
             ));
         }
-        for i in 0..30_000_000u64 {
-            if dev.live_warps() == 0 {
-                println!("DONE at {i}");
-                return;
-            }
-            dev.step_once();
-        }
+        dev.set_watchdog(500_000);
+        dev.run_to_completion();
+        let Some(info) = dev.stalled() else {
+            return; // completed normally
+        };
         println!(
-            "HUNG. GTS={} done={} next_cts={}",
+            "STALLED at cycle {} ({} live warps). GTS={} done={} next_cts={}",
+            info.cycle,
+            info.live_warps,
             dev.global()[gts_addr as usize],
             dev.global()[done_addr as usize],
             dev.shared_read_host(server_sm, atr.next_cts_addr())
@@ -648,6 +885,12 @@ mod debug_hang {
             };
             println!("warp {id} {kind}: {state}");
         }
-        panic!("hung");
+        panic!(
+            "{}",
+            RunError::Stalled {
+                cycle: info.cycle,
+                live_warps: info.live_warps,
+            }
+        );
     }
 }

@@ -30,17 +30,21 @@
 //!   runs of consecutive timestamps bump in one write).
 
 use gpu_sim::channel::{STATUS_EMPTY, STATUS_REQUEST, STATUS_RESPONSE};
+use gpu_sim::fault::FaultPlan;
 use gpu_sim::{
     full_mask, AnalysisConfig, Device, GpuConfig, Mask, MemOrder, RunMode, StepOutcome, WarpCtx,
     WarpProgram, WARP_LANES,
 };
 use stm_core::mv_exec::{unpack_ws_entry, MvExec, MvExecConfig};
-use stm_core::{AbortReason, MetricsReport, Phase, RunResult, TxSource, VBoxHeap};
+use stm_core::{
+    AbortReason, FaultEvent, MetricsReport, Phase, RetryPolicy, RunResult, TxSource, VBoxHeap,
+};
 
 use crate::protocol::{
     pack_abort, pack_commit, unpack_outcome, CommitProtocol, Outcome, RequestSetArea, OUTCOME_NONE,
 };
 use crate::server::{ReceiverWarp, ServerControl};
+use crate::RunError;
 
 /// Configuration of a multi-server CSMV launch.
 #[derive(Debug, Clone)]
@@ -72,6 +76,19 @@ pub struct MultiCsmvConfig {
     /// global-cts counter couples the server SMs; results are bit-identical
     /// either way).
     pub sim: RunMode,
+    /// Client-side failure recovery (response timeouts, backoff, retry
+    /// budget). The default policy is inert.
+    pub recovery: RetryPolicy,
+    /// Deterministic fault plan installed on the device before launch.
+    pub faults: Option<FaultPlan>,
+    /// Watchdog: abort the run with [`RunError::Stalled`] when no warp makes
+    /// non-polling progress for this many cycles.
+    pub max_idle_cycles: Option<u64>,
+    /// Liveness patience: a partition whose receiver heartbeat is older than
+    /// this many cycles is quarantined (its in-flight transactions fail with
+    /// [`AbortReason::ServerUnavailable`]; surviving partitions keep
+    /// committing). `None` disables heartbeat checking.
+    pub heartbeat_patience: Option<u64>,
 }
 
 impl Default for MultiCsmvConfig {
@@ -88,6 +105,10 @@ impl Default for MultiCsmvConfig {
             record_history: true,
             analysis: AnalysisConfig::default(),
             sim: RunMode::Sequential,
+            recovery: RetryPolicy::default(),
+            faults: None,
+            max_idle_cycles: Some(1_000_000),
+            heartbeat_patience: None,
         }
     }
 }
@@ -213,6 +234,9 @@ enum MState {
     ReadEntry {
         head: u64,
     },
+    /// Read the batch seq word (echoed back with the response so the client
+    /// can tell a fresh outcome from a re-armed stale one).
+    ReadSeq,
     ReadHdrA,
     ReadHdrB,
     Fetch,
@@ -254,6 +278,8 @@ enum MState {
         sub: u8,
     },
     WriteOutcomes,
+    /// Echo the batch seq (after the outcomes, before the RESPONSE flip).
+    WriteEcho,
     SetResponse,
     Finished,
 }
@@ -270,6 +296,10 @@ pub struct MultiWorker {
     /// Global-memory address of the shared cts counter (next cts to assign).
     global_cts_addr: u64,
     slot: usize,
+    /// Seq of the batch being processed (echoed with the response).
+    seq: u64,
+    /// Fault-domain channel id (the partition index).
+    fault_channel: u64,
     txs: Vec<MTx>,
     st: MState,
     /// Server-side observability (public for result harvesting).
@@ -293,10 +323,17 @@ impl MultiWorker {
             atr,
             global_cts_addr,
             slot: 0,
+            seq: 0,
+            fault_channel: 0,
             txs: Vec::new(),
             st: MState::Pop,
             metrics: MetricsReport::default(),
         }
+    }
+
+    /// Set the fault-domain channel id (the partition index).
+    pub fn set_fault_channel(&mut self, channel: u64) {
+        self.fault_channel = channel;
     }
 
     fn n_valid(&self) -> u64 {
@@ -379,6 +416,15 @@ impl WarpProgram for MultiWorker {
                 // Acquire: pairs with the receiver's entry-release write.
                 self.slot =
                     w.shared_read1_ord(0, self.ctl.q_entry_addr(head), MemOrder::Acquire) as usize;
+                self.st = MState::ReadSeq;
+                StepOutcome::Running
+            }
+            MState::ReadSeq => {
+                w.set_phase(Phase::Validation.id());
+                // Acquire: control-plane word, ordered against recovery
+                // resends (a timed-out client may rewrite it concurrently).
+                self.seq =
+                    w.global_read1_ord(0, self.proto.req_seq_addr(self.slot), MemOrder::Acquire);
                 self.st = MState::ReadHdrA;
                 StepOutcome::Running
             }
@@ -771,18 +817,48 @@ impl WarpProgram for MultiWorker {
                     |l| proto.outcome_addr(slot, l),
                     |l| outcomes[l],
                 );
+                self.st = MState::WriteEcho;
+                StepOutcome::Running
+            }
+            MState::WriteEcho => {
+                w.set_phase(Phase::RecordInsert.id());
+                // The echo must land after the outcome words and before the
+                // RESPONSE flip: echo == seq certifies the payload is
+                // complete (see `gpu_sim::channel`).
+                w.global_write1_ord(
+                    0,
+                    self.proto.resp_seq_addr(self.slot),
+                    self.seq,
+                    MemOrder::Release,
+                );
                 self.st = MState::SetResponse;
                 StepOutcome::Running
             }
             MState::SetResponse => {
                 w.set_phase(Phase::RecordInsert.id());
-                // Release: publishes the outcome words to the waiting client.
-                w.global_write1_ord(
-                    0,
-                    self.proto.mailboxes().status_addr(self.slot),
-                    STATUS_RESPONSE,
-                    MemOrder::Release,
-                );
+                let dropped = w.fault_plan().is_some_and(|p| {
+                    p.drop_response(self.fault_channel, self.slot as u64, self.seq, 0)
+                });
+                if dropped {
+                    // Response delivery lost in transit: payload and echo are
+                    // in place, only the flag flip vanishes. The client's
+                    // timed-out re-post lets the receiver re-arm the slot
+                    // without reprocessing the batch.
+                    w.global_write1_ord(
+                        0,
+                        self.proto.resp_seq_addr(self.slot),
+                        self.seq,
+                        MemOrder::Release,
+                    );
+                } else {
+                    // Release: publishes the outcome words to the client.
+                    w.global_write1_ord(
+                        0,
+                        self.proto.mailboxes().status_addr(self.slot),
+                        STATUS_RESPONSE,
+                        MemOrder::Release,
+                    );
+                }
                 self.st = MState::Pop;
                 StepOutcome::Running
             }
@@ -805,10 +881,24 @@ enum McPhase {
         lane: usize,
     },
     /// Submit to the `k`-th *involved* server: sub-step 0 = hdr A,
-    /// 1 = hdr B, 2 = flag.
+    /// 1 = hdr B, 2 = batch seq, 3 = flag (fault-aware).
     Send {
         k: usize,
         sub: u8,
+    },
+    /// Deterministic wait before (re-)posting to the `k`-th involved server:
+    /// an injected request delay (`resend == false`, returns to the flag
+    /// sub-step) or timeout backoff (`resend == true`, goes to `Resend`).
+    Backoff {
+        k: usize,
+        resume_at: u64,
+        resend: bool,
+    },
+    /// Re-post the request flag to the `k`-th involved server after a
+    /// response timeout (the seq word is unchanged, so the receiver treats
+    /// a successfully delivered duplicate idempotently).
+    Resend {
+        k: usize,
     },
     /// Poll the `k`-th involved server for its response.
     Wait {
@@ -852,6 +942,30 @@ pub struct MultiClient<S: TxSource> {
     lane_head: [u64; WARP_LANES],
     /// Cycle at which the current GTS-publication episode began.
     gts_wait_start: Option<u64>,
+    /// Failure-recovery policy (inert by default).
+    recovery: RetryPolicy,
+    /// Base of the per-partition heartbeat words (`None` = no liveness
+    /// checking; word `base + srv` is stamped by partition `srv`'s receiver).
+    hb_base: Option<u64>,
+    /// Heartbeat staleness threshold before a partition is quarantined.
+    hb_patience: Option<u64>,
+    /// Partitions declared dead (stale heartbeat). Requests are no longer
+    /// sent to them; their lanes fail with `ServerUnavailable`.
+    quarantined: Vec<bool>,
+    /// Next batch seq (device-unique per mailbox slot is enough; 0 = never).
+    next_seq: u64,
+    /// In-flight batch seq per server.
+    srv_seq: Vec<u64>,
+    /// Send attempts for the in-flight batch per server.
+    srv_attempt: Vec<u32>,
+    /// Cycle the in-flight request was last posted, per server.
+    srv_sent: Vec<u64>,
+    /// An injected request delay has already been served for the current
+    /// flag sub-step (so re-entering it does not re-roll the delay).
+    delay_served: bool,
+    /// `(gts value, cycle first observed)` — how long publication has been
+    /// parked on one GTS value, for the crash-hole fallback.
+    gts_stuck: Option<(u64, u64)>,
 }
 
 impl<S: TxSource> MultiClient<S> {
@@ -884,7 +998,30 @@ impl<S: TxSource> MultiClient<S> {
             lane_published: [false; WARP_LANES],
             lane_head: [0; WARP_LANES],
             gts_wait_start: None,
+            recovery: RetryPolicy::default(),
+            hb_base: None,
+            hb_patience: None,
+            quarantined: vec![false; num_servers],
+            next_seq: 1,
+            srv_seq: vec![0; num_servers],
+            srv_attempt: vec![0; num_servers],
+            srv_sent: vec![0; num_servers],
+            delay_served: false,
+            gts_stuck: None,
         }
+    }
+
+    /// Install a failure-recovery policy (timeouts, backoff, retry budget).
+    pub fn set_recovery(&mut self, policy: RetryPolicy) {
+        self.recovery = policy;
+    }
+
+    /// Enable partition liveness checking: heartbeat words live at
+    /// `base + srv`, and a value older than `patience` cycles quarantines
+    /// the partition.
+    pub fn set_liveness(&mut self, base: u64, patience: u64) {
+        self.hb_base = Some(base);
+        self.hb_patience = Some(patience);
     }
 
     /// Partition of a lane's update transaction — asserts the footprint is
@@ -949,7 +1086,20 @@ impl<S: TxSource> MultiClient<S> {
         McAfterSettle::Send
     }
 
-    fn arm_send(&mut self) -> McPhase {
+    fn arm_send(&mut self, now: u64) -> McPhase {
+        // Lanes routed to a dead partition fail up front: nobody will ever
+        // answer, so don't even post the request.
+        for srv in 0..self.num_servers {
+            if self.quarantined[srv] {
+                let mask = self.server_mask(srv);
+                for lane in 0..WARP_LANES {
+                    if mask & (1 << lane) != 0 {
+                        self.exec
+                            .fail_lane(lane, now, AbortReason::ServerUnavailable);
+                    }
+                }
+            }
+        }
         self.involved = (0..self.num_servers)
             .filter(|&srv| self.server_mask(srv) != 0)
             .collect();
@@ -957,6 +1107,32 @@ impl<S: TxSource> MultiClient<S> {
             McPhase::Begin
         } else {
             McPhase::Send { k: 0, sub: 0 }
+        }
+    }
+
+    /// Declare partition `srv` dead: fail its in-flight lanes and stop
+    /// sending to it for the rest of the run.
+    fn quarantine(&mut self, srv: usize, now: u64) {
+        self.quarantined[srv] = true;
+        self.exec.metrics.record_fault(FaultEvent::Quarantine, now);
+        let mask = self.server_mask(srv);
+        for lane in 0..WARP_LANES {
+            if mask & (1 << lane) != 0 {
+                self.exec
+                    .fail_lane(lane, now, AbortReason::ServerUnavailable);
+            }
+        }
+    }
+
+    /// Next phase once the `k`-th involved server's batch has been resolved
+    /// (outcome consumed, or its lanes terminally failed).
+    fn after_wait(&mut self, k: usize) -> McPhase {
+        if k + 1 < self.involved.len() {
+            McPhase::Wait { k: k + 1 }
+        } else if self.committed_mask() == 0 {
+            McPhase::FinishRound
+        } else {
+            McPhase::WriteBack { widx: 0, sub: 0 }
         }
     }
 }
@@ -1011,7 +1187,7 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 self.phase = match self.after_settle() {
                     McAfterSettle::Begin => McPhase::Begin,
                     McAfterSettle::PreVal(lane) => McPhase::PreVal { lane },
-                    McAfterSettle::Send => self.arm_send(),
+                    McAfterSettle::Send => self.arm_send(now),
                 };
                 StepOutcome::Running
             }
@@ -1052,7 +1228,7 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         if self.committing_mask() == 0 {
                             McPhase::Begin
                         } else {
-                            self.arm_send()
+                            self.arm_send(now)
                         }
                     }
                 };
@@ -1083,14 +1259,69 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         );
                         self.phase = McPhase::Send { k, sub: 2 };
                     }
-                    _ => {
-                        // Release: publishes the headers/payload to the server.
+                    2 => {
+                        // Fresh batch seq for this server's slot.
+                        self.srv_seq[srv] = self.next_seq;
+                        self.next_seq += 1;
+                        self.srv_attempt[srv] = 0;
+                        self.delay_served = false;
+                        // Control-plane word: ordered like the status flag
+                        // (recovery resends rewrite it mid-sweep).
                         w.global_write1_ord(
                             0,
-                            proto.mailboxes().status_addr(slot),
-                            STATUS_REQUEST,
+                            proto.req_seq_addr(slot),
+                            self.srv_seq[srv],
                             MemOrder::Release,
                         );
+                        self.phase = McPhase::Send { k, sub: 3 };
+                    }
+                    _ => {
+                        let channel = srv as u64;
+                        let seq = self.srv_seq[srv];
+                        let attempt = self.srv_attempt[srv];
+                        let mut delay = 0;
+                        let mut dropped = false;
+                        if let Some(plan) = w.fault_plan() {
+                            if !self.delay_served {
+                                delay = plan.request_delay(channel, slot as u64, seq, attempt);
+                            }
+                            dropped = plan.drop_request(channel, slot as u64, seq, attempt);
+                        }
+                        if delay > 0 {
+                            self.delay_served = true;
+                            let now = w.now();
+                            self.exec
+                                .metrics
+                                .record_fault(FaultEvent::DelayInjected, now);
+                            self.phase = McPhase::Backoff {
+                                k,
+                                resume_at: now + delay,
+                                resend: false,
+                            };
+                            return StepOutcome::Running;
+                        }
+                        self.delay_served = false;
+                        self.srv_sent[srv] = w.now();
+                        if dropped {
+                            // The flag flip is lost in transit: pay the memory
+                            // cost but leave the mailbox status untouched (the
+                            // seq rewrite is idempotent).
+                            w.global_write1_ord(
+                                0,
+                                proto.req_seq_addr(slot),
+                                seq,
+                                MemOrder::Release,
+                            );
+                        } else {
+                            // Release: publishes the headers/payload to the
+                            // server.
+                            w.global_write1_ord(
+                                0,
+                                proto.mailboxes().status_addr(slot),
+                                STATUS_REQUEST,
+                                MemOrder::Release,
+                            );
+                        }
                         self.phase = if k + 1 < self.involved.len() {
                             McPhase::Send { k: k + 1, sub: 0 }
                         } else {
@@ -1098,6 +1329,51 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         };
                     }
                 }
+                StepOutcome::Running
+            }
+            McPhase::Backoff {
+                k,
+                resume_at,
+                resend,
+            } => {
+                w.set_phase(Phase::WaitServer.id());
+                if w.now() >= resume_at {
+                    self.phase = if resend {
+                        McPhase::Resend { k }
+                    } else {
+                        McPhase::Send { k, sub: 3 }
+                    };
+                } else {
+                    w.poll_wait();
+                }
+                StepOutcome::Running
+            }
+            McPhase::Resend { k } => {
+                w.set_phase(Phase::WaitServer.id());
+                let srv = self.involved[k];
+                let proto = &self.hdr_protos[srv];
+                let slot = self.slot;
+                let seq = self.srv_seq[srv];
+                let attempt = self.srv_attempt[srv];
+                self.exec.metrics.record_fault(FaultEvent::Resend, w.now());
+                let dropped = w
+                    .fault_plan()
+                    .is_some_and(|p| p.drop_request(srv as u64, slot as u64, seq, attempt));
+                self.srv_sent[srv] = w.now();
+                if dropped {
+                    w.global_write1_ord(0, proto.req_seq_addr(slot), seq, MemOrder::Release);
+                } else {
+                    // The seq word is unchanged, so a successfully delivered
+                    // duplicate is suppressed by the receiver (the response is
+                    // re-armed, not reprocessed).
+                    w.global_write1_ord(
+                        0,
+                        proto.mailboxes().status_addr(slot),
+                        STATUS_REQUEST,
+                        MemOrder::Release,
+                    );
+                }
+                self.phase = McPhase::Wait { k };
                 StepOutcome::Running
             }
             McPhase::Wait { k } => {
@@ -1110,9 +1386,62 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     MemOrder::Acquire,
                 );
                 if st == STATUS_RESPONSE {
-                    self.phase = McPhase::Outcomes { k, cleared: false };
-                } else {
+                    // Only a matching seq echo certifies this response answers
+                    // the in-flight batch; a stale echo (re-armed response for
+                    // an earlier seq) falls through to the timeout logic so a
+                    // re-post can reclaim the slot.
+                    let echo = w.global_read1_ord(
+                        0,
+                        self.hdr_protos[srv].resp_seq_addr(self.slot),
+                        MemOrder::Acquire,
+                    );
+                    if echo == self.srv_seq[srv] {
+                        self.phase = McPhase::Outcomes { k, cleared: false };
+                        return StepOutcome::Running;
+                    }
+                }
+                let now = w.now();
+                // Liveness: a stale heartbeat means the partition's server SM
+                // died. Quarantine it — its lanes fail, the others carry on.
+                if let (Some(base), Some(patience)) = (self.hb_base, self.hb_patience) {
+                    let hb = w.global_read1_ord(0, base + srv as u64, MemOrder::Acquire);
+                    if now.saturating_sub(hb) > patience {
+                        self.quarantine(srv, now);
+                        self.phase = self.after_wait(k);
+                        return StepOutcome::Running;
+                    }
+                }
+                let timed_out = self
+                    .recovery
+                    .resp_timeout
+                    .is_some_and(|t| now.saturating_sub(self.srv_sent[srv]) > t);
+                if !timed_out {
                     w.poll_wait();
+                    return StepOutcome::Running;
+                }
+                self.exec.metrics.record_fault(FaultEvent::Timeout, now);
+                self.srv_attempt[srv] += 1;
+                if self.srv_attempt[srv] >= self.recovery.max_send_attempts {
+                    // Terminal: this partition is unreachable for the batch.
+                    let mask = self.server_mask(srv);
+                    for lane in 0..WARP_LANES {
+                        if mask & (1 << lane) != 0 {
+                            self.exec.fail_lane(lane, now, AbortReason::ServerTimeout);
+                        }
+                    }
+                    self.phase = self.after_wait(k);
+                } else {
+                    let actor = (self.slot * self.num_servers + srv) as u64;
+                    let delay = self.recovery.backoff_cycles(
+                        actor,
+                        self.srv_seq[srv],
+                        self.srv_attempt[srv],
+                    );
+                    self.phase = McPhase::Backoff {
+                        k,
+                        resume_at: now + delay,
+                        resend: true,
+                    };
                 }
                 StepOutcome::Running
             }
@@ -1133,20 +1462,33 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                     }
                     self.phase = McPhase::Outcomes { k, cleared: true };
                 } else {
-                    // Release: hands the mailbox back for the next round.
-                    w.global_write1_ord(
-                        0,
-                        self.hdr_protos[srv].mailboxes().status_addr(self.slot),
-                        STATUS_EMPTY,
-                        MemOrder::Release,
-                    );
-                    self.phase = if k + 1 < self.involved.len() {
-                        McPhase::Wait { k: k + 1 }
-                    } else if self.committed_mask() == 0 {
-                        McPhase::FinishRound
+                    let dup = w.fault_plan().is_some_and(|p| {
+                        p.duplicate_request(srv as u64, self.slot as u64, self.srv_seq[srv])
+                    });
+                    if dup {
+                        // Injected duplicate delivery: re-post the served
+                        // request instead of releasing the mailbox. The
+                        // receiver suppresses the stale seq and re-arms the
+                        // response, which the seq-echo check above ignores.
+                        self.exec
+                            .metrics
+                            .record_fault(FaultEvent::DuplicateInjected, w.now());
+                        w.global_write1_ord(
+                            0,
+                            self.hdr_protos[srv].mailboxes().status_addr(self.slot),
+                            STATUS_REQUEST,
+                            MemOrder::Release,
+                        );
                     } else {
-                        McPhase::WriteBack { widx: 0, sub: 0 }
-                    };
+                        // Release: hands the mailbox back for the next round.
+                        w.global_write1_ord(
+                            0,
+                            self.hdr_protos[srv].mailboxes().status_addr(self.slot),
+                            STATUS_EMPTY,
+                            MemOrder::Release,
+                        );
+                    }
+                    self.phase = self.after_wait(k);
                 }
                 StepOutcome::Running
             }
@@ -1227,6 +1569,15 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 // its turn comes.
                 // Acquire: pairs with other warps' GTS publications.
                 let gts = w.global_read1_ord(0, self.gts_addr, MemOrder::Acquire);
+                // A crash-hole skip (below) may have advanced the GTS past
+                // one of our timestamps; the write-back is already complete
+                // (WriteBack precedes GtsPublish), so the version is visible
+                // and the turn is simply done.
+                for l in 0..WARP_LANES {
+                    if !self.lane_published[l] && self.lane_cts[l] != 0 && self.lane_cts[l] <= gts {
+                        self.lane_published[l] = true;
+                    }
+                }
                 let mut new_gts = gts;
                 loop {
                     let next = (0..WARP_LANES)
@@ -1246,8 +1597,54 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                 let pending =
                     (0..WARP_LANES).any(|l| self.lane_cts[l] != 0 && !self.lane_published[l]);
                 if pending {
-                    w.poll_wait();
+                    // Crash fallback: a cts reserved by a server that died
+                    // mid-commit is never delivered to any client, leaving a
+                    // permanent hole in the GTS turn order. Once a partition
+                    // is known dead and the GTS has been parked long enough
+                    // for any live owner to take its turn, publish *through*
+                    // the hole — the lost cts has no write-back to expose, so
+                    // skipping it is invisible to snapshot readers. The CAS
+                    // makes a late owner win over a concurrent skipper.
+                    let now = w.now();
+                    let stuck_for = match self.gts_stuck {
+                        Some((g, since)) if g == new_gts => now.saturating_sub(since),
+                        _ => {
+                            self.gts_stuck = Some((new_gts, now));
+                            0
+                        }
+                    };
+                    // A parked client may never have talked to the dead
+                    // partition (its footprint lives elsewhere), so consult
+                    // every heartbeat — the hole's owner was on a partition
+                    // this client need not be a customer of. Flag-only: the
+                    // client's own outcomes are already settled here.
+                    if let (Some(base), Some(patience)) = (self.hb_base, self.hb_patience) {
+                        if stuck_for > patience {
+                            let mut hb_mask: Mask = 0;
+                            for srv in 0..self.num_servers {
+                                hb_mask |= 1 << srv;
+                            }
+                            let hbs =
+                                w.global_read_ord(hb_mask, |l| base + l as u64, MemOrder::Acquire);
+                            for (srv, &hb) in hbs.iter().enumerate().take(self.num_servers) {
+                                if !self.quarantined[srv] && now.saturating_sub(hb) > patience {
+                                    self.quarantined[srv] = true;
+                                    self.exec.metrics.record_fault(FaultEvent::Quarantine, now);
+                                }
+                            }
+                        }
+                    }
+                    let skip_after = self.hb_patience.map(|p| p.saturating_mul(4));
+                    if self.quarantined.iter().any(|&q| q)
+                        && skip_after.is_some_and(|s| stuck_for > s)
+                    {
+                        self.gts_stuck = None;
+                        w.global_cas1(0, self.gts_addr, new_gts, new_gts + 1);
+                    } else {
+                        w.poll_wait();
+                    }
                 } else {
+                    self.gts_stuck = None;
                     let now = w.now();
                     let started = self.gts_wait_start.take().unwrap_or(now);
                     self.exec
@@ -1291,12 +1688,28 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
 
 /// Run a workload on multi-server CSMV. Same contract as [`crate::run`];
 /// update transactions must be partition-confined (see the module docs).
+/// Panics on a watchdog stall; use [`run_multi_checked`] to get the error.
 pub fn run_multi<S, F>(
+    cfg: &MultiCsmvConfig,
+    make_source: F,
+    num_items: u64,
+    initial: impl FnMut(u64) -> u64,
+) -> RunResult
+where
+    S: TxSource + 'static,
+    F: FnMut(usize) -> S,
+{
+    run_multi_checked(cfg, make_source, num_items, initial).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run a workload on multi-server CSMV, converting watchdog stalls into
+/// [`RunError::Stalled`] instead of hanging or panicking.
+pub fn run_multi_checked<S, F>(
     cfg: &MultiCsmvConfig,
     mut make_source: F,
     num_items: u64,
     mut initial: impl FnMut(u64) -> u64,
-) -> RunResult
+) -> Result<RunResult, RunError>
 where
     S: TxSource + 'static,
     F: FnMut(usize) -> S,
@@ -1314,9 +1727,18 @@ where
     // identical device from scratch (see gpu_sim::run_with_mode).
     let launch = || {
         let mut dev = Device::new(cfg.gpu.clone());
+        if let Some(plan) = &cfg.faults {
+            dev.set_fault_plan(plan.clone());
+        }
+        if let Some(max_idle) = cfg.max_idle_cycles {
+            dev.set_watchdog(max_idle);
+        }
         let gts_addr = dev.alloc_global(1);
         let done_addr = dev.alloc_global(1);
         let global_cts_addr = dev.alloc_global(1);
+        // Per-partition liveness heartbeats (word srv is stamped by
+        // partition srv's receiver on every poll sweep).
+        let hb_base = dev.alloc_global(cfg.num_servers);
         dev.global_mut().write(global_cts_addr, 1); // cts are 1-based
         let heap = VBoxHeap::init(
             dev.global_mut(),
@@ -1343,17 +1765,22 @@ where
             let sm = first_server_sm + srv;
             let atr = PartitionedAtr::alloc(&mut dev, sm, cfg.atr_capacity, cfg.max_ws);
             let ctl = ServerControl::alloc(&mut dev, sm, num_clients);
-            let receiver =
+            let mut receiver =
                 ReceiverWarp::new(hdr_proto.clone(), ctl.clone(), num_clients, done_addr);
+            receiver.set_fault_channel(srv as u64);
+            if cfg.heartbeat_patience.is_some() {
+                receiver.set_heartbeat(hb_base + srv as u64);
+            }
             server_ids.push(dev.spawn(sm, Box::new(receiver)));
             for _ in 0..cfg.server_workers {
-                let worker = MultiWorker::new(
+                let mut worker = MultiWorker::new(
                     hdr_proto.clone(),
                     payload.clone(),
                     ctl.clone(),
                     atr.clone(),
                     global_cts_addr,
                 );
+                worker.set_fault_channel(srv as u64);
                 server_ids.push(dev.spawn(sm, Box::new(worker)));
             }
         }
@@ -1369,9 +1796,10 @@ where
                     .collect();
                 let exec_cfg = MvExecConfig {
                     record_history: cfg.record_history,
+                    retry: cfg.recovery.clone(),
                     ..MvExecConfig::default()
                 };
-                let client = MultiClient::new(
+                let mut client = MultiClient::new(
                     sources,
                     thread_id,
                     exec_cfg,
@@ -1382,6 +1810,10 @@ where
                     gts_addr,
                     done_addr,
                 );
+                client.set_recovery(cfg.recovery.clone());
+                if let Some(patience) = cfg.heartbeat_patience {
+                    client.set_liveness(hb_base, patience);
+                }
                 client_ids.push(dev.spawn(sm, Box::new(client)));
                 thread_id += WARP_LANES;
                 slot += 1;
@@ -1392,6 +1824,13 @@ where
 
     let (mut dev, (server_ids, client_ids)) = gpu_sim::run_with_mode(cfg.sim, launch);
 
+    if let Some(info) = dev.stalled() {
+        return Err(RunError::Stalled {
+            cycle: info.cycle,
+            live_warps: info.live_warps,
+        });
+    }
+
     let analysis = dev.finish_analysis();
     let mut result = RunResult {
         elapsed_cycles: dev.elapsed_cycles(),
@@ -1400,9 +1839,13 @@ where
     };
     for id in server_ids {
         result.server_breakdown.add_warp(dev.warp_stats(id));
-        // Receivers stay in place; only MultiWorker programs carry metrics.
-        if let Ok(worker) = dev.take_program(id).downcast::<MultiWorker>() {
-            result.metrics.merge(&worker.metrics);
+        match dev.take_program(id).downcast::<MultiWorker>() {
+            Ok(worker) => result.metrics.merge(&worker.metrics),
+            Err(prog) => {
+                if let Ok(receiver) = prog.downcast::<ReceiverWarp>() {
+                    result.metrics.merge(&receiver.metrics);
+                }
+            }
         }
     }
     for id in client_ids {
@@ -1415,7 +1858,7 @@ where
         result.metrics.merge(&client.exec.metrics);
         result.records.append(&mut client.exec.take_records());
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -1640,6 +2083,121 @@ mod tests {
         let b = run_small(2, 1).1;
         assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn multi_server_message_faults_preserve_correctness() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let spec: FaultSpec = "drop_req=0.2,drop_resp=0.2,dup_req=0.1,delay_req=0.3x200"
+            .parse()
+            .unwrap();
+        let cfg = MultiCsmvConfig {
+            gpu: GpuConfig {
+                num_sms: 6,
+                ..Default::default()
+            },
+            num_servers: 2,
+            versions_per_box: 8,
+            server_workers: 2,
+            faults: Some(FaultPlan::new(0xFA02, spec)),
+            recovery: RetryPolicy {
+                resp_timeout: Some(20_000),
+                max_send_attempts: 16,
+                backoff_base: 64,
+                backoff_cap: 4096,
+                jitter_seed: 7,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let txs = 3;
+        let res = run_multi_checked(&cfg, |t| make_src(&cfg, t, txs), ITEMS, |_| 100)
+            .expect("recovery must keep the run live");
+        let total = (cfg.num_threads() * txs) as u64;
+        assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            total,
+            "every transaction must commit or fail terminally"
+        );
+        assert!(
+            res.metrics.faults.total() > 0,
+            "the plan must actually inject faults: {:?}",
+            res.metrics.faults
+        );
+        let initial: HashMap<u64, u64> = (0..ITEMS).map(|i| (i, 100)).collect();
+        check_history(&res.records, &initial, true).expect("opaque history");
+    }
+
+    #[test]
+    fn crashed_server_leaves_surviving_partitions_committing() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let mk_cfg = |faults: Option<FaultPlan>| MultiCsmvConfig {
+            gpu: GpuConfig {
+                num_sms: 6,
+                ..Default::default()
+            },
+            num_servers: 2,
+            versions_per_box: 8,
+            server_workers: 2,
+            // Generous timeout/attempts: terminal give-up on a *live* server
+            // would abandon a batch the server may still process (see
+            // DESIGN.md §11); the dead partition is handled by the heartbeat
+            // quarantine, which fires long before the retry budget runs out.
+            recovery: RetryPolicy {
+                resp_timeout: Some(20_000),
+                max_send_attempts: 16,
+                backoff_base: 64,
+                backoff_cap: 2048,
+                jitter_seed: 3,
+                ..Default::default()
+            },
+            heartbeat_patience: Some(25_000),
+            max_idle_cycles: Some(400_000),
+            faults,
+            ..Default::default()
+        };
+        // Probe the healthy run length, then kill partition 1's server SM a
+        // third of the way in (SM 5 = last of 6; servers run on SMs 4 and 5).
+        let txs = 6;
+        let healthy_cfg = mk_cfg(None);
+        let healthy = run_multi_checked(
+            &healthy_cfg,
+            |t| make_src(&healthy_cfg, t, txs),
+            ITEMS,
+            |_| 100,
+        )
+        .expect("healthy run");
+        let crash_at = (healthy.elapsed_cycles / 3).max(1);
+        let spec: FaultSpec = format!("crash_sm=5@{crash_at}").parse().unwrap();
+        let cfg = mk_cfg(Some(FaultPlan::new(0xC0A5, spec)));
+        let res = run_multi_checked(&cfg, |t| make_src(&cfg, t, txs), ITEMS, |_| 100)
+            .expect("survivors must drain the run, not hang");
+        let total = (cfg.num_threads() * txs) as u64;
+        assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            total,
+            "every transaction must commit or fail terminally"
+        );
+        assert!(
+            res.stats.commits() > 0,
+            "surviving partitions must keep committing"
+        );
+        assert!(
+            res.stats.failed > 0,
+            "the dead partition's transactions must fail"
+        );
+        assert!(
+            res.metrics.faults.count(FaultEvent::Quarantine) > 0,
+            "clients must quarantine the dead partition: {:?}",
+            res.metrics.faults
+        );
+        assert!(
+            res.metrics.aborts.count(AbortReason::ServerUnavailable) > 0,
+            "failed transactions must be attributed to the dead server"
+        );
+        // Committed transactions stay opaque even with the crash mid-run.
+        let initial: HashMap<u64, u64> = (0..ITEMS).map(|i| (i, 100)).collect();
+        check_history(&res.records, &initial, true).expect("opaque history for survivors");
     }
 
     #[test]

@@ -16,14 +16,20 @@
 //!
 //! ```text
 //! request:  [hdr_a × 32][hdr_b × 32][lane 0 rs × max_rs][lane 1 rs]…
-//!                                    [lane 0 ws × max_ws][lane 1 ws]…
+//!                                    [lane 0 ws × max_ws][lane 1 ws]…[seq]
 //!   hdr_a = committing << 32 | snapshot
 //!   hdr_b = rs_len    << 32 | ws_len
-//! response: [outcome × 32]
+//! response: [outcome × 32][seq echo]
 //!   outcome = 0 (not committing)
 //!           | 1 + reason (abort; reason = stm_core::AbortReason id)
 //!           | OUTCOME_COMMIT_BASE + cts (commit)
 //! ```
+//!
+//! The trailing `seq` word is the per-slot batch sequence number used for
+//! idempotent duplicate suppression under fault injection: a timed-out
+//! client re-posts the *same* seq, the server processes each seq at most
+//! once and echoes it as the last response write before flipping the status
+//! to `RESPONSE` (see `gpu_sim::channel` for the full state machine).
 
 use gpu_sim::channel::Mailboxes;
 use gpu_sim::mem::GlobalMemory;
@@ -37,7 +43,7 @@ pub const OUTCOME_NONE: u64 = 0;
 pub const OUTCOME_ABORT_BASE: u64 = 1;
 /// Response word bias for commits: `word = OUTCOME_COMMIT_BASE + cts`.
 /// Everything in `(OUTCOME_NONE, OUTCOME_COMMIT_BASE)` is an abort code.
-pub const OUTCOME_COMMIT_BASE: u64 = 8;
+pub const OUTCOME_COMMIT_BASE: u64 = 16;
 
 /// A decoded response word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +95,10 @@ impl CommitProtocol {
         max_rs: usize,
         max_ws: usize,
     ) -> Self {
-        let req_words = 2 * WARP_LANES + WARP_LANES * (max_rs + max_ws);
-        let resp_words = WARP_LANES;
+        // One extra word at the end of each payload for the batch seq /
+        // seq echo (see module docs).
+        let req_words = 2 * WARP_LANES + WARP_LANES * (max_rs + max_ws) + 1;
+        let resp_words = WARP_LANES + 1;
         let mailboxes = Mailboxes::alloc(global, num_client_warps, req_words, resp_words);
         Self {
             mailboxes,
@@ -143,6 +151,16 @@ impl CommitProtocol {
     /// Address of lane `lane`'s outcome word in `slot`'s response.
     pub fn outcome_addr(&self, slot: usize, lane: usize) -> u64 {
         self.mailboxes.resp_addr(slot, lane)
+    }
+
+    /// Address of `slot`'s request batch-sequence word.
+    pub fn req_seq_addr(&self, slot: usize) -> u64 {
+        self.mailboxes.req_seq_addr(slot)
+    }
+
+    /// Address of `slot`'s response seq-echo word.
+    pub fn resp_seq_addr(&self, slot: usize) -> u64 {
+        self.mailboxes.resp_seq_addr(slot)
     }
 
     /// Pack header A.
@@ -241,6 +259,8 @@ mod tests {
                     assert!(seen.insert(p.ws_addr(slot, lane, idx)));
                 }
             }
+            assert!(seen.insert(p.req_seq_addr(slot)));
+            assert!(seen.insert(p.resp_seq_addr(slot)));
         }
     }
 

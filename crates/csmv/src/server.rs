@@ -14,7 +14,7 @@ use gpu_sim::{
     full_mask, single_lane, Mask, MemOrder, StepOutcome, WarpCtx, WarpProgram, WARP_LANES,
 };
 use stm_core::mv_exec::unpack_ws_entry;
-use stm_core::{AbortReason, MetricsReport, Phase, VBoxHeap};
+use stm_core::{AbortReason, FaultEvent, MetricsReport, Phase, VBoxHeap};
 
 use crate::atr::SharedAtr;
 use crate::protocol::{pack_abort, pack_commit, CommitProtocol, OUTCOME_NONE};
@@ -102,12 +102,41 @@ pub struct ReceiverWarp {
     found_in_sweep: bool,
     /// Local tail copy (the receiver is the only producer).
     tail: u64,
+    /// Last batch seq received per slot (0 = none yet). A re-polled REQUEST
+    /// carrying the same seq is a duplicate: the receiver re-arms the
+    /// already-written response instead of dispatching it again, giving the
+    /// protocol at-most-once batch processing (see `gpu_sim::channel`).
+    last_seq: Vec<u64>,
+    /// Response re-send count per slot for the current seq, folded into the
+    /// fault plan's drop decision so retried re-arms re-roll.
+    resend_idx: Vec<u32>,
+    /// Fault-domain channel id (partition index in multi-server setups).
+    fault_channel: u64,
+    /// Optional liveness word: the receiver stamps the current cycle here on
+    /// every poll sweep so clients can detect a crashed partition.
+    heartbeat: Option<u64>,
+    /// Receiver-side observability: duplicate suppressions.
+    pub metrics: MetricsReport,
     st: RState,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum RState {
     Poll,
+    /// Read the batch seq words of freshly seen REQUEST slots to separate
+    /// new batches from duplicate re-posts.
+    ReadSeq(Vec<usize>),
+    /// Read the response seq echoes of suspected duplicates: echo == seq
+    /// means the response is complete and can simply be re-armed.
+    ReadEcho {
+        fresh: Vec<usize>,
+        dups: Vec<(usize, u64)>,
+    },
+    /// Re-arm the RESPONSE flag of fully-processed duplicate slots.
+    Rearm {
+        fresh: Vec<usize>,
+        rearm: Vec<usize>,
+    },
     Claim(Vec<usize>),
     /// Read the queue head to learn how much space is left.
     ReadHead(Vec<usize>),
@@ -122,6 +151,12 @@ enum RState {
         fits: Vec<usize>,
         rejected: Vec<usize>,
         committing: Mask,
+    },
+    /// Write the rejected slot's response seq echo (the client only accepts
+    /// a RESPONSE whose echo matches its in-flight seq).
+    RejectEcho {
+        fits: Vec<usize>,
+        rejected: Vec<usize>,
     },
     /// Flip the rejected slot's status to RESPONSE and move on.
     RejectStatus {
@@ -151,8 +186,25 @@ impl ReceiverWarp {
             chunk: 0,
             found_in_sweep: false,
             tail: 0,
+            last_seq: vec![0; num_clients],
+            resend_idx: vec![1; num_clients],
+            fault_channel: 0,
+            heartbeat: None,
+            metrics: MetricsReport::default(),
             st: RState::Poll,
         }
+    }
+
+    /// Set the fault-domain channel id (multi-server partition index).
+    pub fn set_fault_channel(&mut self, channel: u64) {
+        self.fault_channel = channel;
+    }
+
+    /// Enable the liveness heartbeat: the receiver writes the current cycle
+    /// to `addr` on every poll sweep. Clients treat a stale value as a dead
+    /// partition (see `multi::MultiClient`).
+    pub fn set_heartbeat(&mut self, addr: u64) {
+        self.heartbeat = Some(addr);
     }
 
     fn num_chunks(&self) -> usize {
@@ -170,6 +222,11 @@ impl WarpProgram for ReceiverWarp {
         w.set_phase(Phase::Receive.id());
         match std::mem::replace(&mut self.st, RState::Poll) {
             RState::Poll => {
+                if let Some(hb) = self.heartbeat {
+                    // Release so a client reading a fresh heartbeat also sees
+                    // every response this receiver re-armed before it.
+                    w.global_write1_ord(0, hb, w.now(), MemOrder::Release);
+                }
                 let lo = self.chunk * WARP_LANES;
                 let n = (self.num_clients - lo).min(WARP_LANES);
                 let mut mask: Mask = 0;
@@ -195,17 +252,118 @@ impl WarpProgram for ReceiverWarp {
                 }
                 if !found.is_empty() {
                     self.found_in_sweep = true;
-                    self.st = RState::Claim(found);
-                } else if wrapped {
-                    let had_any = std::mem::take(&mut self.found_in_sweep);
-                    if !had_any {
-                        self.st = RState::CheckDone;
+                    self.st = RState::ReadSeq(found);
+                } else {
+                    // An empty chunk is pure polling: rewind the progress
+                    // accounting so an idle receiver cannot keep the
+                    // stall watchdog from firing.
+                    w.poll_wait();
+                    if wrapped {
+                        let had_any = std::mem::take(&mut self.found_in_sweep);
+                        if !had_any {
+                            self.st = RState::CheckDone;
+                        } else {
+                            self.st = RState::Poll;
+                        }
                     } else {
                         self.st = RState::Poll;
                     }
-                } else {
-                    self.st = RState::Poll;
                 }
+                StepOutcome::Running
+            }
+            RState::ReadSeq(slots) => {
+                let mut mask: Mask = 0;
+                for l in 0..slots.len() {
+                    mask |= 1 << l;
+                }
+                let proto = &self.proto;
+                // Acquire: seq words are control plane — a timed-out client
+                // may rewrite one concurrently with this sweep (recovery
+                // resend), so reads are ordered like the status word's.
+                let seqs =
+                    w.global_read_ord(mask, |l| proto.req_seq_addr(slots[l]), MemOrder::Acquire);
+                let mut fresh = Vec::new();
+                let mut dups = Vec::new();
+                for (l, &slot) in slots.iter().enumerate() {
+                    let seq = seqs[l];
+                    if seq != 0 && seq == self.last_seq[slot] {
+                        // Same seq as last time: a timed-out client re-post.
+                        dups.push((slot, seq));
+                    } else {
+                        self.last_seq[slot] = seq;
+                        self.resend_idx[slot] = 1;
+                        fresh.push(slot);
+                    }
+                }
+                self.st = if !dups.is_empty() {
+                    RState::ReadEcho { fresh, dups }
+                } else if !fresh.is_empty() {
+                    RState::Claim(fresh)
+                } else {
+                    RState::Poll
+                };
+                StepOutcome::Running
+            }
+            RState::ReadEcho { fresh, dups } => {
+                let mut mask: Mask = 0;
+                for l in 0..dups.len() {
+                    mask |= 1 << l;
+                }
+                let proto = &self.proto;
+                // Acquire: an echo equal to the seq certifies the worker's
+                // response payload for that batch is complete.
+                let echoes =
+                    w.global_read_ord(mask, |l| proto.resp_seq_addr(dups[l].0), MemOrder::Acquire);
+                let now = w.now();
+                let mut rearm = Vec::new();
+                for (l, &(slot, seq)) in dups.iter().enumerate() {
+                    if echoes[l] == seq {
+                        // Already processed: suppress the duplicate and just
+                        // re-deliver the response.
+                        self.metrics
+                            .record_fault(FaultEvent::DuplicateSuppressed, now);
+                        rearm.push(slot);
+                    }
+                    // echo != seq: a worker still owns the batch — leave the
+                    // slot alone; the worker's RESPONSE flip will land later.
+                }
+                self.st = if !rearm.is_empty() {
+                    RState::Rearm { fresh, rearm }
+                } else if !fresh.is_empty() {
+                    RState::Claim(fresh)
+                } else {
+                    RState::Poll
+                };
+                StepOutcome::Running
+            }
+            RState::Rearm { fresh, mut rearm } => {
+                let slot = rearm.remove(0);
+                let seq = self.last_seq[slot];
+                let send_idx = self.resend_idx[slot];
+                self.resend_idx[slot] = send_idx.saturating_add(1);
+                let dropped = w.fault_plan().is_some_and(|p| {
+                    p.drop_response(self.fault_channel, slot as u64, seq, send_idx)
+                });
+                if dropped {
+                    // The re-delivery is lost in transit: pay the write cost
+                    // without flipping the flag (idempotent echo rewrite).
+                    w.global_write1_ord(0, self.proto.resp_seq_addr(slot), seq, MemOrder::Release);
+                } else {
+                    // Release: re-publishes the completed response.
+                    w.global_write1_ord(
+                        0,
+                        self.proto.mailboxes().status_addr(slot),
+                        STATUS_RESPONSE,
+                        MemOrder::Release,
+                    );
+                }
+                self.st = if !rearm.is_empty() {
+                    RState::Rearm { fresh, rearm }
+                } else if !fresh.is_empty() {
+                    RState::Claim(fresh)
+                } else {
+                    RState::Poll
+                };
                 StepOutcome::Running
             }
             RState::Claim(slots) => {
@@ -274,6 +432,19 @@ impl WarpProgram for ReceiverWarp {
                             OUTCOME_NONE
                         }
                     },
+                );
+                self.st = RState::RejectEcho { fits, rejected };
+                StepOutcome::Running
+            }
+            RState::RejectEcho { fits, rejected } => {
+                let slot = rejected[0];
+                // The queue-full response is complete once its echo matches;
+                // Release pairs with the client's echo-check acquire.
+                w.global_write1_ord(
+                    0,
+                    self.proto.resp_seq_addr(slot),
+                    self.last_seq[slot],
+                    MemOrder::Release,
                 );
                 self.st = RState::RejectStatus { fits, rejected };
                 StepOutcome::Running
@@ -401,6 +572,8 @@ enum WState {
     ReadEntry {
         head: u64,
     },
+    /// Read the batch's sequence number (echoed into the response).
+    ReadBatchSeq,
     /// Read the batch's A headers.
     ReadHdrA,
     /// Read the batch's B headers.
@@ -462,6 +635,8 @@ enum WState {
     },
     /// Write the 32 outcome words back to the client.
     WriteOutcomes,
+    /// Write the response seq echo (last payload write before the flip).
+    WriteEcho,
     /// Flip the mailbox status to RESPONSE.
     SetResponse,
     /// Retired.
@@ -477,6 +652,10 @@ pub struct WorkerWarp {
     gts_addr: u64,
     variant: CsmvVariant,
     slot: usize,
+    /// Batch seq of the request being processed (echoed in the response).
+    seq: u64,
+    /// Fault-domain channel id (partition index in multi-server setups).
+    fault_channel: u64,
     txs: Vec<TxD>,
     st: WState,
     /// Server-side observability: batch sizes and ATR occupancy samples.
@@ -501,10 +680,17 @@ impl WorkerWarp {
             gts_addr,
             variant,
             slot: 0,
+            seq: 0,
+            fault_channel: 0,
             txs: Vec::new(),
             st: WState::Pop,
             metrics: MetricsReport::default(),
         }
+    }
+
+    /// Set the fault-domain channel id (multi-server partition index).
+    pub fn set_fault_channel(&mut self, channel: u64) {
+        self.fault_channel = channel;
     }
 
     /// Read one ATR chunk (≤ 32 entries at cts `lo..lo+32`, bounded by
@@ -704,6 +890,15 @@ impl WarpProgram for WorkerWarp {
                 // Acquire: pairs with the receiver's entry-release write.
                 self.slot =
                     w.shared_read1_ord(0, self.ctl.q_entry_addr(head), MemOrder::Acquire) as usize;
+                self.st = WState::ReadBatchSeq;
+                StepOutcome::Running
+            }
+            WState::ReadBatchSeq => {
+                w.set_phase(Phase::Validation.id());
+                // Acquire: control-plane word, ordered against recovery
+                // resends (see the receiver's seq sweep).
+                self.seq =
+                    w.global_read1_ord(0, self.proto.req_seq_addr(self.slot), MemOrder::Acquire);
                 self.st = WState::ReadHdrA;
                 StepOutcome::Running
             }
@@ -1318,18 +1513,49 @@ impl WarpProgram for WorkerWarp {
                     |l| proto.outcome_addr(slot, l),
                     |l| outcomes[l],
                 );
+                self.st = WState::WriteEcho;
+                StepOutcome::Running
+            }
+            WState::WriteEcho => {
+                w.set_phase(Phase::RecordInsert.id());
+                // The echo must land after the outcome words and before the
+                // RESPONSE flip: echo == seq certifies the payload is
+                // complete (see `gpu_sim::channel`). Release pairs with the
+                // receiver's/client's echo-check acquires.
+                w.global_write1_ord(
+                    0,
+                    self.proto.resp_seq_addr(self.slot),
+                    self.seq,
+                    MemOrder::Release,
+                );
                 self.st = WState::SetResponse;
                 StepOutcome::Running
             }
             WState::SetResponse => {
                 w.set_phase(Phase::RecordInsert.id());
-                // Release: publishes the outcome words to the waiting client.
-                w.global_write1_ord(
-                    0,
-                    self.proto.mailboxes().status_addr(self.slot),
-                    STATUS_RESPONSE,
-                    MemOrder::Release,
-                );
+                let dropped = w.fault_plan().is_some_and(|p| {
+                    p.drop_response(self.fault_channel, self.slot as u64, self.seq, 0)
+                });
+                if dropped {
+                    // Response delivery lost in transit: the payload and echo
+                    // are in place, only the flag flip vanishes. The client's
+                    // timed-out re-post lets the receiver re-arm the slot
+                    // without reprocessing the batch.
+                    w.global_write1_ord(
+                        0,
+                        self.proto.resp_seq_addr(self.slot),
+                        self.seq,
+                        MemOrder::Release,
+                    );
+                } else {
+                    // Release: publishes the outcome words to the client.
+                    w.global_write1_ord(
+                        0,
+                        self.proto.mailboxes().status_addr(self.slot),
+                        STATUS_RESPONSE,
+                        MemOrder::Release,
+                    );
+                }
                 self.st = WState::Pop;
                 StepOutcome::Running
             }

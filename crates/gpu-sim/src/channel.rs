@@ -4,14 +4,51 @@
 //!
 //! Each client warp owns one mailbox slot. All status words are contiguous so
 //! the server's receiver warp can poll 32 mailboxes with a single coalesced
-//! read. The protocol is a 4-state flag machine:
+//! read.
+//!
+//! # The status state machine
+//!
+//! The status word is a 4-state flag machine. The happy path cycles:
 //!
 //! ```text
-//!   EMPTY --client writes payload, then status--> REQUEST
+//!   EMPTY --client writes payload+seq, then status--> REQUEST
 //!   REQUEST --receiver dispatches--> CLAIMED
-//!   CLAIMED --worker writes reply, then status--> RESPONSE
+//!   CLAIMED --worker writes reply+seq echo, then status--> RESPONSE
 //!   RESPONSE --client consumes reply, then status--> EMPTY
 //! ```
+//!
+//! Under fault injection (see [`crate::fault`]) a status transition can be
+//! *dropped* — the payload lands but the flag flip does not — which is why
+//! the happy-path machine alone is not safe to re-poll: a slot stuck in
+//! `REQUEST` (request delivery dropped) or `CLAIMED` (response delivery
+//! dropped) would deadlock its client. The recovery transitions below make
+//! every state re-pollable, keyed by a per-slot **batch sequence number**
+//! (`seq`) that the client writes into the request payload
+//! ([`Mailboxes::req_seq_addr`]) and the server echoes into the response
+//! payload ([`Mailboxes::resp_seq_addr`]) as the *last* write before the
+//! `RESPONSE` flip:
+//!
+//! ```text
+//!   REQUEST/CLAIMED --client times out, re-posts same seq--> REQUEST
+//!   REQUEST(seq already processed, resp seq echo == seq)
+//!            --receiver re-arms, no reprocessing--> RESPONSE
+//!   REQUEST(seq already claimed, resp seq echo != seq)
+//!            --receiver leaves untouched (worker still in flight)-->
+//!   RESPONSE(stale duplicate) --client ignores until seq echo matches-->
+//! ```
+//!
+//! The invariants that make this safe:
+//!
+//! * A retry always re-posts the **same** seq, so the server can recognise
+//!   it and must process a given seq **at most once** (idempotence).
+//! * The response seq echo is written after the response payload and before
+//!   the `RESPONSE` flip, so `resp seq == seq` certifies that the payload
+//!   for `seq` is complete — the receiver may then re-arm `RESPONSE`
+//!   without involving a worker, and the client may consume it.
+//! * Only the slot-owning client ever moves the status *to* `REQUEST` or
+//!   `EMPTY`; only the server moves it to `CLAIMED`/`RESPONSE`. Races
+//!   between a client re-post and a server flip therefore converge: each
+//!   party's next poll re-examines the seq words and repairs the slot.
 //!
 //! Payload/response contents are kernel-defined; this module provides the
 //! layout and address math only, so kernels perform the actual (costed)
@@ -92,6 +129,23 @@ impl Mailboxes {
     pub fn resp_addr(&self, slot: usize, i: usize) -> u64 {
         debug_assert!(slot < self.num_slots && i < self.resp_words);
         self.resp_base + (slot * self.resp_words + i) as u64
+    }
+
+    /// Address of a slot's request batch-sequence word (by convention the
+    /// *last* request word; size payloads with one extra word to use it).
+    /// See the module docs for the role seq numbers play in safe re-polling.
+    pub fn req_seq_addr(&self, slot: usize) -> u64 {
+        debug_assert!(self.req_words >= 1);
+        self.req_addr(slot, self.req_words - 1)
+    }
+
+    /// Address of a slot's response seq-echo word (by convention the *last*
+    /// response word). The server writes it after the response payload and
+    /// before flipping the status to [`STATUS_RESPONSE`]; `resp seq == req
+    /// seq` certifies the response payload for that batch is complete.
+    pub fn resp_seq_addr(&self, slot: usize) -> u64 {
+        debug_assert!(self.resp_words >= 1);
+        self.resp_addr(slot, self.resp_words - 1)
     }
 }
 

@@ -65,6 +65,7 @@
 
 pub mod channel;
 pub mod cost;
+pub mod fault;
 pub mod invariant;
 pub mod mem;
 pub mod parallel;
@@ -74,11 +75,12 @@ pub mod stats;
 pub mod warp;
 
 pub use cost::{CostModel, GpuConfig};
+pub use fault::{seeded_jitter, Fate, FaultPlan, FaultSpec, FaultSpecError};
 pub use invariant::{AccessKind, InvariantChecker, MemEvent, Space, Violation};
 pub use mem::{GlobalMemory, SharedMemory, Word};
 pub use parallel::{run_with_mode, ParallelConfig, ParallelError, RunMode, DEFAULT_WINDOW};
 pub use race::{AnalysisConfig, AnalysisReport, AnalysisState, MemOrder, RaceReport};
-pub use sched::{Device, StepOutcome, WarpId, WarpProgram};
+pub use sched::{Device, StallInfo, StepOutcome, WarpId, WarpProgram};
 pub use stats::{AnalysisStats, PhaseId, WarpStats, MAX_PHASES};
 pub use warp::{full_mask, lane_count, single_lane, Mask, WarpCtx};
 

@@ -50,6 +50,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 use crate::cost::CostModel;
+use crate::fault::{Fate, FaultPlan};
 use crate::mem::{GlobalMemory, SharedMemory, Word};
 use crate::sched::{Device, StepOutcome, WarpId, WarpSlot};
 use crate::warp::WarpCtx;
@@ -293,6 +294,7 @@ fn run_group_window(
     base: &GlobalMemory,
     base_atomic: &HashMap<u64, u64>,
     cost: &CostModel,
+    fault: Option<&FaultPlan>,
     w_end: u64,
 ) {
     while let Some(&Reverse((clock, id))) = task.heap.peek() {
@@ -306,6 +308,25 @@ fn run_group_window(
             .expect("scheduled warp belongs to this group");
         let slot = &mut task.slots[idx].1;
         debug_assert_eq!(slot.clock, clock);
+        // Injected scheduler faults fire at the same `(clock, warp)` points
+        // as in the sequential event loop, so fault runs stay bit-identical
+        // across modes and thread counts.
+        if let Some(plan) = fault {
+            match plan.scheduled_fate(id, slot.sm_id, clock, slot.fault_stalled) {
+                Fate::Kill => {
+                    slot.done = true;
+                    task.window_retired += 1;
+                    continue;
+                }
+                Fate::Stall(n) => {
+                    slot.fault_stalled = true;
+                    slot.clock = clock + n;
+                    task.heap.push(Reverse((clock + n, id)));
+                    continue;
+                }
+                Fate::Run => {}
+            }
+        }
         let mut program = slot.program.take().expect("scheduled warp has no program");
         task.buf.cur_key = (clock, id);
         let mut ctx = WarpCtx {
@@ -324,14 +345,19 @@ fn run_group_window(
             cost,
             atomic_shared: &mut task.atomic_shared,
             analysis: None,
+            nonpoll_clock: slot.nonpoll_clock,
+            entry_nonpoll: slot.nonpoll_clock,
+            fault,
         };
         let outcome = program.step(&mut ctx);
         let new_clock = ctx.clock;
         let new_phase = ctx.phase;
         let new_part = ctx.participating;
+        let new_nonpoll = ctx.nonpoll_clock;
         slot.clock = new_clock;
         slot.phase = new_phase;
         slot.participating = new_part;
+        slot.nonpoll_clock = new_nonpoll;
         slot.program = Some(program);
         task.window_executed += 1;
         match outcome {
@@ -421,9 +447,10 @@ impl Device {
                 let base = &self.global;
                 let base_atomic = &self.atomic_global;
                 let cost = &self.cfg.cost;
+                let fault = self.fault.as_ref();
                 if threads == 1 {
                     for t in tasks.iter_mut() {
-                        run_group_window(t, base, base_atomic, cost, w_end);
+                        run_group_window(t, base, base_atomic, cost, fault, w_end);
                     }
                 } else {
                     let chunk = tasks.len().div_ceil(threads).max(1);
@@ -431,7 +458,7 @@ impl Device {
                         for slice in tasks.chunks_mut(chunk) {
                             s.spawn(move || {
                                 for t in slice {
-                                    run_group_window(t, base, base_atomic, cost, w_end);
+                                    run_group_window(t, base, base_atomic, cost, fault, w_end);
                                 }
                             });
                         }
@@ -511,6 +538,37 @@ impl Device {
                 t.window_executed = 0;
                 t.window_retired = 0;
                 t.buf.clear();
+            }
+
+            // ---- barrier: stall watchdog ------------------------------
+            // Evaluated at the same quantum-aligned marks as the sequential
+            // scheduler (the default window width IS the quantum), over the
+            // identical set of completed steps.
+            if let Some(max_idle) = self.watchdog {
+                if w_end >= self.wd_mark {
+                    let mark = self.wd_mark;
+                    self.wd_mark = (w_end / DEFAULT_WINDOW) * DEFAULT_WINDOW + DEFAULT_WINDOW;
+                    let mut live_count = 0usize;
+                    let mut all_idle = true;
+                    for t in tasks.iter() {
+                        for (_, s) in &t.slots {
+                            if s.done {
+                                continue;
+                            }
+                            live_count += 1;
+                            if mark.saturating_sub(s.nonpoll_clock) <= max_idle {
+                                all_idle = false;
+                            }
+                        }
+                    }
+                    if all_idle && live_count > 0 {
+                        self.stall_info = Some(crate::sched::StallInfo {
+                            cycle: mark,
+                            live_warps: live_count,
+                        });
+                        break;
+                    }
+                }
             }
         }
 
@@ -860,6 +918,73 @@ mod tests {
             err,
             ParallelError::CrossGroupConflict { addr: 7, .. }
         ));
+    }
+
+    #[test]
+    fn seeded_faults_replay_identically_across_modes_and_threads() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let spec: FaultSpec = "kill=1@500,stall=0@100x300,crash_sm=1@2000"
+            .parse()
+            .unwrap();
+        let build = |dev: &mut Device| {
+            for sm in 0..2 {
+                dev.spawn(
+                    sm,
+                    Box::new(Bump {
+                        addr: sm as u64,
+                        steps: 300,
+                        stride: 5 + sm as u64,
+                    }),
+                );
+            }
+            dev.set_fault_plan(FaultPlan::new(9, spec.clone()));
+        };
+        let mut seq = two_sm_device();
+        build(&mut seq);
+        seq.run_to_completion();
+        for threads in [1, 2, 4] {
+            let mut par = two_sm_device();
+            build(&mut par);
+            par.run_parallel(&ParallelConfig::with_threads(threads))
+                .expect("group-confined fault workload cannot conflict");
+            assert_eq!(par.global(), seq.global(), "threads={threads}");
+            assert_eq!(par.elapsed_cycles(), seq.elapsed_cycles());
+            assert_eq!(par.instructions_executed(), seq.instructions_executed());
+            for id in 0..2 {
+                assert_eq!(par.warp_stats(id), seq.warp_stats(id), "warp {id}");
+            }
+        }
+        // The kill really happened.
+        assert!(seq.global()[1] < 300);
+        assert_eq!(seq.global()[0], 300);
+    }
+
+    #[test]
+    fn watchdog_fires_identically_in_parallel_mode() {
+        use crate::sched::WarpProgram;
+        struct Poller;
+        impl WarpProgram for Poller {
+            fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+                w.poll_wait();
+                StepOutcome::Running
+            }
+        }
+        let build = |dev: &mut Device| {
+            dev.spawn(0, Box::new(Poller));
+            dev.spawn(1, Box::new(Poller));
+            dev.set_watchdog(20_000);
+        };
+        let mut seq = two_sm_device();
+        build(&mut seq);
+        seq.run_to_completion();
+        let seq_info = seq.stalled().expect("sequential watchdog fires");
+        for threads in [1, 2] {
+            let mut par = two_sm_device();
+            build(&mut par);
+            par.run_parallel(&ParallelConfig::with_threads(threads))
+                .expect("no cross-group traffic");
+            assert_eq!(par.stalled(), Some(seq_info), "threads={threads}");
+        }
     }
 
     #[test]

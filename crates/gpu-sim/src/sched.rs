@@ -9,9 +9,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::cost::GpuConfig;
+use crate::fault::{Fate, FaultPlan};
 use crate::invariant::InvariantChecker;
 use crate::mem::{GlobalMemory, SharedMemory, Word};
-use crate::parallel::GlobalSlot;
+use crate::parallel::{GlobalSlot, DEFAULT_WINDOW};
 use crate::race::{AnalysisConfig, AnalysisReport, AnalysisState};
 use crate::stats::WarpStats;
 use crate::warp::WarpCtx;
@@ -51,6 +52,22 @@ pub(crate) struct WarpSlot {
     pub(crate) phase: u8,
     /// Lanes this kernel logically runs (persists across steps).
     pub(crate) participating: u32,
+    /// Completion time of the warp's last non-polling instruction (stall
+    /// watchdog input).
+    pub(crate) nonpoll_clock: u64,
+    /// A one-shot injected stall has already been applied to this warp.
+    pub(crate) fault_stalled: bool,
+}
+
+/// Diagnosis of a run the stall watchdog interrupted: every live warp had
+/// been doing nothing but polling for longer than the configured
+/// `max_idle_cycles` — the protocol can no longer make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInfo {
+    /// Simulated cycle (quantum-aligned) at which the stall was diagnosed.
+    pub cycle: u64,
+    /// Warps that had not retired when the run was interrupted.
+    pub live_warps: usize,
 }
 
 /// The simulated GPU: owns memories, warps and the event loop.
@@ -70,6 +87,15 @@ pub struct Device {
     /// Set when a parallel run conflicted mid-window: warp programs have
     /// consumed steps that cannot rewind, so further stepping is refused.
     pub(crate) poisoned: bool,
+    /// Installed fault plan (None = no faults injected).
+    pub(crate) fault: Option<FaultPlan>,
+    /// Stall watchdog: max cycles every live warp may spend purely polling
+    /// before the run is interrupted with a [`StallInfo`] diagnosis.
+    pub(crate) watchdog: Option<u64>,
+    /// Next quantum-aligned cycle at which the watchdog evaluates.
+    pub(crate) wd_mark: u64,
+    /// Set when the watchdog diagnosed a stall; run loops stop stepping.
+    pub(crate) stall_info: Option<StallInfo>,
 }
 
 impl Device {
@@ -91,7 +117,61 @@ impl Device {
             instructions_executed: 0,
             analysis: None,
             poisoned: false,
+            fault: None,
+            watchdog: None,
+            wd_mark: DEFAULT_WINDOW,
+            stall_info: None,
         }
+    }
+
+    /// Install a seeded fault plan. Call before running; the scheduler
+    /// consults it for warp kills/stalls/SM crashes, and kernels reach it
+    /// via [`crate::WarpCtx::fault_plan`] for message faults and jitter.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn installed_fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Arm the stall watchdog: if every live warp spends more than
+    /// `max_idle_cycles` doing nothing but polling, the run stops and
+    /// [`Device::stalled`] reports the diagnosis. Evaluated at
+    /// [`DEFAULT_WINDOW`]-aligned cycle boundaries in both the sequential
+    /// and the parallel scheduler.
+    pub fn set_watchdog(&mut self, max_idle_cycles: u64) {
+        self.watchdog = Some(max_idle_cycles.max(1));
+    }
+
+    /// The stall diagnosis, if the watchdog interrupted the run.
+    pub fn stalled(&self) -> Option<StallInfo> {
+        self.stall_info
+    }
+
+    /// Evaluate the watchdog at quantum boundary `mark`: stalled iff every
+    /// live warp's last useful (non-polling) instruction completed more
+    /// than `max_idle` cycles before `mark`.
+    pub(crate) fn watchdog_fire(&mut self, mark: u64, max_idle: u64) -> bool {
+        let mut live = 0usize;
+        for w in &self.warps {
+            if w.done {
+                continue;
+            }
+            live += 1;
+            if mark.saturating_sub(w.nonpoll_clock) <= max_idle {
+                return false;
+            }
+        }
+        if live == 0 {
+            return false;
+        }
+        self.stall_info = Some(StallInfo {
+            cycle: mark,
+            live_warps: live,
+        });
+        true
     }
 
     /// Turn on the analysis layer for this device. Call before spawning
@@ -173,6 +253,8 @@ impl Device {
             done: false,
             phase: 0,
             participating: WARP_LANES as u32,
+            nonpoll_clock: 0,
+            fault_stalled: false,
         });
         self.queue.push(Reverse((0, id)));
         self.live += 1;
@@ -189,7 +271,7 @@ impl Device {
     /// would otherwise poll forever.
     pub fn run_with_limit(&mut self, max_instructions: u64) {
         self.assert_not_poisoned();
-        while self.live > 0 {
+        while self.live > 0 && self.stall_info.is_none() {
             assert!(
                 self.instructions_executed < max_instructions,
                 "simulation exceeded {max_instructions} instructions; \
@@ -204,11 +286,43 @@ impl Device {
         self.run_with_limit(u64::MAX);
     }
 
-    /// Advance exactly one warp by one step. No-op when all warps retired.
+    /// Advance exactly one warp by one step. No-op when all warps retired
+    /// or the stall watchdog has already fired.
     pub fn step_once(&mut self) {
+        if self.stall_info.is_some() {
+            return;
+        }
         let Some(Reverse((clock, id))) = self.queue.pop() else {
             return;
         };
+        if let Some(max_idle) = self.watchdog {
+            if clock >= self.wd_mark {
+                let mark = self.wd_mark;
+                self.wd_mark = (clock / DEFAULT_WINDOW) * DEFAULT_WINDOW + DEFAULT_WINDOW;
+                if self.watchdog_fire(mark, max_idle) {
+                    self.queue.push(Reverse((clock, id)));
+                    return;
+                }
+            }
+        }
+        if let Some(plan) = &self.fault {
+            let slot = &self.warps[id];
+            match plan.scheduled_fate(id, slot.sm_id, clock, slot.fault_stalled) {
+                Fate::Kill => {
+                    self.warps[id].done = true;
+                    self.live -= 1;
+                    return;
+                }
+                Fate::Stall(n) => {
+                    let slot = &mut self.warps[id];
+                    slot.fault_stalled = true;
+                    slot.clock = clock + n;
+                    self.queue.push(Reverse((clock + n, id)));
+                    return;
+                }
+                Fate::Run => {}
+            }
+        }
         let slot = &mut self.warps[id];
         debug_assert_eq!(slot.clock, clock);
         let mut program = slot.program.take().expect("scheduled warp has no program");
@@ -228,13 +342,18 @@ impl Device {
             cost: &self.cfg.cost,
             atomic_shared: &mut self.atomic_shared[sm],
             analysis: self.analysis.as_deref_mut(),
+            nonpoll_clock: slot.nonpoll_clock,
+            entry_nonpoll: slot.nonpoll_clock,
+            fault: self.fault.as_ref(),
         };
         let outcome = program.step(&mut ctx);
         let new_clock = ctx.clock;
         let new_phase = ctx.phase;
         let new_part = ctx.participating;
+        let new_nonpoll = ctx.nonpoll_clock;
         let slot = &mut self.warps[id];
         slot.clock = new_clock;
+        slot.nonpoll_clock = new_nonpoll;
         slot.set_phase_participating(new_phase, new_part);
         slot.program = Some(program);
         self.instructions_executed += 1;
@@ -467,6 +586,89 @@ mod tests {
         dev.alloc_global(1);
         dev.spawn(0, Box::new(Waiter { seen: false })); // nobody sets the flag
         dev.run_with_limit(10_000);
+    }
+
+    #[test]
+    fn watchdog_converts_livelock_into_stall_info() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(Waiter { seen: false })); // nobody sets the flag
+        dev.set_watchdog(10_000);
+        dev.run_to_completion(); // returns instead of panicking
+        let info = dev.stalled().expect("watchdog must fire");
+        assert_eq!(info.live_warps, 1);
+        assert!(info.cycle >= 10_000);
+        assert_eq!(dev.live_warps(), 1, "the stalled warp did not retire");
+    }
+
+    #[test]
+    fn watchdog_stays_silent_on_healthy_runs() {
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(1);
+        dev.spawn(0, Box::new(Setter { step: 0 }));
+        dev.spawn(1, Box::new(Waiter { seen: false }));
+        dev.set_watchdog(50_000);
+        dev.run_to_completion();
+        assert!(dev.stalled().is_none());
+        assert_eq!(dev.global()[0], 1);
+    }
+
+    #[test]
+    fn fault_kill_retires_a_warp_without_stepping_it() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut dev = Device::new(GpuConfig::default());
+        dev.alloc_global(2);
+        dev.spawn(
+            0,
+            Box::new(Counter {
+                remaining: 1000,
+                addr: 0,
+            }),
+        );
+        dev.spawn(
+            1,
+            Box::new(Counter {
+                remaining: 5,
+                addr: 1,
+            }),
+        );
+        dev.set_fault_plan(FaultPlan::new(0, "kill=0@1".parse::<FaultSpec>().unwrap()));
+        dev.run_to_completion();
+        assert!(dev.warp_done(0) && dev.warp_done(1));
+        assert!(
+            dev.global()[0] < 1000,
+            "killed warp must not finish its work"
+        );
+        assert_eq!(dev.global()[1], 5);
+    }
+
+    #[test]
+    fn fault_stall_delays_exactly_once() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let run = |spec: &str| {
+            let mut dev = Device::new(GpuConfig::default());
+            dev.alloc_global(1);
+            dev.spawn(
+                0,
+                Box::new(Counter {
+                    remaining: 10,
+                    addr: 0,
+                }),
+            );
+            if !spec.is_empty() {
+                dev.set_fault_plan(FaultPlan::new(0, spec.parse::<FaultSpec>().unwrap()));
+            }
+            dev.run_to_completion();
+            (dev.global()[0], dev.elapsed_cycles())
+        };
+        let (healthy_val, healthy_cycles) = run("");
+        let (stalled_val, stalled_cycles) = run("stall=0@1x7000");
+        assert_eq!(healthy_val, stalled_val, "a stall loses no work");
+        assert_eq!(
+            stalled_cycles,
+            healthy_cycles + 7000,
+            "the stall is applied exactly once"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use crate::cost::CostModel;
+use crate::fault::FaultPlan;
 use crate::invariant::{AccessKind, MemEvent, Space};
 use crate::mem::{bank_conflict_groups, coalesced_segments, SharedMemory, Word};
 use crate::parallel::GlobalSlot;
@@ -60,6 +61,16 @@ pub struct WarpCtx<'a> {
     pub(crate) cost: &'a CostModel,
     pub(crate) atomic_shared: &'a mut HashMap<u64, u64>,
     pub(crate) analysis: Option<&'a mut AnalysisState>,
+    /// Completion time of the warp's last non-polling instruction; the
+    /// scheduler's stall watchdog reads it back after every step.
+    pub(crate) nonpoll_clock: u64,
+    /// `nonpoll_clock` as of step entry. A step that ends in
+    /// [`WarpCtx::poll_wait`] rewinds to this value, so the flag-check
+    /// reads of a poll loop do not count as watchdog progress.
+    pub(crate) entry_nonpoll: u64,
+    /// Installed fault plan, if any (kernels consult it for message faults
+    /// and seeded backoff jitter).
+    pub(crate) fault: Option<&'a FaultPlan>,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -100,6 +111,7 @@ impl<'a> WarpCtx<'a> {
     /// accounting and the divergence counter.
     fn charge(&mut self, cycles: u64, active: u32) {
         self.clock += cycles;
+        self.nonpoll_clock = self.clock;
         self.stats.total_cycles += cycles;
         self.stats.cycles_by_phase[self.phase as usize] += cycles;
         self.stats.instructions += 1;
@@ -115,10 +127,21 @@ impl<'a> WarpCtx<'a> {
         self.charge(self.cost.alu * n.max(1), lane_count(mask));
     }
 
-    /// Busy-wait one polling interval (flag not yet set).
+    /// Busy-wait one polling interval (flag not yet set). Polling does not
+    /// count as progress for the stall watchdog ([`crate::Device::set_watchdog`]).
     pub fn poll_wait(&mut self) {
         self.stats.poll_stall_cycles += self.cost.poll_interval;
         self.charge(self.cost.poll_interval, self.participating);
+        // The whole step was a poll iteration: the reads that checked the
+        // flag are not progress either.
+        self.nonpoll_clock = self.entry_nonpoll;
+    }
+
+    /// The installed [`FaultPlan`], if the harness configured fault
+    /// injection on this device. Kernels consult it at message send/respond
+    /// points and for seeded retry jitter.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault
     }
 
     // ------------------------------------------------------------------

@@ -49,6 +49,9 @@ enum LaneCommit {
 enum CPhase {
     /// Fetch transactions and read the GTS.
     Begin,
+    /// Recovery-policy backoff: retrying lanes sit out until `resume_at`
+    /// (bounded exponential delay with seeded jitter).
+    Backoff { resume_at: u64 },
     /// Execute transaction bodies.
     Bodies,
     /// Commit ROTs / abort overflows (no memory traffic).
@@ -70,6 +73,10 @@ pub struct JvstmGpuClient<S: TxSource> {
     gts_addr: u64,
     validate_batch: usize,
     phase: CPhase,
+    /// True once the pre-round backoff delay has been served (reset when
+    /// the round actually begins, so each retry round backs off at most
+    /// once).
+    backoff_served: bool,
 }
 
 impl<S: TxSource> JvstmGpuClient<S> {
@@ -93,7 +100,26 @@ impl<S: TxSource> JvstmGpuClient<S> {
             gts_addr,
             validate_batch: validate_batch.max(1),
             phase: CPhase::Begin,
+            backoff_served: false,
         }
+    }
+
+    /// Cycle until which retrying lanes must wait before the next round, or
+    /// `None` when no backoff is due. The warp-wide delay is the max over
+    /// its retrying lanes (lockstep: the warp cannot restart piecemeal).
+    fn backoff_target(&self, w: &WarpCtx) -> Option<u64> {
+        let policy = self.exec.retry_policy();
+        if policy.backoff_base == 0 {
+            return None;
+        }
+        let mut delay = 0u64;
+        for l in &self.exec.lanes {
+            if l.retry_pending && l.attempts > 0 && !policy.budget_exhausted(l.attempts) {
+                delay =
+                    delay.max(policy.backoff_cycles(l.thread_id as u64, l.snapshot, l.attempts));
+            }
+        }
+        (delay > 0).then(|| w.now() + delay)
     }
 
     /// Advance to the next lane that has an update transaction to commit,
@@ -400,11 +426,27 @@ impl<S: TxSource + 'static> WarpProgram for JvstmGpuClient<S> {
     fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
         match self.phase {
             CPhase::Begin => {
+                if !self.backoff_served {
+                    if let Some(resume_at) = self.backoff_target(w) {
+                        self.backoff_served = true;
+                        self.phase = CPhase::Backoff { resume_at };
+                        return StepOutcome::Running;
+                    }
+                }
+                self.backoff_served = false;
                 if self.exec.begin_round(w, self.gts_addr) {
                     self.phase = CPhase::Bodies;
                 } else {
                     self.phase = CPhase::Finished;
                     return StepOutcome::Done;
+                }
+                StepOutcome::Running
+            }
+            CPhase::Backoff { resume_at } => {
+                if w.now() < resume_at {
+                    w.poll_wait();
+                } else {
+                    self.phase = CPhase::Begin;
                 }
                 StepOutcome::Running
             }
@@ -561,5 +603,47 @@ mod tests {
             "snapshot-too-old aborts must be classified: {:?}",
             res.metrics.aborts
         );
+    }
+
+    /// With a one-retry budget under full contention, losing lanes are
+    /// failed terminally (no endless retry), the committed history stays
+    /// opaque, and the seeded backoff keeps runs bit-deterministic.
+    #[test]
+    fn retry_budget_and_backoff_fail_losers_terminally() {
+        let gpu = GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        let cfg = JvstmGpuConfig {
+            gpu,
+            atr_capacity: 2048,
+            versions_per_box: 8,
+            recovery: stm_core::RetryPolicy {
+                retry_budget: Some(1),
+                backoff_base: 32,
+                backoff_cap: 256,
+                jitter_seed: 9,
+                ..stm_core::RetryPolicy::default()
+            },
+            ..Default::default()
+        };
+        let run_once = || run(&cfg, |_| Once(Some(Incr { step: 0, seen: 0 })), 4, |_| 0);
+        let res = run_once();
+        let n = cfg.num_threads() as u64;
+        assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            n,
+            "every transaction must either commit or fail terminally"
+        );
+        assert!(
+            res.stats.failed > 0,
+            "full contention with budget 1 must exhaust some budgets"
+        );
+        assert!(res.metrics.aborts.count(AbortReason::RetryBudgetExhausted) > 0);
+        check_history(&res.records, &std::collections::HashMap::new(), true)
+            .expect("opaque history");
+        let again = run_once();
+        assert_eq!(res.elapsed_cycles, again.elapsed_cycles);
+        assert_eq!(res.stats, again.stats);
     }
 }

@@ -23,9 +23,10 @@
 pub mod atr;
 pub mod client;
 
+use gpu_sim::fault::FaultPlan;
 use gpu_sim::{AnalysisConfig, Device, GpuConfig, RunMode};
 use stm_core::mv_exec::{MvExecConfig, PlainSetArea};
-use stm_core::{RunResult, TxSource, VBoxHeap};
+use stm_core::{RetryPolicy, RunResult, TxSource, VBoxHeap};
 
 pub use atr::GlobalAtr;
 pub use client::JvstmGpuClient;
@@ -58,6 +59,16 @@ pub struct JvstmGpuConfig {
     /// sequential re-run on a cross-SM window conflict (the shared GTS and
     /// global ATR conflict quickly; results are bit-identical either way).
     pub sim: RunMode,
+    /// Failure-recovery policy: per-transaction retry budget (enforced by
+    /// the shared MV engine) plus seeded exponential backoff between retry
+    /// rounds. Inert by default.
+    pub recovery: RetryPolicy,
+    /// Deterministic fault plan installed on the device (warp kills/stalls,
+    /// SM crashes). `None` = fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Stall watchdog: abort the run (loudly) if no warp makes non-polling
+    /// progress for this many cycles. `None` disables the watchdog.
+    pub max_idle_cycles: Option<u64>,
 }
 
 impl Default for JvstmGpuConfig {
@@ -73,6 +84,9 @@ impl Default for JvstmGpuConfig {
             validate_batch: 16,
             analysis: AnalysisConfig::default(),
             sim: RunMode::Sequential,
+            recovery: RetryPolicy::default(),
+            faults: None,
+            max_idle_cycles: None,
         }
     }
 }
@@ -112,6 +126,12 @@ where
         let atr = GlobalAtr::alloc(dev.global_mut(), cfg.atr_capacity, cfg.max_ws);
 
         dev.enable_analysis(cfg.analysis);
+        if let Some(plan) = &cfg.faults {
+            dev.set_fault_plan(plan.clone());
+        }
+        if let Some(max_idle) = cfg.max_idle_cycles {
+            dev.set_watchdog(max_idle);
+        }
 
         let mut warp_ids = Vec::new();
         let mut thread_id = 0usize;
@@ -123,6 +143,7 @@ where
                 let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
                 let exec_cfg = MvExecConfig {
                     record_history: cfg.record_history,
+                    retry: cfg.recovery.clone(),
                     ..MvExecConfig::default()
                 };
                 let client = JvstmGpuClient::new(
@@ -143,6 +164,15 @@ where
     };
 
     let (mut dev, warp_ids) = gpu_sim::run_with_mode(cfg.sim, launch);
+
+    // A watchdog trip is a protocol bug (or an unsurvivable fault plan):
+    // surface it loudly instead of returning a silently-short result.
+    if let Some(info) = dev.stalled() {
+        panic!(
+            "jvstm-gpu run stalled: no warp progress by cycle {} ({} live warps)",
+            info.cycle, info.live_warps
+        );
+    }
 
     let analysis = dev.finish_analysis();
     let mut result = RunResult {

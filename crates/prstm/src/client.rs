@@ -15,7 +15,7 @@ use gpu_sim::{
 use stm_core::history::TxRecord;
 use stm_core::mv_exec::{pack_ws_entry, PlainSetArea, SetArea};
 use stm_core::stats::CommitStats;
-use stm_core::{AbortReason, MetricsReport, Phase, TxLogic, TxOp, TxSource};
+use stm_core::{AbortReason, MetricsReport, Phase, RetryPolicy, TxLogic, TxOp, TxSource};
 
 use crate::lock::{self, LockTable};
 use crate::log::LockLog;
@@ -120,6 +120,14 @@ struct Lane<S: TxSource> {
     /// Rounds this lane still sits out before retrying (contention-manager
     /// backoff; see `finish_abort`).
     backoff: u32,
+    /// Aborted attempts of the current transaction (0 on a fresh one);
+    /// checked against the retry budget before re-arming a retry.
+    attempts: u32,
+    /// Earliest cycle at which a retry may start (recovery-policy backoff
+    /// with seeded jitter; 0 when the policy is inert).
+    retry_at: u64,
+    /// Transactions fetched so far (jitter sequence number).
+    tx_seq: u64,
     attempt_start: u64,
     commit: LaneCommit,
     cts: u64,
@@ -192,6 +200,9 @@ pub struct PrstmClient<S: TxSource> {
     record_history: bool,
     phase: WPhase,
     warp_index: u64,
+    /// Failure-recovery policy: per-transaction retry budget and seeded
+    /// backoff on top of the contention manager's round-based delay.
+    retry: RetryPolicy,
     /// Warp-level observability (public for result harvesting).
     pub metrics: MetricsReport,
 }
@@ -224,6 +235,9 @@ impl<S: TxSource> PrstmClient<S> {
                 log_cursor: 0,
                 strength: 0,
                 backoff: 0,
+                attempts: 0,
+                retry_at: 0,
+                tx_seq: 0,
                 attempt_start: 0,
                 commit: LaneCommit::None,
                 cts: 0,
@@ -241,8 +255,14 @@ impl<S: TxSource> PrstmClient<S> {
             record_history,
             phase: WPhase::Begin,
             warp_index,
+            retry: RetryPolicy::default(),
             metrics: MetricsReport::default(),
         }
+    }
+
+    /// Arm the failure-recovery policy (retry budget + seeded backoff).
+    pub fn set_recovery(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Aggregate statistics over the warp.
@@ -652,10 +672,25 @@ impl<S: TxSource> PrstmClient<S> {
     /// the other's can abort each other identically forever).
     fn begin_round(&mut self, w: &mut WarpCtx) -> bool {
         w.set_phase(Phase::Execution.id());
-        // If every pending lane is backing off, force the retries through —
-        // an all-idle round must not be possible.
+        let now = w.now();
+        // Enforce the per-transaction retry budget: a lane whose transaction
+        // already burned its budget is failed terminally instead of retried.
+        for i in 0..self.lanes.len() {
+            let give_up = {
+                let l = &self.lanes[i];
+                l.retry_pending && self.retry.budget_exhausted(l.attempts)
+            };
+            if give_up {
+                self.fail_lane(i, now, AbortReason::RetryBudgetExhausted);
+            }
+        }
+        // If every pending lane is backing off, force the round-based delays
+        // through — an all-idle round must not be possible. (Cycle-based
+        // `retry_at` delays need no forcing: idle rounds still charge ALU
+        // cycles below, so the clock always reaches them.)
         let someone_ready = self.lanes.iter().any(|l| {
-            (l.logic.is_none() && !l.retry_pending) || (l.retry_pending && l.backoff == 0)
+            (l.logic.is_none() && !l.retry_pending)
+                || (l.retry_pending && l.backoff == 0 && now >= l.retry_at)
         });
         if !someone_ready {
             for l in self.lanes.iter_mut() {
@@ -663,15 +698,18 @@ impl<S: TxSource> PrstmClient<S> {
             }
         }
         let mut any = false;
-        let now = w.now();
         for l in self.lanes.iter_mut() {
             if l.logic.is_none() && !l.retry_pending {
                 l.logic = l.source.next_tx();
+                if l.logic.is_some() {
+                    l.tx_seq += 1;
+                    l.attempts = 0;
+                }
             }
             if l.retry_pending {
-                if l.backoff > 0 {
+                if l.backoff > 0 || now < l.retry_at {
                     // Sit this round out.
-                    l.backoff -= 1;
+                    l.backoff = l.backoff.saturating_sub(1);
                     l.micro = Micro::Idle;
                     continue;
                 }
@@ -713,14 +751,44 @@ impl<S: TxSource> PrstmClient<S> {
             l.stats.update_aborts += 1;
         }
         self.metrics.record_abort(reason, wasted);
+        let retry = self.retry.clone();
         let l = &mut self.lanes[lane];
         l.strength += 1;
+        l.attempts += 1;
         // Asymmetric restart delay: distinct thread ids give distinct
         // delays, so symmetric conflict patterns cannot replay identically.
         l.backoff = (l.thread_id as u32) % ((l.strength as u32).min(4) + 2);
+        // Recovery-policy backoff (bounded exponential + seeded jitter) on
+        // top: the lane may not restart before `retry_at`.
+        l.retry_at = now + retry.backoff_cycles(l.thread_id as u64, l.tx_seq, l.attempts);
         l.retry_pending = true;
         l.micro = Micro::Idle;
         l.commit = LaneCommit::None;
+    }
+
+    /// Terminally fail a lane's transaction (retry budget exhausted): the
+    /// abort is recorded under the terminal `reason` and the transaction is
+    /// dropped instead of re-armed.
+    fn fail_lane(&mut self, lane: usize, now: u64, reason: AbortReason) {
+        debug_assert!(reason.is_terminal(), "fail_lane with retriable reason");
+        let l = &mut self.lanes[lane];
+        let wasted = now.saturating_sub(l.attempt_start);
+        l.stats.wasted_cycles += wasted;
+        if l.is_rot() {
+            l.stats.rot_aborts += 1;
+        } else {
+            l.stats.update_aborts += 1;
+        }
+        l.stats.failed += 1;
+        l.strength = 0;
+        l.attempts = 0;
+        l.backoff = 0;
+        l.retry_at = 0;
+        l.logic = None;
+        l.retry_pending = false;
+        l.micro = Micro::Idle;
+        l.commit = LaneCommit::None;
+        self.metrics.record_abort(reason, wasted);
     }
 
     /// Commit bookkeeping.
@@ -746,6 +814,8 @@ impl<S: TxSource> PrstmClient<S> {
             });
         }
         l.strength = 0;
+        l.attempts = 0;
+        l.retry_at = 0;
         l.logic = None;
         l.retry_pending = false;
         l.micro = Micro::Idle;

@@ -30,9 +30,10 @@ pub mod client;
 pub mod lock;
 pub mod log;
 
+use gpu_sim::fault::FaultPlan;
 use gpu_sim::{AnalysisConfig, Device, GpuConfig, RunMode};
 use stm_core::mv_exec::PlainSetArea;
-use stm_core::{RunResult, TxSource};
+use stm_core::{RetryPolicy, RunResult, TxSource};
 
 pub use check::PrstmInvariantChecker;
 pub use client::PrstmClient;
@@ -59,6 +60,16 @@ pub struct PrstmConfig {
     /// sequential re-run on a cross-SM window conflict (PR-STM's global
     /// lock table conflicts quickly; results are bit-identical either way).
     pub sim: RunMode,
+    /// Failure-recovery policy: per-transaction retry budget plus seeded
+    /// exponential backoff layered over the contention manager. Inert by
+    /// default.
+    pub recovery: RetryPolicy,
+    /// Deterministic fault plan installed on the device (warp kills/stalls,
+    /// SM crashes). `None` = fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Stall watchdog: abort the run (loudly) if no warp makes non-polling
+    /// progress for this many cycles. `None` disables the watchdog.
+    pub max_idle_cycles: Option<u64>,
 }
 
 impl Default for PrstmConfig {
@@ -71,6 +82,9 @@ impl Default for PrstmConfig {
             record_history: true,
             analysis: AnalysisConfig::default(),
             sim: RunMode::Sequential,
+            recovery: RetryPolicy::default(),
+            faults: None,
+            max_idle_cycles: None,
         }
     }
 }
@@ -104,6 +118,12 @@ where
         if cfg.analysis.invariants {
             dev.add_invariant_checker(Box::new(PrstmInvariantChecker::new(&table)));
         }
+        if let Some(plan) = &cfg.faults {
+            dev.set_fault_plan(plan.clone());
+        }
+        if let Some(max_idle) = cfg.max_idle_cycles {
+            dev.set_watchdog(max_idle);
+        }
 
         let mut warp_ids = Vec::new();
         let mut thread_id = 0usize;
@@ -114,7 +134,7 @@ where
                     .map(|i| make_source(thread_id + i))
                     .collect();
                 let area = PlainSetArea::alloc(dev.global_mut(), cfg.max_rs, cfg.max_ws);
-                let client = PrstmClient::new(
+                let mut client = PrstmClient::new(
                     sources,
                     thread_id,
                     table.clone(),
@@ -123,6 +143,7 @@ where
                     cfg.record_history,
                     warp_index,
                 );
+                client.set_recovery(cfg.recovery.clone());
                 warp_ids.push(dev.spawn(sm, Box::new(client)));
                 thread_id += gpu_sim::WARP_LANES;
                 warp_index += 1;
@@ -132,6 +153,15 @@ where
     };
 
     let (mut dev, warp_ids) = gpu_sim::run_with_mode(cfg.sim, launch);
+
+    // A watchdog trip is a protocol bug (or an unsurvivable fault plan):
+    // surface it loudly instead of returning a silently-short result.
+    if let Some(info) = dev.stalled() {
+        panic!(
+            "prstm run stalled: no warp progress by cycle {} ({} live warps)",
+            info.cycle, info.live_warps
+        );
+    }
 
     let analysis = dev.finish_analysis();
     let mut result = RunResult {
@@ -219,6 +249,45 @@ mod metrics_tests {
             "lock-busy aborts must be classified: {:?}",
             res.metrics.aborts
         );
+    }
+
+    #[test]
+    fn retry_budget_fails_transactions_terminally() {
+        // Maximal contention on item 0 with a budget of one retry: lanes
+        // that lose twice are dropped with RetryBudgetExhausted instead of
+        // retrying forever, and every transaction is accounted exactly once.
+        let gpu = gpu_sim::GpuConfig {
+            num_sms: 4,
+            ..Default::default()
+        };
+        let cfg = PrstmConfig {
+            gpu,
+            recovery: stm_core::RetryPolicy {
+                retry_budget: Some(1),
+                backoff_base: 32,
+                backoff_cap: 256,
+                jitter_seed: 5,
+                ..stm_core::RetryPolicy::default()
+            },
+            ..Default::default()
+        };
+        let run_once = || run(&cfg, |_| Once(Some(Incr { step: 0 })), 4, |_| 0);
+        let res = run_once();
+        let n = cfg.num_threads() as u64;
+        assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            n,
+            "every transaction must either commit or fail terminally"
+        );
+        assert!(
+            res.stats.failed > 0,
+            "full contention with budget 1 must exhaust some budgets"
+        );
+        assert!(res.metrics.aborts.count(AbortReason::RetryBudgetExhausted) > 0);
+        // Seeded backoff keeps the run deterministic.
+        let again = run_once();
+        assert_eq!(res.elapsed_cycles, again.elapsed_cycles);
+        assert_eq!(res.stats, again.stats);
     }
 }
 

@@ -22,15 +22,19 @@ pub mod logic;
 pub mod metrics;
 pub mod mv_exec;
 pub mod phase;
+pub mod recovery;
 pub mod result;
 pub mod stats;
 pub mod vbox;
 
 pub use history::{check_history, HistoryError, TxRecord};
 pub use logic::{TxLogic, TxOp, TxSource};
-pub use metrics::{AbortCounts, AbortReason, Histogram, MetricsReport, Sample, Series};
+pub use metrics::{
+    AbortCounts, AbortReason, FaultCounts, FaultEvent, Histogram, MetricsReport, Sample, Series,
+};
 pub use mv_exec::{MvExec, MvExecConfig, PlainSetArea, SetArea};
 pub use phase::Phase;
+pub use recovery::RetryPolicy;
 pub use result::RunResult;
 pub use stats::{CommitStats, TimeBreakdown};
 pub use vbox::VBoxHeap;

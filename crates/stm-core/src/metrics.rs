@@ -28,17 +28,34 @@ pub enum AbortReason {
     /// Version-list overflow: the snapshot was older than the oldest
     /// retained version of a box read during execution.
     VersionOverflow = 5,
+    /// The commit server did not answer within the client's send-attempt
+    /// budget (request/response lost and retries exhausted, or the server
+    /// is dead); the transaction is failed cleanly rather than retried.
+    ServerTimeout = 6,
+    /// The per-transaction protocol retry budget was exhausted: the
+    /// transaction kept aborting for retriable reasons and gave up.
+    RetryBudgetExhausted = 7,
+    /// The transaction's partition is served by a quarantined (crashed)
+    /// server; it fails cleanly while other partitions keep committing.
+    ServerUnavailable = 8,
+    /// The server recognised the request as a duplicate of an
+    /// already-processed batch and dropped it instead of re-committing.
+    DuplicateDropped = 9,
 }
 
 impl AbortReason {
     /// All reasons, in id order.
-    pub const ALL: [AbortReason; 6] = [
+    pub const ALL: [AbortReason; 10] = [
         AbortReason::ReadValidation,
         AbortReason::WriteWrite,
         AbortReason::AtrWindowOverflow,
         AbortReason::PreValidationKill,
         AbortReason::ServerQueueFull,
         AbortReason::VersionOverflow,
+        AbortReason::ServerTimeout,
+        AbortReason::RetryBudgetExhausted,
+        AbortReason::ServerUnavailable,
+        AbortReason::DuplicateDropped,
     ];
 
     /// Dense id, usable as an array index and as a wire code.
@@ -56,8 +73,23 @@ impl AbortReason {
             3 => Some(AbortReason::PreValidationKill),
             4 => Some(AbortReason::ServerQueueFull),
             5 => Some(AbortReason::VersionOverflow),
+            6 => Some(AbortReason::ServerTimeout),
+            7 => Some(AbortReason::RetryBudgetExhausted),
+            8 => Some(AbortReason::ServerUnavailable),
+            9 => Some(AbortReason::DuplicateDropped),
             _ => None,
         }
+    }
+
+    /// True for reasons that terminate the transaction instead of sending
+    /// it around the retry loop again (failure-recovery outcomes).
+    pub const fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            AbortReason::ServerTimeout
+                | AbortReason::RetryBudgetExhausted
+                | AbortReason::ServerUnavailable
+        )
     }
 
     /// Stable snake_case key used in the JSON schema.
@@ -69,6 +101,93 @@ impl AbortReason {
             AbortReason::PreValidationKill => "prevalidation_kill",
             AbortReason::ServerQueueFull => "server_queue_full",
             AbortReason::VersionOverflow => "version_overflow",
+            AbortReason::ServerTimeout => "server_timeout",
+            AbortReason::RetryBudgetExhausted => "retry_budget_exhausted",
+            AbortReason::ServerUnavailable => "server_unavailable",
+            AbortReason::DuplicateDropped => "duplicate_dropped",
+        }
+    }
+}
+
+/// Classes of fault-injection / recovery events observed during a run.
+/// Counted in [`FaultCounts`] and time-stamped in
+/// [`MetricsReport::fault_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FaultEvent {
+    /// A client's wait for a server response timed out.
+    Timeout = 0,
+    /// A client re-posted a request after a timeout (same batch seq).
+    Resend = 1,
+    /// The fault plan made a client deliver a completed request again.
+    DuplicateInjected = 2,
+    /// A server recognised and suppressed a duplicate batch.
+    DuplicateSuppressed = 3,
+    /// The fault plan delayed a request send.
+    DelayInjected = 4,
+    /// A client declared a server dead (stale heartbeat) and quarantined
+    /// its partition.
+    Quarantine = 5,
+}
+
+impl FaultEvent {
+    /// All events, in id order.
+    pub const ALL: [FaultEvent; 6] = [
+        FaultEvent::Timeout,
+        FaultEvent::Resend,
+        FaultEvent::DuplicateInjected,
+        FaultEvent::DuplicateSuppressed,
+        FaultEvent::DelayInjected,
+        FaultEvent::Quarantine,
+    ];
+
+    /// Dense id, usable as an array index and a series value.
+    #[inline]
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Stable snake_case key used in the JSON schema.
+    pub const fn key(self) -> &'static str {
+        match self {
+            FaultEvent::Timeout => "timeouts",
+            FaultEvent::Resend => "resends",
+            FaultEvent::DuplicateInjected => "duplicates_injected",
+            FaultEvent::DuplicateSuppressed => "duplicates_suppressed",
+            FaultEvent::DelayInjected => "delays_injected",
+            FaultEvent::Quarantine => "quarantines",
+        }
+    }
+}
+
+/// Fault/recovery event counters, one per [`FaultEvent`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    counts: [u64; FaultEvent::ALL.len()],
+}
+
+impl FaultCounts {
+    /// Record one event.
+    #[inline]
+    pub fn record(&mut self, event: FaultEvent) {
+        self.counts[event.id() as usize] += 1;
+    }
+
+    /// Events of one class.
+    #[inline]
+    pub fn count(&self, event: FaultEvent) -> u64 {
+        self.counts[event.id() as usize]
+    }
+
+    /// Total events across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulate another counter set.
+    pub fn merge(&mut self, other: &FaultCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
         }
     }
 }
@@ -306,6 +425,12 @@ pub struct MetricsReport {
     /// GTS turn-taking stall episodes: one sample per wait, `value` = cycles
     /// spent waiting for the publication turn.
     pub gts_stall: Series,
+    /// Injected-fault and recovery event counters; all zero on fault-free
+    /// runs.
+    pub faults: FaultCounts,
+    /// Time series of fault/recovery events: one sample per event, `value` =
+    /// the [`FaultEvent`] id. Empty on fault-free runs.
+    pub fault_events: Series,
 }
 
 impl MetricsReport {
@@ -313,6 +438,12 @@ impl MetricsReport {
     pub fn record_abort(&mut self, reason: AbortReason, latency_cycles: u64) {
         self.aborts.record(reason);
         self.abort_latency.record(latency_cycles);
+    }
+
+    /// Record a fault/recovery event at a cycle.
+    pub fn record_fault(&mut self, event: FaultEvent, cycle: u64) {
+        self.faults.record(event);
+        self.fault_events.push(cycle, event.id() as u64);
     }
 
     /// Record a commit latency.
@@ -328,6 +459,8 @@ impl MetricsReport {
         self.batch_sizes.merge(&other.batch_sizes);
         self.atr_occupancy.merge(&other.atr_occupancy);
         self.gts_stall.merge(&other.gts_stall);
+        self.faults.merge(&other.faults);
+        self.fault_events.merge(&other.fault_events);
     }
 }
 
@@ -366,6 +499,51 @@ mod tests {
         assert_eq!(a.count(AbortReason::VersionOverflow), 1);
         assert_eq!(a.count(AbortReason::ServerQueueFull), 0);
         assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn fault_event_ids_are_dense_and_keys_distinct() {
+        for (i, e) in FaultEvent::ALL.iter().enumerate() {
+            assert_eq!(e.id() as usize, i);
+        }
+        let mut keys: Vec<_> = FaultEvent::ALL.iter().map(|e| e.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), FaultEvent::ALL.len());
+    }
+
+    #[test]
+    fn fault_counts_record_and_merge_through_reports() {
+        let mut a = MetricsReport::default();
+        a.record_fault(FaultEvent::Timeout, 100);
+        a.record_fault(FaultEvent::Resend, 150);
+        let mut b = MetricsReport::default();
+        b.record_fault(FaultEvent::Resend, 50);
+        a.merge(&b);
+        assert_eq!(a.faults.count(FaultEvent::Timeout), 1);
+        assert_eq!(a.faults.count(FaultEvent::Resend), 2);
+        assert_eq!(a.faults.total(), 3);
+        assert_eq!(a.fault_events.len(), 3);
+        // Merge re-sorts by cycle.
+        let cycles: Vec<u64> = a.fault_events.samples().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![50, 100, 150]);
+    }
+
+    #[test]
+    fn terminal_reasons_are_exactly_the_recovery_outcomes() {
+        let terminal: Vec<_> = AbortReason::ALL
+            .iter()
+            .copied()
+            .filter(|r| r.is_terminal())
+            .collect();
+        assert_eq!(
+            terminal,
+            vec![
+                AbortReason::ServerTimeout,
+                AbortReason::RetryBudgetExhausted,
+                AbortReason::ServerUnavailable,
+            ]
+        );
     }
 
     #[test]

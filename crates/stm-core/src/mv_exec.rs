@@ -26,6 +26,7 @@ use crate::history::TxRecord;
 use crate::logic::{TxLogic, TxOp, TxSource};
 use crate::metrics::{AbortReason, MetricsReport};
 use crate::phase::Phase;
+use crate::recovery::RetryPolicy;
 use crate::stats::CommitStats;
 use crate::vbox::{unpack_version, VBoxHeap, EMPTY_TS};
 
@@ -147,6 +148,9 @@ pub struct Lane<S: TxSource> {
     pub records: Vec<TxRecord>,
     /// True while an aborted transaction awaits re-execution.
     pub retry_pending: bool,
+    /// Aborted attempts of the current transaction (0 on a fresh one);
+    /// checked against the retry budget before re-arming a retry.
+    pub attempts: u32,
 }
 
 impl<S: TxSource> Lane<S> {
@@ -164,6 +168,7 @@ impl<S: TxSource> Lane<S> {
             stats: CommitStats::default(),
             records: Vec::new(),
             retry_pending: false,
+            attempts: 0,
         }
     }
 
@@ -204,6 +209,10 @@ pub struct MvExecConfig {
     pub record_history: bool,
     /// Upper bound on pure-logic operations folded into one step.
     pub max_logic_ops_per_step: usize,
+    /// Failure-recovery policy; the retry budget is enforced here (a lane
+    /// whose transaction exceeds it is failed terminally at round start),
+    /// timeouts/backoff are enforced by the owning kernel.
+    pub retry: RetryPolicy,
 }
 
 impl Default for MvExecConfig {
@@ -211,6 +220,7 @@ impl Default for MvExecConfig {
         Self {
             record_history: true,
             max_logic_ops_per_step: 8,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -243,6 +253,12 @@ impl<S: TxSource> MvExec<S> {
         }
     }
 
+    /// The armed failure-recovery policy (owning kernels consult it for the
+    /// backoff delays that the engine itself does not schedule).
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.cfg.retry
+    }
+
     /// Mask of lanes currently holding a transaction in any state.
     pub fn active_mask(&self) -> Mask {
         let mut m = 0;
@@ -271,11 +287,24 @@ impl<S: TxSource> MvExec<S> {
     /// `false` when every lane is permanently finished.
     pub fn begin_round(&mut self, w: &mut WarpCtx, gts_addr: u64) -> bool {
         w.set_phase(Phase::Execution.id());
+        // Enforce the per-transaction retry budget: a lane whose transaction
+        // already burned its budget is failed terminally instead of retried.
+        let now0 = w.now();
+        for i in 0..self.lanes.len() {
+            let give_up = {
+                let l = &self.lanes[i];
+                l.retry_pending && self.cfg.retry.budget_exhausted(l.attempts)
+            };
+            if give_up {
+                self.fail_lane(i, now0, AbortReason::RetryBudgetExhausted);
+            }
+        }
         let mut any = false;
         for lane in self.lanes.iter_mut() {
             if lane.logic.is_none() && !lane.retry_pending {
                 if let Some(tx) = lane.source.next_tx() {
                     lane.logic = Some(tx);
+                    lane.attempts = 0;
                 }
             }
             if lane.retry_pending {
@@ -529,6 +558,29 @@ impl<S: TxSource> MvExec<S> {
             l.stats.update_aborts += 1;
         }
         l.retry_pending = true;
+        l.attempts += 1;
+        l.micro = Micro::Idle;
+        self.metrics.record_abort(reason, wasted);
+    }
+
+    /// Terminally fail lane `lane`'s transaction: account an abort with the
+    /// (terminal) `reason` and drop the transaction instead of retrying it.
+    /// Used by the recovery layer when a server is unreachable or a retry
+    /// budget is exhausted.
+    pub fn fail_lane(&mut self, lane: usize, now: u64, reason: AbortReason) {
+        debug_assert!(reason.is_terminal(), "fail_lane with retriable reason");
+        let l = &mut self.lanes[lane];
+        let wasted = now.saturating_sub(l.attempt_start);
+        l.stats.wasted_cycles += wasted;
+        if l.is_rot() {
+            l.stats.rot_aborts += 1;
+        } else {
+            l.stats.update_aborts += 1;
+        }
+        l.stats.failed += 1;
+        l.logic = None;
+        l.retry_pending = false;
+        l.attempts = 0;
         l.micro = Micro::Idle;
         self.metrics.record_abort(reason, wasted);
     }
@@ -556,6 +608,7 @@ impl<S: TxSource> MvExec<S> {
         }
         l.logic = None;
         l.retry_pending = false;
+        l.attempts = 0;
         l.micro = Micro::Idle;
         self.metrics.record_commit(useful);
     }
@@ -908,6 +961,112 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].cts, Some(1));
         assert!(prog.exec.all_finished());
+    }
+
+    #[test]
+    fn fail_lane_drops_the_transaction_terminally() {
+        let tx = CopyTx {
+            item: 0,
+            delta: 1,
+            step: 0,
+            seen: 0,
+            rot: false,
+        };
+        let (_, mut prog) = run_round(vec![tx], 0, 2);
+        prog.exec.abort_lane(0, 500, AbortReason::ReadValidation);
+        assert!(prog.exec.lanes[0].retry_pending);
+        assert_eq!(prog.exec.lanes[0].attempts, 1);
+        prog.exec.fail_lane(0, 900, AbortReason::ServerTimeout);
+        let l = &prog.exec.lanes[0];
+        assert!(l.finished());
+        assert_eq!(l.stats.failed, 1);
+        assert_eq!(l.stats.update_aborts, 2);
+        assert!(prog.exec.all_finished());
+        assert_eq!(
+            prog.exec.metrics.aborts.count(AbortReason::ServerTimeout),
+            1
+        );
+        // The metrics/stats consistency the STM tests rely on still holds.
+        assert_eq!(prog.exec.metrics.aborts.total(), prog.exec.stats().aborts());
+    }
+
+    #[test]
+    fn retry_budget_converts_endless_retry_into_terminal_failure() {
+        struct Churn {
+            exec: MvExec<ListSource<CopyTx>>,
+            heap: VBoxHeap,
+            area: PlainSetArea,
+            gts_addr: u64,
+            in_round: bool,
+        }
+        impl WarpProgram for Churn {
+            fn step(&mut self, w: &mut WarpCtx) -> StepOutcome {
+                if !self.in_round {
+                    if !self.exec.begin_round(w, self.gts_addr) {
+                        return StepOutcome::Done;
+                    }
+                    self.in_round = true;
+                    return StepOutcome::Running;
+                }
+                if self.exec.step_bodies(w, &self.heap, &self.area) {
+                    // Refuse every body, as a hopeless conflict would.
+                    let now = w.now();
+                    for i in 0..self.exec.lanes.len() {
+                        if self.exec.lanes[i].logic.is_some() {
+                            self.exec.abort_lane(i, now, AbortReason::ReadValidation);
+                        }
+                    }
+                    self.in_round = false;
+                }
+                StepOutcome::Running
+            }
+        }
+        let mut dev = Device::new(GpuConfig::default());
+        let gts_addr = dev.alloc_global(1);
+        let heap = VBoxHeap::init(dev.global_mut(), 8, 2, |i| i);
+        let area = PlainSetArea::alloc(dev.global_mut(), 4, 4);
+        let cfg = MvExecConfig {
+            retry: crate::recovery::RetryPolicy {
+                retry_budget: Some(2),
+                ..Default::default()
+            },
+            ..MvExecConfig::default()
+        };
+        let exec = MvExec::new(
+            vec![ListSource(vec![CopyTx {
+                item: 0,
+                delta: 1,
+                step: 0,
+                seen: 0,
+                rot: false,
+            }])],
+            0,
+            cfg,
+        );
+        let id = dev.spawn(
+            0,
+            Box::new(Churn {
+                exec,
+                heap,
+                area,
+                gts_addr,
+                in_round: false,
+            }),
+        );
+        dev.run_to_completion();
+        let prog = dev.take_program(id).downcast::<Churn>().unwrap();
+        let stats = prog.exec.stats();
+        assert_eq!(stats.commits(), 0);
+        assert_eq!(stats.failed, 1);
+        // Two budgeted aborts plus the terminal RetryBudgetExhausted one.
+        assert_eq!(stats.update_aborts, 3);
+        assert_eq!(
+            prog.exec
+                .metrics
+                .aborts
+                .count(AbortReason::RetryBudgetExhausted),
+            1
+        );
     }
 
     #[test]

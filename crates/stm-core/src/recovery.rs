@@ -1,0 +1,128 @@
+//! Client-side failure-recovery policy shared by the STM implementations:
+//! response timeouts, bounded exponential backoff with seeded jitter, and
+//! per-transaction retry budgets.
+//!
+//! The defaults are deliberately inert — no timeout, unlimited retries, no
+//! backoff — so a healthy (fault-free) run behaves exactly as before. The
+//! benchmark harness arms the policy when fault injection is requested.
+
+use gpu_sim::seeded_jitter;
+
+/// How a client reacts to lost responses and repeated aborts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Cycles to wait for a server response before re-posting the request
+    /// (same batch sequence number). `None` disables timeouts entirely.
+    pub resp_timeout: Option<u64>,
+    /// Send attempts per batch before the client gives up and fails the
+    /// batch's transactions with `AbortReason::ServerTimeout`.
+    pub max_send_attempts: u32,
+    /// Aborted attempts per transaction before it is failed terminally with
+    /// `AbortReason::RetryBudgetExhausted`. `None` = retry forever.
+    pub retry_budget: Option<u32>,
+    /// Base backoff delay in cycles; doubled per attempt. 0 disables
+    /// backoff.
+    pub backoff_base: u64,
+    /// Upper bound on the exponential backoff delay, in cycles.
+    pub backoff_cap: u64,
+    /// Seed for the deterministic jitter added on top of the exponential
+    /// delay (bounded by the current delay). 0 disables jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            resp_timeout: None,
+            max_send_attempts: 16,
+            retry_budget: None,
+            backoff_base: 0,
+            backoff_cap: 1 << 14,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt` (1-based: the first *re*-try) of
+    /// operation `seq` on actor `actor`: `min(base · 2^(attempt-1), cap)`
+    /// plus seeded jitter in `[0, delay]`. Deterministic in all arguments.
+    pub fn backoff_cycles(&self, actor: u64, seq: u64, attempt: u32) -> u64 {
+        if self.backoff_base == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1).min(20);
+        let exp = self.backoff_base.saturating_mul(1u64 << shift);
+        let delay = exp.min(self.backoff_cap.max(self.backoff_base));
+        let jitter = if self.jitter_seed == 0 {
+            0
+        } else {
+            seeded_jitter(self.jitter_seed, actor, seq, attempt, delay)
+        };
+        delay + jitter
+    }
+
+    /// True when a transaction that has already burned `attempts` aborted
+    /// attempts must not be retried again.
+    pub fn budget_exhausted(&self, attempts: u32) -> bool {
+        self.retry_budget.is_some_and(|b| attempts >= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_inert() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.resp_timeout, None);
+        assert!(!p.budget_exhausted(u32::MAX));
+        assert_eq!(p.backoff_cycles(0, 0, 5), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            backoff_base: 100,
+            backoff_cap: 400,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_cycles(1, 1, 1), 100);
+        assert_eq!(p.backoff_cycles(1, 1, 2), 200);
+        assert_eq!(p.backoff_cycles(1, 1, 3), 400);
+        assert_eq!(p.backoff_cycles(1, 1, 9), 400); // capped
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            backoff_base: 64,
+            backoff_cap: 1024,
+            jitter_seed: 7,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..6 {
+            let a = p.backoff_cycles(3, 11, attempt);
+            let b = p.backoff_cycles(3, 11, attempt);
+            assert_eq!(a, b);
+            let base = RetryPolicy {
+                jitter_seed: 0,
+                ..p.clone()
+            }
+            .backoff_cycles(3, 11, attempt);
+            assert!(a >= base && a <= 2 * base);
+        }
+    }
+
+    #[test]
+    fn budget_counts_attempts() {
+        let p = RetryPolicy {
+            retry_budget: Some(3),
+            ..RetryPolicy::default()
+        };
+        assert!(!p.budget_exhausted(2));
+        assert!(p.budget_exhausted(3));
+        assert!(p.budget_exhausted(4));
+    }
+}

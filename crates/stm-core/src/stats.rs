@@ -21,6 +21,10 @@ pub struct CommitStats {
     pub wasted_cycles: u64,
     /// Cycles spent in attempts that committed ("useful time").
     pub useful_cycles: u64,
+    /// Transactions terminally failed by the recovery layer (server
+    /// timeout, retry budget exhausted, server unavailable); these never
+    /// commit. Zero on fault-free runs.
+    pub failed: u64,
 }
 
 impl CommitStats {
@@ -52,6 +56,7 @@ impl CommitStats {
         self.rot_aborts += other.rot_aborts;
         self.wasted_cycles += other.wasted_cycles;
         self.useful_cycles += other.useful_cycles;
+        self.failed += other.failed;
     }
 
     /// Average total execution time per committed transaction, in cycles
@@ -168,6 +173,7 @@ mod tests {
             rot_aborts: 5,
             wasted_cycles: 100,
             useful_cycles: 900,
+            ..Default::default()
         };
         assert_eq!(s.commits(), 80);
         assert_eq!(s.aborts(), 20);
@@ -189,6 +195,7 @@ mod tests {
             rot_aborts: 0,
             wasted_cycles: 50,
             useful_cycles: 950,
+            ..Default::default()
         };
         assert!((s.total_cycles_per_tx() - 100.0).abs() < 1e-12);
         assert!((s.wasted_cycles_per_tx() - 5.0).abs() < 1e-12);

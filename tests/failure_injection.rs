@@ -4,8 +4,10 @@
 //! panic for configuration errors) is what actually happens, with
 //! correctness intact throughout.
 
+use gpu_sim::fault::{FaultPlan, FaultSpec};
 use gpu_sim::GpuConfig;
-use stm_core::check_history;
+use proptest::prelude::*;
+use stm_core::{check_history, AbortReason, FaultEvent, RetryPolicy};
 use workloads::{BankConfig, BankSource};
 
 fn gpu(sms: usize) -> GpuConfig {
@@ -179,4 +181,218 @@ fn run_with_limit_is_a_real_safety_net() {
         res.is_err(),
         "the instruction budget must abort a livelocked run"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (DESIGN.md §11): message-level faults under
+// an armed recovery policy must never cost correctness — committed
+// transactions stay opaque, and every generated transaction is accounted
+// for (committed, or terminally failed with an abort reason).
+// ---------------------------------------------------------------------------
+
+/// The recovery policy the fault tests arm: response timeout + resend with
+/// seeded exponential backoff, no terminal retry budget (message faults are
+/// always survivable, so everything should eventually commit).
+fn recovery(jitter_seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        resp_timeout: Some(20_000),
+        max_send_attempts: 16,
+        backoff_base: 64,
+        backoff_cap: 4096,
+        jitter_seed,
+        ..Default::default()
+    }
+}
+
+/// A message-fault plan drawn from the drop/duplicate/delay classes only
+/// (no kills or crashes — those need liveness handling beyond resend,
+/// covered by the dedicated crash tests).
+#[derive(Debug, Clone)]
+struct MessageFaults {
+    spec: FaultSpec,
+    fault_seed: u64,
+    bank_seed: u64,
+}
+
+fn arb_message_faults() -> impl Strategy<Value = MessageFaults> {
+    (
+        // Per-class probabilities in percent (0–25% keeps runs finite-ish
+        // while still hammering every recovery path).
+        (0..=25u32, 0..=25u32, 0..=25u32, 0..=25u32),
+        50..=400u64,
+        (proptest::num::u64::ANY, proptest::num::u64::ANY),
+    )
+        .prop_map(
+            |((drop_req, drop_resp, dup_req, delay), delay_cycles, (fault_seed, bank_seed))| {
+                MessageFaults {
+                    spec: FaultSpec {
+                        drop_req: drop_req as f64 / 100.0,
+                        drop_resp: drop_resp as f64 / 100.0,
+                        dup_req: dup_req as f64 / 100.0,
+                        delay_prob: delay as f64 / 100.0,
+                        delay_cycles,
+                        ..Default::default()
+                    },
+                    fault_seed,
+                    bank_seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// CSMV under an arbitrary drop/dup/delay plan: opacity for every
+    /// committed transaction, and full accounting of the rest.
+    #[test]
+    fn csmv_message_faults_preserve_opacity(f in arb_message_faults()) {
+        let bank = BankConfig::small(24, 30);
+        let txs = 2;
+        let cfg = csmv::CsmvConfig {
+            gpu: gpu(3),
+            versions_per_box: 8,
+            recovery: recovery(f.fault_seed ^ 0x5EED),
+            faults: Some(FaultPlan::new(f.fault_seed, f.spec.clone())),
+            ..Default::default()
+        };
+        let res = csmv::run_checked(
+            &cfg,
+            |t| BankSource::new(&bank, f.bank_seed, t, txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+        .expect("resend recovery must keep the run live under message faults");
+        let total = (cfg.num_threads() * txs) as u64;
+        prop_assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            total,
+            "every transaction must commit or fail with a recorded reason"
+        );
+        // No retry budget is armed, so message faults alone never fail a
+        // transaction terminally.
+        prop_assert_eq!(res.stats.failed, 0);
+        check_history(&res.records, &bank.initial_state(), true)
+            .map_err(|e| TestCaseError::fail(format!("opacity violated: {e}")))?;
+    }
+
+    /// The same plan applied to partitioned multi-server CSMV.
+    #[test]
+    fn multi_csmv_message_faults_preserve_opacity(f in arb_message_faults()) {
+        let bank = BankConfig::small(24, 30).partitioned(2);
+        let txs = 2;
+        let cfg = csmv::MultiCsmvConfig {
+            gpu: gpu(6),
+            num_servers: 2,
+            versions_per_box: 8,
+            server_workers: 2,
+            recovery: recovery(f.fault_seed ^ 0x5EED),
+            faults: Some(FaultPlan::new(f.fault_seed, f.spec.clone())),
+            ..Default::default()
+        };
+        let res = csmv::run_multi_checked(
+            &cfg,
+            |t| BankSource::new(&bank, f.bank_seed, t, txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+        .expect("resend recovery must keep the run live under message faults");
+        let total = (cfg.num_threads() * txs) as u64;
+        prop_assert_eq!(res.stats.commits() + res.stats.failed, total);
+        prop_assert_eq!(res.stats.failed, 0);
+        check_history(&res.records, &bank.initial_state(), true)
+            .map_err(|e| TestCaseError::fail(format!("opacity violated: {e}")))?;
+    }
+
+    /// Fault-armed runs are as deterministic as healthy ones: the same
+    /// (workload seed, fault seed, spec) triple reproduces the run bit for
+    /// bit — the property the CI chaos job checks across host thread counts.
+    #[test]
+    fn faulted_runs_are_reproducible(f in arb_message_faults()) {
+        let bank = BankConfig::small(16, 30);
+        let go = || {
+            let cfg = csmv::CsmvConfig {
+                gpu: gpu(2),
+                versions_per_box: 8,
+                record_history: false,
+                recovery: recovery(f.fault_seed ^ 0x5EED),
+                faults: Some(FaultPlan::new(f.fault_seed, f.spec.clone())),
+                ..Default::default()
+            };
+            let res = csmv::run_checked(
+                &cfg,
+                |t| BankSource::new(&bank, f.bank_seed, t, 2),
+                bank.accounts,
+                |_| bank.initial_balance,
+            )
+            .expect("live");
+            (res.elapsed_cycles, res.stats, res.metrics.faults)
+        };
+        prop_assert_eq!(go(), go());
+    }
+}
+
+/// Integration-level version of the multi-server crash regression: a whole
+/// server SM dies mid-run under a *real* partitioned Bank workload, and the
+/// surviving partitions keep committing while the dead partition's
+/// transactions fail with [`AbortReason::ServerUnavailable`].
+#[test]
+fn multi_csmv_crashed_server_leaves_survivors_committing() {
+    let bank = BankConfig::small(32, 20).partitioned(2);
+    let txs = 4;
+    let mk_cfg = |faults: Option<FaultPlan>| csmv::MultiCsmvConfig {
+        gpu: gpu(6),
+        num_servers: 2,
+        versions_per_box: 8,
+        server_workers: 2,
+        // Generous timeout × attempts: a terminal give-up against a live
+        // server would abandon a batch it may still publish (DESIGN.md §11);
+        // the dead partition is reaped by the heartbeat quarantine instead.
+        recovery: recovery(11),
+        heartbeat_patience: Some(25_000),
+        max_idle_cycles: Some(400_000),
+        faults,
+        ..Default::default()
+    };
+    // Probe the healthy run length, then kill one server SM (SM 5: servers
+    // occupy the last `num_servers` SMs) a third of the way through.
+    let healthy_cfg = mk_cfg(None);
+    let healthy = csmv::run_multi_checked(
+        &healthy_cfg,
+        |t| BankSource::new(&bank, 9, t, txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    )
+    .expect("healthy run");
+    let crash_at = (healthy.elapsed_cycles / 3).max(1);
+    let spec: FaultSpec = format!("crash_sm=5@{crash_at}").parse().unwrap();
+    let cfg = mk_cfg(Some(FaultPlan::new(0xDEAD, spec)));
+    let res = csmv::run_multi_checked(
+        &cfg,
+        |t| BankSource::new(&bank, 9, t, txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    )
+    .expect("survivors must drain the run, not hang");
+    let total = (cfg.num_threads() * txs) as u64;
+    assert_eq!(
+        res.stats.commits() + res.stats.failed,
+        total,
+        "every transaction must commit or fail terminally"
+    );
+    assert!(
+        res.stats.commits() > 0,
+        "surviving partitions must keep committing"
+    );
+    assert!(res.stats.failed > 0, "the dead partition's txs must fail");
+    assert!(
+        res.metrics.faults.count(FaultEvent::Quarantine) > 0,
+        "clients must quarantine the dead partition: {:?}",
+        res.metrics.faults
+    );
+    assert!(
+        res.metrics.aborts.count(AbortReason::ServerUnavailable) > 0,
+        "failures must be attributed to the dead server"
+    );
+    check_history(&res.records, &bank.initial_state(), true).expect("opaque history for survivors");
 }
