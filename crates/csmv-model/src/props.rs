@@ -1,0 +1,333 @@
+//! Checked properties of the model.
+//!
+//! Safety is checked on every transition and every reached state:
+//!
+//! - **Opacity** of the committed history (plus the snapshots of live
+//!   transactions, included as pseudo read-only records) via
+//!   `stm_core::check_history` — the *same* value-based oracle the
+//!   simulator tests trust.
+//! - **Serialization-graph acyclicity**: the multi-version serialization
+//!   graph (rf ∪ ww ∪ rw edges) over committed transactions is acyclic.
+//! - **GTS discipline**: bumps happen in reservation order (turn-taking)
+//!   and the GTS never regresses.
+//! - **Publication discipline**: per server, entries publish in
+//!   reservation order (the seqlock tag of slot `i` is written before any
+//!   later slot's).
+//! - **Write-back discipline**: a client only writes back a version whose
+//!   ATR entry is published.
+//!
+//! Terminal states additionally require a **gap-free** timestamp line:
+//! every reserved cts was published and the GTS caught up
+//! (`gts == next_cts - 1`), and every commit's version was written back.
+
+use crate::model::{Action, ClientPhase, CommittedTx, JobPhase, ModelConfig, State};
+use std::collections::HashMap;
+use stm_core::TxRecord;
+
+/// A property violation, with enough context to print a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `stm_core::check_history` rejected the (partial) history.
+    History(String),
+    /// The multi-version serialization graph has a cycle.
+    MvsgCycle(String),
+    /// A client bumped the GTS out of turn.
+    GtsOutOfTurn { client: usize, gts: u64, cts: u64 },
+    /// The GTS moved backwards.
+    GtsRegression { from: u64, to: u64 },
+    /// A server published entries out of reservation order.
+    PublicationOrder { server: usize, detail: String },
+    /// A client wrote back a version whose entry is not published.
+    WriteBackUnpublished { client: usize, cts: u64 },
+    /// Terminal state with a hole in the timestamp line.
+    GtsGap { gts: u64, next_cts: u64 },
+    /// Terminal state missing a committed write-back.
+    MissingWriteBack { client: usize, cts: u64 },
+    /// Non-terminal state with no enabled action.
+    Deadlock,
+    /// A reachable cycle with no commit or GTS progress.
+    Livelock,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::History(e) => write!(f, "opacity violation: {e}"),
+            Violation::MvsgCycle(d) => write!(f, "serialization graph cycle: {d}"),
+            Violation::GtsOutOfTurn { client, gts, cts } => write!(
+                f,
+                "client {client} published cts {cts} to the GTS at gts={gts} (turn not reached)"
+            ),
+            Violation::GtsRegression { from, to } => {
+                write!(f, "GTS regressed from {from} to {to}")
+            }
+            Violation::PublicationOrder { server, detail } => {
+                write!(f, "server {server} published out of order: {detail}")
+            }
+            Violation::WriteBackUnpublished { client, cts } => write!(
+                f,
+                "client {client} wrote back cts {cts} before its ATR entry was published"
+            ),
+            Violation::GtsGap { gts, next_cts } => write!(
+                f,
+                "terminal state leaves a timestamp hole: gts={gts}, next_cts={next_cts}"
+            ),
+            Violation::MissingWriteBack { client, cts } => write!(
+                f,
+                "terminal state: client {client}'s commit at cts {cts} was never written back"
+            ),
+            Violation::Deadlock => write!(f, "deadlock: no action enabled, clients not done"),
+            Violation::Livelock => write!(
+                f,
+                "livelock: reachable cycle with no commit or GTS progress"
+            ),
+        }
+    }
+}
+
+/// Transition-local checks (need the pre-state and the action).
+pub fn check_step(pre: &State, a: Action, post: &State, cfg: &ModelConfig) -> Option<Violation> {
+    match a {
+        Action::GtsBump { client } => {
+            let cts = pre.clients[client].cts;
+            if !csmv::steps::gts_turn_reached(pre.gts, cts) {
+                return Some(Violation::GtsOutOfTurn {
+                    client,
+                    gts: pre.gts,
+                    cts,
+                });
+            }
+            if post.gts < pre.gts {
+                return Some(Violation::GtsRegression {
+                    from: pre.gts,
+                    to: post.gts,
+                });
+            }
+        }
+        Action::Step { server, job } => {
+            // A publish must be the next unpublished entry in reservation
+            // order.
+            if let JobPhase::Publish { cts, entry } = pre.servers[server].jobs[job].phase {
+                if entry as u64 != pre.servers[server].next_local {
+                    return Some(Violation::PublicationOrder {
+                        server,
+                        detail: format!(
+                            "published entry {entry} (cts {cts}) while next_local was {}",
+                            pre.servers[server].next_local
+                        ),
+                    });
+                }
+            }
+        }
+        Action::WriteBack { client } => {
+            let cl = &pre.clients[client];
+            let srv = &pre.servers[cfg.server_of(cl.key)];
+            let published = srv.entries.iter().any(|e| e.cts == cl.cts && e.published);
+            if !published {
+                return Some(Violation::WriteBackUnpublished {
+                    client,
+                    cts: cl.cts,
+                });
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+/// The model state's history records: committed transactions plus, for
+/// every client with a live transaction, a pseudo read-only record
+/// claiming its snapshot read. The latter catches doomed reads (opacity
+/// covers live transactions, not just committed ones).
+pub fn history_records(s: &State) -> Vec<TxRecord> {
+    let mut records: Vec<TxRecord> = s
+        .committed
+        .iter()
+        .map(|t| TxRecord {
+            thread: t.client,
+            read_point: t.snapshot,
+            cts: Some(t.cts),
+            reads: vec![(t.key, t.read_value)],
+            writes: vec![(t.key, t.read_value + 1)],
+        })
+        .collect();
+    for (c, cl) in s.clients.iter().enumerate() {
+        if matches!(
+            cl.phase,
+            ClientPhase::AwaitResp | ClientPhase::WriteBack | ClientPhase::GtsWait
+        ) {
+            records.push(TxRecord {
+                thread: c,
+                read_point: cl.snapshot,
+                cts: None,
+                reads: vec![(cl.key, cl.read_value)],
+                writes: vec![],
+            });
+        }
+    }
+    records
+}
+
+/// State-global safety checks, run on every reached state.
+pub fn check_state(s: &State) -> Option<Violation> {
+    let records = history_records(s);
+    if let Err(e) = stm_core::check_history(&records, &HashMap::new(), true) {
+        return Some(Violation::History(e.to_string()));
+    }
+    mvsg_cycle(&s.committed).map(Violation::MvsgCycle)
+}
+
+/// Terminal-only checks (every client done).
+pub fn check_terminal(s: &State, _cfg: &ModelConfig) -> Option<Violation> {
+    if s.gts != s.next_cts - 1 {
+        return Some(Violation::GtsGap {
+            gts: s.gts,
+            next_cts: s.next_cts,
+        });
+    }
+    for t in &s.committed {
+        let written = s.store[t.key as usize]
+            .iter()
+            .any(|&(cts, v)| cts == t.cts && v == t.read_value + 1);
+        if !written {
+            return Some(Violation::MissingWriteBack {
+                client: t.client,
+                cts: t.cts,
+            });
+        }
+    }
+    None
+}
+
+/// Detect a cycle in the multi-version serialization graph of the
+/// committed transactions. Nodes are commits; edges:
+///
+/// - `ww`: consecutive versions of a key, in cts order;
+/// - `rf`: the writer of the version a commit read → that commit;
+/// - `rw`: a commit that read version `v` of a key → the writer of the
+///   version right after `v`.
+///
+/// Returns a description of a cycle if one exists.
+pub fn mvsg_cycle(committed: &[CommittedTx]) -> Option<String> {
+    let n = committed.len();
+    // Writers per key, sorted by cts.
+    let mut writers: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, t) in committed.iter().enumerate() {
+        writers.entry(t.key).or_default().push(i);
+    }
+    for ws in writers.values_mut() {
+        ws.sort_by_key(|&i| committed[i].cts);
+    }
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for ws in writers.values() {
+        for w in ws.windows(2) {
+            edges[w[0]].push(w[1]); // ww
+        }
+    }
+    for (i, t) in committed.iter().enumerate() {
+        let ws = &writers[&t.key];
+        // The version `i` read: the newest writer at or below its
+        // snapshot (None = initial version).
+        let read_from = ws
+            .iter()
+            .rev()
+            .find(|&&j| committed[j].cts <= t.snapshot)
+            .copied();
+        if let Some(j) = read_from {
+            if j != i {
+                edges[j].push(i); // rf
+            }
+        }
+        // The overwriter of the version `i` read.
+        let next = ws
+            .iter()
+            .find(|&&j| committed[j].cts > t.snapshot && j != i)
+            .copied();
+        if let Some(j) = next {
+            edges[i].push(j); // rw
+        }
+    }
+    // DFS cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark = vec![Mark::White; n];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        mark[root] = Mark::Grey;
+        stack.push((root, 0));
+        while let Some(&(node, ei)) = stack.last() {
+            if ei < edges[node].len() {
+                stack.last_mut().unwrap().1 += 1;
+                let next = edges[node][ei];
+                match mark[next] {
+                    Mark::White => {
+                        mark[next] = Mark::Grey;
+                        stack.push((next, 0));
+                    }
+                    Mark::Grey => {
+                        let cycle: Vec<String> = stack
+                            .iter()
+                            .skip_while(|&&(v, _)| v != next)
+                            .map(|&(v, _)| {
+                                let t = &committed[v];
+                                format!("cts {} (client {}, key {})", t.cts, t.client, t.key)
+                            })
+                            .collect();
+                        return Some(cycle.join(" -> "));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[node] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(client: usize, snapshot: u64, cts: u64, key: u64, read_value: u64) -> CommittedTx {
+        CommittedTx {
+            client,
+            snapshot,
+            cts,
+            key,
+            read_value,
+        }
+    }
+
+    #[test]
+    fn serial_history_is_acyclic() {
+        let committed = vec![tx(0, 0, 1, 0, 0), tx(1, 1, 2, 0, 1), tx(0, 2, 3, 1, 0)];
+        assert_eq!(mvsg_cycle(&committed), None);
+    }
+
+    #[test]
+    fn lost_update_is_a_cycle() {
+        // Both read the initial version of key 0, both commit: the second
+        // writer read *under* the first's version (rw: T2 -> T1) but
+        // serializes after it (ww: T1 -> T2).
+        let committed = vec![tx(0, 0, 1, 0, 0), tx(1, 0, 2, 0, 0)];
+        assert!(mvsg_cycle(&committed).is_some());
+    }
+
+    #[test]
+    fn clean_state_passes() {
+        let cfg = ModelConfig::small();
+        let s = State::initial(&cfg);
+        assert_eq!(check_state(&s), None);
+        // A (vacuously) terminal empty run has no timestamp hole.
+        assert_eq!(check_terminal(&s, &cfg), None);
+    }
+}

@@ -86,7 +86,7 @@ impl SharedAtr {
     /// the current `next_cts`: every entry in `(snapshot, next_cts)` must
     /// still be resident in the ring.
     pub fn snapshot_in_window(&self, snapshot: u64, next_cts: u64) -> bool {
-        next_cts - 1 - snapshot <= self.capacity
+        crate::steps::snapshot_in_window(snapshot, next_cts, self.capacity)
     }
 
     /// Live entries in the ring, given the current `next_cts`: the number of

@@ -25,8 +25,31 @@
 //!
 //! The multi-server variant publishes the GTS progressively (a run of
 //! consecutive ctss at a time) and reserves from a *global* counter, which
-//! breaks assumptions 1 and 3 — `run_multi` therefore only enables the
-//! race detector, not this checker.
+//! relaxes assumptions 1 and 3. [`MultiCsmvInvariantChecker`] re-derives
+//! the weakened obligations that remain:
+//!
+//! 1'. **Reservation order (relaxed)** — timestamps come from one global
+//!     `fetch-add` per batch, so gap-freedom is structural; what must
+//!     still hold is that every reservation takes at least one timestamp,
+//!     the observed counter value mirrors the reservation history, and —
+//!     the multi design's load-bearing invariant — each partition's
+//!     *local* publication order agrees with *global* cts order (the
+//!     validator's backward walk stops early on that assumption).
+//! 2'. **ATR publication** — per-slot *seq tags* strictly increase and
+//!     land in the slot the local ring maps them to; a published entry's
+//!     cts was reserved first and is published exactly once device-wide;
+//!     the local seq line is gap-free.
+//! 3'. **GTS publication (relaxed)** — there is no batch turn-taking:
+//!     clients publish progressively, so the GTS may advance by arbitrary
+//!     runs (and two clients that observed the same run may legally write
+//!     the same value back-to-back). What must hold is that it never
+//!     *regresses* and never overtakes the reservation counter. Under
+//!     partition crashes a quarantine CAS may additionally skip a dead
+//!     partition's hole one cts at a time; a checker built with
+//!     `expect_complete = false` skips the end-of-run completeness checks
+//!     that crashes legitimately break.
+//! 4'. **No write-back before publication** — unchanged: an installed
+//!     version's cts must already be published in some partition's ATR.
 
 use std::collections::{HashMap, HashSet};
 
@@ -34,6 +57,7 @@ use gpu_sim::{AccessKind, InvariantChecker, MemEvent, Space, Violation};
 use stm_core::vbox::unpack_version;
 use stm_core::VBoxHeap;
 
+use crate::multi::PartitionedAtr;
 use crate::SharedAtr;
 
 /// One reserved commit-timestamp batch: the half-open range `[base, last]`
@@ -341,6 +365,387 @@ impl InvariantChecker for CsmvInvariantChecker {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-server checker
+// ---------------------------------------------------------------------------
+
+/// Per-partition publication state tracked by [`MultiCsmvInvariantChecker`].
+struct PartitionState {
+    atr: PartitionedAtr,
+    /// Slot 0's seq-tag address and the per-slot stride (the ring keeps its
+    /// base private; two slot addresses recover the layout).
+    seq0: u64,
+    stride: u64,
+    /// Latest seq tag per slot (tags are `local_seq + 1`, so 0 = unset).
+    last_tag: HashMap<u64, u64>,
+    /// Latest cts word written per slot (candidate until the tag publishes).
+    slot_cts: HashMap<u64, u64>,
+    /// cts by published seq tag — the local-order/global-order alignment.
+    cts_by_tag: HashMap<u64, u64>,
+    /// Highest published seq tag.
+    max_tag: u64,
+    /// Mirror of the `next_local` word.
+    next_local: u64,
+}
+
+/// Protocol-invariant checker for the multi-server variant. See the module
+/// docs for the relaxed obligations (1'–4') it enforces.
+pub struct MultiCsmvInvariantChecker {
+    heap: VBoxHeap,
+    gts_addr: u64,
+    global_cts_addr: u64,
+    first_server_sm: usize,
+    parts: Vec<PartitionState>,
+    // Derived VBox geometry.
+    h0: u64,
+    words_per_box: u64,
+    /// Mirror of the global reservation counter (host-initialised to 1).
+    next_global: u64,
+    gts: u64,
+    /// cts values published device-wide (tag written in some partition).
+    published: HashSet<u64>,
+    /// When false (kill/crash fault plans), the GTS may be held flat by a
+    /// quarantine hole-skip and reserved timestamps may never publish, so
+    /// only the per-event ordering obligations are enforced.
+    expect_complete: bool,
+}
+
+impl MultiCsmvInvariantChecker {
+    /// Build a checker for one multi-server launch. `atrs[i]` is the ring
+    /// of the server on SM `first_server_sm + i`; `expect_complete` is
+    /// false when the fault plan kills warps or crashes SMs.
+    pub fn new(
+        atrs: Vec<PartitionedAtr>,
+        heap: VBoxHeap,
+        gts_addr: u64,
+        global_cts_addr: u64,
+        first_server_sm: usize,
+        expect_complete: bool,
+    ) -> Self {
+        let h0 = heap.head_addr(0);
+        let words_per_box = 1 + heap.versions_per_box();
+        let parts = atrs
+            .into_iter()
+            .map(|atr| {
+                let seq0 = atr.slot_seq_addr(0);
+                let stride = atr.slot_seq_addr(1) - seq0;
+                PartitionState {
+                    atr,
+                    seq0,
+                    stride,
+                    last_tag: HashMap::new(),
+                    slot_cts: HashMap::new(),
+                    cts_by_tag: HashMap::new(),
+                    max_tag: 0,
+                    next_local: 0,
+                }
+            })
+            .collect();
+        Self {
+            heap,
+            gts_addr,
+            global_cts_addr,
+            first_server_sm,
+            parts,
+            h0,
+            words_per_box,
+            next_global: 1,
+            gts: 0,
+            published: HashSet::new(),
+            expect_complete,
+        }
+    }
+
+    fn violation(ev: &MemEvent, message: String) -> Violation {
+        Violation {
+            checker: "csmv-multi",
+            warp: ev.warp,
+            clock: ev.clock,
+            addr: ev.addr,
+            message,
+        }
+    }
+
+    /// Obligation 1': a batch reservation on the global counter.
+    fn on_reserve(&mut self, ev: &MemEvent, base: u64, n: u64, out: &mut Vec<Violation>) {
+        if n == 0 {
+            out.push(Self::violation(
+                ev,
+                "empty cts reservation (fetch-add of 0) — workers must skip \
+                 all-abort batches"
+                    .into(),
+            ));
+        }
+        if base != self.next_global {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "cts reservation observed counter {base} but the reservation \
+                     history says {}",
+                    self.next_global
+                ),
+            ));
+        }
+        self.next_global = base.wrapping_add(n);
+    }
+
+    /// Obligation 2' (and the alignment half of 1'): a seq-tag write
+    /// publishing one ATR entry.
+    fn on_tag_write(
+        &mut self,
+        ev: &MemEvent,
+        srv: usize,
+        slot: u64,
+        tag: u64,
+        out: &mut Vec<Violation>,
+    ) {
+        let p = &mut self.parts[srv];
+        if tag == 0 {
+            out.push(Self::violation(
+                ev,
+                "published seq tag 0 (tags are local_seq + 1, so 0 means unset)".into(),
+            ));
+            return;
+        }
+        if p.atr.slot_of(tag - 1) != slot {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "seq tag {tag} published into slot {slot}, but the ring maps \
+                     local seq {} to slot {}",
+                    tag - 1,
+                    p.atr.slot_of(tag - 1)
+                ),
+            ));
+        }
+        if let Some(&prev) = p.last_tag.get(&slot) {
+            if tag <= prev {
+                out.push(Self::violation(
+                    ev,
+                    format!(
+                        "partition {srv} slot {slot} seq tag went from {prev} to {tag} — \
+                         per-slot tags must strictly increase (ring recycling only \
+                         moves forward)"
+                    ),
+                ));
+            }
+        }
+        p.last_tag.insert(slot, tag);
+        p.max_tag = p.max_tag.max(tag);
+
+        // The entry's cts: written to the slot before the tag, reserved
+        // before that, published exactly once device-wide, and — the
+        // multi-server alignment invariant — strictly above the cts of the
+        // previous local seq.
+        match p.slot_cts.get(&slot).copied() {
+            None => out.push(Self::violation(
+                ev,
+                format!(
+                    "partition {srv} published seq tag {tag} before writing the \
+                     slot's cts word"
+                ),
+            )),
+            Some(cts) => {
+                if cts == 0 || cts >= self.next_global {
+                    out.push(Self::violation(
+                        ev,
+                        format!(
+                            "partition {srv} published cts {cts} which was never \
+                             reserved (global counter is {})",
+                            self.next_global
+                        ),
+                    ));
+                }
+                if let Some(&prev_cts) = p.cts_by_tag.get(&(tag - 1)) {
+                    if cts <= prev_cts {
+                        out.push(Self::violation(
+                            ev,
+                            format!(
+                                "partition {srv} local order diverged from global cts \
+                                 order: seq tag {} carries cts {prev_cts}, tag {tag} \
+                                 carries cts {cts}",
+                                tag - 1
+                            ),
+                        ));
+                    }
+                }
+                p.cts_by_tag.insert(tag, cts);
+                if !self.published.insert(cts) {
+                    out.push(Self::violation(
+                        ev,
+                        format!("cts {cts} published twice across partitions"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Obligation 3': a write (or quarantine hole-skip CAS) on the GTS.
+    fn on_gts_update(&mut self, ev: &MemEvent, value: u64, out: &mut Vec<Violation>) {
+        // Two publishers that observed the same run may both write the same
+        // value; only outright regression is a violation.
+        if value < self.gts {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "GTS moved from {} to {value} — progressive publication must \
+                     not regress",
+                    self.gts
+                ),
+            ));
+        }
+        if value >= self.next_global {
+            out.push(Self::violation(
+                ev,
+                format!(
+                    "GTS bumped to {value}, overtaking the reservation counter ({})",
+                    self.next_global
+                ),
+            ));
+        }
+        self.gts = self.gts.max(value);
+    }
+
+    /// Obligation 4': a write into the VBox heap region.
+    fn on_heap_write(&mut self, ev: &MemEvent, out: &mut Vec<Violation>) {
+        let off = ev.addr - self.h0;
+        let item = off / self.words_per_box;
+        if off.is_multiple_of(self.words_per_box) {
+            if ev.value >= self.heap.versions_per_box() {
+                out.push(Self::violation(
+                    ev,
+                    format!(
+                        "VBox {item} head set to {} but only {} version slots exist",
+                        ev.value,
+                        self.heap.versions_per_box()
+                    ),
+                ));
+            }
+        } else {
+            let (ts, _) = unpack_version(ev.value);
+            if !self.published.contains(&ts) {
+                out.push(Self::violation(
+                    ev,
+                    format!(
+                        "VBox {item} version installed with cts {ts}, which no \
+                         partition ever published — write-back before validation"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl InvariantChecker for MultiCsmvInvariantChecker {
+    fn name(&self) -> &'static str {
+        "csmv-multi"
+    }
+
+    fn on_event(&mut self, ev: &MemEvent, out: &mut Vec<Violation>) {
+        match ev.space {
+            Space::Shared => {
+                let Some(srv) = ev.sm.checked_sub(self.first_server_sm) else {
+                    return;
+                };
+                if srv >= self.parts.len() {
+                    return;
+                }
+                let p = &mut self.parts[srv];
+                if ev.addr == p.atr.next_local_addr() {
+                    if ev.kind == AccessKind::Write && ev.value != 0 {
+                        if ev.value <= p.next_local {
+                            out.push(Self::violation(
+                                ev,
+                                format!(
+                                    "partition {srv} next_local went from {} to {} — \
+                                     the local seq line must strictly increase",
+                                    p.next_local, ev.value
+                                ),
+                            ));
+                        }
+                        p.next_local = ev.value;
+                    }
+                    return;
+                }
+                if ev.kind == AccessKind::Write && ev.addr >= p.seq0 {
+                    let off = ev.addr - p.seq0;
+                    let slot = off / p.stride;
+                    if slot < p.atr.capacity() {
+                        let word = off % p.stride;
+                        if word == 0 {
+                            self.on_tag_write(ev, srv, slot, ev.value, out);
+                        } else if word == 1 {
+                            self.parts[srv].slot_cts.insert(slot, ev.value);
+                        }
+                    }
+                }
+            }
+            Space::Global => {
+                if ev.addr == self.global_cts_addr {
+                    if let AccessKind::Add { operand } = ev.kind {
+                        self.on_reserve(ev, ev.value, operand, out);
+                    }
+                    return;
+                }
+                if ev.addr == self.gts_addr {
+                    match ev.kind {
+                        AccessKind::Write => self.on_gts_update(ev, ev.value, out),
+                        AccessKind::Cas {
+                            new, success: true, ..
+                        } => self.on_gts_update(ev, new, out),
+                        _ => {}
+                    }
+                    return;
+                }
+                let heap_end = self.h0 + self.heap.num_items() * self.words_per_box;
+                if ev.kind == AccessKind::Write && ev.addr >= self.h0 && ev.addr < heap_end {
+                    self.on_heap_write(ev, out);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Violation>) {
+        if !self.expect_complete {
+            return;
+        }
+        let end_violation = |message: String| Violation {
+            checker: "csmv-multi",
+            warp: usize::MAX,
+            clock: u64::MAX,
+            addr: u64::MAX,
+            message,
+        };
+        for (srv, p) in self.parts.iter().enumerate() {
+            for tag in 1..=p.max_tag {
+                if !p.cts_by_tag.contains_key(&tag) {
+                    out.push(end_violation(format!(
+                        "partition {srv} seq tag {tag} was never published — the \
+                         local seq line must be gap-free up to {}",
+                        p.max_tag
+                    )));
+                }
+            }
+            if p.next_local != p.max_tag {
+                out.push(end_violation(format!(
+                    "partition {srv} next_local ended at {} but the highest \
+                     published seq tag is {}",
+                    p.next_local, p.max_tag
+                )));
+            }
+        }
+        let reserved = self.next_global - 1;
+        for cts in 1..=reserved {
+            if !self.published.contains(&cts) {
+                out.push(end_violation(format!(
+                    "cts {cts} was reserved but never published — the published \
+                     set must be dense 1..={reserved}"
+                )));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -608,5 +1013,245 @@ mod tests {
             "violations: {:?}",
             report.violations
         );
+    }
+
+    // -- multi-server checker (synthetic event streams) ---------------------
+
+    mod multi_checker {
+        use super::*;
+        use gpu_sim::MemOrder;
+        use stm_core::vbox::pack_version;
+
+        fn fixture(expect_complete: bool) -> (MultiCsmvInvariantChecker, PartitionedAtr, VBoxHeap) {
+            let mut dev = Device::new(GpuConfig::default());
+            let gts = dev.alloc_global(1);
+            let cts = dev.alloc_global(1);
+            let heap = VBoxHeap::init(dev.global_mut(), 4, 4, &mut |_| 0);
+            let atr = PartitionedAtr::alloc(&mut dev, 0, 4, 2);
+            let chk = MultiCsmvInvariantChecker::new(
+                vec![atr.clone()],
+                heap.clone(),
+                gts,
+                cts,
+                0,
+                expect_complete,
+            );
+            (chk, atr, heap)
+        }
+
+        fn ev(space: Space, addr: u64, kind: AccessKind, value: u64) -> MemEvent {
+            MemEvent {
+                warp: 0,
+                sm: 0,
+                clock: 0,
+                space,
+                addr,
+                kind,
+                value,
+                order: MemOrder::Release,
+            }
+        }
+
+        fn drive(chk: &mut MultiCsmvInvariantChecker, evs: &[MemEvent]) -> Vec<Violation> {
+            let mut out = Vec::new();
+            for e in evs {
+                chk.on_event(e, &mut out);
+            }
+            out
+        }
+
+        /// The two publication writes for local seq `seq` carrying `cts`.
+        fn publish(atr: &PartitionedAtr, seq: u64, cts: u64) -> [MemEvent; 2] {
+            let slot = atr.slot_of(seq);
+            [
+                ev(
+                    Space::Shared,
+                    atr.slot_cts_addr(slot),
+                    AccessKind::Write,
+                    cts,
+                ),
+                ev(
+                    Space::Shared,
+                    atr.slot_seq_addr(slot),
+                    AccessKind::Write,
+                    seq + 1,
+                ),
+            ]
+        }
+
+        fn reserve(
+            chk: &mut MultiCsmvInvariantChecker,
+            cts_addr: u64,
+            base: u64,
+            n: u64,
+        ) -> Vec<Violation> {
+            drive(
+                chk,
+                &[ev(
+                    Space::Global,
+                    cts_addr,
+                    AccessKind::Add { operand: n },
+                    base,
+                )],
+            )
+        }
+
+        #[test]
+        fn healthy_synthetic_stream_is_clean() {
+            let (mut chk, atr, _heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            let gts_addr = chk.gts_addr;
+            assert!(reserve(&mut chk, cts_addr, 1, 2).is_empty());
+            let mut evs = Vec::new();
+            evs.extend(publish(&atr, 0, 1));
+            evs.extend(publish(&atr, 1, 2));
+            evs.push(ev(
+                Space::Shared,
+                atr.next_local_addr(),
+                AccessKind::Write,
+                2,
+            ));
+            evs.push(ev(Space::Global, gts_addr, AccessKind::Write, 2));
+            let v = drive(&mut chk, &evs);
+            assert!(v.is_empty(), "{v:?}");
+            let mut out = Vec::new();
+            chk.finish(&mut out);
+            assert!(out.is_empty(), "{out:?}");
+        }
+
+        #[test]
+        fn gts_regression_is_flagged() {
+            let (mut chk, atr, _heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            let gts_addr = chk.gts_addr;
+            reserve(&mut chk, cts_addr, 1, 3);
+            let mut evs = Vec::new();
+            evs.extend(publish(&atr, 0, 1));
+            evs.extend(publish(&atr, 1, 2));
+            evs.push(ev(Space::Global, gts_addr, AccessKind::Write, 2));
+            assert!(drive(&mut chk, &evs).is_empty());
+            let v = drive(
+                &mut chk,
+                &[ev(Space::Global, gts_addr, AccessKind::Write, 1)],
+            );
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert!(v[0].message.contains("regress"), "{}", v[0].message);
+        }
+
+        #[test]
+        fn gts_overtaking_reservations_is_flagged() {
+            let (mut chk, _atr, _heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            let gts_addr = chk.gts_addr;
+            reserve(&mut chk, cts_addr, 1, 1);
+            // A successful quarantine CAS that skips past the counter.
+            let v = drive(
+                &mut chk,
+                &[ev(
+                    Space::Global,
+                    gts_addr,
+                    AccessKind::Cas {
+                        expected: 0,
+                        new: 2,
+                        success: true,
+                    },
+                    0,
+                )],
+            );
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert!(v[0].message.contains("overtaking"), "{}", v[0].message);
+        }
+
+        #[test]
+        fn unreserved_cts_publication_is_flagged() {
+            let (mut chk, atr, _heap) = fixture(true);
+            let v = drive(&mut chk, &publish(&atr, 0, 5));
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert!(v[0].message.contains("never reserved"), "{}", v[0].message);
+        }
+
+        #[test]
+        fn local_order_diverging_from_cts_order_is_flagged() {
+            let (mut chk, atr, _heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            reserve(&mut chk, cts_addr, 1, 2);
+            let mut evs = Vec::new();
+            evs.extend(publish(&atr, 0, 2));
+            evs.extend(publish(&atr, 1, 1));
+            let v = drive(&mut chk, &evs);
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert!(v[0].message.contains("local order"), "{}", v[0].message);
+        }
+
+        #[test]
+        fn stale_per_slot_tag_is_flagged() {
+            let (mut chk, atr, _heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            reserve(&mut chk, cts_addr, 1, 2);
+            // Re-publishing the same tag into slot 0 (a stale recycled
+            // entry) must trip the per-slot tag monotonicity.
+            let mut evs = Vec::new();
+            evs.extend(publish(&atr, 0, 1));
+            evs.extend(publish(&atr, 0, 2));
+            let v = drive(&mut chk, &evs);
+            assert!(
+                v.iter().any(|v| v.message.contains("strictly increase")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn writeback_of_unpublished_cts_is_flagged() {
+            let (mut chk, atr, heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            reserve(&mut chk, cts_addr, 1, 2);
+            let mut evs: Vec<MemEvent> = publish(&atr, 0, 1).into();
+            // cts 2 is reserved but not yet published: installing a version
+            // carrying it means the client wrote back before validation.
+            evs.push(ev(
+                Space::Global,
+                heap.head_addr(1) + 1,
+                AccessKind::Write,
+                pack_version(2, 77),
+            ));
+            let v = drive(&mut chk, &evs);
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert!(
+                v[0].message.contains("write-back before validation"),
+                "{}",
+                v[0].message
+            );
+        }
+
+        #[test]
+        fn finish_flags_reserved_but_unpublished_cts() {
+            let (mut chk, atr, _heap) = fixture(true);
+            let cts_addr = chk.global_cts_addr;
+            reserve(&mut chk, cts_addr, 1, 2);
+            let mut evs: Vec<MemEvent> = publish(&atr, 0, 1).into();
+            evs.push(ev(
+                Space::Shared,
+                atr.next_local_addr(),
+                AccessKind::Write,
+                1,
+            ));
+            assert!(drive(&mut chk, &evs).is_empty());
+            let mut out = Vec::new();
+            chk.finish(&mut out);
+            assert_eq!(out.len(), 1, "{out:?}");
+            assert!(out[0].message.contains("reserved but never published"));
+        }
+
+        #[test]
+        fn incomplete_runs_skip_end_of_run_checks() {
+            let (mut chk, atr, _heap) = fixture(false);
+            let cts_addr = chk.global_cts_addr;
+            reserve(&mut chk, cts_addr, 1, 2);
+            let evs: Vec<MemEvent> = publish(&atr, 0, 1).into();
+            assert!(drive(&mut chk, &evs).is_empty());
+            let mut out = Vec::new();
+            chk.finish(&mut out);
+            assert!(out.is_empty(), "{out:?}");
+        }
     }
 }

@@ -10,6 +10,7 @@ use stm_core::mv_exec::{MvExec, MvExecConfig};
 use stm_core::{AbortReason, FaultEvent, Phase, RetryPolicy, TxSource, VBoxHeap};
 
 use crate::protocol::{unpack_outcome, CommitProtocol, Outcome, RequestSetArea};
+use crate::steps;
 use crate::variant::CsmvVariant;
 
 /// Warp-level phase of the client kernel.
@@ -195,22 +196,18 @@ impl<S: TxSource> CsmvClient<S> {
             .iter()
             .map(|&(item, _)| item)
             .collect();
-        // One shuffle per broadcast word, plus the compare ALU work.
+        // One shuffle per broadcast word, plus the compare ALU work. The
+        // loser decision itself is the pure `steps::preval_losers`.
         let mut regs = [0u64; WARP_LANES];
-        let mut losers: u32 = 0;
         for &item in &ws_items {
             regs[lane] = item;
-            let got = w.shfl(committing, &regs, |_| lane);
-            for (j, &e) in got.iter().enumerate().skip(lane + 1) {
-                if committing & (1 << j) == 0 || losers & (1 << j) != 0 {
-                    continue;
-                }
-                let lj = &self.exec.lanes[j];
-                if lj.rs.contains(&e) || lj.ws.iter().any(|&(it, _)| it == e) {
-                    losers |= 1 << j;
-                }
-            }
+            let _ = w.shfl(committing, &regs, |_| lane);
         }
+        let lanes = &self.exec.lanes;
+        let losers = steps::preval_losers(lane, &ws_items, committing, |j, e| {
+            let lj = &lanes[j];
+            lj.rs.contains(&e) || lj.ws.iter().any(|&(it, _)| it == e)
+        });
         let compares = (ws_items.len() as u64) * ((committing.count_ones()) as u64);
         w.alu(committing, compares.max(1));
         let now = w.now();
@@ -420,7 +417,7 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                         self.proto.resp_seq_addr(self.slot),
                         MemOrder::Acquire,
                     );
-                    if echo == self.cur_seq {
+                    if steps::response_certified(echo, self.cur_seq) {
                         self.phase = Phase_::ReadOutcomes;
                         return StepOutcome::Running;
                     }
@@ -533,11 +530,9 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                         .filter(|&l| committed & (1 << l) != 0)
                         .map(|l| self.lane_cts[l])
                         .collect();
-                    let base = *ctss.iter().min().unwrap();
-                    let n = ctss.len() as u64;
-                    debug_assert_eq!(
-                        *ctss.iter().max().unwrap(),
-                        base + n - 1,
+                    let (base, n) = steps::batch_window(&ctss);
+                    debug_assert!(
+                        steps::window_is_dense(&ctss),
                         "server must assign consecutive cts within a batch"
                     );
                     w.alu(full_mask(), 2);
@@ -614,7 +609,7 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 // Acquire: pairs with the previous batch's GTS bump, making
                 // its write-back visible before ours is published.
                 let gts = w.global_read1_ord(leader, self.gts_addr, MemOrder::Acquire);
-                if gts == base - 1 {
+                if steps::gts_turn_reached(gts, base) {
                     let now = w.now();
                     let started = self.gts_wait_start.take().unwrap_or(now);
                     self.exec
@@ -634,7 +629,12 @@ impl<S: TxSource + 'static> WarpProgram for CsmvClient<S> {
                 // One increment by n publishes the whole batch at once.
                 // Release: snapshot readers acquire the GTS and must see
                 // every version this warp wrote back.
-                w.global_write1_ord(leader, self.gts_addr, base + n - 1, MemOrder::Release);
+                w.global_write1_ord(
+                    leader,
+                    self.gts_addr,
+                    steps::gts_publish_value(base, n),
+                    MemOrder::Release,
+                );
                 self.phase = Phase_::FinishRound;
                 StepOutcome::Running
             }

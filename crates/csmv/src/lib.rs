@@ -47,6 +47,7 @@ pub mod client;
 pub mod multi;
 pub mod protocol;
 pub mod server;
+pub mod steps;
 pub mod variant;
 
 use gpu_sim::{AnalysisConfig, Device, FaultPlan, GpuConfig, RunMode};
@@ -54,7 +55,7 @@ use stm_core::mv_exec::MvExecConfig;
 use stm_core::{RetryPolicy, RunResult, TxSource, VBoxHeap};
 
 pub use atr::SharedAtr;
-pub use check::CsmvInvariantChecker;
+pub use check::{CsmvInvariantChecker, MultiCsmvInvariantChecker};
 pub use client::CsmvClient;
 pub use multi::{run_multi, run_multi_checked, MultiCsmvConfig};
 pub use protocol::CommitProtocol;

@@ -44,6 +44,7 @@ use crate::protocol::{
     pack_abort, pack_commit, unpack_outcome, CommitProtocol, Outcome, RequestSetArea, OUTCOME_NONE,
 };
 use crate::server::{ReceiverWarp, ServerControl};
+use crate::steps::{self, TagState};
 use crate::RunError;
 
 /// Configuration of a multi-server CSMV launch.
@@ -67,9 +68,11 @@ pub struct MultiCsmvConfig {
     pub atr_capacity: u64,
     /// Record per-transaction histories.
     pub record_history: bool,
-    /// Analysis layer. Only the race detector applies here: the invariant
-    /// checker assumes single-server batch-ordered GTS publication, which
-    /// the multi-server progressive protocol deliberately relaxes.
+    /// Analysis layer. With `invariants` on, a
+    /// [`crate::check::MultiCsmvInvariantChecker`] re-derives the relaxed
+    /// multi-server obligations (progressive GTS publication, per-partition
+    /// seq lines aligned with global cts order) alongside the race
+    /// detector.
     pub analysis: AnalysisConfig,
     /// Host execution mode; `Parallel` falls back to an identical
     /// sequential re-run on a cross-SM window conflict (the shared
@@ -554,11 +557,10 @@ impl WarpProgram for MultiWorker {
                 let mut recycled = false;
                 let mut in_flight = false;
                 for (j, &seq) in seqs.iter().enumerate().take(n as usize) {
-                    let want = lo + j as u64 + 1;
-                    if seq > want {
-                        recycled = true;
-                    } else if seq < want {
-                        in_flight = true;
+                    match steps::classify_tag(seq, lo + j as u64 + 1) {
+                        TagState::Recycled => recycled = true,
+                        TagState::InFlight => in_flight = true,
+                        TagState::Published => {}
                     }
                 }
                 if in_flight {
@@ -596,7 +598,7 @@ impl WarpProgram for MultiWorker {
                     (0..n as usize).filter(|&j| ctss[j] > snapshot).collect();
                 let mut conflict = false;
                 if !relevant.is_empty() {
-                    let max_len = relevant.iter().map(|&j| lens[j]).max().unwrap();
+                    let max_len = relevant.iter().map(|&j| lens[j]).max().unwrap_or(0);
                     let mut items: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
                     for k in 0..max_len {
                         let mut kmask: Mask = 0;
@@ -622,14 +624,17 @@ impl WarpProgram for MultiWorker {
                         full_mask(),
                         (((tx.rs_len + tx.ws_len) as u64 * total.max(1)) / 32).max(1),
                     );
-                    'outer: for &j in &relevant {
-                        for e in tx.rs_items.iter().chain(tx.ws_pairs.iter().map(|(i, _)| i)) {
-                            if items[j].contains(e) {
-                                conflict = true;
-                                break 'outer;
-                            }
-                        }
-                    }
+                    let entries: Vec<(u64, Vec<u64>)> = relevant
+                        .iter()
+                        .map(|&j| (lens[j], std::mem::take(&mut items[j])))
+                        .collect();
+                    conflict = steps::footprint_conflicts(
+                        tx.rs_items
+                            .iter()
+                            .copied()
+                            .chain(tx.ws_pairs.iter().map(|&(i, _)| i)),
+                        &entries,
+                    );
                 }
                 let done_walking = conflict || relevant.len() < n as usize; // hit cts ≤ snapshot
                 if conflict {
@@ -1028,8 +1033,9 @@ impl<S: TxSource> MultiClient<S> {
     /// partition-confined (the documented restriction of this prototype).
     fn lane_partition(&self, lane: usize) -> usize {
         let l = &self.exec.lanes[lane];
-        let part =
-            (l.ws.first().expect("update tx has writes").0 % self.num_servers as u64) as usize;
+        // Update txs always have writes; an empty set degrades to partition 0
+        // rather than panicking in the commit path.
+        let part = (l.ws.first().map_or(0, |&(item, _)| item) % self.num_servers as u64) as usize;
         for &(item, _) in &l.ws {
             assert_eq!(
                 (item % self.num_servers as u64) as usize,
@@ -1578,16 +1584,17 @@ impl<S: TxSource + 'static> WarpProgram for MultiClient<S> {
                         self.lane_published[l] = true;
                     }
                 }
-                let mut new_gts = gts;
-                loop {
-                    let next = (0..WARP_LANES)
-                        .find(|&l| !self.lane_published[l] && self.lane_cts[l] == new_gts + 1);
-                    match next {
-                        Some(l) => {
-                            self.lane_published[l] = true;
-                            new_gts += 1;
-                        }
-                        None => break,
+                let pending: Vec<u64> = (0..WARP_LANES)
+                    .filter(|&l| !self.lane_published[l] && self.lane_cts[l] != 0)
+                    .map(|l| self.lane_cts[l])
+                    .collect();
+                let new_gts = steps::gts_run(gts, &pending);
+                for l in 0..WARP_LANES {
+                    if !self.lane_published[l]
+                        && self.lane_cts[l] != 0
+                        && self.lane_cts[l] <= new_gts
+                    {
+                        self.lane_published[l] = true;
                     }
                 }
                 if new_gts > gts {
@@ -1747,11 +1754,7 @@ where
             &mut initial,
         );
 
-        // Races-only: see the `analysis` field's note on the invariant checker.
-        dev.enable_analysis(AnalysisConfig {
-            invariants: false,
-            ..cfg.analysis
-        });
+        dev.enable_analysis(cfg.analysis);
 
         // Shared payload region (rs/ws) + per-server header/outcome mailboxes.
         let payload = CommitProtocol::alloc(dev.global_mut(), num_clients, cfg.max_rs, cfg.max_ws);
@@ -1761,9 +1764,11 @@ where
 
         // -- servers --------------------------------------------------------
         let mut server_ids = Vec::new();
+        let mut atrs = Vec::new();
         for (srv, hdr_proto) in hdr_protos.iter().enumerate() {
             let sm = first_server_sm + srv;
             let atr = PartitionedAtr::alloc(&mut dev, sm, cfg.atr_capacity, cfg.max_ws);
+            atrs.push(atr.clone());
             let ctl = ServerControl::alloc(&mut dev, sm, num_clients);
             let mut receiver =
                 ReceiverWarp::new(hdr_proto.clone(), ctl.clone(), num_clients, done_addr);
@@ -1783,6 +1788,23 @@ where
                 worker.set_fault_channel(srv as u64);
                 server_ids.push(dev.spawn(sm, Box::new(worker)));
             }
+        }
+        if cfg.analysis.invariants {
+            // Kill/crash plans leave reserved timestamps unpublished and
+            // quarantine holes, so the completeness checks only apply to
+            // plans that let every warp finish.
+            let expect_complete = cfg
+                .faults
+                .as_ref()
+                .is_none_or(|p| p.spec().kills.is_empty() && p.spec().crash_sms.is_empty());
+            dev.add_invariant_checker(Box::new(crate::check::MultiCsmvInvariantChecker::new(
+                atrs,
+                heap.clone(),
+                gts_addr,
+                global_cts_addr,
+                first_server_sm,
+                expect_complete,
+            )));
         }
 
         // -- clients --------------------------------------------------------
@@ -2027,7 +2049,7 @@ mod tests {
     }
 
     #[test]
-    fn multi_server_runs_race_free() {
+    fn multi_server_runs_race_free_and_invariant_clean() {
         let gpu = GpuConfig {
             num_sms: 6,
             ..Default::default()
@@ -2039,7 +2061,7 @@ mod tests {
             server_workers: 2,
             analysis: AnalysisConfig {
                 races: true,
-                invariants: false,
+                invariants: true,
             },
             ..Default::default()
         };
@@ -2047,6 +2069,62 @@ mod tests {
         let report = res.analysis.expect("analysis was enabled");
         assert!(report.events > 0);
         assert_eq!(report.race_count, 0, "races: {:?}", report.races);
+        assert_eq!(
+            report.violation_count(),
+            0,
+            "violations: {:?}",
+            report.violations
+        );
+    }
+
+    /// Message faults force resends and duplicate filtering, but the commit
+    /// protocol's invariants (and the end-of-run completeness checks — no
+    /// warp dies, so the run is complete) must still hold.
+    #[test]
+    fn multi_server_invariant_clean_under_message_faults() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        use stm_core::RetryPolicy;
+        let gpu = GpuConfig {
+            num_sms: 6,
+            ..Default::default()
+        };
+        let cfg = MultiCsmvConfig {
+            gpu,
+            num_servers: 2,
+            versions_per_box: 8,
+            server_workers: 2,
+            analysis: AnalysisConfig {
+                races: false,
+                invariants: true,
+            },
+            faults: Some(FaultPlan::new(
+                0xFA117,
+                FaultSpec {
+                    drop_req: 0.2,
+                    drop_resp: 0.2,
+                    dup_req: 0.1,
+                    ..FaultSpec::default()
+                },
+            )),
+            recovery: RetryPolicy {
+                resp_timeout: Some(10_000),
+                max_send_attempts: 16,
+                backoff_base: 64,
+                backoff_cap: 4096,
+                jitter_seed: 0x5EED,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = run_multi(&cfg, |t| make_src(&cfg, t, 3), ITEMS, |_| 100);
+        let report = res.analysis.expect("analysis was enabled");
+        assert!(report.events > 0);
+        assert_eq!(
+            report.violation_count(),
+            0,
+            "violations: {:?}",
+            report.violations
+        );
     }
 
     #[test]

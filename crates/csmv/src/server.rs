@@ -18,6 +18,7 @@ use stm_core::{AbortReason, FaultEvent, MetricsReport, Phase, VBoxHeap};
 
 use crate::atr::SharedAtr;
 use crate::protocol::{pack_abort, pack_commit, CommitProtocol, OUTCOME_NONE};
+use crate::steps::{self, ReserveOutcome, TagState};
 use crate::variant::CsmvVariant;
 
 /// Shared-memory control block of the server SM: the dispatch queue plus the
@@ -115,6 +116,9 @@ pub struct ReceiverWarp {
     /// Optional liveness word: the receiver stamps the current cycle here on
     /// every poll sweep so clients can detect a crashed partition.
     heartbeat: Option<u64>,
+    /// Seeded bug (see [`ReceiverWarp::inject_plain_seq_read`]).
+    #[cfg(feature = "seeded-bugs")]
+    bug_plain_seq_read: bool,
     /// Receiver-side observability: duplicate suppressions.
     pub metrics: MetricsReport,
     st: RState,
@@ -190,8 +194,30 @@ impl ReceiverWarp {
             resend_idx: vec![1; num_clients],
             fault_channel: 0,
             heartbeat: None,
+            #[cfg(feature = "seeded-bugs")]
+            bug_plain_seq_read: false,
             metrics: MetricsReport::default(),
             st: RState::Poll,
+        }
+    }
+
+    /// Seed the PR 4 protocol bug for checker-validation tests: the sweep
+    /// reads the batch seq words with a *plain* (unordered) access, racing
+    /// a timed-out client's recovery resend. The race detector must flag
+    /// the first such read under a fault plan that forces a resend.
+    #[cfg(feature = "seeded-bugs")]
+    pub fn inject_plain_seq_read(&mut self) {
+        self.bug_plain_seq_read = true;
+    }
+
+    fn plain_seq_read(&self) -> bool {
+        #[cfg(feature = "seeded-bugs")]
+        {
+            self.bug_plain_seq_read
+        }
+        #[cfg(not(feature = "seeded-bugs"))]
+        {
+            false
         }
     }
 
@@ -280,13 +306,18 @@ impl WarpProgram for ReceiverWarp {
                 // Acquire: seq words are control plane — a timed-out client
                 // may rewrite one concurrently with this sweep (recovery
                 // resend), so reads are ordered like the status word's.
-                let seqs =
-                    w.global_read_ord(mask, |l| proto.req_seq_addr(slots[l]), MemOrder::Acquire);
+                let seqs = if self.plain_seq_read() {
+                    // Seeded bug: the unordered read races recovery resends.
+                    // xtask-lint: allow (seeded-bugs mutation under test)
+                    w.global_read(mask, |l| proto.req_seq_addr(slots[l]))
+                } else {
+                    w.global_read_ord(mask, |l| proto.req_seq_addr(slots[l]), MemOrder::Acquire)
+                };
                 let mut fresh = Vec::new();
                 let mut dups = Vec::new();
                 for (l, &slot) in slots.iter().enumerate() {
                     let seq = seqs[l];
-                    if seq != 0 && seq == self.last_seq[slot] {
+                    if steps::is_duplicate_batch(seq, self.last_seq[slot]) {
                         // Same seq as last time: a timed-out client re-post.
                         dups.push((slot, seq));
                     } else {
@@ -317,7 +348,7 @@ impl WarpProgram for ReceiverWarp {
                 let now = w.now();
                 let mut rearm = Vec::new();
                 for (l, &(slot, seq)) in dups.iter().enumerate() {
-                    if echoes[l] == seq {
+                    if steps::response_certified(echoes[l], seq) {
                         // Already processed: suppress the duplicate and just
                         // re-deliver the response.
                         self.metrics
@@ -658,6 +689,9 @@ pub struct WorkerWarp {
     fault_channel: u64,
     txs: Vec<TxD>,
     st: WState,
+    /// Seeded bug (see [`WorkerWarp::inject_publish_tag_first`]).
+    #[cfg(feature = "seeded-bugs")]
+    bug_publish_tag_first: bool,
     /// Server-side observability: batch sizes and ATR occupancy samples.
     pub metrics: MetricsReport,
 }
@@ -684,6 +718,8 @@ impl WorkerWarp {
             fault_channel: 0,
             txs: Vec::new(),
             st: WState::Pop,
+            #[cfg(feature = "seeded-bugs")]
+            bug_publish_tag_first: false,
             metrics: MetricsReport::default(),
         }
     }
@@ -691,6 +727,37 @@ impl WorkerWarp {
     /// Set the fault-domain channel id (multi-server partition index).
     pub fn set_fault_channel(&mut self, channel: u64) {
         self.fault_channel = channel;
+    }
+
+    /// Seed a protocol bug for checker-validation tests: the insert writes
+    /// the publishing cts tag *before* the entry's items and length,
+    /// breaking the seqlock discipline — a concurrent validator can read a
+    /// published-looking entry with an empty write-set and miss a conflict.
+    #[cfg(feature = "seeded-bugs")]
+    pub fn inject_publish_tag_first(&mut self) {
+        self.bug_publish_tag_first = true;
+    }
+
+    fn publish_tag_first(&self) -> bool {
+        #[cfg(feature = "seeded-bugs")]
+        {
+            self.bug_publish_tag_first
+        }
+        #[cfg(not(feature = "seeded-bugs"))]
+        {
+            false
+        }
+    }
+
+    /// Insert-sequence entry point after a won reservation. The healthy
+    /// order is items → lens → cts tag (the tag publishes the entry); the
+    /// seeded mutation flips the tag to the front.
+    fn after_reserve(&self, base: u64) -> WState {
+        if self.publish_tag_first() {
+            WState::InsertCts { base }
+        } else {
+            WState::InsertItems { base, widx: 0 }
+        }
     }
 
     /// Read one ATR chunk (≤ 32 entries at cts `lo..lo+32`, bounded by
@@ -712,14 +779,12 @@ impl WorkerWarp {
             MemOrder::Acquire,
         );
         for (j, &tag) in tags.iter().enumerate().take(n) {
-            let expected = lo + j as u64;
-            if tag > expected {
+            match steps::classify_tag(tag, lo + j as u64) {
                 // The ring recycled an entry we still needed: the snapshot
                 // fell out of the validation window mid-flight.
-                return ChunkRead::Recycled;
-            }
-            if tag < expected {
-                return ChunkRead::InFlight; // writer not done — poll
+                TagState::Recycled => return ChunkRead::Recycled,
+                TagState::InFlight => return ChunkRead::InFlight, // poll
+                TagState::Published => {}
             }
         }
         // Acquire: slots may be recycled by a later inserter; the tag
@@ -769,14 +834,7 @@ impl WorkerWarp {
         let total_items: u64 = chunk.iter().map(|(l, _)| *l).sum();
         let compares = (tx.rs_len + tx.ws_len) as u64 * total_items.max(1);
         w.alu(full_mask(), (compares / lanes_sharing_work).max(1));
-        for e in tx.items_to_check() {
-            for (_, items) in chunk {
-                if items.contains(&e) {
-                    return true;
-                }
-            }
-        }
-        false
+        steps::footprint_conflicts(tx.items_to_check(), chunk)
     }
 
     /// Next still-valid transaction index at or after `from`.
@@ -1140,13 +1198,16 @@ impl WarpProgram for WorkerWarp {
                     if mask & (1 << j) == 0 {
                         continue;
                     }
-                    if tags[j] > ctss[j] {
-                        // Entry recycled: spurious abort for this lane's tx.
-                        self.txs[j].valid = false;
-                        self.txs[j].reason = AbortReason::AtrWindowOverflow;
-                        mask &= !(1 << j);
-                    } else if tags[j] < ctss[j] {
-                        in_flight = true;
+                    match steps::classify_tag(tags[j], ctss[j]) {
+                        TagState::Recycled => {
+                            // Entry recycled: spurious abort for this lane's
+                            // tx.
+                            self.txs[j].valid = false;
+                            self.txs[j].reason = AbortReason::AtrWindowOverflow;
+                            mask &= !(1 << j);
+                        }
+                        TagState::InFlight => in_flight = true,
+                        TagState::Published => {}
                     }
                 }
                 if in_flight {
@@ -1215,21 +1276,22 @@ impl WarpProgram for WorkerWarp {
                 }
                 // Batched insert: a single CAS reserves the whole batch.
                 let old = w.shared_cas1(0, self.atr.next_cts_addr(), target, target + n);
-                if old == target {
-                    let mut cts = target;
-                    for tx in self.txs.iter_mut() {
-                        if tx.valid {
-                            tx.cts = cts;
-                            cts += 1;
+                match steps::reserve_outcome(old, target) {
+                    ReserveOutcome::Won { base } => {
+                        let mut cts = base;
+                        for tx in self.txs.iter_mut() {
+                            if tx.valid {
+                                tx.cts = cts;
+                                cts += 1;
+                            }
                         }
+                        self.st = self.after_reserve(base);
                     }
-                    self.st = WState::InsertItems {
-                        base: target,
-                        widx: 0,
-                    };
-                } else {
-                    // Entries [target, old) appeared: revalidate the delta.
-                    self.st = self.start_validation(old);
+                    ReserveOutcome::Lost { target } => {
+                        // Entries [expected, target) appeared: revalidate the
+                        // delta.
+                        self.st = self.start_validation(target);
+                    }
                 }
                 StepOutcome::Running
             }
@@ -1285,7 +1347,12 @@ impl WarpProgram for WorkerWarp {
                     |k| valid[k].1,
                     MemOrder::Release,
                 );
-                self.st = WState::InsertCts { base };
+                self.st = if self.publish_tag_first() {
+                    // Seeded bug: the tag already went out first.
+                    WState::WriteOutcomes
+                } else {
+                    WState::InsertCts { base }
+                };
                 StepOutcome::Running
             }
             WState::InsertCts { base } => {
@@ -1305,7 +1372,12 @@ impl WarpProgram for WorkerWarp {
                     MemOrder::Release,
                 );
                 let _ = base;
-                self.st = WState::WriteOutcomes;
+                self.st = if self.publish_tag_first() {
+                    // Seeded bug: items and lens follow the published tag.
+                    WState::InsertItems { base, widx: 0 }
+                } else {
+                    WState::WriteOutcomes
+                };
                 StepOutcome::Running
             }
             // --------------------------------------------------------------
@@ -1329,17 +1401,20 @@ impl WarpProgram for WorkerWarp {
                 let s = atr.slot_of(lo);
                 // Acquire: seqlock tag, as in the parallel paths.
                 let tag = w.shared_read1_ord(0, atr.slot_cts_addr(s), MemOrder::Acquire);
-                if tag > lo {
-                    // Entry recycled mid-validation: spurious abort.
-                    self.txs[txi].valid = false;
-                    self.txs[txi].reason = AbortReason::AtrWindowOverflow;
-                    self.st = self.sc_next(txi, target);
-                    return StepOutcome::Running;
-                }
-                if tag < lo {
-                    w.poll_wait();
-                    self.st = WState::ScValidate { txi, lo, target };
-                    return StepOutcome::Running;
+                match steps::classify_tag(tag, lo) {
+                    TagState::Recycled => {
+                        // Entry recycled mid-validation: spurious abort.
+                        self.txs[txi].valid = false;
+                        self.txs[txi].reason = AbortReason::AtrWindowOverflow;
+                        self.st = self.sc_next(txi, target);
+                        return StepOutcome::Running;
+                    }
+                    TagState::InFlight => {
+                        w.poll_wait();
+                        self.st = WState::ScValidate { txi, lo, target };
+                        return StepOutcome::Running;
+                    }
+                    TagState::Published => {}
                 }
                 let len = w.shared_read1_ord(0, atr.slot_len_addr(s), MemOrder::Acquire);
                 let mut conflict = false;
@@ -1486,7 +1561,7 @@ impl WarpProgram for WorkerWarp {
                 let cts = self.txs[txi].cts;
                 // Acquire/Release GTS turn-taking, as in the client.
                 let gts = w.global_read1_ord(0, self.gts_addr, MemOrder::Acquire);
-                if gts == cts - 1 {
+                if steps::gts_turn_reached(gts, cts) {
                     w.global_write1_ord(0, self.gts_addr, cts, MemOrder::Release);
                     let target = cts + 1;
                     self.st = self.sc_next(txi, target);

@@ -1,0 +1,259 @@
+//! Pure transition functions of the CSMV commit protocol.
+//!
+//! Every decision the client and server warps make — seqlock-tag
+//! classification, conflict detection, duplicate suppression, batch
+//! windows, GTS turn-taking — is factored here as a side-effect-free
+//! function over plain values. The simulator warps ([`crate::client`],
+//! [`crate::server`], [`crate::multi`]) call these for their control
+//! decisions, and the `csmv-model` explicit-state model checker calls the
+//! *same* functions for its abstract transitions, so the checked model
+//! cannot silently drift from the implementation.
+//!
+//! Nothing in this module touches simulated memory, charges cycles, or
+//! records metrics: inputs are values already read, outputs are decisions.
+
+/// Classification of an ATR slot's seqlock tag against the timestamp a
+/// validator expects to find there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagState {
+    /// The tag matches: the entry is published and its payload readable.
+    Published,
+    /// The tag is older than expected: the inserter has reserved but not
+    /// yet published this entry — the validator must poll.
+    InFlight,
+    /// The tag is newer than expected: the ring recycled an entry the
+    /// validator still needed; its snapshot fell out of the window.
+    Recycled,
+}
+
+/// Classify a seqlock tag read from an ATR slot. `expected` is the
+/// timestamp (single-server: cts; multi-server: local-seq tag) whose entry
+/// the validator is trying to read.
+#[inline]
+pub fn classify_tag(tag: u64, expected: u64) -> TagState {
+    use std::cmp::Ordering::*;
+    match tag.cmp(&expected) {
+        Equal => TagState::Published,
+        Less => TagState::InFlight,
+        Greater => TagState::Recycled,
+    }
+}
+
+/// Does a transaction footprint (read-set items chained with write-set
+/// items) intersect any of the committed entries' write-set items?
+///
+/// This is the whole of CSMV validation: a transaction is invalid iff an
+/// entry committed after its snapshot wrote something it read or wrote.
+pub fn footprint_conflicts<I>(footprint: I, entries: &[(u64, Vec<u64>)]) -> bool
+where
+    I: IntoIterator<Item = u64>,
+{
+    for e in footprint {
+        for (_, items) in entries {
+            if items.contains(&e) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is a snapshot still inside the ATR ring's validation window when the
+/// counter stands at `next`? (Entries `(snapshot, next)` must all still be
+/// resident; the ring holds `capacity` of them.)
+#[inline]
+pub fn snapshot_in_window(snapshot: u64, next: u64, capacity: u64) -> bool {
+    next - 1 - snapshot <= capacity
+}
+
+/// Outcome of a batched commit-timestamp reservation attempt (a CAS of
+/// `expected -> expected + n` that observed `observed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveOutcome {
+    /// The CAS won: the batch owns `[base, base + n)`.
+    Won { base: u64 },
+    /// The CAS lost: entries `[expected, target)` appeared concurrently
+    /// and must be validated before retrying at `target`.
+    Lost { target: u64 },
+}
+
+/// Decide a reservation attempt from the CAS's observed old value.
+#[inline]
+pub fn reserve_outcome(observed: u64, expected: u64) -> ReserveOutcome {
+    if observed == expected {
+        ReserveOutcome::Won { base: expected }
+    } else {
+        ReserveOutcome::Lost { target: observed }
+    }
+}
+
+/// Is a freshly polled REQUEST carrying `seq` a duplicate of the batch the
+/// receiver last accepted from that slot (`last_seq`, 0 = none yet)?
+///
+/// Duplicates arise from recovery resends and injected duplicate
+/// deliveries; they must be suppressed, not re-dispatched (at-most-once
+/// batch processing).
+#[inline]
+pub fn is_duplicate_batch(seq: u64, last_seq: u64) -> bool {
+    seq != 0 && seq == last_seq
+}
+
+/// Does a response-seq echo certify that the response payload for batch
+/// `seq` is complete? (The echo is the last payload word written before
+/// the RESPONSE flip; clients and the receiver's duplicate sweep both rely
+/// on it.)
+#[inline]
+pub fn response_certified(echo: u64, seq: u64) -> bool {
+    echo == seq
+}
+
+/// The batch window of a set of granted commit timestamps: `(base, n)`
+/// with `base` the smallest cts and `n` the count. `(0, 0)` for an empty
+/// set.
+pub fn batch_window(ctss: &[u64]) -> (u64, u64) {
+    match ctss.iter().min() {
+        None => (0, 0),
+        Some(&base) => (base, ctss.len() as u64),
+    }
+}
+
+/// Are the granted timestamps consecutive (`base..base + n`)? The
+/// single-server protocol guarantees it (one CAS reserves the whole
+/// batch); the client's single GTS bump relies on it.
+pub fn window_is_dense(ctss: &[u64]) -> bool {
+    let (base, n) = batch_window(ctss);
+    ctss.iter().all(|&c| c >= base && c < base + n)
+        && ctss.iter().max().is_none_or(|&m| m == base + n - 1)
+}
+
+/// GTS turn-taking: may a batch based at `base` publish now? Only when the
+/// GTS has reached `base - 1`, i.e. every earlier timestamp is published
+/// (§III-B: commits become visible in timestamp order).
+#[inline]
+pub fn gts_turn_reached(gts: u64, base: u64) -> bool {
+    gts + 1 == base
+}
+
+/// The value a batch `[base, base + n)` publishes to the GTS: one write
+/// makes the whole batch visible.
+#[inline]
+pub fn gts_publish_value(base: u64, n: u64) -> u64 {
+    base + n - 1
+}
+
+/// Progressive GTS publication (multi-server): given the current GTS and a
+/// warp's unpublished commit timestamps, absorb the run of consecutive
+/// timestamps starting at `gts + 1` and return the new GTS (unchanged if
+/// it is not this warp's turn). Timestamps `<= gts` are already covered
+/// (e.g. by a crash-hole skip) and contribute nothing.
+pub fn gts_run(gts: u64, pending: &[u64]) -> u64 {
+    let mut new_gts = gts;
+    loop {
+        match pending.iter().find(|&&c| c == new_gts + 1) {
+            Some(_) => new_gts += 1,
+            None => return new_gts,
+        }
+    }
+}
+
+/// Intra-warp pre-validation: lane `broadcaster` broadcasts its write-set
+/// `ws_items`; every *later* committing lane whose read- or write-set
+/// intersects it loses (`in_footprint(lane, item)` answers membership).
+/// Returns the loser mask. Earlier lanes and already-lost lanes are
+/// untouched, so repeated application over broadcasters yields the
+/// conflict-free survivor set the server can batch.
+pub fn preval_losers(
+    broadcaster: usize,
+    ws_items: &[u64],
+    committing: u32,
+    mut in_footprint: impl FnMut(usize, u64) -> bool,
+) -> u32 {
+    let mut losers: u32 = 0;
+    for &item in ws_items {
+        for j in (broadcaster + 1)..u32::BITS as usize {
+            if committing & (1 << j) == 0 || losers & (1 << j) != 0 {
+                continue;
+            }
+            if in_footprint(j, item) {
+                losers |= 1 << j;
+            }
+        }
+    }
+    losers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_classification() {
+        assert_eq!(classify_tag(5, 5), TagState::Published);
+        assert_eq!(classify_tag(4, 5), TagState::InFlight);
+        assert_eq!(classify_tag(6, 5), TagState::Recycled);
+    }
+
+    #[test]
+    fn conflict_is_footprint_intersection() {
+        let entries = vec![(2, vec![7, 9]), (1, vec![3])];
+        assert!(footprint_conflicts([1, 3].into_iter(), &entries));
+        assert!(footprint_conflicts([9].into_iter(), &entries));
+        assert!(!footprint_conflicts([4, 5].into_iter(), &entries));
+        assert!(!footprint_conflicts(std::iter::empty(), &entries));
+    }
+
+    #[test]
+    fn window_mirrors_ring_capacity() {
+        // next = 10, capacity 4: snapshots 5..=9 validate, 4 does not.
+        assert!(snapshot_in_window(5, 10, 4));
+        assert!(!snapshot_in_window(4, 10, 4));
+    }
+
+    #[test]
+    fn reservation_cas_semantics() {
+        assert_eq!(reserve_outcome(3, 3), ReserveOutcome::Won { base: 3 });
+        assert_eq!(reserve_outcome(7, 3), ReserveOutcome::Lost { target: 7 });
+    }
+
+    #[test]
+    fn duplicate_batches_need_a_prior_seq() {
+        assert!(is_duplicate_batch(4, 4));
+        assert!(!is_duplicate_batch(5, 4));
+        assert!(!is_duplicate_batch(0, 0)); // nothing received yet
+    }
+
+    #[test]
+    fn batch_windows() {
+        assert_eq!(batch_window(&[]), (0, 0));
+        assert_eq!(batch_window(&[4, 2, 3]), (2, 3));
+        assert!(window_is_dense(&[4, 2, 3]));
+        assert!(window_is_dense(&[]));
+        assert!(!window_is_dense(&[2, 4]));
+    }
+
+    #[test]
+    fn turn_taking() {
+        assert!(gts_turn_reached(4, 5));
+        assert!(!gts_turn_reached(3, 5));
+        assert_eq!(gts_publish_value(5, 3), 7);
+    }
+
+    #[test]
+    fn progressive_runs() {
+        assert_eq!(gts_run(2, &[3, 4, 7]), 4);
+        assert_eq!(gts_run(2, &[4, 7]), 2);
+        assert_eq!(gts_run(0, &[1]), 1);
+        assert_eq!(gts_run(5, &[]), 5);
+    }
+
+    #[test]
+    fn preval_later_lanes_lose() {
+        // Lane 0 broadcasts {7}; lanes 1 and 2 committing, lane 2 reads 7.
+        let committing = 0b111;
+        let losers = preval_losers(0, &[7], committing, |j, item| j == 2 && item == 7);
+        assert_eq!(losers, 0b100);
+        // Earlier lanes never lose to a later broadcaster.
+        let losers = preval_losers(2, &[7], committing, |_, _| true);
+        assert_eq!(losers, 0);
+    }
+}

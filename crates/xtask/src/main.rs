@@ -1,0 +1,50 @@
+//! `cargo run -p xtask -- lint` — run the protocol-discipline lints.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask manifest has a workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = repo_root();
+            match xtask::lint_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        // Print paths relative to the root for stable CI logs.
+                        let rel = f.file.strip_prefix(&root).unwrap_or(&f.file);
+                        println!("{}:{}: [{}] {}", rel.display(), f.line, f.rule, f.message);
+                    }
+                    eprintln!("xtask lint: {} finding(s)", findings.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: i/o error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}` (expected: lint)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,35 @@
+// Lint fixture: a commit-server fragment that reads a batch sequence word
+// with a plain (unordered) accessor and bumps the GTS with a Plain-order
+// write. Both must be flagged by the `ordered-protocol-access` rule; the
+// unwrap inside the WorkerWarp impl must be flagged by
+// `no-panic-in-server-path`. This file is test data, not compiled code.
+
+struct Proto;
+impl Proto {
+    fn req_seq_addr(&self, slot: usize) -> u64 {
+        slot as u64
+    }
+}
+
+struct WorkerWarp {
+    gts_addr: u64,
+    cts: Option<u64>,
+}
+
+impl WorkerWarp {
+    fn poll(&self, w: &mut Warp, proto: &Proto, slot: usize) -> u64 {
+        // BAD: plain read of the request sequence word — no Acquire pairing
+        // with the client's Release publish.
+        let seq = w.global_read1(0, proto.req_seq_addr(slot));
+        // BAD: Plain-order GTS publish — later snapshot reads can observe
+        // the bump before the write-back it is supposed to fence.
+        w.global_write1_ord(0, self.gts_addr, seq, MemOrder::Plain);
+        // BAD: panic in the server commit path.
+        self.cts.unwrap()
+    }
+
+    fn ok_path(&self, w: &mut Warp, proto: &Proto, slot: usize) -> u64 {
+        // GOOD: Acquire-ordered read of the same word is compliant.
+        w.global_read1_ord(0, proto.req_seq_addr(slot), MemOrder::Acquire)
+    }
+}

@@ -1,0 +1,59 @@
+//! Integration tests: the lint pass must flag the seeded fixture and
+//! pass the real workspace clean.
+
+use std::path::{Path, PathBuf};
+
+use xtask::lint::{
+    check_abort_reason_taxonomy, check_no_panic_in_server_path, check_ordered_protocol_access,
+};
+use xtask::lint_workspace;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn fixture_with_plain_seq_access_fails() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/plain_seq_access.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+
+    let r1 = check_ordered_protocol_access(&path, &src);
+    assert_eq!(
+        r1.len(),
+        2,
+        "expected the plain seq read and the Plain-order GTS write: {r1:?}"
+    );
+    assert!(r1.iter().all(|f| f.rule == "ordered-protocol-access"));
+    assert!(r1.iter().any(|f| f.message.contains("req_seq_addr")));
+    assert!(r1.iter().any(|f| f.message.contains("gts_addr")));
+
+    let r2 = check_no_panic_in_server_path(&path, &src);
+    assert_eq!(r2.len(), 1, "expected the unwrap in WorkerWarp: {r2:?}");
+    assert_eq!(r2[0].rule, "no-panic-in-server-path");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let findings = lint_workspace(&repo_root()).expect("workspace files readable");
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn real_abort_reason_taxonomy_is_covered() {
+    let path = repo_root().join("crates/stm-core/src/metrics.rs");
+    let src = std::fs::read_to_string(&path).expect("metrics.rs readable");
+    let findings = check_abort_reason_taxonomy(&path, &src);
+    assert!(findings.is_empty(), "taxonomy findings: {findings:?}");
+}
