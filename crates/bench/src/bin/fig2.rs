@@ -10,6 +10,7 @@ use bench::{
 
 fn main() {
     let args = BenchArgs::parse("fig2");
+    args.require_sim();
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 

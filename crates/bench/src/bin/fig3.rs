@@ -7,6 +7,7 @@ use bench::{fmt_tput, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, run_cells, C
 
 fn main() {
     let args = BenchArgs::parse("fig3");
+    args.require_sim();
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 

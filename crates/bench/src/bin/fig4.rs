@@ -8,6 +8,7 @@ use csmv::CsmvVariant;
 
 fn main() {
     let args = BenchArgs::parse("fig4");
+    args.require_sim();
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 

@@ -35,6 +35,7 @@ fn bd_cells(row: &Row, csmv_style: bool) -> Vec<String> {
 
 fn main() {
     let args = BenchArgs::parse("mc_suite");
+    args.require_sim();
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 

@@ -7,6 +7,7 @@ use bench::{bank_csmv, bank_jvstm_gpu, breakdown_cells, print_table, run_cells, 
 
 fn main() {
     let args = BenchArgs::parse("table1");
+    args.require_sim();
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 

@@ -6,6 +6,7 @@ use bench::{bank_csmv, bank_jvstm_gpu, bank_prstm, fmt_ms, print_table, run_cell
 
 fn main() {
     let args = BenchArgs::parse("table2");
+    args.require_sim();
     let scale = args.scale.clone();
     let rots: &[u8] = &[1, 10, 25, 50, 75, 90, 99];
 

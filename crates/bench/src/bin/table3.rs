@@ -34,6 +34,7 @@ fn cells(row: &Row, csmv_style: bool) -> Vec<String> {
 
 fn main() {
     let args = BenchArgs::parse("table3");
+    args.require_sim();
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 

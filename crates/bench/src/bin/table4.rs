@@ -6,6 +6,7 @@ use bench::{fmt_ms, mc_csmv, mc_jvstm_gpu, mc_prstm, print_table, run_cells, Cel
 
 fn main() {
     let args = BenchArgs::parse("table4");
+    args.require_sim();
     let scale = args.scale.clone();
     let ways: &[u64] = &[4, 8, 16, 32, 64, 128, 256];
 

@@ -30,6 +30,13 @@ pub struct BenchArgs {
     /// only wall-clock time changes — and the count is recorded in the
     /// report's `config` block, which `bench-gate` treats as non-gating.
     pub threads: usize,
+    /// Execution backend (`--backend` / `BENCH_BACKEND`): `"sim"` (the
+    /// default cycle-level simulator) or `"native"` (the CSMV protocol on
+    /// real OS threads, wall-clock measured). Recorded in the report's
+    /// `config` block; `bench-gate` refuses cross-backend comparisons.
+    /// Only benches that implement a native path accept `"native"` — the
+    /// rest call [`BenchArgs::require_sim`].
+    pub backend: String,
 }
 
 impl BenchArgs {
@@ -61,6 +68,10 @@ impl BenchArgs {
         let mut threads = match std::env::var("BENCH_THREADS") {
             Ok(v) => parse_threads(&v).ok_or_else(|| format!("bad BENCH_THREADS '{v}'"))?,
             Err(_) => 1,
+        };
+        let mut backend = match std::env::var("BENCH_BACKEND") {
+            Ok(v) => parse_backend(&v).ok_or_else(|| format!("bad BENCH_BACKEND '{v}'"))?,
+            Err(_) => "sim".to_string(),
         };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
@@ -95,6 +106,10 @@ impl BenchArgs {
                     let v = args.next().ok_or("--threads requires a value")?;
                     threads = parse_threads(&v).ok_or_else(|| format!("bad --threads '{v}'"))?;
                 }
+                "--backend" => {
+                    let v = args.next().ok_or("--backend requires 'sim' or 'native'")?;
+                    backend = parse_backend(&v).ok_or_else(|| format!("bad --backend '{v}'"))?;
+                }
                 "--faults" => {
                     let v = args.next().ok_or("--faults requires a spec")?;
                     // Validate eagerly so a typo fails at the command line,
@@ -116,13 +131,35 @@ impl BenchArgs {
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
+        if backend == "native" && scale.faults.is_some() {
+            return Err(
+                "the native backend takes no simulator fault spec (--faults); \
+                 native fault injection lives in csmv_native::fault"
+                    .to_string(),
+            );
+        }
         Ok(BenchArgs {
             bench: bench.to_string(),
             json,
             scale,
             scale_name: if quick { "quick" } else { "paper" }.to_string(),
             threads,
+            backend,
         })
+    }
+
+    /// Exit with a usage error when the run asked for a backend this bench
+    /// does not implement. Benches without a native path call this right
+    /// after parsing.
+    pub fn require_sim(&self) {
+        if self.backend != "sim" {
+            eprintln!(
+                "[{}] this bench has no --backend {} path; only bank_suite and \
+                 native_suite run natively",
+                self.bench, self.backend
+            );
+            std::process::exit(2);
+        }
     }
 
     /// Emit the JSON report if `--json` was given. Call once, at the end of
@@ -132,6 +169,7 @@ impl BenchArgs {
         let mut report =
             BenchReport::from_rows(&self.bench, &self.scale_name, self.scale.seed, rows);
         report.threads = self.threads as u64;
+        report.backend = self.backend.clone();
         if self.scale.faults.is_some() {
             report.faults = self.scale.faults.clone();
             report.fault_seed = Some(self.scale.fault_seed);
@@ -144,6 +182,10 @@ impl BenchArgs {
             }
         }
     }
+}
+
+fn parse_backend(s: &str) -> Option<String> {
+    matches!(s, "sim" | "native").then(|| s.to_string())
 }
 
 fn parse_threads(s: &str) -> Option<usize> {
@@ -164,7 +206,7 @@ fn parse_u64(s: &str) -> Option<u64> {
 fn usage(bench: &str) -> String {
     format!(
         "usage: {bench} [--json PATH] [--seed N] [--quick | --paper] [--threads N] [--analysis]\n\
-         \x20             [--faults SPEC] [--fault-seed N]\n\
+         \x20             [--backend sim|native] [--faults SPEC] [--fault-seed N]\n\
          \n\
          --json PATH     write the structured report (schema: crates/bench/src/report.rs)\n\
          --seed N        workload RNG seed (decimal or 0x-hex; default 0xC53A17)\n\
@@ -172,6 +214,10 @@ fn usage(bench: &str) -> String {
          --paper         paper-faithful scale (the default)\n\
          --threads N     host threads for bench cells (same as BENCH_THREADS=N;\n\
                          default 1; results are identical for every value)\n\
+         --backend B     execution backend (same as BENCH_BACKEND=B): 'sim' (the\n\
+                         cycle-level simulator, default) or 'native' (the CSMV\n\
+                         protocol on real OS threads, wall-clock measured; only\n\
+                         bank_suite and native_suite implement it)\n\
          --analysis      run under the race/invariant analysis layer\n\
          --faults SPEC   deterministic fault injection (same as BENCH_FAULTS=SPEC;\n\
                          comma-separated clauses, e.g.\n\
@@ -269,6 +315,23 @@ mod tests {
         let b = BenchArgs::try_parse("t", argv(&["--faults", "drop_req=0.1"])).unwrap();
         assert!(b.scale.recovery().resp_timeout.is_some());
         assert!(b.scale.fault_watchdog().is_some());
+    }
+
+    #[test]
+    fn backend_defaults_to_sim_and_validates() {
+        let a = BenchArgs::try_parse("t", argv(&[])).unwrap();
+        assert_eq!(a.backend, "sim");
+        let a = BenchArgs::try_parse("t", argv(&["--backend", "native"])).unwrap();
+        assert_eq!(a.backend, "native");
+        assert!(BenchArgs::try_parse("t", argv(&["--backend", "gpu"])).is_err());
+        assert!(BenchArgs::try_parse("t", argv(&["--backend"])).is_err());
+        // Simulator fault specs do not apply to native runs.
+        let err = BenchArgs::try_parse(
+            "t",
+            argv(&["--backend", "native", "--faults", "drop_req=0.1"]),
+        )
+        .unwrap_err();
+        assert!(err.contains("native"), "{err}");
     }
 
     #[test]

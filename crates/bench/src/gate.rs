@@ -77,6 +77,33 @@ pub fn threshold_for(metric: &str) -> Option<Threshold> {
     }
 }
 
+/// The gated subset for a given execution backend.
+///
+/// Simulated reports gate the full [`threshold_for`] set — the simulator
+/// is deterministic, so timing metrics are reproducible. Native reports
+/// are wall-clock measured on whatever host runs them: their timing
+/// (throughput, latencies, elapsed) varies machine to machine and is
+/// informational only, while the commit/failed counters are exact
+/// properties of the fixed workload and gate with zero slack.
+pub fn threshold_for_backend(backend: &str, metric: &str) -> Option<Threshold> {
+    use Direction::*;
+    if backend == "native" {
+        let t = |direction| {
+            Some(Threshold {
+                direction,
+                rel: 0.0,
+                abs: 0.0,
+            })
+        };
+        return match metric {
+            "commits" => t(HigherIsBetter),
+            "failed" => t(LowerIsBetter),
+            _ => None,
+        };
+    }
+    threshold_for(metric)
+}
+
 /// One reason the gate failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
@@ -149,6 +176,13 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Vi
             baseline.seed.to_string(),
             candidate.seed.to_string(),
         ),
+        // Simulated cycles and native wall-clock are different universes;
+        // comparing across backends is a configuration mistake.
+        (
+            "backend",
+            baseline.backend.clone(),
+            candidate.backend.clone(),
+        ),
         // Fault injection changes results by design; comparing a faulted run
         // against a fault-free baseline is a configuration mistake.
         (
@@ -182,7 +216,7 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Vi
             continue;
         };
         for (metric, base_value) in &base_row.metrics {
-            let Some(threshold) = threshold_for(metric) else {
+            let Some(threshold) = threshold_for_backend(&baseline.backend, metric) else {
                 continue;
             };
             let Some(cand_value) = cand_row.metric(metric) else {
@@ -232,6 +266,9 @@ pub fn equal(a: &BenchReport, b: &BenchReport) -> Result<(), String> {
     }
     if a.seed != b.seed {
         return diff("seed", &a.seed, &b.seed);
+    }
+    if a.backend != b.backend {
+        return diff("backend", &a.backend, &b.backend);
     }
     if a.faults != b.faults {
         return diff(
@@ -302,6 +339,7 @@ mod tests {
             scale: "quick".into(),
             seed: 7,
             threads: 1,
+            backend: "sim".into(),
             faults: None,
             fault_seed: None,
             rows,
@@ -423,6 +461,57 @@ mod tests {
         let mut c = b.clone();
         c.bench = "fig3".into();
         assert!(compare(&b, &c).unwrap_err().contains("bench"));
+        let mut c = b.clone();
+        c.backend = "native".into();
+        assert!(compare(&b, &c).unwrap_err().contains("backend"));
+        assert!(equal(&b, &c).unwrap_err().contains("backend"));
+    }
+
+    #[test]
+    fn native_reports_gate_counts_but_not_timing() {
+        let metrics: Vec<(&str, f64)> = vec![
+            ("throughput", 1e5),
+            ("txn_per_sec", 1e5),
+            ("latency_p99_us", 40.0),
+            ("elapsed_ms", 12.0),
+            ("abort_pct", 5.0),
+            ("commits", 1000.0),
+            ("failed", 0.0),
+        ];
+        let mut b = report(vec![row("CSMV (native)", 8, &metrics)]);
+        b.backend = "native".into();
+        // Wall-clock timing halves, abort rate triples: another machine,
+        // not a regression.
+        let mut c = b.clone();
+        for (k, v) in c.rows[0].metrics.iter_mut() {
+            match k.as_str() {
+                "throughput" | "txn_per_sec" => *v /= 2.0,
+                "latency_p99_us" | "elapsed_ms" => *v *= 2.0,
+                "abort_pct" => *v *= 3.0,
+                _ => {}
+            }
+        }
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+        // A lost commit or a terminal failure is a real regression.
+        let mut c = b.clone();
+        c.rows[0].metrics.iter_mut().for_each(|(k, v)| {
+            if k == "commits" {
+                *v = 999.0;
+            }
+        });
+        assert_eq!(compare(&b, &c).unwrap().len(), 1);
+        let mut c = b.clone();
+        c.rows[0].metrics.iter_mut().for_each(|(k, v)| {
+            if k == "failed" {
+                *v = 1.0;
+            }
+        });
+        let violations = compare(&b, &c).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            Violation::Regression { metric, .. } if metric == "failed"
+        ));
     }
 
     #[test]

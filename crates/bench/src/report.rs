@@ -15,7 +15,11 @@ use stm_core::{AbortReason, FaultEvent};
 
 /// Bumped whenever the schema changes incompatibly; `bench-gate` refuses to
 /// compare reports of different versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the execution `backend` to the config block ("sim" or
+/// "native") and the wall-clock metrics `txn_per_sec` /
+/// `latency_p50_us` / `latency_p99_us` to every row.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One benchmark invocation's structured output.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +37,12 @@ pub struct BenchReport {
     /// deterministic and ordered, so reports produced at different thread
     /// counts are otherwise identical, and `bench-gate` never gates on it.
     pub threads: u64,
+    /// Execution backend the rows were measured on (`config.backend`):
+    /// `"sim"` (the cycle-level simulator, the default) or `"native"`
+    /// (real OS threads, wall-clock measured). Like `faults`, this is part
+    /// of the run's identity — `bench-gate` refuses cross-backend
+    /// comparisons and applies a backend-specific threshold policy.
+    pub backend: String,
     /// Fault-injection spec the run used (`config.faults`), if any. Unlike
     /// `threads` this changes results, so `bench-gate` refuses to compare
     /// reports whose fault configs differ.
@@ -81,6 +91,10 @@ fn flatten(row: &Row) -> Vec<(String, f64)> {
             "poll_stall_cycles".into(),
             (row.client_bd.poll_stall_cycles + row.server_bd.poll_stall_cycles) as f64,
         ),
+        // Wall-clock metrics (v2): nonzero only on the native backend.
+        ("txn_per_sec".into(), row.txn_per_sec),
+        ("latency_p50_us".into(), row.latency_p50_us),
+        ("latency_p99_us".into(), row.latency_p99_us),
     ];
     let metrics = &row.metrics;
     for reason in AbortReason::ALL {
@@ -131,6 +145,7 @@ impl BenchReport {
             scale: scale.to_string(),
             seed,
             threads: 1,
+            backend: "sim".to_string(),
             faults: None,
             fault_seed: None,
             rows: rows
@@ -177,7 +192,10 @@ impl BenchReport {
             ("seed".into(), Json::Num(self.seed as f64)),
             ("rows".into(), Json::Arr(rows)),
             ("config".into(), {
-                let mut cfg = vec![("threads".into(), Json::Num(self.threads as f64))];
+                let mut cfg = vec![
+                    ("threads".into(), Json::Num(self.threads as f64)),
+                    ("backend".into(), Json::Str(self.backend.clone())),
+                ];
                 if let Some(spec) = &self.faults {
                     cfg.push(("faults".into(), Json::Str(spec.clone())));
                 }
@@ -206,12 +224,22 @@ impl BenchReport {
         let seed = field("seed")?.as_u64().ok_or("'seed' must be an integer")?;
         // `config` is optional so baselines written before it existed still
         // parse (they ran single-threaded).
-        let (threads, faults, fault_seed) = match doc.get("config") {
+        let (threads, backend, faults, fault_seed) = match doc.get("config") {
             Some(cfg) => (
                 cfg.get("threads")
                     .map(|t| t.as_u64().ok_or("'config.threads' must be an integer"))
                     .transpose()?
                     .unwrap_or(1),
+                // Optional with a "sim" default: every report written
+                // before the native backend existed was a simulator run.
+                cfg.get("backend")
+                    .map(|b| {
+                        b.as_str()
+                            .map(str::to_string)
+                            .ok_or("'config.backend' must be a string")
+                    })
+                    .transpose()?
+                    .unwrap_or_else(|| "sim".to_string()),
                 // Optional so fault-free baselines (and reports written
                 // before the fault layer existed) parse unchanged.
                 cfg.get("faults")
@@ -225,7 +253,7 @@ impl BenchReport {
                     .map(|s| s.as_u64().ok_or("'config.fault_seed' must be an integer"))
                     .transpose()?,
             ),
-            None => (1, None, None),
+            None => (1, "sim".to_string(), None, None),
         };
         let mut rows = Vec::new();
         for (i, row) in field("rows")?
@@ -271,6 +299,7 @@ impl BenchReport {
             scale,
             seed,
             threads,
+            backend,
             faults,
             fault_seed,
             rows,
@@ -326,6 +355,9 @@ mod tests {
             commits: 1000,
             aborts: 35,
             failed: 0,
+            txn_per_sec: 0.0,
+            latency_p50_us: 0.0,
+            latency_p99_us: 0.0,
             analysis: None,
             wall_clock: false,
             metrics,
@@ -344,6 +376,9 @@ mod tests {
         assert_eq!(row.metric("batch_sizes.max"), Some(17.0));
         assert_eq!(row.metric("atr_occupancy.samples"), Some(1.0));
         assert_eq!(row.metric("failed"), Some(0.0));
+        assert_eq!(row.metric("txn_per_sec"), Some(0.0));
+        assert_eq!(row.metric("latency_p50_us"), Some(0.0));
+        assert_eq!(row.metric("latency_p99_us"), Some(0.0));
         assert_eq!(row.metric("faults.timeouts"), Some(0.0));
         assert_eq!(row.metric("faults.total"), Some(0.0));
         assert_eq!(row.metric("gts_stall.sum"), Some(7.0));
@@ -374,16 +409,22 @@ mod tests {
         let text = report.to_json().pretty();
         let back = BenchReport::from_json(&parse(&text).unwrap()).unwrap();
         assert_eq!(back, report);
+        // And so is the backend.
+        report.backend = "native".into();
+        let text = report.to_json().pretty();
+        let back = BenchReport::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]
-    fn reports_without_a_config_block_default_to_one_thread() {
+    fn reports_without_a_config_block_default_to_one_thread_on_sim() {
         let doc = parse(
             "{\"schema_version\":1,\"bench\":\"b\",\"scale\":\"quick\",\"seed\":1,\"rows\":[]}",
         )
         .unwrap();
         let report = BenchReport::from_json(&doc).unwrap();
         assert_eq!(report.threads, 1);
+        assert_eq!(report.backend, "sim");
     }
 
     #[test]

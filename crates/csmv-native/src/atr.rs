@@ -1,0 +1,223 @@
+//! The native Aggregated Txn Record (ATR): a seqlock-tagged ring of
+//! committed write-sets shared by every commit-server thread, plus the two
+//! global counters (`next_cts`, GTS) the protocol revolves around.
+//!
+//! Entry classification, reservation and turn-taking decisions are *not*
+//! made here — servers and workers feed the raw values read here through
+//! the pure [`csmv::steps`] functions, the same ones the simulator and the
+//! model checker use.
+//!
+//! ## Seqlock protocol
+//!
+//! An insert stores [`WRITING`] into the tag, writes the payload, then
+//! stores the entry's cts. A reader loads the tag, classifies it
+//! ([`csmv::steps::classify_tag`], with `WRITING` forced to in-flight),
+//! copies the payload, and re-loads the tag: the copy is only valid if
+//! both loads returned the expected cts. All tag and payload accesses are
+//! `SeqCst`, which makes the classic torn-read argument go through: if a
+//! payload copy observed any store of a concurrent insert, that insert's
+//! `WRITING` tag store precedes the copy in the single total order, so the
+//! re-load cannot still return the old cts and the copy is discarded.
+//! Concurrent inserts into the same slot (laps ≥ capacity apart, only
+//! possible if an inserter is descheduled between its CAS and its insert
+//! for a whole ring lap) are serialized by a per-slot mutex and resolved
+//! monotonically: an inserter that finds a newer lap already published
+//! leaves it in place, so late stale inserts can never shadow a live
+//! entry.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use csmv::steps::{self, ReserveOutcome, TagState};
+
+/// Tag value marking an insert in progress. Classified as in-flight by
+/// readers; never a valid cts (cts fits 32 bits).
+const WRITING: u64 = u64::MAX;
+
+/// What a validator got out of [`NativeAtr::read_entry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EntryRead {
+    /// The entry is published; these are its write-set items.
+    Published(Vec<u64>),
+    /// The inserter has reserved but not yet published — poll again.
+    InFlight,
+    /// The ring recycled the entry; the validator's snapshot fell out of
+    /// the window.
+    Recycled,
+}
+
+pub(crate) struct NativeAtr {
+    capacity: u64,
+    max_ws: usize,
+    /// Seqlock tag per slot: 0 (never used), `WRITING`, or the entry cts.
+    tags: Vec<AtomicU64>,
+    /// Payload length per slot.
+    lens: Vec<AtomicU64>,
+    /// Payload items, `slot * max_ws + k`.
+    items: Vec<AtomicU64>,
+    /// Insert serialization per slot (see module docs; uncontended in
+    /// practice).
+    slot_locks: Vec<Mutex<()>>,
+    /// The next commit timestamp to hand out; reservation is one CAS.
+    next_cts: AtomicU64,
+    /// The Global Timestamp: newest fully written-back commit.
+    gts: AtomicU64,
+}
+
+impl NativeAtr {
+    pub(crate) fn new(capacity: u64, max_ws: usize) -> Self {
+        let n = capacity as usize;
+        Self {
+            capacity,
+            max_ws,
+            tags: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            lens: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            items: (0..n * max_ws).map(|_| AtomicU64::new(0)).collect(),
+            slot_locks: (0..n).map(|_| Mutex::new(())).collect(),
+            next_cts: AtomicU64::new(1),
+            gts: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Current GTS — the snapshot new transactions execute against.
+    pub(crate) fn gts(&self) -> u64 {
+        self.gts.load(Ordering::SeqCst)
+    }
+
+    /// Publish a fully written-back batch window (the turn-holder's single
+    /// GTS bump, [`csmv::steps::gts_publish_value`]).
+    pub(crate) fn publish_gts(&self, value: u64) {
+        self.gts.store(value, Ordering::SeqCst);
+    }
+
+    /// Current reservation counter.
+    pub(crate) fn next_cts(&self) -> u64 {
+        self.next_cts.load(Ordering::SeqCst)
+    }
+
+    /// Live (reserved, not yet GTS-published) window size — the ATR
+    /// occupancy metric.
+    pub(crate) fn occupancy(&self) -> u64 {
+        self.next_cts().saturating_sub(1 + self.gts())
+    }
+
+    /// One CAS attempt to reserve `n` consecutive timestamps at
+    /// `expected`, decided by [`csmv::steps::reserve_outcome`].
+    pub(crate) fn try_reserve(&self, expected: u64, n: u64) -> ReserveOutcome {
+        let observed = match self.next_cts.compare_exchange(
+            expected,
+            expected + n,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        };
+        steps::reserve_outcome(observed, expected)
+    }
+
+    /// Publish the write-set of commit `cts` into its ring slot.
+    pub(crate) fn insert(&self, cts: u64, ws: &[u64]) {
+        debug_assert!(
+            ws.len() <= self.max_ws,
+            "write-set exceeds ATR entry capacity"
+        );
+        let slot = (cts % self.capacity) as usize;
+        let _serialize = self.slot_locks[slot].lock();
+        let current = self.tags[slot].load(Ordering::SeqCst);
+        if current != WRITING && current > cts {
+            // A newer lap already owns the slot; our entry is dead anyway
+            // (every snapshot that could need it is out of the window).
+            return;
+        }
+        self.tags[slot].store(WRITING, Ordering::SeqCst);
+        let n = ws.len().min(self.max_ws);
+        self.lens[slot].store(n as u64, Ordering::SeqCst);
+        for (k, &item) in ws.iter().take(n).enumerate() {
+            self.items[slot * self.max_ws + k].store(item, Ordering::SeqCst);
+        }
+        self.tags[slot].store(cts, Ordering::SeqCst);
+    }
+
+    /// Seqlock read of entry `cts`, classified through
+    /// [`csmv::steps::classify_tag`].
+    pub(crate) fn read_entry(&self, cts: u64) -> EntryRead {
+        let slot = (cts % self.capacity) as usize;
+        let tag = self.tags[slot].load(Ordering::SeqCst);
+        if tag == WRITING {
+            return EntryRead::InFlight;
+        }
+        match steps::classify_tag(tag, cts) {
+            TagState::InFlight => EntryRead::InFlight,
+            TagState::Recycled => EntryRead::Recycled,
+            TagState::Published => {
+                let n = (self.lens[slot].load(Ordering::SeqCst) as usize).min(self.max_ws);
+                let items = (0..n)
+                    .map(|k| self.items[slot * self.max_ws + k].load(Ordering::SeqCst))
+                    .collect();
+                // Seqlock double-check: discard the copy if the slot moved
+                // on while we were reading it.
+                if self.tags[slot].load(Ordering::SeqCst) == cts {
+                    EntryRead::Published(items)
+                } else {
+                    EntryRead::Recycled
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_protocol_origin() {
+        let atr = NativeAtr::new(8, 4);
+        assert_eq!(atr.gts(), 0);
+        assert_eq!(atr.next_cts(), 1);
+        assert_eq!(atr.occupancy(), 0);
+        assert_eq!(atr.capacity(), 8);
+    }
+
+    #[test]
+    fn reserve_is_cas_over_next_cts() {
+        let atr = NativeAtr::new(8, 4);
+        assert_eq!(atr.try_reserve(1, 3), ReserveOutcome::Won { base: 1 });
+        assert_eq!(atr.try_reserve(1, 1), ReserveOutcome::Lost { target: 4 });
+        assert_eq!(atr.try_reserve(4, 1), ReserveOutcome::Won { base: 4 });
+        assert_eq!(atr.next_cts(), 5);
+        assert_eq!(atr.occupancy(), 4);
+    }
+
+    #[test]
+    fn insert_then_read_round_trips() {
+        let atr = NativeAtr::new(8, 4);
+        assert_eq!(atr.read_entry(1), EntryRead::InFlight); // reserved-not-inserted look
+        atr.insert(1, &[10, 20]);
+        assert_eq!(atr.read_entry(1), EntryRead::Published(vec![10, 20]));
+    }
+
+    #[test]
+    fn recycled_laps_classify_as_recycled() {
+        let atr = NativeAtr::new(4, 2);
+        atr.insert(1, &[7]);
+        atr.insert(5, &[9]); // same slot, next lap
+        assert_eq!(atr.read_entry(1), EntryRead::Recycled);
+        assert_eq!(atr.read_entry(5), EntryRead::Published(vec![9]));
+        // A late stale insert must not shadow the live lap.
+        atr.insert(1, &[7]);
+        assert_eq!(atr.read_entry(5), EntryRead::Published(vec![9]));
+    }
+
+    #[test]
+    fn gts_publication_round_trips() {
+        let atr = NativeAtr::new(4, 2);
+        atr.publish_gts(3);
+        assert_eq!(atr.gts(), 3);
+    }
+}

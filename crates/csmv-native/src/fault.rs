@@ -1,0 +1,185 @@
+//! Deterministic fault injection for the native backend.
+//!
+//! Mirrors the simulator's `gpu_sim::fault` philosophy: every decision is a
+//! pure hash of `(seed, kind, actor, seq, attempt)`, so a fault plan is
+//! reproducible even though native thread interleavings are not. Faults are
+//! *bounded by construction*: a request is never dropped past attempt
+//! [`NativeFaultPlan::MAX_FAULTED_ATTEMPTS`] and a response is never
+//! dropped past its second resend, so any client that keeps retrying with
+//! a timeout converges in a bounded number of attempts (the recovery
+//! invariant the fault proptests lean on). Server kills are the exception:
+//! they are permanent, and clients fail over to clean terminal aborts
+//! (`ServerUnavailable` / `ServerTimeout`).
+
+/// Kill one commit-server thread after it has handled a number of batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillServer {
+    /// Which server thread dies (index into the server pool).
+    pub server: usize,
+    /// Batches the server handles before exiting. The server always
+    /// finishes (and answers) every request it has already dequeued, so a
+    /// kill never leaks a granted-but-unanswered reservation.
+    pub after_batches: u64,
+}
+
+/// What to inject. All-zero (the default) injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeFaultSpec {
+    /// Percent of request sends that vanish in flight (0–100).
+    pub drop_req_pct: u8,
+    /// Percent of response sends that vanish in flight (0–100).
+    pub drop_resp_pct: u8,
+    /// Optionally kill one server mid-run.
+    pub kill_server: Option<KillServer>,
+}
+
+impl NativeFaultSpec {
+    /// True when the spec injects anything at all.
+    pub fn armed(&self) -> bool {
+        self.drop_req_pct > 0 || self.drop_resp_pct > 0 || self.kill_server.is_some()
+    }
+}
+
+/// A seeded, deterministic fault plan consulted at every send site.
+#[derive(Debug, Clone)]
+pub struct NativeFaultPlan {
+    seed: u64,
+    spec: NativeFaultSpec,
+}
+
+impl NativeFaultPlan {
+    /// Requests are only ever dropped on the first attempts; attempt
+    /// numbers above this always go through, bounding recovery.
+    pub const MAX_FAULTED_ATTEMPTS: u32 = 2;
+
+    /// Build a plan from a seed and a spec.
+    pub fn new(seed: u64, spec: NativeFaultSpec) -> Self {
+        Self { seed, spec }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &NativeFaultSpec {
+        &self.spec
+    }
+
+    /// Should this request send (1-based `attempt`) be dropped?
+    pub fn drop_request(&self, client: usize, seq: u64, attempt: u32) -> bool {
+        if self.spec.drop_req_pct == 0 || attempt > Self::MAX_FAULTED_ATTEMPTS {
+            return false;
+        }
+        pct_hit(
+            mix(self.seed ^ 0x5eed_0001, client as u64, seq, attempt as u64),
+            self.spec.drop_req_pct,
+        )
+    }
+
+    /// Should this response send be dropped? `resend` counts how many
+    /// times the server has already answered this `(client, seq)` batch;
+    /// from the second resend on, responses always go through.
+    pub fn drop_response(&self, client: usize, seq: u64, resend: u32) -> bool {
+        if self.spec.drop_resp_pct == 0 || resend >= 2 {
+            return false;
+        }
+        pct_hit(
+            mix(self.seed ^ 0x5eed_0002, client as u64, seq, resend as u64),
+            self.spec.drop_resp_pct,
+        )
+    }
+
+    /// Has server `server` reached its kill point?
+    pub fn server_killed(&self, server: usize, batches_handled: u64) -> bool {
+        self.spec
+            .kill_server
+            .is_some_and(|k| k.server == server && batches_handled >= k.after_batches)
+    }
+}
+
+/// SplitMix64 finalizer: the same deterministic mixer the simulator's
+/// fault plans use for per-decision hashes.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    mix64(seed.wrapping_add(mix64(a ^ mix64(b ^ mix64(c)))))
+}
+
+fn pct_hit(hash: u64, pct: u8) -> bool {
+    (hash % 100) < pct.min(100) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_inert() {
+        let plan = NativeFaultPlan::new(7, NativeFaultSpec::default());
+        assert!(!plan.spec().armed());
+        for seq in 0..100 {
+            assert!(!plan.drop_request(0, seq, 1));
+            assert!(!plan.drop_response(0, seq, 0));
+        }
+        assert!(!plan.server_killed(0, u64::MAX));
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let spec = NativeFaultSpec {
+            drop_req_pct: 50,
+            drop_resp_pct: 50,
+            kill_server: None,
+        };
+        let a = NativeFaultPlan::new(42, spec);
+        let b = NativeFaultPlan::new(42, spec);
+        for seq in 1..200 {
+            assert_eq!(a.drop_request(3, seq, 1), b.drop_request(3, seq, 1));
+            assert_eq!(a.drop_response(3, seq, 1), b.drop_response(3, seq, 1));
+        }
+    }
+
+    #[test]
+    fn full_drop_rate_actually_drops() {
+        let spec = NativeFaultSpec {
+            drop_req_pct: 100,
+            drop_resp_pct: 100,
+            kill_server: None,
+        };
+        let plan = NativeFaultPlan::new(1, spec);
+        assert!(plan.drop_request(0, 1, 1));
+        assert!(plan.drop_response(0, 1, 0));
+    }
+
+    #[test]
+    fn drops_are_bounded_by_attempt() {
+        let spec = NativeFaultSpec {
+            drop_req_pct: 100,
+            drop_resp_pct: 100,
+            kill_server: None,
+        };
+        let plan = NativeFaultPlan::new(99, spec);
+        for seq in 1..100 {
+            assert!(!plan.drop_request(1, seq, NativeFaultPlan::MAX_FAULTED_ATTEMPTS + 1));
+            assert!(!plan.drop_response(1, seq, 2));
+        }
+    }
+
+    #[test]
+    fn kill_targets_one_server_after_threshold() {
+        let spec = NativeFaultSpec {
+            kill_server: Some(KillServer {
+                server: 1,
+                after_batches: 5,
+            }),
+            ..Default::default()
+        };
+        let plan = NativeFaultPlan::new(0, spec);
+        assert!(spec.armed());
+        assert!(!plan.server_killed(1, 4));
+        assert!(plan.server_killed(1, 5));
+        assert!(!plan.server_killed(0, 100));
+    }
+}

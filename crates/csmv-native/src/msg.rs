@@ -1,0 +1,60 @@
+//! Message types exchanged between native client workers and commit
+//! servers.
+//!
+//! The channel topology mirrors the simulator's mailbox protocol: each
+//! worker owns a private unbounded response channel whose sender rides
+//! along inside every request, and each server owns one bounded request
+//! channel shared by the workers hash-partitioned onto it. Requests carry
+//! a per-client batch sequence number so servers can suppress recovery
+//! resends exactly like the simulated receiver warp does
+//! ([`csmv::steps::is_duplicate_batch`]).
+
+use std::sync::mpsc::Sender;
+
+use stm_core::metrics::AbortReason;
+
+/// One transaction's commit submission: its snapshot and footprint.
+#[derive(Debug, Clone)]
+pub(crate) struct TxSubmit {
+    /// GTS value the transaction executed against.
+    pub snapshot: u64,
+    /// Read-set items (deduplicated, order irrelevant).
+    pub rs: Vec<u64>,
+    /// Write-set items (the ATR entry payload).
+    pub ws: Vec<u64>,
+}
+
+/// A batched commit request from one client worker.
+#[derive(Debug, Clone)]
+pub(crate) struct CommitRequest {
+    /// Originating worker id (the server's duplicate-suppression key).
+    pub client: usize,
+    /// Per-client batch sequence number, starting at 1; resends reuse it.
+    pub seq: u64,
+    /// The batch, in submission order; verdicts come back in the same
+    /// order.
+    pub txs: Vec<TxSubmit>,
+    /// Where to deliver the response.
+    pub resp: Sender<CommitResponse>,
+}
+
+/// Per-transaction commit verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Validation passed; the transaction owns this commit timestamp and
+    /// must write back when its GTS turn arrives.
+    Granted { cts: u64 },
+    /// Validation failed for this reason; nothing was reserved.
+    Rejected { reason: AbortReason },
+}
+
+/// A server's answer to a [`CommitRequest`]. The echoed `seq` certifies
+/// which batch the verdicts belong to ([`csmv::steps::response_certified`]);
+/// stale responses from earlier resends are discarded by the client.
+#[derive(Debug, Clone)]
+pub(crate) struct CommitResponse {
+    /// Echo of the request's batch sequence number.
+    pub seq: u64,
+    /// One verdict per submitted transaction, in submission order.
+    pub verdicts: Vec<Verdict>,
+}

@@ -1,0 +1,269 @@
+//! A native commit-server thread: the validation/reservation half of the
+//! CSMV protocol, one OS thread per server, clients hash-partitioned onto
+//! servers.
+//!
+//! The server loop is a direct transliteration of the simulated
+//! receiver/worker warps in `csmv::server`: drain the bounded request
+//! channel, suppress duplicate batches ([`csmv::steps::is_duplicate_batch`]),
+//! validate every transaction's footprint against the ATR window
+//! ([`csmv::steps::footprint_conflicts`] / [`csmv::steps::snapshot_in_window`]),
+//! reserve dense commit timestamps with a single CAS
+//! ([`csmv::steps::reserve_outcome`] via [`NativeAtr::try_reserve`]), insert
+//! the ATR entries, and respond. Write-back is the *client's* job, exactly
+//! as in the paper.
+//!
+//! Nothing in this module may panic: the `xtask` `no-panic-in-server-path`
+//! lint covers every `impl NativeServer` block.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csmv::steps::{self, ReserveOutcome};
+use stm_core::metrics::{AbortReason, FaultEvent, MetricsReport};
+
+use crate::atr::{EntryRead, NativeAtr};
+use crate::fault::NativeFaultPlan;
+use crate::msg::{CommitRequest, CommitResponse, Verdict};
+
+/// How long a server blocks on its request channel before re-checking the
+/// run deadline.
+const RECV_SLICE: Duration = Duration::from_millis(20);
+
+/// Per-client duplicate-suppression state: the last accepted batch seq,
+/// its stored response, and how many times it was re-sent.
+struct ClientSlot {
+    last_seq: u64,
+    last_resp: CommitResponse,
+    resends: u32,
+}
+
+pub(crate) struct NativeServer {
+    id: usize,
+    atr: Arc<NativeAtr>,
+    rx: Receiver<CommitRequest>,
+    faults: Option<NativeFaultPlan>,
+    deadline: Instant,
+    start: Instant,
+    clients: HashMap<usize, ClientSlot>,
+    batches_handled: u64,
+    metrics: MetricsReport,
+}
+
+impl NativeServer {
+    pub(crate) fn new(
+        id: usize,
+        atr: Arc<NativeAtr>,
+        rx: Receiver<CommitRequest>,
+        faults: Option<NativeFaultPlan>,
+        deadline: Instant,
+        start: Instant,
+    ) -> Self {
+        Self {
+            id,
+            atr,
+            rx,
+            faults,
+            deadline,
+            start,
+            clients: HashMap::new(),
+            batches_handled: 0,
+            metrics: MetricsReport::default(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Serve until every client's request sender is dropped, the injected
+    /// kill point is reached, or the run deadline passes. Every request
+    /// that was dequeued is fully handled (and answered, fault plan
+    /// permitting) before the loop re-checks exit conditions, so a kill
+    /// never leaks a granted-but-unanswered reservation.
+    pub(crate) fn run(mut self) -> MetricsReport {
+        loop {
+            let killed = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.server_killed(self.id, self.batches_handled));
+            if killed || Instant::now() >= self.deadline {
+                break;
+            }
+            match self.rx.recv_timeout(RECV_SLICE) {
+                Ok(req) => self.handle(req),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.metrics
+    }
+
+    fn handle(&mut self, req: CommitRequest) {
+        self.batches_handled += 1;
+        let last_seq = self.clients.get(&req.client).map_or(0, |c| c.last_seq);
+        if steps::is_duplicate_batch(req.seq, last_seq) {
+            self.resend(&req);
+            return;
+        }
+        let verdicts = self.validate_and_reserve(&req.txs);
+        let resp = CommitResponse {
+            seq: req.seq,
+            verdicts,
+        };
+        let drop = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.drop_response(req.client, req.seq, 0));
+        self.clients.insert(
+            req.client,
+            ClientSlot {
+                last_seq: req.seq,
+                last_resp: resp.clone(),
+                resends: 0,
+            },
+        );
+        if !drop {
+            // A send error means the worker already exited (deadline);
+            // nothing to do — the reservation was inserted and published
+            // state stays consistent.
+            let _ = req.resp.send(resp);
+        }
+    }
+
+    /// A recovery resend of an already-processed batch: suppress it and
+    /// replay the stored response (at-most-once batch processing).
+    fn resend(&mut self, req: &CommitRequest) {
+        let now = self.now_ns();
+        self.metrics
+            .record_fault(FaultEvent::DuplicateSuppressed, now);
+        if let Some(slot) = self.clients.get_mut(&req.client) {
+            slot.resends += 1;
+            let drop = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.drop_response(req.client, req.seq, slot.resends));
+            if !drop {
+                let _ = req.resp.send(slot.last_resp.clone());
+            }
+        }
+    }
+
+    /// Validate a batch against the ATR and reserve timestamps for the
+    /// survivors. Returns one verdict per transaction, in order.
+    fn validate_and_reserve(&mut self, txs: &[crate::msg::TxSubmit]) -> Vec<Verdict> {
+        let n = txs.len();
+        let mut verdicts: Vec<Option<Verdict>> = vec![None; n];
+        // Next cts each transaction still has to validate against.
+        let mut validated_to: Vec<u64> = txs.iter().map(|t| t.snapshot + 1).collect();
+        // Entries read once per request, shared by all its transactions.
+        let mut cache: HashMap<u64, Option<Vec<u64>>> = HashMap::new();
+        loop {
+            let expected = self.atr.next_cts();
+            for i in 0..n {
+                if verdicts[i].is_some() {
+                    continue;
+                }
+                let t = &txs[i];
+                if !steps::snapshot_in_window(t.snapshot, expected, self.atr.capacity()) {
+                    verdicts[i] = Some(Verdict::Rejected {
+                        reason: AbortReason::AtrWindowOverflow,
+                    });
+                    continue;
+                }
+                let mut entries: Vec<(u64, Vec<u64>)> = Vec::new();
+                while validated_to[i] < expected {
+                    let c = validated_to[i];
+                    let entry = match cache.get(&c) {
+                        Some(e) => e.clone(),
+                        None => {
+                            let e = self.read_entry_blocking(c);
+                            cache.insert(c, e.clone());
+                            e
+                        }
+                    };
+                    match entry {
+                        Some(items) => entries.push((c, items)),
+                        None => {
+                            // Recycled mid-validation (or deadline hit):
+                            // the window closed on this snapshot.
+                            verdicts[i] = Some(Verdict::Rejected {
+                                reason: AbortReason::AtrWindowOverflow,
+                            });
+                            break;
+                        }
+                    }
+                    validated_to[i] += 1;
+                }
+                if verdicts[i].is_none()
+                    && steps::footprint_conflicts(t.rs.iter().chain(t.ws.iter()).copied(), &entries)
+                {
+                    verdicts[i] = Some(Verdict::Rejected {
+                        reason: AbortReason::ReadValidation,
+                    });
+                }
+            }
+            let live: Vec<usize> = (0..n).filter(|&i| verdicts[i].is_none()).collect();
+            if live.is_empty() {
+                break;
+            }
+            match self.atr.try_reserve(expected, live.len() as u64) {
+                ReserveOutcome::Won { base } => {
+                    for (k, &i) in live.iter().enumerate() {
+                        let cts = base + k as u64;
+                        self.atr.insert(cts, &txs[i].ws);
+                        verdicts[i] = Some(Verdict::Granted { cts });
+                    }
+                    self.metrics.batch_sizes.record(n as u64);
+                    let now = self.now_ns();
+                    self.metrics.atr_occupancy.push(now, self.atr.occupancy());
+                    break;
+                }
+                // Entries [expected, target) appeared concurrently; loop
+                // around and validate the delta before retrying the CAS.
+                ReserveOutcome::Lost { .. } => continue,
+            }
+        }
+        verdicts
+            .into_iter()
+            .map(|v| match v {
+                Some(v) => v,
+                // Unreachable by construction (the loop only exits with
+                // every verdict filled); fail safe rather than panic.
+                None => Verdict::Rejected {
+                    reason: AbortReason::AtrWindowOverflow,
+                },
+            })
+            .collect()
+    }
+
+    /// Read one ATR entry, polling while its inserter is in flight. `None`
+    /// means recycled (or the run deadline passed while polling).
+    fn read_entry_blocking(&self, cts: u64) -> Option<Vec<u64>> {
+        let mut spins: u32 = 0;
+        loop {
+            match self.atr.read_entry(cts) {
+                EntryRead::Published(items) => return Some(items),
+                EntryRead::Recycled => return None,
+                EntryRead::InFlight => {
+                    // The inserter is between its CAS and its publish —
+                    // a few instructions, unless it was descheduled. Wait
+                    // adaptively so an oversubscribed host gets the
+                    // inserter scheduled instead of burning its quantum.
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else if spins < 1024 {
+                        std::thread::yield_now();
+                    } else {
+                        if Instant::now() >= self.deadline {
+                            return None;
+                        }
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }
+        }
+    }
+}

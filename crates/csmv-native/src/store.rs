@@ -1,0 +1,182 @@
+//! The native multi-versioned store: per-item bounded version rings over
+//! real atomics.
+//!
+//! Layout mirrors the simulator's `stm_core::vbox` packing — each version
+//! is one `AtomicU64` packing `(cts << 32) | value` so a version can never
+//! tear — with a per-item head index pointing at the newest slot.
+//!
+//! ## Why the lock-free walk is sound
+//!
+//! Write-backs are serialized *globally* by GTS turn-taking (only the
+//! batch whose turn it is writes back, and it acquires the previous
+//! batch's stores through its `Acquire` GTS spin), so there is exactly one
+//! writer at a time and `publish` needs no CAS. Readers walk newest →
+//! oldest from a head snapshot. Every concurrently written version carries
+//! a cts strictly greater than any active reader's snapshot (the snapshot
+//! was a GTS value published *before* the writer's turn), so a reader can
+//! only ever accept a version written before its snapshot; and because the
+//! ring recycles oldest-first, any version recycled out from under a
+//! reader implies every older version was recycled first — the reader then
+//! sees only too-new timestamps and fails with a (safe, spurious)
+//! `VersionOverflow` instead of accepting a stale value.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for a never-written version slot.
+const EMPTY: u64 = u64::MAX;
+
+#[inline]
+fn pack(ts: u64, value: u64) -> u64 {
+    debug_assert!(ts < u32::MAX as u64, "commit timestamp must fit 32 bits");
+    debug_assert!(value <= u32::MAX as u64, "value must fit 32 bits");
+    (ts << 32) | value
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u64) {
+    (word >> 32, word & u32::MAX as u64)
+}
+
+/// The shared heap: `num_items` items × `versions_per_box` packed
+/// versions.
+pub struct NativeStore {
+    versions_per_box: usize,
+    /// Ring index of the newest version, per item.
+    heads: Vec<AtomicU64>,
+    /// `item * versions_per_box + slot` → packed `(cts, value)`.
+    slots: Vec<AtomicU64>,
+}
+
+impl NativeStore {
+    /// Build a store with every item holding one initial version at ts 0.
+    pub fn new(
+        num_items: u64,
+        versions_per_box: usize,
+        mut initial: impl FnMut(u64) -> u64,
+    ) -> Self {
+        let n = num_items as usize;
+        let mut heads = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n * versions_per_box);
+        for i in 0..n {
+            slots.push(AtomicU64::new(pack(0, initial(i as u64))));
+            for _ in 1..versions_per_box {
+                slots.push(AtomicU64::new(EMPTY));
+            }
+            heads.push(AtomicU64::new(0));
+        }
+        Self {
+            versions_per_box,
+            heads,
+            slots,
+        }
+    }
+
+    /// Number of items in the heap.
+    #[cfg(test)]
+    pub fn num_items(&self) -> u64 {
+        self.heads.len() as u64
+    }
+
+    /// Newest committed value with `cts <= snapshot`, or `None` when the
+    /// version rolled out of the ring (the `VersionOverflow` abort).
+    pub fn read_at(&self, item: u64, snapshot: u64) -> Option<u64> {
+        let vpb = self.versions_per_box;
+        let base = item as usize * vpb;
+        let head = self.heads[item as usize].load(Ordering::Acquire) as usize;
+        for k in 0..vpb {
+            let slot = (head + vpb - k) % vpb;
+            let word = self.slots[base + slot].load(Ordering::Acquire);
+            if word == EMPTY {
+                // Walked past the oldest version ever written.
+                return None;
+            }
+            let (ts, value) = unpack(word);
+            if ts <= snapshot {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// Publish one version. Callers must hold the GTS write-back turn (see
+    /// the module docs); the slot store is `Release` so the subsequent GTS
+    /// publication makes it visible to every later snapshot.
+    pub fn publish(&self, item: u64, cts: u64, value: u64) {
+        let vpb = self.versions_per_box;
+        let base = item as usize * vpb;
+        let head = self.heads[item as usize].load(Ordering::Relaxed) as usize;
+        let next = (head + 1) % vpb;
+        self.slots[base + next].store(pack(cts, value), Ordering::Release);
+        self.heads[item as usize].store(next as u64, Ordering::Release);
+    }
+
+    /// The newest committed value of every item — the run's final state.
+    /// Only meaningful once all workers have joined.
+    pub fn final_state(&self) -> HashMap<u64, u64> {
+        let vpb = self.versions_per_box;
+        let mut out = HashMap::with_capacity(self.heads.len());
+        for i in 0..self.heads.len() {
+            let head = self.heads[i].load(Ordering::Acquire) as usize;
+            let word = self.slots[i * vpb + head].load(Ordering::Acquire);
+            debug_assert_ne!(word, EMPTY, "head slot must hold a version");
+            let (_, value) = unpack(word);
+            out.insert(i as u64, value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_versions_at_ts_zero() {
+        let s = NativeStore::new(4, 3, |i| 10 + i);
+        for i in 0..4 {
+            assert_eq!(s.read_at(i, 0), Some(10 + i));
+            assert_eq!(s.read_at(i, 99), Some(10 + i));
+        }
+        assert_eq!(s.num_items(), 4);
+    }
+
+    #[test]
+    fn snapshot_reads_walk_back() {
+        let s = NativeStore::new(1, 4, |_| 0);
+        s.publish(0, 1, 100);
+        s.publish(0, 3, 300);
+        assert_eq!(s.read_at(0, 0), Some(0));
+        assert_eq!(s.read_at(0, 1), Some(100));
+        assert_eq!(s.read_at(0, 2), Some(100));
+        assert_eq!(s.read_at(0, 3), Some(300));
+        assert_eq!(s.read_at(0, u32::MAX as u64 - 1), Some(300));
+    }
+
+    #[test]
+    fn ring_overflow_reports_none() {
+        let s = NativeStore::new(1, 2, |_| 0);
+        s.publish(0, 5, 1);
+        s.publish(0, 6, 2);
+        // Versions at ts 0 and 5 are gone; snapshot 4 can't be served.
+        assert_eq!(s.read_at(0, 4), None);
+        assert_eq!(s.read_at(0, 5), Some(1));
+        assert_eq!(s.read_at(0, 6), Some(2));
+    }
+
+    #[test]
+    fn final_state_is_newest_versions() {
+        let s = NativeStore::new(3, 2, |i| i);
+        s.publish(1, 7, 42);
+        let fs = s.final_state();
+        assert_eq!(fs[&0], 0);
+        assert_eq!(fs[&1], 42);
+        assert_eq!(fs[&2], 2);
+    }
+
+    #[test]
+    fn values_up_to_u32_max_round_trip() {
+        let s = NativeStore::new(1, 2, |_| u32::MAX as u64);
+        assert_eq!(s.read_at(0, 0), Some(u32::MAX as u64));
+    }
+}

@@ -1,0 +1,536 @@
+//! A native client worker thread: executes transactions against the
+//! multi-versioned store, pre-validates its own batch, submits it to its
+//! commit server, and performs the write-back when its GTS turn arrives —
+//! the client half of the CSMV protocol, on one OS thread per worker.
+//!
+//! Every protocol decision goes through the pure [`csmv::steps`]
+//! functions: intra-batch pre-validation ([`csmv::steps::preval_losers`]),
+//! response certification ([`csmv::steps::response_certified`]), batch
+//! windows ([`csmv::steps::batch_window`] / [`csmv::steps::window_is_dense`])
+//! and GTS turn-taking ([`csmv::steps::gts_turn_reached`] /
+//! [`csmv::steps::gts_publish_value`]).
+//!
+//! Recovery follows `stm_core::recovery::RetryPolicy`; its cycle-valued
+//! fields (`resp_timeout`, backoff) are interpreted as **microseconds** on
+//! the native backend (a simulated cycle is sub-nanosecond — far below OS
+//! scheduling granularity). Latency samples recorded into the metrics
+//! report are **nanoseconds**.
+//!
+//! Nothing in this module may panic: the `xtask` `no-panic-in-server-path`
+//! lint covers every `impl NativeWorker` block.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use csmv::steps;
+use stm_core::history::TxRecord;
+use stm_core::metrics::{AbortReason, FaultEvent, MetricsReport};
+use stm_core::stats::CommitStats;
+use stm_core::{RetryPolicy, TxLogic, TxOp, TxSource};
+
+use crate::atr::NativeAtr;
+use crate::fault::NativeFaultPlan;
+use crate::msg::{CommitRequest, CommitResponse, TxSubmit, Verdict};
+use crate::store::NativeStore;
+
+/// Response-wait slice when the retry policy disables timeouts: long
+/// enough that a healthy server never triggers a resend, short enough to
+/// notice the run deadline.
+const INERT_WAIT_SLICE: Duration = Duration::from_millis(100);
+
+/// What one worker hands back to the harness when it joins.
+pub(crate) struct WorkerOutput {
+    pub stats: CommitStats,
+    pub records: Vec<TxRecord>,
+    pub metrics: MetricsReport,
+}
+
+/// A transaction waiting to run (or re-run after an abort).
+struct Pending<T> {
+    tx: T,
+    attempts: u32,
+    attempt_start: Instant,
+}
+
+/// A fully executed update transaction, ready to submit.
+struct Executed {
+    /// `(item, value)` pairs actually read from shared state, in order.
+    reads: Vec<(u64, u64)>,
+    /// Deduplicated read-set items (the validation footprint).
+    rs: Vec<u64>,
+    /// `(item, value)` write-set, last write per item.
+    ws: Vec<(u64, u64)>,
+}
+
+enum Exec {
+    /// Read-only: consistent by construction at its snapshot.
+    ReadOnly { reads: Vec<(u64, u64)> },
+    /// An update transaction ready for commit.
+    Update(Executed),
+    /// A version rolled out of the store ring mid-execution.
+    Overflow,
+}
+
+enum BatchOutcome {
+    /// Certified verdicts, one per submitted transaction.
+    Verdicts(Vec<Verdict>),
+    /// The whole batch failed terminally for this reason.
+    Terminal(AbortReason),
+    /// The run deadline passed while waiting; nothing was written back.
+    Abandoned,
+}
+
+pub(crate) struct NativeWorker {
+    id: usize,
+    store: Arc<NativeStore>,
+    atr: Arc<NativeAtr>,
+    req_tx: SyncSender<CommitRequest>,
+    resp_tx: Sender<CommitResponse>,
+    resp_rx: Receiver<CommitResponse>,
+    policy: RetryPolicy,
+    faults: Option<NativeFaultPlan>,
+    deadline: Instant,
+    start: Instant,
+    max_batch: usize,
+    record_history: bool,
+    seq: u64,
+    server_dead: bool,
+    stats: CommitStats,
+    records: Vec<TxRecord>,
+    metrics: MetricsReport,
+}
+
+impl NativeWorker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        store: Arc<NativeStore>,
+        atr: Arc<NativeAtr>,
+        req_tx: SyncSender<CommitRequest>,
+        resp_tx: Sender<CommitResponse>,
+        resp_rx: Receiver<CommitResponse>,
+        policy: RetryPolicy,
+        faults: Option<NativeFaultPlan>,
+        deadline: Instant,
+        start: Instant,
+        max_batch: usize,
+        record_history: bool,
+    ) -> Self {
+        Self {
+            id,
+            store,
+            atr,
+            req_tx,
+            resp_tx,
+            resp_rx,
+            policy,
+            faults,
+            deadline,
+            start,
+            max_batch,
+            record_history,
+            seq: 0,
+            server_dead: false,
+            stats: CommitStats::default(),
+            records: Vec::new(),
+            metrics: MetricsReport::default(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Drain the source to completion (or the run deadline), committing
+    /// through the server in batches of up to `max_batch`.
+    pub(crate) fn run<S: TxSource>(mut self, mut source: S) -> WorkerOutput {
+        let mut pending: VecDeque<Pending<S::Tx>> = VecDeque::new();
+        let mut exhausted = false;
+        loop {
+            while pending.len() < self.max_batch && !exhausted {
+                match source.next_tx() {
+                    Some(tx) => {
+                        pending.push_back(Pending {
+                            tx,
+                            attempts: 0,
+                            attempt_start: Instant::now(),
+                        });
+                    }
+                    None => exhausted = true,
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+            if Instant::now() >= self.deadline {
+                // Watchdog: fail what's left cleanly instead of hanging.
+                for p in pending.drain(..) {
+                    self.fail(&p, AbortReason::ServerTimeout);
+                }
+                // Anything still in the source is terminally failed too,
+                // so commits + failed always accounts for every
+                // transaction the source would have produced.
+                while let Some(tx) = source.next_tx() {
+                    self.fail(
+                        &Pending {
+                            tx,
+                            attempts: 0,
+                            attempt_start: Instant::now(),
+                        },
+                        AbortReason::ServerTimeout,
+                    );
+                }
+                break;
+            }
+            self.round(&mut pending);
+        }
+        WorkerOutput {
+            stats: self.stats,
+            records: self.records,
+            metrics: self.metrics,
+        }
+    }
+
+    /// One round: execute everything pending at a single snapshot,
+    /// pre-validate the batch, submit the survivors, write back the
+    /// granted window.
+    fn round<T: TxLogic>(&mut self, pending: &mut VecDeque<Pending<T>>) {
+        let snapshot = self.atr.gts();
+        let batch: Vec<Pending<T>> = pending.drain(..).collect();
+        let mut retry: Vec<Pending<T>> = Vec::new();
+        let mut execs: Vec<(Pending<T>, Executed)> = Vec::new();
+        for mut p in batch {
+            if p.attempts > 0 {
+                p.tx.reset();
+            }
+            p.attempt_start = Instant::now();
+            match self.execute(&mut p.tx, snapshot) {
+                Exec::ReadOnly { reads } => self.commit_rot(&p, snapshot, reads),
+                Exec::Update(ex) => execs.push((p, ex)),
+                Exec::Overflow => {
+                    if self.abort_retriable(&mut p, AbortReason::VersionOverflow) {
+                        retry.push(p);
+                    }
+                }
+            }
+        }
+
+        // Intra-batch pre-validation: the native analogue of the
+        // simulator's intra-warp broadcast round, over the same pure step.
+        let n = execs.len();
+        debug_assert!(n <= 32, "max_batch must be <= 32");
+        let committing: u32 = if n == 0 {
+            0
+        } else {
+            u32::MAX >> (u32::BITS as usize - n)
+        };
+        let mut losers: u32 = 0;
+        for b in 0..n {
+            if losers & (1 << b) != 0 {
+                continue;
+            }
+            let ws_items: Vec<u64> = execs[b].1.ws.iter().map(|&(i, _)| i).collect();
+            losers |= steps::preval_losers(b, &ws_items, committing & !losers, |j, item| {
+                let e = &execs[j].1;
+                e.rs.contains(&item) || e.ws.iter().any(|&(i, _)| i == item)
+            });
+        }
+        let mut survivors: Vec<(Pending<T>, Executed)> = Vec::new();
+        for (k, (mut p, ex)) in execs.into_iter().enumerate() {
+            if losers & (1 << k) != 0 {
+                if self.abort_retriable(&mut p, AbortReason::PreValidationKill) {
+                    retry.push(p);
+                }
+            } else {
+                survivors.push((p, ex));
+            }
+        }
+
+        if !survivors.is_empty() {
+            self.commit_batch(snapshot, survivors, &mut retry);
+        }
+        pending.extend(retry);
+    }
+
+    /// Execute one transaction body at `snapshot` against the store.
+    fn execute<T: TxLogic>(&self, tx: &mut T, snapshot: u64) -> Exec {
+        let mut reads: Vec<(u64, u64)> = Vec::new();
+        let mut ws: Vec<(u64, u64)> = Vec::new();
+        let mut last: Option<u64> = None;
+        loop {
+            match tx.next(last) {
+                TxOp::Read { item } => {
+                    if let Some(&(_, v)) = ws.iter().find(|&&(i, _)| i == item) {
+                        // Read-own-write: served from the private buffer,
+                        // excluded from the recorded reads (it never
+                        // touched shared state).
+                        last = Some(v);
+                    } else {
+                        match self.store.read_at(item, snapshot) {
+                            Some(v) => {
+                                reads.push((item, v));
+                                last = Some(v);
+                            }
+                            None => return Exec::Overflow,
+                        }
+                    }
+                }
+                TxOp::Write { item, value } => {
+                    match ws.iter_mut().find(|(i, _)| *i == item) {
+                        Some(entry) => entry.1 = value,
+                        None => ws.push((item, value)),
+                    }
+                    last = None;
+                }
+                TxOp::Finish => break,
+            }
+        }
+        if ws.is_empty() {
+            Exec::ReadOnly { reads }
+        } else {
+            // The validation footprint, deduplicated in read order. Built
+            // once at the end — never per read, which would be quadratic
+            // in the read count (a full-scan ROT reads every item).
+            let mut seen = std::collections::HashSet::with_capacity(reads.len());
+            let rs: Vec<u64> = reads
+                .iter()
+                .map(|&(i, _)| i)
+                .filter(|&i| seen.insert(i))
+                .collect();
+            Exec::Update(Executed { reads, rs, ws })
+        }
+    }
+
+    /// Submit the surviving batch and, on grant, perform the in-order
+    /// write-back and single GTS publication.
+    fn commit_batch<T: TxLogic>(
+        &mut self,
+        snapshot: u64,
+        survivors: Vec<(Pending<T>, Executed)>,
+        retry: &mut Vec<Pending<T>>,
+    ) {
+        let subs: Vec<TxSubmit> = survivors
+            .iter()
+            .map(|(_, ex)| TxSubmit {
+                snapshot,
+                rs: ex.rs.clone(),
+                ws: ex.ws.iter().map(|&(i, _)| i).collect(),
+            })
+            .collect();
+        match self.submit(&subs) {
+            BatchOutcome::Terminal(reason) => {
+                for (p, _) in &survivors {
+                    self.fail(p, reason);
+                }
+            }
+            BatchOutcome::Abandoned => {
+                for (p, _) in &survivors {
+                    self.fail(p, AbortReason::ServerTimeout);
+                }
+            }
+            BatchOutcome::Verdicts(vs) => {
+                let mut granted: Vec<(Pending<T>, Executed, u64)> = Vec::new();
+                for ((mut p, ex), v) in survivors.into_iter().zip(vs) {
+                    match v {
+                        Verdict::Granted { cts } => granted.push((p, ex, cts)),
+                        Verdict::Rejected { reason } => {
+                            if reason.is_terminal() {
+                                self.fail(&p, reason);
+                            } else if self.abort_retriable(&mut p, reason) {
+                                retry.push(p);
+                            }
+                        }
+                    }
+                }
+                if granted.is_empty() {
+                    return;
+                }
+                let ctss: Vec<u64> = granted.iter().map(|&(_, _, c)| c).collect();
+                let (base, nw) = steps::batch_window(&ctss);
+                debug_assert!(steps::window_is_dense(&ctss));
+                if !self.await_turn(base) {
+                    // Deadline while spinning: nothing was written back,
+                    // so the committed history stays consistent (the GTS
+                    // hole just stalls everyone else until their own
+                    // deadline).
+                    for (p, _, _) in &granted {
+                        self.fail(p, AbortReason::ServerTimeout);
+                    }
+                    return;
+                }
+                granted.sort_by_key(|&(_, _, c)| c);
+                for (_, ex, cts) in &granted {
+                    for &(item, value) in &ex.ws {
+                        self.store.publish(item, *cts, value);
+                    }
+                }
+                self.atr.publish_gts(steps::gts_publish_value(base, nw));
+                for (p, ex, cts) in granted {
+                    let latency = p.attempt_start.elapsed().as_nanos() as u64;
+                    self.stats.update_commits += 1;
+                    self.stats.useful_cycles += latency;
+                    self.metrics.record_commit(latency);
+                    if self.record_history {
+                        self.records.push(TxRecord {
+                            thread: self.id,
+                            read_point: snapshot,
+                            cts: Some(cts),
+                            reads: ex.reads,
+                            writes: ex.ws,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spin until it is `base`'s turn to publish
+    /// ([`csmv::steps::gts_turn_reached`]); false on deadline. The wait is
+    /// adaptive — brief spin, then yield, then short sleeps — so an
+    /// oversubscribed host (fewer cores than threads) hands the CPU to
+    /// whichever client actually holds the earlier turn.
+    fn await_turn(&mut self, base: u64) -> bool {
+        let wait_start = Instant::now();
+        let mut spins: u32 = 0;
+        loop {
+            if steps::gts_turn_reached(self.atr.gts(), base) {
+                let waited = wait_start.elapsed().as_nanos() as u64;
+                self.metrics.gts_stall.push(self.now_ns(), waited);
+                return true;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 1024 {
+                std::thread::yield_now();
+            } else {
+                if Instant::now() >= self.deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// The send / await-response / resend loop for one batch, following
+    /// the retry policy. Responses for older batch seqs are discarded via
+    /// [`csmv::steps::response_certified`].
+    fn submit(&mut self, subs: &[TxSubmit]) -> BatchOutcome {
+        self.seq += 1;
+        let seq = self.seq;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if attempt > self.policy.max_send_attempts {
+                return BatchOutcome::Terminal(AbortReason::ServerTimeout);
+            }
+            if attempt > 1 {
+                let backoff_us = self.policy.backoff_cycles(self.id as u64, seq, attempt - 1);
+                if backoff_us > 0 {
+                    let until =
+                        (Instant::now() + Duration::from_micros(backoff_us)).min(self.deadline);
+                    let now = Instant::now();
+                    if until > now {
+                        std::thread::sleep(until - now);
+                    }
+                }
+                self.metrics.record_fault(FaultEvent::Resend, self.now_ns());
+            }
+            let dropped = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.drop_request(self.id, seq, attempt));
+            if !dropped {
+                let req = CommitRequest {
+                    client: self.id,
+                    seq,
+                    txs: subs.to_vec(),
+                    resp: self.resp_tx.clone(),
+                };
+                if self.req_tx.send(req).is_err() {
+                    if !self.server_dead {
+                        self.server_dead = true;
+                        self.metrics
+                            .record_fault(FaultEvent::Quarantine, self.now_ns());
+                    }
+                    return BatchOutcome::Terminal(AbortReason::ServerUnavailable);
+                }
+            }
+            let timeout = self
+                .policy
+                .resp_timeout
+                .map_or(INERT_WAIT_SLICE, Duration::from_micros);
+            let wait_until = (Instant::now() + timeout).min(self.deadline);
+            loop {
+                let now = Instant::now();
+                if now >= wait_until {
+                    if now >= self.deadline {
+                        return BatchOutcome::Abandoned;
+                    }
+                    self.metrics
+                        .record_fault(FaultEvent::Timeout, self.now_ns());
+                    break; // next send attempt, same seq
+                }
+                match self.resp_rx.recv_timeout(wait_until - now) {
+                    Ok(resp) => {
+                        if steps::response_certified(resp.seq, seq) {
+                            return BatchOutcome::Verdicts(resp.verdicts);
+                        }
+                        // A stale response from an earlier batch's resend.
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return BatchOutcome::Terminal(AbortReason::ServerUnavailable)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commit a read-only transaction: consistent at its snapshot by
+    /// construction, no server round-trip (as in the paper).
+    fn commit_rot<T: TxLogic>(&mut self, p: &Pending<T>, snapshot: u64, reads: Vec<(u64, u64)>) {
+        let latency = p.attempt_start.elapsed().as_nanos() as u64;
+        self.stats.rot_commits += 1;
+        self.stats.useful_cycles += latency;
+        self.metrics.record_commit(latency);
+        if self.record_history {
+            self.records.push(TxRecord {
+                thread: self.id,
+                read_point: snapshot,
+                cts: None,
+                reads,
+                writes: Vec::new(),
+            });
+        }
+    }
+
+    /// Record a retriable abort; returns false (and fails the transaction
+    /// terminally) when the retry budget is exhausted.
+    fn abort_retriable<T: TxLogic>(&mut self, p: &mut Pending<T>, reason: AbortReason) -> bool {
+        let latency = p.attempt_start.elapsed().as_nanos() as u64;
+        if p.tx.is_read_only() {
+            self.stats.rot_aborts += 1;
+        } else {
+            self.stats.update_aborts += 1;
+        }
+        self.stats.wasted_cycles += latency;
+        self.metrics.record_abort(reason, latency);
+        p.attempts += 1;
+        if self.policy.budget_exhausted(p.attempts) {
+            self.fail(p, AbortReason::RetryBudgetExhausted);
+            return false;
+        }
+        true
+    }
+
+    /// Fail a transaction terminally (recovery outcome, never retried).
+    fn fail<T: TxLogic>(&mut self, p: &Pending<T>, reason: AbortReason) {
+        let latency = p.attempt_start.elapsed().as_nanos() as u64;
+        self.stats.failed += 1;
+        self.stats.wasted_cycles += latency;
+        self.metrics.record_abort(reason, latency);
+    }
+}

@@ -1,0 +1,159 @@
+//! The native backend running the repo's benchmark workloads on real OS
+//! threads, validated by the same history oracle the simulator uses.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use csmv_native::{NativeConfig, NativeRunResult};
+use stm_core::history::replay_committed;
+use workloads::{BankConfig, BankSource, ListConfig, ListSource};
+
+fn native_cfg(clients: usize, servers: usize) -> NativeConfig {
+    NativeConfig {
+        client_threads: clients,
+        server_threads: servers,
+        max_run: Duration::from_secs(20),
+        ..Default::default()
+    }
+}
+
+fn run_bank(cfg: &NativeConfig, bank: &BankConfig, seed: u64, txs: usize) -> NativeRunResult {
+    csmv_native::run_checked(
+        cfg,
+        |t| BankSource::new(bank, seed, t, txs),
+        bank.accounts,
+        |_| bank.initial_balance,
+    )
+    .expect("bank run must pass the history oracle")
+}
+
+#[test]
+fn bank_on_native_across_thread_counts() {
+    let bank = BankConfig::small(64, 20);
+    for (clients, servers) in [(1, 1), (4, 2), (8, 2)] {
+        let txs = 64;
+        let res = run_bank(&native_cfg(clients, servers), &bank, 42, txs);
+        assert_eq!(res.stats.failed, 0, "healthy run must not fail txs");
+        assert_eq!(res.stats.commits(), (clients * txs) as u64);
+        // Total balance is conserved in the final committed state.
+        let total: u64 = res.final_state.values().sum();
+        assert_eq!(total, bank.total_balance());
+        // The committed records replay to exactly the final store state.
+        let init = bank.initial_state();
+        assert_eq!(replay_committed(&res.records, &init), res.final_state);
+        // Dense timestamps: the final GTS counts the update commits.
+        assert_eq!(res.gts, res.stats.update_commits);
+    }
+}
+
+#[test]
+fn bank_rots_commit_without_server_round_trips() {
+    let bank = BankConfig::small(32, 100); // all Balance scans
+    let res = run_bank(&native_cfg(4, 1), &bank, 7, 32);
+    assert_eq!(res.stats.rot_commits, 4 * 32);
+    assert_eq!(res.stats.update_commits, 0);
+    assert_eq!(res.gts, 0);
+    // Every scan read a consistent snapshot: sum equals the invariant.
+    for rec in &res.records {
+        assert!(rec.cts.is_none());
+        let sum: u64 = rec.reads.iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, bank.total_balance());
+    }
+}
+
+#[test]
+fn bank_native_matches_sequential_final_state_when_commutative() {
+    // With a balance floor no sequence of transfers can breach, the
+    // overdraw clamp never fires and transfers commute: any commit order
+    // yields the same final state. 8 threads × 64 transfers × max 100
+    // per transfer bounds any account's net debit far below 1_000_000.
+    let bank = BankConfig {
+        accounts: 32,
+        initial_balance: 1_000_000,
+        rot_pct: 0,
+        max_transfer: 100,
+        partitions: None,
+    };
+    let seed = 11;
+    let txs = 64;
+    let res = run_bank(&native_cfg(8, 2), &bank, seed, txs);
+    assert_eq!(res.stats.failed, 0);
+    // Sequential ground truth: every thread's transfers applied in order.
+    use stm_core::logic::run_sequential;
+    use stm_core::TxSource;
+    let mut state: HashMap<u64, u64> = bank.initial_state();
+    for t in 0..8 {
+        let mut src = BankSource::new(&bank, seed, t, txs);
+        while let Some(mut tx) = src.next_tx() {
+            run_sequential(&mut tx, &mut state);
+        }
+    }
+    assert_eq!(res.final_state, state);
+}
+
+#[test]
+fn list_on_native_keeps_the_chain_sorted() {
+    let cfg = ListConfig {
+        key_range: 64,
+        initial_nodes: 12,
+        contains_pct: 30,
+        pool_per_thread: 2,
+        threads: 4,
+    };
+    let init = cfg.initial_state();
+    let res = csmv_native::run_checked(
+        &NativeConfig {
+            client_threads: 4,
+            server_threads: 2,
+            max_run: Duration::from_secs(20),
+            ..Default::default()
+        },
+        |t| ListSource::new(&cfg, 13, t, 4),
+        cfg.num_items(),
+        {
+            let init = init.clone();
+            move |item| *init.get(&item).unwrap_or(&0)
+        },
+    )
+    .expect("list run must pass the history oracle");
+    assert_eq!(res.stats.failed, 0);
+    assert_eq!(res.stats.commits(), 4 * 4);
+    // Walk the committed chain: strictly sorted, unique, terminating.
+    let heap = &res.final_state;
+    let mut keys = Vec::new();
+    let mut n = heap[&ListConfig::next_item(0)];
+    let mut hops = 0;
+    while n != 1 {
+        keys.push(heap[&ListConfig::key_item(n)]);
+        n = heap[&ListConfig::next_item(n)];
+        hops += 1;
+        assert!(hops < 10_000, "cycle in committed list chain");
+    }
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "committed chain must be strictly sorted");
+    // Replay consistency, as for bank. The workload's initial state only
+    // names chain items; the store holds every item, so compare over the
+    // full item space.
+    let full_init: HashMap<u64, u64> = (0..cfg.num_items())
+        .map(|i| (i, *init.get(&i).unwrap_or(&0)))
+        .collect();
+    assert_eq!(replay_committed(&res.records, &full_init), res.final_state);
+}
+
+#[test]
+fn single_client_single_server_is_bounded_and_clean() {
+    use stm_core::metrics::AbortReason;
+    let bank = BankConfig::small(16, 50);
+    let res = run_bank(&native_cfg(1, 1), &bank, 3, 32);
+    assert_eq!(res.stats.failed, 0);
+    assert_eq!(res.stats.commits(), 32);
+    // A lone client never loses server validation — its only conflicts
+    // are batch-mates caught by intra-batch pre-validation.
+    assert_eq!(
+        res.stats.aborts(),
+        res.metrics.aborts.count(AbortReason::PreValidationKill)
+    );
+    assert_eq!(res.metrics.aborts.count(AbortReason::ReadValidation), 0);
+}

@@ -225,6 +225,25 @@ pub fn check_history(
     Ok(updates)
 }
 
+/// Replay a committed history's writes in `cts` order over the initial
+/// state, yielding the final committed value of every item. This is the
+/// ground truth the cross-STM and cross-backend equivalence tests compare
+/// final store states against.
+pub fn replay_committed(
+    records: &[TxRecord],
+    initial: &std::collections::HashMap<u64, u64>,
+) -> std::collections::HashMap<u64, u64> {
+    let mut committed: Vec<&TxRecord> = records.iter().filter(|r| r.cts.is_some()).collect();
+    committed.sort_unstable_by_key(|r| r.cts);
+    let mut state = initial.clone();
+    for r in committed {
+        for &(item, value) in &r.writes {
+            state.insert(item, value);
+        }
+    }
+    state
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,7 +27,7 @@ pub mod result;
 pub mod stats;
 pub mod vbox;
 
-pub use history::{check_history, HistoryError, TxRecord};
+pub use history::{check_history, replay_committed, HistoryError, TxRecord};
 pub use logic::{TxLogic, TxOp, TxSource};
 pub use metrics::{
     AbortCounts, AbortReason, FaultCounts, FaultEvent, Histogram, MetricsReport, Sample, Series,

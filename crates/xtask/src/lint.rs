@@ -70,8 +70,16 @@ const PROTOCOL_WORD_TOKENS: &[&str] = &[
     "gts_addr",
 ];
 
-/// Commit-server warp types whose impl blocks must be panic-free.
-const SERVER_IMPL_TYPES: &[&str] = &["ReceiverWarp", "WorkerWarp", "ServerControl", "MultiWorker"];
+/// Commit-server types whose impl blocks must be panic-free: the
+/// simulated warps and the native backend's server/worker threads.
+const SERVER_IMPL_TYPES: &[&str] = &[
+    "ReceiverWarp",
+    "WorkerWarp",
+    "ServerControl",
+    "MultiWorker",
+    "NativeServer",
+    "NativeWorker",
+];
 
 // --- lexical infrastructure ---------------------------------------------
 
@@ -445,34 +453,16 @@ pub fn check_no_panic_in_server_path(path: &Path, src: &str) -> Vec<Finding> {
 
 // --- R3: abort-reason taxonomy coverage ---------------------------------
 
-/// Check that every `AbortReason` variant is mapped in the metrics
-/// taxonomy (`ALL`, `from_id`, `key`).
-pub fn check_abort_reason_taxonomy(path: &Path, src: &str) -> Vec<Finding> {
-    let masked = mask_comments_and_strings(src);
+/// Variant names (and declaration lines) of `enum AbortReason` in the
+/// masked source, or `None` if the declaration is absent.
+fn abort_reason_variants(masked: &str, starts: &[usize]) -> Option<Vec<(String, usize)>> {
     let bytes = masked.as_bytes();
-    let starts = line_starts(src);
-    let mut findings = Vec::new();
-
-    // Variants of `enum AbortReason { ... }`.
-    let Some(enum_kw) = ident_positions(&masked, "AbortReason")
+    // The declaration: the occurrence preceded by the `enum` keyword.
+    let enum_kw = ident_positions(masked, "AbortReason")
         .into_iter()
-        .find(|&p| {
-            // The declaration: preceded by the `enum` keyword.
-            masked[..p].trim_end().ends_with("enum")
-        })
-    else {
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line: 1,
-            rule: "abort-reason-taxonomy",
-            message: "could not find `enum AbortReason` declaration".into(),
-        });
-        return findings;
-    };
-    let open = enum_kw + masked[enum_kw..].find('{').unwrap_or(0);
-    let Some(end) = balanced_end(bytes, open, b'{', b'}') else {
-        return findings;
-    };
+        .find(|&p| masked[..p].trim_end().ends_with("enum"))?;
+    let open = enum_kw + masked[enum_kw..].find('{')?;
+    let end = balanced_end(bytes, open, b'{', b'}')?;
     let body = &masked[open + 1..end - 1];
     let mut variants: Vec<(String, usize)> = Vec::new();
     let mut i = 0;
@@ -483,7 +473,7 @@ pub fn check_abort_reason_taxonomy(path: &Path, src: &str) -> Vec<Finding> {
             while j < bb.len() && is_ident_char(bb[j]) {
                 j += 1;
             }
-            variants.push((body[i..j].to_string(), line_of(open + 1 + i, &starts)));
+            variants.push((body[i..j].to_string(), line_of(open + 1 + i, starts)));
             // Skip to the variant separator (`,`), past any `= id`.
             while j < bb.len() && bb[j] != b',' {
                 j += 1;
@@ -493,6 +483,26 @@ pub fn check_abort_reason_taxonomy(path: &Path, src: &str) -> Vec<Finding> {
             i += 1;
         }
     }
+    Some(variants)
+}
+
+/// Check that every `AbortReason` variant is mapped in the metrics
+/// taxonomy (`ALL`, `from_id`, `key`).
+pub fn check_abort_reason_taxonomy(path: &Path, src: &str) -> Vec<Finding> {
+    let masked = mask_comments_and_strings(src);
+    let bytes = masked.as_bytes();
+    let starts = line_starts(src);
+    let mut findings = Vec::new();
+
+    let Some(variants) = abort_reason_variants(&masked, &starts) else {
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line: 1,
+            rule: "abort-reason-taxonomy",
+            message: "could not find `enum AbortReason` declaration".into(),
+        });
+        return findings;
+    };
 
     // The three taxonomy surfaces every variant must appear on. `ALL` is
     // a `const`: take the array literal after its `=` (the `[AbortReason;
@@ -541,6 +551,63 @@ pub fn check_abort_reason_taxonomy(path: &Path, src: &str) -> Vec<Finding> {
     findings
 }
 
+/// Check that every `AbortReason::Variant` referenced in `src` names a
+/// variant of the declared taxonomy. Extends R3 to crates that *consume*
+/// the taxonomy (the native backend's server/worker modules): the lexical
+/// pass also covers fixture files and lint-only branches the compiler
+/// never sees.
+pub fn check_abort_reason_usage(path: &Path, src: &str, variants: &[String]) -> Vec<Finding> {
+    let masked = mask_comments_and_strings(src);
+    let bytes = masked.as_bytes();
+    let starts = line_starts(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    for pos in ident_positions(&masked, "AbortReason") {
+        // A use site: `AbortReason :: Variant`.
+        let mut j = pos + "AbortReason".len();
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j + 1 >= bytes.len() || bytes[j] != b':' || bytes[j + 1] != b':' {
+            continue;
+        }
+        j += 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < bytes.len() && is_ident_char(bytes[j]) {
+            j += 1;
+        }
+        let name = &masked[start..j];
+        // Associated consts/fns (`ALL`, `from_id`, `key`, ...) are not
+        // variants; variants are CamelCase identifiers.
+        if name.is_empty()
+            || !name.as_bytes()[0].is_ascii_uppercase()
+            || name.bytes().all(|b| !b.is_ascii_lowercase())
+        {
+            continue;
+        }
+        if variants.iter().any(|v| v == name) {
+            continue;
+        }
+        let line = line_of(pos, &starts);
+        if suppressed(&raw_lines, line, line) {
+            continue;
+        }
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line,
+            rule: "abort-reason-taxonomy",
+            message: format!(
+                "AbortReason::{name} is not a declared taxonomy variant — abort \
+                 reasons used outside stm-core must come from the shared taxonomy"
+            ),
+        });
+    }
+    findings
+}
+
 // --- driver -------------------------------------------------------------
 
 /// Run every rule over the workspace rooted at `root`. Returns all
@@ -570,6 +637,18 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let metrics = root.join("crates/stm-core/src/metrics.rs");
     let src = std::fs::read_to_string(&metrics)?;
     findings.extend(check_abort_reason_taxonomy(&metrics, &src));
+    // R2 and the R3 usage extension over the native backend's server and
+    // worker modules: the same panic-free discipline applies to real OS
+    // threads, and every reason they emit must be a taxonomy variant.
+    let variants: Vec<String> = abort_reason_variants(&mask_comments_and_strings(&src), &[])
+        .map(|v| v.into_iter().map(|(name, _)| name).collect())
+        .unwrap_or_default();
+    for file in ["server.rs", "worker.rs"] {
+        let path = root.join("crates/csmv-native/src").join(file);
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(check_no_panic_in_server_path(&path, &src));
+        findings.extend(check_abort_reason_usage(&path, &src, &variants));
+    }
     Ok(findings)
 }
 

@@ -1,0 +1,21 @@
+//! Seeded lint fixture: a native commit-server thread that panics on a
+//! poisoned channel and invents an abort reason outside the taxonomy.
+//! Never compiled — only fed to the lint pass by `lint_workspace.rs`.
+
+impl NativeServer {
+    fn handle(&mut self, req: CommitRequest) {
+        // R2 violation: a panicking server thread silently deadlocks
+        // every client pinned to its partition.
+        let slot = self.clients.get(&req.client).unwrap();
+        let _ = slot;
+    }
+}
+
+impl NativeWorker {
+    fn classify(&self) -> Verdict {
+        // R3 usage violation: `ChannelHiccup` is not a taxonomy variant.
+        Verdict::Rejected {
+            reason: AbortReason::ChannelHiccup,
+        }
+    }
+}

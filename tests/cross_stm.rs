@@ -19,15 +19,7 @@ fn gpu(sms: usize) -> GpuConfig {
 
 /// Replay committed writes in cts order over the initial state.
 fn replay(records: &[TxRecord], initial: &HashMap<u64, u64>) -> HashMap<u64, u64> {
-    let mut heap = initial.clone();
-    let mut updates: Vec<_> = records.iter().filter(|r| r.cts.is_some()).collect();
-    updates.sort_by_key(|r| r.cts.unwrap());
-    for r in updates {
-        for &(item, value) in &r.writes {
-            heap.insert(item, value);
-        }
-    }
-    heap
+    stm_core::history::replay_committed(records, initial)
 }
 
 fn assert_bank_invariant(records: &[TxRecord], bank: &BankConfig) {

@@ -1,0 +1,113 @@
+//! Fault injection for the native host-threaded backend: arbitrary
+//! request/response drop rates (and an optional mid-run server kill)
+//! under an armed retry policy must leave every run opaque, fully
+//! accounted, and — crucially for real threads — *finite*: `run` joins
+//! its worker and server threads well inside the configured run
+//! deadline, so a recovery bug shows up as a test failure, not a hang.
+
+use std::time::Duration;
+
+use csmv_native::{KillServer, NativeConfig, NativeFaultPlan, NativeFaultSpec};
+use proptest::prelude::*;
+use stm_core::RetryPolicy;
+use workloads::{BankConfig, BankSource};
+
+/// Hard ceiling on one native run; the spin/sleep paths all re-check this
+/// deadline, so a deadlock would surface as a deadline-failed run rather
+/// than a stuck test binary.
+const MAX_RUN: Duration = Duration::from_secs(5);
+
+/// An armed recovery policy (timeouts in microseconds on this backend):
+/// resend after 5 ms, up to 8 sends per batch, bounded jittered backoff,
+/// and a per-transaction retry budget so a dead server fails its clients'
+/// transactions instead of retrying forever.
+fn recovery(jitter_seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        resp_timeout: Some(5_000),
+        max_send_attempts: 8,
+        retry_budget: Some(8),
+        backoff_base: 100,
+        backoff_cap: 2_000,
+        jitter_seed,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NativeFaults {
+    spec: NativeFaultSpec,
+    fault_seed: u64,
+    bank_seed: u64,
+    clients: usize,
+}
+
+fn arb_native_faults() -> impl Strategy<Value = NativeFaults> {
+    (
+        (0u8..=30, 0u8..=30),
+        // (arm?, server, after_batches) — the vendored proptest has no
+        // `option::of`, so an explicit arming flag stands in for it.
+        (0u8..=1, 0usize..2, 1u64..6),
+        (proptest::num::u64::ANY, proptest::num::u64::ANY),
+        1usize..=4,
+    )
+        .prop_map(
+            |((drop_req_pct, drop_resp_pct), kill, (fault_seed, bank_seed), clients)| {
+                NativeFaults {
+                    spec: NativeFaultSpec {
+                        drop_req_pct,
+                        drop_resp_pct,
+                        kill_server: (kill.0 == 1).then_some(KillServer {
+                            server: kill.1,
+                            after_batches: kill.2,
+                        }),
+                    },
+                    fault_seed,
+                    bank_seed,
+                    clients,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// The native backend under an arbitrary armed fault plan: the run
+    /// joins in bounded time, the recorded history is opaque, and every
+    /// transaction either committed or failed with a recorded reason.
+    #[test]
+    fn native_message_faults_preserve_opacity(f in arb_native_faults()) {
+        let bank = BankConfig::small(24, 30);
+        let txs = 24;
+        let cfg = NativeConfig {
+            client_threads: f.clients,
+            server_threads: 2,
+            recovery: recovery(f.fault_seed ^ 0x5EED),
+            faults: Some(NativeFaultPlan::new(f.fault_seed, f.spec)),
+            max_run: MAX_RUN,
+            ..Default::default()
+        };
+        let res = csmv_native::run_checked(
+            &cfg,
+            |t| BankSource::new(&bank, f.bank_seed, t, txs),
+            bank.accounts,
+            |_| bank.initial_balance,
+        )
+        .map_err(|e| TestCaseError::fail(format!("native run not opaque: {e}")))?;
+        prop_assert!(
+            res.elapsed < MAX_RUN + Duration::from_secs(1),
+            "native run must join promptly (took {:?})",
+            res.elapsed
+        );
+        let total = (f.clients * txs) as u64;
+        prop_assert_eq!(
+            res.stats.commits() + res.stats.failed,
+            total,
+            "every transaction must commit or fail with a recorded reason"
+        );
+        if f.spec.kill_server.is_none() {
+            // Message faults alone are always recovered by resends; only a
+            // dead server may exhaust the send budget terminally.
+            prop_assert_eq!(res.stats.failed, 0);
+        }
+    }
+}
