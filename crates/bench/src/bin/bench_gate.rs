@@ -19,7 +19,7 @@
 //! values are identical apart from the recorded thread count and the
 //! non-reproducible wall-clock rows.
 
-use bench::gate::{compare, equal};
+use bench::gate::{compare, compare_advisory, equal};
 use bench::report::BenchReport;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -137,6 +137,11 @@ fn check_pair(baseline: &Path, candidate: &Path, strict_equal: bool) -> Result<u
         for v in &violations {
             println!("  {v}");
         }
+    }
+    // Advisory drift (service latency percentiles): surfaced, never
+    // counted against the gate.
+    for w in compare_advisory(&base, &cand) {
+        println!("  WARN (advisory) {w}");
     }
     Ok(violations.len())
 }

@@ -87,21 +87,58 @@ pub fn threshold_for(metric: &str) -> Option<Threshold> {
 /// properties of the fixed workload and gate with zero slack.
 pub fn threshold_for_backend(backend: &str, metric: &str) -> Option<Threshold> {
     use Direction::*;
-    if backend == "native" {
-        let t = |direction| {
-            Some(Threshold {
-                direction,
-                rel: 0.0,
-                abs: 0.0,
-            })
-        };
-        return match metric {
-            "commits" => t(HigherIsBetter),
-            "failed" => t(LowerIsBetter),
+    let t = |direction, rel, abs| {
+        Some(Threshold {
+            direction,
+            rel,
+            abs,
+        })
+    };
+    match backend {
+        "native" => match metric {
+            "commits" => t(HigherIsBetter, 0.0, 0.0),
+            "failed" => t(LowerIsBetter, 0.0, 0.0),
             _ => None,
-        };
+        },
+        // Open-loop loadgen rows against csmv-service: the request
+        // *schedule* is seed-deterministic, so terminal accounting gates
+        // tightly — a small absolute band absorbs the handful of
+        // requests host scheduling may shed or abort differently —
+        // while latency is advisory only (see
+        // [`advisory_threshold_for_backend`]).
+        "service" => match metric {
+            "service.ok" => t(HigherIsBetter, 0.0, 4.0),
+            "service.retry" | "service.busy" => t(LowerIsBetter, 0.0, 4.0),
+            // Unclassifiable errors are never acceptable.
+            "service.err" => t(LowerIsBetter, 0.0, 0.0),
+            _ => None,
+        },
+        _ => threshold_for(metric),
     }
-    threshold_for(metric)
+}
+
+/// The *advisory* subset for a backend: drift here is reported by
+/// `bench-gate` as a warning but never fails the gate. Service latency
+/// percentiles are wall-clock host measurements — too noisy to gate at
+/// first — yet worth surfacing when they move far outside the baseline's
+/// band.
+pub fn advisory_threshold_for_backend(backend: &str, metric: &str) -> Option<Threshold> {
+    use Direction::*;
+    if backend != "service" {
+        return None;
+    }
+    let t = |rel, abs| {
+        Some(Threshold {
+            direction: LowerIsBetter,
+            rel,
+            abs,
+        })
+    };
+    match metric {
+        "latency_p50_us" => t(0.50, 100.0),
+        "latency_p99_us" => t(0.50, 200.0),
+        _ => None,
+    }
 }
 
 /// One reason the gate failed.
@@ -161,6 +198,13 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Vi
         return Err(format!(
             "baseline schema v{} != supported v{SCHEMA_VERSION} (regenerate the baseline)",
             baseline.schema_version
+        ));
+    }
+    if candidate.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "candidate schema v{} != supported v{SCHEMA_VERSION} \
+             (rebuild the candidate with this tree's bench binaries)",
+            candidate.schema_version
         ));
     }
     for (what, b, c) in [
@@ -240,6 +284,42 @@ pub fn compare(baseline: &BenchReport, candidate: &BenchReport) -> Result<Vec<Vi
         }
     }
     Ok(violations)
+}
+
+/// Advisory comparison: walks the same rows as [`compare`] but applies
+/// the [`advisory_threshold_for_backend`] set. The result is a list of
+/// *warnings* — `bench-gate` prints them and exits zero. Call after
+/// [`compare`] has already vetted the reports' identity; rows or
+/// metrics missing from the candidate are simply skipped here.
+pub fn compare_advisory(baseline: &BenchReport, candidate: &BenchReport) -> Vec<Violation> {
+    let mut warnings = Vec::new();
+    for base_row in &baseline.rows {
+        if base_row.wall_clock {
+            continue;
+        }
+        let Some(cand_row) = find_row(candidate, base_row) else {
+            continue;
+        };
+        for (metric, base_value) in &base_row.metrics {
+            let Some(threshold) = advisory_threshold_for_backend(&baseline.backend, metric) else {
+                continue;
+            };
+            let Some(cand_value) = cand_row.metric(metric) else {
+                continue;
+            };
+            if !threshold.passes(*base_value, cand_value) {
+                warnings.push(Violation::Regression {
+                    system: base_row.system.clone(),
+                    x: base_row.x,
+                    metric: metric.clone(),
+                    baseline: *base_value,
+                    candidate: cand_value,
+                    limit: threshold.limit(*base_value),
+                });
+            }
+        }
+    }
+    warnings
 }
 
 /// Strict equivalence check, used by the CI `parallel-equivalence` matrix to
@@ -512,6 +592,98 @@ mod tests {
             &violations[0],
             Violation::Regression { metric, .. } if metric == "failed"
         ));
+    }
+
+    #[test]
+    fn schema_version_mismatch_refuses_in_both_directions() {
+        // An old (v2) baseline against a current candidate: refuse with
+        // an instruction to regenerate the baseline.
+        let current = report(vec![row("CSMV", 50, &base_metrics())]);
+        let mut stale = current.clone();
+        stale.schema_version = SCHEMA_VERSION - 1;
+        let err = compare(&stale, &current).unwrap_err();
+        assert!(err.contains("baseline schema"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        // A current baseline against an old candidate (stale bench
+        // binary): refuse with an instruction to rebuild, never a
+        // silent threshold pass.
+        let err = compare(&current, &stale).unwrap_err();
+        assert!(err.contains("candidate schema"), "{err}");
+        assert!(err.contains("rebuild"), "{err}");
+    }
+
+    #[test]
+    fn service_reports_gate_counts_and_latency_is_advisory_only() {
+        let metrics: Vec<(&str, f64)> = vec![
+            ("latency_p50_us", 150.0),
+            ("latency_p99_us", 900.0),
+            ("latency_p999_us", 2500.0),
+            ("arrival_rate", 400.0),
+            ("achieved_rate", 399.0),
+            ("service.ok", 795.0),
+            ("service.retry", 3.0),
+            ("service.busy", 2.0),
+            ("service.err", 0.0),
+            ("commits", 795.0),
+            ("failed", 0.0),
+        ];
+        let mut b = report(vec![row("loadgen", 400, &metrics)]);
+        b.backend = "service".into();
+
+        // Small accounting drift inside the band, latency within 50%:
+        // clean pass, no warnings.
+        let mut c = b.clone();
+        for (k, v) in c.rows[0].metrics.iter_mut() {
+            match k.as_str() {
+                "service.ok" => *v -= 3.0,
+                "service.retry" => *v += 3.0,
+                "latency_p99_us" => *v *= 1.3,
+                _ => {}
+            }
+        }
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+        assert_eq!(compare_advisory(&b, &c), vec![]);
+
+        // Committed replies collapsing past the band fails the gate.
+        let mut c = b.clone();
+        c.rows[0].metrics.iter_mut().for_each(|(k, v)| {
+            if k == "service.ok" {
+                *v = 700.0;
+            }
+        });
+        let violations = compare(&b, &c).unwrap();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::Regression { metric, .. } if metric == "service.ok"
+        )));
+
+        // Any unclassified error fails with zero slack.
+        let mut c = b.clone();
+        c.rows[0].metrics.iter_mut().for_each(|(k, v)| {
+            if k == "service.err" {
+                *v = 1.0;
+            }
+        });
+        assert_eq!(compare(&b, &c).unwrap().len(), 1);
+
+        // A latency blow-up never fails the gate — it surfaces as an
+        // advisory warning instead.
+        let mut c = b.clone();
+        c.rows[0].metrics.iter_mut().for_each(|(k, v)| {
+            if k.starts_with("latency_") {
+                *v *= 10.0;
+            }
+        });
+        assert_eq!(compare(&b, &c).unwrap(), vec![]);
+        let warnings = compare_advisory(&b, &c);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings.iter().all(|w| matches!(
+            w,
+            Violation::Regression { metric, .. } if metric.starts_with("latency_p")
+        )));
+        // Advisory checks never apply to non-service backends.
+        assert_eq!(compare_advisory(&report(vec![]), &report(vec![])), vec![]);
+        assert!(advisory_threshold_for_backend("native", "latency_p50_us").is_none());
     }
 
     #[test]

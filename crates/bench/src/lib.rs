@@ -21,6 +21,7 @@
 
 pub mod cli;
 pub mod gate;
+pub mod hdr;
 pub mod json;
 pub mod report;
 
@@ -182,6 +183,43 @@ impl Scale {
     }
 }
 
+/// Latency summary for one operation class (`get`, `set`, `incr`,
+/// `multi`) measured by the open-loop load generator, in microseconds
+/// from *scheduled* arrival to reply (coordinated-omission-free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLatency {
+    /// Requests of this class that received a terminal reply.
+    pub count: u64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, µs.
+    pub p999_us: f64,
+}
+
+/// Counters an open-loop load-generator run against `csmv-service`
+/// attaches to its row (schema v3; absent on every other backend).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceStats {
+    /// Offered load, requests per second (the schedule's fixed rate).
+    pub arrival_rate: f64,
+    /// Terminally-replied requests per second actually achieved.
+    pub achieved_rate: f64,
+    /// Requests answered with a committed result.
+    pub ok: u64,
+    /// Requests answered `-RETRY …` (terminal abort, taxonomy-keyed).
+    pub retry: u64,
+    /// Requests shed with `-BUSY …` (engine queue backpressure).
+    pub busy: u64,
+    /// Requests answered with any other error.
+    pub err: u64,
+    /// Peak concurrently-in-flight requests observed.
+    pub inflight_max: u64,
+    /// Per-operation-class latency summaries, in emission order.
+    pub classes: Vec<(String, ClassLatency)>,
+}
+
 /// One measured configuration: everything the tables/figures print.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -219,6 +257,11 @@ pub struct Row {
     pub latency_p50_us: f64,
     /// Commit-latency p99 in microseconds (native backend only).
     pub latency_p99_us: f64,
+    /// Commit-latency p99.9 in microseconds (native/service backends;
+    /// 0 for simulated rows). Schema v3.
+    pub latency_p999_us: f64,
+    /// Open-loop service counters (loadgen rows only). Schema v3.
+    pub service: Option<ServiceStats>,
     /// Analysis-layer counters, when [`Scale::analysis`] was on.
     pub analysis: Option<AnalysisStats>,
     /// True when *every* metric of the row is host timing (the CPU
@@ -261,6 +304,8 @@ pub fn row_from(system: &str, x: u64, res: &RunResult) -> Row {
         txn_per_sec: 0.0,
         latency_p50_us: 0.0,
         latency_p99_us: 0.0,
+        latency_p999_us: 0.0,
+        service: None,
         analysis: res.analysis.as_ref().map(|a| a.stats()),
         wall_clock: false,
         metrics: res.metrics.clone(),
@@ -401,6 +446,8 @@ pub fn bank_jvstm_cpu(scale: &Scale, rot_pct: u8) -> Row {
         txn_per_sec: res.throughput(),
         latency_p50_us: 0.0,
         latency_p99_us: 0.0,
+        latency_p999_us: 0.0,
+        service: None,
         analysis: None, // the CPU baseline runs outside the simulator
         wall_clock: true,
         metrics: MetricsReport::default(),
@@ -453,6 +500,8 @@ pub fn native_row(system: &str, x: u64, res: &csmv_native::NativeRunResult) -> R
         txn_per_sec: res.throughput(),
         latency_p50_us: res.metrics.commit_latency.quantile(0.5) as f64 / 1e3,
         latency_p99_us: res.metrics.commit_latency.quantile(0.99) as f64 / 1e3,
+        latency_p999_us: res.metrics.commit_latency.quantile(0.999) as f64 / 1e3,
+        service: None,
         analysis: None, // the analysis layer instruments the simulator only
         wall_clock: false,
         metrics: res.metrics.clone(),

@@ -19,7 +19,12 @@ use stm_core::{AbortReason, FaultEvent};
 /// v2 added the execution `backend` to the config block ("sim" or
 /// "native") and the wall-clock metrics `txn_per_sec` /
 /// `latency_p50_us` / `latency_p99_us` to every row.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `latency_p999_us` to every row plus the open-loop service
+/// metrics (`arrival_rate`, `achieved_rate`, `service.*` counters and
+/// per-class latency summaries) on rows produced by the `loadgen`
+/// binary against `csmv-service` (`config.backend` = "service").
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One benchmark invocation's structured output.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,7 +100,26 @@ fn flatten(row: &Row) -> Vec<(String, f64)> {
         ("txn_per_sec".into(), row.txn_per_sec),
         ("latency_p50_us".into(), row.latency_p50_us),
         ("latency_p99_us".into(), row.latency_p99_us),
+        // v3: p99.9 everywhere (nonzero on native/service rows only).
+        ("latency_p999_us".into(), row.latency_p999_us),
     ];
+    // v3, additive: open-loop service metrics, present only on loadgen
+    // rows so every other backend's reports are byte-stable.
+    if let Some(s) = &row.service {
+        m.push(("arrival_rate".into(), s.arrival_rate));
+        m.push(("achieved_rate".into(), s.achieved_rate));
+        m.push(("service.ok".into(), s.ok as f64));
+        m.push(("service.retry".into(), s.retry as f64));
+        m.push(("service.busy".into(), s.busy as f64));
+        m.push(("service.err".into(), s.err as f64));
+        m.push(("service.inflight_max".into(), s.inflight_max as f64));
+        for (class, l) in &s.classes {
+            m.push((format!("service.{class}.count"), l.count as f64));
+            m.push((format!("service.{class}.p50_us"), l.p50_us));
+            m.push((format!("service.{class}.p99_us"), l.p99_us));
+            m.push((format!("service.{class}.p999_us"), l.p999_us));
+        }
+    }
     let metrics = &row.metrics;
     for reason in AbortReason::ALL {
         m.push((
@@ -358,6 +382,8 @@ mod tests {
             txn_per_sec: 0.0,
             latency_p50_us: 0.0,
             latency_p99_us: 0.0,
+            latency_p999_us: 0.0,
+            service: None,
             analysis: None,
             wall_clock: false,
             metrics,
@@ -393,6 +419,51 @@ mod tests {
                 "{key}"
             );
         }
+    }
+
+    #[test]
+    fn service_rows_flatten_their_open_loop_metrics_additively() {
+        use crate::{ClassLatency, ServiceStats};
+        let plain = BenchReport::from_rows("loadgen", "quick", 1, &[sample_row()]);
+        assert_eq!(plain.rows[0].metric("arrival_rate"), None);
+        assert_eq!(plain.rows[0].metric("latency_p999_us"), Some(0.0));
+
+        let mut row = sample_row();
+        row.service = Some(ServiceStats {
+            arrival_rate: 400.0,
+            achieved_rate: 398.5,
+            ok: 795,
+            retry: 2,
+            busy: 3,
+            err: 0,
+            inflight_max: 9,
+            classes: vec![(
+                "get".into(),
+                ClassLatency {
+                    count: 500,
+                    p50_us: 120.0,
+                    p99_us: 900.0,
+                    p999_us: 2200.0,
+                },
+            )],
+        });
+        let report = BenchReport::from_rows("loadgen", "quick", 1, &[row]);
+        let r = &report.rows[0];
+        assert_eq!(r.metric("arrival_rate"), Some(400.0));
+        assert_eq!(r.metric("achieved_rate"), Some(398.5));
+        assert_eq!(r.metric("service.ok"), Some(795.0));
+        assert_eq!(r.metric("service.busy"), Some(3.0));
+        assert_eq!(r.metric("service.inflight_max"), Some(9.0));
+        assert_eq!(r.metric("service.get.count"), Some(500.0));
+        assert_eq!(r.metric("service.get.p999_us"), Some(2200.0));
+        // The non-service metric set is unchanged: additive only.
+        for (k, _) in &plain.rows[0].metrics {
+            assert!(r.metric(k).is_some(), "{k} lost");
+        }
+        // And it survives the JSON round trip.
+        let back = BenchReport::from_json(&crate::json::parse(&report.to_json().pretty()).unwrap())
+            .unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

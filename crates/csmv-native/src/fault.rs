@@ -17,8 +17,12 @@ pub struct KillServer {
     /// Which server thread dies (index into the server pool).
     pub server: usize,
     /// Batches the server handles before exiting. The server always
-    /// finishes (and answers) every request it has already dequeued, so a
-    /// kill never leaks a granted-but-unanswered reservation.
+    /// finishes every request it has already dequeued and, on its way
+    /// out, flushes its latest stored response to every client with
+    /// injected drops bypassed, so a kill never leaks a
+    /// granted-but-unanswered reservation — even when the original
+    /// response was dropped in flight and the client's recovery resend
+    /// can no longer reach the dead server.
     pub after_batches: u64,
 }
 

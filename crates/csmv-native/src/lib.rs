@@ -32,6 +32,7 @@
 pub mod fault;
 
 mod atr;
+mod engine;
 mod msg;
 mod server;
 mod store;
@@ -47,6 +48,7 @@ use stm_core::metrics::MetricsReport;
 use stm_core::stats::CommitStats;
 use stm_core::{RetryPolicy, TxSource};
 
+pub use engine::{Completion, NativeEngine, SubmitError};
 pub use fault::{KillServer, NativeFaultPlan, NativeFaultSpec};
 
 use atr::NativeAtr;
@@ -236,7 +238,7 @@ impl NativeRunResult {
 }
 
 /// Hash partition of a client onto a server thread.
-fn partition(client: usize, servers: usize) -> usize {
+pub(crate) fn partition(client: usize, servers: usize) -> usize {
     (fault::mix64(client as u64) % servers as u64) as usize
 }
 

@@ -16,7 +16,7 @@
 //! lint covers every `impl NativeServer` block.
 
 use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,9 @@ struct ClientSlot {
     last_seq: u64,
     last_resp: CommitResponse,
     resends: u32,
+    /// The client's response channel, kept so a dying server can flush
+    /// its final answers (see [`NativeServer::flush_final_responses`]).
+    resp: Sender<CommitResponse>,
 }
 
 pub(crate) struct NativeServer {
@@ -80,15 +83,20 @@ impl NativeServer {
     /// Serve until every client's request sender is dropped, the injected
     /// kill point is reached, or the run deadline passes. Every request
     /// that was dequeued is fully handled (and answered, fault plan
-    /// permitting) before the loop re-checks exit conditions, so a kill
-    /// never leaks a granted-but-unanswered reservation.
+    /// permitting) before the loop re-checks exit conditions, and a kill
+    /// flushes the latest stored response to every client on the way out,
+    /// so a kill never leaks a granted-but-unanswered reservation.
     pub(crate) fn run(mut self) -> MetricsReport {
         loop {
             let killed = self
                 .faults
                 .as_ref()
                 .is_some_and(|f| f.server_killed(self.id, self.batches_handled));
-            if killed || Instant::now() >= self.deadline {
+            if killed {
+                self.flush_final_responses();
+                break;
+            }
+            if Instant::now() >= self.deadline {
                 break;
             }
             match self.rx.recv_timeout(RECV_SLICE) {
@@ -122,6 +130,7 @@ impl NativeServer {
                 last_seq: req.seq,
                 last_resp: resp.clone(),
                 resends: 0,
+                resp: req.resp.clone(),
             },
         );
         if !drop {
@@ -129,6 +138,23 @@ impl NativeServer {
             // nothing to do — the reservation was inserted and published
             // state stays consistent.
             let _ = req.resp.send(resp);
+        }
+    }
+
+    /// A dying server's parting duty: deliver the latest stored response
+    /// to every client, bypassing injected drops. A response dropped in
+    /// flight is normally recovered by the client's resend reaching this
+    /// server; death removes that path, so the flush is what keeps the
+    /// kill contract ("a kill never leaks a granted-but-unanswered
+    /// reservation") honest under combined drop + kill faults. Without it
+    /// a granted-but-undelivered timestamp becomes a permanent GTS hole
+    /// and every later committer stalls in its write-back turn until the
+    /// run deadline. The flush happens strictly before the request
+    /// receiver drops, so a client that observes the dead channel is
+    /// guaranteed to find any flushed verdicts already queued.
+    fn flush_final_responses(&mut self) {
+        for slot in self.clients.values() {
+            let _ = slot.resp.send(slot.last_resp.clone());
         }
     }
 
@@ -265,5 +291,69 @@ impl NativeServer {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{KillServer, NativeFaultSpec};
+    use crate::msg::TxSubmit;
+    use std::sync::mpsc;
+
+    /// Combined drop + kill faults must not leak a granted reservation:
+    /// with a 100% response-drop rate the direct answer vanishes, so the
+    /// only way the client can learn its granted timestamp is the dying
+    /// server's final flush. Before the flush existed this scenario left
+    /// a permanent GTS hole that stalled every later committer until the
+    /// run deadline (observed as a rare full-service hang under the CI
+    /// chaos geometry).
+    #[test]
+    fn killed_server_flushes_dropped_grant_responses() {
+        let atr = Arc::new(NativeAtr::new(64, 4));
+        let spec = NativeFaultSpec {
+            drop_resp_pct: 100,
+            kill_server: Some(KillServer {
+                server: 0,
+                after_batches: 1,
+            }),
+            ..Default::default()
+        };
+        let plan = NativeFaultPlan::new(1, spec);
+        let (req_tx, req_rx) = mpsc::sync_channel(8);
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let server = NativeServer::new(
+            0,
+            atr,
+            req_rx,
+            Some(plan),
+            Instant::now() + Duration::from_secs(10),
+            Instant::now(),
+        );
+        req_tx
+            .send(CommitRequest {
+                client: 0,
+                seq: 1,
+                txs: vec![TxSubmit {
+                    snapshot: 0,
+                    rs: vec![1],
+                    ws: vec![1],
+                }],
+                resp: resp_tx.clone(),
+            })
+            .expect("server is listening");
+        drop(req_tx);
+        let _ = server.run();
+        // run() returning proves the kill fired; the flush must already
+        // be queued (it happens before the request receiver drops).
+        let resp = resp_rx
+            .try_recv()
+            .expect("dying server must flush the dropped grant response");
+        assert_eq!(resp.seq, 1);
+        assert!(
+            matches!(resp.verdicts[..], [Verdict::Granted { .. }]),
+            "the flushed response must carry the grant: {:?}",
+            resp.verdicts
+        );
     }
 }

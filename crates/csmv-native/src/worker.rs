@@ -20,8 +20,8 @@
 //! lint covers every `impl NativeWorker` block.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use csmv::steps;
@@ -31,6 +31,7 @@ use stm_core::stats::CommitStats;
 use stm_core::{RetryPolicy, TxLogic, TxOp, TxSource};
 
 use crate::atr::NativeAtr;
+use crate::engine::{lock_jobs, EngineJob};
 use crate::fault::NativeFaultPlan;
 use crate::msg::{CommitRequest, CommitResponse, TxSubmit, Verdict};
 use crate::store::NativeStore;
@@ -39,6 +40,37 @@ use crate::store::NativeStore;
 /// enough that a healthy server never triggers a resend, short enough to
 /// notice the run deadline.
 const INERT_WAIT_SLICE: Duration = Duration::from_millis(100);
+
+/// Interval a serving worker blocks on the shared engine queue before
+/// re-checking the run deadline.
+const SERVE_SLICE: Duration = Duration::from_millis(5);
+
+/// How a transaction reports its terminal outcome. Closed-loop batch
+/// sources use the no-op [`Fire`] wrapper (the harness only reads the
+/// aggregate counters); engine jobs reply to their submitter over a
+/// completion channel.
+pub(crate) trait Finish: TxLogic {
+    fn finish(self, outcome: Result<(), AbortReason>);
+}
+
+/// No-op finisher wrapping a closed-loop source's transaction body.
+struct Fire<T>(T);
+
+impl<T: TxLogic> TxLogic for Fire<T> {
+    fn is_read_only(&self) -> bool {
+        self.0.is_read_only()
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+    fn next(&mut self, last_read: Option<u64>) -> TxOp {
+        self.0.next(last_read)
+    }
+}
+
+impl<T: TxLogic> Finish for Fire<T> {
+    fn finish(self, _outcome: Result<(), AbortReason>) {}
+}
 
 /// What one worker hands back to the harness when it joins.
 pub(crate) struct WorkerOutput {
@@ -146,14 +178,14 @@ impl NativeWorker {
     /// Drain the source to completion (or the run deadline), committing
     /// through the server in batches of up to `max_batch`.
     pub(crate) fn run<S: TxSource>(mut self, mut source: S) -> WorkerOutput {
-        let mut pending: VecDeque<Pending<S::Tx>> = VecDeque::new();
+        let mut pending: VecDeque<Pending<Fire<S::Tx>>> = VecDeque::new();
         let mut exhausted = false;
         loop {
             while pending.len() < self.max_batch && !exhausted {
                 match source.next_tx() {
                     Some(tx) => {
                         pending.push_back(Pending {
-                            tx,
+                            tx: Fire(tx),
                             attempts: 0,
                             attempt_start: Instant::now(),
                         });
@@ -167,15 +199,15 @@ impl NativeWorker {
             if Instant::now() >= self.deadline {
                 // Watchdog: fail what's left cleanly instead of hanging.
                 for p in pending.drain(..) {
-                    self.fail(&p, AbortReason::ServerTimeout);
+                    self.fail(p, AbortReason::ServerTimeout);
                 }
                 // Anything still in the source is terminally failed too,
                 // so commits + failed always accounts for every
                 // transaction the source would have produced.
                 while let Some(tx) = source.next_tx() {
                     self.fail(
-                        &Pending {
-                            tx,
+                        Pending {
+                            tx: Fire(tx),
                             attempts: 0,
                             attempt_start: Instant::now(),
                         },
@@ -193,10 +225,93 @@ impl NativeWorker {
         }
     }
 
+    /// Serve transactions submitted through a [`crate::NativeEngine`]:
+    /// pull jobs from the shared queue (blocking briefly when idle,
+    /// coalescing up to `max_batch` when traffic is queued) and commit
+    /// them through the same `round` loop the closed-loop path uses.
+    /// Exits once every submitter hung up and nothing is pending, or at
+    /// the run deadline — failing everything still queued so every
+    /// accepted job gets a terminal completion.
+    pub(crate) fn serve(mut self, jobs: Arc<Mutex<Receiver<EngineJob>>>) -> WorkerOutput {
+        let mut pending: VecDeque<Pending<EngineJob>> = VecDeque::new();
+        let mut disconnected = false;
+        loop {
+            while pending.len() < self.max_batch && !disconnected {
+                let got = {
+                    let rx = lock_jobs(&jobs);
+                    if pending.is_empty() {
+                        // Idle: block briefly so an arrival wakes us, but
+                        // keep noticing the deadline.
+                        match rx.recv_timeout(SERVE_SLICE) {
+                            Ok(job) => Some(job),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                disconnected = true;
+                                None
+                            }
+                        }
+                    } else {
+                        // Already have work: only coalesce what is queued
+                        // right now — latency beats batch fullness.
+                        match rx.try_recv() {
+                            Ok(job) => Some(job),
+                            Err(TryRecvError::Empty) => None,
+                            Err(TryRecvError::Disconnected) => {
+                                disconnected = true;
+                                None
+                            }
+                        }
+                    }
+                };
+                match got {
+                    Some(job) => pending.push_back(Pending {
+                        tx: job,
+                        attempts: 0,
+                        attempt_start: Instant::now(),
+                    }),
+                    None => break,
+                }
+            }
+            if Instant::now() >= self.deadline {
+                // Watchdog: give every accepted job a terminal reply,
+                // then drain whatever is still queued the same way.
+                for p in pending.drain(..) {
+                    self.fail(p, AbortReason::ServerTimeout);
+                }
+                while let Ok(job) = {
+                    let rx = lock_jobs(&jobs);
+                    rx.try_recv()
+                } {
+                    self.fail(
+                        Pending {
+                            tx: job,
+                            attempts: 0,
+                            attempt_start: Instant::now(),
+                        },
+                        AbortReason::ServerTimeout,
+                    );
+                }
+                break;
+            }
+            if pending.is_empty() {
+                if disconnected {
+                    break;
+                }
+                continue;
+            }
+            self.round(&mut pending);
+        }
+        WorkerOutput {
+            stats: self.stats,
+            records: self.records,
+            metrics: self.metrics,
+        }
+    }
+
     /// One round: execute everything pending at a single snapshot,
     /// pre-validate the batch, submit the survivors, write back the
     /// granted window.
-    fn round<T: TxLogic>(&mut self, pending: &mut VecDeque<Pending<T>>) {
+    fn round<T: Finish>(&mut self, pending: &mut VecDeque<Pending<T>>) {
         let snapshot = self.atr.gts();
         let batch: Vec<Pending<T>> = pending.drain(..).collect();
         let mut retry: Vec<Pending<T>> = Vec::new();
@@ -207,11 +322,13 @@ impl NativeWorker {
             }
             p.attempt_start = Instant::now();
             match self.execute(&mut p.tx, snapshot) {
-                Exec::ReadOnly { reads } => self.commit_rot(&p, snapshot, reads),
+                Exec::ReadOnly { reads } => self.commit_rot(p, snapshot, reads),
                 Exec::Update(ex) => execs.push((p, ex)),
                 Exec::Overflow => {
                     if self.abort_retriable(&mut p, AbortReason::VersionOverflow) {
                         retry.push(p);
+                    } else {
+                        self.fail(p, AbortReason::RetryBudgetExhausted);
                     }
                 }
             }
@@ -242,6 +359,8 @@ impl NativeWorker {
             if losers & (1 << k) != 0 {
                 if self.abort_retriable(&mut p, AbortReason::PreValidationKill) {
                     retry.push(p);
+                } else {
+                    self.fail(p, AbortReason::RetryBudgetExhausted);
                 }
             } else {
                 survivors.push((p, ex));
@@ -305,7 +424,7 @@ impl NativeWorker {
 
     /// Submit the surviving batch and, on grant, perform the in-order
     /// write-back and single GTS publication.
-    fn commit_batch<T: TxLogic>(
+    fn commit_batch<T: Finish>(
         &mut self,
         snapshot: u64,
         survivors: Vec<(Pending<T>, Executed)>,
@@ -321,12 +440,12 @@ impl NativeWorker {
             .collect();
         match self.submit(&subs) {
             BatchOutcome::Terminal(reason) => {
-                for (p, _) in &survivors {
+                for (p, _) in survivors {
                     self.fail(p, reason);
                 }
             }
             BatchOutcome::Abandoned => {
-                for (p, _) in &survivors {
+                for (p, _) in survivors {
                     self.fail(p, AbortReason::ServerTimeout);
                 }
             }
@@ -337,9 +456,11 @@ impl NativeWorker {
                         Verdict::Granted { cts } => granted.push((p, ex, cts)),
                         Verdict::Rejected { reason } => {
                             if reason.is_terminal() {
-                                self.fail(&p, reason);
+                                self.fail(p, reason);
                             } else if self.abort_retriable(&mut p, reason) {
                                 retry.push(p);
+                            } else {
+                                self.fail(p, AbortReason::RetryBudgetExhausted);
                             }
                         }
                     }
@@ -355,7 +476,7 @@ impl NativeWorker {
                     // so the committed history stays consistent (the GTS
                     // hole just stalls everyone else until their own
                     // deadline).
-                    for (p, _, _) in &granted {
+                    for (p, _, _) in granted {
                         self.fail(p, AbortReason::ServerTimeout);
                     }
                     return;
@@ -381,6 +502,7 @@ impl NativeWorker {
                             writes: ex.ws,
                         });
                     }
+                    p.tx.finish(Ok(()));
                 }
             }
         }
@@ -424,6 +546,13 @@ impl NativeWorker {
         loop {
             attempt += 1;
             if attempt > self.policy.max_send_attempts {
+                // Same leak guard as the dead-server path below: a granted
+                // response may have arrived just as the budget ran out.
+                while let Ok(resp) = self.resp_rx.try_recv() {
+                    if steps::response_certified(resp.seq, seq) {
+                        return BatchOutcome::Verdicts(resp.verdicts);
+                    }
+                }
                 return BatchOutcome::Terminal(AbortReason::ServerTimeout);
             }
             if attempt > 1 {
@@ -454,6 +583,18 @@ impl NativeWorker {
                         self.server_dead = true;
                         self.metrics
                             .record_fault(FaultEvent::Quarantine, self.now_ns());
+                    }
+                    // A dying server flushes its latest response to every
+                    // client before dropping its request channel, so if
+                    // this batch was already granted the verdicts are
+                    // queued by the time the send fails. Drain before
+                    // declaring the server unavailable — abandoning a
+                    // granted batch here would leak its timestamps as a
+                    // permanent GTS hole.
+                    while let Ok(resp) = self.resp_rx.try_recv() {
+                        if steps::response_certified(resp.seq, seq) {
+                            return BatchOutcome::Verdicts(resp.verdicts);
+                        }
                     }
                     return BatchOutcome::Terminal(AbortReason::ServerUnavailable);
                 }
@@ -491,7 +632,7 @@ impl NativeWorker {
 
     /// Commit a read-only transaction: consistent at its snapshot by
     /// construction, no server round-trip (as in the paper).
-    fn commit_rot<T: TxLogic>(&mut self, p: &Pending<T>, snapshot: u64, reads: Vec<(u64, u64)>) {
+    fn commit_rot<T: Finish>(&mut self, p: Pending<T>, snapshot: u64, reads: Vec<(u64, u64)>) {
         let latency = p.attempt_start.elapsed().as_nanos() as u64;
         self.stats.rot_commits += 1;
         self.stats.useful_cycles += latency;
@@ -505,10 +646,12 @@ impl NativeWorker {
                 writes: Vec::new(),
             });
         }
+        p.tx.finish(Ok(()));
     }
 
-    /// Record a retriable abort; returns false (and fails the transaction
-    /// terminally) when the retry budget is exhausted.
+    /// Record a retriable abort and bump the attempt counter; false when
+    /// the retry budget is exhausted (the caller must then fail the
+    /// transaction terminally with `RetryBudgetExhausted`).
     fn abort_retriable<T: TxLogic>(&mut self, p: &mut Pending<T>, reason: AbortReason) -> bool {
         let latency = p.attempt_start.elapsed().as_nanos() as u64;
         if p.tx.is_read_only() {
@@ -519,18 +662,16 @@ impl NativeWorker {
         self.stats.wasted_cycles += latency;
         self.metrics.record_abort(reason, latency);
         p.attempts += 1;
-        if self.policy.budget_exhausted(p.attempts) {
-            self.fail(p, AbortReason::RetryBudgetExhausted);
-            return false;
-        }
-        true
+        !self.policy.budget_exhausted(p.attempts)
     }
 
-    /// Fail a transaction terminally (recovery outcome, never retried).
-    fn fail<T: TxLogic>(&mut self, p: &Pending<T>, reason: AbortReason) {
+    /// Fail a transaction terminally (recovery outcome, never retried)
+    /// and deliver its completion.
+    fn fail<T: Finish>(&mut self, p: Pending<T>, reason: AbortReason) {
         let latency = p.attempt_start.elapsed().as_nanos() as u64;
         self.stats.failed += 1;
         self.stats.wasted_cycles += latency;
         self.metrics.record_abort(reason, latency);
+        p.tx.finish(Err(reason));
     }
 }

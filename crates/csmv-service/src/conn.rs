@@ -1,0 +1,302 @@
+//! One client connection: a reader half that parses frames, tracks
+//! `MULTI` state and submits transactions, and a writer half that sends
+//! replies strictly in request order.
+//!
+//! Pipelining falls out of the split: the reader keeps accepting and
+//! submitting requests while earlier ones are still in flight, and the
+//! writer blocks on each submission's completion in turn. The reply
+//! queue between the halves is bounded, so one connection can hold at
+//! most [`PIPELINE_DEPTH`] replies outstanding — past that the reader
+//! stops draining the socket and TCP pushes back on the client.
+//!
+//! Nothing in `impl Connection` may panic: the `xtask`
+//! `no-panic-in-server-path` lint covers this file.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use csmv_native::{Completion, NativeEngine, SubmitError};
+
+use crate::command::{Command, KvOp, KvResult, KvTx, ResultSink};
+use crate::resp;
+
+/// Replies one connection may have outstanding before the reader stops
+/// draining its socket.
+pub const PIPELINE_DEPTH: usize = 128;
+
+/// How often a blocked socket read wakes up to notice service shutdown.
+const READ_SLICE: Duration = Duration::from_millis(200);
+
+/// How each committed op encodes into its reply slot.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    /// `GET` → bulk string.
+    Get,
+    /// `SET` → `+OK`.
+    Set,
+    /// `INCRBY` → integer.
+    Incr,
+}
+
+/// One in-order reply slot handed from reader to writer.
+enum Slot {
+    /// An immediate, already-encoded reply.
+    Ready(Vec<u8>),
+    /// A submitted transaction: encode once its completion arrives.
+    Tx {
+        done: Receiver<Completion>,
+        results: ResultSink,
+        ops: Vec<OpKind>,
+        /// Wrap the op replies in an `EXEC` array.
+        exec: bool,
+    },
+}
+
+/// Reader-side `MULTI` bookkeeping.
+struct MultiState {
+    ops: Vec<KvOp>,
+    kinds: Vec<OpKind>,
+    /// A queued command failed to parse; `EXEC` must refuse the block.
+    dirty: bool,
+}
+
+pub(crate) struct Connection {
+    stream: TcpStream,
+    engine: Arc<NativeEngine>,
+    /// Valid keys are `0..keys`.
+    keys: u64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Connection {
+    pub(crate) fn new(
+        stream: TcpStream,
+        engine: Arc<NativeEngine>,
+        keys: u64,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            stream,
+            engine,
+            keys,
+            shutdown,
+        }
+    }
+
+    /// Serve the connection to completion (client hangup, protocol
+    /// error, or service shutdown).
+    pub(crate) fn run(mut self) {
+        if self.stream.set_read_timeout(Some(READ_SLICE)).is_err() {
+            return;
+        }
+        let Ok(wstream) = self.stream.try_clone() else {
+            return;
+        };
+        let (slot_tx, slot_rx) = mpsc::sync_channel::<Slot>(PIPELINE_DEPTH);
+        std::thread::scope(|s| {
+            s.spawn(move || write_loop(wstream, slot_rx));
+            self.read_loop(&slot_tx);
+            drop(slot_tx);
+        });
+    }
+
+    fn read_loop(&mut self, slots: &SyncSender<Slot>) {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut multi: Option<MultiState> = None;
+        loop {
+            // Drain complete frames before reading more bytes.
+            loop {
+                match resp::parse_frame(&buf) {
+                    resp::ParseOutcome::Incomplete => break,
+                    resp::ParseOutcome::Error(e) => {
+                        let _ = slots.send(Slot::Ready(resp::error(&format!("ERR protocol: {e}"))));
+                        return;
+                    }
+                    resp::ParseOutcome::Frame(argv, used) => {
+                        buf.drain(..used);
+                        if argv.is_empty() {
+                            continue;
+                        }
+                        match self.dispatch(&argv, &mut multi) {
+                            Dispatch::Reply(slot) => {
+                                if slots.send(slot).is_err() {
+                                    return; // writer gone (socket died)
+                                }
+                            }
+                            Dispatch::Close(slot) => {
+                                let _ = slots.send(slot);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return, // EOF
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn dispatch(&self, argv: &[Vec<u8>], multi: &mut Option<MultiState>) -> Dispatch {
+        let cmd = match Command::parse(argv) {
+            Ok(cmd) => cmd,
+            Err(e) => {
+                // Inside MULTI a bad command poisons the block, as in
+                // Redis: EXEC will refuse it.
+                if let Some(m) = multi.as_mut() {
+                    m.dirty = true;
+                }
+                return Dispatch::Reply(Slot::Ready(resp::error(&e)));
+            }
+        };
+        match cmd {
+            Command::Ping => Dispatch::Reply(Slot::Ready(resp::simple("PONG"))),
+            Command::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Dispatch::Close(Slot::Ready(resp::simple("OK")))
+            }
+            Command::Multi => {
+                if multi.is_some() {
+                    Dispatch::Reply(Slot::Ready(resp::error(
+                        "ERR MULTI calls can not be nested",
+                    )))
+                } else {
+                    *multi = Some(MultiState {
+                        ops: Vec::new(),
+                        kinds: Vec::new(),
+                        dirty: false,
+                    });
+                    Dispatch::Reply(Slot::Ready(resp::simple("OK")))
+                }
+            }
+            Command::Discard => match multi.take() {
+                Some(_) => Dispatch::Reply(Slot::Ready(resp::simple("OK"))),
+                None => Dispatch::Reply(Slot::Ready(resp::error("ERR DISCARD without MULTI"))),
+            },
+            Command::Exec => match multi.take() {
+                None => Dispatch::Reply(Slot::Ready(resp::error("ERR EXEC without MULTI"))),
+                Some(m) if m.dirty => Dispatch::Reply(Slot::Ready(resp::error(
+                    "EXECABORT Transaction discarded because of previous errors.",
+                ))),
+                Some(m) if m.ops.is_empty() => Dispatch::Reply(Slot::Ready(resp::array_header(0))),
+                Some(m) => Dispatch::Reply(self.submit(m.ops, m.kinds, true)),
+            },
+            Command::Get(k) | Command::Set(k, _) | Command::IncrBy(k, _) if k >= self.keys => {
+                if let Some(m) = multi.as_mut() {
+                    m.dirty = true;
+                }
+                Dispatch::Reply(Slot::Ready(resp::error(&format!(
+                    "ERR key {k} out of range (keys 0..{})",
+                    self.keys
+                ))))
+            }
+            Command::Get(k) => self.queue_or_submit(multi, KvOp::Get(k), OpKind::Get),
+            Command::Set(k, v) => self.queue_or_submit(multi, KvOp::Set(k, v), OpKind::Set),
+            Command::IncrBy(k, d) => self.queue_or_submit(multi, KvOp::IncrBy(k, d), OpKind::Incr),
+        }
+    }
+
+    fn queue_or_submit(&self, multi: &mut Option<MultiState>, op: KvOp, kind: OpKind) -> Dispatch {
+        if let Some(m) = multi.as_mut() {
+            m.ops.push(op);
+            m.kinds.push(kind);
+            Dispatch::Reply(Slot::Ready(resp::simple("QUEUED")))
+        } else {
+            Dispatch::Reply(self.submit(vec![op], vec![kind], false))
+        }
+    }
+
+    /// Hand a transaction to the engine; backpressure surfaces here as a
+    /// `-BUSY` reply instead of queue growth.
+    fn submit(&self, ops: Vec<KvOp>, kinds: Vec<OpKind>, exec: bool) -> Slot {
+        let results: ResultSink = Arc::new(Mutex::new(Vec::new()));
+        let tx = Box::new(KvTx::new(ops, results.clone()));
+        let (done_tx, done_rx) = mpsc::channel();
+        match self.engine.try_submit(tx, done_tx) {
+            Ok(()) => Slot::Tx {
+                done: done_rx,
+                results,
+                ops: kinds,
+                exec,
+            },
+            Err(SubmitError::Busy(_)) => {
+                Slot::Ready(resp::error("BUSY engine queue full, retry later"))
+            }
+            Err(SubmitError::Closed(_)) => Slot::Ready(resp::error("ERR engine is shut down")),
+        }
+    }
+}
+
+enum Dispatch {
+    Reply(Slot),
+    Close(Slot),
+}
+
+/// Writer half: encode and send replies strictly in request order.
+fn write_loop(mut stream: TcpStream, slots: Receiver<Slot>) {
+    for slot in slots {
+        let bytes = match slot {
+            Slot::Ready(b) => b,
+            Slot::Tx {
+                done,
+                results,
+                ops,
+                exec,
+            } => match done.recv() {
+                Ok(c) => encode_outcome(&c.outcome, &results, &ops, exec),
+                // The engine dropped the job without a completion (it can
+                // only happen past the run deadline, mid-teardown).
+                Err(_) => resp::error("ERR engine is shut down"),
+            },
+        };
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Encode one terminal transaction outcome as its RESP reply.
+fn encode_outcome(
+    outcome: &Result<(), stm_core::metrics::AbortReason>,
+    results: &ResultSink,
+    ops: &[OpKind],
+    exec: bool,
+) -> Vec<u8> {
+    match outcome {
+        // Typed retry error carrying the abort-reason taxonomy key.
+        Err(reason) => resp::error(&format!("RETRY {}", reason.key())),
+        Ok(()) => {
+            let vals = results.lock().unwrap_or_else(|e| e.into_inner());
+            let mut out = if exec {
+                resp::array_header(ops.len())
+            } else {
+                Vec::new()
+            };
+            for (i, kind) in ops.iter().enumerate() {
+                let val = vals.get(i).copied();
+                out.extend(match (kind, val) {
+                    (OpKind::Set, _) => resp::simple("OK"),
+                    (OpKind::Get, Some(KvResult::Value(v))) => resp::bulk(v.to_string().as_bytes()),
+                    (OpKind::Incr, Some(KvResult::Value(v))) => resp::integer(v as i64),
+                    // A committed tx always recorded one result per op;
+                    // anything else is an internal invariant break.
+                    _ => resp::error("ERR internal: missing op result"),
+                });
+            }
+            out
+        }
+    }
+}

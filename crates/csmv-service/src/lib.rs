@@ -1,0 +1,315 @@
+//! # csmv-service — a network front-end for the native CSMV engine
+//!
+//! A Redis-subset TCP server speaking RESP: `GET`/`SET`/`INCRBY` map to
+//! single-op CSMV transactions, a `MULTI…EXEC` block maps to one
+//! transaction, and `PING`/`DISCARD`/`SHUTDOWN` are control commands.
+//! Every connection is pipelined (replies strictly in request order),
+//! and every accepted request gets exactly one terminal reply:
+//!
+//! * `+OK` / bulk / integer — the transaction committed;
+//! * `-RETRY <abort_reason>` — the transaction aborted terminally, with
+//!   the `AbortReason` taxonomy key (`retry_budget_exhausted`,
+//!   `server_timeout`, `server_unavailable`, …);
+//! * `-BUSY …` — backpressure: the engine's bounded submit queue was
+//!   full and the request was shed before execution.
+//!
+//! Consistency model: bare pipelined commands are *independent
+//! concurrent transactions* — they may execute in any serializable
+//! order, and ordering against a previous command on the same
+//! connection is only guaranteed once that command's reply arrived
+//! (its commit happened before the reply was written). Atomicity and
+//! intra-request ordering are what `MULTI…EXEC` is for, including
+//! read-own-write inside the block.
+//!
+//! The server itself holds no transactional state — it is a framing and
+//! flow-control layer over [`csmv_native::NativeEngine`], and a
+//! `--check-history` run validates the full committed history against
+//! the opacity oracle at shutdown, exactly like the in-process harnesses.
+
+#![forbid(unsafe_code)]
+
+pub mod command;
+pub mod resp;
+
+mod conn;
+
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use csmv_native::{NativeConfig, NativeEngine, NativeRunError, NativeRunResult};
+
+use conn::Connection;
+
+/// Service configuration: engine shape plus the listener address.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine configuration (worker pool, commit servers, recovery,
+    /// faults). `max_run` bounds the whole serving session.
+    pub engine: NativeConfig,
+    /// Number of keys; valid keys are `0..keys`.
+    pub keys: u64,
+    /// Validate the committed history against the opacity oracle at
+    /// shutdown (forces `record_history`).
+    pub check_history: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            engine: NativeConfig {
+                // Serving sessions are long-lived; the engine watchdog is
+                // a last-resort bound, not a bench duration.
+                max_run: Duration::from_secs(3600),
+                // Unbounded retry makes overload invisible; a budget
+                // turns pathological contention into typed -RETRY
+                // replies the client can act on.
+                recovery: stm_core::RetryPolicy {
+                    retry_budget: Some(64),
+                    ..Default::default()
+                },
+                record_history: false,
+                ..Default::default()
+            },
+            keys: 1024,
+            check_history: false,
+        }
+    }
+}
+
+/// What a completed serving session hands back.
+pub struct ServiceReport {
+    /// The engine's aggregated run result (oracle-checked when
+    /// `check_history` was set).
+    pub result: NativeRunResult,
+    /// Connections accepted over the session.
+    pub connections: u64,
+}
+
+/// Errors out of [`serve`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The listener could not be bound.
+    Bind(std::io::Error),
+    /// The engine rejected its configuration, or the committed history
+    /// failed the opacity oracle at shutdown.
+    Engine(NativeRunError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Bind(e) => write!(f, "bind failed: {e}"),
+            ServiceError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Bind `addr`, serve connections until a client issues `SHUTDOWN` (or
+/// `stop` is set externally), then drain the engine and return the
+/// aggregated report.
+///
+/// `on_ready` is called with the bound local address before the first
+/// accept — tests use it to learn an OS-assigned port.
+pub fn serve<A: ToSocketAddrs>(
+    cfg: &ServiceConfig,
+    addr: A,
+    stop: Arc<AtomicBool>,
+    on_ready: impl FnOnce(std::net::SocketAddr),
+) -> Result<ServiceReport, ServiceError> {
+    let mut engine_cfg = cfg.engine.clone();
+    if cfg.check_history {
+        engine_cfg.record_history = true;
+    }
+    let listener = TcpListener::bind(addr).map_err(ServiceError::Bind)?;
+    listener.set_nonblocking(true).map_err(ServiceError::Bind)?;
+    if let Ok(local) = listener.local_addr() {
+        on_ready(local);
+    }
+
+    let engine = Arc::new(
+        NativeEngine::start(&engine_cfg, cfg.keys, |_| 0)
+            .map_err(|e| ServiceError::Engine(NativeRunError::Config(e)))?,
+    );
+
+    let mut connections: u64 = 0;
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections += 1;
+                let _ = stream.set_nodelay(true);
+                let conn = Connection::new(stream, engine.clone(), cfg.keys, stop.clone());
+                handles.push(std::thread::spawn(move || conn.run()));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+    drop(listener);
+    // Connections notice the stop flag on their next read slice; join
+    // them all so every in-flight reply is written before the engine
+    // drains.
+    for h in handles {
+        let _ = h.join();
+    }
+    let engine = match Arc::into_inner(engine) {
+        Some(e) => e,
+        None => {
+            // Unreachable once every connection joined; refuse to guess.
+            return Err(ServiceError::Engine(NativeRunError::Config(
+                csmv_native::NativeConfigError::NoClients,
+            )));
+        }
+    };
+    let result = if cfg.check_history {
+        engine.shutdown_checked().map_err(ServiceError::Engine)?
+    } else {
+        engine.shutdown()
+    };
+    Ok(ServiceReport {
+        result,
+        connections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resp::{parse_reply, Reply, ReplyOutcome};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    /// Pipeline `cmds` on `stream` and collect `want` in-order replies.
+    fn session(stream: &mut TcpStream, cmds: &[&[&str]], want: usize) -> Vec<Reply> {
+        let mut wire = Vec::new();
+        for cmd in cmds {
+            let args: Vec<&[u8]> = cmd.iter().map(|s| s.as_bytes()).collect();
+            wire.extend(crate::resp::encode_command(&args));
+        }
+        stream.write_all(&wire).unwrap();
+        let mut replies = Vec::new();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while replies.len() < want {
+            match parse_reply(&buf) {
+                ReplyOutcome::Reply(r, used) => {
+                    buf.drain(..used);
+                    replies.push(r);
+                    continue;
+                }
+                ReplyOutcome::Incomplete => {}
+                ReplyOutcome::Error(e) => panic!("bad reply stream: {e}"),
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed early: got {replies:?}");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        replies
+    }
+
+    #[test]
+    fn end_to_end_pipelined_session_with_multi_exec() {
+        let cfg = ServiceConfig {
+            engine: NativeConfig {
+                client_threads: 2,
+                server_threads: 1,
+                ..ServiceConfig::default().engine
+            },
+            keys: 16,
+            check_history: true,
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let server = {
+            let cfg = cfg.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                serve(&cfg, "127.0.0.1:0", stop, |a| {
+                    let _ = addr_tx.send(a);
+                })
+            })
+        };
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        let mut c1 = TcpStream::connect(addr).unwrap();
+
+        // Bare pipelined commands are independent concurrent transactions:
+        // ordering between them is only guaranteed once the earlier reply
+        // has arrived, so order-dependent steps wait between batches.
+        let replies = session(&mut c1, &[&["PING"], &["SET", "3", "41"]], 2);
+        assert_eq!(replies[0], Reply::Simple("PONG".into()));
+        assert_eq!(replies[1], Reply::Simple("OK".into()));
+        let replies = session(&mut c1, &[&["INCRBY", "3", "1"]], 1);
+        assert_eq!(replies[0], Reply::Integer(42));
+        let replies = session(&mut c1, &[&["GET", "3"]], 1);
+        assert_eq!(replies[0], Reply::Bulk(b"42".to_vec()));
+
+        // A MULTI block is one atomic transaction, pipelined in a single
+        // write, with read-own-write inside the block.
+        let replies = session(
+            &mut c1,
+            &[
+                &["MULTI"],
+                &["GET", "3"],
+                &["INCRBY", "3", "-2"],
+                &["SET", "4", "9"],
+                &["EXEC"],
+            ],
+            5,
+        );
+        assert_eq!(replies[0], Reply::Simple("OK".into()));
+        assert_eq!(replies[1], Reply::Simple("QUEUED".into()));
+        assert_eq!(replies[2], Reply::Simple("QUEUED".into()));
+        assert_eq!(replies[3], Reply::Simple("QUEUED".into()));
+        assert_eq!(
+            replies[4],
+            Reply::Array(vec![
+                Reply::Bulk(b"42".to_vec()),
+                Reply::Integer(40),
+                Reply::Simple("OK".into()),
+            ])
+        );
+
+        // Misuse surfaces as immediate typed errors, never a hang.
+        let replies = session(
+            &mut c1,
+            &[
+                &["GET", "999"],
+                &["EXEC"],
+                &["MULTI"],
+                &["BOGUS"],
+                &["GET", "1"],
+                &["EXEC"],
+            ],
+            6,
+        );
+        assert!(matches!(&replies[0], Reply::Error(e) if e.contains("out of range")));
+        assert!(matches!(&replies[1], Reply::Error(e) if e.contains("EXEC without MULTI")));
+        assert_eq!(replies[2], Reply::Simple("OK".into())); // MULTI
+        assert!(matches!(&replies[3], Reply::Error(e) if e.contains("unknown command")));
+        assert_eq!(replies[4], Reply::Simple("QUEUED".into()));
+        assert!(matches!(&replies[5], Reply::Error(e) if e.starts_with("EXECABORT")));
+
+        // A second connection sees the committed state, then stops the
+        // service.
+        let mut c2 = TcpStream::connect(addr).unwrap();
+        let replies = session(&mut c2, &[&["GET", "4"], &["GET", "3"], &["SHUTDOWN"]], 3);
+        assert_eq!(replies[0], Reply::Bulk(b"9".to_vec()));
+        assert_eq!(replies[1], Reply::Bulk(b"40".to_vec()));
+        assert_eq!(replies[2], Reply::Simple("OK".into()));
+
+        let report = server.join().unwrap().expect("serve failed");
+        assert_eq!(report.connections, 2);
+        // 3 update txs (SET, INCRBY, the EXEC block) + 3 read-only GETs.
+        assert_eq!(report.result.stats.update_commits, 3);
+        assert_eq!(report.result.stats.rot_commits, 3);
+        assert_eq!(report.result.stats.failed, 0);
+        assert_eq!(report.result.final_state.get(&3), Some(&40));
+        assert_eq!(report.result.final_state.get(&4), Some(&9));
+    }
+}

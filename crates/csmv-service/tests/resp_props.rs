@@ -1,0 +1,212 @@
+//! Fuzz-style property tests for the RESP framing layer: the parser
+//! must never panic on any byte stream, must treat every prefix of a
+//! valid frame as `Incomplete` (split reads), must round-trip every
+//! well-formed command through arbitrary coalescing (pipelined reads),
+//! and the connection-level MULTI state machine must answer nested /
+//! orphaned control commands with errors, never silence.
+
+use csmv_service::resp::{self, parse_frame, parse_reply, ParseOutcome, Reply, ReplyOutcome};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// An arbitrary well-formed command argv (possibly empty words, binary
+/// bytes — the framing layer doesn't care about command semantics).
+fn arb_argv() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    pvec(pvec(0u8..=255, 0usize..24), 1usize..6)
+}
+
+/// A pipelined wire image of several commands plus the frame boundaries.
+fn encode_all(cmds: &[Vec<Vec<u8>>]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for argv in cmds {
+        wire.extend(resp::encode_command(argv));
+    }
+    wire
+}
+
+/// Parse as many frames as possible from `buf`, feeding `chunk`-sized
+/// slices as a socket would.
+fn parse_chunked(wire: &[u8], chunk: usize) -> Vec<Vec<Vec<u8>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut fed = 0;
+    loop {
+        loop {
+            match parse_frame(&buf) {
+                ParseOutcome::Frame(argv, used) => {
+                    buf.drain(..used);
+                    out.push(argv);
+                }
+                ParseOutcome::Incomplete => break,
+                ParseOutcome::Error(e) => panic!("well-formed stream errored: {e}"),
+            }
+        }
+        if fed >= wire.len() {
+            return out;
+        }
+        let take = chunk.max(1).min(wire.len() - fed);
+        buf.extend_from_slice(&wire[fed..fed + take]);
+        fed += take;
+    }
+}
+
+proptest! {
+    /// The parser never panics and never over-consumes, whatever bytes
+    /// arrive.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in pvec(0u8..=255, 0usize..256)) {
+        match parse_frame(&bytes) {
+            ParseOutcome::Frame(_, used) => prop_assert!(used <= bytes.len()),
+            ParseOutcome::Incomplete | ParseOutcome::Error(_) => {}
+        }
+        match parse_reply(&bytes) {
+            ReplyOutcome::Reply(_, used) => prop_assert!(used <= bytes.len()),
+            ReplyOutcome::Incomplete | ReplyOutcome::Error(_) => {}
+        }
+    }
+
+    /// Every proper prefix of a well-formed frame is `Incomplete` —
+    /// split reads can never produce an error or a short frame.
+    #[test]
+    fn every_split_of_a_frame_is_incomplete(argv in arb_argv()) {
+        let wire = resp::encode_command(&argv);
+        for cut in 0..wire.len() {
+            prop_assert_eq!(
+                parse_frame(&wire[..cut]),
+                ParseOutcome::Incomplete,
+                "cut at {}", cut
+            );
+        }
+        match parse_frame(&wire) {
+            ParseOutcome::Frame(got, used) => {
+                prop_assert_eq!(used, wire.len());
+                prop_assert_eq!(got, argv);
+            }
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Pipelined commands round-trip through arbitrary read coalescing:
+    /// any chunk size recovers exactly the original frame sequence.
+    #[test]
+    fn pipelined_streams_round_trip_at_any_chunking(
+        cmds in pvec(arb_argv(), 1usize..5),
+        chunk in 1usize..64,
+    ) {
+        let wire = encode_all(&cmds);
+        let got = parse_chunked(&wire, chunk);
+        prop_assert_eq!(got, cmds);
+    }
+
+    /// Trailing garbage after well-formed frames never corrupts the
+    /// frames already parsed.
+    #[test]
+    fn garbage_after_frames_does_not_corrupt_them(
+        cmds in pvec(arb_argv(), 1usize..4),
+        garbage in pvec(0u8..=255, 0usize..32),
+    ) {
+        let mut wire = encode_all(&cmds);
+        wire.extend_from_slice(&garbage);
+        let mut pos = 0;
+        for want in &cmds {
+            match parse_frame(&wire[pos..]) {
+                ParseOutcome::Frame(got, used) => {
+                    prop_assert_eq!(&got, want);
+                    pos += used;
+                }
+                other => {
+                    prop_assert!(false, "{:?}", other);
+                }
+            }
+        }
+    }
+
+    /// Replies round-trip, including nested EXEC arrays.
+    #[test]
+    fn encoded_replies_round_trip(values in pvec(0u64..1_000_000, 1usize..6)) {
+        let mut wire = resp::array_header(values.len());
+        for (i, v) in values.iter().enumerate() {
+            // Alternate encodings the service actually emits.
+            wire.extend(match i % 3 {
+                0 => resp::bulk(v.to_string().as_bytes()),
+                1 => resp::integer(*v as i64),
+                _ => resp::simple("OK"),
+            });
+        }
+        match parse_reply(&wire) {
+            ReplyOutcome::Reply(Reply::Array(items), used) => {
+                prop_assert_eq!(used, wire.len());
+                prop_assert_eq!(items.len(), values.len());
+            }
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+}
+
+/// Nested/orphaned MULTI misuse over a live connection: every control
+/// error is a typed reply, and the connection keeps serving afterwards.
+#[test]
+fn multi_misuse_over_a_live_connection_yields_typed_errors() {
+    use csmv_service::{serve, ServiceConfig};
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let cfg = ServiceConfig {
+        keys: 8,
+        ..Default::default()
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            serve(&cfg, "127.0.0.1:0", stop, |a| {
+                let _ = addr_tx.send(a);
+            })
+        })
+    };
+    let addr = addr_rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .unwrap();
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+
+    // MULTI, nested MULTI (error), DISCARD, DISCARD again (error),
+    // EXEC with nothing open (error), then a normal command — pipelined
+    // partly as inline commands to cross framing styles.
+    let mut wire = Vec::new();
+    wire.extend(resp::encode_command(&[b"MULTI".as_ref()]));
+    wire.extend_from_slice(b"MULTI\r\n");
+    wire.extend(resp::encode_command(&[b"DISCARD".as_ref()]));
+    wire.extend_from_slice(b"DISCARD\r\n");
+    wire.extend(resp::encode_command(&[b"EXEC".as_ref()]));
+    wire.extend_from_slice(b"SET 2 5\r\n");
+    wire.extend(resp::encode_command(&[b"SHUTDOWN".as_ref()]));
+    stream.write_all(&wire).unwrap();
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let mut replies = Vec::new();
+    while replies.len() < 7 {
+        match parse_reply(&buf) {
+            ReplyOutcome::Reply(r, used) => {
+                buf.drain(..used);
+                replies.push(r);
+                continue;
+            }
+            ReplyOutcome::Incomplete => {}
+            ReplyOutcome::Error(e) => panic!("bad reply stream: {e}"),
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "server closed early: got {replies:?}");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    assert_eq!(replies[0], Reply::Simple("OK".into()));
+    assert!(matches!(&replies[1], Reply::Error(e) if e.contains("nested")));
+    assert_eq!(replies[2], Reply::Simple("OK".into()));
+    assert!(matches!(&replies[3], Reply::Error(e) if e.contains("DISCARD without MULTI")));
+    assert!(matches!(&replies[4], Reply::Error(e) if e.contains("EXEC without MULTI")));
+    assert_eq!(replies[5], Reply::Simple("OK".into()));
+    assert_eq!(replies[6], Reply::Simple("OK".into()));
+    server.join().unwrap().expect("serve failed");
+}

@@ -71,7 +71,10 @@ const PROTOCOL_WORD_TOKENS: &[&str] = &[
 ];
 
 /// Commit-server types whose impl blocks must be panic-free: the
-/// simulated warps and the native backend's server/worker threads.
+/// simulated warps, the native backend's server/worker threads, the
+/// engine front door, and the network service's per-connection loop (a
+/// panicking connection thread silently drops the client and can leak
+/// in-flight completions).
 const SERVER_IMPL_TYPES: &[&str] = &[
     "ReceiverWarp",
     "WorkerWarp",
@@ -79,6 +82,8 @@ const SERVER_IMPL_TYPES: &[&str] = &[
     "MultiWorker",
     "NativeServer",
     "NativeWorker",
+    "NativeEngine",
+    "Connection",
 ];
 
 // --- lexical infrastructure ---------------------------------------------
@@ -643,8 +648,17 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let variants: Vec<String> = abort_reason_variants(&mask_comments_and_strings(&src), &[])
         .map(|v| v.into_iter().map(|(name, _)| name).collect())
         .unwrap_or_default();
-    for file in ["server.rs", "worker.rs"] {
+    for file in ["engine.rs", "server.rs", "worker.rs"] {
         let path = root.join("crates/csmv-native/src").join(file);
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(check_no_panic_in_server_path(&path, &src));
+        findings.extend(check_abort_reason_usage(&path, &src, &variants));
+    }
+    // The network service's protocol surface: the per-connection loop
+    // must never panic (it would drop the client mid-pipeline), and any
+    // abort reason it surfaces to clients must be a taxonomy variant.
+    for file in ["conn.rs", "command.rs"] {
+        let path = root.join("crates/csmv-service/src").join(file);
         let src = std::fs::read_to_string(&path)?;
         findings.extend(check_no_panic_in_server_path(&path, &src));
         findings.extend(check_abort_reason_usage(&path, &src, &variants));
@@ -719,6 +733,28 @@ mod tests {
         let f = check_no_panic_in_server_path(Path::new("x.rs"), src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn service_and_engine_impls_are_server_paths() {
+        // The engine front door and the service connection loop carry the
+        // same no-panic discipline as the commit-server warps.
+        let src = "impl NativeEngine {\n    fn f(&self) { self.x.unwrap(); }\n}\n\
+                   impl Connection {\n    fn g(&self) { self.y.expect(\"boom\"); }\n}";
+        let f = check_no_panic_in_server_path(Path::new("x.rs"), src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 5);
+    }
+
+    #[test]
+    fn unknown_abort_reason_usage_is_flagged() {
+        let variants = vec!["VersionOverflow".to_string(), "ReadValidation".to_string()];
+        let src = "fn f() { fail(AbortReason::VersionOverflow); \
+                   fail(AbortReason::MadeUpReason); let _ = AbortReason::ALL; }";
+        let f = check_abort_reason_usage(Path::new("x.rs"), src, &variants);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("MadeUpReason"));
     }
 
     #[test]
