@@ -104,14 +104,31 @@ fn pair_files(args: &Args) -> Result<Vec<(PathBuf, PathBuf)>, String> {
 }
 
 fn check_pair(baseline: &Path, candidate: &Path, strict_equal: bool) -> Result<usize, String> {
-    let base = BenchReport::read_file(baseline)?;
+    if !baseline.exists() {
+        return Err(format!(
+            "baseline report {} is missing (commit it under results/baselines/ \
+             or point --baseline at the right tree)",
+            baseline.display()
+        ));
+    }
+    let base = BenchReport::read_file(baseline).map_err(|e| {
+        format!(
+            "baseline {e} (schema v{} expected)",
+            bench::report::SCHEMA_VERSION
+        )
+    })?;
     if !candidate.exists() {
         return Err(format!(
             "candidate report {} is missing (did the bench run with --json?)",
             candidate.display()
         ));
     }
-    let cand = BenchReport::read_file(candidate)?;
+    let cand = BenchReport::read_file(candidate).map_err(|e| {
+        format!(
+            "candidate {e} (schema v{} expected)",
+            bench::report::SCHEMA_VERSION
+        )
+    })?;
     if strict_equal {
         return match equal(&base, &cand) {
             Ok(()) => {
@@ -125,7 +142,10 @@ fn check_pair(baseline: &Path, candidate: &Path, strict_equal: bool) -> Result<u
             }
         };
     }
-    let violations = compare(&base, &cand)?;
+    // Comparability failures (schema / config mismatch) must name the
+    // offending files, not just the bench, so CI logs are actionable.
+    let violations = compare(&base, &cand)
+        .map_err(|e| format!("{} vs {}: {e}", baseline.display(), candidate.display()))?;
     if violations.is_empty() {
         println!(
             "PASS {} ({} rows gated)",
@@ -188,5 +208,54 @@ fn main() -> ExitCode {
             pairs.len()
         );
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(path: &Path, schema: u64) {
+        let json = format!(
+            "{{\"schema_version\":{schema},\"bench\":\"b\",\"scale\":\"quick\",\
+             \"seed\":1,\"rows\":[]}}"
+        );
+        std::fs::write(path, json).unwrap();
+    }
+
+    #[test]
+    fn missing_and_mismatched_baselines_name_the_file_and_schema() {
+        let dir = std::env::temp_dir().join("csmv-bench-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+
+        // Missing baseline: the error names the absent file.
+        let err = check_pair(&base, &cand, false).unwrap_err();
+        assert!(err.contains("base.json"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+
+        // Missing candidate: likewise.
+        write(&base, bench::report::SCHEMA_VERSION);
+        let err = check_pair(&base, &cand, false).unwrap_err();
+        assert!(err.contains("cand.json"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+
+        // Stale baseline schema: the error names both files and both
+        // schema versions, so CI logs say exactly what to regenerate.
+        write(&base, bench::report::SCHEMA_VERSION - 1);
+        write(&cand, bench::report::SCHEMA_VERSION);
+        let err = check_pair(&base, &cand, false).unwrap_err();
+        assert!(err.contains("base.json"), "{err}");
+        assert!(err.contains("cand.json"), "{err}");
+        assert!(
+            err.contains(&format!("v{}", bench::report::SCHEMA_VERSION - 1)),
+            "{err}"
+        );
+        assert!(
+            err.contains(&format!("v{}", bench::report::SCHEMA_VERSION)),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

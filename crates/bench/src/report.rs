@@ -24,6 +24,12 @@ use stm_core::{AbortReason, FaultEvent};
 /// metrics (`arrival_rate`, `achieved_rate`, `service.*` counters and
 /// per-class latency summaries) on rows produced by the `loadgen`
 /// binary against `csmv-service` (`config.backend` = "service").
+///
+/// Still v3 (additive): the version-GC PR appended
+/// `aborts.snapshot_too_old` (via the [`AbortReason::ALL`] loop),
+/// `memory_footprint_bytes`, `max_version_list_len` and the `gc.*`
+/// counters to every row. Old gates ignore unknown rows, so no bump —
+/// but baselines were regenerated to carry them.
 pub const SCHEMA_VERSION: u64 = 3;
 
 /// One benchmark invocation's structured output.
@@ -157,6 +163,22 @@ fn flatten(row: &Row) -> Vec<(String, f64)> {
         m.push((format!("{prefix}.max"), s.max() as f64));
         m.push((format!("{prefix}.sum"), s.sum() as f64));
     }
+    // v3, additive: version-GC and memory-footprint observability. The
+    // footprint row is the *peak* sampled bytes so a bounded-memory gate
+    // compares worst-case residency, not whatever the final sample was.
+    let gc = &metrics.gc;
+    m.push((
+        "memory_footprint_bytes".into(),
+        metrics.footprint.max() as f64,
+    ));
+    m.push((
+        "max_version_list_len".into(),
+        gc.max_version_list_len as f64,
+    ));
+    m.push(("gc.reclaimed".into(), gc.versions_reclaimed as f64));
+    m.push(("gc.spilled".into(), gc.versions_spilled as f64));
+    m.push(("gc.pruned".into(), gc.spill_pruned as f64));
+    m.push(("gc.pinned_commits".into(), gc.pinned_commits as f64));
     m
 }
 
@@ -362,6 +384,13 @@ mod tests {
         metrics.batch_sizes.record(17);
         metrics.atr_occupancy.push(10, 3);
         metrics.gts_stall.push(20, 7);
+        metrics.gc.versions_reclaimed = 9;
+        metrics.gc.versions_spilled = 4;
+        metrics.gc.spill_pruned = 3;
+        metrics.gc.pinned_commits = 1;
+        metrics.gc.max_version_list_len = 5;
+        metrics.footprint.push(5, 4096);
+        metrics.footprint.push(15, 8192);
         let client_bd = TimeBreakdown {
             poll_stall_cycles: 55,
             ..Default::default()
@@ -409,6 +438,14 @@ mod tests {
         assert_eq!(row.metric("faults.total"), Some(0.0));
         assert_eq!(row.metric("gts_stall.sum"), Some(7.0));
         assert_eq!(row.metric("poll_stall_cycles"), Some(55.0));
+        // Version-GC rows are additive v3 and peak-valued for footprint.
+        assert_eq!(row.metric("memory_footprint_bytes"), Some(8192.0));
+        assert_eq!(row.metric("max_version_list_len"), Some(5.0));
+        assert_eq!(row.metric("gc.reclaimed"), Some(9.0));
+        assert_eq!(row.metric("gc.spilled"), Some(4.0));
+        assert_eq!(row.metric("gc.pruned"), Some(3.0));
+        assert_eq!(row.metric("gc.pinned_commits"), Some(1.0));
+        assert_eq!(row.metric("aborts.snapshot_too_old"), Some(0.0));
         assert_eq!(row.metric("no_such_metric"), None);
         // Every abort reason appears exactly once.
         for reason in AbortReason::ALL {

@@ -15,6 +15,11 @@
 //!   later slot's).
 //! - **Write-back discipline**: a client only writes back a version whose
 //!   ATR entry is published.
+//! - **GC retention**: pruning every key's version list at the watermark
+//!   computed from the live snapshots and the GTS (the exact
+//!   `csmv::steps::watermark` / `retain_from` pair the native store's
+//!   ring-recycle path uses) never changes what any live snapshot — or
+//!   the GTS itself — reads.
 //!
 //! Terminal states additionally require a **gap-free** timestamp line:
 //! every reserved cts was published and the GTS caught up
@@ -43,6 +48,13 @@ pub enum Violation {
     GtsGap { gts: u64, next_cts: u64 },
     /// Terminal state missing a committed write-back.
     MissingWriteBack { client: usize, cts: u64 },
+    /// Pruning a key's versions at the GC watermark changed a live read.
+    GcRetention {
+        key: u64,
+        snapshot: u64,
+        full: u64,
+        pruned: u64,
+    },
     /// Non-terminal state with no enabled action.
     Deadlock,
     /// A reachable cycle with no commit or GTS progress.
@@ -75,6 +87,16 @@ impl std::fmt::Display for Violation {
             Violation::MissingWriteBack { client, cts } => write!(
                 f,
                 "terminal state: client {client}'s commit at cts {cts} was never written back"
+            ),
+            Violation::GcRetention {
+                key,
+                snapshot,
+                full,
+                pruned,
+            } => write!(
+                f,
+                "GC retention: pruning key {key} at the watermark changes the read \
+                 at snapshot {snapshot} from {full} to {pruned}"
             ),
             Violation::Deadlock => write!(f, "deadlock: no action enabled, clients not done"),
             Violation::Livelock => write!(
@@ -174,7 +196,61 @@ pub fn check_state(s: &State) -> Option<Violation> {
     if let Err(e) = stm_core::check_history(&records, &HashMap::new(), true) {
         return Some(Violation::History(e.to_string()));
     }
+    if let Some(v) = gc_retention(s) {
+        return Some(v);
+    }
     mvsg_cycle(&s.committed).map(Violation::MvsgCycle)
+}
+
+/// Snapshots of clients with a live transaction: the set a version GC must
+/// keep readable (the native engine registers exactly these).
+fn live_snapshots(s: &State) -> Vec<u64> {
+    s.clients
+        .iter()
+        .filter(|cl| {
+            matches!(
+                cl.phase,
+                ClientPhase::AwaitResp | ClientPhase::WriteBack | ClientPhase::GtsWait
+            )
+        })
+        .map(|cl| cl.snapshot)
+        .collect()
+}
+
+/// Reading `versions` (sorted by cts, implicit initial value 0) at
+/// `snapshot`, after dropping everything below `from`.
+fn read_pruned(versions: &[(u64, u64)], from: usize, snapshot: u64) -> u64 {
+    versions[from..]
+        .iter()
+        .rev()
+        .find(|&&(cts, _)| cts <= snapshot)
+        .map_or(0, |&(_, v)| v)
+}
+
+/// The version-GC retention obligation (see the module docs): prune every
+/// key's version list at the watermark the live snapshots and the GTS
+/// induce, and require every live snapshot — and the GTS — to read the
+/// same value from the pruned list as from the full one.
+pub fn gc_retention(s: &State) -> Option<Violation> {
+    let live = live_snapshots(s);
+    let wm = csmv::steps::watermark(live.iter().copied(), s.gts);
+    for (key, versions) in s.store.iter().enumerate() {
+        let ts: Vec<u64> = versions.iter().map(|&(cts, _)| cts).collect();
+        let from = csmv::steps::retain_from(&ts, wm);
+        for &snap in live.iter().chain(std::iter::once(&s.gts)) {
+            let full = read_pruned(versions, 0, snap);
+            let pruned = read_pruned(versions, from, snap);
+            if full != pruned {
+                return Some(Violation::GcRetention {
+                    key: key as u64,
+                    snapshot: snap,
+                    full,
+                    pruned,
+                });
+            }
+        }
+    }
+    None
 }
 
 /// Terminal-only checks (every client done).
@@ -320,6 +396,43 @@ mod tests {
         // serializes after it (ww: T1 -> T2).
         let committed = vec![tx(0, 0, 1, 0, 0), tx(1, 0, 2, 0, 0)];
         assert!(mvsg_cycle(&committed).is_some());
+    }
+
+    #[test]
+    fn gc_retention_respects_live_readers_and_the_gts() {
+        let cfg = ModelConfig::small();
+        let mut s = State::initial(&cfg);
+        s.store[0] = vec![(1, 1), (2, 2), (3, 3)];
+        s.gts = 3;
+        // A lagging live reader at snapshot 1 drags the watermark down: no
+        // version it needs may be pruned.
+        s.clients[0].phase = ClientPhase::AwaitResp;
+        s.clients[0].snapshot = 1;
+        assert_eq!(gc_retention(&s), None);
+        // Reader gone: watermark is the GTS, deep history prunable, and the
+        // GTS read still matches.
+        s.clients[0].phase = ClientPhase::Idle;
+        assert_eq!(gc_retention(&s), None);
+    }
+
+    #[test]
+    fn pruning_above_a_live_snapshot_changes_its_read() {
+        // The check has teeth: a watermark that ignores a reader at
+        // snapshot 1 prunes the version that reader resolves to.
+        let versions = vec![(1, 1), (2, 2), (3, 3)];
+        let ts: Vec<u64> = versions.iter().map(|&(cts, _)| cts).collect();
+        let from = csmv::steps::retain_from(&ts, 3);
+        assert_ne!(
+            read_pruned(&versions, from, 1),
+            read_pruned(&versions, 0, 1)
+        );
+        let violation = Violation::GcRetention {
+            key: 0,
+            snapshot: 1,
+            full: 1,
+            pruned: 0,
+        };
+        assert!(violation.to_string().contains("watermark"));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use stm_core::metrics::{AbortReason, MetricsReport};
-use stm_core::{TxLogic, TxOp};
+use stm_core::{SnapshotRegistry, TxLogic, TxOp};
 
 use crate::atr::NativeAtr;
 use crate::server::NativeServer;
@@ -128,6 +128,7 @@ impl NativeEngine {
             *init.get(&i).unwrap_or(&0)
         }));
         let atr = Arc::new(NativeAtr::new(cfg.atr_capacity, cfg.max_ws));
+        let registry = Arc::new(SnapshotRegistry::new(cfg.reader_slots));
         let start = Instant::now();
         let deadline = start + cfg.max_run;
 
@@ -155,6 +156,7 @@ impl NativeEngine {
                     wid,
                     store.clone(),
                     atr.clone(),
+                    registry.clone(),
                     req_tx,
                     resp_tx,
                     resp_rx,
@@ -233,6 +235,13 @@ impl NativeEngine {
         }
         result.gts = self.atr.gts();
         result.elapsed = self.start.elapsed();
+        // Shared store GC counters merge exactly once, with a final
+        // footprint sample for the soak plateau checks.
+        result.metrics.gc.merge(&self.store.gc_stats());
+        result.metrics.footprint.push(
+            result.elapsed.as_nanos() as u64,
+            self.store.footprint_bytes(),
+        );
         result.final_state = self.store.final_state();
         result
     }

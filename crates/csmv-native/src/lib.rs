@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 use stm_core::history::{HistoryError, TxRecord};
 use stm_core::metrics::MetricsReport;
 use stm_core::stats::CommitStats;
-use stm_core::{RetryPolicy, TxSource};
+use stm_core::{RetryPolicy, SnapshotRegistry, TxSource};
 
 pub use engine::{Completion, NativeEngine, SubmitError};
 pub use fault::{KillServer, NativeFaultPlan, NativeFaultSpec};
@@ -73,6 +73,12 @@ pub struct NativeConfig {
     pub max_batch: usize,
     /// Bound of each server's request channel (backpressure depth).
     pub channel_depth: usize,
+    /// Reader-snapshot registry slots (active-reader epochs the version GC
+    /// must respect). Each worker round holds one slot while it executes,
+    /// and each pinned long reader holds one across retries; a full table
+    /// degrades readers to unprotected (pre-GC) behaviour, never blocks
+    /// them. 0 disables reader protection and snapshot pinning entirely.
+    pub reader_slots: usize,
     /// Record per-transaction histories for the correctness oracle.
     pub record_history: bool,
     /// Failure-recovery policy. Cycle-valued fields (`resp_timeout`,
@@ -95,6 +101,7 @@ impl Default for NativeConfig {
             max_ws: 16,
             max_batch: 8,
             channel_depth: 64,
+            reader_slots: 64,
             record_history: true,
             recovery: RetryPolicy::default(),
             faults: None,
@@ -263,6 +270,7 @@ where
     cfg.validate()?;
     let store = Arc::new(NativeStore::new(num_items, cfg.versions_per_box, initial));
     let atr = Arc::new(NativeAtr::new(cfg.atr_capacity, cfg.max_ws));
+    let registry = Arc::new(SnapshotRegistry::new(cfg.reader_slots));
     let start = Instant::now();
     let deadline = start + cfg.max_run;
 
@@ -284,6 +292,7 @@ where
                     wid,
                     store.clone(),
                     atr.clone(),
+                    registry.clone(),
                     req_tx,
                     resp_tx,
                     resp_rx,
@@ -326,6 +335,13 @@ where
     for m in &server_metrics {
         result.metrics.merge(m);
     }
+    // The store's GC counters are shared by every worker: merge exactly
+    // once, plus a final footprint sample for the plateau checks.
+    result.metrics.gc.merge(&store.gc_stats());
+    result
+        .metrics
+        .footprint
+        .push(elapsed.as_nanos() as u64, store.footprint_bytes());
     result.final_state = store.final_state();
     Ok(result)
 }

@@ -25,6 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use csmv::steps;
+use stm_core::gc::SnapshotRegistry;
 use stm_core::history::TxRecord;
 use stm_core::metrics::{AbortReason, FaultEvent, MetricsReport};
 use stm_core::stats::CommitStats;
@@ -79,11 +80,35 @@ pub(crate) struct WorkerOutput {
     pub metrics: MetricsReport,
 }
 
+/// Rounds between two memory-footprint samples pushed into the metrics
+/// report (footprint reads are O(1), this just bounds sample volume).
+const FOOTPRINT_SAMPLE_ROUNDS: u64 = 64;
+
 /// A transaction waiting to run (or re-run after an abort).
 struct Pending<T> {
     tx: T,
     attempts: u32,
     attempt_start: Instant,
+    /// Starvation-freedom escalation (read-only transactions): the pinned
+    /// snapshot and the registry slot holding it. A pinned transaction
+    /// re-executes at this snapshot every retry; because the registration
+    /// keeps the GC from reclaiming the versions it resolves on, and ROTs
+    /// never validate, the next execution no write-back races commits. A
+    /// pin that still overflows (poisoned by the one turn that scanned
+    /// before it landed) is re-armed at a fresh snapshot, keeping the slot
+    /// (see [`NativeWorker::maybe_pin`]).
+    pin: Option<(u64, usize)>,
+}
+
+impl<T> Pending<T> {
+    fn new(tx: T) -> Self {
+        Self {
+            tx,
+            attempts: 0,
+            attempt_start: Instant::now(),
+            pin: None,
+        }
+    }
 }
 
 /// A fully executed update transaction, ready to submit.
@@ -118,6 +143,7 @@ pub(crate) struct NativeWorker {
     id: usize,
     store: Arc<NativeStore>,
     atr: Arc<NativeAtr>,
+    registry: Arc<SnapshotRegistry>,
     req_tx: SyncSender<CommitRequest>,
     resp_tx: Sender<CommitResponse>,
     resp_rx: Receiver<CommitResponse>,
@@ -128,6 +154,7 @@ pub(crate) struct NativeWorker {
     max_batch: usize,
     record_history: bool,
     seq: u64,
+    rounds: u64,
     server_dead: bool,
     stats: CommitStats,
     records: Vec<TxRecord>,
@@ -140,6 +167,7 @@ impl NativeWorker {
         id: usize,
         store: Arc<NativeStore>,
         atr: Arc<NativeAtr>,
+        registry: Arc<SnapshotRegistry>,
         req_tx: SyncSender<CommitRequest>,
         resp_tx: Sender<CommitResponse>,
         resp_rx: Receiver<CommitResponse>,
@@ -154,6 +182,7 @@ impl NativeWorker {
             id,
             store,
             atr,
+            registry,
             req_tx,
             resp_tx,
             resp_rx,
@@ -164,6 +193,7 @@ impl NativeWorker {
             max_batch,
             record_history,
             seq: 0,
+            rounds: 0,
             server_dead: false,
             stats: CommitStats::default(),
             records: Vec::new(),
@@ -183,13 +213,7 @@ impl NativeWorker {
         loop {
             while pending.len() < self.max_batch && !exhausted {
                 match source.next_tx() {
-                    Some(tx) => {
-                        pending.push_back(Pending {
-                            tx: Fire(tx),
-                            attempts: 0,
-                            attempt_start: Instant::now(),
-                        });
-                    }
+                    Some(tx) => pending.push_back(Pending::new(Fire(tx))),
                     None => exhausted = true,
                 }
             }
@@ -205,14 +229,7 @@ impl NativeWorker {
                 // so commits + failed always accounts for every
                 // transaction the source would have produced.
                 while let Some(tx) = source.next_tx() {
-                    self.fail(
-                        Pending {
-                            tx: Fire(tx),
-                            attempts: 0,
-                            attempt_start: Instant::now(),
-                        },
-                        AbortReason::ServerTimeout,
-                    );
+                    self.fail(Pending::new(Fire(tx)), AbortReason::ServerTimeout);
                 }
                 break;
             }
@@ -264,11 +281,7 @@ impl NativeWorker {
                     }
                 };
                 match got {
-                    Some(job) => pending.push_back(Pending {
-                        tx: job,
-                        attempts: 0,
-                        attempt_start: Instant::now(),
-                    }),
+                    Some(job) => pending.push_back(Pending::new(job)),
                     None => break,
                 }
             }
@@ -282,14 +295,7 @@ impl NativeWorker {
                     let rx = lock_jobs(&jobs);
                     rx.try_recv()
                 } {
-                    self.fail(
-                        Pending {
-                            tx: job,
-                            attempts: 0,
-                            attempt_start: Instant::now(),
-                        },
-                        AbortReason::ServerTimeout,
-                    );
+                    self.fail(Pending::new(job), AbortReason::ServerTimeout);
                 }
                 break;
             }
@@ -311,8 +317,21 @@ impl NativeWorker {
     /// One round: execute everything pending at a single snapshot,
     /// pre-validate the batch, submit the survivors, write back the
     /// granted window.
+    ///
+    /// The round's snapshot is registered in the reader table for the
+    /// duration of the execute phase, so concurrent write-backs retain
+    /// (spill rather than reclaim) any version this round's reads resolve
+    /// on. Pinned transactions (see [`NativeWorker::maybe_pin`]) execute
+    /// at their own pinned snapshot instead.
     fn round<T: Finish>(&mut self, pending: &mut VecDeque<Pending<T>>) {
+        self.rounds += 1;
+        if self.rounds % FOOTPRINT_SAMPLE_ROUNDS == 1 {
+            self.metrics
+                .footprint
+                .push(self.now_ns(), self.store.footprint_bytes());
+        }
         let snapshot = self.atr.gts();
+        let round_slot = self.registry.register(snapshot);
         let batch: Vec<Pending<T>> = pending.drain(..).collect();
         let mut retry: Vec<Pending<T>> = Vec::new();
         let mut execs: Vec<(Pending<T>, Executed)> = Vec::new();
@@ -321,11 +340,14 @@ impl NativeWorker {
                 p.tx.reset();
             }
             p.attempt_start = Instant::now();
-            match self.execute(&mut p.tx, snapshot) {
-                Exec::ReadOnly { reads } => self.commit_rot(p, snapshot, reads),
+            let snap = p.pin.map_or(snapshot, |(s, _)| s);
+            match self.execute(&mut p.tx, snap) {
+                Exec::ReadOnly { reads } => self.commit_rot(p, snap, reads),
                 Exec::Update(ex) => execs.push((p, ex)),
                 Exec::Overflow => {
-                    if self.abort_retriable(&mut p, AbortReason::VersionOverflow) {
+                    let reason = self.overflow_reason(snap);
+                    if self.abort_retriable(&mut p, reason) {
+                        self.maybe_pin(&mut p);
                         retry.push(p);
                     } else {
                         self.fail(p, AbortReason::RetryBudgetExhausted);
@@ -367,10 +389,73 @@ impl NativeWorker {
             }
         }
 
+        // Reads are done: release the round's reader slot before the
+        // write-back so our own registration doesn't force needless
+        // spills. Pinned transactions keep their slots across rounds.
+        if let Some(slot) = round_slot {
+            self.registry.deregister(slot);
+        }
         if !survivors.is_empty() {
             self.commit_batch(snapshot, survivors, &mut retry);
         }
         pending.extend(retry);
+    }
+
+    /// Classify a store read failure: below the GC watermark the version
+    /// was legitimately reclaimed (`SnapshotTooOld` — retry with a fresh,
+    /// registered snapshot); at or above it the loss came from the
+    /// registration/scan race window (`VersionOverflow`).
+    fn overflow_reason(&self, snapshot: u64) -> AbortReason {
+        if snapshot < self.registry.watermark(self.atr.gts()) {
+            AbortReason::SnapshotTooOld
+        } else {
+            AbortReason::VersionOverflow
+        }
+    }
+
+    /// Starvation-freedom escalation: once a read-only transaction has
+    /// burned half its retry budget ([`csmv::steps::should_pin`]), pin the
+    /// current snapshot — register it and keep it across retries. The
+    /// registration keeps every version the snapshot resolves on retained,
+    /// and ROTs never validate, so a pinned reader commits as soon as it
+    /// gets one execution no write-back races.
+    ///
+    /// At most one write-back turn can have scanned the registry before
+    /// the pin landed (turns are serialized by the GTS), and that turn may
+    /// reclaim a version the pinned snapshot needs — leaving the snapshot
+    /// *permanently* unreadable. So when an already-pinned transaction
+    /// overflows, the pin is **re-armed**: the held slot moves
+    /// ([`SnapshotRegistry::update`]) to a fresh snapshot instead of
+    /// dooming the reader to retry a dead one. Every turn that scans after
+    /// the re-arm retains the new snapshot's versions.
+    ///
+    /// No-op when the registry is full (the reader stays on ordinary
+    /// retries) or for update transactions (their validation can fail
+    /// regardless of version retention, so pinning buys them nothing).
+    fn maybe_pin<T: TxLogic>(&mut self, p: &mut Pending<T>) {
+        if !p.tx.is_read_only() {
+            return;
+        }
+        if let Some((_, slot)) = p.pin {
+            let snap = self.atr.gts();
+            self.registry.update(slot, snap);
+            p.pin = Some((snap, slot));
+            return;
+        }
+        if !steps::should_pin(p.attempts, self.policy.retry_budget) {
+            return;
+        }
+        let snap = self.atr.gts();
+        if let Some(slot) = self.registry.register(snap) {
+            p.pin = Some((snap, slot));
+        }
+    }
+
+    /// Drop a transaction's pinned-snapshot registration, if any.
+    fn release_pin<T>(&self, p: &mut Pending<T>) {
+        if let Some((_, slot)) = p.pin.take() {
+            self.registry.deregister(slot);
+        }
     }
 
     /// Execute one transaction body at `snapshot` against the store.
@@ -482,9 +567,15 @@ impl NativeWorker {
                     return;
                 }
                 granted.sort_by_key(|&(_, _, c)| c);
+                // One registry scan per batch: the write-back's GC pass
+                // retains every version a currently registered reader
+                // resolves on. A registration landing mid-write-back can
+                // miss this scan — that reader's one spurious abort is
+                // the documented race window.
+                let readers = self.registry.registered();
                 for (_, ex, cts) in &granted {
                     for &(item, value) in &ex.ws {
-                        self.store.publish(item, *cts, value);
+                        self.store.publish_gated(item, *cts, value, &readers);
                     }
                 }
                 self.atr.publish_gts(steps::gts_publish_value(base, nw));
@@ -632,7 +723,11 @@ impl NativeWorker {
 
     /// Commit a read-only transaction: consistent at its snapshot by
     /// construction, no server round-trip (as in the paper).
-    fn commit_rot<T: Finish>(&mut self, p: Pending<T>, snapshot: u64, reads: Vec<(u64, u64)>) {
+    fn commit_rot<T: Finish>(&mut self, mut p: Pending<T>, snapshot: u64, reads: Vec<(u64, u64)>) {
+        if p.pin.is_some() {
+            self.metrics.gc.pinned_commits += 1;
+        }
+        self.release_pin(&mut p);
         let latency = p.attempt_start.elapsed().as_nanos() as u64;
         self.stats.rot_commits += 1;
         self.stats.useful_cycles += latency;
@@ -667,11 +762,141 @@ impl NativeWorker {
 
     /// Fail a transaction terminally (recovery outcome, never retried)
     /// and deliver its completion.
-    fn fail<T: Finish>(&mut self, p: Pending<T>, reason: AbortReason) {
+    fn fail<T: Finish>(&mut self, mut p: Pending<T>, reason: AbortReason) {
+        self.release_pin(&mut p);
         let latency = p.attempt_start.elapsed().as_nanos() as u64;
         self.stats.failed += 1;
         self.stats.wasted_cycles += latency;
         self.metrics.record_abort(reason, latency);
         p.tx.finish(Err(reason));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::BankTx;
+
+    /// A worker wired to dummy channels — enough to drive `round` for
+    /// read-only transactions, which never touch the server.
+    fn lone_worker(
+        registry: Arc<SnapshotRegistry>,
+        store: Arc<NativeStore>,
+        atr: Arc<NativeAtr>,
+        budget: u32,
+    ) -> (NativeWorker, Receiver<CommitRequest>) {
+        let (req_tx, req_rx) = std::sync::mpsc::sync_channel(4);
+        let (resp_tx, resp_rx) = std::sync::mpsc::channel();
+        let policy = RetryPolicy {
+            retry_budget: Some(budget),
+            ..RetryPolicy::default()
+        };
+        let now = Instant::now();
+        let w = NativeWorker::new(
+            0,
+            store,
+            atr,
+            registry,
+            req_tx,
+            resp_tx,
+            resp_rx,
+            policy,
+            None,
+            now + Duration::from_secs(10),
+            now,
+            8,
+            true,
+        );
+        (w, req_rx)
+    }
+
+    fn full_scan(accounts: u64) -> Pending<Fire<BankTx>> {
+        Pending::new(Fire(BankTx::Balance {
+            accounts,
+            next: 0,
+            sum: 0,
+        }))
+    }
+
+    /// The poisoned-pin scenario, step by step: a write-back destroys the
+    /// only version at the reader's snapshot *before* any registration
+    /// lands (the one-in-flight-turn race), the reader burns half its
+    /// budget and pins — a snapshot that is permanently unreadable — and
+    /// the re-arm moves the held slot to a fresh snapshot that commits.
+    #[test]
+    fn poisoned_pin_is_rearmed_and_commits() {
+        let store = Arc::new(NativeStore::new(1, 1, |_| 10));
+        let atr = Arc::new(NativeAtr::new(64, 4));
+        let registry = Arc::new(SnapshotRegistry::new(4));
+        // Budget 6: pinning engages at attempt 3 (half the budget).
+        let (mut w, _req_rx) = lone_worker(registry.clone(), store.clone(), atr.clone(), 6);
+
+        // The racing turn: write-back done (old version reclaimed — its
+        // registry scan predated every registration), GTS not yet bumped.
+        store.publish_gated(0, 1, 20, &[]);
+        assert_eq!(atr.gts(), 0);
+
+        let mut pending: VecDeque<Pending<Fire<BankTx>>> = VecDeque::new();
+        pending.push_back(full_scan(1));
+        // Three rounds at snapshot 0 — unreadable, so three overflows; the
+        // third engages the pin, at the (poisoned) snapshot 0.
+        for attempts in 1..=3 {
+            w.round(&mut pending);
+            assert_eq!(pending.len(), 1, "still retrying");
+            assert_eq!(pending[0].attempts, attempts);
+        }
+        let (pin_snap, pin_slot) = pending[0].pin.expect("pin engaged at half budget");
+        assert_eq!(pin_snap, 0);
+        assert_eq!(registry.min_registered(), Some(0), "pin slot is held");
+
+        // The racing turn completes: GTS catches up to the write-back.
+        atr.publish_gts(1);
+        // The pinned snapshot is still dead; the retry overflows once more
+        // and the re-arm moves the held slot to the fresh snapshot.
+        w.round(&mut pending);
+        assert_eq!(pending.len(), 1);
+        let (new_snap, new_slot) = pending[0].pin.expect("pin survives the re-arm");
+        assert_eq!(new_snap, 1, "re-armed at the current GTS");
+        assert_eq!(new_slot, pin_slot, "the slot is kept, not re-claimed");
+
+        // At snapshot 1 the scan reads the live version and commits.
+        w.round(&mut pending);
+        assert!(pending.is_empty(), "pinned reader committed");
+        assert_eq!(w.stats.rot_commits, 1);
+        assert_eq!(w.stats.failed, 0);
+        assert_eq!(w.metrics.gc.pinned_commits, 1);
+        assert_eq!(
+            registry.min_registered(),
+            None,
+            "the pin slot is released on commit"
+        );
+        // Without the re-arm this run exhausts its budget instead: 4
+        // overflows happened, all retriable.
+        assert_eq!(w.stats.rot_aborts, 4);
+    }
+
+    /// A full registry never blocks a reader — it just stays on ordinary
+    /// unpinned retries (and commits here once the snapshot advances).
+    #[test]
+    fn full_registry_degrades_to_unpinned_retries() {
+        let store = Arc::new(NativeStore::new(1, 1, |_| 10));
+        let atr = Arc::new(NativeAtr::new(64, 4));
+        let registry = Arc::new(SnapshotRegistry::new(1));
+        let foreign = registry.register(5).expect("slot free");
+        let (mut w, _req_rx) = lone_worker(registry.clone(), store.clone(), atr.clone(), 6);
+
+        store.publish_gated(0, 1, 20, &[]);
+        let mut pending: VecDeque<Pending<Fire<BankTx>>> = VecDeque::new();
+        pending.push_back(full_scan(1));
+        for _ in 0..4 {
+            w.round(&mut pending);
+            assert_eq!(pending[0].pin, None, "no slot free, no pin");
+        }
+        atr.publish_gts(1);
+        w.round(&mut pending);
+        assert!(pending.is_empty());
+        assert_eq!(w.stats.rot_commits, 1);
+        assert_eq!(w.metrics.gc.pinned_commits, 0);
+        registry.deregister(foreign);
     }
 }

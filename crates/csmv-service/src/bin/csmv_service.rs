@@ -24,6 +24,7 @@ csmv-service — RESP front-end for the native CSMV engine
 USAGE:
   csmv-service [--addr HOST:PORT] [--keys N] [--clients N] [--servers N]
                [--max-batch N] [--channel-depth N] [--retry-budget N]
+               [--versions-per-box N] [--reader-slots N]
                [--resp-timeout-us N] [--max-send-attempts N]
                [--max-run-secs N] [--check-history]
                [--fault-drop-req-pct P] [--fault-drop-resp-pct P]
@@ -67,6 +68,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
             "--max-batch" => args.cfg.engine.max_batch = parse_num("--max-batch", argv.next())?,
             "--channel-depth" => {
                 args.cfg.engine.channel_depth = parse_num("--channel-depth", argv.next())?
+            }
+            "--versions-per-box" => {
+                args.cfg.engine.versions_per_box = parse_num("--versions-per-box", argv.next())?
+            }
+            "--reader-slots" => {
+                args.cfg.engine.reader_slots = parse_num("--reader-slots", argv.next())?
             }
             "--retry-budget" => {
                 args.cfg.engine.recovery.retry_budget =
@@ -160,6 +167,25 @@ fn main() -> ExitCode {
             if !by_reason.is_empty() {
                 println!("csmv-service: aborts by reason: {}", by_reason.join(" "));
             }
+            // Version-GC and memory-footprint summary, one greppable line
+            // (scripts/soak.sh asserts the plateau off these fields).
+            let gc = &r.result.metrics.gc;
+            let footprint = r
+                .result
+                .metrics
+                .footprint
+                .samples()
+                .last()
+                .map_or(0, |s| s.value);
+            println!(
+                "csmv-service: gc: footprint_bytes={footprint} max_version_list_len={} \
+                 reclaimed={} spilled={} pruned={} pinned_commits={}",
+                gc.max_version_list_len,
+                gc.versions_reclaimed,
+                gc.versions_spilled,
+                gc.spill_pruned,
+                gc.pinned_commits
+            );
             if args.cfg.check_history {
                 println!(
                     "csmv-service: history: ok ({} records)",

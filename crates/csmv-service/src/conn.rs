@@ -268,7 +268,11 @@ fn write_loop(mut stream: TcpStream, slots: Receiver<Slot>) {
     let _ = stream.flush();
 }
 
-/// Encode one terminal transaction outcome as its RESP reply.
+/// Encode one terminal transaction outcome as its RESP reply. The error
+/// arm is **total** over [`stm_core::metrics::AbortReason`]: every reason
+/// (including additions like `snapshot_too_old`) is carried as a typed
+/// `-RETRY <key>` reply through the same generic path — see the taxonomy
+/// test below.
 fn encode_outcome(
     outcome: &Result<(), stm_core::metrics::AbortReason>,
     results: &ResultSink,
@@ -298,5 +302,45 @@ fn encode_outcome(
             }
             out
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::metrics::AbortReason;
+
+    /// The `-RETRY <reason>` reply taxonomy is total: every abort reason —
+    /// terminal and retriable alike — encodes to a typed error carrying a
+    /// distinct, machine-parseable key. A new `AbortReason` variant cannot
+    /// silently fall outside the wire taxonomy.
+    #[test]
+    fn retry_reply_taxonomy_is_total_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for &reason in &AbortReason::ALL {
+            let key = reason.key();
+            assert!(!key.is_empty(), "{reason:?} must have a taxonomy key");
+            assert!(
+                key.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{reason:?} key {key:?} must be a lowercase identifier"
+            );
+            assert!(seen.insert(key), "{reason:?} key {key:?} is not distinct");
+            let results: ResultSink = Default::default();
+            let bytes = encode_outcome(&Err(reason), &results, &[], true);
+            let reply = String::from_utf8(bytes).expect("RESP errors are UTF-8");
+            assert_eq!(
+                reply,
+                format!("-RETRY {key}\r\n"),
+                "{reason:?} must surface as a typed RETRY error"
+            );
+        }
+    }
+
+    /// The reason this PR adds rides the same path as the rest.
+    #[test]
+    fn snapshot_too_old_is_carried_on_the_wire() {
+        let results: ResultSink = Default::default();
+        let bytes = encode_outcome(&Err(AbortReason::SnapshotTooOld), &results, &[], false);
+        assert_eq!(bytes, b"-RETRY snapshot_too_old\r\n");
     }
 }

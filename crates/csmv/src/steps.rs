@@ -156,6 +156,74 @@ pub fn gts_run(gts: u64, pending: &[u64]) -> u64 {
     }
 }
 
+/// The version-GC watermark: the minimum over the active reader snapshots,
+/// clamped to the GTS (an in-flight registration of a future timestamp can
+/// never raise the watermark above the committed frontier). With no active
+/// readers the watermark is the GTS itself — everything older than the
+/// newest committed version is reclaimable.
+pub fn watermark<I>(active_snapshots: I, gts: u64) -> u64
+where
+    I: IntoIterator<Item = u64>,
+{
+    active_snapshots.into_iter().fold(gts, |w, s| w.min(s))
+}
+
+/// May the oldest retained version of an item be reclaimed (its ring slot
+/// recycled) without starving any reader at or above the watermark?
+///
+/// A snapshot read returns the newest version with `ts <= snapshot`. After
+/// the oldest version is gone, a reader at the watermark still succeeds
+/// iff the *next*-oldest retained version already covers it.
+#[inline]
+pub fn recycle_safe(next_oldest_ts: u64, watermark: u64) -> bool {
+    next_oldest_ts <= watermark
+}
+
+/// Adaptive retention: which versions of one item must survive a GC pass
+/// at `watermark`? Keeps the newest version with `ts <= watermark` (the
+/// one every snapshot in `[watermark, gts]` at or below it resolves to)
+/// plus everything newer. `versions` must be sorted by ascending `ts`;
+/// returns the index of the first version to retain (everything before it
+/// is reclaimable). This is what makes retention per-object adaptive:
+/// write-hot items whose old versions are all below the watermark collapse
+/// to (effectively) a single version, while an item pinned by an old
+/// registered snapshot keeps its deep history.
+pub fn retain_from(versions: &[u64], watermark: u64) -> usize {
+    versions
+        .iter()
+        .rposition(|&ts| ts <= watermark)
+        .unwrap_or(0)
+}
+
+/// Does any registered reader snapshot *resolve on* the version at `ts`,
+/// given that the next-newer retained version is at `next_ts`? A snapshot
+/// read returns the newest version `<=` the snapshot, so the version at
+/// `ts` is the answer exactly for snapshots in `[ts, next_ts)`. This is
+/// the per-version retention test behind adaptive GC: a version no
+/// registered snapshot resolves on is reclaimable even when it is above
+/// the watermark.
+#[inline]
+pub fn version_needed<I>(ts: u64, next_ts: u64, readers: I) -> bool
+where
+    I: IntoIterator<Item = u64>,
+{
+    readers.into_iter().any(|s| ts <= s && s < next_ts)
+}
+
+/// Starvation-freedom escalation: should a reader that has already burned
+/// `attempts` of its retry `budget` pin its snapshot (register it and keep
+/// re-executing at the same timestamp)? Pinning engages at the half-way
+/// point — early enough that the guaranteed-commit path has budget left,
+/// late enough that the fast path (fresh snapshot each retry) gets a fair
+/// shot first. With no budget there is no exhaustion to outrun, so never.
+#[inline]
+pub fn should_pin(attempts: u32, budget: Option<u32>) -> bool {
+    match budget {
+        Some(b) => attempts >= b.div_ceil(2),
+        None => false,
+    }
+}
+
 /// Intra-warp pre-validation: lane `broadcaster` broadcasts its write-set
 /// `ws_items`; every *later* committing lane whose read- or write-set
 /// intersects it loses (`in_footprint(lane, item)` answers membership).
@@ -244,6 +312,75 @@ mod tests {
         assert_eq!(gts_run(2, &[4, 7]), 2);
         assert_eq!(gts_run(0, &[1]), 1);
         assert_eq!(gts_run(5, &[]), 5);
+    }
+
+    #[test]
+    fn watermark_is_min_snapshot_clamped_by_gts() {
+        assert_eq!(watermark([7, 3, 9], 10), 3);
+        assert_eq!(watermark([], 10), 10);
+        assert_eq!(watermark([15], 10), 10);
+        assert_eq!(watermark([0], 10), 0);
+    }
+
+    #[test]
+    fn recycle_needs_a_covering_successor() {
+        // Versions {2, 5}: dropping 2 is safe iff the watermark reader
+        // (snapshot >= watermark) still resolves on 5.
+        assert!(recycle_safe(5, 5));
+        assert!(recycle_safe(5, 8));
+        assert!(!recycle_safe(5, 4));
+    }
+
+    #[test]
+    fn retention_keeps_the_covering_version_and_everything_newer() {
+        let versions = [1, 3, 6, 9];
+        // Watermark 6: version 6 covers snapshots 6..9; 1 and 3 go.
+        assert_eq!(retain_from(&versions, 6), 2);
+        // Watermark 7: still version 6.
+        assert_eq!(retain_from(&versions, 7), 2);
+        // Watermark below everything: keep all (nothing covers, so the
+        // oldest must survive).
+        assert_eq!(retain_from(&versions, 0), 0);
+        // Watermark above everything: only the newest survives.
+        assert_eq!(retain_from(&versions, 100), 3);
+        assert_eq!(retain_from(&[], 5), 0);
+    }
+
+    #[test]
+    fn retained_reads_equal_full_reads_for_covered_snapshots() {
+        // The retention contract, checked exhaustively on a small list:
+        // every snapshot >= watermark reads the same version from the
+        // pruned list as from the full list.
+        let versions = [1, 3, 6, 9];
+        for wm in 0..12 {
+            let keep = retain_from(&versions, wm);
+            for snap in wm..12 {
+                let full = versions.iter().rev().find(|&&ts| ts <= snap);
+                let pruned = versions[keep..].iter().rev().find(|&&ts| ts <= snap);
+                assert_eq!(full, pruned, "wm={wm} snap={snap}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_version_is_needed_by_the_snapshots_it_resolves() {
+        // Version at ts 3, successor at ts 6: snapshots 3..=5 resolve here.
+        assert!(version_needed(3, 6, [5]));
+        assert!(version_needed(3, 6, [3]));
+        assert!(!version_needed(3, 6, [6]));
+        assert!(!version_needed(3, 6, [2]));
+        assert!(!version_needed(3, 6, []));
+        assert!(version_needed(3, 6, [1, 9, 4]));
+    }
+
+    #[test]
+    fn pinning_engages_at_half_budget() {
+        assert!(!should_pin(0, Some(8)));
+        assert!(!should_pin(3, Some(8)));
+        assert!(should_pin(4, Some(8)));
+        assert!(should_pin(7, Some(8)));
+        assert!(should_pin(1, Some(1)));
+        assert!(!should_pin(1000, None));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gc;
 pub mod history;
 pub mod logic;
 pub mod metrics;
@@ -27,10 +28,12 @@ pub mod result;
 pub mod stats;
 pub mod vbox;
 
+pub use gc::SnapshotRegistry;
 pub use history::{check_history, replay_committed, HistoryError, TxRecord};
 pub use logic::{TxLogic, TxOp, TxSource};
 pub use metrics::{
-    AbortCounts, AbortReason, FaultCounts, FaultEvent, Histogram, MetricsReport, Sample, Series,
+    AbortCounts, AbortReason, FaultCounts, FaultEvent, GcStats, Histogram, MetricsReport, Sample,
+    Series,
 };
 pub use mv_exec::{MvExec, MvExecConfig, PlainSetArea, SetArea};
 pub use phase::Phase;

@@ -41,11 +41,16 @@ pub enum AbortReason {
     /// The server recognised the request as a duplicate of an
     /// already-processed batch and dropped it instead of re-committing.
     DuplicateDropped = 9,
+    /// The transaction's snapshot fell below the version-GC watermark: the
+    /// version it needed was reclaimed because no *registered* reader held
+    /// a snapshot that old. Retriable — a fresh attempt takes a current
+    /// snapshot (and may register/pin it, see `stm_core::gc`).
+    SnapshotTooOld = 10,
 }
 
 impl AbortReason {
     /// All reasons, in id order.
-    pub const ALL: [AbortReason; 10] = [
+    pub const ALL: [AbortReason; 11] = [
         AbortReason::ReadValidation,
         AbortReason::WriteWrite,
         AbortReason::AtrWindowOverflow,
@@ -56,6 +61,7 @@ impl AbortReason {
         AbortReason::RetryBudgetExhausted,
         AbortReason::ServerUnavailable,
         AbortReason::DuplicateDropped,
+        AbortReason::SnapshotTooOld,
     ];
 
     /// Dense id, usable as an array index and as a wire code.
@@ -77,6 +83,7 @@ impl AbortReason {
             7 => Some(AbortReason::RetryBudgetExhausted),
             8 => Some(AbortReason::ServerUnavailable),
             9 => Some(AbortReason::DuplicateDropped),
+            10 => Some(AbortReason::SnapshotTooOld),
             _ => None,
         }
     }
@@ -105,6 +112,7 @@ impl AbortReason {
             AbortReason::RetryBudgetExhausted => "retry_budget_exhausted",
             AbortReason::ServerUnavailable => "server_unavailable",
             AbortReason::DuplicateDropped => "duplicate_dropped",
+            AbortReason::SnapshotTooOld => "snapshot_too_old",
         }
     }
 }
@@ -221,6 +229,39 @@ impl AbortCounts {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
+    }
+}
+
+/// Version-GC and memory-footprint counters (filled by backends with a
+/// watermark-gated multi-version store; zero elsewhere). Reported as the
+/// `gc.*` / `max_version_list_len` rows in the bench JSON schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Ring slots recycled in place: the overwritten version was already
+    /// below the reader watermark, so no registered snapshot could need it.
+    pub versions_reclaimed: u64,
+    /// Versions spilled to an item's overflow list instead of being
+    /// reclaimed, because a registered reader's snapshot still needed them.
+    pub versions_spilled: u64,
+    /// Spilled versions pruned later, once the watermark passed them.
+    pub spill_pruned: u64,
+    /// Read-only transactions that committed while holding a pinned
+    /// snapshot (the starvation-freedom escalation path).
+    pub pinned_commits: u64,
+    /// Largest per-item version-list length (ring + live spill entries)
+    /// observed at any sample point.
+    pub max_version_list_len: u64,
+}
+
+impl GcStats {
+    /// Accumulate another counter set. Counters add; the list-length
+    /// high-water mark takes the max.
+    pub fn merge(&mut self, other: &GcStats) {
+        self.versions_reclaimed += other.versions_reclaimed;
+        self.versions_spilled += other.versions_spilled;
+        self.spill_pruned += other.spill_pruned;
+        self.pinned_commits += other.pinned_commits;
+        self.max_version_list_len = self.max_version_list_len.max(other.max_version_list_len);
     }
 }
 
@@ -431,6 +472,13 @@ pub struct MetricsReport {
     /// Time series of fault/recovery events: one sample per event, `value` =
     /// the [`FaultEvent`] id. Empty on fault-free runs.
     pub fault_events: Series,
+    /// Version-GC counters; all zero on backends without a watermark-gated
+    /// store.
+    pub gc: GcStats,
+    /// Multi-version store memory footprint samples, `value` = bytes of
+    /// live version storage (ring words + spill entries). Empty on
+    /// backends that do not sample it.
+    pub footprint: Series,
 }
 
 impl MetricsReport {
@@ -461,6 +509,8 @@ impl MetricsReport {
         self.gts_stall.merge(&other.gts_stall);
         self.faults.merge(&other.faults);
         self.fault_events.merge(&other.fault_events);
+        self.gc.merge(&other.gc);
+        self.footprint.merge(&other.footprint);
     }
 }
 
@@ -544,6 +594,56 @@ mod tests {
                 AbortReason::ServerUnavailable,
             ]
         );
+    }
+
+    #[test]
+    fn snapshot_too_old_is_retriable() {
+        assert!(!AbortReason::SnapshotTooOld.is_terminal());
+        assert_eq!(AbortReason::SnapshotTooOld.key(), "snapshot_too_old");
+        assert_eq!(
+            AbortReason::from_id(AbortReason::SnapshotTooOld.id()),
+            Some(AbortReason::SnapshotTooOld)
+        );
+    }
+
+    #[test]
+    fn gc_stats_merge_adds_counters_and_maxes_list_len() {
+        let mut a = GcStats {
+            versions_reclaimed: 5,
+            versions_spilled: 2,
+            spill_pruned: 1,
+            pinned_commits: 1,
+            max_version_list_len: 8,
+        };
+        let b = GcStats {
+            versions_reclaimed: 3,
+            versions_spilled: 4,
+            spill_pruned: 2,
+            pinned_commits: 0,
+            max_version_list_len: 12,
+        };
+        a.merge(&b);
+        assert_eq!(a.versions_reclaimed, 8);
+        assert_eq!(a.versions_spilled, 6);
+        assert_eq!(a.spill_pruned, 3);
+        assert_eq!(a.pinned_commits, 1);
+        assert_eq!(a.max_version_list_len, 12);
+    }
+
+    #[test]
+    fn report_merge_covers_gc_and_footprint() {
+        let mut a = MetricsReport::default();
+        a.gc.versions_reclaimed = 2;
+        a.footprint.push(10, 100);
+        let mut b = MetricsReport::default();
+        b.gc.versions_reclaimed = 3;
+        b.gc.max_version_list_len = 7;
+        b.footprint.push(5, 200);
+        a.merge(&b);
+        assert_eq!(a.gc.versions_reclaimed, 5);
+        assert_eq!(a.gc.max_version_list_len, 7);
+        assert_eq!(a.footprint.len(), 2);
+        assert_eq!(a.footprint.max(), 200);
     }
 
     #[test]
