@@ -225,7 +225,9 @@ mod tests {
 
     #[test]
     fn missing_and_mismatched_baselines_name_the_file_and_schema() {
-        let dir = std::env::temp_dir().join("csmv-bench-gate-test");
+        // Per-process-unique so concurrent test invocations on the same
+        // machine cannot clobber each other's fixtures.
+        let dir = std::env::temp_dir().join(format!("csmv-bench-gate-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("base.json");
         let cand = dir.join("cand.json");

@@ -55,6 +55,14 @@ pub enum Violation {
         full: u64,
         pruned: u64,
     },
+    /// Per-version (hole-producing) pruning served a snapshot a stale
+    /// value, or lost a registered snapshot's version entirely.
+    GcVersionRetention {
+        key: u64,
+        snapshot: u64,
+        full: u64,
+        served: Option<u64>,
+    },
     /// Non-terminal state with no enabled action.
     Deadlock,
     /// A reachable cycle with no commit or GTS progress.
@@ -98,6 +106,23 @@ impl std::fmt::Display for Violation {
                 "GC retention: pruning key {key} at the watermark changes the read \
                  at snapshot {snapshot} from {full} to {pruned}"
             ),
+            Violation::GcVersionRetention {
+                key,
+                snapshot,
+                full,
+                served,
+            } => match served {
+                Some(v) => write!(
+                    f,
+                    "GC version retention: per-version pruning of key {key} serves \
+                     snapshot {snapshot} the stale value {v} instead of {full}"
+                ),
+                None => write!(
+                    f,
+                    "GC version retention: per-version pruning of key {key} lost the \
+                     version registered snapshot {snapshot} resolves on (value {full})"
+                ),
+            },
             Violation::Deadlock => write!(f, "deadlock: no action enabled, clients not done"),
             Violation::Livelock => write!(
                 f,
@@ -199,6 +224,9 @@ pub fn check_state(s: &State) -> Option<Violation> {
     if let Some(v) = gc_retention(s) {
         return Some(v);
     }
+    if let Some(v) = gc_version_retention(s) {
+        return Some(v);
+    }
     mvsg_cycle(&s.committed).map(Violation::MvsgCycle)
 }
 
@@ -247,6 +275,86 @@ pub fn gc_retention(s: &State) -> Option<Violation> {
                     full,
                     pruned,
                 });
+            }
+        }
+    }
+    None
+}
+
+/// Each retained version with its coverage `[cts, cover_end)`, where
+/// `cover_end` is the cts of the next version in the **full** history (not
+/// the next retained one) — the exact bound the native store stamps on a
+/// spill entry. The newest version is always retained (the native ring
+/// always holds it); an older one survives only if some registered
+/// snapshot resolves on it ([`csmv::steps::version_needed`]), so holes of
+/// reclaimed versions are allowed.
+fn retained_with_cover(versions: &[(u64, u64)], readers: &[u64]) -> Vec<(u64, u64, u64)> {
+    (0..versions.len())
+        .filter_map(|i| {
+            let (cts, value) = versions[i];
+            let cover_end = versions.get(i + 1).map_or(u64::MAX, |&(c, _)| c);
+            (i + 1 == versions.len()
+                || csmv::steps::version_needed(cts, cover_end, readers.iter().copied()))
+            .then_some((cts, cover_end, value))
+        })
+        .collect()
+}
+
+/// Read over a retained list with the native store's covered-serve
+/// semantics: the newest retained version at or below the snapshot answers
+/// only when the snapshot falls inside its coverage; otherwise the read
+/// misses (`None` — the retriable overflow abort). A naive
+/// newest-at-or-below read here would serve hole snapshots stale values.
+fn read_covered(retained: &[(u64, u64, u64)], snapshot: u64) -> Option<u64> {
+    retained
+        .iter()
+        .rev()
+        .find(|&&(cts, _, _)| cts <= snapshot)
+        .and_then(|&(_, cover_end, v)| (snapshot < cover_end).then_some(v))
+}
+
+/// The per-version retention obligation behind the native store's spill
+/// path (hole-producing, unlike the watermark prefix pruning above):
+/// retain each key's versions by `version_needed` over the registered
+/// snapshots (live clients plus the GTS), then require, for **every**
+/// snapshot the protocol could hold — registered or not —
+///
+/// - a served covered read to equal the full-history read (no snapshot is
+///   ever served a stale value), and
+/// - a registered snapshot to never miss (its version must be retained).
+///
+/// Unregistered snapshots may miss — that is the native store's safe,
+/// retriable `VersionOverflow`/`SnapshotTooOld` abort.
+pub fn gc_version_retention(s: &State) -> Option<Violation> {
+    let mut readers = live_snapshots(s);
+    readers.push(s.gts);
+    for (key, versions) in s.store.iter().enumerate() {
+        // The implicit initial version (value 0 at ts 0) participates in
+        // retention like any other version.
+        let full: Vec<(u64, u64)> = std::iter::once((0, 0))
+            .chain(versions.iter().copied())
+            .collect();
+        let retained = retained_with_cover(&full, &readers);
+        for snap in 0..=s.gts {
+            let expect = read_pruned(versions, 0, snap);
+            match read_covered(&retained, snap) {
+                Some(v) if v != expect => {
+                    return Some(Violation::GcVersionRetention {
+                        key: key as u64,
+                        snapshot: snap,
+                        full: expect,
+                        served: Some(v),
+                    });
+                }
+                None if readers.contains(&snap) => {
+                    return Some(Violation::GcVersionRetention {
+                        key: key as u64,
+                        snapshot: snap,
+                        full: expect,
+                        served: None,
+                    });
+                }
+                _ => {}
             }
         }
     }
@@ -433,6 +541,44 @@ mod tests {
             pruned: 0,
         };
         assert!(violation.to_string().contains("watermark"));
+    }
+
+    #[test]
+    fn version_retention_allows_holes_but_keeps_every_live_resolver() {
+        let cfg = ModelConfig::small();
+        let mut s = State::initial(&cfg);
+        s.store[0] = vec![(1, 1), (2, 2), (3, 3)];
+        s.gts = 3;
+        // A live reader at snapshot 1 keeps cts 1; cts 2 sits in a
+        // reclaimable hole (nobody in [2, 3)) — still clean, because the
+        // covered read refuses to serve snapshot 2 from cts 1.
+        s.clients[0].phase = ClientPhase::AwaitResp;
+        s.clients[0].snapshot = 1;
+        assert_eq!(gc_version_retention(&s), None);
+        let readers = [1u64, 3];
+        let full = vec![(0, 0), (1, 1), (2, 2), (3, 3)];
+        let retained = retained_with_cover(&full, &readers);
+        assert_eq!(retained, vec![(1, 2, 1), (3, u64::MAX, 3)]);
+    }
+
+    #[test]
+    fn covered_read_misses_hole_snapshots_instead_of_serving_stale() {
+        // Teeth for the spill-hole bug: cts 2 was reclaimed between the
+        // retained cts 1 (cover ends at 2) and cts 3. A naive
+        // newest-at-or-below read serves snapshot 2 the stale value 1;
+        // the covered read must miss instead.
+        let retained = vec![(1, 2, 1), (3, u64::MAX, 3)];
+        assert_eq!(read_covered(&retained, 1), Some(1));
+        assert_eq!(read_covered(&retained, 2), None);
+        assert_eq!(read_covered(&retained, 3), Some(3));
+        assert_eq!(read_covered(&retained, 0), None);
+        let violation = Violation::GcVersionRetention {
+            key: 0,
+            snapshot: 2,
+            full: 2,
+            served: Some(1),
+        };
+        assert!(violation.to_string().contains("stale"));
     }
 
     #[test]

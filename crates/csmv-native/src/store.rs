@@ -38,6 +38,15 @@
 //! ring slot is overwritten, so a retained version is findable (ring or
 //! spill) at every instant; spill entries live under a per-item mutex, so
 //! they cannot tear either.
+//!
+//! Spilled versions carry their **coverage upper bound** — the successor's
+//! cts at spill time — because retention is per-version, not prefix: the
+//! versions *between* a retained spill entry and the ring may have been
+//! reclaimed for good (nobody registered needed them). A spill entry
+//! therefore only answers snapshots in `[cts, cover_end)`; a snapshot in a
+//! reclaimed hole gets `None` (the safe, retriable
+//! `VersionOverflow`/`SnapshotTooOld` abort) rather than a silently stale
+//! older value.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,10 +78,12 @@ pub struct NativeStore {
     heads: Vec<AtomicU64>,
     /// `item * versions_per_box + slot` → packed `(cts, value)`.
     slots: Vec<AtomicU64>,
-    /// Per-item spilled versions `(cts, value)`, ascending cts: versions
-    /// recycled out of the ring while a registered reader still needed
-    /// them. Mutated only by the write-back turn holder.
-    spill: Vec<Mutex<Vec<(u64, u64)>>>,
+    /// Per-item spilled versions `(cts, cover_end, value)`, ascending cts:
+    /// versions recycled out of the ring while a registered reader still
+    /// needed them. `cover_end` is the successor's cts at spill time — the
+    /// entry resolves snapshots in `[cts, cover_end)` and no others (see
+    /// the module docs). Mutated only by the write-back turn holder.
+    spill: Vec<Mutex<Vec<(u64, u64, u64)>>>,
     /// Live spill entries across all items (footprint accounting).
     spill_total: AtomicU64,
     /// GC counters, updated by the single writer with relaxed stores.
@@ -142,14 +153,17 @@ impl NativeStore {
         }
         // Ring exhausted with only too-new timestamps: the version this
         // snapshot needs was recycled — unless the GC spilled it for a
-        // registered reader.
+        // registered reader. Only an entry whose coverage contains the
+        // snapshot may answer: an entry merely *older* than the snapshot
+        // can have reclaimed versions between itself and the ring, and
+        // serving it would be a stale read, not a snapshot read.
         let list = self.spill[item as usize]
             .lock()
             .unwrap_or_else(|e| e.into_inner());
         list.iter()
             .rev()
-            .find(|&&(ts, _)| ts <= snapshot)
-            .map(|&(_, v)| v)
+            .find(|&&(ts, cover_end, _)| ts <= snapshot && snapshot < cover_end)
+            .map(|&(_, _, v)| v)
     }
 
     /// Publish one version with the current registered reader snapshots
@@ -186,21 +200,23 @@ impl NativeStore {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             if steps::version_needed(vts, successor_ts, readers.iter().copied()) {
-                list.push((vts, vval));
+                // The coverage bound is fixed at spill time: the versions
+                // in [vts, successor_ts) are exactly the snapshots this
+                // entry resolves, forever (intervening history is gone).
+                list.push((vts, successor_ts, vval));
                 self.spilled.fetch_add(1, Ordering::Relaxed);
                 self.spill_total.fetch_add(1, Ordering::Relaxed);
             } else {
                 self.reclaimed.fetch_add(1, Ordering::Relaxed);
             }
-            // Prune: entry i's successor is entry i+1, the last entry's is
-            // the oldest ring survivor. Keep exactly what a registered
-            // snapshot still resolves on — at most one entry per reader.
+            // Prune to the entries some registered snapshot still resolves
+            // on (within the entry's own coverage) — at most one entry per
+            // reader.
             let before = list.len();
             let mut kept = Vec::with_capacity(before.min(readers.len()));
-            for i in 0..before {
-                let succ = list.get(i + 1).map_or(successor_ts, |&(ts, _)| ts);
-                if steps::version_needed(list[i].0, succ, readers.iter().copied()) {
-                    kept.push(list[i]);
+            for &entry in list.iter() {
+                if steps::version_needed(entry.0, entry.1, readers.iter().copied()) {
+                    kept.push(entry);
                 }
             }
             let pruned = (before - kept.len()) as u64;
@@ -242,10 +258,11 @@ impl NativeStore {
     }
 
     /// Bytes of live version storage: ring words + head indices + spilled
-    /// versions. O(1) — the spill population is counter-tracked.
+    /// versions (cts + coverage bound + value). O(1) — the spill
+    /// population is counter-tracked.
     pub fn footprint_bytes(&self) -> u64 {
         let words = (self.slots.len() + self.heads.len()) as u64;
-        words * 8 + self.spill_total.load(Ordering::Relaxed) * 16
+        words * 8 + self.spill_total.load(Ordering::Relaxed) * 24
     }
 
     /// GC counters accumulated so far (`pinned_commits` is a worker-side
@@ -348,7 +365,27 @@ mod tests {
         assert_eq!(s.read_at(0, 3), Some(30));
         let gc = s.gc_stats();
         assert!(gc.max_version_list_len <= 3, "{}", gc.max_version_list_len);
-        assert_eq!(s.footprint_bytes(), (2 + 1) * 8 + 16);
+        assert_eq!(s.footprint_bytes(), (2 + 1) * 8 + 24);
+    }
+
+    #[test]
+    fn uncovered_snapshot_between_spill_and_ring_gets_none() {
+        let s = NativeStore::new(1, 2, |_| 0);
+        // A reader pinned at snapshot 0 keeps the ts-0 version spilled
+        // while the versions at ts 1..=4 are reclaimed for good.
+        let readers = [0u64];
+        for cts in 1..=6 {
+            s.publish_gated(0, cts, 100 + cts, &readers);
+        }
+        assert_eq!(s.read_at(0, 0), Some(0));
+        // Snapshots 1..=4 fall in the reclaimed hole between the spill
+        // entry (covers [0, 1)) and the ring (ts 5, 6): they must get the
+        // safe retriable None, never the stale ts-0 value.
+        for snap in 1..=4 {
+            assert_eq!(s.read_at(0, snap), None, "snapshot {snap}");
+        }
+        assert_eq!(s.read_at(0, 5), Some(105));
+        assert_eq!(s.read_at(0, 6), Some(106));
     }
 
     #[test]
@@ -370,15 +407,21 @@ mod tests {
     mod race {
         //! The ring-recycle/reader race (satellite of the version-GC PR):
         //! a reader holding one snapshot across full ring wraps, against a
-        //! live writer. Unregistered, every read is either the correct
-        //! value for some published version at-or-below the snapshot or
-        //! `None` (the safe `VersionOverflow`) — never a torn or
-        //! wrong-timestamp value. Registered, every read succeeds (the
-        //! pinned-snapshot guarantee), and the observed version timestamps
-        //! never regress.
+        //! live writer that also retains a *different* pinned snapshot —
+        //! so spill entries with reclaimed holes beyond them exist, the
+        //! geometry where an uncovered fallback would serve stale values.
+        //!
+        //! The invariant is exact, not just "some cts at-or-below the
+        //! snapshot": every successful read must equal the newest
+        //! published version `<= snapshot` *at some instant during that
+        //! read's window*, bracketed by the writer's published-progress
+        //! counters — or be `None` (the safe `VersionOverflow`), which is
+        //! only allowed when the reader's snapshot is unregistered.
+        //! Observed version timestamps additionally never regress.
 
         use super::super::NativeStore;
         use proptest::prelude::*;
+        use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::{Arc, Barrier};
 
         /// Value written at `cts` — an affine encoding so a foreign or
@@ -396,9 +439,10 @@ mod tests {
             #![proptest_config(ProptestConfig { cases: 12 })]
 
             #[test]
-            fn ring_wrap_under_a_live_reader_is_never_torn(
+            fn ring_wrap_under_a_live_reader_is_never_torn_or_stale(
                 vpb in 1usize..=4,
                 snapshot in 0u64..8,
+                pinned in 0u64..8,
                 publishes in 16u64..64,
                 // The vendored proptest has no `bool` strategy; a 0/1 flag
                 // stands in for it.
@@ -407,28 +451,53 @@ mod tests {
                 let registered = registered_flag == 1;
                 let store = Arc::new(NativeStore::new(1, vpb, |_| val_of(0)));
                 let start = Arc::new(Barrier::new(2));
+                // Writer progress: `pre_pub` is bumped before publishing
+                // cts, `post_pub` after it lands. For any read window,
+                // `post_pub` sampled before the read is a lower bound on
+                // what was fully published at read start, and `pre_pub`
+                // sampled after is an upper bound on anything the read
+                // could have observed.
+                let pre_pub = Arc::new(AtomicU64::new(0));
+                let post_pub = Arc::new(AtomicU64::new(0));
                 let writer = {
                     let (store, start) = (Arc::clone(&store), Arc::clone(&start));
+                    let (pre_pub, post_pub) = (Arc::clone(&pre_pub), Arc::clone(&post_pub));
                     std::thread::spawn(move || {
-                        let readers: &[u64] = if registered { &[snapshot] } else { &[] };
+                        // The pinned snapshot is always registered (it is
+                        // what forces spill entries into existence); the
+                        // reader's own snapshot only when `registered`.
+                        let readers: Vec<u64> = if registered {
+                            vec![pinned, snapshot]
+                        } else {
+                            vec![pinned]
+                        };
                         start.wait();
                         for cts in 1..=publishes {
-                            store.publish_gated(0, cts, val_of(cts), readers);
+                            pre_pub.store(cts, Ordering::Release);
+                            store.publish_gated(0, cts, val_of(cts), &readers);
+                            post_pub.store(cts, Ordering::Release);
                             if cts % 4 == 0 {
                                 std::thread::yield_now();
                             }
                         }
                     })
                 };
-                let reads: Vec<Option<u64>> = {
+                let reads: Vec<(u64, Option<u64>, u64)> = {
                     let store = Arc::clone(&store);
                     start.wait();
-                    (0..256).map(|_| store.read_at(0, snapshot)).collect()
+                    (0..256)
+                        .map(|_| {
+                            let lo = post_pub.load(Ordering::Acquire);
+                            let read = store.read_at(0, snapshot);
+                            let hi = pre_pub.load(Ordering::Acquire);
+                            (lo, read, hi)
+                        })
+                        .collect()
                 };
                 writer.join().expect("writer must not panic");
 
                 let mut newest_seen = 0;
-                for read in reads {
+                for (lo, read, hi) in reads {
                     match read {
                         Some(v) => {
                             let cts = cts_of(v);
@@ -437,6 +506,19 @@ mod tests {
                                 "read {v} is torn or from a version above snapshot {snapshot}"
                             );
                             let cts = cts.expect("checked above");
+                            // The newest published version <= snapshot was
+                            // already at least min(snapshot, lo) when the
+                            // read began and at most min(snapshot, hi)
+                            // when it ended; a read outside that range is
+                            // stale (e.g. an uncovered spill entry) or
+                            // from the future.
+                            prop_assert!(
+                                cts >= snapshot.min(lo) && cts <= snapshot.min(hi),
+                                "read cts {cts} outside its window \
+                                 [{}, {}] (snapshot {snapshot})",
+                                snapshot.min(lo),
+                                snapshot.min(hi)
+                            );
                             prop_assert!(
                                 cts >= newest_seen,
                                 "observed version regressed: {cts} after {newest_seen}"
@@ -449,12 +531,17 @@ mod tests {
                         ),
                     }
                 }
+                // Quiescent checks (all of 1..=publishes landed): the
+                // registered snapshot resolves exactly, and the pinned
+                // snapshot's retained cover is exact too — through ring or
+                // covered spill, never a neighbouring stale entry.
+                prop_assert_eq!(store.read_at(0, pinned), Some(val_of(pinned)));
                 if registered {
-                    // The retained cover is exact: the newest cts at or
-                    // below the snapshot (all of 1..=publishes landed).
                     prop_assert_eq!(store.read_at(0, snapshot), Some(val_of(snapshot)));
-                    prop_assert!(store.gc_stats().max_version_list_len <= vpb as u64 + 1);
                 }
+                // At most one spill entry per registered snapshot.
+                let bound = vpb as u64 + if registered { 2 } else { 1 };
+                prop_assert!(store.gc_stats().max_version_list_len <= bound);
             }
         }
     }

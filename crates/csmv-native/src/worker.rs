@@ -427,7 +427,13 @@ impl NativeWorker {
     /// overflows, the pin is **re-armed**: the held slot moves
     /// ([`SnapshotRegistry::update`]) to a fresh snapshot instead of
     /// dooming the reader to retry a dead one. Every turn that scans after
-    /// the re-arm retains the new snapshot's versions.
+    /// the re-arm retains the new snapshot's versions. Overflows while
+    /// pinned are also exempt from the retry budget (see
+    /// [`NativeWorker::abort_retriable`]): each one implies a racing turn
+    /// poisoned the (re-)registration, which is bounded to one per turn,
+    /// so a pinned reader never terminates with `RetryBudgetExhausted` —
+    /// it commits once one execution goes unraced (the run-deadline
+    /// watchdog still bounds the total wait).
     ///
     /// No-op when the registry is full (the reader stays on ordinary
     /// retries) or for update transactions (their validation can fail
@@ -747,6 +753,15 @@ impl NativeWorker {
     /// Record a retriable abort and bump the attempt counter; false when
     /// the retry budget is exhausted (the caller must then fail the
     /// transaction terminally with `RetryBudgetExhausted`).
+    ///
+    /// Aborts of an already-pinned reader are recorded in the stats but
+    /// **not** charged against the budget: the re-arm bounds them to one
+    /// per racing write-back turn (see [`NativeWorker::maybe_pin`]), and
+    /// not charging them is what makes the pinned commit a guarantee
+    /// rather than best-effort — a repeatedly-poisoned pin can no longer
+    /// burn down to `RetryBudgetExhausted` while waiting out the race.
+    /// (Only read-only transactions pin, and they only abort on overflow,
+    /// so this never shields a validation failure.)
     fn abort_retriable<T: TxLogic>(&mut self, p: &mut Pending<T>, reason: AbortReason) -> bool {
         let latency = p.attempt_start.elapsed().as_nanos() as u64;
         if p.tx.is_read_only() {
@@ -756,6 +771,9 @@ impl NativeWorker {
         }
         self.stats.wasted_cycles += latency;
         self.metrics.record_abort(reason, latency);
+        if p.pin.is_some() {
+            return true;
+        }
         p.attempts += 1;
         !self.policy.budget_exhausted(p.attempts)
     }
@@ -858,6 +876,10 @@ mod tests {
         let (new_snap, new_slot) = pending[0].pin.expect("pin survives the re-arm");
         assert_eq!(new_snap, 1, "re-armed at the current GTS");
         assert_eq!(new_slot, pin_slot, "the slot is kept, not re-claimed");
+        assert_eq!(
+            pending[0].attempts, 3,
+            "a poisoned-pin overflow is recorded but not charged"
+        );
 
         // At snapshot 1 the scan reads the live version and commits.
         w.round(&mut pending);
@@ -870,8 +892,9 @@ mod tests {
             None,
             "the pin slot is released on commit"
         );
-        // Without the re-arm this run exhausts its budget instead: 4
-        // overflows happened, all retriable.
+        // All 4 overflows are in the abort stats, but only the 3 unpinned
+        // ones were charged — however often the pin is poisoned, the
+        // budget can no longer run out.
         assert_eq!(w.stats.rot_aborts, 4);
     }
 
