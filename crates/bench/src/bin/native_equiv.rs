@@ -34,6 +34,7 @@ struct Args {
     scale: Scale,
     scale_name: String,
     threads: usize,
+    pipeline_depth: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         .map(|v| v == "1")
         .unwrap_or(false);
     let mut threads = 4usize;
+    let mut pipeline_depth = NativeConfig::default().pipeline_depth;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,8 +74,18 @@ fn parse_args() -> Result<Args, String> {
                     _ => return Err(format!("bad --threads '{v}'")),
                 };
             }
+            "--pipeline-depth" => {
+                let v = args.next().ok_or("--pipeline-depth requires a value")?;
+                pipeline_depth = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("bad --pipeline-depth '{v}'")),
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: native_equiv [--quick|--paper] [--seed N] [--threads N]");
+                println!(
+                    "usage: native_equiv [--quick|--paper] [--seed N] [--threads N] \
+                     [--pipeline-depth N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}'")),
@@ -83,14 +95,16 @@ fn parse_args() -> Result<Args, String> {
         scale,
         scale_name: if quick { "quick" } else { "paper" }.to_string(),
         threads,
+        pipeline_depth,
     })
 }
 
-fn native_cfg(threads: usize, scale: &Scale) -> NativeConfig {
+fn native_cfg(args: &Args) -> NativeConfig {
     NativeConfig {
-        client_threads: threads,
-        server_threads: if threads == 1 { 1 } else { 2 },
-        versions_per_box: scale.versions as usize,
+        client_threads: args.threads,
+        server_threads: if args.threads == 1 { 1 } else { 2 },
+        versions_per_box: args.scale.versions as usize,
+        pipeline_depth: args.pipeline_depth,
         ..Default::default()
     }
 }
@@ -116,7 +130,7 @@ fn check_bank(args: &Args) -> Result<(), String> {
 
     // Native run; `run_checked` applies the history oracle internally.
     let res = csmv_native::run_checked(
-        &native_cfg(args.threads, scale),
+        &native_cfg(args),
         |t| BankSource::new(&bank, scale.seed, t, txs),
         bank.accounts,
         |_| bank.initial_balance,
@@ -204,7 +218,7 @@ fn check_list(args: &Args) -> Result<(), String> {
     };
     let init = list.initial_state();
     let res = csmv_native::run_checked(
-        &native_cfg(args.threads, scale),
+        &native_cfg(args),
         |t| ListSource::new(&list, scale.seed, t, txs),
         list.num_items(),
         |item| *init.get(&item).unwrap_or(&0),
@@ -265,8 +279,8 @@ fn main() -> std::process::ExitCode {
         }
     };
     println!(
-        "native_equiv: scale={} seed={} threads={}",
-        args.scale_name, args.scale.seed, args.threads
+        "native_equiv: scale={} seed={} threads={} pipeline_depth={}",
+        args.scale_name, args.scale.seed, args.threads, args.pipeline_depth
     );
     let mut failed = false;
     for check in [check_bank, check_list] {

@@ -30,6 +30,12 @@ use stm_core::{AbortReason, FaultEvent};
 /// `memory_footprint_bytes`, `max_version_list_len` and the `gc.*`
 /// counters to every row. Old gates ignore unknown rows, so no bump —
 /// but baselines were regenerated to carry them.
+///
+/// Still v3 (additive): the pipelined-commit PR appended `gts_stall_ns`
+/// (mean GTS-turn stall per commit, nanoseconds on native), the
+/// `server_stall.*` series summaries (server-side version-wait during
+/// validation) and the `pipeline.*` speculation counters. Missing rows in
+/// an older baseline are additive, never an error.
 pub const SCHEMA_VERSION: u64 = 3;
 
 /// One benchmark invocation's structured output.
@@ -157,12 +163,24 @@ fn flatten(row: &Row) -> Vec<(String, f64)> {
     for (prefix, s) in [
         ("atr_occupancy", &metrics.atr_occupancy),
         ("gts_stall", &metrics.gts_stall),
+        ("server_stall", &metrics.server_stall),
     ] {
         m.push((format!("{prefix}.samples"), s.len() as f64));
         m.push((format!("{prefix}.mean"), s.mean()));
         m.push((format!("{prefix}.max"), s.max() as f64));
         m.push((format!("{prefix}.sum"), s.sum() as f64));
     }
+    // v3, additive: the pipelined commit path. `gts_stall_ns` is the mean
+    // GTS-turn stall charged to each commit (the stall the pipeline exists
+    // to shrink); the `pipeline.*` counters account for speculation volume.
+    m.push((
+        "gts_stall_ns".into(),
+        metrics.gts_stall.sum() as f64 / (row.commits.max(1) as f64),
+    ));
+    let p = &metrics.pipeline;
+    m.push(("pipeline.spec_executed".into(), p.spec_executed as f64));
+    m.push(("pipeline.spec_squashed".into(), p.spec_squashed as f64));
+    m.push(("pipeline.spec_submitted".into(), p.spec_submitted as f64));
     // v3, additive: version-GC and memory-footprint observability. The
     // footprint row is the *peak* sampled bytes so a bounded-memory gate
     // compares worst-case residency, not whatever the final sample was.
@@ -391,6 +409,10 @@ mod tests {
         metrics.gc.max_version_list_len = 5;
         metrics.footprint.push(5, 4096);
         metrics.footprint.push(15, 8192);
+        metrics.server_stall.push(30, 11);
+        metrics.pipeline.spec_executed = 6;
+        metrics.pipeline.spec_squashed = 2;
+        metrics.pipeline.spec_submitted = 4;
         let client_bd = TimeBreakdown {
             poll_stall_cycles: 55,
             ..Default::default()
@@ -446,6 +468,14 @@ mod tests {
         assert_eq!(row.metric("gc.pruned"), Some(3.0));
         assert_eq!(row.metric("gc.pinned_commits"), Some(1.0));
         assert_eq!(row.metric("aborts.snapshot_too_old"), Some(0.0));
+        // Pipeline rows are additive v3: server-side stall summaries, the
+        // per-commit GTS stall, and the speculation counters.
+        assert_eq!(row.metric("server_stall.samples"), Some(1.0));
+        assert_eq!(row.metric("server_stall.sum"), Some(11.0));
+        assert_eq!(row.metric("gts_stall_ns"), Some(7.0 / 1000.0));
+        assert_eq!(row.metric("pipeline.spec_executed"), Some(6.0));
+        assert_eq!(row.metric("pipeline.spec_squashed"), Some(2.0));
+        assert_eq!(row.metric("pipeline.spec_submitted"), Some(4.0));
         assert_eq!(row.metric("no_such_metric"), None);
         // Every abort reason appears exactly once.
         for reason in AbortReason::ALL {

@@ -27,6 +27,7 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use csmv::steps::{self, ReserveOutcome, TagState};
 
@@ -62,6 +63,15 @@ pub(crate) struct NativeAtr {
     next_cts: AtomicU64,
     /// The Global Timestamp: newest fully written-back commit.
     gts: AtomicU64,
+    /// Event-driven turn handoff for the pipelined commit path: a waiter
+    /// that has nothing left to speculate registers `(base, thread)` here
+    /// and parks; the publisher unparks exactly the waiter whose window
+    /// the bump unblocked ([`csmv::steps::gts_turn_reached`]) — one wake
+    /// per publish, no thundering herd. Unpipelined workers never
+    /// register (they keep the classic spin/yield/sleep ladder), and
+    /// scanning an empty list is a single uncontended lock, so depth 1 is
+    /// unaffected.
+    turn_waiters: Mutex<Vec<(u64, std::thread::Thread)>>,
 }
 
 impl NativeAtr {
@@ -76,6 +86,7 @@ impl NativeAtr {
             slot_locks: (0..n).map(|_| Mutex::new(())).collect(),
             next_cts: AtomicU64::new(1),
             gts: AtomicU64::new(0),
+            turn_waiters: Mutex::new(Vec::new()),
         }
     }
 
@@ -92,6 +103,44 @@ impl NativeAtr {
     /// GTS bump, [`csmv::steps::gts_publish_value`]).
     pub(crate) fn publish_gts(&self, value: u64) {
         self.gts.store(value, Ordering::SeqCst);
+        // Wake the pipelined turn-waiter this bump unblocked (and, as a
+        // defensive backstop, any waiter whose window the GTS has already
+        // passed). Taking the lock after the store closes the lost-wakeup
+        // race: a waiter that read the old GTS either still holds the
+        // lock (so this scan runs after it registers) or has not locked
+        // yet (and will re-check the GTS under the lock before parking).
+        let mut waiters = self.turn_waiters.lock();
+        waiters.retain(|(base, thread)| {
+            if steps::gts_turn_reached(value, *base) || *base <= value {
+                thread.unpark();
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Block until it is (or may be) `base`'s write-back turn, or
+    /// `timeout` elapses — the pipelined waiter's alternative to the poll
+    /// ladder. Spurious wakeups are fine; callers re-check their turn
+    /// predicate in a loop, and the timeout backstops the run-deadline
+    /// watchdog.
+    pub(crate) fn wait_turn(&self, base: u64, timeout: Duration) {
+        {
+            let mut waiters = self.turn_waiters.lock();
+            let gts = self.gts.load(Ordering::SeqCst);
+            if steps::gts_turn_reached(gts, base) || base <= gts {
+                return;
+            }
+            waiters.push((base, std::thread::current()));
+        }
+        std::thread::park_timeout(timeout);
+        // Timeout or stale-token path: withdraw the registration if the
+        // publisher has not already consumed it.
+        let me = std::thread::current().id();
+        self.turn_waiters
+            .lock()
+            .retain(|(_, thread)| thread.id() != me);
     }
 
     /// Current reservation counter.
@@ -219,5 +268,51 @@ mod tests {
         let atr = NativeAtr::new(4, 2);
         atr.publish_gts(3);
         assert_eq!(atr.gts(), 3);
+    }
+
+    #[test]
+    fn wait_turn_returns_immediately_when_turn_reached() {
+        let atr = NativeAtr::new(4, 2);
+        atr.publish_gts(2);
+        // Exact turn (gts + 1 == base) and already-passed windows must not
+        // park at all — no registration is left behind either way.
+        atr.wait_turn(3, Duration::from_secs(5));
+        atr.wait_turn(1, Duration::from_secs(5));
+        assert!(atr.turn_waiters.lock().is_empty());
+    }
+
+    #[test]
+    fn publish_gts_unparks_registered_waiter() {
+        use std::sync::Arc;
+
+        let atr = Arc::new(NativeAtr::new(8, 2));
+        let waiter = {
+            let atr = Arc::clone(&atr);
+            std::thread::spawn(move || {
+                // Loop like the worker does: spurious wakeups are allowed,
+                // only a reached turn ends the wait.
+                while !steps::gts_turn_reached(atr.gts(), 4) {
+                    atr.wait_turn(4, Duration::from_secs(5));
+                }
+            })
+        };
+        // Let the waiter register and park, then publish the bump that
+        // unblocks its window.
+        while atr.turn_waiters.lock().is_empty() {
+            std::thread::yield_now();
+        }
+        atr.publish_gts(3);
+        waiter.join().expect("waiter thread panicked");
+        assert!(atr.turn_waiters.lock().is_empty());
+        assert_eq!(atr.gts(), 3);
+    }
+
+    #[test]
+    fn wait_turn_timeout_withdraws_registration() {
+        let atr = NativeAtr::new(4, 2);
+        // Nobody publishes; the park times out and the waiter must remove
+        // its own registration so dead entries cannot accumulate.
+        atr.wait_turn(7, Duration::from_millis(5));
+        assert!(atr.turn_waiters.lock().is_empty());
     }
 }

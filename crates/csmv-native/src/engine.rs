@@ -165,6 +165,7 @@ impl NativeEngine {
                     deadline,
                     start,
                     cfg.max_batch,
+                    cfg.pipeline_depth,
                     cfg.record_history,
                 );
                 let jobs = jobs.clone();

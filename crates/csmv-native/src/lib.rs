@@ -71,6 +71,15 @@ pub struct NativeConfig {
     pub max_ws: usize,
     /// Transactions a worker executes and submits per batch (1..=32).
     pub max_batch: usize,
+    /// Commit-pipeline depth. 1 = the classic blocking commit path
+    /// (execute → submit → wait → write back, strictly in sequence);
+    /// depth `d > 1` lets a worker speculatively execute up to
+    /// `(d-1) * max_batch` transactions of the *next* batch at its
+    /// current snapshot while the in-flight batch waits on its verdicts
+    /// or its GTS turn ([`csmv::steps::pipeline_admissible`]). At most
+    /// one batch is ever *submitted* at a time, so recovery semantics
+    /// (duplicate suppression, response certification) are unchanged.
+    pub pipeline_depth: usize,
     /// Bound of each server's request channel (backpressure depth).
     pub channel_depth: usize,
     /// Reader-snapshot registry slots (active-reader epochs the version GC
@@ -100,6 +109,7 @@ impl Default for NativeConfig {
             atr_capacity: 4096,
             max_ws: 16,
             max_batch: 8,
+            pipeline_depth: 2,
             channel_depth: 64,
             reader_slots: 64,
             record_history: true,
@@ -126,6 +136,8 @@ pub enum NativeConfigError {
     /// `max_batch` must be in `1..=32` (pre-validation uses a 32-lane
     /// mask, like a warp).
     BadBatch,
+    /// `pipeline_depth` must be at least 1 (1 = no pipelining).
+    BadPipelineDepth,
     /// `channel_depth` must be at least 1.
     NoChannelDepth,
     /// Fault injection needs an armed recovery policy: a response timeout
@@ -143,6 +155,7 @@ impl std::fmt::Display for NativeConfigError {
             NativeConfigError::NoAtrCapacity => write!(f, "atr_capacity must be >= 1"),
             NativeConfigError::NoWsCapacity => write!(f, "max_ws must be >= 1"),
             NativeConfigError::BadBatch => write!(f, "max_batch must be in 1..=32"),
+            NativeConfigError::BadPipelineDepth => write!(f, "pipeline_depth must be >= 1"),
             NativeConfigError::NoChannelDepth => write!(f, "channel_depth must be >= 1"),
             NativeConfigError::FaultsNeedRecovery => write!(
                 f,
@@ -174,6 +187,9 @@ impl NativeConfig {
         }
         if self.max_batch == 0 || self.max_batch > 32 {
             return Err(NativeConfigError::BadBatch);
+        }
+        if self.pipeline_depth == 0 {
+            return Err(NativeConfigError::BadPipelineDepth);
         }
         if self.channel_depth == 0 {
             return Err(NativeConfigError::NoChannelDepth);
@@ -301,6 +317,7 @@ where
                     deadline,
                     start,
                     cfg.max_batch,
+                    cfg.pipeline_depth,
                     cfg.record_history,
                 );
                 let make_source = &make_source;
@@ -427,6 +444,13 @@ mod tests {
                     ..ok.clone()
                 },
                 NativeConfigError::BadBatch,
+            ),
+            (
+                NativeConfig {
+                    pipeline_depth: 0,
+                    ..ok.clone()
+                },
+                NativeConfigError::BadPipelineDepth,
             ),
             (
                 NativeConfig {

@@ -10,6 +10,7 @@
 //! ([`csmv::steps::is_duplicate_batch`]).
 
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 use stm_core::metrics::AbortReason;
 
@@ -32,8 +33,9 @@ pub(crate) struct CommitRequest {
     /// Per-client batch sequence number, starting at 1; resends reuse it.
     pub seq: u64,
     /// The batch, in submission order; verdicts come back in the same
-    /// order.
-    pub txs: Vec<TxSubmit>,
+    /// order. Shared so recovery resends clone a pointer, not every
+    /// transaction's read/write sets.
+    pub txs: Arc<[TxSubmit]>,
     /// Where to deliver the response.
     pub resp: Sender<CommitResponse>,
 }

@@ -52,6 +52,14 @@ pub(crate) struct NativeServer {
     clients: HashMap<usize, ClientSlot>,
     batches_handled: u64,
     metrics: MetricsReport,
+    /// Committed write-sets this server has already read out of the ATR,
+    /// keyed by cts. Commit timestamps are globally unique (a recycled
+    /// ring *slot* gets a new, higher cts), so a published entry — and a
+    /// recycled verdict (`None`) — stays valid forever; caching across
+    /// batches means each entry is read (and its one `Vec` allocated)
+    /// once per server instead of once per transaction per validation
+    /// round. Pruned lazily to ~2× the ATR window ([`Self::prune_cache`]).
+    entry_cache: HashMap<u64, Option<Vec<u64>>>,
 }
 
 impl NativeServer {
@@ -73,6 +81,7 @@ impl NativeServer {
             clients: HashMap::new(),
             batches_handled: 0,
             metrics: MetricsReport::default(),
+            entry_cache: HashMap::new(),
         }
     }
 
@@ -183,34 +192,51 @@ impl NativeServer {
         let mut verdicts: Vec<Option<Verdict>> = vec![None; n];
         // Next cts each transaction still has to validate against.
         let mut validated_to: Vec<u64> = txs.iter().map(|t| t.snapshot + 1).collect();
-        // Entries read once per request, shared by all its transactions.
-        let mut cache: HashMap<u64, Option<Vec<u64>>> = HashMap::new();
         loop {
             let expected = self.atr.next_cts();
+            for i in 0..n {
+                if verdicts[i].is_none()
+                    && !steps::snapshot_in_window(txs[i].snapshot, expected, self.atr.capacity())
+                {
+                    verdicts[i] = Some(Verdict::Rejected {
+                        reason: AbortReason::AtrWindowOverflow,
+                    });
+                }
+            }
+            // Pull every entry a still-undecided transaction will scan
+            // into the persistent cache first, so the per-transaction
+            // scans below borrow the cached write-sets instead of
+            // cloning one `Vec` per transaction per entry.
+            let fetch_from = (0..n)
+                .filter(|&i| verdicts[i].is_none())
+                .map(|i| validated_to[i])
+                .min()
+                .unwrap_or(expected);
+            for c in fetch_from..expected {
+                if !self.entry_cache.contains_key(&c) {
+                    let e = self.read_entry_blocking(c);
+                    self.entry_cache.insert(c, e);
+                }
+            }
             for i in 0..n {
                 if verdicts[i].is_some() {
                     continue;
                 }
                 let t = &txs[i];
-                if !steps::snapshot_in_window(t.snapshot, expected, self.atr.capacity()) {
-                    verdicts[i] = Some(Verdict::Rejected {
-                        reason: AbortReason::AtrWindowOverflow,
-                    });
-                    continue;
-                }
-                let mut entries: Vec<(u64, Vec<u64>)> = Vec::new();
                 while validated_to[i] < expected {
                     let c = validated_to[i];
-                    let entry = match cache.get(&c) {
-                        Some(e) => e.clone(),
-                        None => {
-                            let e = self.read_entry_blocking(c);
-                            cache.insert(c, e.clone());
-                            e
+                    match self.entry_cache.get(&c).and_then(|e| e.as_deref()) {
+                        Some(items) => {
+                            if steps::footprint_hits_entry(
+                                t.rs.iter().chain(t.ws.iter()).copied(),
+                                items,
+                            ) {
+                                verdicts[i] = Some(Verdict::Rejected {
+                                    reason: AbortReason::ReadValidation,
+                                });
+                                break;
+                            }
                         }
-                    };
-                    match entry {
-                        Some(items) => entries.push((c, items)),
                         None => {
                             // Recycled mid-validation (or deadline hit):
                             // the window closed on this snapshot.
@@ -221,13 +247,6 @@ impl NativeServer {
                         }
                     }
                     validated_to[i] += 1;
-                }
-                if verdicts[i].is_none()
-                    && steps::footprint_conflicts(t.rs.iter().chain(t.ws.iter()).copied(), &entries)
-                {
-                    verdicts[i] = Some(Verdict::Rejected {
-                        reason: AbortReason::ReadValidation,
-                    });
                 }
             }
             let live: Vec<usize> = (0..n).filter(|&i| verdicts[i].is_none()).collect();
@@ -251,6 +270,7 @@ impl NativeServer {
                 ReserveOutcome::Lost { .. } => continue,
             }
         }
+        self.prune_cache();
         verdicts
             .into_iter()
             .map(|v| match v {
@@ -264,19 +284,50 @@ impl NativeServer {
             .collect()
     }
 
+    /// Bound the entry cache: once it outgrows twice the ATR window, drop
+    /// every cts no in-window snapshot can still need
+    /// ([`csmv::steps::snapshot_in_window`] bounds scans to the last
+    /// `capacity` entries below `next_cts`). The 2× trigger makes the
+    /// O(len) sweep amortized O(1) per cached entry.
+    fn prune_cache(&mut self) {
+        let cap = self.atr.capacity();
+        if self.entry_cache.len() as u64 > 2 * cap {
+            let floor = self.atr.next_cts().saturating_sub(cap + 1);
+            self.entry_cache.retain(|&c, _| c >= floor);
+        }
+    }
+
     /// Read one ATR entry, polling while its inserter is in flight. `None`
     /// means recycled (or the run deadline passed while polling).
-    fn read_entry_blocking(&self, cts: u64) -> Option<Vec<u64>> {
+    ///
+    /// The wait ladder matches the worker's GTS spin — brief spin, then
+    /// yield, then sleeps that *graduate* from 1µs up to a 50µs cap
+    /// instead of jumping straight to the full nap when the inserter is
+    /// one store away. Any stall actually waited out is recorded into the
+    /// `server_stall` series, so server-side waits are visible alongside
+    /// the clients' `gts_stall`.
+    fn read_entry_blocking(&mut self, cts: u64) -> Option<Vec<u64>> {
         let mut spins: u32 = 0;
+        let mut nap = Duration::from_micros(1);
+        let mut wait_start: Option<Instant> = None;
         loop {
             match self.atr.read_entry(cts) {
-                EntryRead::Published(items) => return Some(items),
+                EntryRead::Published(items) => {
+                    if let Some(began) = wait_start {
+                        let waited = began.elapsed().as_nanos() as u64;
+                        self.metrics.server_stall.push(self.now_ns(), waited);
+                    }
+                    return Some(items);
+                }
                 EntryRead::Recycled => return None,
                 EntryRead::InFlight => {
                     // The inserter is between its CAS and its publish —
                     // a few instructions, unless it was descheduled. Wait
                     // adaptively so an oversubscribed host gets the
                     // inserter scheduled instead of burning its quantum.
+                    if wait_start.is_none() {
+                        wait_start = Some(Instant::now());
+                    }
                     spins += 1;
                     if spins < 64 {
                         std::hint::spin_loop();
@@ -286,7 +337,8 @@ impl NativeServer {
                         if Instant::now() >= self.deadline {
                             return None;
                         }
-                        std::thread::sleep(Duration::from_micros(50));
+                        std::thread::sleep(nap);
+                        nap = (nap * 2).min(Duration::from_micros(50));
                     }
                 }
             }
@@ -338,7 +390,8 @@ mod tests {
                     snapshot: 0,
                     rs: vec![1],
                     ws: vec![1],
-                }],
+                }]
+                .into(),
                 resp: resp_tx.clone(),
             })
             .expect("server is listening");

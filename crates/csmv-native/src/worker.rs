@@ -8,7 +8,18 @@
 //! response certification ([`csmv::steps::response_certified`]), batch
 //! windows ([`csmv::steps::batch_window`] / [`csmv::steps::window_is_dense`])
 //! and GTS turn-taking ([`csmv::steps::gts_turn_reached`] /
-//! [`csmv::steps::gts_publish_value`]).
+//! [`csmv::steps::gts_publish_value`]). Commit pipelining (depth > 1)
+//! adds three more: admission of speculative work while a batch is in
+//! flight ([`csmv::steps::pipeline_admissible`]), the post-publish
+//! squash rule ([`csmv::steps::speculative_preval`]) that recycles any
+//! speculative execution whose footprint overlaps the writes the batch
+//! just published, and the carry-time freshness re-check
+//! ([`csmv::steps::spec_carry_fresh`]) that squashes a parked execution
+//! any *other* client's commit has invalidated — and, when it passes,
+//! justifies promoting the execution to the round snapshot (see
+//! `round`'s carry loop). Pipelined turn waits park on the ATR's
+//! event-driven handoff ([`NativeAtr::wait_turn`]) once speculation runs
+//! dry; depth 1 keeps the classic spin/yield/sleep ladder untouched.
 //!
 //! Recovery follows `stm_core::recovery::RetryPolicy`; its cycle-valued
 //! fields (`resp_timeout`, backoff) are interpreted as **microseconds** on
@@ -45,6 +56,12 @@ const INERT_WAIT_SLICE: Duration = Duration::from_millis(100);
 /// Interval a serving worker blocks on the shared engine queue before
 /// re-checking the run deadline.
 const SERVE_SLICE: Duration = Duration::from_millis(5);
+
+/// Backstop timeout for a pipelined turn-waiter parked in
+/// [`NativeAtr::wait_turn`]: publishers unpark it long before this in a
+/// healthy run; the timeout only bounds how late the run-deadline
+/// watchdog can fire.
+const TURN_WAIT_SLICE: Duration = Duration::from_micros(200);
 
 /// How a transaction reports its terminal outcome. Closed-loop batch
 /// sources use the no-op [`Fire`] wrapper (the harness only reads the
@@ -130,6 +147,18 @@ enum Exec {
     Overflow,
 }
 
+/// A speculative execution produced while an earlier batch was in flight
+/// (pipeline depth > 1): an update transaction executed at `snapshot`,
+/// parked until the in-flight batch publishes. If the published write-set
+/// overlaps its footprint it is squashed
+/// ([`csmv::steps::speculative_preval`]); otherwise it joins the next
+/// batch — at its own, older snapshot — without re-executing.
+struct Spec<T> {
+    p: Pending<T>,
+    ex: Executed,
+    snapshot: u64,
+}
+
 enum BatchOutcome {
     /// Certified verdicts, one per submitted transaction.
     Verdicts(Vec<Verdict>),
@@ -152,6 +181,7 @@ pub(crate) struct NativeWorker {
     deadline: Instant,
     start: Instant,
     max_batch: usize,
+    pipeline_depth: usize,
     record_history: bool,
     seq: u64,
     rounds: u64,
@@ -159,6 +189,10 @@ pub(crate) struct NativeWorker {
     stats: CommitStats,
     records: Vec<TxRecord>,
     metrics: MetricsReport,
+    /// Reusable write-set-items scratch for the pre-validation broadcast,
+    /// so the hot path stops allocating one `Vec` per broadcaster per
+    /// round.
+    scratch_ws: Vec<u64>,
 }
 
 impl NativeWorker {
@@ -176,6 +210,7 @@ impl NativeWorker {
         deadline: Instant,
         start: Instant,
         max_batch: usize,
+        pipeline_depth: usize,
         record_history: bool,
     ) -> Self {
         Self {
@@ -191,6 +226,7 @@ impl NativeWorker {
             deadline,
             start,
             max_batch,
+            pipeline_depth,
             record_history,
             seq: 0,
             rounds: 0,
@@ -198,6 +234,7 @@ impl NativeWorker {
             stats: CommitStats::default(),
             records: Vec::new(),
             metrics: MetricsReport::default(),
+            scratch_ws: Vec::new(),
         }
     }
 
@@ -209,19 +246,27 @@ impl NativeWorker {
     /// through the server in batches of up to `max_batch`.
     pub(crate) fn run<S: TxSource>(mut self, mut source: S) -> WorkerOutput {
         let mut pending: VecDeque<Pending<Fire<S::Tx>>> = VecDeque::new();
+        let mut spec: Vec<Spec<Fire<S::Tx>>> = Vec::new();
         let mut exhausted = false;
+        // Keep enough pending work buffered that the pipeline has fodder
+        // to speculate on while a batch is in flight; at depth 1 this is
+        // exactly one batch, as before.
+        let target = self.pipeline_depth * self.max_batch;
         loop {
-            while pending.len() < self.max_batch && !exhausted {
+            while pending.len() + spec.len() < target && !exhausted {
                 match source.next_tx() {
                     Some(tx) => pending.push_back(Pending::new(Fire(tx))),
                     None => exhausted = true,
                 }
             }
-            if pending.is_empty() {
+            if pending.is_empty() && spec.is_empty() {
                 break;
             }
             if Instant::now() >= self.deadline {
                 // Watchdog: fail what's left cleanly instead of hanging.
+                for s in spec.drain(..) {
+                    self.fail(s.p, AbortReason::ServerTimeout);
+                }
                 for p in pending.drain(..) {
                     self.fail(p, AbortReason::ServerTimeout);
                 }
@@ -233,7 +278,7 @@ impl NativeWorker {
                 }
                 break;
             }
-            self.round(&mut pending);
+            self.round(&mut pending, &mut spec);
         }
         WorkerOutput {
             stats: self.stats,
@@ -251,12 +296,14 @@ impl NativeWorker {
     /// accepted job gets a terminal completion.
     pub(crate) fn serve(mut self, jobs: Arc<Mutex<Receiver<EngineJob>>>) -> WorkerOutput {
         let mut pending: VecDeque<Pending<EngineJob>> = VecDeque::new();
+        let mut spec: Vec<Spec<EngineJob>> = Vec::new();
         let mut disconnected = false;
+        let target = self.pipeline_depth * self.max_batch;
         loop {
-            while pending.len() < self.max_batch && !disconnected {
+            while pending.len() + spec.len() < target && !disconnected {
                 let got = {
                     let rx = lock_jobs(&jobs);
-                    if pending.is_empty() {
+                    if pending.is_empty() && spec.is_empty() {
                         // Idle: block briefly so an arrival wakes us, but
                         // keep noticing the deadline.
                         match rx.recv_timeout(SERVE_SLICE) {
@@ -288,6 +335,9 @@ impl NativeWorker {
             if Instant::now() >= self.deadline {
                 // Watchdog: give every accepted job a terminal reply,
                 // then drain whatever is still queued the same way.
+                for s in spec.drain(..) {
+                    self.fail(s.p, AbortReason::ServerTimeout);
+                }
                 for p in pending.drain(..) {
                     self.fail(p, AbortReason::ServerTimeout);
                 }
@@ -299,13 +349,13 @@ impl NativeWorker {
                 }
                 break;
             }
-            if pending.is_empty() {
+            if pending.is_empty() && spec.is_empty() {
                 if disconnected {
                     break;
                 }
                 continue;
             }
-            self.round(&mut pending);
+            self.round(&mut pending, &mut spec);
         }
         WorkerOutput {
             stats: self.stats,
@@ -323,7 +373,13 @@ impl NativeWorker {
     /// (spill rather than reclaim) any version this round's reads resolve
     /// on. Pinned transactions (see [`NativeWorker::maybe_pin`]) execute
     /// at their own pinned snapshot instead.
-    fn round<T: Finish>(&mut self, pending: &mut VecDeque<Pending<T>>) {
+    ///
+    /// Speculative executions parked in `spec` by the previous batch's
+    /// waits enter this batch already executed, at their own (older)
+    /// snapshots: they went through the post-publish squash, so their
+    /// footprints are disjoint from everything published since they ran,
+    /// and the server re-validates them against its ATR window anyway.
+    fn round<T: Finish>(&mut self, pending: &mut VecDeque<Pending<T>>, spec: &mut Vec<Spec<T>>) {
         self.rounds += 1;
         if self.rounds % FOOTPRINT_SAMPLE_ROUNDS == 1 {
             self.metrics
@@ -332,9 +388,51 @@ impl NativeWorker {
         }
         let snapshot = self.atr.gts();
         let round_slot = self.registry.register(snapshot);
-        let batch: Vec<Pending<T>> = pending.drain(..).collect();
         let mut retry: Vec<Pending<T>> = Vec::new();
-        let mut execs: Vec<(Pending<T>, Executed)> = Vec::new();
+        let mut execs: Vec<(Pending<T>, Executed, u64)> = Vec::new();
+        // Unsquashed speculations first (they are the oldest work), then
+        // fill the batch with fresh executions at the round snapshot.
+        // Each carried speculation passes the carry-time freshness
+        // re-check ([`csmv::steps::spec_carry_fresh`]) before it may
+        // occupy a batch lane: the post-publish squash only saw *this*
+        // client's write-set, but other clients kept committing while the
+        // speculation was parked, and the store's newest-version
+        // timestamps see all of them. A stale speculation is recycled to
+        // the front of `pending` so it re-executes at this very round's
+        // fresh snapshot instead of burning a lane on a doomed submit.
+        let carry = spec.len().min(self.max_batch);
+        for mut s in spec.drain(..carry) {
+            let newest =
+                s.ex.rs
+                    .iter()
+                    .chain(s.ex.ws.iter().map(|(i, _)| i))
+                    .filter_map(|&i| self.store.newest_ts(i));
+            if !steps::spec_carry_fresh(s.snapshot, newest) {
+                self.metrics.pipeline.spec_squashed += 1;
+                if self.abort_retriable(&mut s.p, AbortReason::PreValidationKill) {
+                    pending.push_front(s.p);
+                } else {
+                    self.fail(s.p, AbortReason::RetryBudgetExhausted);
+                }
+                continue;
+            }
+            self.metrics.pipeline.spec_submitted += 1;
+            // Snapshot promotion: the freshness check just proved no
+            // commit in `(s.snapshot, snapshot]` touched this footprint
+            // (versions at or below the GTS are immutable, fully
+            // written-back history), so executing at the round snapshot
+            // would have read byte-identical values — the parked
+            // execution *is* an execution at the round snapshot. Claiming
+            // it shrinks the server's validation window to the same
+            // `(snapshot, reservation]` a fresh execution gets, instead
+            // of a window that grew the whole time the speculation was
+            // parked. The model's `spec-fresh-snapshot` mutation shows
+            // exactly this promotion *without* the freshness proof is an
+            // opacity violation.
+            execs.push((s.p, s.ex, snapshot));
+        }
+        let fresh = (self.max_batch - execs.len()).min(pending.len());
+        let batch: Vec<Pending<T>> = pending.drain(..fresh).collect();
         for mut p in batch {
             if p.attempts > 0 {
                 p.tx.reset();
@@ -343,7 +441,7 @@ impl NativeWorker {
             let snap = p.pin.map_or(snapshot, |(s, _)| s);
             match self.execute(&mut p.tx, snap) {
                 Exec::ReadOnly { reads } => self.commit_rot(p, snap, reads),
-                Exec::Update(ex) => execs.push((p, ex)),
+                Exec::Update(ex) => execs.push((p, ex, snap)),
                 Exec::Overflow => {
                     let reason = self.overflow_reason(snap);
                     if self.abort_retriable(&mut p, reason) {
@@ -358,6 +456,8 @@ impl NativeWorker {
 
         // Intra-batch pre-validation: the native analogue of the
         // simulator's intra-warp broadcast round, over the same pure step.
+        // Mixed snapshots are fine — the rule is footprint intersection,
+        // independent of when each lane executed.
         let n = execs.len();
         debug_assert!(n <= 32, "max_batch must be <= 32");
         let committing: u32 = if n == 0 {
@@ -370,14 +470,16 @@ impl NativeWorker {
             if losers & (1 << b) != 0 {
                 continue;
             }
-            let ws_items: Vec<u64> = execs[b].1.ws.iter().map(|&(i, _)| i).collect();
-            losers |= steps::preval_losers(b, &ws_items, committing & !losers, |j, item| {
+            self.scratch_ws.clear();
+            self.scratch_ws
+                .extend(execs[b].1.ws.iter().map(|&(i, _)| i));
+            losers |= steps::preval_losers(b, &self.scratch_ws, committing & !losers, |j, item| {
                 let e = &execs[j].1;
                 e.rs.contains(&item) || e.ws.iter().any(|&(i, _)| i == item)
             });
         }
-        let mut survivors: Vec<(Pending<T>, Executed)> = Vec::new();
-        for (k, (mut p, ex)) in execs.into_iter().enumerate() {
+        let mut survivors: Vec<(Pending<T>, Executed, u64)> = Vec::new();
+        for (k, (mut p, ex, snap)) in execs.into_iter().enumerate() {
             if losers & (1 << k) != 0 {
                 if self.abort_retriable(&mut p, AbortReason::PreValidationKill) {
                     retry.push(p);
@@ -385,7 +487,7 @@ impl NativeWorker {
                     self.fail(p, AbortReason::RetryBudgetExhausted);
                 }
             } else {
-                survivors.push((p, ex));
+                survivors.push((p, ex, snap));
             }
         }
 
@@ -396,9 +498,66 @@ impl NativeWorker {
             self.registry.deregister(slot);
         }
         if !survivors.is_empty() {
-            self.commit_batch(snapshot, survivors, &mut retry);
+            self.commit_batch(survivors, &mut retry, pending, spec);
         }
         pending.extend(retry);
+    }
+
+    /// Execute at most one unit of speculative work while a batch is in
+    /// flight. Admission goes through
+    /// [`csmv::steps::pipeline_admissible`]: depth 1 never speculates
+    /// (preserving the classic blocking worker exactly), and at depth `d`
+    /// at most `(d-1) * max_batch` executions are parked. The snapshot is
+    /// registered around the execution just like a round's, so the GC
+    /// retains whatever the speculative reads resolve on. Read-only
+    /// transactions commit on the spot — they never needed the server —
+    /// update executions are parked for the post-publish squash check, and
+    /// overflows take the ordinary retry/pin path. Returns false when no
+    /// speculative work was admissible; the caller then blocks exactly as
+    /// the unpipelined worker would.
+    fn speculate_one<T: Finish>(
+        &mut self,
+        pending: &mut VecDeque<Pending<T>>,
+        spec: &mut Vec<Spec<T>>,
+    ) -> bool {
+        if !steps::pipeline_admissible(self.pipeline_depth, true, spec.len(), self.max_batch) {
+            return false;
+        }
+        let Some(mut p) = pending.pop_front() else {
+            return false;
+        };
+        if p.attempts > 0 {
+            p.tx.reset();
+        }
+        p.attempt_start = Instant::now();
+        let snapshot = self.atr.gts();
+        let slot = self.registry.register(snapshot);
+        let snap = p.pin.map_or(snapshot, |(s, _)| s);
+        let exec = self.execute(&mut p.tx, snap);
+        if let Some(slot) = slot {
+            self.registry.deregister(slot);
+        }
+        match exec {
+            Exec::ReadOnly { reads } => self.commit_rot(p, snap, reads),
+            Exec::Update(ex) => {
+                self.metrics.pipeline.spec_executed += 1;
+                spec.push(Spec {
+                    p,
+                    ex,
+                    snapshot: snap,
+                });
+            }
+            Exec::Overflow => {
+                let reason = self.overflow_reason(snap);
+                if self.abort_retriable(&mut p, reason) {
+                    self.maybe_pin(&mut p);
+                    pending.push_back(p);
+                } else {
+                    self.fail(p, AbortReason::RetryBudgetExhausted);
+                }
+            }
+        }
+        true
     }
 
     /// Classify a store read failure: below the GC watermark the version
@@ -514,37 +673,46 @@ impl NativeWorker {
     }
 
     /// Submit the surviving batch and, on grant, perform the in-order
-    /// write-back and single GTS publication.
+    /// write-back and single GTS publication. While the batch is in
+    /// flight, both the verdict wait and the GTS-turn wait drain
+    /// speculative work from `pending` into `spec` (depth > 1); after the
+    /// write-back publishes, parked speculations whose footprints overlap
+    /// the published write-set are squashed and recycled.
     fn commit_batch<T: Finish>(
         &mut self,
-        snapshot: u64,
-        survivors: Vec<(Pending<T>, Executed)>,
+        mut batch: Vec<(Pending<T>, Executed, u64)>,
         retry: &mut Vec<Pending<T>>,
+        pending: &mut VecDeque<Pending<T>>,
+        spec: &mut Vec<Spec<T>>,
     ) {
-        let subs: Vec<TxSubmit> = survivors
-            .iter()
-            .map(|(_, ex)| TxSubmit {
-                snapshot,
-                rs: ex.rs.clone(),
+        // Build the submissions once per batch: the read-set moves out (it
+        // is not needed for write-back), and recovery resends reuse the
+        // shared allocation instead of re-cloning every footprint on every
+        // attempt.
+        let subs: Arc<[TxSubmit]> = batch
+            .iter_mut()
+            .map(|(_, ex, snap)| TxSubmit {
+                snapshot: *snap,
+                rs: std::mem::take(&mut ex.rs),
                 ws: ex.ws.iter().map(|&(i, _)| i).collect(),
             })
             .collect();
-        match self.submit(&subs) {
+        match self.submit(&subs, pending, spec) {
             BatchOutcome::Terminal(reason) => {
-                for (p, _) in survivors {
+                for (p, _, _) in batch {
                     self.fail(p, reason);
                 }
             }
             BatchOutcome::Abandoned => {
-                for (p, _) in survivors {
+                for (p, _, _) in batch {
                     self.fail(p, AbortReason::ServerTimeout);
                 }
             }
             BatchOutcome::Verdicts(vs) => {
-                let mut granted: Vec<(Pending<T>, Executed, u64)> = Vec::new();
-                for ((mut p, ex), v) in survivors.into_iter().zip(vs) {
+                let mut granted: Vec<(Pending<T>, Executed, u64, u64)> = Vec::new();
+                for ((mut p, ex, snap), v) in batch.into_iter().zip(vs) {
                     match v {
-                        Verdict::Granted { cts } => granted.push((p, ex, cts)),
+                        Verdict::Granted { cts } => granted.push((p, ex, snap, cts)),
                         Verdict::Rejected { reason } => {
                             if reason.is_terminal() {
                                 self.fail(p, reason);
@@ -559,33 +727,34 @@ impl NativeWorker {
                 if granted.is_empty() {
                     return;
                 }
-                let ctss: Vec<u64> = granted.iter().map(|&(_, _, c)| c).collect();
+                let ctss: Vec<u64> = granted.iter().map(|&(_, _, _, c)| c).collect();
                 let (base, nw) = steps::batch_window(&ctss);
                 debug_assert!(steps::window_is_dense(&ctss));
-                if !self.await_turn(base) {
+                if !self.await_turn(base, pending, spec) {
                     // Deadline while spinning: nothing was written back,
                     // so the committed history stays consistent (the GTS
                     // hole just stalls everyone else until their own
                     // deadline).
-                    for (p, _, _) in granted {
+                    for (p, _, _, _) in granted {
                         self.fail(p, AbortReason::ServerTimeout);
                     }
                     return;
                 }
-                granted.sort_by_key(|&(_, _, c)| c);
+                granted.sort_by_key(|&(_, _, _, c)| c);
                 // One registry scan per batch: the write-back's GC pass
                 // retains every version a currently registered reader
                 // resolves on. A registration landing mid-write-back can
                 // miss this scan — that reader's one spurious abort is
                 // the documented race window.
                 let readers = self.registry.registered();
-                for (_, ex, cts) in &granted {
+                for (_, ex, _, cts) in &granted {
                     for &(item, value) in &ex.ws {
                         self.store.publish_gated(item, *cts, value, &readers);
                     }
                 }
                 self.atr.publish_gts(steps::gts_publish_value(base, nw));
-                for (p, ex, cts) in granted {
+                self.squash_overlapping(&granted, pending, spec);
+                for (p, ex, snap, cts) in granted {
                     let latency = p.attempt_start.elapsed().as_nanos() as u64;
                     self.stats.update_commits += 1;
                     self.stats.useful_cycles += latency;
@@ -593,7 +762,7 @@ impl NativeWorker {
                     if self.record_history {
                         self.records.push(TxRecord {
                             thread: self.id,
-                            read_point: snapshot,
+                            read_point: snap,
                             cts: Some(cts),
                             reads: ex.reads,
                             writes: ex.ws,
@@ -605,19 +774,88 @@ impl NativeWorker {
         }
     }
 
+    /// Post-publish squash ([`csmv::steps::speculative_preval`]): a parked
+    /// speculative execution whose footprint intersects the write-set this
+    /// batch just published ran at a snapshot that predates those writes —
+    /// the server would reject it on arrival, so recycle it now and save
+    /// the round trip. The recycle goes through the ordinary
+    /// retriable-abort path, so a perpetually-squashed transaction still
+    /// terminates via its retry budget instead of livelocking. Disjoint
+    /// speculations stay parked and join the next batch at their own
+    /// snapshots.
+    fn squash_overlapping<T: Finish>(
+        &mut self,
+        granted: &[(Pending<T>, Executed, u64, u64)],
+        pending: &mut VecDeque<Pending<T>>,
+        spec: &mut Vec<Spec<T>>,
+    ) {
+        if spec.is_empty() {
+            return;
+        }
+        let published: Vec<u64> = granted
+            .iter()
+            .flat_map(|(_, ex, _, _)| ex.ws.iter().map(|&(i, _)| i))
+            .collect();
+        let mut sws: Vec<u64> = Vec::new();
+        let mut keep: Vec<Spec<T>> = Vec::with_capacity(spec.len());
+        for mut s in spec.drain(..) {
+            sws.clear();
+            sws.extend(s.ex.ws.iter().map(|&(i, _)| i));
+            if steps::speculative_preval(&s.ex.rs, &sws, published.iter().copied()) {
+                self.metrics.pipeline.spec_squashed += 1;
+                if self.abort_retriable(&mut s.p, AbortReason::PreValidationKill) {
+                    pending.push_back(s.p);
+                } else {
+                    self.fail(s.p, AbortReason::RetryBudgetExhausted);
+                }
+            } else {
+                keep.push(s);
+            }
+        }
+        *spec = keep;
+    }
+
     /// Spin until it is `base`'s turn to publish
-    /// ([`csmv::steps::gts_turn_reached`]); false on deadline. The wait is
-    /// adaptive — brief spin, then yield, then short sleeps — so an
-    /// oversubscribed host (fewer cores than threads) hands the CPU to
-    /// whichever client actually holds the earlier turn.
-    fn await_turn(&mut self, base: u64) -> bool {
+    /// ([`csmv::steps::gts_turn_reached`]); false on deadline. At depth 1
+    /// the wait is adaptive — brief spin, then yield, then short sleeps —
+    /// so an oversubscribed host (fewer cores than threads) hands the CPU
+    /// to whichever client actually holds the earlier turn. With the
+    /// pipeline on, the stall is drained into speculative execution of the
+    /// next batch instead of being burned.
+    fn await_turn<T: Finish>(
+        &mut self,
+        base: u64,
+        pending: &mut VecDeque<Pending<T>>,
+        spec: &mut Vec<Spec<T>>,
+    ) -> bool {
         let wait_start = Instant::now();
         let mut spins: u32 = 0;
         loop {
-            if steps::gts_turn_reached(self.atr.gts(), base) {
+            let gts = self.atr.gts();
+            if steps::gts_turn_reached(gts, base) {
                 let waited = wait_start.elapsed().as_nanos() as u64;
                 self.metrics.gts_stall.push(self.now_ns(), waited);
                 return true;
+            }
+            if self.pipeline_depth > 1 {
+                // Speculation can keep succeeding indefinitely (e.g. a
+                // pinned reader recycling), so the watchdog deadline is
+                // re-checked on every unit, not only between blocks.
+                if Instant::now() >= self.deadline {
+                    return false;
+                }
+                if self.speculate_one(pending, spec) {
+                    continue;
+                }
+                // Nothing left to overlap: block until the chain
+                // advances. The event-driven handoff matters doubly here
+                // — this thread stops polluting the run queue while
+                // *other* pipelined clients speculate, and the publisher
+                // wakes it the moment its predecessor's window lands
+                // (a 50us sleep would queue the wake-up behind every
+                // runnable speculator).
+                self.atr.wait_turn(base, TURN_WAIT_SLICE);
+                continue;
             }
             spins += 1;
             if spins < 64 {
@@ -635,8 +873,16 @@ impl NativeWorker {
 
     /// The send / await-response / resend loop for one batch, following
     /// the retry policy. Responses for older batch seqs are discarded via
-    /// [`csmv::steps::response_certified`].
-    fn submit(&mut self, subs: &[TxSubmit]) -> BatchOutcome {
+    /// [`csmv::steps::response_certified`]. With the pipeline on, the
+    /// response wait interleaves speculative execution of the next batch;
+    /// only one batch is ever outstanding at the server, so duplicate
+    /// suppression and response certification are untouched.
+    fn submit<T: Finish>(
+        &mut self,
+        subs: &Arc<[TxSubmit]>,
+        pending: &mut VecDeque<Pending<T>>,
+        spec: &mut Vec<Spec<T>>,
+    ) -> BatchOutcome {
         self.seq += 1;
         let seq = self.seq;
         let mut attempt: u32 = 0;
@@ -672,7 +918,7 @@ impl NativeWorker {
                 let req = CommitRequest {
                     client: self.id,
                     seq,
-                    txs: subs.to_vec(),
+                    txs: subs.clone(),
                     resp: self.resp_tx.clone(),
                 };
                 if self.req_tx.send(req).is_err() {
@@ -710,6 +956,25 @@ impl NativeWorker {
                     self.metrics
                         .record_fault(FaultEvent::Timeout, self.now_ns());
                     break; // next send attempt, same seq
+                }
+                // Poll for the verdicts first, then overlap the wait with
+                // speculative execution (depth > 1); when nothing is
+                // admissible, block exactly as the unpipelined worker
+                // does.
+                match self.resp_rx.try_recv() {
+                    Ok(resp) => {
+                        if steps::response_certified(resp.seq, seq) {
+                            return BatchOutcome::Verdicts(resp.verdicts);
+                        }
+                        continue; // a stale response from an earlier batch's resend
+                    }
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => {
+                        return BatchOutcome::Terminal(AbortReason::ServerUnavailable)
+                    }
+                }
+                if self.speculate_one(pending, spec) {
+                    continue;
                 }
                 match self.resp_rx.recv_timeout(wait_until - now) {
                     Ok(resp) => {
@@ -823,6 +1088,7 @@ mod tests {
             now + Duration::from_secs(10),
             now,
             8,
+            2,
             true,
         );
         (w, req_rx)
@@ -855,11 +1121,12 @@ mod tests {
         assert_eq!(atr.gts(), 0);
 
         let mut pending: VecDeque<Pending<Fire<BankTx>>> = VecDeque::new();
+        let mut spec: Vec<Spec<Fire<BankTx>>> = Vec::new();
         pending.push_back(full_scan(1));
         // Three rounds at snapshot 0 — unreadable, so three overflows; the
         // third engages the pin, at the (poisoned) snapshot 0.
         for attempts in 1..=3 {
-            w.round(&mut pending);
+            w.round(&mut pending, &mut spec);
             assert_eq!(pending.len(), 1, "still retrying");
             assert_eq!(pending[0].attempts, attempts);
         }
@@ -871,7 +1138,7 @@ mod tests {
         atr.publish_gts(1);
         // The pinned snapshot is still dead; the retry overflows once more
         // and the re-arm moves the held slot to the fresh snapshot.
-        w.round(&mut pending);
+        w.round(&mut pending, &mut spec);
         assert_eq!(pending.len(), 1);
         let (new_snap, new_slot) = pending[0].pin.expect("pin survives the re-arm");
         assert_eq!(new_snap, 1, "re-armed at the current GTS");
@@ -882,7 +1149,7 @@ mod tests {
         );
 
         // At snapshot 1 the scan reads the live version and commits.
-        w.round(&mut pending);
+        w.round(&mut pending, &mut spec);
         assert!(pending.is_empty(), "pinned reader committed");
         assert_eq!(w.stats.rot_commits, 1);
         assert_eq!(w.stats.failed, 0);
@@ -910,13 +1177,14 @@ mod tests {
 
         store.publish_gated(0, 1, 20, &[]);
         let mut pending: VecDeque<Pending<Fire<BankTx>>> = VecDeque::new();
+        let mut spec: Vec<Spec<Fire<BankTx>>> = Vec::new();
         pending.push_back(full_scan(1));
         for _ in 0..4 {
-            w.round(&mut pending);
+            w.round(&mut pending, &mut spec);
             assert_eq!(pending[0].pin, None, "no slot free, no pin");
         }
         atr.publish_gts(1);
-        w.round(&mut pending);
+        w.round(&mut pending, &mut spec);
         assert!(pending.is_empty());
         assert_eq!(w.stats.rot_commits, 1);
         assert_eq!(w.metrics.gc.pinned_commits, 0);

@@ -58,6 +58,20 @@ where
     false
 }
 
+/// [`footprint_conflicts`] against a single committed entry's write-set,
+/// for validators that scan the window incrementally (borrowing each
+/// cached entry in turn instead of materialising an owned entry list per
+/// transaction). Checking entries one at a time is equivalent: a
+/// footprint conflicts with a window iff it conflicts with some entry in
+/// it.
+#[inline]
+pub fn footprint_hits_entry<I>(footprint: I, items: &[u64]) -> bool
+where
+    I: IntoIterator<Item = u64>,
+{
+    footprint.into_iter().any(|e| items.contains(&e))
+}
+
 /// Is a snapshot still inside the ATR ring's validation window when the
 /// counter stands at `next`? (Entries `(snapshot, next)` must all still be
 /// resident; the ring holds `capacity` of them.)
@@ -250,6 +264,61 @@ pub fn preval_losers(
     losers
 }
 
+/// Pipelined commit admission: may a client start one more *speculative*
+/// execution while a batch it already submitted is still awaiting its
+/// verdicts or its GTS turn? Depth 1 is the unpipelined protocol (never
+/// speculate); depth `d` admits up to `(d - 1) * max_batch` buffered
+/// speculative executions behind the single in-flight batch. Recovery's
+/// per-client seq certification allows only one *submitted* batch at a
+/// time, so the depth knob governs speculation volume, never outstanding
+/// submissions.
+#[inline]
+pub fn pipeline_admissible(
+    depth: usize,
+    in_flight: bool,
+    buffered: usize,
+    max_batch: usize,
+) -> bool {
+    depth > 1 && in_flight && buffered < (depth - 1) * max_batch
+}
+
+/// Speculative pre-validation: must a transaction executed speculatively
+/// at a pre-write-back snapshot be squashed once the in-flight batch
+/// publishes the write-set items `batch_ws`? This is the server's own
+/// validation predicate (a transaction is invalid iff a commit after its
+/// snapshot wrote something it read *or wrote* — see
+/// [`footprint_conflicts`]) applied client-side to the one batch the
+/// client itself just published: `true` saves a round-trip the server
+/// would reject anyway, and `false` is always safe because server-side
+/// ATR validation still covers every other client's commits and
+/// intra-batch pre-validation ([`preval_losers`]) covers batch-mates.
+pub fn speculative_preval<I>(spec_rs: &[u64], spec_ws: &[u64], batch_ws: I) -> bool
+where
+    I: IntoIterator<Item = u64>,
+{
+    batch_ws
+        .into_iter()
+        .any(|item| spec_rs.contains(&item) || spec_ws.contains(&item))
+}
+
+/// Carry-time freshness re-check for a parked speculative execution: may
+/// it still be submitted, given the newest committed timestamp of each
+/// item in its footprint? This is again the server's validation predicate
+/// applied client-side — a transaction is rejected iff some commit after
+/// its snapshot touched its footprint — but measured against the *whole
+/// published history* (the shared store) rather than one batch's
+/// write-set, so it also catches staleness caused by other clients'
+/// commits between the speculative execution and the submit. `false`
+/// (squash) saves a round-trip the server would reject anyway; `true` is
+/// always safe because the server re-validates against its ATR window on
+/// arrival.
+pub fn spec_carry_fresh<I>(snapshot: u64, footprint_newest: I) -> bool
+where
+    I: IntoIterator<Item = u64>,
+{
+    footprint_newest.into_iter().all(|ts| ts <= snapshot)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +450,57 @@ mod tests {
         assert!(should_pin(7, Some(8)));
         assert!(should_pin(1, Some(1)));
         assert!(!should_pin(1000, None));
+    }
+
+    #[test]
+    fn pipeline_admission_follows_depth_and_buffer() {
+        // Depth 1: the unpipelined protocol never speculates.
+        assert!(!pipeline_admissible(1, true, 0, 8));
+        // Depth 2: up to one extra batch of speculative work.
+        assert!(pipeline_admissible(2, true, 0, 8));
+        assert!(pipeline_admissible(2, true, 7, 8));
+        assert!(!pipeline_admissible(2, true, 8, 8));
+        // No in-flight batch: nothing to overlap with.
+        assert!(!pipeline_admissible(2, false, 0, 8));
+        // Deeper pipelines scale the buffer linearly.
+        assert!(pipeline_admissible(3, true, 15, 8));
+        assert!(!pipeline_admissible(3, true, 16, 8));
+    }
+
+    #[test]
+    fn speculative_preval_is_footprint_intersection() {
+        // A read under the just-published write is doomed: squash.
+        assert!(speculative_preval(&[1, 2], &[9], [2]));
+        // So is a blind overwrite — the server counts ws in the footprint.
+        assert!(speculative_preval(&[1], &[9], [9]));
+        // Disjoint footprints submit.
+        assert!(!speculative_preval(&[1, 2], &[9], [3, 4]));
+        assert!(!speculative_preval(&[], &[], [1]));
+        assert!(!speculative_preval(&[1], &[2], []));
+    }
+
+    #[test]
+    fn spec_carry_fresh_requires_no_newer_commits() {
+        // Every footprint item's newest commit is at or before the
+        // snapshot: still fresh, submit.
+        assert!(spec_carry_fresh(5, [3, 5, 1]));
+        // One item was overwritten after the snapshot: doomed, squash.
+        assert!(!spec_carry_fresh(5, [3, 6]));
+        // An empty footprint (never-written items read as initial state)
+        // is trivially fresh.
+        assert!(spec_carry_fresh(0, []));
+    }
+
+    #[test]
+    fn per_entry_conflict_agrees_with_window_conflict() {
+        let entries = vec![(3u64, vec![10, 20]), (4u64, vec![30])];
+        for fp in [vec![10], vec![30], vec![20, 99], vec![99], vec![]] {
+            let window = footprint_conflicts(fp.iter().copied(), &entries);
+            let per_entry = entries
+                .iter()
+                .any(|(_, items)| footprint_hits_entry(fp.iter().copied(), items));
+            assert_eq!(window, per_entry, "footprint {fp:?}");
+        }
     }
 
     #[test]

@@ -446,6 +446,31 @@ impl Series {
     }
 }
 
+/// Commit-pipeline counters (filled by backends that overlap speculative
+/// execution with verdict/GTS waits; zero elsewhere). Reported as the
+/// `pipeline.*` rows in the bench JSON schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Transactions executed speculatively while a submitted batch was
+    /// still awaiting its verdicts or its GTS turn.
+    pub spec_executed: u64,
+    /// Speculative executions squashed by the client-side speculative
+    /// pre-validation against the just-published batch's write-set.
+    pub spec_squashed: u64,
+    /// Speculative executions that survived squashing and were carried
+    /// into the next submitted batch.
+    pub spec_submitted: u64,
+}
+
+impl PipelineStats {
+    /// Accumulate another counter set.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.spec_executed += other.spec_executed;
+        self.spec_squashed += other.spec_squashed;
+        self.spec_submitted += other.spec_submitted;
+    }
+}
+
 /// The per-run observability report. All counters are in simulated cycles /
 /// simulated events; wall-clock-measured systems (the CPU baseline) leave
 /// the report empty.
@@ -466,6 +491,12 @@ pub struct MetricsReport {
     /// GTS turn-taking stall episodes: one sample per wait, `value` = cycles
     /// spent waiting for the publication turn.
     pub gts_stall: Series,
+    /// Server-side ATR entry-wait stall episodes: one sample per blocking
+    /// wait on an in-flight (reserved but unpublished) entry, `value` =
+    /// cycles spent waiting. Empty for STMs without a commit server.
+    pub server_stall: Series,
+    /// Commit-pipeline counters; all zero on unpipelined backends.
+    pub pipeline: PipelineStats,
     /// Injected-fault and recovery event counters; all zero on fault-free
     /// runs.
     pub faults: FaultCounts,
@@ -507,6 +538,8 @@ impl MetricsReport {
         self.batch_sizes.merge(&other.batch_sizes);
         self.atr_occupancy.merge(&other.atr_occupancy);
         self.gts_stall.merge(&other.gts_stall);
+        self.server_stall.merge(&other.server_stall);
+        self.pipeline.merge(&other.pipeline);
         self.faults.merge(&other.faults);
         self.fault_events.merge(&other.fault_events);
         self.gc.merge(&other.gc);
@@ -739,6 +772,7 @@ mod tests {
         b.batch_sizes.record(8);
         b.atr_occupancy.push(50, 3);
         b.gts_stall.push(60, 12);
+        b.server_stall.push(70, 9);
         a.merge(&b);
         assert_eq!(a.commit_latency.count(), 2);
         assert_eq!(a.abort_latency.count(), 1);
@@ -746,5 +780,23 @@ mod tests {
         assert_eq!(a.batch_sizes.count(), 1);
         assert_eq!(a.atr_occupancy.len(), 1);
         assert_eq!(a.gts_stall.len(), 1);
+        assert_eq!(a.server_stall.len(), 1);
+        assert_eq!(a.server_stall.sum(), 9);
+    }
+
+    #[test]
+    fn pipeline_stats_merge_adds_counters() {
+        let mut a = MetricsReport::default();
+        a.pipeline.spec_executed = 10;
+        a.pipeline.spec_squashed = 2;
+        a.pipeline.spec_submitted = 8;
+        let mut b = MetricsReport::default();
+        b.pipeline.spec_executed = 5;
+        b.pipeline.spec_squashed = 1;
+        b.pipeline.spec_submitted = 4;
+        a.merge(&b);
+        assert_eq!(a.pipeline.spec_executed, 15);
+        assert_eq!(a.pipeline.spec_squashed, 3);
+        assert_eq!(a.pipeline.spec_submitted, 12);
     }
 }

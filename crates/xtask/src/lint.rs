@@ -648,7 +648,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let variants: Vec<String> = abort_reason_variants(&mask_comments_and_strings(&src), &[])
         .map(|v| v.into_iter().map(|(name, _)| name).collect())
         .unwrap_or_default();
-    for file in ["engine.rs", "server.rs", "worker.rs"] {
+    for file in ["engine.rs", "msg.rs", "server.rs", "worker.rs"] {
         let path = root.join("crates/csmv-native/src").join(file);
         let src = std::fs::read_to_string(&path)?;
         findings.extend(check_no_panic_in_server_path(&path, &src));
